@@ -1,0 +1,71 @@
+//! Criterion microbenches of the real (threaded) communication schemes:
+//! end-to-end wall time of a short distributed training run under each
+//! scheme policy, plus the per-payload codec costs. Complements Table 1's
+//! analytic bytes with measured in-process costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use poseidon::config::SchemePolicy;
+use poseidon::runtime::{train, RuntimeConfig};
+use poseidon_nn::data::Dataset;
+use poseidon_nn::layer::TensorShape;
+use poseidon_nn::presets;
+
+fn bench_scheme_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runtime_scheme");
+    g.sample_size(10);
+    let data = Dataset::gaussian_clusters(TensorShape::flat(64), 4, 128, 0.3, 5);
+    for (policy, name) in [
+        (SchemePolicy::AlwaysPs, "ps"),
+        (SchemePolicy::AlwaysSfbForFc, "sfb"),
+        (SchemePolicy::Hybrid, "hybrid"),
+        (SchemePolicy::AdamSf, "adam"),
+        (SchemePolicy::OneBit, "onebit"),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, &policy| {
+            b.iter(|| {
+                let cfg = RuntimeConfig {
+                    policy,
+                    ..RuntimeConfig::new(4, 8, 0.1, 10)
+                };
+                std::hint::black_box(train(
+                    &|| presets::mlp(&[64, 96, 4], 3),
+                    &data,
+                    None,
+                    &cfg,
+                ))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_sf_vs_dense_payload(c: &mut Criterion) {
+    // Wire-encoding cost of a 256x1024 FC gradient: dense matrix vs K=32
+    // sufficient factors (the trade HybComm arbitrates).
+    use poseidon_tensor::{bytesio, Matrix, SfBatch, SufficientFactor};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut dense = Matrix::zeros(256, 1024);
+    poseidon_tensor::init::gaussian(&mut dense, 0.0, 1.0, &mut rng);
+    let batch = SfBatch::from_factors(
+        (0..32)
+            .map(|_| {
+                let mut u = Matrix::zeros(1, 256);
+                let mut v = Matrix::zeros(1, 1024);
+                poseidon_tensor::init::gaussian(&mut u, 0.0, 1.0, &mut rng);
+                poseidon_tensor::init::gaussian(&mut v, 0.0, 1.0, &mut rng);
+                SufficientFactor::new(u.as_slice().to_vec(), v.as_slice().to_vec())
+            })
+            .collect(),
+    );
+    c.bench_function("encode_dense_256x1024", |b| {
+        b.iter(|| std::hint::black_box(bytesio::encode_matrix(&dense)));
+    });
+    c.bench_function("encode_sf_batch_k32_256x1024", |b| {
+        b.iter(|| std::hint::black_box(bytesio::encode_sf_batch(&batch)));
+    });
+}
+
+criterion_group!(benches, bench_scheme_policies, bench_sf_vs_dense_payload);
+criterion_main!(benches);

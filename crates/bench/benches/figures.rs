@@ -1,0 +1,50 @@
+//! Criterion benches over the figure-regeneration sweeps themselves: how
+//! long each figure's simulation sweep takes. Keeps the experiment harness
+//! honest about its own cost and doubles as a regression check that every
+//! sweep still runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use poseidon::sim::{simulate, SimConfig, System};
+use poseidon_nn::zoo;
+
+fn bench_fig5_sweep(c: &mut Criterion) {
+    c.bench_function("fig5_sweep_caffe_models", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for model in [zoo::googlenet(), zoo::vgg19(), zoo::vgg19_22k()] {
+                for sys in [System::CaffePs, System::WfbpPs, System::Poseidon] {
+                    for n in [1usize, 8, 32] {
+                        acc += simulate(&model, &SimConfig::system(sys, n, 40.0)).speedup;
+                    }
+                }
+            }
+            std::hint::black_box(acc)
+        });
+    });
+}
+
+fn bench_fig8_sweep(c: &mut Criterion) {
+    c.bench_function("fig8_bandwidth_sweep_vgg19", |b| {
+        let model = zoo::vgg19();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for bw in [10.0, 20.0, 30.0] {
+                for n in [1usize, 4, 16] {
+                    acc += simulate(&model, &SimConfig::system(System::Poseidon, n, bw)).speedup;
+                }
+            }
+            std::hint::black_box(acc)
+        });
+    });
+}
+
+fn bench_single_simulation(c: &mut Criterion) {
+    c.bench_function("simulate_resnet152_32nodes", |b| {
+        let model = zoo::resnet152();
+        let cfg = SimConfig::system(System::Poseidon, 32, 40.0);
+        b.iter(|| std::hint::black_box(simulate(&model, &cfg)));
+    });
+}
+
+criterion_group!(benches, bench_fig5_sweep, bench_fig8_sweep, bench_single_simulation);
+criterion_main!(benches);

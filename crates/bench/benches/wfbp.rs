@@ -1,0 +1,44 @@
+//! WFBP ablation bench (DESIGN.md ablation #1 and #2): simulated iteration
+//! time under sequential vs wait-free scheduling, and under KV-pair vs
+//! whole-tensor partitioning, for the evaluation models at 8 nodes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use poseidon::config::{Partition, Scheduler};
+use poseidon::sim::{simulate, SimConfig, System};
+use poseidon_nn::zoo;
+
+fn bench_scheduler_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_scheduler");
+    for model in [zoo::googlenet(), zoo::vgg19(), zoo::resnet152()] {
+        for scheduler in [Scheduler::Sequential, Scheduler::Wfbp] {
+            let id = format!("{}/{:?}", model.name, scheduler);
+            g.bench_with_input(BenchmarkId::from_parameter(id), &scheduler, |b, &s| {
+                let mut cfg = SimConfig::system(System::WfbpPs, 8, 40.0);
+                cfg.scheduler = s;
+                b.iter(|| std::hint::black_box(simulate(&model, &cfg)));
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_partition_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_partition");
+    let model = zoo::vgg19();
+    for (partition, name) in [
+        (Partition::default_kv_pairs(), "kv2mb"),
+        (Partition::KvPairs { pair_elems: 64 * 1024 }, "kv256kb"),
+        (Partition::KvPairs { pair_elems: 4 * 1024 * 1024 }, "kv16mb"),
+        (Partition::WholeTensor, "whole"),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &partition, |b, &p| {
+            let mut cfg = SimConfig::system(System::WfbpPs, 8, 40.0);
+            cfg.partition = p;
+            b.iter(|| std::hint::black_box(simulate(&model, &cfg)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scheduler_ablation, bench_partition_ablation);
+criterion_main!(benches);

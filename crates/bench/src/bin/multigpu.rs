@@ -1,0 +1,92 @@
+//! Section 5.1 "Multi-GPU Settings": Poseidon with several GPUs per node —
+//! local PCIe aggregation onto a leader GPU, then the normal network
+//! synchronisation.
+//!
+//! Reproduces the two reported results: (a) near-linear scaling up to 4 GPUs
+//! in a single machine (where Caffe's own multi-GPU tree reaches only ~3x on
+//! GoogLeNet and ~2x on VGG19), and (b) 4 nodes × 8 GPUs (32 GPUs total)
+//! reaching ~32x on GoogLeNet and ~28x on VGG19.
+//!
+//! Run: `cargo run --release -p poseidon-bench --bin multigpu`
+
+use poseidon::sim::{simulate, SimConfig, System};
+use poseidon::stats::render_table;
+use poseidon_bench::banner;
+use poseidon_nn::zoo::{self, ModelSpec};
+
+/// Speedup of Poseidon with `nodes` machines × `gpus` GPUs over one GPU.
+fn poseidon_speedup(model: &ModelSpec, nodes: usize, gpus: usize) -> f64 {
+    let mut cfg = SimConfig::system(System::Poseidon, nodes, 40.0);
+    cfg.gpus_per_node = gpus;
+    simulate(model, &cfg).speedup
+}
+
+/// Caffe's unoverlapped multi-GPU tree on one machine: compute plus a
+/// blocking 2·log2(G)-hop parameter exchange over unpinned PCIe per
+/// iteration (the paper measured ~3x on GoogLeNet, ~2x on VGG19 at 4 GPUs).
+fn caffe_tree_speedup(model: &ModelSpec, gpus: usize) -> f64 {
+    let compute = model.default_batch as f64
+        / model.paper_single_node_ips.expect("calibrated model");
+    let hops = 2.0 * (gpus as f64).log2().ceil();
+    let pcie_unpinned = 3.0e9;
+    let per_layer_overhead = 0.5e-3 * model.trainable_layers().len() as f64;
+    let exchange = hops * (model.param_bytes() as f64 / pcie_unpinned) + hops * per_layer_overhead;
+    let iter = compute + exchange;
+    gpus as f64 * compute / iter
+}
+
+fn main() {
+    banner(
+        "Section 5.1 multi-GPU",
+        "single machine: Poseidon vs Caffe's multi-GPU tree",
+    );
+    let header: Vec<String> = ["model", "GPUs", "Poseidon", "Caffe multi-GPU", "paper"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut rows = Vec::new();
+    for model in [zoo::googlenet(), zoo::vgg19()] {
+        for gpus in [1usize, 2, 4] {
+            let paper = match (model.name, gpus) {
+                ("GoogLeNet", 4) => "~4x vs ~3x",
+                ("VGG19", 4) => "~4x vs ~2x",
+                _ => "-",
+            };
+            rows.push(vec![
+                model.name.to_string(),
+                gpus.to_string(),
+                format!("{:.1}", poseidon_speedup(&model, 1, gpus)),
+                format!("{:.1}", caffe_tree_speedup(&model, gpus)),
+                paper.to_string(),
+            ]);
+        }
+    }
+    println!("{}", render_table(&header, &rows));
+
+    banner(
+        "Section 5.1 multi-GPU",
+        "4 nodes x 8 GPUs (p2.8xlarge-like), 32 GPUs total",
+    );
+    let header: Vec<String> = ["model", "config", "speedup", "paper"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let rows = vec![
+        vec![
+            "GoogLeNet".to_string(),
+            "4 x 8 GPUs".to_string(),
+            format!("{:.1}", poseidon_speedup(&zoo::googlenet(), 4, 8)),
+            "32x".to_string(),
+        ],
+        vec![
+            "VGG19".to_string(),
+            "4 x 8 GPUs".to_string(),
+            format!("{:.1}", poseidon_speedup(&zoo::vgg19(), 4, 8)),
+            "28x".to_string(),
+        ],
+    ];
+    println!("{}", render_table(&header, &rows));
+    println!("Shape: local PCIe aggregation keeps multi-GPU nodes near-linear; VGG19's");
+    println!("bigger parameter volume costs more per-node aggregation, so it lands");
+    println!("below GoogLeNet — the ordering the paper reports (32x vs 28x).");
+}

@@ -1,0 +1,104 @@
+//! `simcli` — ad-hoc cluster simulations from the command line.
+//!
+//! ```console
+//! $ cargo run --release -p poseidon-bench --bin simcli -- \
+//!       --model vgg19 --system poseidon --nodes 16 --bandwidth 10 --gpus 1
+//! ```
+//!
+//! Options:
+//!   --model      googlenet | inception | vgg19 | vgg19-22k | resnet152 | alexnet
+//!   --system     poseidon | wfbp | caffe-ps | tf | adam | cntk-1bit
+//!   --nodes N    cluster size (default 8)
+//!   --bandwidth G  per-direction GbE (default 40)
+//!   --gpus G     GPUs per node (default 1)
+//!   --batch K    per-GPU batch (default: the model's Table-3 batch)
+//!   --straggler F  make node 0 F-times slower
+//!   --drop       drop the straggler instead of waiting
+
+use poseidon::sim::{simulate, SimConfig, System};
+use poseidon_nn::zoo::{self, ModelSpec};
+
+fn usage() -> ! {
+    eprintln!("usage: simcli --model <name> [--system S] [--nodes N] [--bandwidth G]");
+    eprintln!("              [--gpus G] [--batch K] [--straggler F] [--drop]");
+    eprintln!("models:  googlenet inception vgg19 vgg19-22k resnet152 alexnet");
+    eprintln!("systems: poseidon wfbp caffe-ps tf adam cntk-1bit");
+    std::process::exit(2)
+}
+
+fn parse_model(name: &str) -> Option<ModelSpec> {
+    Some(match name {
+        "googlenet" => zoo::googlenet(),
+        "inception" => zoo::inception_v3(),
+        "vgg19" => zoo::vgg19(),
+        "vgg19-22k" => zoo::vgg19_22k(),
+        "resnet152" => zoo::resnet152(),
+        "alexnet" => zoo::alexnet(),
+        _ => return None,
+    })
+}
+
+fn parse_system(name: &str) -> Option<System> {
+    Some(match name {
+        "poseidon" => System::Poseidon,
+        "wfbp" => System::WfbpPs,
+        "caffe-ps" => System::CaffePs,
+        "tf" => System::TensorFlow,
+        "adam" => System::Adam,
+        "cntk-1bit" => System::Cntk1Bit,
+        _ => return None,
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut model = None;
+    let mut system = System::Poseidon;
+    let mut nodes = 8usize;
+    let mut bandwidth = 40.0f64;
+    let mut gpus = 1usize;
+    let mut batch = None;
+    let mut straggler = None;
+    let mut drop = false;
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().map(String::as_str).unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--model" => model = Some(parse_model(value()).unwrap_or_else(|| usage())),
+            "--system" => system = parse_system(value()).unwrap_or_else(|| usage()),
+            "--nodes" => nodes = value().parse().unwrap_or_else(|_| usage()),
+            "--bandwidth" => bandwidth = value().parse().unwrap_or_else(|_| usage()),
+            "--gpus" => gpus = value().parse().unwrap_or_else(|_| usage()),
+            "--batch" => batch = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--straggler" => {
+                straggler = Some((0usize, value().parse::<f64>().unwrap_or_else(|_| usage())))
+            }
+            "--drop" => drop = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    let Some(model) = model else { usage() };
+
+    let mut cfg = SimConfig::system(system, nodes, bandwidth);
+    cfg.gpus_per_node = gpus;
+    cfg.batch_per_node = batch;
+    cfg.straggler = straggler;
+    cfg.drop_stragglers = drop;
+    let r = simulate(&model, &cfg);
+
+    println!("model        : {} ({:.1}M params)", model.name, model.total_params() as f64 / 1e6);
+    println!("system       : {}", system.label());
+    println!("cluster      : {nodes} nodes x {gpus} GPU(s), {bandwidth} GbE");
+    println!("iteration    : {:.4} s ({:.4} s compute, {:.0}% stall)",
+        r.iter_time_s, r.compute_s, r.stall_fraction * 100.0);
+    println!("throughput   : {:.1} img/s ({:.1} img/s on one GPU)",
+        r.throughput_ips, r.single_node_ips);
+    println!("speedup      : {:.2}x over one GPU", r.speedup);
+    let max = r.per_node_gbit.iter().cloned().fold(0.0f64, f64::max);
+    let mean = r.per_node_gbit.iter().sum::<f64>() / r.per_node_gbit.len().max(1) as f64;
+    println!("traffic/node : {mean:.2} Gb/iter mean, {max:.2} max");
+    let sfb = r.schemes.iter().filter(|(_, s)| *s == poseidon::config::CommScheme::Sfb).count();
+    println!("schemes      : {} layers total, {} via SFB", r.schemes.len(), sfb);
+}

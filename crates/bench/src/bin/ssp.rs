@@ -1,0 +1,85 @@
+//! Bounded-asynchronous extension (Section 3: Poseidon's design "can easily
+//! be applied to asynchronous or bounded-asynchronous consistency models"):
+//! BSP vs stale-synchronous-parallel on the *real* threaded runtime, with an
+//! injected straggler worker.
+//!
+//! Under BSP the straggler gates every iteration; under SSP the fast workers
+//! run up to `staleness` iterations ahead, recovering wall-clock throughput
+//! at a small statistical cost.
+//!
+//! Run: `cargo run --release -p poseidon-bench --bin ssp`
+
+use poseidon::config::{Consistency, SchemePolicy};
+use poseidon::runtime::{evaluate_error, train, RuntimeConfig};
+use poseidon::stats::render_table;
+use poseidon_bench::banner;
+use poseidon_nn::data::Dataset;
+use poseidon_nn::layer::TensorShape;
+use poseidon_nn::presets;
+use std::time::Instant;
+
+fn main() {
+    banner(
+        "SSP extension",
+        "BSP vs SSP on the threaded runtime under per-iteration compute jitter",
+    );
+    let all = Dataset::gaussian_clusters(TensorShape::flat(32), 5, 1200, 0.45, 61);
+    let (train_set, test_set) = all.split_at(1000);
+    let iters = 150;
+
+    let header: Vec<String> = [
+        "consistency",
+        "wall s",
+        "fast-worker s",
+        "final loss",
+        "test err",
+        "max clock spread",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let mut rows = Vec::new();
+    for (consistency, label) in [
+        (Consistency::Bsp, "BSP"),
+        (Consistency::Ssp { staleness: 0 }, "SSP s=0"),
+        (Consistency::Ssp { staleness: 2 }, "SSP s=2"),
+        (Consistency::Ssp { staleness: 8 }, "SSP s=8"),
+    ] {
+        let cfg = RuntimeConfig {
+            policy: SchemePolicy::AlwaysPs,
+            consistency,
+            jitter_us: Some(4000),
+            ..RuntimeConfig::new(4, 8, 0.1, iters)
+        };
+        let t0 = Instant::now();
+        let result = train(
+            &|| presets::mlp(&[32, 48, 24, 5], 71),
+            &train_set,
+            None,
+            &cfg,
+        );
+        let wall = t0.elapsed().as_secs_f64();
+        let mut net = result.net;
+        let err = evaluate_error(&mut net, &test_set);
+        let tail: f32 = result.losses[iters - 10..].iter().sum::<f32>() / 10.0;
+        let fast = result
+            .worker_wall_s
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        rows.push(vec![
+            label.to_string(),
+            format!("{wall:.2}"),
+            format!("{fast:.2}"),
+            format!("{tail:.3}"),
+            format!("{err:.3}"),
+            result.max_staleness_spread.to_string(),
+        ]);
+    }
+    println!("{}", render_table(&header, &rows));
+    println!("Expected shape: with ~0-4ms of random per-iteration jitter per worker,");
+    println!("every BSP barrier waits for the unluckiest worker (per-iteration cost ~");
+    println!("max of 4 draws), while SSP lets workers ride through each other's bad");
+    println!("draws — wall time drops toward the mean-rate floor as staleness grows,");
+    println!("at equal statistical quality, with clock spread <= staleness + 1.");
+}

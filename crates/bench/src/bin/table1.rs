@@ -1,0 +1,88 @@
+//! Table 1: estimated communication cost of PS, SFB and Adam for
+//! synchronising an M×N FC layer, plus the Section 3.2 worked example.
+//!
+//! Run: `cargo run --release -p poseidon-bench --bin table1`
+
+use poseidon::config::ClusterConfig;
+use poseidon::costmodel;
+use poseidon::stats::render_table;
+use poseidon_bench::banner;
+
+fn fmt_millions(v: f64) -> String {
+    format!("{:.2}M", v / 1e6)
+}
+
+fn main() {
+    banner("Table 1", "per-node communication cost (f32 values) for an M x N FC layer");
+
+    // The paper's worked example: M = N = 4096, K = 32, P1 = P2 = 8.
+    let (m, n) = (4096usize, 4096usize);
+    let cluster = ClusterConfig {
+        workers: 8,
+        servers: 8,
+        batch_per_worker: 32,
+        colocated: true,
+    };
+    let ps = costmodel::ps_cost(m, n, &cluster);
+    let sfb = costmodel::sfb_cost(m, n, &cluster);
+    let adam = costmodel::adam_cost(m, n, &cluster);
+
+    let header: Vec<String> = ["method", "server", "worker", "server+worker"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let rows = vec![
+        vec![
+            "PS".into(),
+            fmt_millions(ps.server),
+            fmt_millions(ps.worker),
+            fmt_millions(ps.server_and_worker),
+        ],
+        vec!["SFB".into(), "n/a".into(), fmt_millions(sfb), "n/a".into()],
+        vec![
+            "Adam (max)".into(),
+            fmt_millions(adam.server),
+            fmt_millions(adam.worker),
+            fmt_millions(adam.server_and_worker),
+        ],
+    ];
+    println!("M = N = 4096, K = 32, P1 = P2 = 8 (Section 3.2 worked example)");
+    println!("{}", render_table(&header, &rows));
+    println!(
+        "Paper quotes: PS worker ~34M, PS server ~34M, PS both ~58.7M, SFB ~3.7M.\n"
+    );
+
+    // BestScheme crossovers: where HybComm switches for the paper's FC layers.
+    banner("Algorithm 1", "BestScheme decisions for the evaluation networks' FC layers");
+    let header: Vec<String> = ["layer", "M", "N", "K", "P", "scheme"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let cases = [
+        ("VGG19 fc6", 4096usize, 25088usize, 32usize),
+        ("VGG19 fc7", 4096, 4096, 32),
+        ("VGG19 fc8", 1000, 4096, 32),
+        ("VGG19-22K fc8", 21841, 4096, 32),
+        ("GoogLeNet classifier", 1000, 1024, 128),
+        ("Inception-V3 fc", 1000, 2048, 32),
+    ];
+    let mut rows = Vec::new();
+    for &(name, m, n, k) in &cases {
+        for p in [8usize, 16, 32] {
+            let cluster = ClusterConfig::colocated(p, k);
+            let scheme = costmodel::best_scheme_fc(m, n, &cluster);
+            rows.push(vec![
+                name.to_string(),
+                m.to_string(),
+                n.to_string(),
+                k.to_string(),
+                p.to_string(),
+                scheme.to_string(),
+            ]);
+        }
+    }
+    println!("{}", render_table(&header, &rows));
+    println!(
+        "Expected: VGG FC layers pick SFB at K=32; GoogLeNet's thin classifier at K=128 reduces to PS."
+    );
+}

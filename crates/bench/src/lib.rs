@@ -1,0 +1,70 @@
+//! Shared harness code for the experiment binaries.
+//!
+//! Every table and figure of the paper's evaluation has a binary under
+//! `src/bin/` that regenerates it (`table1`, `table3`, `fig5` … `fig11`,
+//! `overhead`); this library holds the formatting and sweep plumbing they
+//! share. Expected output (paper-reported numbers vs. what this reproduction
+//! measures) is catalogued in the repository's `EXPERIMENTS.md`.
+
+use poseidon::sim::{simulate, SimConfig, System};
+use poseidon::stats;
+use poseidon_nn::zoo::ModelSpec;
+
+/// The node counts of the paper's main scaling figures.
+pub const FIG5_NODES: [usize; 6] = [1, 2, 4, 8, 16, 32];
+/// The node counts of the bandwidth-limited figure.
+pub const FIG8_NODES: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// Prints a figure/table header.
+pub fn banner(id: &str, caption: &str) {
+    println!("==== {id} — {caption} ====");
+}
+
+/// Runs a node sweep of `systems` on `model` at `bandwidth_gbps` and prints a
+/// speedup table (one column per system), mirroring one panel of a scaling
+/// figure.
+pub fn print_speedup_panel(
+    model: &ModelSpec,
+    systems: &[System],
+    nodes: &[usize],
+    bandwidth_gbps: f64,
+) {
+    println!("{} ({:.0} GbE), speedup vs single-node native:", model.name, bandwidth_gbps);
+    let mut header = vec!["nodes".to_string(), "linear".to_string()];
+    header.extend(systems.iter().map(|s| s.label().to_string()));
+    let rows: Vec<Vec<String>> = nodes
+        .iter()
+        .map(|&n| {
+            let mut row = vec![n.to_string(), format!("{n}.0")];
+            for &sys in systems {
+                let r = simulate(model, &SimConfig::system(sys, n, bandwidth_gbps));
+                row.push(format!("{:.1}", r.speedup));
+            }
+            row
+        })
+        .collect();
+    println!("{}", stats::render_table(&header, &rows));
+}
+
+/// One full speedup series for a system (used by the assertions in the
+/// figure binaries and the integration tests).
+pub fn speedups(model: &ModelSpec, system: System, nodes: &[usize], bw: f64) -> Vec<(usize, f64)> {
+    nodes
+        .iter()
+        .map(|&n| (n, simulate(model, &SimConfig::system(system, n, bw)).speedup))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poseidon_nn::zoo;
+
+    #[test]
+    fn speedups_produces_one_point_per_node_count() {
+        let s = speedups(&zoo::googlenet(), System::Poseidon, &[1, 2, 4], 40.0);
+        assert_eq!(s.len(), 3);
+        assert!((s[0].1 - 1.0).abs() < 0.05);
+        assert!(s[2].1 > s[1].1);
+    }
+}

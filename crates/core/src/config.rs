@@ -1,0 +1,191 @@
+//! Cluster, scheme and scheduling configuration shared by both backends.
+
+/// How one layer's parameters are synchronised.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CommScheme {
+    /// Sharded parameter server: push dense gradients, pull dense parameters.
+    Ps,
+    /// Sufficient-factor broadcasting: P2P broadcast of `(u, v)` factor pairs,
+    /// dense gradient reconstructed at every worker.
+    Sfb,
+    /// Project Adam's strategy: push factors to the owning server shard, pull
+    /// the dense parameter matrix back (load-imbalanced; baseline).
+    AdamSf,
+    /// CNTK-style 1-bit quantized PS traffic with residual feedback (lossy;
+    /// baseline).
+    OneBitPs,
+}
+
+impl std::fmt::Display for CommScheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            CommScheme::Ps => "PS",
+            CommScheme::Sfb => "SFB",
+            CommScheme::AdamSf => "AdamSF",
+            CommScheme::OneBitPs => "1bitPS",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Policy mapping layers to schemes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchemePolicy {
+    /// Everything via the parameter server (the WFBP-only baselines).
+    AlwaysPs,
+    /// The paper's HybComm: per-layer `BestScheme` (Algorithm 1) — SFB for an
+    /// FC layer when its analytic byte cost is lower, PS otherwise.
+    Hybrid,
+    /// Force SFB for every FC layer regardless of cost (ablation).
+    AlwaysSfbForFc,
+    /// Project Adam's SF-push / matrix-pull for FC layers (baseline).
+    AdamSf,
+    /// 1-bit quantization for FC layers over PS (baseline).
+    OneBit,
+}
+
+/// The consistency model coordinating workers across iterations.
+///
+/// The paper focuses on synchronous (BSP) training but notes that "Poseidon's
+/// design can easily be applied to asynchronous or bounded-asynchronous
+/// consistency models [12, 8]" — [`Consistency::Ssp`] is that extension: the
+/// stale-synchronous-parallel model of Ho et al., where a worker may run at
+/// most `staleness` iterations ahead of the slowest worker and the parameter
+/// server applies updates eagerly instead of barriering per KV pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Consistency {
+    /// Bulk-synchronous parallel: per-KV-pair update counts, a full barrier
+    /// every iteration (the paper's evaluation mode).
+    Bsp,
+    /// Stale-synchronous parallel with the given staleness bound
+    /// (`staleness = 0` is lockstep iterations with eager, unordered applies).
+    Ssp {
+        /// Maximum iterations any worker may lead the slowest worker by.
+        staleness: usize,
+    },
+}
+
+/// When layer synchronisation is allowed to start.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scheduler {
+    /// Synchronise after the whole backward pass (vanilla PS parallelisation;
+    /// `Ct` and `St` strictly alternate).
+    Sequential,
+    /// Wait-free backpropagation: layer `l`'s sync starts as soon as `bˡ`
+    /// completes, overlapping with `bⁱ (i < l)`.
+    Wfbp,
+}
+
+/// How parameters are partitioned across server shards.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Partition {
+    /// Poseidon's fixed-size KV pairs spread round-robin over shards
+    /// (default 2 MB, i.e. 512Ki f32 values per pair).
+    KvPairs {
+        /// KV-pair payload size in f32 elements.
+        pair_elems: usize,
+    },
+    /// TensorFlow-style coarse granularity: each tensor lives wholly on one
+    /// shard (round-robin by layer) — the hot-spot baseline of Figure 7.
+    WholeTensor,
+}
+
+impl Partition {
+    /// Poseidon's default 2 MB KV pairs.
+    pub fn default_kv_pairs() -> Self {
+        Partition::KvPairs {
+            pair_elems: 512 * 1024,
+        }
+    }
+}
+
+/// Cluster topology parameters used by the cost model (Table 1's `P1`, `P2`,
+/// `K`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// Number of worker nodes (`P1`).
+    pub workers: usize,
+    /// Number of server shards (`P2`).
+    pub servers: usize,
+    /// Per-worker minibatch size (`K`).
+    pub batch_per_worker: usize,
+    /// `true` when every node is both a worker and a server (the paper's
+    /// deployment); synchronising a node's own shard is then free.
+    pub colocated: bool,
+}
+
+impl ClusterConfig {
+    /// The paper's standard deployment: every one of `nodes` machines is both
+    /// a worker and a PS shard.
+    pub fn colocated(nodes: usize, batch_per_worker: usize) -> Self {
+        assert!(nodes > 0, "cluster needs at least one node");
+        Self {
+            workers: nodes,
+            servers: nodes,
+            batch_per_worker,
+            colocated: true,
+        }
+    }
+
+    /// Total nodes participating (max of the two roles when colocated).
+    pub fn nodes(&self) -> usize {
+        if self.colocated {
+            self.workers.max(self.servers)
+        } else {
+            self.workers + self.servers
+        }
+    }
+
+    /// Aggregate minibatch per iteration (`K · P1`).
+    pub fn global_batch(&self) -> usize {
+        self.batch_per_worker * self.workers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn colocated_cluster_counts_nodes_once() {
+        let c = ClusterConfig::colocated(8, 32);
+        assert_eq!(c.nodes(), 8);
+        assert_eq!(c.workers, 8);
+        assert_eq!(c.servers, 8);
+        assert_eq!(c.global_batch(), 256);
+        assert!(c.colocated);
+    }
+
+    #[test]
+    fn disjoint_cluster_sums_roles() {
+        let c = ClusterConfig {
+            workers: 8,
+            servers: 4,
+            batch_per_worker: 16,
+            colocated: false,
+        };
+        assert_eq!(c.nodes(), 12);
+    }
+
+    #[test]
+    fn default_kv_pair_is_two_megabytes() {
+        match Partition::default_kv_pairs() {
+            Partition::KvPairs { pair_elems } => assert_eq!(pair_elems * 4, 2 * 1024 * 1024),
+            Partition::WholeTensor => panic!("wrong default"),
+        }
+    }
+
+    #[test]
+    fn scheme_display_names() {
+        assert_eq!(CommScheme::Ps.to_string(), "PS");
+        assert_eq!(CommScheme::Sfb.to_string(), "SFB");
+        assert_eq!(CommScheme::AdamSf.to_string(), "AdamSF");
+        assert_eq!(CommScheme::OneBitPs.to_string(), "1bitPS");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_node_cluster_rejected() {
+        let _ = ClusterConfig::colocated(0, 32);
+    }
+}

@@ -1,0 +1,220 @@
+//! The analytic communication-cost model of Table 1 and the `BestScheme`
+//! selection rule (Algorithm 1).
+//!
+//! Costs are expressed, as in the paper, in **number of f32 parameters
+//! communicated by one node per iteration** for synchronising one `M × N`
+//! fully-connected layer on a cluster of `P1` workers and `P2` server shards
+//! with per-worker batch size `K`. Multiply by 4 for bytes.
+
+use crate::config::{ClusterConfig, CommScheme};
+
+/// Per-role communication load (in f32 values), one row of Table 1.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CommCost {
+    /// Load on a pure server node.
+    pub server: f64,
+    /// Load on a pure worker node.
+    pub worker: f64,
+    /// Load on a node acting as both server and worker (the paper's
+    /// deployment).
+    pub server_and_worker: f64,
+}
+
+impl CommCost {
+    /// The load relevant to the given deployment.
+    pub fn for_cluster(&self, cluster: &ClusterConfig) -> f64 {
+        if cluster.colocated {
+            self.server_and_worker
+        } else {
+            self.worker.max(self.server)
+        }
+    }
+}
+
+/// Parameter-server cost for an `M × N` layer (Table 1, row "PS").
+///
+/// A worker pushes `MN` gradients and pulls `MN` parameters (`2MN`); a server
+/// holding `1/P2` of the parameters exchanges `2·P1·MN/P2`; a colocated node
+/// subtracts its local shard traffic: `2MN(P1 + P2 − 2)/P2`.
+pub fn ps_cost(m: usize, n: usize, cluster: &ClusterConfig) -> CommCost {
+    let mn = (m as f64) * (n as f64);
+    let p1 = cluster.workers as f64;
+    let p2 = cluster.servers as f64;
+    CommCost {
+        server: 2.0 * p1 * mn / p2,
+        worker: 2.0 * mn,
+        server_and_worker: 2.0 * mn * (p1 + p2 - 2.0) / p2,
+    }
+}
+
+/// Sufficient-factor broadcasting cost (Table 1, row "SFB").
+///
+/// Every worker broadcasts `K` factor pairs of `M + N` values to the other
+/// `P1 − 1` workers and receives as many: `2K(P1 − 1)(M + N)`. There is no
+/// server role.
+pub fn sfb_cost(m: usize, n: usize, cluster: &ClusterConfig) -> f64 {
+    let p1 = cluster.workers as f64;
+    let k = cluster.batch_per_worker as f64;
+    2.0 * k * (p1 - 1.0) * (m as f64 + n as f64)
+}
+
+/// Project Adam's cost (Table 1, row "Adam", worst-case server).
+///
+/// Workers push `K(M+N)` factor values and pull the dense `MN` matrix; the
+/// single server shard owning the layer receives `P1·K(M+N)` and broadcasts
+/// `P1·MN`; a colocated node carries `(P1 − 1)(MN + KM + KN)`.
+pub fn adam_cost(m: usize, n: usize, cluster: &ClusterConfig) -> CommCost {
+    let mn = (m as f64) * (n as f64);
+    let p1 = cluster.workers as f64;
+    let k = cluster.batch_per_worker as f64;
+    let kmn = k * (m as f64 + n as f64);
+    CommCost {
+        server: p1 * mn + p1 * kmn,
+        worker: kmn + mn,
+        server_and_worker: (p1 - 1.0) * (mn + k * m as f64 + k * n as f64),
+    }
+}
+
+/// Algorithm 1: the cheapest scheme for an `M × N` FC layer.
+///
+/// Returns [`CommScheme::Sfb`] iff `2K(P1−1)(M+N) ≤ 2MN(P1+P2−2)/P2`,
+/// otherwise [`CommScheme::Ps`]. Non-FC layers never reach this function —
+/// their updates are indecomposable, so the caller uses PS directly.
+pub fn best_scheme_fc(m: usize, n: usize, cluster: &ClusterConfig) -> CommScheme {
+    let sfb = sfb_cost(m, n, cluster);
+    let ps = ps_cost(m, n, cluster).server_and_worker;
+    if sfb <= ps {
+        CommScheme::Sfb
+    } else {
+        CommScheme::Ps
+    }
+}
+
+/// The batch size at which SFB stops being cheaper than PS for an `M × N`
+/// layer (the crossover the paper describes in Section 5.2: SFB helps
+/// "especially when the batch size is small").
+pub fn sfb_crossover_batch(m: usize, n: usize, workers: usize, servers: usize) -> f64 {
+    let mn = (m as f64) * (n as f64);
+    let p1 = workers as f64;
+    let p2 = servers as f64;
+    mn * (p1 + p2 - 2.0) / (p2 * (p1 - 1.0) * (m as f64 + n as f64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The worked example in Section 3.2: M = N = 4096, K = 32, P1 = P2 = 8.
+    #[test]
+    fn paper_worked_example_numbers() {
+        let cluster = ClusterConfig {
+            workers: 8,
+            servers: 8,
+            batch_per_worker: 32,
+            colocated: true,
+        };
+        let ps = ps_cost(4096, 4096, &cluster);
+        // "synchronizing its parameters via PS will transfer 2MN ≈ 34 million
+        // parameters for a worker node".
+        assert!((ps.worker - 33.55e6).abs() / 33.55e6 < 0.01, "worker {}", ps.worker);
+        // "2·P1·MN/P2 ≈ 34 million for a server node".
+        assert!((ps.server - 33.55e6).abs() / 33.55e6 < 0.01);
+        // "2MN(P1+P2−2)/P2 ≈ 58.7 million for a node that is both".
+        assert!((ps.server_and_worker - 58.7e6).abs() / 58.7e6 < 0.01,
+            "both {}", ps.server_and_worker);
+        // "compared to 2K(M+N)(P1−1) ≈ 3.7 million for a single node using SFB".
+        let sfb = sfb_cost(4096, 4096, &cluster);
+        assert!((sfb - 3.67e6).abs() / 3.67e6 < 0.01, "sfb {sfb}");
+        // SFB wins by ~16x.
+        assert_eq!(best_scheme_fc(4096, 4096, &cluster), CommScheme::Sfb);
+    }
+
+    #[test]
+    fn thin_fc_with_large_batch_prefers_ps() {
+        // GoogLeNet's 1000×1024 classifier at batch 128 on 16 nodes — the
+        // paper observes Poseidon "reduces to PS" in this configuration.
+        let cluster = ClusterConfig::colocated(16, 128);
+        assert_eq!(best_scheme_fc(1000, 1024, &cluster), CommScheme::Ps);
+    }
+
+    #[test]
+    fn vgg_fc6_at_small_batch_prefers_sfb() {
+        // VGG19's 4096×25088 fc6 at batch 32.
+        for nodes in [2usize, 4, 8, 16, 32] {
+            let cluster = ClusterConfig::colocated(nodes, 32);
+            assert_eq!(best_scheme_fc(4096, 25088, &cluster), CommScheme::Sfb, "{nodes} nodes");
+        }
+    }
+
+    #[test]
+    fn sfb_cost_grows_quadratically_with_workers() {
+        // Total cluster-wide SFB traffic grows ~P², per-node ~P (Section 2.1
+        // difference (3)).
+        let c8 = ClusterConfig::colocated(8, 32);
+        let c16 = ClusterConfig::colocated(16, 32);
+        let per_node_8 = sfb_cost(1024, 1024, &c8);
+        let per_node_16 = sfb_cost(1024, 1024, &c16);
+        let total_8 = per_node_8 * 8.0;
+        let total_16 = per_node_16 * 16.0;
+        let ratio = total_16 / total_8;
+        assert!(ratio > 4.0 && ratio < 4.5, "total SFB traffic ratio {ratio}");
+    }
+
+    #[test]
+    fn adam_server_load_dwarfs_worker_load() {
+        let cluster = ClusterConfig::colocated(8, 32);
+        let adam = adam_cost(4096, 4096, &cluster);
+        assert!(
+            adam.server > 6.0 * adam.worker,
+            "Adam's owning shard must be the hotspot: server {} vs worker {}",
+            adam.server,
+            adam.worker
+        );
+    }
+
+    #[test]
+    fn crossover_batch_matches_best_scheme_decision() {
+        let (m, n) = (4096usize, 4096usize);
+        let crossover = sfb_crossover_batch(m, n, 8, 8);
+        let below = ClusterConfig {
+            workers: 8,
+            servers: 8,
+            batch_per_worker: crossover.floor() as usize,
+            colocated: true,
+        };
+        let above = ClusterConfig {
+            workers: 8,
+            servers: 8,
+            batch_per_worker: crossover.ceil() as usize + 1,
+            colocated: true,
+        };
+        assert_eq!(best_scheme_fc(m, n, &below), CommScheme::Sfb);
+        assert_eq!(best_scheme_fc(m, n, &above), CommScheme::Ps);
+    }
+
+    #[test]
+    fn single_worker_sfb_costs_nothing() {
+        let cluster = ClusterConfig::colocated(1, 32);
+        assert_eq!(sfb_cost(100, 100, &cluster), 0.0);
+        // And PS on one colocated node is also free: (P1+P2-2)/P2 = 0.
+        assert_eq!(ps_cost(100, 100, &cluster).server_and_worker, 0.0);
+    }
+
+    #[test]
+    fn cost_for_cluster_selects_role() {
+        let colocated = ClusterConfig::colocated(4, 8);
+        let disjoint = ClusterConfig {
+            workers: 4,
+            servers: 2,
+            batch_per_worker: 8,
+            colocated: false,
+        };
+        let cost = CommCost {
+            server: 10.0,
+            worker: 4.0,
+            server_and_worker: 12.0,
+        };
+        assert_eq!(cost.for_cluster(&colocated), 12.0);
+        assert_eq!(cost.for_cluster(&disjoint), 10.0, "bottleneck role governs");
+    }
+}

@@ -1,0 +1,401 @@
+//! The bulk-synchronous KV-store shard state machine.
+//!
+//! Each shard holds the master copy of the KV pairs assigned to it and
+//! implements the consistency protocol of Section 4.1: "the KV store
+//! maintains a zero-initialized count value for each KV pair at the start of
+//! each iteration. Every time an update is applied on a KV pair, its count
+//! value is increased by 1. The KV pair will be broadcast via its Send API
+//! when its count equals the number of workers."
+//!
+//! Aggregation is deterministic: per-worker gradients are buffered and summed
+//! in worker-id order once complete, so two runs with identical inputs
+//! produce bitwise-identical parameters (the distributed-equals-serial tests
+//! rely on this).
+
+use std::collections::HashMap;
+
+/// Key of one KV pair: `(layer index, chunk index within the layer)`.
+pub type KvKey = (u32, u32);
+
+/// One shard of the globally-shared parameters.
+#[derive(Debug)]
+pub struct ShardState {
+    workers: usize,
+    /// `-lr / P` — the coefficient applied to the summed gradient. Negative
+    /// because workers send raw loss gradients.
+    update_scale: f32,
+    /// Classical momentum coefficient µ (0 = plain SGD). The shard keeps one
+    /// velocity buffer per KV pair in *scaled* form — `v ← µ·v + scale·Σg`,
+    /// `θ += v` — which is exactly serial momentum SGD on the averaged
+    /// gradient, and stays exact when the learning rate is rescheduled
+    /// mid-run.
+    momentum: f32,
+    params: HashMap<KvKey, Vec<f32>>,
+    velocity: HashMap<KvKey, Vec<f32>>,
+    pending: HashMap<KvKey, Vec<Option<Vec<f32>>>>,
+}
+
+impl ShardState {
+    /// Creates a shard expecting updates from `workers` workers per KV pair
+    /// per iteration, applying `update_scale · Σ gradients` each round.
+    pub fn new(workers: usize, update_scale: f32) -> Self {
+        Self::with_momentum(workers, update_scale, 0.0)
+    }
+
+    /// Like [`Self::new`] but with server-side classical momentum.
+    pub fn with_momentum(workers: usize, update_scale: f32, momentum: f32) -> Self {
+        assert!(workers > 0, "shard needs at least one worker");
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0,1)");
+        Self {
+            workers,
+            update_scale,
+            momentum,
+            params: HashMap::new(),
+            velocity: HashMap::new(),
+            pending: HashMap::new(),
+        }
+    }
+
+    /// Installs the initial master copy of a KV pair.
+    pub fn init_pair(&mut self, key: KvKey, values: Vec<f32>) {
+        self.params.insert(key, values);
+    }
+
+    /// Number of KV pairs hosted.
+    pub fn num_pairs(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Read-only view of a KV pair's master copy.
+    pub fn pair(&self, key: KvKey) -> Option<&[f32]> {
+        self.params.get(&key).map(Vec::as_slice)
+    }
+
+    /// Receives one worker's gradient for a KV pair.
+    ///
+    /// Returns `Some(updated parameters)` when this was the last missing
+    /// worker (count reached `P`): the summed gradient has been applied and
+    /// the fresh master copy should be broadcast. Returns `None` otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pair was never initialised, the gradient length doesn't
+    /// match, the worker id is out of range, or the same worker reports twice
+    /// in one round (a BSP protocol violation).
+    pub fn receive_grad(&mut self, worker: usize, key: KvKey, grad: &[f32]) -> Option<Vec<f32>> {
+        assert!(worker < self.workers, "worker {worker} out of range");
+        let master = self
+            .params
+            .get_mut(&key)
+            .unwrap_or_else(|| panic!("KV pair {key:?} not initialised on this shard"));
+        assert_eq!(grad.len(), master.len(), "gradient length mismatch for {key:?}");
+
+        let slots = self
+            .pending
+            .entry(key)
+            .or_insert_with(|| vec![None; self.workers]);
+        assert!(
+            slots[worker].is_none(),
+            "worker {worker} sent two updates for {key:?} in one BSP round"
+        );
+        slots[worker] = Some(grad.to_vec());
+
+        if slots.iter().any(Option::is_none) {
+            return None;
+        }
+        // Count reached P: fold the per-worker gradients in worker-id order
+        // (deterministic) into the scaled velocity, apply, reset the round.
+        let slots = self.pending.remove(&key).expect("just inserted");
+        let velocity = self
+            .velocity
+            .entry(key)
+            .or_insert_with(|| vec![0.0; master.len()]);
+        if self.momentum != 0.0 {
+            for v in velocity.iter_mut() {
+                *v *= self.momentum;
+            }
+        } else {
+            velocity.fill(0.0);
+        }
+        for g in slots.into_iter().map(|s| s.expect("checked complete")) {
+            for (v, gv) in velocity.iter_mut().zip(&g) {
+                *v += self.update_scale * gv;
+            }
+        }
+        for (p, &v) in master.iter_mut().zip(velocity.iter()) {
+            *p += v;
+        }
+        Some(master.clone())
+    }
+
+    /// Changes the update scale (`-lr / P`), e.g. when a learning-rate
+    /// schedule steps between BSP rounds. The scaled velocity is untouched —
+    /// exactly how a serial optimiser decays its learning rate.
+    pub fn set_update_scale(&mut self, scale: f32) {
+        self.update_scale = scale;
+    }
+
+    /// Number of workers that have reported for `key` in the current round.
+    pub fn pending_count(&self, key: KvKey) -> usize {
+        self.pending
+            .get(&key)
+            .map_or(0, |slots| slots.iter().filter(|s| s.is_some()).count())
+    }
+
+    /// Applies one worker's gradient immediately (no update counting) and
+    /// returns the fresh master copy — the bounded-asynchronous path
+    /// (Section 3 notes Poseidon's design "can easily be applied to
+    /// asynchronous or bounded-asynchronous consistency models"; staleness
+    /// enforcement lives with the workers' clock, not the shard).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pair was never initialised or the length mismatches.
+    pub fn receive_grad_async(&mut self, _worker: usize, key: KvKey, grad: &[f32]) -> Vec<f32> {
+        let master = self
+            .params
+            .get_mut(&key)
+            .unwrap_or_else(|| panic!("KV pair {key:?} not initialised on this shard"));
+        assert_eq!(grad.len(), master.len(), "gradient length mismatch for {key:?}");
+        for (p, g) in master.iter_mut().zip(grad) {
+            *p += self.update_scale * g;
+        }
+        master.clone()
+    }
+
+    /// Serialises the master copies of every KV pair — the shard's
+    /// fault-tolerance checkpoint ("it will regularly checkpoint current
+    /// parameter states", Section 4.1). In-flight (pending) gradients are
+    /// deliberately *not* checkpointed: under BSP a restore rolls back to the
+    /// last completed round and workers resend.
+    pub fn checkpoint(&self) -> Vec<u8> {
+        use bytes::BufMut;
+        let mut keys: Vec<KvKey> = self.params.keys().copied().collect();
+        keys.sort_unstable();
+        let mut buf = bytes::BytesMut::new();
+        buf.put_u32_le(keys.len() as u32);
+        for key in keys {
+            let values = &self.params[&key];
+            buf.put_u32_le(key.0);
+            buf.put_u32_le(key.1);
+            buf.put_u32_le(values.len() as u32);
+            for &v in values {
+                buf.put_f32_le(v);
+            }
+        }
+        buf.to_vec()
+    }
+
+    /// Restores the master copies from a [`Self::checkpoint`] buffer,
+    /// replacing all current pairs and clearing any pending round.
+    ///
+    /// Returns the number of pairs restored, or `None` if the buffer is
+    /// corrupt (in which case the shard is left unchanged).
+    pub fn restore(&mut self, checkpoint: &[u8]) -> Option<usize> {
+        use bytes::Buf;
+        let mut buf = checkpoint;
+        if buf.remaining() < 4 {
+            return None;
+        }
+        let count = buf.get_u32_le() as usize;
+        let mut params = HashMap::with_capacity(count);
+        for _ in 0..count {
+            if buf.remaining() < 12 {
+                return None;
+            }
+            let layer = buf.get_u32_le();
+            let chunk = buf.get_u32_le();
+            let len = buf.get_u32_le() as usize;
+            if buf.remaining() < len * 4 {
+                return None;
+            }
+            let mut values = Vec::with_capacity(len);
+            for _ in 0..len {
+                values.push(buf.get_f32_le());
+            }
+            params.insert((layer, chunk), values);
+        }
+        if buf.has_remaining() {
+            return None;
+        }
+        self.params = params;
+        self.pending.clear();
+        self.velocity.clear();
+        Some(count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_fires_only_when_all_workers_reported() {
+        let mut shard = ShardState::new(3, -1.0);
+        shard.init_pair((0, 0), vec![10.0, 20.0]);
+        assert!(shard.receive_grad(0, (0, 0), &[1.0, 1.0]).is_none());
+        assert_eq!(shard.pending_count((0, 0)), 1);
+        assert!(shard.receive_grad(2, (0, 0), &[2.0, 2.0]).is_none());
+        let updated = shard.receive_grad(1, (0, 0), &[3.0, 3.0]).unwrap();
+        assert_eq!(updated, vec![10.0 - 6.0, 20.0 - 6.0]);
+        assert_eq!(shard.pending_count((0, 0)), 0, "round resets after broadcast");
+    }
+
+    #[test]
+    fn update_scale_is_applied() {
+        let mut shard = ShardState::new(2, -0.5);
+        shard.init_pair((1, 0), vec![0.0]);
+        shard.receive_grad(0, (1, 0), &[4.0]);
+        let updated = shard.receive_grad(1, (1, 0), &[6.0]).unwrap();
+        assert_eq!(updated, vec![-5.0]);
+    }
+
+    #[test]
+    fn aggregation_order_is_worker_id_not_arrival() {
+        // With f32 the fold order matters; arrival order must not.
+        let run = |order: &[usize]| {
+            let mut shard = ShardState::new(3, 1.0);
+            shard.init_pair((0, 0), vec![0.0]);
+            let grads = [1.0e-8f32, 1.0f32, -1.0f32];
+            let mut out = None;
+            for &w in order {
+                out = shard.receive_grad(w, (0, 0), &[grads[w]]);
+            }
+            out.unwrap()[0]
+        };
+        assert_eq!(run(&[0, 1, 2]).to_bits(), run(&[2, 1, 0]).to_bits());
+        assert_eq!(run(&[1, 0, 2]).to_bits(), run(&[2, 0, 1]).to_bits());
+    }
+
+    #[test]
+    fn independent_pairs_progress_independently() {
+        let mut shard = ShardState::new(2, -1.0);
+        shard.init_pair((0, 0), vec![1.0]);
+        shard.init_pair((5, 3), vec![2.0]);
+        assert!(shard.receive_grad(0, (0, 0), &[1.0]).is_none());
+        assert!(shard.receive_grad(0, (5, 3), &[1.0]).is_none());
+        assert!(shard.receive_grad(1, (5, 3), &[1.0]).is_some());
+        assert!(shard.receive_grad(1, (0, 0), &[1.0]).is_some());
+        assert_eq!(shard.num_pairs(), 2);
+    }
+
+    #[test]
+    fn multiple_rounds_accumulate() {
+        let mut shard = ShardState::new(1, -1.0);
+        shard.init_pair((0, 0), vec![10.0]);
+        shard.receive_grad(0, (0, 0), &[1.0]);
+        shard.receive_grad(0, (0, 0), &[1.0]);
+        assert_eq!(shard.pair((0, 0)).unwrap(), &[8.0]);
+    }
+
+    #[test]
+    fn momentum_accumulates_velocity_across_rounds() {
+        // v1 = g = 4; theta = -4*0.25... scale -1: theta1 = 10 - 4 = 6.
+        // v2 = 0.5*4 + 4 = 6; theta2 = 6 - 6 = 0.
+        let mut shard = ShardState::with_momentum(1, -1.0, 0.5);
+        shard.init_pair((0, 0), vec![10.0]);
+        let t1 = shard.receive_grad(0, (0, 0), &[4.0]).unwrap();
+        assert_eq!(t1, vec![6.0]);
+        let t2 = shard.receive_grad(0, (0, 0), &[4.0]).unwrap();
+        assert_eq!(t2, vec![0.0]);
+    }
+
+    #[test]
+    fn zero_momentum_matches_plain_shard() {
+        let mut plain = ShardState::new(2, -0.5);
+        let mut with = ShardState::with_momentum(2, -0.5, 0.0);
+        for s in [&mut plain, &mut with] {
+            s.init_pair((0, 0), vec![1.0, 2.0]);
+            s.receive_grad(0, (0, 0), &[1.0, -1.0]);
+            s.receive_grad(1, (0, 0), &[3.0, 1.0]);
+        }
+        assert_eq!(plain.pair((0, 0)), with.pair((0, 0)));
+    }
+
+    #[test]
+    fn restore_resets_velocity() {
+        let mut shard = ShardState::with_momentum(1, -1.0, 0.9);
+        shard.init_pair((0, 0), vec![0.0]);
+        let ckpt = shard.checkpoint();
+        shard.receive_grad(0, (0, 0), &[1.0]);
+        shard.restore(&ckpt).unwrap();
+        // After restore, velocity must start from zero again.
+        let t = shard.receive_grad(0, (0, 0), &[1.0]).unwrap();
+        assert_eq!(t, vec![-1.0], "no stale velocity after rollback");
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_master_state() {
+        let mut shard = ShardState::new(2, -1.0);
+        shard.init_pair((0, 0), vec![1.0, 2.0]);
+        shard.init_pair((3, 1), vec![-4.5]);
+        let ckpt = shard.checkpoint();
+
+        let mut restored = ShardState::new(2, -1.0);
+        assert_eq!(restored.restore(&ckpt), Some(2));
+        assert_eq!(restored.pair((0, 0)).unwrap(), &[1.0, 2.0]);
+        assert_eq!(restored.pair((3, 1)).unwrap(), &[-4.5]);
+    }
+
+    #[test]
+    fn restore_discards_pending_round() {
+        let mut shard = ShardState::new(2, -1.0);
+        shard.init_pair((0, 0), vec![0.0]);
+        let ckpt = shard.checkpoint();
+        shard.receive_grad(0, (0, 0), &[5.0]);
+        assert_eq!(shard.pending_count((0, 0)), 1);
+        shard.restore(&ckpt).unwrap();
+        assert_eq!(shard.pending_count((0, 0)), 0, "in-flight gradients roll back");
+        // The same worker may now resend without a protocol violation.
+        shard.receive_grad(0, (0, 0), &[5.0]);
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_rejected_without_damage() {
+        let mut shard = ShardState::new(1, -1.0);
+        shard.init_pair((0, 0), vec![7.0]);
+        let mut ckpt = shard.checkpoint();
+        ckpt.truncate(ckpt.len() - 1);
+        assert_eq!(shard.restore(&ckpt), None);
+        assert_eq!(shard.pair((0, 0)).unwrap(), &[7.0], "failed restore must not corrupt");
+        // Trailing garbage is also rejected.
+        let mut long = shard.checkpoint();
+        long.push(0);
+        assert_eq!(shard.restore(&long), None);
+    }
+
+    #[test]
+    fn checkpoint_is_deterministic() {
+        let mut a = ShardState::new(1, -1.0);
+        a.init_pair((2, 0), vec![1.0]);
+        a.init_pair((1, 0), vec![2.0]);
+        let mut b = ShardState::new(1, -1.0);
+        b.init_pair((1, 0), vec![2.0]);
+        b.init_pair((2, 0), vec![1.0]);
+        assert_eq!(a.checkpoint(), b.checkpoint(), "key order must not leak");
+    }
+
+    #[test]
+    #[should_panic(expected = "two updates")]
+    fn double_report_is_a_protocol_violation() {
+        let mut shard = ShardState::new(2, -1.0);
+        shard.init_pair((0, 0), vec![0.0]);
+        shard.receive_grad(0, (0, 0), &[1.0]);
+        shard.receive_grad(0, (0, 0), &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not initialised")]
+    fn unknown_pair_panics() {
+        let mut shard = ShardState::new(1, -1.0);
+        shard.receive_grad(0, (9, 9), &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_length_panics() {
+        let mut shard = ShardState::new(1, -1.0);
+        shard.init_pair((0, 0), vec![0.0, 0.0]);
+        shard.receive_grad(0, (0, 0), &[1.0]);
+    }
+}

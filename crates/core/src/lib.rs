@@ -1,0 +1,48 @@
+//! Poseidon: an efficient communication architecture for distributed deep
+//! learning on GPU clusters (Zhang et al., USENIX ATC 2017) — a from-scratch
+//! Rust reproduction.
+//!
+//! Poseidon's two ideas, both implemented here:
+//!
+//! 1. **Wait-free backpropagation (WFBP)** — every layer of a neural network
+//!    owns an independent set of parameters, so layer *l*'s synchronisation
+//!    can start the moment its backward pass `bˡ` finishes, overlapping with
+//!    the backward computation of the layers below it. See [`runtime`] for
+//!    the threaded implementation and [`sim`] for the timing model.
+//!
+//! 2. **Hybrid communication (HybComm)** — for each layer, choose between a
+//!    sharded parameter server (good for small/indecomposable gradients) and
+//!    sufficient-factor broadcasting (good for large FC gradients at small
+//!    batch sizes) using the analytic byte-cost model of the paper's Table 1.
+//!    See [`costmodel`] and [`coordinator`].
+//!
+//! The crate offers two execution backends:
+//!
+//! * [`runtime`] — a real multi-threaded data-parallel trainer: worker and
+//!   KV-shard threads exchanging serialised byte messages over an in-process
+//!   [`transport`], training real [`poseidon_nn`] networks. Used for the
+//!   correctness and statistical experiments.
+//! * [`sim`] — a discrete-event timing simulation of a GPU cluster running
+//!   the same protocol over [`poseidon_netsim`], calibrated against the
+//!   paper's single-node throughputs. Used for the throughput experiments
+//!   (Figures 5–10).
+//!
+//! Supporting modules: [`chunk`] (fixed-size KV-pair partitioning of
+//! parameters), [`kvstore`] (bulk-synchronous shard state machine),
+//! [`syncer`] (per-layer Send/Receive/Move), [`config`] (cluster and scheme
+//! configuration), and [`stats`] (report formatting).
+
+pub mod api;
+pub mod chunk;
+pub mod config;
+pub mod coordinator;
+pub mod costmodel;
+pub mod kvstore;
+pub mod runtime;
+pub mod sim;
+pub mod stats;
+pub mod syncer;
+pub mod transport;
+
+pub use config::{ClusterConfig, CommScheme, Partition, Scheduler, SchemePolicy};
+pub use coordinator::Coordinator;

@@ -1,0 +1,113 @@
+//! Payload codecs for the runtime's wire messages.
+//!
+//! Dense payloads are raw little-endian f32 arrays (the header fields travel
+//! in the [`crate::transport::Message`] envelope); the 1-bit payload bundles
+//! the quantized weight gradient with the uncompressed bias gradient.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use poseidon_tensor::quantize::QuantizedGrad;
+
+/// Chunk id marking a layer-granular message (Adam / 1-bit paths), which
+/// bypasses KV-pair chunking.
+pub const LAYER_GRANULAR_CHUNK: u32 = u32::MAX;
+
+/// Encodes a flat f32 slice.
+pub fn encode_f32s(vals: &[f32]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(vals.len() * 4);
+    for &v in vals {
+        buf.put_f32_le(v);
+    }
+    buf.freeze()
+}
+
+/// Decodes a buffer produced by [`encode_f32s`].
+///
+/// Returns `None` if the length is not a multiple of 4.
+pub fn decode_f32s(mut buf: &[u8]) -> Option<Vec<f32>> {
+    if buf.len() % 4 != 0 {
+        return None;
+    }
+    let mut out = Vec::with_capacity(buf.len() / 4);
+    while buf.has_remaining() {
+        out.push(buf.get_f32_le());
+    }
+    Some(out)
+}
+
+/// Encodes a 1-bit payload: `u32 qlen ++ quantized weights ++ bias f32s`.
+pub fn encode_onebit(quant: &QuantizedGrad, bias_grad: &[f32]) -> Bytes {
+    let q = quant.to_bytes();
+    let mut buf = BytesMut::with_capacity(4 + q.len() + bias_grad.len() * 4);
+    buf.put_u32_le(q.len() as u32);
+    buf.put_slice(&q);
+    for &v in bias_grad {
+        buf.put_f32_le(v);
+    }
+    buf.freeze()
+}
+
+/// Decodes a buffer produced by [`encode_onebit`].
+pub fn decode_onebit(mut buf: &[u8]) -> Option<(QuantizedGrad, Vec<f32>)> {
+    if buf.remaining() < 4 {
+        return None;
+    }
+    let qlen = buf.get_u32_le() as usize;
+    if buf.remaining() < qlen {
+        return None;
+    }
+    let quant = QuantizedGrad::from_bytes(&buf[..qlen])?;
+    buf.advance(qlen);
+    let bias = decode_f32s(buf)?;
+    Some((quant, bias))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poseidon_tensor::quantize::OneBitQuantizer;
+    use poseidon_tensor::Matrix;
+
+    #[test]
+    fn f32_roundtrip() {
+        let vals = vec![1.5f32, -2.25, 0.0, f32::MAX];
+        let bytes = encode_f32s(&vals);
+        assert_eq!(bytes.len(), 16);
+        assert_eq!(decode_f32s(&bytes).unwrap(), vals);
+    }
+
+    #[test]
+    fn f32_rejects_misaligned() {
+        assert!(decode_f32s(&[0u8; 5]).is_none());
+        assert_eq!(decode_f32s(&[]).unwrap(), Vec::<f32>::new());
+    }
+
+    #[test]
+    fn onebit_roundtrip() {
+        let g = Matrix::from_vec(2, 3, vec![1.0, -2.0, 3.0, -4.0, 5.0, -6.0]);
+        let mut quantizer = OneBitQuantizer::new(2, 3);
+        let quant = quantizer.quantize(&g);
+        let bias = vec![0.5f32, -0.5];
+        let bytes = encode_onebit(&quant, &bias);
+        let (q2, b2) = decode_onebit(&bytes).unwrap();
+        assert_eq!(q2, quant);
+        assert_eq!(b2, bias);
+    }
+
+    #[test]
+    fn onebit_rejects_truncation() {
+        let g = Matrix::filled(4, 4, 1.0);
+        let quant = OneBitQuantizer::new(4, 4).quantize(&g);
+        let bytes = encode_onebit(&quant, &[1.0]);
+        assert!(decode_onebit(&bytes[..3]).is_none());
+        assert!(decode_onebit(&bytes[..bytes.len() - 2]).is_none());
+    }
+
+    #[test]
+    fn onebit_payload_is_compressed() {
+        let g = Matrix::filled(128, 128, 1.0);
+        let quant = OneBitQuantizer::new(128, 128).quantize(&g);
+        let bytes = encode_onebit(&quant, &[0.0; 128]);
+        let dense = 128 * 128 * 4;
+        assert!(bytes.len() < dense / 10, "{} vs {dense}", bytes.len());
+    }
+}

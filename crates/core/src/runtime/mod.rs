@@ -1,0 +1,581 @@
+//! The threaded distributed-training runtime.
+//!
+//! This backend executes Poseidon's protocol for real: `P` worker threads
+//! train real [`poseidon_nn::Network`] replicas on disjoint data shards, and
+//! `P` KV-store shard threads (colocated: shard *i* shares physical node *i*
+//! with worker *i*) hold the master parameters. All synchronisation flows as
+//! serialised byte messages over the byte-counted in-process
+//! [`crate::transport`], so the traffic the integration tests measure is the
+//! traffic the analytic cost model predicts.
+//!
+//! The runtime implements synchronous (BSP) data-parallel SGD exactly as in
+//! the paper: per-KV-pair update counts on the server side, a per-layer
+//! completion vector on the worker side, and gradient averaging such that the
+//! distributed trajectory equals single-node large-batch SGD.
+
+mod clock;
+mod codec;
+mod server;
+mod worker;
+
+pub use clock::SspClock;
+pub use codec::LAYER_GRANULAR_CHUNK;
+pub use worker::evaluate_error;
+
+use crate::config::{ClusterConfig, CommScheme, Consistency, Partition, SchemePolicy};
+use crate::coordinator::Coordinator;
+use crate::runtime::server::{LayerGranular, ServerPlan};
+use crate::runtime::worker::{WorkerConfig, WorkerOutput};
+use crate::syncer;
+use crate::transport::{self, TrafficCounters};
+use poseidon_nn::data::Dataset;
+use poseidon_nn::Model;
+use std::sync::Arc;
+
+/// A learning-rate schedule evaluated per BSP iteration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LrSchedule {
+    /// Constant learning rate (the default).
+    Constant,
+    /// Multiply the learning rate by `factor` every `every` iterations
+    /// (Caffe's `step` policy, used by the paper's solvers).
+    Step {
+        /// Iterations between decays.
+        every: usize,
+        /// Multiplicative factor (e.g. 0.1).
+        factor: f32,
+    },
+}
+
+impl LrSchedule {
+    /// The learning-rate multiplier at `iter`.
+    pub fn multiplier(&self, iter: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant => 1.0,
+            LrSchedule::Step { every, factor } => factor.powi((iter / every.max(1)) as i32),
+        }
+    }
+}
+
+/// Configuration of a distributed training run.
+#[derive(Clone, Debug)]
+pub struct RuntimeConfig {
+    /// Number of workers (`P1`); shards are colocated, so also `P2`.
+    pub workers: usize,
+    /// Per-worker minibatch size (`K`).
+    pub batch_per_worker: usize,
+    /// Learning rate applied to the *averaged* gradient, so the distributed
+    /// update equals a single-node step on the `K·P` global batch.
+    pub learning_rate: f32,
+    /// Classical momentum µ applied to the aggregated gradient (0 = plain
+    /// SGD, the default). PS/Adam layers keep velocity on their server shard,
+    /// SFB layers keep identical velocity on every replica, 1-bit layers on
+    /// the aggregate before its quantization. Unsupported under SSP.
+    pub momentum: f32,
+    /// Learning-rate schedule applied on top of `learning_rate`.
+    pub lr_schedule: LrSchedule,
+    /// Layer-to-scheme policy.
+    pub policy: SchemePolicy,
+    /// Parameter partitioning across shards.
+    pub partition: Partition,
+    /// Training iterations.
+    pub iterations: usize,
+    /// Evaluate the eval set every this many iterations (0 = never).
+    pub eval_every: usize,
+    /// Consistency model. [`Consistency::Ssp`] requires
+    /// [`SchemePolicy::AlwaysPs`]: SFB, Adam and 1-bit are synchronous
+    /// protocols (they barrier on all workers' contributions).
+    pub consistency: Consistency,
+    /// Inject a straggler for experiments: `(worker, extra ms per iteration)`.
+    pub straggler_delay_ms: Option<(usize, u64)>,
+    /// Inject per-iteration compute jitter for experiments: every worker
+    /// sleeps a uniformly random `0..jitter` microseconds each iteration
+    /// (deterministic per worker id). This is the workload SSP absorbs.
+    pub jitter_us: Option<u64>,
+}
+
+impl RuntimeConfig {
+    /// A reasonable default: hybrid policy, 2 MB KV pairs, no evaluation.
+    pub fn new(workers: usize, batch_per_worker: usize, learning_rate: f32, iterations: usize) -> Self {
+        Self {
+            workers,
+            batch_per_worker,
+            learning_rate,
+            momentum: 0.0,
+            lr_schedule: LrSchedule::Constant,
+            policy: SchemePolicy::Hybrid,
+            partition: Partition::default_kv_pairs(),
+            iterations,
+            eval_every: 0,
+            consistency: Consistency::Bsp,
+            straggler_delay_ms: None,
+            jitter_us: None,
+        }
+    }
+}
+
+/// The result of a distributed training run.
+pub struct TrainResult<M: Model> {
+    /// Mean training loss per iteration, averaged over workers.
+    pub losses: Vec<f32>,
+    /// `(iteration, top-1 error)` samples from worker 0 on the eval set.
+    pub test_errors: Vec<(usize, f32)>,
+    /// Worker 0's final replica (all replicas are identical under BSP).
+    pub net: M,
+    /// Per-node traffic counters for the whole run.
+    pub traffic: Arc<TrafficCounters>,
+    /// The scheme the coordinator chose per trainable layer.
+    pub schemes: Vec<(usize, CommScheme)>,
+    /// Largest clock spread observed between the fastest and slowest worker
+    /// (0 under BSP; bounded by `staleness + 1` under SSP).
+    pub max_staleness_spread: u64,
+    /// Per-worker wall time of the training loop, seconds. Under BSP every
+    /// worker paces the slowest; under SSP fast workers finish early.
+    pub worker_wall_s: Vec<f64>,
+}
+
+/// Trains `net_factory()`-built replicas on `data` across threads.
+///
+/// `net_factory` must be deterministic — every worker builds its replica from
+/// it and the replicas must start identical (same seed). The training set is
+/// partitioned into `workers` contiguous shards; `eval` (if any) is scored by
+/// worker 0 every [`RuntimeConfig::eval_every`] iterations.
+///
+/// # Panics
+///
+/// Panics if the configuration is degenerate (zero workers/iterations) or the
+/// dataset is smaller than the worker count.
+pub fn train<M: Model>(
+    net_factory: &(dyn Fn() -> M + Sync),
+    data: &Dataset,
+    eval: Option<&Dataset>,
+    cfg: &RuntimeConfig,
+) -> TrainResult<M> {
+    assert!(cfg.workers > 0, "need at least one worker");
+    assert!(cfg.iterations > 0, "need at least one iteration");
+    let p = cfg.workers;
+
+    let ssp = match cfg.consistency {
+        Consistency::Bsp => None,
+        Consistency::Ssp { staleness } => {
+            assert_eq!(
+                cfg.policy,
+                SchemePolicy::AlwaysPs,
+                "SSP supports the PS path only; SFB/Adam/1-bit are synchronous protocols"
+            );
+            assert_eq!(cfg.momentum, 0.0, "momentum is not supported under SSP");
+            Some(staleness as u64)
+        }
+    };
+    let clock = Arc::new(clock::SspClock::new(p));
+
+    let reference = net_factory();
+    let cluster = ClusterConfig::colocated(p, cfg.batch_per_worker);
+    let coordinator = Coordinator::from_model(&reference, cluster, cfg.policy, cfg.partition);
+    let schemes = coordinator.scheme_assignment();
+    let update_scale = -cfg.learning_rate / p as f32;
+
+    // Endpoints 0..P are workers on nodes 0..P; endpoints P..2P are shards
+    // colocated on the same nodes.
+    let node_ids: Vec<usize> = (0..p).chain(0..p).collect();
+    let (mut endpoints, traffic) = transport::fabric_with_nodes(&node_ids);
+    let shard_endpoints: Vec<_> = endpoints.split_off(p);
+    let worker_endpoints = endpoints;
+
+    // Build one plan per shard.
+    let mut plans: Vec<ServerPlan> = (0..p)
+        .map(|_| ServerPlan {
+            ps_chunks: Vec::new(),
+            layer_granular: Vec::new(),
+            init_values: Vec::new(),
+            workers: p,
+            update_scale,
+            momentum: cfg.momentum,
+            lr_schedule: cfg.lr_schedule,
+            iterations: cfg.iterations,
+            ssp: ssp.is_some(),
+        })
+        .collect();
+    for &(l, scheme) in &schemes {
+        let info = &coordinator.layers()[l];
+        match scheme {
+            CommScheme::Ps => {
+                for (idx, chunk) in coordinator.chunk_table().layer_chunks(l).iter().enumerate() {
+                    plans[chunk.shard].ps_chunks.push((idx as u32, *chunk));
+                }
+            }
+            CommScheme::AdamSf | CommScheme::OneBitPs => {
+                let owner = l % p;
+                plans[owner].layer_granular.push(LayerGranular {
+                    layer: l,
+                    fc_shape: info.fc_shape.expect("layer-granular schemes need FC shape"),
+                    param_elems: info.param_elems,
+                    adam: scheme == CommScheme::AdamSf,
+                });
+            }
+            CommScheme::Sfb => {} // peer-to-peer; no server state
+        }
+    }
+    // Initial master values in the servers' canonical order: all PS chunks,
+    // then all layer-granular layers.
+    for plan in &mut plans {
+        let mut ordered = Vec::with_capacity(plan.ps_chunks.len() + plan.layer_granular.len());
+        for &(_, chunk) in &plan.ps_chunks {
+            let flat = syncer::flatten_params(
+                reference.slot(chunk.layer).and_then(|l| l.params()).expect("trainable layer"),
+            );
+            ordered.push(flat[chunk.offset..chunk.offset + chunk.len].to_vec());
+        }
+        for lg in &plan.layer_granular {
+            ordered.push(syncer::flatten_params(
+                reference.slot(lg.layer).and_then(|l| l.params()).expect("trainable layer"),
+            ));
+        }
+        plan.init_values = ordered;
+    }
+
+    let shards = data.partition(p);
+    let mut worker_outputs: Vec<Option<WorkerOutput<M>>> = (0..p).map(|_| None).collect();
+
+    crossbeam::thread::scope(|scope| {
+        let mut server_handles = Vec::new();
+        for (plan, endpoint) in plans.into_iter().zip(shard_endpoints) {
+            server_handles.push(scope.spawn(move |_| server::run_server(plan, endpoint)));
+        }
+        let mut worker_handles = Vec::new();
+        for (w, (shard, endpoint)) in shards.into_iter().zip(worker_endpoints).enumerate() {
+            let coordinator = &coordinator;
+            let eval_set = if w == 0 { eval.cloned() } else { None };
+            let wc = WorkerConfig {
+                me: w,
+                iterations: cfg.iterations,
+                batch: cfg.batch_per_worker,
+                update_scale,
+                momentum: cfg.momentum,
+                lr_schedule: cfg.lr_schedule,
+                eval_every: cfg.eval_every,
+                ssp_staleness: ssp,
+                straggler_delay: match cfg.straggler_delay_ms {
+                    Some((node, ms)) if node == w => {
+                        Some(std::time::Duration::from_millis(ms))
+                    }
+                    _ => None,
+                },
+                jitter_us: cfg.jitter_us,
+            };
+            let clock = Arc::clone(&clock);
+            worker_handles.push(scope.spawn(move |_| {
+                worker::run_worker(wc, coordinator, net_factory(), shard, eval_set, endpoint, clock)
+            }));
+        }
+        for (w, h) in worker_handles.into_iter().enumerate() {
+            worker_outputs[w] = Some(h.join().expect("worker thread panicked"));
+        }
+        for h in server_handles {
+            h.join().expect("server thread panicked");
+        }
+    })
+    .expect("scope panicked");
+
+    let outputs: Vec<WorkerOutput<M>> = worker_outputs.into_iter().map(|o| o.expect("joined")).collect();
+    let worker_wall_s: Vec<f64> = outputs.iter().map(|o| o.wall.as_secs_f64()).collect();
+    let iters = cfg.iterations;
+    let losses: Vec<f32> = (0..iters)
+        .map(|i| outputs.iter().map(|o| o.losses[i]).sum::<f32>() / p as f32)
+        .collect();
+    let mut outputs = outputs;
+    let first = outputs.remove(0);
+
+    TrainResult {
+        losses,
+        test_errors: first.test_errors,
+        net: first.net,
+        traffic,
+        schemes,
+        max_staleness_spread: clock.max_spread_observed(),
+        worker_wall_s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poseidon_nn::layer::TensorShape;
+    use poseidon_nn::presets;
+    use poseidon_nn::Network;
+
+    fn dataset() -> Dataset {
+        Dataset::gaussian_clusters(TensorShape::flat(8), 3, 64, 0.3, 7)
+    }
+
+    fn factory() -> Network {
+        presets::mlp(&[8, 12, 3], 99)
+    }
+
+    /// Single-node large-batch SGD reference trajectory.
+    fn serial_train(iters: usize, batch: usize, lr: f32) -> Network {
+        let data = dataset();
+        let mut net = factory();
+        let head = poseidon_nn::loss::SoftmaxCrossEntropy;
+        for it in 0..iters {
+            let (x, y) = data.minibatch(it * batch, batch);
+            let logits = net.forward(&x);
+            let out = head.evaluate(&logits, &y);
+            net.backward(&out.grad);
+            net.apply_own_grads(-lr);
+        }
+        net
+    }
+
+    fn distributed(policy: SchemePolicy, workers: usize) -> TrainResult<Network> {
+        let cfg = RuntimeConfig {
+            workers,
+            batch_per_worker: 8,
+            learning_rate: 0.2,
+            momentum: 0.0,
+            lr_schedule: LrSchedule::Constant,
+            policy,
+            partition: Partition::KvPairs { pair_elems: 50 },
+            iterations: 5,
+            eval_every: 0,
+            consistency: Consistency::Bsp,
+            straggler_delay_ms: None,
+            jitter_us: None,
+        };
+        train(&factory, &dataset(), None, &cfg)
+    }
+
+    /// The headline correctness property: P workers over disjoint shards with
+    /// gradient averaging produce (nearly) the same parameters as one worker
+    /// on the concatenated batch — for the PS path.
+    ///
+    /// Exact equality does not hold because the data shards differ from the
+    /// serial minibatch windows; instead we check the *protocol* by running
+    /// distributed with 1 worker, which must match serial exactly.
+    #[test]
+    fn single_worker_distributed_equals_serial() {
+        let result = distributed(SchemePolicy::AlwaysPs, 1);
+        let serial = serial_train(5, 8, 0.2);
+        assert!(
+            result.net.max_param_diff(&serial) < 1e-6,
+            "diff {}",
+            result.net.max_param_diff(&serial)
+        );
+        // One colocated node: zero network traffic.
+        assert_eq!(result.traffic.total_bytes(), 0);
+    }
+
+    #[test]
+    fn ps_and_sfb_agree() {
+        let ps = distributed(SchemePolicy::AlwaysPs, 4);
+        let sfb = distributed(SchemePolicy::AlwaysSfbForFc, 4);
+        let diff = ps.net.max_param_diff(&sfb.net);
+        assert!(diff < 1e-4, "PS and SFB trajectories diverged by {diff}");
+        // And SFB on this small model moves fewer bytes than... not
+        // necessarily; just check both actually trained.
+        assert!(ps.losses[4] < ps.losses[0]);
+        assert!(sfb.traffic.total_bytes() > 0);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = distributed(SchemePolicy::Hybrid, 3);
+        let b = distributed(SchemePolicy::Hybrid, 3);
+        assert_eq!(a.net.max_param_diff(&b.net), 0.0, "BSP runs must be bitwise identical");
+        assert_eq!(a.losses, b.losses);
+    }
+
+    #[test]
+    fn adam_strategy_trains() {
+        let r = distributed(SchemePolicy::AdamSf, 2);
+        assert!(r.losses[4] < r.losses[0], "losses {:?}", r.losses);
+        // Adam matches the exact schemes' trajectory (it is exact too).
+        let ps = distributed(SchemePolicy::AlwaysPs, 2);
+        assert!(r.net.max_param_diff(&ps.net) < 1e-4);
+    }
+
+    #[test]
+    fn one_bit_trains_but_differs() {
+        let r = distributed(SchemePolicy::OneBit, 2);
+        assert!(r.losses[4] < r.losses[0] * 1.5, "1-bit should still learn");
+        let ps = distributed(SchemePolicy::AlwaysPs, 2);
+        assert!(
+            r.net.max_param_diff(&ps.net) > 1e-6,
+            "1-bit is lossy and must not match the exact trajectory"
+        );
+    }
+
+    #[test]
+    fn distributed_momentum_equals_serial_momentum_sgd() {
+        // Serial reference: Sgd optimiser with momentum on the same global
+        // batch stream (1 worker so the shard streams are identical).
+        use poseidon_nn::sgd::{Sgd, SgdConfig};
+        let data = dataset();
+        let mut serial = factory();
+        let mut opt = Sgd::new(
+            &serial,
+            SgdConfig {
+                learning_rate: 0.1,
+                momentum: 0.9,
+                weight_decay: 0.0,
+            },
+        );
+        let head = poseidon_nn::loss::SoftmaxCrossEntropy;
+        for it in 0..6 {
+            let (x, y) = data.minibatch(it * 8, 8);
+            let logits = serial.forward(&x);
+            let out = head.evaluate(&logits, &y);
+            serial.backward(&out.grad);
+            opt.step(&mut serial);
+        }
+
+        let cfg = RuntimeConfig {
+            momentum: 0.9,
+            policy: SchemePolicy::AlwaysPs,
+            ..RuntimeConfig::new(1, 8, 0.1, 6)
+        };
+        let dist = train(&factory, &dataset(), None, &cfg);
+        let diff = dist.net.max_param_diff(&serial);
+        assert!(diff < 1e-5, "server-side momentum diverged from Sgd: {diff}");
+    }
+
+    #[test]
+    fn momentum_agrees_across_schemes() {
+        let mk = |policy| {
+            let cfg = RuntimeConfig {
+                momentum: 0.9,
+                policy,
+                partition: Partition::KvPairs { pair_elems: 50 },
+                ..RuntimeConfig::new(4, 8, 0.1, 6)
+            };
+            train(&factory, &dataset(), None, &cfg)
+        };
+        let ps = mk(SchemePolicy::AlwaysPs);
+        let sfb = mk(SchemePolicy::AlwaysSfbForFc);
+        let adam = mk(SchemePolicy::AdamSf);
+        assert!(ps.net.max_param_diff(&sfb.net) < 1e-4, "PS vs SFB with momentum");
+        assert!(ps.net.max_param_diff(&adam.net) < 1e-4, "PS vs Adam with momentum");
+        // Momentum changes the trajectory relative to plain SGD.
+        let plain = distributed(SchemePolicy::AlwaysPs, 4);
+        assert!(ps.net.max_param_diff(&plain.net) > 1e-6);
+    }
+
+    #[test]
+    fn lr_schedule_matches_serial_decayed_sgd() {
+        use poseidon_nn::sgd::{Sgd, SgdConfig};
+        let data = dataset();
+        let mut serial = factory();
+        let mut opt = Sgd::new(
+            &serial,
+            SgdConfig {
+                learning_rate: 0.2,
+                momentum: 0.9,
+                weight_decay: 0.0,
+            },
+        );
+        let head = poseidon_nn::loss::SoftmaxCrossEntropy;
+        for it in 0..8 {
+            // Step decay: x0.5 every 3 iterations.
+            opt.set_learning_rate(0.2 * 0.5f32.powi((it / 3) as i32));
+            let (x, y) = data.minibatch(it * 8, 8);
+            let logits = serial.forward(&x);
+            let out = head.evaluate(&logits, &y);
+            serial.backward(&out.grad);
+            opt.step(&mut serial);
+        }
+
+        let cfg = RuntimeConfig {
+            momentum: 0.9,
+            lr_schedule: LrSchedule::Step { every: 3, factor: 0.5 },
+            policy: SchemePolicy::AlwaysPs,
+            ..RuntimeConfig::new(1, 8, 0.2, 8)
+        };
+        let dist = train(&factory, &dataset(), None, &cfg);
+        let diff = dist.net.max_param_diff(&serial);
+        assert!(diff < 1e-5, "scheduled distributed SGD diverged from serial: {diff}");
+    }
+
+    #[test]
+    fn lr_schedule_multiplier_steps() {
+        let s = LrSchedule::Step { every: 100, factor: 0.1 };
+        assert_eq!(s.multiplier(0), 1.0);
+        assert_eq!(s.multiplier(99), 1.0);
+        assert!((s.multiplier(100) - 0.1).abs() < 1e-9);
+        assert!((s.multiplier(250) - 0.01).abs() < 1e-9);
+        assert_eq!(LrSchedule::Constant.multiplier(1_000_000), 1.0);
+    }
+
+    #[test]
+    fn scheduled_runs_agree_across_schemes() {
+        let mk = |policy| {
+            let cfg = RuntimeConfig {
+                momentum: 0.5,
+                lr_schedule: LrSchedule::Step { every: 2, factor: 0.7 },
+                policy,
+                partition: Partition::KvPairs { pair_elems: 50 },
+                ..RuntimeConfig::new(3, 8, 0.15, 6)
+            };
+            train(&factory, &dataset(), None, &cfg)
+        };
+        let ps = mk(SchemePolicy::AlwaysPs);
+        let sfb = mk(SchemePolicy::AlwaysSfbForFc);
+        assert!(ps.net.max_param_diff(&sfb.net) < 1e-4);
+    }
+
+    #[test]
+    fn ssp_trains_and_respects_staleness_bound() {
+        let cfg = RuntimeConfig {
+            policy: SchemePolicy::AlwaysPs,
+            consistency: Consistency::Ssp { staleness: 2 },
+            ..RuntimeConfig::new(4, 8, 0.1, 20)
+        };
+        let r = train(&factory, &dataset(), None, &cfg);
+        assert!(r.losses.last().unwrap() < &r.losses[0], "SSP must still learn");
+        assert!(
+            r.max_staleness_spread <= 3,
+            "spread {} exceeded staleness+1",
+            r.max_staleness_spread
+        );
+    }
+
+    #[test]
+    fn ssp_differs_from_bsp_trajectory() {
+        let bsp = distributed(SchemePolicy::AlwaysPs, 4);
+        let cfg = RuntimeConfig {
+            policy: SchemePolicy::AlwaysPs,
+            consistency: Consistency::Ssp { staleness: 1 },
+            partition: Partition::KvPairs { pair_elems: 50 },
+            ..RuntimeConfig::new(4, 8, 0.2, 5)
+        };
+        let ssp = train(&factory, &dataset(), None, &cfg);
+        // Eager unordered applies change the trajectory (except in freak
+        // schedules; a tie here would be suspicious but not impossible, so we
+        // assert learning rather than strict difference, plus the spread
+        // telemetry is present).
+        assert!(ssp.losses.last().unwrap() < &ssp.losses[0]);
+        assert_eq!(bsp.max_staleness_spread, 0, "BSP reports no spread");
+    }
+
+    #[test]
+    #[should_panic(expected = "SSP supports the PS path only")]
+    fn ssp_rejects_non_ps_policies() {
+        let cfg = RuntimeConfig {
+            consistency: Consistency::Ssp { staleness: 1 },
+            ..RuntimeConfig::new(2, 8, 0.1, 2)
+        };
+        let _ = train(&factory, &dataset(), None, &cfg);
+    }
+
+    #[test]
+    fn eval_hook_reports_errors() {
+        let cfg = RuntimeConfig {
+            eval_every: 2,
+            ..RuntimeConfig::new(2, 8, 0.2, 6)
+        };
+        let eval = dataset();
+        let r = train(&factory, &dataset(), Some(&eval), &cfg);
+        assert_eq!(r.test_errors.len(), 3);
+        assert_eq!(r.test_errors[0].0, 2);
+        assert!(r.test_errors.iter().all(|&(_, e)| (0.0..=1.0).contains(&e)));
+    }
+}

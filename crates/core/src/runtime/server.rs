@@ -1,0 +1,247 @@
+//! The KV-store shard thread.
+//!
+//! Each shard owns a [`ShardState`] holding the master copy of its KV pairs
+//! (plus any layer-granular masters for the Adam/1-bit paths), consumes
+//! gradient messages from workers, and broadcasts fresh parameters when a
+//! pair's update count reaches the number of workers (BSP).
+
+use crate::chunk::Chunk;
+use crate::kvstore::ShardState;
+use crate::runtime::codec::{self, LAYER_GRANULAR_CHUNK};
+use crate::transport::{Endpoint, Message};
+use poseidon_tensor::quantize::OneBitQuantizer;
+use poseidon_tensor::Matrix;
+use std::collections::HashMap;
+
+/// A layer synchronised at layer granularity by this shard (Adam or 1-bit).
+#[derive(Clone, Debug)]
+pub(crate) struct LayerGranular {
+    pub layer: usize,
+    /// `(M, N)` weight shape — needed to reconstruct factors into gradients.
+    pub fc_shape: (usize, usize),
+    /// Flattened parameter length (`M·N + M`).
+    pub param_elems: usize,
+    /// `true` for Adam (SF push), `false` for 1-bit (quantized push).
+    pub adam: bool,
+}
+
+/// Everything one shard thread needs.
+pub(crate) struct ServerPlan {
+    /// Owned KV pairs: `(within-layer chunk index, chunk)`.
+    pub ps_chunks: Vec<(u32, Chunk)>,
+    /// Owned layer-granular layers.
+    pub layer_granular: Vec<LayerGranular>,
+    /// Initial values for every owned pair, same order as `ps_chunks` then
+    /// `layer_granular`.
+    pub init_values: Vec<Vec<f32>>,
+    /// Worker count (`P1`).
+    pub workers: usize,
+    /// `-learning_rate / P1`.
+    pub update_scale: f32,
+    /// Classical momentum on the aggregated gradient.
+    pub momentum: f32,
+    /// Learning-rate schedule (scales `update_scale` per iteration).
+    pub lr_schedule: crate::runtime::LrSchedule,
+    /// Training iterations to serve.
+    pub iterations: usize,
+    /// Stale-synchronous mode: apply each worker's gradient eagerly and reply
+    /// to that worker only (no per-pair barrier).
+    pub ssp: bool,
+}
+
+/// Server-side state for one 1-bit layer: the master copy, the aggregate
+/// quantizer with its error residual, and the per-round pending gradients.
+struct OneBitState {
+    fc_shape: (usize, usize),
+    master_weights: Matrix,
+    master_bias: Vec<f32>,
+    quantizer: OneBitQuantizer,
+    velocity_w: Matrix,
+    velocity_b: Vec<f32>,
+    pending: Vec<Option<(Matrix, Vec<f32>)>>,
+}
+
+/// Runs one shard to completion.
+pub(crate) fn run_server(plan: ServerPlan, endpoint: Endpoint) {
+    let mut state = ShardState::with_momentum(plan.workers, plan.update_scale, plan.momentum);
+    let mut onebit: HashMap<u32, OneBitState> = HashMap::new();
+    let mut init = plan.init_values.into_iter();
+    for &(idx, chunk) in &plan.ps_chunks {
+        state.init_pair(
+            (chunk.layer as u32, idx),
+            init.next().expect("init value per ps chunk"),
+        );
+    }
+    for lg in &plan.layer_granular {
+        let flat = init.next().expect("init value per layer-granular layer");
+        if lg.adam {
+            state.init_pair((lg.layer as u32, LAYER_GRANULAR_CHUNK), flat);
+        } else {
+            let (m, n) = lg.fc_shape;
+            onebit.insert(
+                lg.layer as u32,
+                OneBitState {
+                    fc_shape: (m, n),
+                    master_weights: Matrix::from_vec(m, n, flat[..m * n].to_vec()),
+                    master_bias: flat[m * n..].to_vec(),
+                    quantizer: OneBitQuantizer::new(m, n),
+                    velocity_w: Matrix::zeros(m, n),
+                    velocity_b: vec![0.0; m],
+                    pending: (0..plan.workers).map(|_| None).collect(),
+                },
+            );
+        }
+    }
+
+    // Every owned pair receives exactly `workers` gradient messages per
+    // iteration; serve that many envelopes, then exit.
+    let pairs = plan.ps_chunks.len() + plan.layer_granular.len();
+    let expected = pairs * plan.workers * plan.iterations;
+    for _ in 0..expected {
+        let env = endpoint.recv();
+        // Per-iteration learning-rate schedule: messages carry their BSP
+        // round, so the scale for this update is exact even under SSP.
+        let scale = plan.update_scale * plan.lr_schedule.multiplier(env.msg.iter() as usize);
+        state.set_update_scale(scale);
+        match env.msg {
+            Message::GradChunk {
+                iter,
+                layer,
+                chunk,
+                data,
+            } => {
+                if chunk == LAYER_GRANULAR_CHUNK {
+                    // 1-bit path (CNTK baseline, Seide et al.): dequantize the
+                    // P worker pushes, fold them, then quantize the aggregated
+                    // update as well before broadcasting — double error
+                    // feedback, so worker replicas and the master stay
+                    // bitwise consistent while both directions stay 1-bit.
+                    let ob = onebit
+                        .get_mut(&layer)
+                        .expect("1-bit push for a layer this shard does not own");
+                    let (quant, bias) =
+                        codec::decode_onebit(&data).expect("corrupt 1-bit payload");
+                    assert!(
+                        ob.pending[env.from].is_none(),
+                        "worker {} sent two 1-bit updates in one round",
+                        env.from
+                    );
+                    ob.pending[env.from] = Some((quant.dequantize(), bias));
+                    if ob.pending.iter().all(Option::is_some) {
+                        let (m, n) = ob.fc_shape;
+                        let mut grad_w = Matrix::zeros(m, n);
+                        let mut grad_b = vec![0.0f32; m];
+                        for slot in ob.pending.iter_mut() {
+                            let (w, b) = slot.take().expect("checked complete");
+                            grad_w.add_assign(&w);
+                            for (acc, v) in grad_b.iter_mut().zip(&b) {
+                                *acc += v;
+                            }
+                        }
+                        // Fold the aggregate into the velocity, pre-scale,
+                        // then quantize (weights only; the bias delta is tiny
+                        // and travels dense).
+                        ob.velocity_w.scale(plan.momentum);
+                        ob.velocity_w.add_assign(&grad_w);
+                        for (v, g) in ob.velocity_b.iter_mut().zip(&grad_b) {
+                            *v = plan.momentum * *v + g;
+                        }
+                        let mut delta_w = ob.velocity_w.clone();
+                        delta_w.scale(scale);
+                        grad_b = ob.velocity_b.iter().map(|&v| v * scale).collect();
+                        let agg_quant = ob.quantizer.quantize(&delta_w);
+                        let decoded = agg_quant.dequantize();
+                        // Keep the master consistent with what workers apply.
+                        for (mv, d) in ob.master_weights.as_mut_slice().iter_mut()
+                            .zip(decoded.as_slice())
+                        {
+                            *mv += d;
+                        }
+                        for (mv, d) in ob.master_bias.iter_mut().zip(&grad_b) {
+                            *mv += d;
+                        }
+                        let payload = codec::encode_onebit(&agg_quant, &grad_b);
+                        for w in 0..plan.workers {
+                            endpoint.send(
+                                w,
+                                Message::GradChunk {
+                                    iter,
+                                    layer,
+                                    chunk: LAYER_GRANULAR_CHUNK,
+                                    data: payload.clone(),
+                                },
+                            );
+                        }
+                    }
+                } else {
+                    let grad = codec::decode_f32s(&data).expect("corrupt gradient payload");
+                    if plan.ssp {
+                        let updated = state.receive_grad_async(env.from, (layer, chunk), &grad);
+                        endpoint.send(
+                            env.from,
+                            Message::ParamChunk {
+                                iter,
+                                layer,
+                                chunk,
+                                data: codec::encode_f32s(&updated),
+                            },
+                        );
+                    } else if let Some(updated) = state.receive_grad(env.from, (layer, chunk), &grad) {
+                        for w in 0..plan.workers {
+                            endpoint.send(
+                                w,
+                                Message::ParamChunk {
+                                    iter,
+                                    layer,
+                                    chunk,
+                                    data: codec::encode_f32s(&updated),
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+            Message::SfPush { iter, layer, data } => {
+                // Adam path: reconstruct the dense gradient from the factors.
+                let lg = plan
+                    .layer_granular
+                    .iter()
+                    .find(|lg| lg.layer as u32 == layer && lg.adam)
+                    .expect("SF push for a layer this shard does not own");
+                let batch = poseidon_tensor::bytesio::decode_sf_batch(&data)
+                    .expect("corrupt SF payload");
+                let (m, n) = lg.fc_shape;
+                let mut grad_w = Matrix::zeros(m, n);
+                batch.accumulate_into(&mut grad_w, 1.0);
+                let mut flat = grad_w.as_slice().to_vec();
+                let mut bias = vec![0.0f32; m];
+                for sf in batch.factors() {
+                    for (b, &u) in bias.iter_mut().zip(&sf.u) {
+                        *b += u;
+                    }
+                }
+                flat.extend_from_slice(&bias);
+                assert_eq!(flat.len(), lg.param_elems, "reconstructed gradient size mismatch");
+                if let Some(updated) =
+                    state.receive_grad(env.from, (layer, LAYER_GRANULAR_CHUNK), &flat)
+                {
+                    broadcast_matrix(&endpoint, plan.workers, iter, layer, &updated);
+                }
+            }
+            other => panic!("server received unexpected message {other:?}"),
+        }
+    }
+}
+
+fn broadcast_matrix(endpoint: &Endpoint, workers: usize, iter: u64, layer: u32, flat: &[f32]) {
+    for w in 0..workers {
+        endpoint.send(
+            w,
+            Message::ParamMatrix {
+                iter,
+                layer,
+                data: codec::encode_f32s(flat),
+            },
+        );
+    }
+}

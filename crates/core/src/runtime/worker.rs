@@ -1,0 +1,306 @@
+//! The worker thread: Algorithm 2 of the paper.
+//!
+//! Per iteration: forward, then backward with syncer `Send`s fired from the
+//! per-layer gradient callback (wait-free backpropagation — communication of
+//! upper layers proceeds while lower layers are still computing), then a
+//! receive loop that drains the endpoint until every syncer reports complete
+//! (the completion vector `C` is all ones), applying each layer's outcome as
+//! it finishes.
+
+use crate::config::CommScheme;
+use crate::coordinator::Coordinator;
+use crate::runtime::codec::{self, LAYER_GRANULAR_CHUNK};
+use crate::syncer::{self, SyncOutcome, Syncer};
+use crate::transport::{Endpoint, Message};
+use poseidon_nn::data::Dataset;
+use poseidon_nn::loss::SoftmaxCrossEntropy;
+use poseidon_nn::Model;
+use poseidon_tensor::bytesio;
+use poseidon_tensor::quantize::OneBitQuantizer;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+/// What one worker reports back.
+pub(crate) struct WorkerOutput<M: Model> {
+    /// Mean training loss per iteration (this worker's minibatches).
+    pub losses: Vec<f32>,
+    /// `(iteration, top-1 error)` on the eval set (worker 0 only).
+    pub test_errors: Vec<(usize, f32)>,
+    /// The final model replica.
+    pub net: M,
+    /// Wall time this worker spent on its own training loop (under SSP fast
+    /// workers finish well before a straggler; under BSP they pace it).
+    pub wall: std::time::Duration,
+}
+
+/// Per-worker configuration slice.
+pub(crate) struct WorkerConfig {
+    pub me: usize,
+    pub iterations: usize,
+    pub batch: usize,
+    pub update_scale: f32,
+    pub momentum: f32,
+    pub lr_schedule: crate::runtime::LrSchedule,
+    pub eval_every: usize,
+    /// `Some(staleness)` enables the SSP clock protocol.
+    pub ssp_staleness: Option<u64>,
+    /// Artificial per-iteration delay (straggler injection for experiments).
+    pub straggler_delay: Option<std::time::Duration>,
+    /// Uniform random per-iteration delay bound in microseconds (jitter
+    /// injection for the SSP experiments).
+    pub jitter_us: Option<u64>,
+}
+
+/// Runs one worker to completion.
+pub(crate) fn run_worker<M: Model>(
+    cfg: WorkerConfig,
+    coordinator: &Coordinator,
+    mut net: M,
+    data: Dataset,
+    eval: Option<Dataset>,
+    endpoint: Endpoint,
+    clock: std::sync::Arc<crate::runtime::clock::SspClock>,
+) -> WorkerOutput<M> {
+    let workers = coordinator.cluster().workers;
+    let head = SoftmaxCrossEntropy;
+
+    // One syncer per trainable layer, plus 1-bit quantizer state where needed
+    // and SFB velocity buffers (identical on every replica).
+    let mut syncers: HashMap<usize, Syncer> = HashMap::new();
+    let mut quantizers: HashMap<usize, OneBitQuantizer> = HashMap::new();
+    let mut sf_velocity: HashMap<usize, (poseidon_tensor::Matrix, Vec<f32>)> = HashMap::new();
+    for (l, scheme) in coordinator.scheme_assignment() {
+        let info = &coordinator.layers()[l];
+        let chunks = coordinator.chunk_table().layer_chunks(l);
+        syncers.insert(l, Syncer::new(l, scheme, chunks, info.param_elems, workers, cfg.me));
+        if scheme == CommScheme::OneBitPs {
+            let (m, n) = info.fc_shape.expect("1-bit applies to FC layers");
+            quantizers.insert(l, OneBitQuantizer::new(m, n));
+        }
+    }
+    let num_syncers = syncers.len();
+
+    let started = std::time::Instant::now();
+    let mut jitter_rng = cfg.jitter_us.map(|_| {
+        use rand::SeedableRng;
+        rand::rngs::StdRng::seed_from_u64(0x5A17 + cfg.me as u64)
+    });
+    let mut losses = Vec::with_capacity(cfg.iterations);
+    let mut test_errors = Vec::new();
+    // Messages that arrived early for a future iteration (SFB peers can run
+    // one iteration ahead of us).
+    let mut stashed: VecDeque<(usize, Message)> = VecDeque::new();
+
+    for iter in 0..cfg.iterations {
+        if let Some(staleness) = cfg.ssp_staleness {
+            clock.wait_until_allowed(cfg.me, iter as u64, staleness);
+        }
+        for s in syncers.values_mut() {
+            s.begin_iteration();
+        }
+
+        if let Some(delay) = cfg.straggler_delay {
+            std::thread::sleep(delay);
+        }
+        if let (Some(bound), Some(rng)) = (cfg.jitter_us, jitter_rng.as_mut()) {
+            use rand::Rng;
+            std::thread::sleep(std::time::Duration::from_micros(rng.gen_range(0..bound)));
+        }
+        let (x, y) = data.minibatch(iter * cfg.batch, cfg.batch);
+        let logits = net.forward(&x);
+        let out = head.evaluate(&logits, &y);
+        losses.push(out.loss);
+
+        // Backward with WFBP sends: layer l's Send fires the moment bˡ done.
+        net.backward_with(&out.grad, &mut |l, layer| {
+            let Some(s) = syncers.get_mut(&l) else {
+                return;
+            };
+            let params = layer.params().expect("trainable layer");
+            match s.scheme() {
+                CommScheme::Ps => {
+                    let flat = syncer::flatten_grads(params);
+                    for (idx, chunk) in s.chunks().iter().enumerate() {
+                        let payload =
+                            codec::encode_f32s(&flat[chunk.offset..chunk.offset + chunk.len]);
+                        endpoint.send(
+                            workers + chunk.shard,
+                            Message::GradChunk {
+                                iter: iter as u64,
+                                layer: l as u32,
+                                chunk: idx as u32,
+                                data: payload,
+                            },
+                        );
+                    }
+                }
+                CommScheme::Sfb => {
+                    let batch = layer
+                        .sufficient_factors()
+                        .expect("SFB requires sufficient factors");
+                    let payload = bytesio::encode_sf_batch(&batch);
+                    for peer in 0..workers {
+                        if peer != cfg.me {
+                            endpoint.send(
+                                peer,
+                                Message::SfPush {
+                                    iter: iter as u64,
+                                    layer: l as u32,
+                                    data: payload.clone(),
+                                },
+                            );
+                        }
+                    }
+                    s.set_own_sf(batch);
+                }
+                CommScheme::AdamSf => {
+                    let batch = layer
+                        .sufficient_factors()
+                        .expect("Adam requires sufficient factors");
+                    let owner = l % workers;
+                    endpoint.send(
+                        workers + owner,
+                        Message::SfPush {
+                            iter: iter as u64,
+                            layer: l as u32,
+                            data: bytesio::encode_sf_batch(&batch),
+                        },
+                    );
+                }
+                CommScheme::OneBitPs => {
+                    let quant = quantizers
+                        .get_mut(&l)
+                        .expect("quantizer per 1-bit layer")
+                        .quantize(&params.grad_weights);
+                    let owner = l % workers;
+                    endpoint.send(
+                        workers + owner,
+                        Message::GradChunk {
+                            iter: iter as u64,
+                            layer: l as u32,
+                            chunk: LAYER_GRANULAR_CHUNK,
+                            data: codec::encode_onebit(&quant, params.grad_bias.as_slice()),
+                        },
+                    );
+                }
+            }
+        });
+
+        // Receive until the completion vector is all ones.
+        let mut completed = 0usize;
+        let mut pending: Vec<(usize, Message)> = Vec::new();
+        // First replay anything stashed for this iteration.
+        while let Some((from, msg)) = stashed.pop_front() {
+            pending.push((from, msg));
+        }
+        while completed < num_syncers {
+            let (from, msg) = if let Some(p) = pending.pop() {
+                p
+            } else {
+                let env = endpoint.recv();
+                (env.from, env.msg)
+            };
+            let msg_iter = msg.iter() as usize;
+            if msg_iter > iter {
+                stashed.push_back((from, msg));
+                continue;
+            }
+            assert_eq!(msg_iter, iter, "stale message from a past iteration");
+            let layer = match &msg {
+                Message::GradChunk { layer, .. }
+                | Message::ParamChunk { layer, .. }
+                | Message::SfPush { layer, .. }
+                | Message::ParamMatrix { layer, .. } => *layer as usize,
+            };
+            let s = syncers.get_mut(&layer).expect("message for unknown layer");
+            let was_complete = s.is_complete();
+            match msg {
+                Message::ParamChunk { chunk, data, .. } => {
+                    s.on_param_chunk(
+                        chunk as usize,
+                        codec::decode_f32s(&data).expect("corrupt param chunk"),
+                    );
+                }
+                Message::ParamMatrix { data, .. } => {
+                    s.on_param_matrix(codec::decode_f32s(&data).expect("corrupt param matrix"));
+                }
+                Message::SfPush { data, .. } => {
+                    s.on_peer_sf(
+                        from,
+                        bytesio::decode_sf_batch(&data).expect("corrupt SF payload"),
+                    );
+                }
+                Message::GradChunk { chunk, data, .. } => {
+                    // 1-bit path: the server broadcasts the quantized
+                    // aggregated update; decode it into a flat delta.
+                    assert_eq!(chunk, LAYER_GRANULAR_CHUNK, "unexpected grad chunk at worker");
+                    let (quant, bias) =
+                        codec::decode_onebit(&data).expect("corrupt 1-bit broadcast");
+                    let dense = quant.dequantize();
+                    let mut flat = dense.as_slice().to_vec();
+                    flat.extend_from_slice(&bias);
+                    s.on_param_matrix(flat);
+                }
+            }
+            if !was_complete && s.is_complete() {
+                let outcome = s.take_outcome();
+                let params = net
+                    .slot_mut(layer)
+                    .and_then(|l| l.params_mut())
+                    .expect("trainable layer");
+                match outcome {
+                    SyncOutcome::FreshParams(flat) => syncer::write_params_flat(params, &flat),
+                    SyncOutcome::ApplyDelta(flat) => syncer::apply_delta_flat(params, &flat),
+                    SyncOutcome::SfApply(batches) => {
+                        let scale =
+                            cfg.update_scale * cfg.lr_schedule.multiplier(iter);
+                        let (rows, cols) = params.weights.shape();
+                        let (grad_w, grad_b) =
+                            syncer::reconstruct_sf_batches(&batches, rows, cols);
+                        let (vw, vb) = sf_velocity.entry(layer).or_insert_with(|| {
+                            (poseidon_tensor::Matrix::zeros(rows, cols), vec![0.0; rows])
+                        });
+                        vw.scale(cfg.momentum);
+                        vw.axpy(scale, &grad_w);
+                        for (v, g) in vb.iter_mut().zip(&grad_b) {
+                            *v = cfg.momentum * *v + scale * g;
+                        }
+                        params.weights.add_assign(vw);
+                        for (i, &v) in vb.iter().enumerate() {
+                            params.bias[(0, i)] += v;
+                        }
+                    }
+                }
+                completed += 1;
+            }
+        }
+
+        if cfg.ssp_staleness.is_some() {
+            clock.advance(cfg.me, iter as u64);
+        }
+
+        // Periodic evaluation (worker 0 only, by convention of the caller
+        // passing `eval` only to worker 0).
+        if let Some(eval_set) = &eval {
+            if cfg.eval_every > 0 && (iter + 1) % cfg.eval_every == 0 {
+                let err = evaluate_error(&mut net, eval_set);
+                test_errors.push((iter + 1, err));
+            }
+        }
+    }
+
+    WorkerOutput {
+        losses,
+        test_errors,
+        net,
+        wall: started.elapsed(),
+    }
+}
+
+/// Top-1 error of `net` on `data` (whole set, one batch of all samples).
+pub fn evaluate_error<M: Model>(net: &mut M, data: &Dataset) -> f32 {
+    let (x, y) = data.minibatch(0, data.len());
+    let logits = net.forward(&x);
+    let out = SoftmaxCrossEntropy.evaluate(&logits, &y);
+    1.0 - out.correct as f32 / data.len() as f32
+}

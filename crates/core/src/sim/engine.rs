@@ -1,0 +1,884 @@
+//! The discrete-event iteration simulator.
+//!
+//! One BSP training iteration unfolds as events over shared resources:
+//! per-node GPU (compute), PCIe memcpy engine, a CPU/transform stream
+//! (server applies, SF reconstruction, quantization), and the NIC pair
+//! modelled by [`poseidon_netsim::Network`]. Backward completion of layer `l`
+//! triggers its `SyncReady` event (immediately under WFBP, after the whole
+//! backward under the sequential scheduler); gradients then flow through the
+//! scheme chosen by the coordinator, and the iteration ends when compute and
+//! every layer's synchronisation have finished on every node (the completion
+//! vector of Section 4.1).
+
+use crate::config::CommScheme;
+use crate::config::Scheduler;
+use crate::config::ClusterConfig;
+use crate::coordinator::Coordinator;
+use crate::sim::profile::{LayerTimes, SimConfig};
+use poseidon_netsim::{EventQueue, FlowNetwork, LinkConfig, Network, NodeId, Resource};
+use poseidon_nn::zoo::ModelSpec;
+use std::collections::HashMap;
+
+/// Wire overhead per message (framing + header), bytes.
+const MSG_OVERHEAD: u64 = 16;
+/// Compression factor of the 1-bit payload relative to dense f32.
+const ONEBIT_COMPRESSION: u64 = 32;
+
+/// What the simulator reports for one steady-state iteration.
+#[derive(Clone, Debug)]
+pub struct IterationReport {
+    /// Wall-clock of the measured iteration.
+    pub iter_time_s: f64,
+    /// GPU compute time per node (forward + backward).
+    pub compute_s: f64,
+    /// Cluster throughput, images/sec.
+    pub throughput_ips: f64,
+    /// Calibrated single-node native throughput (the speedup baseline).
+    pub single_node_ips: f64,
+    /// `throughput / single_node_ips`.
+    pub speedup: f64,
+    /// Fraction of the iteration the GPU spends stalled.
+    pub stall_fraction: f64,
+    /// Per-node network traffic of the iteration, in gigabits.
+    pub per_node_gbit: Vec<f64>,
+    /// Scheme chosen per trainable layer: `(layer name, scheme)`.
+    pub schemes: Vec<(String, CommScheme)>,
+}
+
+#[derive(Clone, Debug)]
+enum Ev {
+    /// Layer `l`'s gradients are complete on `worker`; begin its part of the
+    /// synchronisation.
+    SyncReady { layer: usize, worker: usize },
+    /// One worker's gradient chunk arrived at its shard.
+    GradArrive { layer: usize, chunk: usize },
+    /// The shard finished applying a chunk's aggregated update.
+    ApplyDone { layer: usize, chunk: usize },
+    /// Fresh parameters arrived back at a worker.
+    PullArrive { layer: usize, chunk: usize, worker: usize },
+    /// A peer's SF batch arrived at a worker (SFB).
+    SfArrive { layer: usize, at: usize },
+    /// A worker finished reconstructing a layer from factors (SFB).
+    ReconDone { layer: usize, at: usize },
+}
+
+/// Per-layer synchronisation plan derived from the coordinator.
+#[derive(Clone, Debug)]
+struct LayerPlan {
+    scheme: CommScheme,
+    /// `(shard, bytes)` per chunk for PS-style paths.
+    chunks: Vec<(usize, u64)>,
+    /// Dense flattened parameter bytes.
+    dense_bytes: u64,
+    /// SF one-way message bytes (FC layers).
+    sf_bytes: u64,
+    /// FC shape, if any.
+    fc_shape: Option<(usize, usize)>,
+}
+
+struct SimState<'a> {
+    cfg: &'a SimConfig,
+    p: usize,
+    batch: usize,
+    gpus: usize,
+    net: Network,
+    fair: Option<FlowNetwork<Ev>>,
+    gpu_compute_end: f64,
+    memcpy: Vec<Resource>,
+    cpu: Vec<Resource>,
+    pcie: Vec<Resource>,
+    plans: HashMap<usize, LayerPlan>,
+    // progress
+    grad_counts: HashMap<(usize, usize), usize>,
+    pull_remaining: HashMap<(usize, usize), usize>,
+    chunks_remaining: HashMap<(usize, usize), usize>,
+    sf_counts: HashMap<(usize, usize), usize>,
+    /// Aggregations already applied (late straggler pushes are discarded).
+    applied: std::collections::HashSet<(usize, usize)>,
+    /// SFB reconstructions already started per (layer, worker).
+    reconstructed: std::collections::HashSet<(usize, usize)>,
+    layer_done: f64,
+    done_count: usize,
+    expected_done: usize,
+}
+
+impl SimState<'_> {
+    fn charge_memcpy(&self) -> bool {
+        self.cfg.unoverlapped_memcpy
+    }
+
+    fn move_dur(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.cfg.memcpy_bytes_per_s + self.cfg.per_move_overhead_s
+    }
+
+    fn mark_layer_worker_done(&mut self, t: f64) {
+        self.layer_done = self.layer_done.max(t);
+        self.done_count += 1;
+    }
+
+    /// `true` iff `worker` is a straggler whose participation is dropped:
+    /// the rest of the cluster neither waits for its updates nor for its
+    /// iteration completion (it still receives parameters).
+    fn is_dropped(&self, worker: usize) -> bool {
+        matches!(self.cfg.straggler, Some((node, _)) if self.cfg.drop_stragglers && node == worker)
+    }
+
+    /// Gradient contributions required before a PS-style aggregate applies.
+    fn required_pushes(&self) -> usize {
+        if self.cfg.drop_stragglers && self.cfg.straggler.is_some() && self.p > 1 {
+            self.p - 1
+        } else {
+            self.p
+        }
+    }
+
+    /// Peer SF batches required at `at` before reconstruction starts.
+    fn required_sf(&self, at: usize) -> usize {
+        let base = self.p - 1;
+        match self.cfg.straggler {
+            Some((node, _)) if self.cfg.drop_stragglers && node != at && base > 0 => base - 1,
+            _ => base,
+        }
+    }
+
+    /// Local multi-GPU aggregation of `bytes` onto the node's leader GPU
+    /// (G−1 device-to-device copies over PCIe); identity when G = 1.
+    fn local_aggregate(&mut self, node: usize, ready: f64, bytes: u64) -> f64 {
+        if self.gpus <= 1 {
+            return ready;
+        }
+        let dur = (self.gpus - 1) as f64 * bytes as f64 / self.cfg.pcie_bytes_per_s;
+        self.pcie[node].reserve(ready, dur).1
+    }
+
+    /// Re-distribution of fresh parameters from the leader GPU to the node's
+    /// other GPUs; identity when G = 1.
+    fn local_distribute(&mut self, node: usize, ready: f64, bytes: u64) -> f64 {
+        self.local_aggregate(node, ready, bytes)
+    }
+
+    /// Dispatches a transfer under the configured bandwidth model: FIFO NIC
+    /// queues schedule the arrival event eagerly; the fair-share model
+    /// registers a fluid flow whose completion the main loop turns into the
+    /// event.
+    fn send(
+        &mut self,
+        queue: &mut EventQueue<Ev>,
+        ready: f64,
+        src: usize,
+        dst: usize,
+        bytes: u64,
+        ev: Ev,
+    ) {
+        match self.fair.as_mut() {
+            Some(fair) => {
+                fair.add_flow(ready, src, dst, bytes, ev);
+            }
+            None => {
+                let arrive = self.net.transfer(ready, NodeId(src), NodeId(dst), bytes);
+                queue.schedule_at(arrive, ev);
+            }
+        }
+    }
+}
+
+/// Simulates `spec` under `cfg` and reports the steady-state iteration.
+pub fn simulate(spec: &ModelSpec, cfg: &SimConfig) -> IterationReport {
+    let p = cfg.nodes;
+    let gpus = cfg.gpus_per_node.max(1);
+    let batch = cfg.batch_per_node.unwrap_or(spec.default_batch);
+    // A node's effective batch is the sum over its GPUs — this is what the
+    // cost model sees (more SFs per node), making PS more attractive for
+    // multi-GPU nodes exactly as in the paper.
+    let node_batch = batch * gpus;
+    let cluster = ClusterConfig {
+        workers: p,
+        servers: p,
+        batch_per_worker: node_batch,
+        colocated: true,
+    };
+    let coordinator = Coordinator::from_spec(spec, cluster, cfg.policy, cfg.partition);
+    // Each GPU computes its own per-GPU batch in parallel.
+    let times = LayerTimes::derive(spec, batch, cfg.gpu_default_flops);
+    let single_node_ips = batch as f64 / times.total();
+
+    // Build per-layer plans.
+    let mut plans: HashMap<usize, LayerPlan> = HashMap::new();
+    for (l, scheme) in coordinator.scheme_assignment() {
+        let info = &coordinator.layers()[l];
+        let dense_bytes = info.param_elems as u64 * 4;
+        let sf_bytes = info
+            .fc_shape
+            .map(|(m, n)| (node_batch * (m + n)) as u64 * 4 + MSG_OVERHEAD)
+            .unwrap_or(0);
+        let chunks: Vec<(usize, u64)> = match scheme {
+            CommScheme::Ps => coordinator
+                .chunk_table()
+                .layer_chunks(l)
+                .iter()
+                .map(|c| (c.shard, c.bytes() + MSG_OVERHEAD))
+                .collect(),
+            CommScheme::OneBitPs => {
+                // Layer-granular quantized blob to the owner shard.
+                vec![(l % p, dense_bytes / ONEBIT_COMPRESSION + MSG_OVERHEAD)]
+            }
+            CommScheme::AdamSf | CommScheme::Sfb => Vec::new(),
+        };
+        plans.insert(
+            l,
+            LayerPlan {
+                scheme,
+                chunks,
+                dense_bytes,
+                sf_bytes,
+                fc_shape: info.fc_shape,
+            },
+        );
+    }
+
+    let mut state = SimState {
+        cfg,
+        p,
+        batch: node_batch,
+        gpus,
+        net: Network::new(
+            p,
+            LinkConfig {
+                bandwidth_gbps: cfg.bandwidth_gbps * cfg.bandwidth_efficiency,
+                latency_s: cfg.latency_s,
+            },
+        ),
+        fair: cfg
+            .fair_share
+            .then(|| FlowNetwork::new(p, cfg.bandwidth_gbps * cfg.bandwidth_efficiency)),
+        gpu_compute_end: 0.0,
+        memcpy: vec![Resource::new(); p],
+        cpu: vec![Resource::new(); p],
+        pcie: vec![Resource::new(); p],
+        plans,
+        grad_counts: HashMap::new(),
+        pull_remaining: HashMap::new(),
+        chunks_remaining: HashMap::new(),
+        sf_counts: HashMap::new(),
+        applied: std::collections::HashSet::new(),
+        reconstructed: std::collections::HashSet::new(),
+        layer_done: 0.0,
+        done_count: 0,
+        expected_done: 0,
+    };
+
+    let mut gpu: Vec<Resource> = vec![Resource::new(); p];
+    let iterations = 3usize;
+    let mut iter_start = 0.0f64;
+    let mut measured = (0.0f64, 0.0f64); // (start, end) of last iteration
+
+    for it in 0..iterations {
+        if it == iterations - 1 {
+            state.net.ledger_mut().reset();
+            if let Some(fair) = state.fair.as_mut() {
+                fair.ledger_mut().reset();
+            }
+        }
+        // Compute schedule: forward then backward on every GPU; an injected
+        // straggler's compute is uniformly slowed down.
+        let mut bwd_done = vec![vec![0.0f64; spec.layers.len()]; p];
+        let mut compute_end = iter_start;
+        for (w, g) in gpu.iter_mut().enumerate() {
+            let slow = match cfg.straggler {
+                Some((node, factor)) if node == w => factor,
+                _ => 1.0,
+            };
+            let mut t = iter_start;
+            for l in 0..spec.layers.len() {
+                let (_, f) = g.reserve(t, times.fwd[l] * slow);
+                t = f;
+            }
+            for l in (0..spec.layers.len()).rev() {
+                let (_, f) = g.reserve(t, times.bwd[l] * slow);
+                t = f;
+                bwd_done[w][l] = f;
+            }
+            let dropped = matches!(cfg.straggler, Some((node, _)) if cfg.drop_stragglers && node == w);
+            if !dropped {
+                compute_end = compute_end.max(t);
+            }
+        }
+        state.gpu_compute_end = compute_end;
+
+        // Seed sync events in backward-completion order (top layer first).
+        let mut queue: EventQueue<Ev> = EventQueue::new();
+        // The event clock starts at 0; we keep absolute times throughout, so
+        // re-create the queue per iteration with schedule_at on absolute time.
+        state.layer_done = iter_start;
+        state.done_count = 0;
+        let active_nodes = (0..p).filter(|&w| !state.is_dropped(w)).count();
+        state.expected_done = state.plans.len() * active_nodes;
+        state.grad_counts.clear();
+        state.pull_remaining.clear();
+        state.chunks_remaining.clear();
+        state.sf_counts.clear();
+        state.applied.clear();
+        state.reconstructed.clear();
+
+        let mut trainable: Vec<usize> = state.plans.keys().copied().collect();
+        trainable.sort_unstable_by(|a, b| b.cmp(a)); // top-down
+        for &l in &trainable {
+            for w in 0..p {
+                if state.is_dropped(w) {
+                    // The dropped straggler's sends never happen; it lags
+                    // behind on stale parameters and only consumes pulls.
+                    continue;
+                }
+                let ready = match cfg.scheduler {
+                    Scheduler::Wfbp => bwd_done[w][l],
+                    Scheduler::Sequential => {
+                        // The node finishes its own backward first.
+                        bwd_done[w][0].max(bwd_done[w][spec.layers.len() - 1])
+                    }
+                };
+                queue.schedule_at(ready, Ev::SyncReady { layer: l, worker: w });
+            }
+        }
+
+        // Drain events; under fair sharing, interleave fluid-flow completions
+        // with queued events in global time order.
+        loop {
+            let qt = queue.peek_time();
+            let ft = state.fair.as_mut().and_then(FlowNetwork::next_event_time);
+            match (qt, ft) {
+                (None, None) => break,
+                _ => {
+                    let qt_v = qt.unwrap_or(f64::INFINITY);
+                    let ft_v = ft.unwrap_or(f64::INFINITY);
+                    if ft_v < qt_v {
+                        let done = state.fair.as_mut().expect("fair mode").advance(ft_v);
+                        for ev in done {
+                            queue.schedule_at(ft_v + cfg.latency_s, ev);
+                        }
+                    } else {
+                        let (now, ev) = queue.pop().expect("queue non-empty");
+                        if let Some(fair) = state.fair.as_mut() {
+                            if fair.next_event_time().is_none_or(|t| t >= now) {
+                                for done_ev in fair.advance(now.min(ft_v)) {
+                                    queue.schedule_at(now + cfg.latency_s, done_ev);
+                                }
+                            }
+                        }
+                        step(&mut state, &mut queue, now, ev);
+                    }
+                }
+            }
+        }
+
+        let iter_end = state.gpu_compute_end.max(state.layer_done);
+        assert_eq!(
+            state.done_count, state.expected_done,
+            "not every layer synchronised on every node"
+        );
+        if std::env::var_os("POSEIDON_SIM_DEBUG").is_some() {
+            eprintln!(
+                "iter {it}: start {iter_start:.4} compute_end {:.4} sync_end {:.4} tx_busy[0] {:.4} cpu_busy[0] {:.4}",
+                state.gpu_compute_end,
+                state.layer_done,
+                state.net.tx_busy(NodeId(0)),
+                state.cpu[0].total_busy(),
+            );
+        }
+        measured = (iter_start, iter_end);
+        iter_start = iter_end;
+    }
+
+    let (start, end) = measured;
+    let iter_time = end - start;
+    let compute = times.total();
+    let active_nodes = match cfg.straggler {
+        Some(_) if cfg.drop_stragglers && p > 1 => p - 1,
+        _ => p,
+    };
+    let throughput = (active_nodes * node_batch) as f64 / iter_time;
+    let ledger = match state.fair.as_ref() {
+        Some(fair) => fair.ledger(),
+        None => state.net.ledger(),
+    };
+    IterationReport {
+        iter_time_s: iter_time,
+        compute_s: compute,
+        throughput_ips: throughput,
+        single_node_ips,
+        speedup: throughput / single_node_ips,
+        stall_fraction: (1.0 - compute / iter_time).max(0.0),
+        per_node_gbit: (0..p)
+            .map(|n| crate::stats::bytes_to_gbit(ledger.node_bytes(n)))
+            .collect(),
+        schemes: {
+            let mut s: Vec<(usize, CommScheme)> = state
+                .plans
+                .iter()
+                .map(|(&l, plan)| (l, plan.scheme))
+                .collect();
+            s.sort_unstable_by_key(|&(l, _)| l);
+            s.into_iter()
+                .map(|(l, scheme)| (coordinator.layers()[l].name.clone(), scheme))
+                .collect()
+        },
+    }
+}
+
+fn step(state: &mut SimState<'_>, queue: &mut EventQueue<Ev>, now: f64, ev: Ev) {
+    let p = state.p;
+    match ev {
+        Ev::SyncReady { layer, worker: w } => {
+            let plan = state.plans[&layer].clone();
+            match plan.scheme {
+                CommScheme::Ps | CommScheme::OneBitPs => {
+                    state.chunks_remaining.insert((layer, w), plan.chunks.len());
+                    for (c, &(shard, bytes)) in plan.chunks.iter().enumerate() {
+                        let mut ready = state
+                            .local_aggregate(w, now, plan.dense_bytes / plan.chunks.len() as u64);
+                        if state.charge_memcpy() {
+                            let dur = state.move_dur(plan.dense_bytes / plan.chunks.len() as u64);
+                            ready = state.memcpy[w].reserve(ready, dur).1;
+                        }
+                        if plan.scheme == CommScheme::OneBitPs {
+                            // Quantization pass before send.
+                            let qdur = 2.0 * plan.dense_bytes as f64 / state.cfg.transform_flops;
+                            ready = state.cpu[w].reserve(ready, qdur).1;
+                        }
+                        state.send(queue, ready, w, shard, bytes, Ev::GradArrive { layer, chunk: c });
+                    }
+                }
+                CommScheme::Sfb => {
+                    state.chunks_remaining.insert((layer, w), 1);
+                    let mut ready = state.local_aggregate(w, now, plan.sf_bytes);
+                    if state.charge_memcpy() {
+                        let dur = state.move_dur(plan.sf_bytes);
+                        ready = state.memcpy[w].reserve(ready, dur).1;
+                    }
+                    for v in 0..p {
+                        if v == w {
+                            continue;
+                        }
+                        state.send(queue, ready, w, v, plan.sf_bytes, Ev::SfArrive { layer, at: v });
+                    }
+                    if p == 1 {
+                        // Degenerate single-node SFB: nothing to receive.
+                        queue.schedule_at(now, Ev::ReconDone { layer, at: w });
+                    }
+                }
+                CommScheme::AdamSf => {
+                    state.chunks_remaining.insert((layer, w), 1);
+                    let owner = layer % p;
+                    let mut ready = state.local_aggregate(w, now, plan.sf_bytes);
+                    if state.charge_memcpy() {
+                        let dur = state.move_dur(plan.sf_bytes);
+                        ready = state.memcpy[w].reserve(ready, dur).1;
+                    }
+                    state.send(queue, ready, w, owner, plan.sf_bytes, Ev::GradArrive { layer, chunk: 0 });
+                }
+            }
+        }
+        Ev::GradArrive { layer, chunk } => {
+            if state.applied.contains(&(layer, chunk)) {
+                return; // late straggler push, dropped
+            }
+            let required = state.required_pushes();
+            let count = state.grad_counts.entry((layer, chunk)).or_insert(0);
+            *count += 1;
+            if *count < required {
+                return;
+            }
+            state.grad_counts.remove(&(layer, chunk));
+            state.applied.insert((layer, chunk));
+            let plan = state.plans[&layer].clone();
+            let (shard, apply_dur) = match plan.scheme {
+                CommScheme::Ps | CommScheme::OneBitPs => {
+                    let (shard, bytes) = plan.chunks[chunk];
+                    // Dense fold of P gradients (1-bit dequantizes to dense
+                    // before folding, so same cost).
+                    let dense = if plan.scheme == CommScheme::OneBitPs {
+                        plan.dense_bytes
+                    } else {
+                        bytes - MSG_OVERHEAD
+                    };
+                    let _ = bytes;
+                    (shard, p as f64 * dense as f64 / state.cfg.apply_bytes_per_s)
+                }
+                CommScheme::AdamSf => {
+                    let (m, n) = plan.fc_shape.expect("Adam needs FC shape");
+                    let recon =
+                        p as f64 * 2.0 * state.batch as f64 * m as f64 * n as f64
+                            / state.cfg.transform_flops;
+                    let fold = p as f64 * plan.dense_bytes as f64 / state.cfg.apply_bytes_per_s;
+                    (layer % p, recon + fold)
+                }
+                CommScheme::Sfb => unreachable!("SFB has no server-side apply"),
+            };
+            let done = state.cpu[shard].reserve(now, apply_dur).1;
+            queue.schedule_at(done, Ev::ApplyDone { layer, chunk });
+        }
+        Ev::ApplyDone { layer, chunk } => {
+            let plan = state.plans[&layer].clone();
+            let (shard, pull_bytes) = match plan.scheme {
+                CommScheme::Ps => plan.chunks[chunk],
+                CommScheme::OneBitPs => plan.chunks[chunk],
+                CommScheme::AdamSf => (layer % p, plan.dense_bytes + MSG_OVERHEAD),
+                CommScheme::Sfb => unreachable!(),
+            };
+            state.pull_remaining.insert((layer, chunk), p);
+            for w in 0..p {
+                state.send(queue, now, shard, w, pull_bytes, Ev::PullArrive { layer, chunk, worker: w });
+            }
+        }
+        Ev::PullArrive { layer, chunk, worker } => {
+            let plan = state.plans[&layer].clone();
+            let mut done = now;
+            if state.charge_memcpy() {
+                let per_chunk = plan.dense_bytes / plan.chunks.len().max(1) as u64;
+                let dur = state.move_dur(per_chunk);
+                done = state.memcpy[worker].reserve(now, dur).1;
+            }
+            if plan.scheme == CommScheme::OneBitPs {
+                // Dequantize the pulled payload.
+                let dq = plan.dense_bytes as f64 / state.cfg.transform_flops;
+                done = state.cpu[worker].reserve(done, dq).1;
+            }
+            let rem = state
+                .pull_remaining
+                .get_mut(&(layer, chunk))
+                .expect("pull bookkeeping");
+            *rem -= 1;
+            if *rem == 0 {
+                state.pull_remaining.remove(&(layer, chunk));
+            }
+            let chunks_total = match plan.scheme {
+                CommScheme::Ps | CommScheme::OneBitPs => plan.chunks.len(),
+                _ => 1,
+            };
+            let entry = state
+                .chunks_remaining
+                .entry((layer, worker))
+                .or_insert(chunks_total);
+            *entry -= 1;
+            if *entry == 0 {
+                state.chunks_remaining.remove(&(layer, worker));
+                let done = state.local_distribute(worker, done, plan.dense_bytes);
+                if !state.is_dropped(worker) {
+                    state.mark_layer_worker_done(done);
+                }
+            }
+        }
+        Ev::SfArrive { layer, at } => {
+            if state.reconstructed.contains(&(layer, at)) {
+                return; // late straggler batch, dropped
+            }
+            let required = state.required_sf(at);
+            let count = state.sf_counts.entry((layer, at)).or_insert(0);
+            *count += 1;
+            if *count < required {
+                return;
+            }
+            state.sf_counts.remove(&(layer, at));
+            state.reconstructed.insert((layer, at));
+            let plan = &state.plans[&layer];
+            let (m, n) = plan.fc_shape.expect("SFB needs FC shape");
+            // Reconstruct P·K rank-1 updates (own factors included) on the
+            // transform stream.
+            let recon = p as f64 * 2.0 * state.batch as f64 * m as f64 * n as f64
+                / state.cfg.transform_flops;
+            let done = state.cpu[at].reserve(now, recon).1;
+            queue.schedule_at(done, Ev::ReconDone { layer, at });
+        }
+        Ev::ReconDone { layer, at } => {
+            let dense = state.plans[&layer].dense_bytes;
+            let done = state.local_distribute(at, now, dense);
+            if !state.is_dropped(at) {
+                state.mark_layer_worker_done(done);
+            }
+        }
+    }
+}
+
+/// Convenience: `(nodes, speedup)` for a node sweep of one system.
+pub fn speedup_series(
+    spec: &ModelSpec,
+    mut make_cfg: impl FnMut(usize) -> SimConfig,
+    nodes: &[usize],
+) -> Vec<(usize, f64)> {
+    nodes
+        .iter()
+        .map(|&n| {
+            let cfg = make_cfg(n);
+            let report = simulate(spec, &cfg);
+            (n, report.speedup)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::profile::System;
+    use poseidon_nn::zoo;
+
+    fn report(system: System, model: &ModelSpec, nodes: usize, bw: f64) -> IterationReport {
+        simulate(model, &SimConfig::system(system, nodes, bw))
+    }
+
+    #[test]
+    fn single_node_poseidon_matches_native_throughput() {
+        let vgg = zoo::vgg19();
+        let r = report(System::Poseidon, &vgg, 1, 40.0);
+        assert!(
+            (r.throughput_ips - 35.5).abs() / 35.5 < 0.02,
+            "single-node Poseidon VGG19 = {} img/s, expected ~35.5",
+            r.throughput_ips
+        );
+        assert!(r.per_node_gbit.iter().all(|&g| g == 0.0), "no network traffic on 1 node");
+    }
+
+    #[test]
+    fn single_node_caffe_ps_pays_memcpy_overhead() {
+        let vgg = zoo::vgg19();
+        let ps = report(System::CaffePs, &vgg, 1, 40.0);
+        let psd = report(System::Poseidon, &vgg, 1, 40.0);
+        assert!(
+            ps.throughput_ips < 0.75 * psd.throughput_ips,
+            "Caffe+PS ({}) should be well below Poseidon ({}) on one node",
+            ps.throughput_ips,
+            psd.throughput_ips
+        );
+    }
+
+    #[test]
+    fn poseidon_scales_near_linearly_on_vgg_at_40gbe() {
+        let vgg = zoo::vgg19();
+        let r = report(System::Poseidon, &vgg, 32, 40.0);
+        assert!(r.speedup > 28.0, "Poseidon VGG19 at 32 nodes: {}x", r.speedup);
+    }
+
+    #[test]
+    fn wfbp_beats_sequential_ps() {
+        let vgg = zoo::vgg19();
+        let seq = report(System::CaffePs, &vgg, 8, 40.0);
+        let wfbp = report(System::WfbpPs, &vgg, 8, 40.0);
+        assert!(
+            wfbp.speedup > seq.speedup * 1.2,
+            "WFBP {} vs sequential {}",
+            wfbp.speedup,
+            seq.speedup
+        );
+    }
+
+    #[test]
+    fn hybrid_beats_pure_ps_under_limited_bandwidth() {
+        let vgg = zoo::vgg19();
+        let ps = report(System::WfbpPs, &vgg, 16, 10.0);
+        let psd = report(System::Poseidon, &vgg, 16, 10.0);
+        assert!(
+            psd.speedup > ps.speedup * 1.3,
+            "Poseidon {} vs WFBP-PS {} at 10GbE",
+            psd.speedup,
+            ps.speedup
+        );
+        assert!(psd.speedup > 13.0, "Poseidon should stay near-linear: {}", psd.speedup);
+    }
+
+    #[test]
+    fn tensorflow_hotspot_hurts_vgg() {
+        let vgg = zoo::vgg19();
+        let tf = report(System::TensorFlow, &vgg, 8, 40.0);
+        let psd = report(System::Poseidon, &vgg, 8, 40.0);
+        assert!(
+            tf.speedup < 0.6 * psd.speedup,
+            "TF {} should trail Poseidon {} badly on VGG19",
+            tf.speedup,
+            psd.speedup
+        );
+        assert!(tf.stall_fraction > psd.stall_fraction + 0.2);
+    }
+
+    #[test]
+    fn adam_creates_load_imbalance() {
+        let vgg = zoo::vgg19();
+        let adam = report(System::Adam, &vgg, 8, 40.0);
+        let even = report(System::WfbpPs, &vgg, 8, 40.0);
+        let imbalance = |g: &[f64]| {
+            let max = g.iter().cloned().fold(0.0f64, f64::max);
+            let mean = g.iter().sum::<f64>() / g.len() as f64;
+            max / mean
+        };
+        assert!(
+            imbalance(&adam.per_node_gbit) > 1.8,
+            "Adam per-node traffic should be skewed: {:?}",
+            adam.per_node_gbit
+        );
+        assert!(
+            imbalance(&even.per_node_gbit) < 1.2,
+            "KV-pair PS should be even: {:?}",
+            even.per_node_gbit
+        );
+    }
+
+    #[test]
+    fn traffic_matches_cost_model_for_ps() {
+        // Per-node PS traffic for the whole model ≈ 2·params·4·(P1+P2−2)/P2.
+        let vgg = zoo::vgg19();
+        let r = report(System::WfbpPs, &vgg, 8, 40.0);
+        let expect_gbit = 2.0 * vgg.param_bytes() as f64 * (8.0 + 8.0 - 2.0) / 8.0 * 8.0 / 1e9;
+        let got = r.per_node_gbit[0];
+        assert!(
+            (got - expect_gbit).abs() / expect_gbit < 0.02,
+            "per-node traffic {got} Gb vs cost model {expect_gbit} Gb"
+        );
+    }
+
+    #[test]
+    fn sequential_iteration_is_compute_plus_comm() {
+        let g = zoo::googlenet();
+        let r = report(System::CaffePs, &g, 4, 10.0);
+        assert!(r.iter_time_s > r.compute_s, "sequential must add comm time");
+        assert_eq!(r.schemes.iter().filter(|(_, s)| *s == CommScheme::Sfb).count(), 0);
+    }
+
+    #[test]
+    fn onebit_reduces_fc_traffic() {
+        let vgg = zoo::vgg19();
+        let onebit = report(System::Cntk1Bit, &vgg, 8, 40.0);
+        let ps = report(System::WfbpPs, &vgg, 8, 40.0);
+        assert!(
+            onebit.per_node_gbit[0] < 0.45 * ps.per_node_gbit[0],
+            "1-bit {} Gb vs PS {} Gb",
+            onebit.per_node_gbit[0],
+            ps.per_node_gbit[0]
+        );
+    }
+
+    #[test]
+    fn multi_gpu_scales_with_local_aggregation() {
+        let g = zoo::googlenet();
+        let mut cfg = SimConfig::system(System::Poseidon, 1, 40.0);
+        cfg.gpus_per_node = 4;
+        let r = simulate(&g, &cfg);
+        assert!(
+            r.speedup > 3.8,
+            "4 GPUs on one node should be near-linear: {}x",
+            r.speedup
+        );
+        // 8-GPU nodes on the heavy VGG19 pay visible PCIe aggregation.
+        let vgg = zoo::vgg19();
+        let mut cfg = SimConfig::system(System::Poseidon, 4, 40.0);
+        cfg.gpus_per_node = 8;
+        let r = simulate(&vgg, &cfg);
+        assert!(r.speedup > 28.0 && r.speedup < 32.0, "4x8 GPUs VGG19: {}x", r.speedup);
+    }
+
+    #[test]
+    fn multi_gpu_increases_effective_batch_for_best_scheme() {
+        // GoogLeNet's thin classifier: SFB at K=32 single GPU on few nodes,
+        // PS once 8 GPUs multiply the per-node batch.
+        let g = zoo::googlenet();
+        let mut small = SimConfig::system(System::Poseidon, 4, 40.0);
+        small.batch_per_node = Some(32);
+        let r_small = simulate(&g, &small);
+        let mut big = small.clone();
+        big.gpus_per_node = 8; // node batch 256 > the ~253 crossover
+        let r_big = simulate(&g, &big);
+        let fc_scheme = |r: &IterationReport| {
+            r.schemes
+                .iter()
+                .find(|(n, _)| n.contains("classifier"))
+                .map(|&(_, s)| s)
+                .expect("classifier present")
+        };
+        assert_eq!(fc_scheme(&r_small), CommScheme::Sfb);
+        assert_eq!(fc_scheme(&r_big), CommScheme::Ps, "bigger node batch flips to PS");
+    }
+
+    #[test]
+    fn straggler_gates_bsp_iteration_time() {
+        let g = zoo::googlenet();
+        let clean = simulate(&g, &SimConfig::system(System::WfbpPs, 8, 40.0));
+        let mut cfg = SimConfig::system(System::WfbpPs, 8, 40.0);
+        cfg.straggler = Some((3, 2.0));
+        let slow = simulate(&g, &cfg);
+        // BSP waits for the slowest node: iteration roughly doubles.
+        assert!(
+            slow.iter_time_s > 1.8 * clean.iter_time_s,
+            "straggler must gate the barrier: {} vs {}",
+            slow.iter_time_s,
+            clean.iter_time_s
+        );
+    }
+
+    #[test]
+    fn dropping_the_straggler_recovers_throughput() {
+        let g = zoo::googlenet();
+        let mut gated = SimConfig::system(System::WfbpPs, 8, 40.0);
+        gated.straggler = Some((3, 2.0));
+        let waiting = simulate(&g, &gated);
+        let mut dropping = gated.clone();
+        dropping.drop_stragglers = true;
+        let dropped = simulate(&g, &dropping);
+        assert!(
+            dropped.iter_time_s < 0.7 * waiting.iter_time_s,
+            "dropping should cut the straggler tail: {} vs {}",
+            dropped.iter_time_s,
+            waiting.iter_time_s
+        );
+        // But the straggler still receives parameters, so the protocol
+        // completes for every node.
+        assert!(dropped.speedup > waiting.speedup);
+    }
+
+    #[test]
+    fn straggler_drop_works_for_sfb_layers_too() {
+        let vgg = zoo::vgg19();
+        let mut cfg = SimConfig::system(System::Poseidon, 8, 10.0);
+        cfg.straggler = Some((0, 3.0));
+        cfg.drop_stragglers = true;
+        let r = simulate(&vgg, &cfg);
+        assert!(r.schemes.iter().any(|(_, s)| *s == CommScheme::Sfb));
+        // With the straggler's contributions dropped, the other 7 nodes are
+        // barely slowed.
+        let clean = simulate(&vgg, &SimConfig::system(System::Poseidon, 8, 10.0));
+        assert!(r.iter_time_s < 1.25 * clean.iter_time_s);
+    }
+
+    #[test]
+    fn fair_share_model_agrees_with_fifo() {
+        // The two bandwidth models must agree closely when comm is fully
+        // overlapped, and within ~25% when bandwidth-bound.
+        let vgg = zoo::vgg19();
+        let fifo = simulate(&vgg, &SimConfig::system(System::Poseidon, 8, 40.0));
+        let mut cfg = SimConfig::system(System::Poseidon, 8, 40.0);
+        cfg.fair_share = true;
+        let fair = simulate(&vgg, &cfg);
+        assert!((fifo.speedup - fair.speedup).abs() / fifo.speedup < 0.02);
+        assert!(
+            (fifo.per_node_gbit[0] - fair.per_node_gbit[0]).abs() < 0.01,
+            "traffic accounting must be identical across models"
+        );
+
+        let g = zoo::googlenet();
+        let fifo = simulate(&g, &SimConfig::system(System::WfbpPs, 8, 5.0));
+        let mut cfg = SimConfig::system(System::WfbpPs, 8, 5.0);
+        cfg.fair_share = true;
+        let fair = simulate(&g, &cfg);
+        let rel = (fifo.speedup - fair.speedup).abs() / fifo.speedup;
+        assert!(rel < 0.25, "bandwidth-bound disagreement {rel:.2} too large");
+    }
+
+    #[test]
+    fn speedup_series_is_monotone_for_poseidon() {
+        let g = zoo::googlenet();
+        let series = speedup_series(
+            &g,
+            |n| SimConfig::system(System::Poseidon, n, 40.0),
+            &[1, 2, 4, 8],
+        );
+        assert!((series[0].1 - 1.0).abs() < 0.02, "1-node speedup ~1: {series:?}");
+        for w in series.windows(2) {
+            assert!(w[1].1 > w[0].1, "speedup must grow: {series:?}");
+        }
+    }
+}

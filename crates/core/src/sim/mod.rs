@@ -1,0 +1,22 @@
+//! The cluster timing simulator.
+//!
+//! Replays Poseidon's synchronisation protocol for one training iteration of
+//! a [`poseidon_nn::zoo::ModelSpec`] over the discrete-event network of
+//! [`poseidon_netsim`], with a calibrated GPU compute model, and reports
+//! iteration time, throughput, per-node traffic and the GPU busy/stall
+//! breakdown — the measurements behind Figures 5–10 of the paper.
+//!
+//! # Substitution note
+//!
+//! The paper measured wall-clock throughput on a real 32-node Titan X /
+//! 40GbE cluster. Here, per-layer compute times come from per-layer FLOP
+//! counts scaled so single-node throughput matches the paper's measured
+//! images/sec (see [`LayerTimes`]), and communication times come from the
+//! NIC-level network model. Speedup *shapes* (who wins, crossovers, where
+//! bandwidth saturates) are the reproduction target, not absolute times.
+
+mod engine;
+mod profile;
+
+pub use engine::{simulate, speedup_series, IterationReport};
+pub use profile::{LayerTimes, SimConfig, System};

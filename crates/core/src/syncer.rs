@@ -1,0 +1,417 @@
+//! Per-layer syncers: the client-library state machine of Section 4.1.
+//!
+//! "The client library will create a syncer for each NN layer during network
+//! assembling (so that each layer one-to-one maps to one syncer), accounting
+//! for its parameter synchronisation." A syncer's life per iteration is
+//! `Move(GPU→CPU) → Send → Receive → Move(CPU→GPU)`; in this in-process
+//! runtime the two `Move`s become gradient flattening and parameter
+//! application, and `Send`/`Receive` are tracked here so the worker knows
+//! when the layer is fully synchronised (the entry in the client's completion
+//! vector `C`).
+//!
+//! This module is pure bookkeeping — no I/O — so it is exhaustively unit
+//! tested; the [`crate::runtime`] threads drive it with real messages.
+
+use crate::chunk::Chunk;
+use crate::config::CommScheme;
+use poseidon_nn::ParamBlock;
+use poseidon_tensor::{Matrix, SfBatch};
+
+/// What a completed syncer hands back to the worker's `Move(CPU→GPU)` step.
+#[derive(Debug)]
+pub enum SyncOutcome {
+    /// Fresh parameters from the parameter server (flattened weights ++ bias);
+    /// overwrite the replica's parameters.
+    FreshParams(Vec<f32>),
+    /// A pre-scaled parameter *delta* (flattened weights ++ bias); add it to
+    /// the replica's parameters. Used by the 1-bit path, where the server
+    /// broadcasts the quantized aggregated update rather than dense
+    /// parameters (Seide et al.'s double quantization).
+    ApplyDelta(Vec<f32>),
+    /// All workers' sufficient-factor batches in worker-id order (including
+    /// our own); reconstruct and apply `scale · Σ` locally.
+    SfApply(Vec<SfBatch>),
+}
+
+/// Per-layer synchronisation state for one worker.
+#[derive(Debug)]
+pub struct Syncer {
+    layer: usize,
+    scheme: CommScheme,
+    param_elems: usize,
+    /// Offset-ordered chunks of this layer (PS/1-bit paths).
+    chunks: Vec<Chunk>,
+    workers: usize,
+    me: usize,
+    // --- per-iteration state ---
+    received_chunks: Vec<Option<Vec<f32>>>,
+    received_matrix: Option<Vec<f32>>,
+    own_sf: Option<SfBatch>,
+    peer_sf: Vec<Option<SfBatch>>,
+}
+
+impl Syncer {
+    /// Creates the syncer for `layer` under `scheme`.
+    ///
+    /// `chunks` must be the layer's offset-ordered KV pairs (may be empty for
+    /// pure SFB/Adam/1-bit layers); `param_elems` the layer's flattened
+    /// parameter count; `me` this worker's id out of `workers`.
+    pub fn new(
+        layer: usize,
+        scheme: CommScheme,
+        chunks: Vec<Chunk>,
+        param_elems: usize,
+        workers: usize,
+        me: usize,
+    ) -> Self {
+        assert!(me < workers, "worker id out of range");
+        let n_chunks = chunks.len();
+        Self {
+            layer,
+            scheme,
+            param_elems,
+            chunks,
+            workers,
+            me,
+            received_chunks: vec![None; n_chunks],
+            received_matrix: None,
+            own_sf: None,
+            peer_sf: vec![None; workers],
+        }
+    }
+
+    /// The layer this syncer serves.
+    pub fn layer(&self) -> usize {
+        self.layer
+    }
+
+    /// The communication scheme in force.
+    pub fn scheme(&self) -> CommScheme {
+        self.scheme
+    }
+
+    /// The layer's KV pairs.
+    pub fn chunks(&self) -> &[Chunk] {
+        &self.chunks
+    }
+
+    /// Resets the per-iteration state (the completion-vector entry goes back
+    /// to 0).
+    pub fn begin_iteration(&mut self) {
+        for c in &mut self.received_chunks {
+            *c = None;
+        }
+        self.received_matrix = None;
+        self.own_sf = None;
+        for p in &mut self.peer_sf {
+            *p = None;
+        }
+    }
+
+    /// Records our own sufficient-factor batch at `Send` time (SFB includes
+    /// the local contribution when reconstructing).
+    pub fn set_own_sf(&mut self, batch: SfBatch) {
+        assert!(matches!(self.scheme, CommScheme::Sfb), "own SF only meaningful for SFB");
+        self.own_sf = Some(batch);
+    }
+
+    /// Handles a fresh parameter chunk from a PS shard. `chunk_idx` is the
+    /// chunk's index within this layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range index, a length mismatch, or a duplicate.
+    pub fn on_param_chunk(&mut self, chunk_idx: usize, values: Vec<f32>) {
+        assert!(
+            matches!(self.scheme, CommScheme::Ps),
+            "layer {} ({}): unexpected param chunk",
+            self.layer,
+            self.scheme
+        );
+        let chunk = &self.chunks[chunk_idx];
+        assert_eq!(values.len(), chunk.len, "chunk length mismatch");
+        assert!(
+            self.received_chunks[chunk_idx].is_none(),
+            "duplicate chunk {chunk_idx} for layer {}",
+            self.layer
+        );
+        self.received_chunks[chunk_idx] = Some(values);
+    }
+
+    /// Handles a dense parameter matrix (Adam pull / 1-bit reply).
+    pub fn on_param_matrix(&mut self, values: Vec<f32>) {
+        assert!(
+            matches!(self.scheme, CommScheme::AdamSf | CommScheme::OneBitPs),
+            "layer {}: unexpected param matrix under {}",
+            self.layer,
+            self.scheme
+        );
+        assert_eq!(values.len(), self.param_elems, "param matrix length mismatch");
+        assert!(self.received_matrix.is_none(), "duplicate param matrix");
+        self.received_matrix = Some(values);
+    }
+
+    /// Handles a peer's sufficient-factor batch.
+    pub fn on_peer_sf(&mut self, from_worker: usize, batch: SfBatch) {
+        assert!(matches!(self.scheme, CommScheme::Sfb), "unexpected SF push");
+        assert_ne!(from_worker, self.me, "received our own SF broadcast");
+        assert!(
+            self.peer_sf[from_worker].is_none(),
+            "duplicate SF batch from worker {from_worker}"
+        );
+        self.peer_sf[from_worker] = Some(batch);
+    }
+
+    /// `true` when everything this iteration needs has arrived — the layer's
+    /// entry in the completion vector can be set to 1.
+    pub fn is_complete(&self) -> bool {
+        match self.scheme {
+            CommScheme::Ps => self.received_chunks.iter().all(Option::is_some),
+            CommScheme::AdamSf | CommScheme::OneBitPs => self.received_matrix.is_some(),
+            CommScheme::Sfb => {
+                self.own_sf.is_some()
+                    && (0..self.workers)
+                        .filter(|&w| w != self.me)
+                        .all(|w| self.peer_sf[w].is_some())
+            }
+        }
+    }
+
+    /// Consumes the iteration's received state into a [`SyncOutcome`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the syncer is not complete.
+    pub fn take_outcome(&mut self) -> SyncOutcome {
+        assert!(self.is_complete(), "layer {} syncer not complete", self.layer);
+        match self.scheme {
+            CommScheme::Ps => {
+                let mut flat = vec![0.0f32; self.param_elems];
+                for (idx, chunk) in self.chunks.iter().enumerate() {
+                    let vals = self.received_chunks[idx].take().expect("complete");
+                    flat[chunk.offset..chunk.offset + chunk.len].copy_from_slice(&vals);
+                }
+                SyncOutcome::FreshParams(flat)
+            }
+            CommScheme::AdamSf => {
+                SyncOutcome::FreshParams(self.received_matrix.take().expect("complete"))
+            }
+            CommScheme::OneBitPs => {
+                SyncOutcome::ApplyDelta(self.received_matrix.take().expect("complete"))
+            }
+            CommScheme::Sfb => {
+                let mut batches = Vec::with_capacity(self.workers);
+                for w in 0..self.workers {
+                    if w == self.me {
+                        batches.push(self.own_sf.take().expect("complete"));
+                    } else {
+                        batches.push(self.peer_sf[w].take().expect("complete"));
+                    }
+                }
+                SyncOutcome::SfApply(batches)
+            }
+        }
+    }
+}
+
+/// Flattens a parameter block to `weights (row-major) ++ bias`.
+pub fn flatten_params(p: &ParamBlock) -> Vec<f32> {
+    let mut flat = Vec::with_capacity(p.num_params());
+    flat.extend_from_slice(p.weights.as_slice());
+    flat.extend_from_slice(p.bias.as_slice());
+    flat
+}
+
+/// Flattens a parameter block's gradients in the same layout.
+pub fn flatten_grads(p: &ParamBlock) -> Vec<f32> {
+    let mut flat = Vec::with_capacity(p.num_params());
+    flat.extend_from_slice(p.grad_weights.as_slice());
+    flat.extend_from_slice(p.grad_bias.as_slice());
+    flat
+}
+
+/// Overwrites a parameter block from a flat `weights ++ bias` buffer.
+///
+/// # Panics
+///
+/// Panics if `flat` has the wrong length.
+pub fn write_params_flat(p: &mut ParamBlock, flat: &[f32]) {
+    assert_eq!(flat.len(), p.num_params(), "flat parameter length mismatch");
+    let w = p.weights.len();
+    p.weights.as_mut_slice().copy_from_slice(&flat[..w]);
+    p.bias.as_mut_slice().copy_from_slice(&flat[w..]);
+}
+
+/// Adds a flat pre-scaled `weights ++ bias` delta to a parameter block.
+///
+/// # Panics
+///
+/// Panics if `flat` has the wrong length.
+pub fn apply_delta_flat(p: &mut ParamBlock, flat: &[f32]) {
+    assert_eq!(flat.len(), p.num_params(), "flat delta length mismatch");
+    let w = p.weights.len();
+    for (v, d) in p.weights.as_mut_slice().iter_mut().zip(&flat[..w]) {
+        *v += d;
+    }
+    for (v, d) in p.bias.as_mut_slice().iter_mut().zip(&flat[w..]) {
+        *v += d;
+    }
+}
+
+/// Reconstructs the summed dense gradient of a set of SF batches: the weight
+/// gradient `Σ uvᵀ` and the bias gradient `Σ u`.
+///
+/// Batches must be given in worker-id order so every replica folds them
+/// identically.
+pub fn reconstruct_sf_batches(batches: &[SfBatch], rows: usize, cols: usize) -> (Matrix, Vec<f32>) {
+    let mut grad = Matrix::zeros(rows, cols);
+    let mut bias_grad = vec![0.0f32; rows];
+    for batch in batches {
+        batch.accumulate_into(&mut grad, 1.0);
+        for sf in batch.factors() {
+            for (b, &u) in bias_grad.iter_mut().zip(&sf.u) {
+                *b += u;
+            }
+        }
+    }
+    (grad, bias_grad)
+}
+
+/// Applies `scale · Σ batches` (weights via rank-1 reconstruction, bias via
+/// the summed `u` factors) to a parameter block — SFB's `Move(CPU→GPU)`.
+pub fn apply_sf_batches(p: &mut ParamBlock, batches: &[SfBatch], scale: f32) {
+    let (rows, cols) = p.weights.shape();
+    let (grad, bias_grad) = reconstruct_sf_batches(batches, rows, cols);
+    p.weights.axpy(scale, &grad);
+    for (i, &g) in bias_grad.iter().enumerate() {
+        p.bias[(0, i)] += scale * g;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poseidon_tensor::SufficientFactor;
+
+    fn chunk(layer: usize, idx: usize, offset: usize, len: usize) -> Chunk {
+        Chunk {
+            layer,
+            offset,
+            len,
+            shard: idx % 2,
+        }
+    }
+
+    #[test]
+    fn ps_syncer_assembles_chunks_in_offset_order() {
+        let chunks = vec![chunk(0, 0, 0, 3), chunk(0, 1, 3, 2)];
+        let mut s = Syncer::new(0, CommScheme::Ps, chunks, 5, 4, 0);
+        assert!(!s.is_complete());
+        s.on_param_chunk(1, vec![40.0, 50.0]);
+        assert!(!s.is_complete());
+        s.on_param_chunk(0, vec![10.0, 20.0, 30.0]);
+        assert!(s.is_complete());
+        match s.take_outcome() {
+            SyncOutcome::FreshParams(flat) => {
+                assert_eq!(flat, vec![10.0, 20.0, 30.0, 40.0, 50.0]);
+            }
+            other => panic!("wrong outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sfb_syncer_needs_own_and_all_peers() {
+        let mut s = Syncer::new(2, CommScheme::Sfb, vec![], 6, 3, 1);
+        let batch = |v: f32| {
+            SfBatch::from_factors(vec![SufficientFactor::new(vec![v, v], vec![1.0])])
+        };
+        s.on_peer_sf(0, batch(1.0));
+        assert!(!s.is_complete(), "missing own batch and worker 2");
+        s.set_own_sf(batch(2.0));
+        assert!(!s.is_complete());
+        s.on_peer_sf(2, batch(3.0));
+        assert!(s.is_complete());
+        match s.take_outcome() {
+            SyncOutcome::SfApply(batches) => {
+                assert_eq!(batches.len(), 3);
+                // Worker-id order: 0, me(1), 2.
+                assert_eq!(batches[0].factors()[0].u[0], 1.0);
+                assert_eq!(batches[1].factors()[0].u[0], 2.0);
+                assert_eq!(batches[2].factors()[0].u[0], 3.0);
+            }
+            other => panic!("wrong outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn adam_syncer_takes_one_matrix() {
+        let mut s = Syncer::new(1, CommScheme::AdamSf, vec![], 4, 2, 0);
+        s.on_param_matrix(vec![1.0, 2.0, 3.0, 4.0]);
+        assert!(s.is_complete());
+        match s.take_outcome() {
+            SyncOutcome::FreshParams(flat) => assert_eq!(flat.len(), 4),
+            other => panic!("wrong outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn begin_iteration_resets_state() {
+        let mut s = Syncer::new(0, CommScheme::Ps, vec![chunk(0, 0, 0, 2)], 2, 2, 0);
+        s.on_param_chunk(0, vec![1.0, 2.0]);
+        assert!(s.is_complete());
+        let _ = s.take_outcome();
+        s.begin_iteration();
+        assert!(!s.is_complete());
+        s.on_param_chunk(0, vec![3.0, 4.0]); // no duplicate panic after reset
+        assert!(s.is_complete());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate chunk")]
+    fn duplicate_chunk_panics() {
+        let mut s = Syncer::new(0, CommScheme::Ps, vec![chunk(0, 0, 0, 1)], 1, 1, 0);
+        s.on_param_chunk(0, vec![1.0]);
+        s.on_param_chunk(0, vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "our own SF broadcast")]
+    fn own_broadcast_echo_panics() {
+        let mut s = Syncer::new(0, CommScheme::Sfb, vec![], 2, 2, 1);
+        s.on_peer_sf(1, SfBatch::from_factors(vec![SufficientFactor::new(vec![1.0], vec![1.0])]));
+    }
+
+    #[test]
+    fn flatten_roundtrip() {
+        let mut p = ParamBlock::new(2, 3);
+        p.weights = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        p.bias = Matrix::from_vec(1, 2, vec![7.0, 8.0]);
+        let flat = flatten_params(&p);
+        assert_eq!(flat, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        let mut q = ParamBlock::new(2, 3);
+        write_params_flat(&mut q, &flat);
+        assert_eq!(q.weights, p.weights);
+        assert_eq!(q.bias, p.bias);
+    }
+
+    #[test]
+    fn apply_sf_batches_matches_dense_update() {
+        let mut p = ParamBlock::new(2, 2);
+        let batches = vec![
+            SfBatch::from_factors(vec![SufficientFactor::new(vec![1.0, 0.0], vec![1.0, 2.0])]),
+            SfBatch::from_factors(vec![SufficientFactor::new(vec![0.0, 1.0], vec![3.0, 4.0])]),
+        ];
+        apply_sf_batches(&mut p, &batches, -0.5);
+        // grad = [[1,2],[3,4]]; params = -0.5*grad.
+        assert_eq!(p.weights.as_slice(), &[-0.5, -1.0, -1.5, -2.0]);
+        // bias grad = sum of u = [1,1].
+        assert_eq!(p.bias.as_slice(), &[-0.5, -0.5]);
+    }
+
+    #[test]
+    fn single_worker_sfb_is_complete_with_own_batch_only() {
+        let mut s = Syncer::new(0, CommScheme::Sfb, vec![], 2, 1, 0);
+        s.set_own_sf(SfBatch::from_factors(vec![SufficientFactor::new(vec![1.0], vec![1.0])]));
+        assert!(s.is_complete());
+    }
+}

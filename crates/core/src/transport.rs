@@ -1,0 +1,337 @@
+//! In-process message transport with per-node byte accounting.
+//!
+//! The threaded runtime's stand-in for the cluster network: every logical
+//! node gets an [`Endpoint`] with one inbox; sends are crossbeam channel
+//! pushes of serialised payloads. Every payload byte that would cross a real
+//! network is counted in the shared [`TrafficCounters`] — loop-back messages
+//! (a worker talking to the KV shard colocated on its own node) are delivered
+//! but *not* counted, matching Table 1's `(P1 + P2 − 2)/P2` accounting and
+//! the simulator's ledger semantics.
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Fixed per-message header overhead charged by the byte accounting
+/// (iteration, layer, chunk ids and the message tag).
+pub const HEADER_BYTES: u64 = 16;
+
+/// A message between nodes. Payloads are pre-serialised byte buffers; the
+/// transport never inspects them.
+#[derive(Clone, Debug)]
+pub enum Message {
+    /// Dense (or quantized) gradient for one KV pair, worker → server.
+    GradChunk {
+        /// Training iteration.
+        iter: u64,
+        /// Layer index.
+        layer: u32,
+        /// Chunk index within the layer.
+        chunk: u32,
+        /// Encoded payload.
+        data: Bytes,
+    },
+    /// Fresh parameters for one KV pair, server → worker.
+    ParamChunk {
+        /// Training iteration.
+        iter: u64,
+        /// Layer index.
+        layer: u32,
+        /// Chunk index within the layer.
+        chunk: u32,
+        /// Encoded payload.
+        data: Bytes,
+    },
+    /// A batch of sufficient factors, worker → peer (SFB) or worker → server
+    /// (Adam).
+    SfPush {
+        /// Training iteration.
+        iter: u64,
+        /// Layer index.
+        layer: u32,
+        /// Encoded `SfBatch`.
+        data: Bytes,
+    },
+    /// A dense parameter matrix, server → worker (Adam's pull path).
+    ParamMatrix {
+        /// Training iteration.
+        iter: u64,
+        /// Layer index.
+        layer: u32,
+        /// Encoded payload.
+        data: Bytes,
+    },
+}
+
+impl Message {
+    /// Bytes this message would occupy on the wire.
+    pub fn wire_bytes(&self) -> u64 {
+        let payload = match self {
+            Message::GradChunk { data, .. }
+            | Message::ParamChunk { data, .. }
+            | Message::SfPush { data, .. }
+            | Message::ParamMatrix { data, .. } => data.len() as u64,
+        };
+        HEADER_BYTES + payload
+    }
+
+    /// The iteration stamp carried by the message.
+    pub fn iter(&self) -> u64 {
+        match self {
+            Message::GradChunk { iter, .. }
+            | Message::ParamChunk { iter, .. }
+            | Message::SfPush { iter, .. }
+            | Message::ParamMatrix { iter, .. } => *iter,
+        }
+    }
+}
+
+/// A delivered message plus its origin.
+#[derive(Clone, Debug)]
+pub struct Envelope {
+    /// Sending node.
+    pub from: usize,
+    /// The message.
+    pub msg: Message,
+}
+
+/// Thread-safe per-node traffic counters (bytes that crossed the "network").
+#[derive(Debug)]
+pub struct TrafficCounters {
+    tx: Vec<AtomicU64>,
+    rx: Vec<AtomicU64>,
+}
+
+impl TrafficCounters {
+    fn new(nodes: usize) -> Self {
+        Self {
+            tx: (0..nodes).map(|_| AtomicU64::new(0)).collect(),
+            rx: (0..nodes).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Bytes sent by `node` (excluding loop-back).
+    pub fn tx_bytes(&self, node: usize) -> u64 {
+        self.tx[node].load(Ordering::Relaxed)
+    }
+
+    /// Bytes received by `node` (excluding loop-back).
+    pub fn rx_bytes(&self, node: usize) -> u64 {
+        self.rx[node].load(Ordering::Relaxed)
+    }
+
+    /// Total bytes on the network.
+    pub fn total_bytes(&self) -> u64 {
+        self.tx.iter().map(|a| a.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Per-node totals (tx + rx).
+    pub fn per_node_totals(&self) -> Vec<u64> {
+        (0..self.tx.len())
+            .map(|n| self.tx_bytes(n) + self.rx_bytes(n))
+            .collect()
+    }
+
+    fn record(&self, src: usize, dst: usize, bytes: u64) {
+        if src == dst {
+            return;
+        }
+        self.tx[src].fetch_add(bytes, Ordering::Relaxed);
+        self.rx[dst].fetch_add(bytes, Ordering::Relaxed);
+    }
+}
+
+/// One endpoint's attachment to the fabric.
+pub struct Endpoint {
+    node: usize,
+    inbox: Receiver<Envelope>,
+    outboxes: Vec<Sender<Envelope>>,
+    dest_nodes: Vec<usize>,
+    counters: Arc<TrafficCounters>,
+}
+
+impl Endpoint {
+    /// The physical node this endpoint lives on.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// Number of endpoints on the fabric.
+    pub fn nodes(&self) -> usize {
+        self.outboxes.len()
+    }
+
+    /// Sends `msg` to endpoint `to`, recording its wire bytes against the two
+    /// endpoints' physical nodes (loop-back between co-resident endpoints is
+    /// excluded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is out of range or the destination endpoint has been
+    /// dropped.
+    pub fn send(&self, to: usize, msg: Message) {
+        self.counters.record(self.node, self.dest_nodes[to], msg.wire_bytes());
+        self.outboxes[to]
+            .send(Envelope {
+                from: self.node,
+                msg,
+            })
+            .expect("destination endpoint dropped");
+    }
+
+    /// Blocks until a message arrives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every sender has been dropped (fabric torn down).
+    pub fn recv(&self) -> Envelope {
+        self.inbox.recv().expect("all senders dropped")
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Envelope> {
+        self.inbox.try_recv().ok()
+    }
+}
+
+/// Creates a fabric of `nodes` endpoints plus the shared traffic counters.
+/// Endpoint `i` lives on physical node `i`.
+pub fn fabric(nodes: usize) -> (Vec<Endpoint>, Arc<TrafficCounters>) {
+    let ids: Vec<usize> = (0..nodes).collect();
+    fabric_with_nodes(&ids)
+}
+
+/// Creates one endpoint per entry of `node_of_endpoint`, where entry `j` is
+/// the *physical node* endpoint `j` lives on. Several endpoints may share a
+/// node — the paper's deployment colocates a worker and a KV-store shard on
+/// every machine — and traffic between co-resident endpoints is loop-back
+/// (delivered, not counted).
+pub fn fabric_with_nodes(node_of_endpoint: &[usize]) -> (Vec<Endpoint>, Arc<TrafficCounters>) {
+    assert!(!node_of_endpoint.is_empty(), "fabric needs at least one node");
+    let physical_nodes = node_of_endpoint.iter().max().expect("non-empty") + 1;
+    let counters = Arc::new(TrafficCounters::new(physical_nodes));
+    let mut senders = Vec::with_capacity(node_of_endpoint.len());
+    let mut receivers = Vec::with_capacity(node_of_endpoint.len());
+    for _ in node_of_endpoint {
+        let (s, r) = unbounded();
+        senders.push(s);
+        receivers.push(r);
+    }
+    let node_ids = node_of_endpoint.to_vec();
+    let endpoints = receivers
+        .into_iter()
+        .enumerate()
+        .map(|(idx, inbox)| Endpoint {
+            node: node_ids[idx],
+            inbox,
+            outboxes: senders.clone(),
+            dest_nodes: node_ids.clone(),
+            counters: Arc::clone(&counters),
+        })
+        .collect();
+    (endpoints, counters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grad(iter: u64, payload: usize) -> Message {
+        Message::GradChunk {
+            iter,
+            layer: 0,
+            chunk: 0,
+            data: Bytes::from(vec![0u8; payload]),
+        }
+    }
+
+    #[test]
+    fn messages_are_delivered_with_origin() {
+        let (eps, _) = fabric(3);
+        eps[0].send(2, grad(7, 10));
+        let env = eps[2].recv();
+        assert_eq!(env.from, 0);
+        assert_eq!(env.msg.iter(), 7);
+        assert_eq!(env.msg.wire_bytes(), HEADER_BYTES + 10);
+    }
+
+    #[test]
+    fn traffic_is_counted_per_node() {
+        let (eps, counters) = fabric(3);
+        eps[0].send(1, grad(0, 100));
+        eps[0].send(2, grad(0, 50));
+        eps[1].recv();
+        eps[2].recv();
+        assert_eq!(counters.tx_bytes(0), 2 * HEADER_BYTES + 150);
+        assert_eq!(counters.rx_bytes(1), HEADER_BYTES + 100);
+        assert_eq!(counters.rx_bytes(2), HEADER_BYTES + 50);
+        assert_eq!(counters.total_bytes(), 2 * HEADER_BYTES + 150);
+    }
+
+    #[test]
+    fn loopback_is_delivered_but_not_counted() {
+        let (eps, counters) = fabric(2);
+        eps[1].send(1, grad(0, 999));
+        let env = eps[1].recv();
+        assert_eq!(env.from, 1);
+        assert_eq!(counters.total_bytes(), 0);
+        assert_eq!(counters.tx_bytes(1), 0);
+    }
+
+    #[test]
+    fn try_recv_is_nonblocking() {
+        let (eps, _) = fabric(2);
+        assert!(eps[0].try_recv().is_none());
+        eps[1].send(0, grad(1, 1));
+        assert!(eps[0].try_recv().is_some());
+        assert!(eps[0].try_recv().is_none());
+    }
+
+    #[test]
+    fn endpoints_work_across_threads() {
+        let (mut eps, counters) = fabric(2);
+        let e1 = eps.remove(1);
+        let e0 = eps.remove(0);
+        let t = std::thread::spawn(move || {
+            for i in 0..10 {
+                e1.send(0, grad(i, 8));
+            }
+        });
+        let mut got = 0;
+        for _ in 0..10 {
+            let env = e0.recv();
+            assert_eq!(env.from, 1);
+            got += 1;
+        }
+        t.join().unwrap();
+        assert_eq!(got, 10);
+        assert_eq!(counters.total_bytes(), 10 * (HEADER_BYTES + 8));
+    }
+
+    #[test]
+    fn colocated_endpoints_share_a_node() {
+        // Endpoints 0,1 are workers on nodes 0,1; endpoints 2,3 are shards on
+        // the same nodes.
+        let (eps, counters) = fabric_with_nodes(&[0, 1, 0, 1]);
+        // Worker 0 → its local shard (endpoint 2, node 0): loop-back.
+        eps[0].send(2, grad(0, 100));
+        eps[2].recv();
+        assert_eq!(counters.total_bytes(), 0);
+        // Worker 0 → remote shard (endpoint 3, node 1): counted.
+        eps[0].send(3, grad(0, 100));
+        eps[3].recv();
+        assert_eq!(counters.tx_bytes(0), HEADER_BYTES + 100);
+        assert_eq!(counters.rx_bytes(1), HEADER_BYTES + 100);
+    }
+
+    #[test]
+    fn per_node_totals_sum_tx_and_rx() {
+        let (eps, counters) = fabric(2);
+        eps[0].send(1, grad(0, 10));
+        eps[1].send(0, grad(0, 20));
+        let totals = counters.per_node_totals();
+        assert_eq!(totals[0], (HEADER_BYTES + 10) + (HEADER_BYTES + 20));
+        assert_eq!(totals[0], totals[1]);
+    }
+}

@@ -1,0 +1,170 @@
+//! Property-based tests for Poseidon's core data structures and cost model.
+
+use poseidon::chunk::ChunkTable;
+use poseidon::config::{ClusterConfig, CommScheme, Partition};
+use poseidon::costmodel;
+use poseidon::kvstore::ShardState;
+use proptest::prelude::*;
+
+proptest! {
+    /// KV-pair chunking is a partition: chunks cover every layer exactly,
+    /// contiguously, with no overlap, and every chunk respects the pair size.
+    #[test]
+    fn chunk_table_partitions_layers(
+        layers in proptest::collection::vec(0usize..10_000, 1..12),
+        servers in 1usize..9,
+        pair in 1usize..2048,
+    ) {
+        let table = ChunkTable::build(&layers, servers, Partition::KvPairs { pair_elems: pair });
+        for (l, &elems) in layers.iter().enumerate() {
+            let chunks = table.layer_chunks(l);
+            let total: usize = chunks.iter().map(|c| c.len).sum();
+            prop_assert_eq!(total, elems, "layer {} not fully covered", l);
+            let mut expected_offset = 0usize;
+            for c in &chunks {
+                prop_assert_eq!(c.offset, expected_offset, "gap or overlap in layer {}", l);
+                prop_assert!(c.len <= pair);
+                prop_assert!(c.shard < servers);
+                expected_offset += c.len;
+            }
+        }
+    }
+
+    /// Round-robin assignment keeps shard loads within one pair of each other
+    /// for a single large layer.
+    #[test]
+    fn chunk_table_balances_single_layer(
+        elems in 1usize..1_000_000,
+        servers in 1usize..17,
+        pair in 1usize..65_536,
+    ) {
+        let table = ChunkTable::build(&[elems], servers, Partition::KvPairs { pair_elems: pair });
+        let loads = table.shard_loads();
+        let max = *loads.iter().max().unwrap();
+        let min = *loads.iter().min().unwrap();
+        prop_assert!(max - min <= pair, "max {max} min {min} pair {pair}");
+    }
+
+    /// BSP shard aggregation equals a plain fold: after all workers report,
+    /// params == init + scale * Σ grads, for any arrival order.
+    #[test]
+    fn shard_aggregation_is_scaled_sum(
+        init in proptest::collection::vec(-10.0f32..10.0, 1..32),
+        grads in proptest::collection::vec(
+            proptest::collection::vec(-10.0f32..10.0, 1..32), 1..5),
+        scale in -1.0f32..1.0,
+        order_seed in 0u64..1000,
+    ) {
+        let workers = grads.len();
+        let len = init.len();
+        let grads: Vec<Vec<f32>> = grads
+            .into_iter()
+            .map(|mut g| {
+                g.resize(len, 0.0);
+                g
+            })
+            .collect();
+        // Shuffle arrival order deterministically.
+        let mut order: Vec<usize> = (0..workers).collect();
+        let mut seed = order_seed;
+        for i in (1..order.len()).rev() {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            order.swap(i, (seed >> 33) as usize % (i + 1));
+        }
+
+        let mut shard = ShardState::new(workers, scale);
+        shard.init_pair((0, 0), init.clone());
+        let mut result = None;
+        for &w in &order {
+            result = shard.receive_grad(w, (0, 0), &grads[w]);
+        }
+        let updated = result.expect("all workers reported");
+
+        for i in 0..len {
+            let sum: f32 = grads.iter().map(|g| g[i]).sum();
+            let expect = init[i] + scale * sum;
+            prop_assert!((updated[i] - expect).abs() <= 1e-4 * (1.0 + expect.abs()));
+        }
+    }
+
+    /// Checkpoint/restore is lossless for arbitrary shard contents.
+    #[test]
+    fn shard_checkpoint_roundtrips(
+        pairs in proptest::collection::vec(
+            ((0u32..50, 0u32..50), proptest::collection::vec(-100.0f32..100.0, 1..20)),
+            1..10),
+    ) {
+        let mut shard = ShardState::new(1, -1.0);
+        for (key, values) in &pairs {
+            shard.init_pair(*key, values.clone());
+        }
+        let expected_pairs = shard.num_pairs();
+        let ckpt = shard.checkpoint();
+        let mut restored = ShardState::new(1, -1.0);
+        prop_assert_eq!(restored.restore(&ckpt), Some(expected_pairs));
+        for (key, _) in &pairs {
+            prop_assert_eq!(restored.pair(*key), shard.pair(*key));
+        }
+    }
+
+    /// Algorithm 1 picks the argmin of the two analytic costs — always.
+    #[test]
+    fn best_scheme_is_argmin(
+        m in 1usize..30_000,
+        n in 1usize..30_000,
+        k in 1usize..512,
+        p in 2usize..64,
+    ) {
+        let cluster = ClusterConfig::colocated(p, k);
+        let sfb = costmodel::sfb_cost(m, n, &cluster);
+        let ps = costmodel::ps_cost(m, n, &cluster).server_and_worker;
+        let picked = costmodel::best_scheme_fc(m, n, &cluster);
+        if sfb <= ps {
+            prop_assert_eq!(picked, CommScheme::Sfb);
+        } else {
+            prop_assert_eq!(picked, CommScheme::Ps);
+        }
+    }
+
+    /// The crossover batch size is consistent with BestScheme on both sides.
+    #[test]
+    fn crossover_batch_is_a_true_boundary(
+        m in 16usize..10_000,
+        n in 16usize..10_000,
+        p in 2usize..33,
+    ) {
+        let crossover = costmodel::sfb_crossover_batch(m, n, p, p);
+        let below = crossover.floor() as usize;
+        if below >= 1 {
+            let cluster = ClusterConfig { workers: p, servers: p, batch_per_worker: below, colocated: true };
+            prop_assert_eq!(costmodel::best_scheme_fc(m, n, &cluster), CommScheme::Sfb);
+        }
+        let above = crossover.ceil() as usize + 1;
+        let cluster = ClusterConfig { workers: p, servers: p, batch_per_worker: above, colocated: true };
+        prop_assert_eq!(costmodel::best_scheme_fc(m, n, &cluster), CommScheme::Ps);
+    }
+
+    /// PS cost is monotone in the matrix size, SFB cost in the batch size.
+    #[test]
+    fn cost_model_monotonicity(
+        m in 1usize..5000,
+        n in 1usize..5000,
+        k in 1usize..256,
+        p in 2usize..32,
+    ) {
+        let cluster = ClusterConfig::colocated(p, k);
+        let bigger = ClusterConfig::colocated(p, k + 1);
+        prop_assert!(
+            costmodel::sfb_cost(m, n, &bigger) >= costmodel::sfb_cost(m, n, &cluster)
+        );
+        prop_assert!(
+            costmodel::ps_cost(m + 1, n, &cluster).server_and_worker
+                >= costmodel::ps_cost(m, n, &cluster).server_and_worker
+        );
+        // PS cost is independent of K.
+        prop_assert_eq!(
+            costmodel::ps_cost(m, n, &bigger).server_and_worker,
+            costmodel::ps_cost(m, n, &cluster).server_and_worker
+        );
+    }
+}

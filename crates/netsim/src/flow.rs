@@ -1,0 +1,421 @@
+//! Max-min fair bandwidth sharing — a fluid-flow alternative to the FIFO NIC
+//! queues of [`crate::net::Network`].
+//!
+//! Real TCP flows crossing a switched cluster do not serialise per NIC; they
+//! share each NIC's capacity, converging (roughly) to the max-min fair
+//! allocation. [`FlowNetwork`] models that: every active flow gets a rate from
+//! progressive filling (water-filling) over its sender's tx capacity and its
+//! receiver's rx capacity, rates are recomputed whenever a flow starts or
+//! finishes, and remaining bytes drain fluidly between events.
+//!
+//! The FIFO model is the default in the cluster simulator (simple,
+//! conservative); this model is the higher-fidelity option
+//! (`SimConfig::fair_share`), and an ablation compares the two.
+
+use crate::ledger::TrafficLedger;
+
+/// Identifies a flow within a [`FlowNetwork`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct FlowId(usize);
+
+#[derive(Clone, Debug)]
+struct Flow<T> {
+    src: usize,
+    dst: usize,
+    start: f64,
+    remaining: f64,
+    /// Current max-min rate (bytes/s); 0 until activated.
+    rate: f64,
+    tag: Option<T>,
+    done: bool,
+}
+
+/// A fluid-flow network of `n` nodes with per-direction NIC capacity.
+///
+/// `T` is an arbitrary completion tag returned when a flow finishes (the
+/// cluster simulator stores the event to fire).
+#[derive(Clone, Debug)]
+pub struct FlowNetwork<T> {
+    nodes: usize,
+    capacity_bps: f64,
+    now: f64,
+    flows: Vec<Flow<T>>,
+    ledger: TrafficLedger,
+    /// Rates are stale (flows added since the last recompute).
+    dirty: bool,
+}
+
+impl<T> FlowNetwork<T> {
+    /// Creates a network of `nodes` nodes with per-direction `bandwidth_gbps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes == 0` or bandwidth is not positive.
+    pub fn new(nodes: usize, bandwidth_gbps: f64) -> Self {
+        assert!(nodes > 0, "network needs at least one node");
+        assert!(bandwidth_gbps > 0.0, "bandwidth must be positive");
+        Self {
+            nodes,
+            capacity_bps: bandwidth_gbps * 1e9 / 8.0,
+            now: 0.0,
+            flows: Vec::new(),
+            ledger: TrafficLedger::new(nodes),
+            dirty: false,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// The traffic ledger.
+    pub fn ledger(&self) -> &TrafficLedger {
+        &self.ledger
+    }
+
+    /// Mutable access to the traffic ledger.
+    pub fn ledger_mut(&mut self) -> &mut TrafficLedger {
+        &mut self.ledger
+    }
+
+    /// Number of flows still draining.
+    pub fn active_flows(&self) -> usize {
+        self.flows.iter().filter(|f| !f.done).count()
+    }
+
+    /// Adds a flow of `bytes` from `src` to `dst`, eligible to transmit from
+    /// `start` (clamped to now). Zero-byte and loop-back flows complete
+    /// immediately at `start` (returned by the next [`Self::advance`] at or
+    /// after that time); loop-back is not recorded as traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node is out of range.
+    pub fn add_flow(&mut self, start: f64, src: usize, dst: usize, bytes: u64, tag: T) -> FlowId {
+        assert!(src < self.nodes && dst < self.nodes, "node out of range");
+        let start = start.max(self.now);
+        if src != dst {
+            self.ledger.record(src, dst, bytes);
+        }
+        let remaining = if src == dst { 0.0 } else { bytes as f64 };
+        self.flows.push(Flow {
+            src,
+            dst,
+            start,
+            remaining,
+            rate: 0.0,
+            tag: Some(tag),
+            done: false,
+        });
+        // Defer the (expensive) rate recomputation: many flows are typically
+        // added back to back before time advances.
+        self.dirty = true;
+        FlowId(self.flows.len() - 1)
+    }
+
+    /// The next time the flow system changes state (a flow activates or
+    /// completes), or `None` if nothing is pending.
+    pub fn next_event_time(&mut self) -> Option<f64> {
+        if self.dirty {
+            self.recompute_rates();
+            self.dirty = false;
+        }
+        let mut next = f64::INFINITY;
+        for f in &self.flows {
+            if f.done {
+                continue;
+            }
+            if f.start > self.now {
+                next = next.min(f.start);
+            } else if f.remaining <= 0.0 {
+                next = next.min(self.now);
+            } else if f.rate > 0.0 {
+                next = next.min(self.now + f.remaining / f.rate);
+            }
+        }
+        (next != f64::INFINITY).then_some(next)
+    }
+
+    /// Advances the fluid model to time `t`, returning the tags of every flow
+    /// that completed at or before `t` (in insertion order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is before the current time or beyond the next state
+    /// change (call [`Self::next_event_time`] first).
+    pub fn advance(&mut self, t: f64) -> Vec<T> {
+        assert!(t >= self.now - 1e-12, "cannot advance into the past");
+        if self.dirty {
+            self.recompute_rates();
+            self.dirty = false;
+        }
+        if let Some(next) = self.next_event_time() {
+            assert!(
+                t <= next + 1e-9,
+                "advance past a state change: {t} > {next}"
+            );
+        }
+        let dt = (t - self.now).max(0.0);
+        self.now = t;
+        let mut completed = Vec::new();
+        let mut changed = false;
+        for f in self.flows.iter_mut() {
+            if f.done {
+                continue;
+            }
+            if f.start <= self.now && f.remaining > 0.0 {
+                f.remaining -= f.rate * dt;
+            }
+            if f.start <= self.now + 1e-12 && f.remaining <= 1e-6 {
+                f.done = true;
+                changed = true;
+                completed.push(f.tag.take().expect("tag taken once"));
+            } else if f.start <= self.now && f.rate == 0.0 {
+                changed = true; // flow just activated; rates must refresh
+            }
+        }
+        if changed {
+            // Drop finished flows so the books stay proportional to the
+            // number of *live* flows (FlowIds are invalidated by completion).
+            self.flows.retain(|f| !f.done);
+            self.recompute_rates();
+        }
+        completed
+    }
+
+    /// Progressive filling: every unfrozen flow raises its rate uniformly
+    /// until some NIC saturates; flows on that NIC freeze; repeat.
+    fn recompute_rates(&mut self) {
+        // Active = started, not done, bytes remaining.
+        let mut active: Vec<usize> = Vec::with_capacity(self.flows.len());
+        for (i, f) in self.flows.iter_mut().enumerate() {
+            if !f.done && f.start <= self.now + 1e-12 && f.remaining > 0.0 {
+                active.push(i);
+            } else {
+                f.rate = 0.0;
+            }
+        }
+        if active.is_empty() {
+            return;
+        }
+
+        let mut frozen: Vec<bool> = vec![false; active.len()];
+        let mut rate: Vec<f64> = vec![0.0; active.len()];
+        loop {
+            // Remaining capacity and unfrozen count per (node, direction).
+            let mut cap_tx = vec![self.capacity_bps; self.nodes];
+            let mut cap_rx = vec![self.capacity_bps; self.nodes];
+            let mut n_tx = vec![0usize; self.nodes];
+            let mut n_rx = vec![0usize; self.nodes];
+            for (k, &i) in active.iter().enumerate() {
+                let f = &self.flows[i];
+                if frozen[k] {
+                    cap_tx[f.src] -= rate[k];
+                    cap_rx[f.dst] -= rate[k];
+                } else {
+                    n_tx[f.src] += 1;
+                    n_rx[f.dst] += 1;
+                }
+            }
+            // Smallest fair share over all constrained resources.
+            let mut best_share = f64::INFINITY;
+            for n in 0..self.nodes {
+                if n_tx[n] > 0 {
+                    best_share = best_share.min(cap_tx[n].max(0.0) / n_tx[n] as f64);
+                }
+                if n_rx[n] > 0 {
+                    best_share = best_share.min(cap_rx[n].max(0.0) / n_rx[n] as f64);
+                }
+            }
+            if best_share == f64::INFINITY {
+                break; // everything frozen
+            }
+            // Freeze every unfrozen flow touching a saturated resource.
+            let mut froze_any = false;
+            for (k, &i) in active.iter().enumerate() {
+                if frozen[k] {
+                    continue;
+                }
+                let f = &self.flows[i];
+                let tx_share = cap_tx[f.src].max(0.0) / n_tx[f.src] as f64;
+                let rx_share = cap_rx[f.dst].max(0.0) / n_rx[f.dst] as f64;
+                if tx_share <= best_share + 1e-9 || rx_share <= best_share + 1e-9 {
+                    rate[k] = best_share;
+                    frozen[k] = true;
+                    froze_any = true;
+                }
+            }
+            if !froze_any {
+                // Numerical corner: freeze everything at the current share.
+                for (k, _) in active.iter().enumerate() {
+                    if !frozen[k] {
+                        rate[k] = best_share;
+                        frozen[k] = true;
+                    }
+                }
+            }
+            if frozen.iter().all(|&f| f) {
+                break;
+            }
+        }
+        for (k, &i) in active.iter().enumerate() {
+            self.flows[i].rate = rate[k];
+        }
+    }
+
+    /// The current rate of a flow (bytes/s) — for tests and diagnostics.
+    /// Only valid before any flow completes (completion compacts the table).
+    pub fn rate_of(&mut self, id: FlowId) -> f64 {
+        if self.dirty {
+            self.recompute_rates();
+            self.dirty = false;
+        }
+        self.flows[id.0].rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Capacity of the 8-Gbps links used below, in bytes/s.
+    const LINE_RATE: f64 = 1e9;
+
+    fn drain<T>(net: &mut FlowNetwork<T>) -> Vec<(f64, T)> {
+        let mut out = Vec::new();
+        while let Some(t) = net.next_event_time() {
+            for tag in net.advance(t) {
+                out.push((t, tag));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn single_flow_runs_at_line_rate() {
+        let mut net: FlowNetwork<&str> = FlowNetwork::new(2, 8.0);
+        net.add_flow(0.0, 0, 1, 1_000_000_000, "a");
+        let done = drain(&mut net);
+        assert_eq!(done.len(), 1);
+        assert!((done[0].0 - 1.0).abs() < 1e-6, "1GB at 1GB/s: {}", done[0].0);
+    }
+
+    #[test]
+    fn two_flows_sharing_a_tx_nic_split_evenly() {
+        let mut net: FlowNetwork<u32> = FlowNetwork::new(3, 8.0);
+        let a = net.add_flow(0.0, 0, 1, 500_000_000, 1);
+        let b = net.add_flow(0.0, 0, 2, 500_000_000, 2);
+        assert!((net.rate_of(a) - 0.5 * LINE_RATE).abs() < 1.0);
+        assert!((net.rate_of(b) - 0.5 * LINE_RATE).abs() < 1.0);
+        let done = drain(&mut net);
+        // Both finish together at 1s (500MB each at 0.5 GB/s).
+        assert!((done[0].0 - 1.0).abs() < 1e-6);
+        assert!((done[1].0 - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn finished_flow_releases_bandwidth() {
+        let mut net: FlowNetwork<u32> = FlowNetwork::new(3, 8.0);
+        net.add_flow(0.0, 0, 1, 250_000_000, 1);
+        net.add_flow(0.0, 0, 2, 750_000_000, 2);
+        let done = drain(&mut net);
+        // Phase 1: both at 0.5 GB/s; flow 1 finishes at 0.5s. Phase 2: flow 2
+        // has 500MB left at full rate -> finishes at 1.0s.
+        assert!((done[0].0 - 0.5).abs() < 1e-6, "{:?}", done[0].0);
+        assert_eq!(done[0].1, 1);
+        assert!((done[1].0 - 1.0).abs() < 1e-6, "{:?}", done[1].0);
+    }
+
+    #[test]
+    fn incast_shares_the_receiver() {
+        // 4 senders to one receiver: each gets B/4; aggregate finishes in
+        // total_bytes / B.
+        let mut net: FlowNetwork<usize> = FlowNetwork::new(5, 8.0);
+        for s in 1..=4usize {
+            net.add_flow(0.0, s, 0, 250_000_000, s);
+        }
+        let done = drain(&mut net);
+        for (t, _) in &done {
+            assert!((t - 1.0).abs() < 1e-6, "all finish at 1s, got {t}");
+        }
+    }
+
+    #[test]
+    fn max_min_gives_unbottlenecked_flows_more() {
+        // Flows: A: 0->1, B: 0->2, C: 3->2. NIC 0 tx shared by A,B; NIC 2 rx
+        // shared by B,C. Max-min: A=B=C=0.5 then A raises to... progressive
+        // filling: all rise to 0.5 (both nic0.tx and nic2.rx saturate at
+        // 2x0.5), A frozen at 0.5? nic0.tx has A,B at 0.5 => saturated; A
+        // stays 0.5. C shares nic2.rx with B: also 0.5. Classic result: all
+        // 0.5 here. Use asymmetric case instead: remove B -> A and C get 1.0.
+        let mut net: FlowNetwork<&str> = FlowNetwork::new(4, 8.0);
+        let a = net.add_flow(0.0, 0, 1, 1_000_000, "a");
+        let c = net.add_flow(0.0, 3, 2, 1_000_000, "c");
+        assert!((net.rate_of(a) - LINE_RATE).abs() < 1.0, "disjoint flows run at line rate");
+        assert!((net.rate_of(c) - LINE_RATE).abs() < 1.0);
+    }
+
+    #[test]
+    fn future_flows_activate_on_time() {
+        let mut net: FlowNetwork<&str> = FlowNetwork::new(2, 8.0);
+        net.add_flow(0.0, 0, 1, 500_000_000, "early");
+        net.add_flow(0.25, 0, 1, 500_000_000, "late");
+        let done = drain(&mut net);
+        // 0–0.25s: early alone (250MB done). Then both share 0.5 GB/s.
+        // early: 250MB left -> done at 0.75s; late: 500MB: 0.25s..0.75 at 0.5
+        // -> 250MB left, then full rate: done at 1.0s.
+        assert_eq!(done[0].1, "early");
+        assert!((done[0].0 - 0.75).abs() < 1e-6, "{}", done[0].0);
+        assert_eq!(done[1].1, "late");
+        assert!((done[1].0 - 1.0).abs() < 1e-6, "{}", done[1].0);
+    }
+
+    #[test]
+    fn loopback_completes_immediately_without_traffic() {
+        let mut net: FlowNetwork<&str> = FlowNetwork::new(2, 8.0);
+        net.add_flow(0.5, 1, 1, 1_000_000_000, "local");
+        let done = drain(&mut net);
+        assert_eq!(done, vec![(0.5, "local")]);
+        assert_eq!(net.ledger().total_bytes(), 0);
+    }
+
+    #[test]
+    fn ledger_records_flows() {
+        let mut net: FlowNetwork<u8> = FlowNetwork::new(3, 10.0);
+        net.add_flow(0.0, 0, 2, 1234, 0);
+        assert_eq!(net.ledger().tx_bytes(0), 1234);
+        assert_eq!(net.ledger().rx_bytes(2), 1234);
+    }
+
+    #[test]
+    fn aggregate_throughput_never_exceeds_capacity() {
+        // Random-ish mix of flows; verify total completion time >= bytes/B
+        // bound at the busiest NIC.
+        let mut net: FlowNetwork<usize> = FlowNetwork::new(4, 8.0);
+        let mut tx_bytes = vec![0u64; 4];
+        let mut rx_bytes = vec![0u64; 4];
+        let flows = [
+            (0usize, 1usize, 300_000_000u64),
+            (0, 2, 500_000_000),
+            (1, 2, 200_000_000),
+            (3, 2, 400_000_000),
+            (2, 0, 600_000_000),
+        ];
+        for (i, &(s, d, b)) in flows.iter().enumerate() {
+            net.add_flow(0.0, s, d, b, i);
+            tx_bytes[s] += b;
+            rx_bytes[d] += b;
+        }
+        let done = drain(&mut net);
+        let makespan = done.iter().map(|&(t, _)| t).fold(0.0f64, f64::max);
+        let busiest = tx_bytes
+            .iter()
+            .chain(rx_bytes.iter())
+            .cloned()
+            .max()
+            .unwrap() as f64;
+        assert!(makespan >= busiest / LINE_RATE - 1e-6, "makespan {makespan} beats capacity");
+        assert_eq!(done.len(), flows.len(), "every flow completes");
+    }
+}

@@ -1,0 +1,139 @@
+//! Per-node traffic accounting.
+//!
+//! Figure 10 of the paper plots the network traffic each node sends/receives
+//! per iteration under three communication schemes; the ledger provides that
+//! measurement for the simulator (and the threaded runtime keeps an analogous
+//! count on its in-process transport).
+
+/// Cumulative per-node byte counters.
+#[derive(Clone, Debug, Default)]
+pub struct TrafficLedger {
+    tx: Vec<u64>,
+    rx: Vec<u64>,
+}
+
+impl TrafficLedger {
+    /// Creates a ledger for `nodes` nodes with zeroed counters.
+    pub fn new(nodes: usize) -> Self {
+        Self {
+            tx: vec![0; nodes],
+            rx: vec![0; nodes],
+        }
+    }
+
+    /// Number of nodes tracked.
+    pub fn nodes(&self) -> usize {
+        self.tx.len()
+    }
+
+    /// Records a transfer of `bytes` from `src` to `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node index is out of range.
+    pub fn record(&mut self, src: usize, dst: usize, bytes: u64) {
+        self.tx[src] += bytes;
+        self.rx[dst] += bytes;
+    }
+
+    /// Bytes sent by `node` since construction or the last reset.
+    pub fn tx_bytes(&self, node: usize) -> u64 {
+        self.tx[node]
+    }
+
+    /// Bytes received by `node`.
+    pub fn rx_bytes(&self, node: usize) -> u64 {
+        self.rx[node]
+    }
+
+    /// Total traffic (tx + rx) touching `node`.
+    pub fn node_bytes(&self, node: usize) -> u64 {
+        self.tx[node] + self.rx[node]
+    }
+
+    /// Sum of bytes sent by all nodes (== sum received by all nodes).
+    pub fn total_bytes(&self) -> u64 {
+        self.tx.iter().sum()
+    }
+
+    /// Per-node totals (tx + rx), one entry per node.
+    pub fn per_node_totals(&self) -> Vec<u64> {
+        (0..self.nodes()).map(|n| self.node_bytes(n)).collect()
+    }
+
+    /// Largest per-node total divided by the mean — 1.0 means perfectly
+    /// balanced. This is the imbalance statistic used when reproducing
+    /// Figure 10's comparison of Adam vs. Poseidon.
+    ///
+    /// Returns 0.0 when no traffic has been recorded.
+    pub fn imbalance(&self) -> f64 {
+        let totals = self.per_node_totals();
+        let sum: u64 = totals.iter().sum();
+        if sum == 0 {
+            return 0.0;
+        }
+        let mean = sum as f64 / totals.len() as f64;
+        let max = *totals.iter().max().expect("non-empty") as f64;
+        max / mean
+    }
+
+    /// Zeroes all counters.
+    pub fn reset(&mut self) {
+        self.tx.fill(0);
+        self.rx.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_both_directions() {
+        let mut l = TrafficLedger::new(3);
+        l.record(0, 1, 100);
+        l.record(1, 2, 50);
+        assert_eq!(l.tx_bytes(0), 100);
+        assert_eq!(l.rx_bytes(1), 100);
+        assert_eq!(l.tx_bytes(1), 50);
+        assert_eq!(l.rx_bytes(2), 50);
+        assert_eq!(l.total_bytes(), 150);
+        assert_eq!(l.node_bytes(1), 150);
+    }
+
+    #[test]
+    fn imbalance_is_one_when_uniform() {
+        let mut l = TrafficLedger::new(4);
+        for src in 0..4usize {
+            for dst in 0..4usize {
+                if src != dst {
+                    l.record(src, dst, 10);
+                }
+            }
+        }
+        assert!((l.imbalance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalance_detects_hotspot() {
+        let mut l = TrafficLedger::new(4);
+        l.record(0, 1, 10);
+        l.record(0, 2, 10);
+        l.record(0, 3, 10);
+        // Node 0 carries 30 of the 60 total node-bytes; mean is 15.
+        assert!(l.imbalance() > 1.9);
+    }
+
+    #[test]
+    fn empty_ledger_reports_zero_imbalance() {
+        assert_eq!(TrafficLedger::new(2).imbalance(), 0.0);
+    }
+
+    #[test]
+    fn reset_zeroes_counters() {
+        let mut l = TrafficLedger::new(2);
+        l.record(0, 1, 7);
+        l.reset();
+        assert_eq!(l.total_bytes(), 0);
+    }
+}

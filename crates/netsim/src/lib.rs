@@ -1,0 +1,29 @@
+//! Discrete-event cluster simulator for the Poseidon reproduction.
+//!
+//! The paper's evaluation ran on a 32-node GPU cluster with 40GbE Ethernet
+//! (throttled down to 1–30GbE with `tc` for the bandwidth experiments). This
+//! crate is the substitute substrate: it models each node's full-duplex NIC as
+//! a pair of serial bandwidth queues with per-message latency, plus generic
+//! serial [`resource::Resource`]s reused for GPU compute and PCIe memcpy.
+//!
+//! The model is intentionally first-order — messages are pipelined
+//! (cut-through: one flow costs `latency + bytes/bandwidth`), and concurrent
+//! flows that share a NIC serialise on it. That is exactly enough to produce
+//! the phenomena the paper measures: bursty end-of-iteration traffic, server
+//! hot-spots under Project-Adam-style broadcasting (Figure 10), and bandwidth
+//! saturation for large models (Figure 8).
+//!
+//! Everything is deterministic: there is no randomness anywhere in this crate
+//! and event ordering ties are broken by insertion sequence.
+
+pub mod flow;
+pub mod ledger;
+pub mod net;
+pub mod queue;
+pub mod resource;
+
+pub use flow::{FlowId, FlowNetwork};
+pub use ledger::TrafficLedger;
+pub use net::{LinkConfig, Network, NodeId};
+pub use queue::EventQueue;
+pub use resource::Resource;

@@ -1,0 +1,213 @@
+//! A deterministic discrete-event queue.
+//!
+//! Events are ordered by timestamp; ties are broken by insertion sequence so
+//! a run is a pure function of the schedule calls — the property tests assert
+//! both monotonicity and determinism.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A timestamped event with a tie-breaking sequence number.
+struct Scheduled<E> {
+    time: f64,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse ordering: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("event times must not be NaN")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A discrete-event queue with a simulated clock.
+///
+/// # Examples
+///
+/// ```
+/// let mut q = poseidon_netsim::EventQueue::new();
+/// q.schedule_at(2.0, "late");
+/// q.schedule_at(1.0, "early");
+/// assert_eq!(q.pop(), Some((1.0, "early")));
+/// assert_eq!(q.now(), 1.0);
+/// assert_eq!(q.pop(), Some((2.0, "late")));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    now: f64,
+    seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time 0.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            now: 0.0,
+            seq: 0,
+        }
+    }
+
+    /// The current simulated time (the timestamp of the last popped event).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` iff no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` at absolute time `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is NaN or earlier than the current time.
+    pub fn schedule_at(&mut self, time: f64, event: E) {
+        assert!(!time.is_nan(), "event time must not be NaN");
+        assert!(
+            time >= self.now,
+            "cannot schedule into the past: {time} < now {}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled { time, seq, event });
+    }
+
+    /// Schedules `event` after a non-negative `delay` from the current time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay` is negative or NaN.
+    pub fn schedule_in(&mut self, delay: f64, event: E) {
+        assert!(delay >= 0.0, "delay must be non-negative, got {delay}");
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Pops the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(f64, E)> {
+        let s = self.heap.pop()?;
+        self.now = s.time;
+        Some((s.time, s.event))
+    }
+
+    /// Peeks at the timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|s| s.time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(3.0, 'c');
+        q.schedule_at(1.0, 'a');
+        q.schedule_at(2.0, 'b');
+        assert_eq!(q.pop(), Some((1.0, 'a')));
+        assert_eq!(q.pop(), Some((2.0, 'b')));
+        assert_eq!(q.pop(), Some((3.0, 'c')));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.now(), 3.0);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(1.0, 1);
+        q.schedule_at(1.0, 2);
+        q.schedule_at(1.0, 3);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+    }
+
+    #[test]
+    fn clock_advances_only_on_pop() {
+        let mut q = EventQueue::new();
+        q.schedule_at(5.0, ());
+        assert_eq!(q.now(), 0.0);
+        assert_eq!(q.peek_time(), Some(5.0));
+        q.pop();
+        assert_eq!(q.now(), 5.0);
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule_at(2.0, 'x');
+        q.pop();
+        q.schedule_in(1.5, 'y');
+        assert_eq!(q.pop(), Some((3.5, 'y')));
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn scheduling_into_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_at(2.0, ());
+        q.pop();
+        q.schedule_at(1.0, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_delay_panics() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.schedule_in(-0.1, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_time_panics() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.schedule_at(f64::NAN, ());
+    }
+
+    #[test]
+    fn len_and_is_empty_track_contents() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule_at(1.0, ());
+        q.schedule_at(2.0, ());
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests for the discrete-event simulator.
+
+use poseidon_netsim::{EventQueue, LinkConfig, Network, NodeId, Resource};
+use proptest::prelude::*;
+
+proptest! {
+    /// Popping events always yields non-decreasing timestamps.
+    #[test]
+    fn event_queue_pops_monotonically(times in proptest::collection::vec(0.0f64..1e6, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule_at(t, i);
+        }
+        let mut last = f64::NEG_INFINITY;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+        }
+    }
+
+    /// Two identical schedules produce identical pop sequences (determinism).
+    #[test]
+    fn event_queue_is_deterministic(times in proptest::collection::vec(0.0f64..100.0, 1..100)) {
+        let run = |times: &[f64]| {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule_at(t, i);
+            }
+            let mut out = Vec::new();
+            while let Some(ev) = q.pop() {
+                out.push(ev);
+            }
+            out
+        };
+        prop_assert_eq!(run(&times), run(&times));
+    }
+
+    /// A serial resource's total busy time equals the sum of durations, and
+    /// job intervals never overlap.
+    #[test]
+    fn resource_conserves_time(jobs in proptest::collection::vec((0.0f64..100.0, 0.0f64..10.0), 1..100)) {
+        let mut r = Resource::new();
+        let mut total = 0.0;
+        let mut last_finish = f64::NEG_INFINITY;
+        for &(ready, dur) in &jobs {
+            let (start, finish) = r.reserve(ready, dur);
+            prop_assert!(start >= ready);
+            prop_assert!(start >= last_finish - 1e-12, "jobs must not overlap");
+            prop_assert!((finish - start - dur).abs() < 1e-9);
+            last_finish = finish;
+            total += dur;
+        }
+        prop_assert!((r.total_busy() - total).abs() < 1e-6);
+    }
+
+    /// Per-NIC throughput can never exceed the configured bandwidth: the
+    /// completion time of all transfers out of one node is at least
+    /// total_bytes / bandwidth.
+    #[test]
+    fn nic_bandwidth_is_respected(
+        sizes in proptest::collection::vec(1u64..50_000_000, 1..40),
+        gbps in 1.0f64..40.0,
+    ) {
+        let mut net = Network::new(2, LinkConfig { bandwidth_gbps: gbps, latency_s: 0.0 });
+        let mut last_done = 0.0f64;
+        let mut total_bytes = 0u64;
+        for &s in &sizes {
+            last_done = last_done.max(net.transfer(0.0, NodeId(0), NodeId(1), s));
+            total_bytes += s;
+        }
+        let min_time = (total_bytes as f64 * 8.0) / (gbps * 1e9);
+        prop_assert!(last_done >= min_time - 1e-9,
+            "finished in {last_done} but wire minimum is {min_time}");
+        // FIFO with no gaps: should also finish exactly at the wire minimum.
+        prop_assert!((last_done - min_time).abs() <= 1e-9);
+    }
+
+    /// Ledger totals: sum of tx == sum of rx == total.
+    #[test]
+    fn ledger_is_conservative(
+        transfers in proptest::collection::vec((0usize..4, 0usize..4, 1u64..1_000_000), 1..60),
+    ) {
+        let mut net = Network::new(4, LinkConfig::gbe(10.0));
+        let mut expect_total = 0u64;
+        for &(src, dst, bytes) in &transfers {
+            net.transfer(0.0, NodeId(src), NodeId(dst), bytes);
+            if src != dst {
+                expect_total += bytes;
+            }
+        }
+        let l = net.ledger();
+        let tx_sum: u64 = (0..4).map(|n| l.tx_bytes(n)).sum();
+        let rx_sum: u64 = (0..4).map(|n| l.rx_bytes(n)).sum();
+        prop_assert_eq!(tx_sum, expect_total);
+        prop_assert_eq!(rx_sum, expect_total);
+        prop_assert_eq!(l.total_bytes(), expect_total);
+    }
+
+    /// Max-min fairness conservation: in the fluid-flow model, every flow
+    /// completes, total ledger bytes equal the sum of flow sizes, and the
+    /// makespan is at least the busiest NIC's bytes / capacity.
+    #[test]
+    fn flow_network_conserves_bytes_and_respects_capacity(
+        flows in proptest::collection::vec(
+            (0usize..4, 0usize..4, 1u64..200_000_000, 0.0f64..0.5),
+            1..20,
+        ),
+        gbps in 1.0f64..40.0,
+    ) {
+        use poseidon_netsim::FlowNetwork;
+        let mut net: FlowNetwork<usize> = FlowNetwork::new(4, gbps);
+        let mut tx = vec![0u64; 4];
+        let mut rx = vec![0u64; 4];
+        let mut expect_total = 0u64;
+        let mut n_real = 0usize;
+        for (i, &(src, dst, bytes, start)) in flows.iter().enumerate() {
+            net.add_flow(start, src, dst, bytes, i);
+            if src != dst {
+                tx[src] += bytes;
+                rx[dst] += bytes;
+                expect_total += bytes;
+                n_real += 1;
+            }
+        }
+        let mut completed = 0usize;
+        let mut makespan = 0.0f64;
+        while let Some(t) = net.next_event_time() {
+            let done = net.advance(t);
+            completed += done.len();
+            if !done.is_empty() {
+                makespan = makespan.max(t);
+            }
+        }
+        prop_assert_eq!(completed, flows.len(), "every flow must complete");
+        prop_assert_eq!(net.ledger().total_bytes(), expect_total);
+        if n_real > 0 {
+            let capacity = gbps * 1e9 / 8.0;
+            let busiest = tx.iter().chain(rx.iter()).cloned().max().unwrap() as f64;
+            prop_assert!(
+                makespan + 1e-9 >= busiest / capacity,
+                "makespan {makespan} beats the {busiest}-byte NIC at {capacity} B/s"
+            );
+        }
+    }
+
+    /// Later ready times never make a transfer finish earlier.
+    #[test]
+    fn transfer_completion_is_monotone_in_ready_time(
+        bytes in 1u64..100_000_000,
+        r1 in 0.0f64..10.0,
+        dr in 0.0f64..10.0,
+    ) {
+        let cfg = LinkConfig::gbe(10.0);
+        let mut a = Network::new(2, cfg);
+        let mut b = Network::new(2, cfg);
+        let d1 = a.transfer(r1, NodeId(0), NodeId(1), bytes);
+        let d2 = b.transfer(r1 + dr, NodeId(0), NodeId(1), bytes);
+        prop_assert!(d2 >= d1 - 1e-12);
+    }
+}

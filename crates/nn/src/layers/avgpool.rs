@@ -1,0 +1,196 @@
+//! Average pooling (used by GoogLeNet/Inception/ResNet heads).
+
+use crate::layer::{Layer, LayerKind, TensorShape};
+use crate::layers::conv::conv_out_dim;
+use poseidon_tensor::Matrix;
+
+/// 2-D average pooling with a square window.
+///
+/// Gradient distributes uniformly over the window (each input cell of a
+/// window receives `grad / window_cells`, counting only in-bounds cells so
+/// edge windows are true averages).
+pub struct AvgPool2d {
+    name: String,
+    in_shape: TensorShape,
+    out_shape: TensorShape,
+    k: usize,
+    stride: usize,
+    batch: usize,
+}
+
+impl AvgPool2d {
+    /// Creates an average-pooling layer with a `k×k` window and `stride`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output would be empty.
+    pub fn new(name: impl Into<String>, in_shape: TensorShape, k: usize, stride: usize) -> Self {
+        let ho = conv_out_dim(in_shape.h, k, stride, 0);
+        let wo = conv_out_dim(in_shape.w, k, stride, 0);
+        assert!(ho > 0 && wo > 0, "pooling output is empty");
+        Self {
+            name: name.into(),
+            in_shape,
+            out_shape: TensorShape::new(in_shape.c, ho, wo),
+            k,
+            stride,
+            batch: 0,
+        }
+    }
+
+    /// Global average pooling over the whole spatial extent.
+    pub fn global(name: impl Into<String>, in_shape: TensorShape) -> Self {
+        let k = in_shape.h.max(in_shape.w);
+        Self::new(name, in_shape, k, k.max(1))
+    }
+
+    fn window_cells(&self, oy: usize, ox: usize) -> usize {
+        let h = (oy * self.stride + self.k).min(self.in_shape.h) - oy * self.stride;
+        let w = (ox * self.stride + self.k).min(self.in_shape.w) - ox * self.stride;
+        h * w
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Stateless
+    }
+
+    fn output_shape(&self) -> TensorShape {
+        self.out_shape
+    }
+
+    fn forward(&mut self, input: &Matrix) -> Matrix {
+        assert_eq!(input.cols(), self.in_shape.len(), "{}: bad input size", self.name);
+        let TensorShape { c, h, w } = self.in_shape;
+        let (ho, wo) = (self.out_shape.h, self.out_shape.w);
+        self.batch = input.rows();
+        let mut out = Matrix::zeros(self.batch, self.out_shape.len());
+        for s in 0..self.batch {
+            let sample = input.row(s);
+            for ch in 0..c {
+                for oy in 0..ho {
+                    for ox in 0..wo {
+                        let mut acc = 0.0f32;
+                        for ky in 0..self.k {
+                            let iy = oy * self.stride + ky;
+                            if iy >= h {
+                                continue;
+                            }
+                            for kx in 0..self.k {
+                                let ix = ox * self.stride + kx;
+                                if ix >= w {
+                                    continue;
+                                }
+                                acc += sample[ch * h * w + iy * w + ix];
+                            }
+                        }
+                        out[(s, ch * ho * wo + oy * wo + ox)] =
+                            acc / self.window_cells(oy, ox) as f32;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        assert_eq!(grad_out.rows(), self.batch, "batch size mismatch");
+        assert_eq!(grad_out.cols(), self.out_shape.len(), "grad width mismatch");
+        let TensorShape { c, h, w } = self.in_shape;
+        let (ho, wo) = (self.out_shape.h, self.out_shape.w);
+        let mut grad_in = Matrix::zeros(self.batch, self.in_shape.len());
+        for s in 0..self.batch {
+            for ch in 0..c {
+                for oy in 0..ho {
+                    for ox in 0..wo {
+                        let g = grad_out[(s, ch * ho * wo + oy * wo + ox)]
+                            / self.window_cells(oy, ox) as f32;
+                        for ky in 0..self.k {
+                            let iy = oy * self.stride + ky;
+                            if iy >= h {
+                                continue;
+                            }
+                            for kx in 0..self.k {
+                                let ix = ox * self.stride + kx;
+                                if ix >= w {
+                                    continue;
+                                }
+                                grad_in[(s, ch * h * w + iy * w + ix)] += g;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_each_window() {
+        let mut p = AvgPool2d::new("avg", TensorShape::new(1, 2, 2), 2, 2);
+        let y = p.forward(&Matrix::from_vec(1, 4, vec![1.0, 2.0, 3.0, 6.0]));
+        assert_eq!(y.as_slice(), &[3.0]);
+    }
+
+    #[test]
+    fn global_pool_collapses_spatial_dims() {
+        let mut p = AvgPool2d::global("gap", TensorShape::new(2, 3, 3));
+        assert_eq!(p.output_shape(), TensorShape::new(2, 1, 1));
+        let x = Matrix::from_vec(1, 18, (0..18).map(|v| v as f32).collect());
+        let y = p.forward(&x);
+        assert_eq!(y.as_slice(), &[4.0, 13.0]);
+    }
+
+    #[test]
+    fn gradient_distributes_uniformly() {
+        let mut p = AvgPool2d::new("avg", TensorShape::new(1, 2, 2), 2, 2);
+        p.forward(&Matrix::filled(1, 4, 1.0));
+        let gin = p.backward(&Matrix::filled(1, 1, 8.0));
+        assert_eq!(gin.as_slice(), &[2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn gradient_matches_numeric_differentiation() {
+        let mut p = AvgPool2d::new("avg", TensorShape::new(1, 4, 4), 2, 2);
+        let x = Matrix::from_vec(1, 16, (0..16).map(|v| (v as f32).sin()).collect());
+        p.forward(&x);
+        let gin = p.backward(&Matrix::filled(1, 4, 1.0));
+        let eps = 1e-3f32;
+        for i in [0usize, 5, 10, 15] {
+            let mut xp = x.clone();
+            xp[(0, i)] += eps;
+            let mut xm = x.clone();
+            xm[(0, i)] -= eps;
+            let numeric = (p.forward(&xp).sum() - p.forward(&xm).sum()) / (2.0 * eps);
+            assert!((gin[(0, i)] - numeric).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn edge_windows_use_true_cell_counts() {
+        // 3x3 input, 2x2 window, stride 2: windows of 4, 2, 2 and 1 cells.
+        let mut p = AvgPool2d::new("avg", TensorShape::new(1, 3, 3), 2, 2);
+        let x = Matrix::filled(1, 9, 6.0);
+        let y = p.forward(&x);
+        assert!(y.as_slice().iter().all(|&v| (v - 6.0).abs() < 1e-6),
+            "constant input must stay constant under true averaging: {:?}", y.as_slice());
+    }
+
+    #[test]
+    fn is_stateless() {
+        let p = AvgPool2d::new("avg", TensorShape::new(1, 4, 4), 2, 2);
+        assert_eq!(p.kind(), LayerKind::Stateless);
+        assert!(p.params().is_none());
+        assert!(p.sufficient_factors().is_none());
+    }
+}

@@ -1,0 +1,343 @@
+//! 2-D convolution implemented via im2col + GEMM (the same lowering Caffe
+//! uses, which is also why conv gradients are "indecomposable and sparse"
+//! from the communication architecture's point of view — they always travel
+//! via the parameter server).
+
+use crate::layer::{Layer, LayerKind, ParamBlock, TensorShape};
+use poseidon_tensor::Matrix;
+use rand::Rng;
+
+/// A 2-D convolution layer with square kernels, zero padding and stride.
+///
+/// Weights are stored as `c_out × (c_in·kh·kw)`; an input batch is a
+/// `K × (c_in·h·w)` matrix and the output a `K × (c_out·h_out·w_out)` matrix,
+/// both row-major with channel-major sample layout.
+pub struct Conv2d {
+    name: String,
+    in_shape: TensorShape,
+    out_shape: TensorShape,
+    c_out: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+    params: ParamBlock,
+    cached_input: Option<Matrix>,
+}
+
+impl Conv2d {
+    /// Creates a convolution over `in_shape` with `c_out` square `k×k`
+    /// filters, the given stride and symmetric zero padding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration produces an empty output.
+    pub fn new(
+        name: impl Into<String>,
+        in_shape: TensorShape,
+        c_out: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(stride >= 1, "stride must be >= 1");
+        let h_out = conv_out_dim(in_shape.h, k, stride, pad);
+        let w_out = conv_out_dim(in_shape.w, k, stride, pad);
+        assert!(h_out > 0 && w_out > 0, "convolution output is empty");
+        let fan_in = in_shape.c * k * k;
+        let mut params = ParamBlock::new(c_out, fan_in);
+        poseidon_tensor::init::xavier(&mut params.weights, fan_in, c_out * k * k, rng);
+        Self {
+            name: name.into(),
+            in_shape,
+            out_shape: TensorShape::new(c_out, h_out, w_out),
+            c_out,
+            kh: k,
+            kw: k,
+            stride,
+            pad,
+            params,
+            cached_input: None,
+        }
+    }
+
+    /// The input shape this layer expects.
+    pub fn input_shape(&self) -> TensorShape {
+        self.in_shape
+    }
+
+    /// Lowers one sample to its patch matrix: `(h_out·w_out) × (c_in·kh·kw)`.
+    fn im2col(&self, sample: &[f32]) -> Matrix {
+        let TensorShape { c, h, w } = self.in_shape;
+        let (ho, wo) = (self.out_shape.h, self.out_shape.w);
+        let d = c * self.kh * self.kw;
+        let mut patches = Matrix::zeros(ho * wo, d);
+        for oy in 0..ho {
+            for ox in 0..wo {
+                let prow = patches.row_mut(oy * wo + ox);
+                let mut idx = 0;
+                for ch in 0..c {
+                    let chan = &sample[ch * h * w..(ch + 1) * h * w];
+                    for ky in 0..self.kh {
+                        let iy = (oy * self.stride + ky) as isize - self.pad as isize;
+                        for kx in 0..self.kw {
+                            let ix = (ox * self.stride + kx) as isize - self.pad as isize;
+                            if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
+                                prow[idx] = chan[iy as usize * w + ix as usize];
+                            }
+                            idx += 1;
+                        }
+                    }
+                }
+            }
+        }
+        patches
+    }
+
+    /// Scatters a patch-matrix gradient back to an input-sample gradient.
+    fn col2im(&self, grad_patches: &Matrix, out: &mut [f32]) {
+        let TensorShape { c, h, w } = self.in_shape;
+        let (ho, wo) = (self.out_shape.h, self.out_shape.w);
+        for oy in 0..ho {
+            for ox in 0..wo {
+                let prow = grad_patches.row(oy * wo + ox);
+                let mut idx = 0;
+                for ch in 0..c {
+                    for ky in 0..self.kh {
+                        let iy = (oy * self.stride + ky) as isize - self.pad as isize;
+                        for kx in 0..self.kw {
+                            let ix = (ox * self.stride + kx) as isize - self.pad as isize;
+                            if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
+                                out[ch * h * w + iy as usize * w + ix as usize] += prow[idx];
+                            }
+                            idx += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Output spatial size of a convolution/pooling dimension (0 if the kernel
+/// does not fit).
+pub(crate) fn conv_out_dim(input: usize, k: usize, stride: usize, pad: usize) -> usize {
+    let padded = input + 2 * pad;
+    if padded < k {
+        return 0;
+    }
+    (padded - k) / stride + 1
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Convolutional
+    }
+
+    fn output_shape(&self) -> TensorShape {
+        self.out_shape
+    }
+
+    fn forward(&mut self, input: &Matrix) -> Matrix {
+        assert_eq!(
+            input.cols(),
+            self.in_shape.len(),
+            "{}: input length {} != shape {}",
+            self.name,
+            input.cols(),
+            self.in_shape
+        );
+        let k = input.rows();
+        let l = self.out_shape.h * self.out_shape.w;
+        let mut out = Matrix::zeros(k, self.c_out * l);
+        for s in 0..k {
+            let patches = self.im2col(input.row(s));
+            // (c_out × D) · (L × D)ᵀ = c_out × L
+            let y = self.params.weights.matmul_nt(&patches);
+            let orow = out.row_mut(s);
+            for co in 0..self.c_out {
+                let b = self.params.bias[(0, co)];
+                for p in 0..l {
+                    orow[co * l + p] = y[(co, p)] + b;
+                }
+            }
+        }
+        self.cached_input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward called before forward")
+            .clone();
+        let k = input.rows();
+        let l = self.out_shape.h * self.out_shape.w;
+        assert_eq!(grad_out.rows(), k, "batch size mismatch");
+        assert_eq!(grad_out.cols(), self.c_out * l, "grad width mismatch");
+
+        let d = self.in_shape.c * self.kh * self.kw;
+        let mut gw = Matrix::zeros(self.c_out, d);
+        let mut gb = Matrix::zeros(1, self.c_out);
+        let mut grad_in = Matrix::zeros(k, self.in_shape.len());
+
+        for s in 0..k {
+            let patches = self.im2col(input.row(s));
+            // View this sample's output gradient as c_out × L.
+            let gmat = Matrix::from_vec(self.c_out, l, grad_out.row(s).to_vec());
+            // dW += G · P  (c_out × D).
+            gw.add_assign(&gmat.matmul(&patches));
+            // db += row sums of G.
+            for co in 0..self.c_out {
+                gb[(0, co)] += gmat.row(co).iter().sum::<f32>();
+            }
+            // dP = Gᵀ · W  (L × D), scattered back to the input.
+            let gp = gmat.matmul_tn(&self.params.weights);
+            self.col2im(&gp, grad_in.row_mut(s));
+        }
+        self.params.grad_weights = gw;
+        self.params.grad_bias = gb;
+        grad_in
+    }
+
+    fn params(&self) -> Option<&ParamBlock> {
+        Some(&self.params)
+    }
+
+    fn params_mut(&mut self) -> Option<&mut ParamBlock> {
+        Some(&mut self.params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn out_dim_formula() {
+        assert_eq!(conv_out_dim(32, 5, 1, 2), 32);
+        assert_eq!(conv_out_dim(32, 3, 2, 1), 16);
+        assert_eq!(conv_out_dim(7, 7, 1, 0), 1);
+        assert_eq!(conv_out_dim(4, 5, 1, 0), 0, "kernel larger than input");
+    }
+
+    #[test]
+    fn identity_kernel_reproduces_input() {
+        // 1 input channel, 1 output channel, 1x1 kernel with weight 1.
+        let mut conv = Conv2d::new("c", TensorShape::new(1, 3, 3), 1, 1, 1, 0, &mut rng());
+        conv.params_mut().unwrap().weights = Matrix::filled(1, 1, 1.0);
+        conv.params_mut().unwrap().bias = Matrix::zeros(1, 1);
+        let x = Matrix::from_vec(1, 9, (1..=9).map(|v| v as f32).collect());
+        let y = conv.forward(&x);
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn hand_computed_3x3_convolution() {
+        // 1x3x3 input, one 3x3 filter of all ones, pad 1: centre output is the
+        // sum of all 9 inputs.
+        let mut conv = Conv2d::new("c", TensorShape::new(1, 3, 3), 1, 3, 1, 1, &mut rng());
+        conv.params_mut().unwrap().weights = Matrix::filled(1, 9, 1.0);
+        conv.params_mut().unwrap().bias = Matrix::zeros(1, 1);
+        let x = Matrix::filled(1, 9, 1.0);
+        let y = conv.forward(&x);
+        assert_eq!(y.shape(), (1, 9));
+        assert_eq!(y[(0, 4)], 9.0, "centre sees the full 3x3 window");
+        assert_eq!(y[(0, 0)], 4.0, "corner sees a 2x2 window");
+        assert_eq!(y[(0, 1)], 6.0, "edge sees a 2x3 window");
+    }
+
+    #[test]
+    fn bias_is_added_per_output_channel() {
+        let mut conv = Conv2d::new("c", TensorShape::new(1, 2, 2), 2, 1, 1, 0, &mut rng());
+        conv.params_mut().unwrap().weights = Matrix::zeros(2, 1);
+        conv.params_mut().unwrap().bias = Matrix::from_vec(1, 2, vec![1.5, -2.0]);
+        let y = conv.forward(&Matrix::zeros(1, 4));
+        assert_eq!(&y.as_slice()[..4], &[1.5; 4]);
+        assert_eq!(&y.as_slice()[4..], &[-2.0; 4]);
+    }
+
+    #[test]
+    fn stride_downsamples() {
+        let conv = Conv2d::new("c", TensorShape::new(3, 8, 8), 4, 3, 2, 1, &mut rng());
+        assert_eq!(conv.output_shape(), TensorShape::new(4, 4, 4));
+    }
+
+    #[test]
+    fn weight_gradient_matches_numeric_differentiation() {
+        let mut conv = Conv2d::new("c", TensorShape::new(2, 4, 4), 3, 3, 1, 1, &mut rng());
+        let mut x = Matrix::zeros(2, 32);
+        poseidon_tensor::init::gaussian(&mut x, 0.0, 1.0, &mut rng());
+        let gout = Matrix::filled(2, 3 * 16, 1.0);
+        conv.forward(&x);
+        conv.backward(&gout);
+        let analytic = conv.params().unwrap().grad_weights.clone();
+
+        let eps = 1e-2f32;
+        // Spot-check a handful of weights.
+        for &(r, c) in &[(0usize, 0usize), (1, 5), (2, 17), (0, 9)] {
+            let orig = conv.params().unwrap().weights[(r, c)];
+            conv.params_mut().unwrap().weights[(r, c)] = orig + eps;
+            let up = conv.forward(&x).sum();
+            conv.params_mut().unwrap().weights[(r, c)] = orig - eps;
+            let dn = conv.forward(&x).sum();
+            conv.params_mut().unwrap().weights[(r, c)] = orig;
+            let numeric = (up - dn) / (2.0 * eps);
+            assert!(
+                (analytic[(r, c)] - numeric).abs() < 0.05 * (1.0 + numeric.abs()),
+                "dW[{r},{c}] analytic {} vs numeric {numeric}",
+                analytic[(r, c)]
+            );
+        }
+    }
+
+    #[test]
+    fn input_gradient_matches_numeric_differentiation() {
+        let mut conv = Conv2d::new("c", TensorShape::new(1, 4, 4), 2, 3, 1, 1, &mut rng());
+        let mut x = Matrix::zeros(1, 16);
+        poseidon_tensor::init::gaussian(&mut x, 0.0, 1.0, &mut rng());
+        conv.forward(&x);
+        let gin = conv.backward(&Matrix::filled(1, 2 * 16, 1.0));
+        let eps = 1e-2f32;
+        for c in [0usize, 5, 10, 15] {
+            let mut xp = x.clone();
+            xp[(0, c)] += eps;
+            let up = conv.forward(&xp).sum();
+            let mut xm = x.clone();
+            xm[(0, c)] -= eps;
+            let dn = conv.forward(&xm).sum();
+            let numeric = (up - dn) / (2.0 * eps);
+            assert!(
+                (gin[(0, c)] - numeric).abs() < 0.05 * (1.0 + numeric.abs()),
+                "dX[{c}] analytic {} vs numeric {numeric}",
+                gin[(0, c)]
+            );
+        }
+    }
+
+    #[test]
+    fn conv_has_no_sufficient_factors() {
+        let conv = Conv2d::new("c", TensorShape::new(1, 4, 4), 2, 3, 1, 1, &mut rng());
+        assert!(conv.sufficient_factors().is_none());
+        assert_eq!(conv.kind(), LayerKind::Convolutional);
+    }
+
+    #[test]
+    fn param_count_formula() {
+        let conv = Conv2d::new("c", TensorShape::new(3, 32, 32), 32, 5, 1, 2, &mut rng());
+        // 32 filters of 3*5*5 weights + 32 biases = 2432 (CIFAR-quick conv1).
+        assert_eq!(conv.params().unwrap().num_params(), 2432);
+    }
+}

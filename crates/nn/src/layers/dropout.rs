@@ -1,0 +1,155 @@
+//! Inverted dropout.
+
+use crate::layer::{Layer, LayerKind, TensorShape};
+use poseidon_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Inverted dropout: during training each activation is zeroed with
+/// probability `p` and survivors are scaled by `1/(1-p)`, so evaluation needs
+/// no rescaling.
+///
+/// The mask stream is seeded, so distributed replicas that construct their
+/// dropout layers from the same seed draw identical masks — keeping the
+/// synchronous-equivalence property of the runtime intact.
+pub struct Dropout {
+    name: String,
+    shape: TensorShape,
+    p: f32,
+    rng: StdRng,
+    mask: Option<Matrix>,
+    training: bool,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p` in `[0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1)`.
+    pub fn new(name: impl Into<String>, shape: TensorShape, p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "drop probability must be in [0,1), got {p}");
+        Self {
+            name: name.into(),
+            shape,
+            p,
+            rng: StdRng::seed_from_u64(seed),
+            mask: None,
+            training: true,
+        }
+    }
+
+    /// Switches between training (masking) and evaluation (identity) mode.
+    pub fn set_training(&mut self, training: bool) {
+        self.training = training;
+    }
+}
+
+impl Layer for Dropout {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Stateless
+    }
+
+    fn output_shape(&self) -> TensorShape {
+        self.shape
+    }
+
+    fn forward(&mut self, input: &Matrix) -> Matrix {
+        assert_eq!(input.cols(), self.shape.len(), "{}: bad input size", self.name);
+        if !self.training || self.p == 0.0 {
+            self.mask = None;
+            return input.clone();
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mut mask = Matrix::zeros(input.rows(), input.cols());
+        for v in mask.as_mut_slice() {
+            if self.rng.gen::<f32>() < keep {
+                *v = scale;
+            }
+        }
+        let mut out = input.clone();
+        for (o, &m) in out.as_mut_slice().iter_mut().zip(mask.as_slice()) {
+            *o *= m;
+        }
+        self.mask = Some(mask);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        match &self.mask {
+            None => grad_out.clone(),
+            Some(mask) => {
+                assert_eq!(grad_out.shape(), mask.shape(), "grad shape mismatch");
+                let mut grad_in = grad_out.clone();
+                for (g, &m) in grad_in.as_mut_slice().iter_mut().zip(mask.as_slice()) {
+                    *g *= m;
+                }
+                grad_in
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut d = Dropout::new("drop", TensorShape::flat(8), 0.5, 1);
+        d.set_training(false);
+        let x = Matrix::filled(2, 8, 3.0);
+        assert_eq!(d.forward(&x), x);
+        assert_eq!(d.backward(&x), x);
+    }
+
+    #[test]
+    fn zero_probability_is_identity() {
+        let mut d = Dropout::new("drop", TensorShape::flat(4), 0.0, 1);
+        let x = Matrix::filled(1, 4, 2.0);
+        assert_eq!(d.forward(&x), x);
+    }
+
+    #[test]
+    fn surviving_activations_are_scaled() {
+        let mut d = Dropout::new("drop", TensorShape::flat(1000), 0.5, 2);
+        let y = d.forward(&Matrix::filled(1, 1000, 1.0));
+        let kept = y.as_slice().iter().filter(|&&v| v != 0.0).count();
+        assert!(kept > 400 && kept < 600, "kept {kept} of 1000 at p=0.5");
+        assert!(y.as_slice().iter().all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
+        // Expected value preserved approximately.
+        let mean = y.sum() / 1000.0;
+        assert!((mean - 1.0).abs() < 0.15, "inverted scaling keeps the mean: {mean}");
+    }
+
+    #[test]
+    fn backward_uses_the_same_mask() {
+        let mut d = Dropout::new("drop", TensorShape::flat(100), 0.3, 3);
+        let y = d.forward(&Matrix::filled(1, 100, 1.0));
+        let gin = d.backward(&Matrix::filled(1, 100, 1.0));
+        for (a, b) in y.as_slice().iter().zip(gin.as_slice()) {
+            assert_eq!(a, b, "gradient must pass exactly where activations passed");
+        }
+    }
+
+    #[test]
+    fn masks_are_deterministic_in_seed() {
+        let run = |seed| {
+            let mut d = Dropout::new("drop", TensorShape::flat(64), 0.5, seed);
+            d.forward(&Matrix::filled(1, 64, 1.0))
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0,1)")]
+    fn full_drop_rejected() {
+        let _ = Dropout::new("drop", TensorShape::flat(2), 1.0, 1);
+    }
+}

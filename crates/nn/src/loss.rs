@@ -1,0 +1,139 @@
+//! Softmax cross-entropy loss head.
+
+use poseidon_tensor::Matrix;
+
+/// Combined softmax + cross-entropy over a batch of logits.
+///
+/// Kept separate from the [`crate::layer::Layer`] trait because the loss head
+/// needs labels, produces a scalar, and is where backpropagation *starts* —
+/// it is the `bᴸ` of the paper's notation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SoftmaxCrossEntropy;
+
+/// The result of a loss evaluation.
+#[derive(Clone, Debug)]
+pub struct LossOutput {
+    /// Mean cross-entropy over the batch.
+    pub loss: f32,
+    /// Gradient of the mean loss w.r.t. the logits (`K × classes`).
+    pub grad: Matrix,
+    /// Number of samples whose argmax logit equals the label.
+    pub correct: usize,
+}
+
+impl SoftmaxCrossEntropy {
+    /// Evaluates loss, gradient and top-1 accuracy for `logits` against
+    /// integer `labels`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label count differs from the batch size or a label is out
+    /// of range.
+    pub fn evaluate(&self, logits: &Matrix, labels: &[usize]) -> LossOutput {
+        let k = logits.rows();
+        let classes = logits.cols();
+        assert_eq!(labels.len(), k, "one label per sample required");
+        let mut grad = Matrix::zeros(k, classes);
+        let mut loss = 0.0f64;
+        let mut correct = 0usize;
+        for s in 0..k {
+            let label = labels[s];
+            assert!(label < classes, "label {label} out of range ({classes} classes)");
+            let row = logits.row(s);
+            // Numerically stable softmax.
+            let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+            let mut denom = 0.0f32;
+            for &v in row {
+                denom += (v - max).exp();
+            }
+            let log_denom = denom.ln();
+            loss += f64::from(log_denom - (row[label] - max));
+            if logits.argmax_row(s) == label {
+                correct += 1;
+            }
+            let grow = grad.row_mut(s);
+            for (c, &v) in row.iter().enumerate() {
+                let p = (v - max).exp() / denom;
+                grow[c] = (p - if c == label { 1.0 } else { 0.0 }) / k as f32;
+            }
+        }
+        LossOutput {
+            loss: (loss / k as f64) as f32,
+            grad,
+            correct,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_classes_loss() {
+        let logits = Matrix::zeros(2, 4);
+        let out = SoftmaxCrossEntropy.evaluate(&logits, &[0, 3]);
+        assert!((out.loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn confident_correct_prediction_has_low_loss() {
+        let mut logits = Matrix::zeros(1, 3);
+        logits[(0, 1)] = 10.0;
+        let out = SoftmaxCrossEntropy.evaluate(&logits, &[1]);
+        assert!(out.loss < 1e-3);
+        assert_eq!(out.correct, 1);
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let logits = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]);
+        let out = SoftmaxCrossEntropy.evaluate(&logits, &[0, 2]);
+        for s in 0..2 {
+            let sum: f32 = out.grad.row(s).iter().sum();
+            assert!(sum.abs() < 1e-6, "softmax grad rows must sum to 0, got {sum}");
+        }
+    }
+
+    #[test]
+    fn gradient_matches_numeric_differentiation() {
+        let logits = Matrix::from_vec(1, 3, vec![0.5, -0.2, 1.0]);
+        let labels = [2usize];
+        let head = SoftmaxCrossEntropy;
+        let out = head.evaluate(&logits, &labels);
+        let eps = 1e-3f32;
+        for c in 0..3 {
+            let mut lp = logits.clone();
+            lp[(0, c)] += eps;
+            let mut lm = logits.clone();
+            lm[(0, c)] -= eps;
+            let numeric = (head.evaluate(&lp, &labels).loss - head.evaluate(&lm, &labels).loss) / (2.0 * eps);
+            assert!(
+                (out.grad[(0, c)] - numeric).abs() < 1e-3,
+                "grad[{c}] {} vs numeric {numeric}",
+                out.grad[(0, c)]
+            );
+        }
+    }
+
+    #[test]
+    fn accuracy_counts_argmax_hits() {
+        let logits = Matrix::from_vec(3, 2, vec![2.0, 1.0, 0.0, 5.0, 1.0, 0.0]);
+        let out = SoftmaxCrossEntropy.evaluate(&logits, &[0, 1, 1]);
+        assert_eq!(out.correct, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_label_panics() {
+        let _ = SoftmaxCrossEntropy.evaluate(&Matrix::zeros(1, 2), &[2]);
+    }
+
+    #[test]
+    fn extreme_logits_stay_finite() {
+        let logits = Matrix::from_vec(1, 3, vec![1000.0, -1000.0, 500.0]);
+        let out = SoftmaxCrossEntropy.evaluate(&logits, &[0]);
+        assert!(out.loss.is_finite());
+        assert!(out.grad.as_slice().iter().all(|g| g.is_finite()));
+    }
+}

@@ -1,0 +1,155 @@
+//! The `Model` abstraction: what Poseidon requires from a computation engine.
+//!
+//! The paper stresses that WFBP "is generally applicable to other non-chain
+//! like structures (e.g., tree-like structures), as the parameter
+//! optimization for deep neural networks depends on adjacent layers (and not
+//! the whole network)". This trait captures the contract the distributed
+//! runtime actually needs — addressable parameter slots and a backward pass
+//! that reports per-layer gradient completion — so both the sequential
+//! [`crate::network::Network`] and the branched [`crate::graph::GraphNetwork`]
+//! can be trained by the same Poseidon client library.
+
+use crate::layer::{Layer, TensorShape};
+use poseidon_tensor::Matrix;
+
+/// A trainable model with independently-synchronisable parameter slots.
+pub trait Model: Send {
+    /// The expected input shape.
+    fn input_shape(&self) -> TensorShape;
+
+    /// Number of addressable slots. Slot ids are stable for the lifetime of
+    /// the model and shared across identically-constructed replicas.
+    fn num_slots(&self) -> usize;
+
+    /// The layer at `id`, or `None` for structural slots (e.g. concat nodes).
+    fn slot(&self, id: usize) -> Option<&dyn Layer>;
+
+    /// Mutable access to the layer at `id`.
+    fn slot_mut(&mut self, id: usize) -> Option<&mut dyn Layer>;
+
+    /// Feed-forward over a batch.
+    fn forward(&mut self, input: &Matrix) -> Matrix;
+
+    /// Backward pass; `on_layer_done(id, layer)` fires the moment slot `id`'s
+    /// parameter gradients are final — the WFBP hook. Callback order must
+    /// follow gradient-completion order (reverse topological).
+    fn backward_with(&mut self, grad_top: &Matrix, on_layer_done: &mut dyn FnMut(usize, &mut dyn Layer));
+
+    /// Backward pass without a callback.
+    fn backward(&mut self, grad_top: &Matrix) {
+        self.backward_with(grad_top, &mut |_, _| {});
+    }
+
+    /// Slot ids that own parameters, ascending.
+    fn trainable_slots(&self) -> Vec<usize> {
+        (0..self.num_slots())
+            .filter(|&id| self.slot(id).is_some_and(|l| l.params().is_some()))
+            .collect()
+    }
+
+    /// Total trainable scalar count.
+    fn total_params(&self) -> usize {
+        self.trainable_slots()
+            .iter()
+            .filter_map(|&id| self.slot(id).and_then(|l| l.params()))
+            .map(|p| p.num_params())
+            .sum()
+    }
+
+    /// Applies `params += alpha * own grads` on every trainable slot
+    /// (single-replica SGD).
+    fn apply_own_grads(&mut self, alpha: f32) {
+        for id in self.trainable_slots() {
+            if let Some(p) = self.slot_mut(id).and_then(|l| l.params_mut()) {
+                p.apply_own_grads(alpha);
+            }
+        }
+    }
+
+    /// Maximum absolute parameter difference to an identically-structured
+    /// model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot structure differs.
+    fn max_param_diff_with(&self, other: &dyn Model) -> f32 {
+        assert_eq!(self.num_slots(), other.num_slots(), "slot count mismatch");
+        let mut max = 0.0f32;
+        for id in 0..self.num_slots() {
+            match (
+                self.slot(id).and_then(|l| l.params()),
+                other.slot(id).and_then(|l| l.params()),
+            ) {
+                (Some(a), Some(b)) => {
+                    max = max.max(a.weights.max_abs_diff(&b.weights));
+                    max = max.max(a.bias.max_abs_diff(&b.bias));
+                }
+                (None, None) => {}
+                _ => panic!("trainable-slot mismatch at slot {id}"),
+            }
+        }
+        max
+    }
+}
+
+impl Model for crate::network::Network {
+    fn input_shape(&self) -> TensorShape {
+        crate::network::Network::input_shape(self)
+    }
+
+    fn num_slots(&self) -> usize {
+        self.num_layers()
+    }
+
+    fn slot(&self, id: usize) -> Option<&dyn Layer> {
+        (id < self.num_layers()).then(|| self.layer(id))
+    }
+
+    fn slot_mut(&mut self, id: usize) -> Option<&mut dyn Layer> {
+        (id < self.num_layers()).then(|| self.layer_mut(id))
+    }
+
+    fn forward(&mut self, input: &Matrix) -> Matrix {
+        crate::network::Network::forward(self, input)
+    }
+
+    fn backward_with(
+        &mut self,
+        grad_top: &Matrix,
+        on_layer_done: &mut dyn FnMut(usize, &mut dyn Layer),
+    ) {
+        crate::network::Network::backward_with(self, grad_top, on_layer_done);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn network_implements_model() {
+        let mut net = presets::mlp(&[6, 8, 3], 1);
+        assert_eq!(Model::num_slots(&net), 3);
+        assert_eq!(net.trainable_slots(), vec![0, 2]);
+        assert_eq!(Model::total_params(&net), 6 * 8 + 8 + 8 * 3 + 3);
+        assert!(Model::slot(&net, 1).unwrap().params().is_none(), "relu slot");
+        assert!(Model::slot(&net, 3).is_none(), "out of range");
+
+        let x = Matrix::filled(2, 6, 0.5);
+        let y = Model::forward(&mut net, &x);
+        assert_eq!(y.shape(), (2, 3));
+        let mut order = Vec::new();
+        Model::backward_with(&mut net, &Matrix::filled(2, 3, 0.1), &mut |id, _| order.push(id));
+        assert_eq!(order, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn max_param_diff_with_matches_network_method() {
+        let a = presets::mlp(&[4, 5, 2], 2);
+        let b = presets::mlp(&[4, 5, 2], 3);
+        let via_trait = a.max_param_diff_with(&b);
+        let via_inherent = a.max_param_diff(&b);
+        assert_eq!(via_trait, via_inherent);
+    }
+}

@@ -1,0 +1,148 @@
+//! Ready-made trainable networks for the runtime experiments.
+//!
+//! These are *real* networks (actual forward/backward math), sized so that
+//! the statistical experiments finish in CPU time. `cifar_quick` follows the
+//! layer pattern of Caffe's `cifar10_quick` (conv/pool ×3 → fc → fc); the
+//! `scaled` variant shrinks spatial dimensions and channel counts uniformly
+//! while preserving the conv-heavy-compute / fc-heavy-parameters structure
+//! that Poseidon's scheduling exploits.
+
+use crate::layer::{Layer, TensorShape};
+use crate::layers::{Conv2d, FullyConnected, MaxPool2d, ReLU};
+use crate::network::Network;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A multi-layer perceptron with ReLU between consecutive FC layers.
+///
+/// `sizes` lists feature widths including input and output, e.g.
+/// `&[784, 256, 10]` builds 784→256→10.
+///
+/// # Panics
+///
+/// Panics if fewer than two sizes are given.
+pub fn mlp(sizes: &[usize], seed: u64) -> Network {
+    assert!(sizes.len() >= 2, "an MLP needs at least input and output sizes");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut net = Network::new(TensorShape::flat(sizes[0]));
+    for (i, pair) in sizes.windows(2).enumerate() {
+        net.push(Box::new(FullyConnected::new(
+            format!("fc{}", i + 1),
+            pair[0],
+            pair[1],
+            &mut rng,
+        )));
+        if i + 2 < sizes.len() {
+            net.push(Box::new(ReLU::new(format!("relu{}", i + 1), TensorShape::flat(pair[1]))));
+        }
+    }
+    net
+}
+
+/// Caffe's `cifar10_quick` shape on full 3×32×32 inputs.
+pub fn cifar_quick(classes: usize, seed: u64) -> Network {
+    cifar_quick_scaled(TensorShape::new(3, 32, 32), 32, classes, seed)
+}
+
+/// A scaled `cifar10_quick`: three conv+pool stages then two FC layers.
+///
+/// `base_channels` controls the width (Caffe's original uses 32). The input
+/// spatial size must be divisible by 8 (three 2× poolings).
+///
+/// # Panics
+///
+/// Panics if the spatial size is not divisible by 8.
+pub fn cifar_quick_scaled(
+    input: TensorShape,
+    base_channels: usize,
+    classes: usize,
+    seed: u64,
+) -> Network {
+    assert!(
+        input.h % 8 == 0 && input.w % 8 == 0,
+        "spatial size {} not divisible by 8",
+        input
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let c = base_channels;
+    let mut net = Network::new(input);
+
+    let conv1 = Conv2d::new("conv1", input, c, 5, 1, 2, &mut rng);
+    let s1 = conv1.output_shape();
+    net.push(Box::new(conv1));
+    net.push(Box::new(ReLU::new("relu1", s1)));
+    let pool1 = MaxPool2d::new("pool1", s1, 2, 2);
+    let s1p = pool1.output_shape();
+    net.push(Box::new(pool1));
+
+    let conv2 = Conv2d::new("conv2", s1p, c, 5, 1, 2, &mut rng);
+    let s2 = conv2.output_shape();
+    net.push(Box::new(conv2));
+    net.push(Box::new(ReLU::new("relu2", s2)));
+    let pool2 = MaxPool2d::new("pool2", s2, 2, 2);
+    let s2p = pool2.output_shape();
+    net.push(Box::new(pool2));
+
+    let conv3 = Conv2d::new("conv3", s2p, 2 * c, 5, 1, 2, &mut rng);
+    let s3 = conv3.output_shape();
+    net.push(Box::new(conv3));
+    net.push(Box::new(ReLU::new("relu3", s3)));
+    let pool3 = MaxPool2d::new("pool3", s3, 2, 2);
+    let s3p = pool3.output_shape();
+    net.push(Box::new(pool3));
+
+    net.push(Box::new(FullyConnected::new("ip1", s3p.len(), 2 * c, &mut rng)));
+    net.push(Box::new(FullyConnected::new("ip2", 2 * c, classes, &mut rng)));
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::SoftmaxCrossEntropy;
+    use poseidon_tensor::Matrix;
+
+    #[test]
+    fn mlp_structure() {
+        let net = mlp(&[10, 20, 5], 1);
+        assert_eq!(net.num_layers(), 3); // fc, relu, fc
+        assert_eq!(net.num_params(), 10 * 20 + 20 + 20 * 5 + 5);
+        assert_eq!(net.trainable_layers(), vec![0, 2]);
+    }
+
+    #[test]
+    fn cifar_quick_matches_caffe_param_count() {
+        let net = cifar_quick(10, 1);
+        assert_eq!(net.num_params(), 145_578);
+    }
+
+    #[test]
+    fn scaled_variant_shrinks() {
+        let small = cifar_quick_scaled(TensorShape::new(3, 16, 16), 16, 10, 1);
+        assert!(small.num_params() < 145_578 / 3);
+        // Forward/backward runs end to end.
+        let mut net = small;
+        let x = Matrix::filled(2, 3 * 16 * 16, 0.1);
+        let y = net.forward(&x);
+        assert_eq!(y.cols(), 10);
+        let out = SoftmaxCrossEntropy.evaluate(&y, &[0, 1]);
+        net.backward(&out.grad);
+    }
+
+    #[test]
+    fn cifar_quick_ends_in_two_fc_layers() {
+        let net = cifar_quick(10, 2);
+        let trainable = net.trainable_layers();
+        let last = trainable[trainable.len() - 1];
+        let second_last = trainable[trainable.len() - 2];
+        assert!(net.layer(last).sufficient_factors().is_none(), "no backward yet");
+        assert_eq!(net.layer(last).name(), "ip2");
+        assert_eq!(net.layer(second_last).name(), "ip1");
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible by 8")]
+    fn bad_spatial_size_panics() {
+        let _ = cifar_quick_scaled(TensorShape::new(3, 20, 20), 8, 10, 1);
+    }
+}

@@ -1,0 +1,169 @@
+//! Stochastic gradient descent with momentum and weight decay.
+
+use crate::network::Network;
+use poseidon_tensor::Matrix;
+
+/// SGD hyper-parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SgdConfig {
+    /// Learning rate ε in the paper's update equation.
+    pub learning_rate: f32,
+    /// Classical momentum coefficient (0 disables momentum).
+    pub momentum: f32,
+    /// L2 weight decay coefficient (0 disables decay).
+    pub weight_decay: f32,
+}
+
+impl Default for SgdConfig {
+    fn default() -> Self {
+        Self {
+            learning_rate: 0.01,
+            momentum: 0.0,
+            weight_decay: 0.0,
+        }
+    }
+}
+
+/// Optimiser state: one velocity buffer per trainable layer.
+pub struct Sgd {
+    config: SgdConfig,
+    velocity: Vec<Option<(Matrix, Matrix)>>,
+}
+
+impl Sgd {
+    /// Creates an optimiser for `net` with the given configuration.
+    pub fn new(net: &Network, config: SgdConfig) -> Self {
+        let velocity = (0..net.num_layers())
+            .map(|l| {
+                net.layer(l).params().map(|p| {
+                    (
+                        Matrix::zeros(p.weights.rows(), p.weights.cols()),
+                        Matrix::zeros(p.bias.rows(), p.bias.cols()),
+                    )
+                })
+            })
+            .collect();
+        Self { config, velocity }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> SgdConfig {
+        self.config
+    }
+
+    /// Updates the learning rate (for step decay schedules).
+    pub fn set_learning_rate(&mut self, lr: f32) {
+        self.config.learning_rate = lr;
+    }
+
+    /// Applies one SGD step using each layer's own accumulated gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net`'s layer structure changed since construction.
+    pub fn step(&mut self, net: &mut Network) {
+        assert_eq!(net.num_layers(), self.velocity.len(), "network structure changed");
+        let lr = self.config.learning_rate;
+        let mu = self.config.momentum;
+        let wd = self.config.weight_decay;
+        for l in 0..net.num_layers() {
+            let Some(vel) = self.velocity[l].as_mut() else {
+                continue;
+            };
+            let p = net
+                .layer_mut(l)
+                .params_mut()
+                .expect("trainable layer lost its parameters");
+            // v = mu*v - lr*(g + wd*w); w += v
+            let (vw, vb) = vel;
+            vw.scale(mu);
+            vw.axpy(-lr, &p.grad_weights);
+            if wd != 0.0 {
+                vw.axpy(-lr * wd, &p.weights);
+            }
+            vb.scale(mu);
+            vb.axpy(-lr, &p.grad_bias);
+            if wd != 0.0 {
+                vb.axpy(-lr * wd, &p.bias);
+            }
+            p.weights.add_assign(vw);
+            p.bias.add_assign(vb);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::TensorShape;
+    use crate::layers::FullyConnected;
+    use crate::loss::SoftmaxCrossEntropy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn net(seed: u64) -> Network {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Network::new(TensorShape::flat(2)).with(Box::new(FullyConnected::new("fc", 2, 2, &mut rng)))
+    }
+
+    #[test]
+    fn plain_sgd_equals_manual_axpy() {
+        let mut a = net(1);
+        let mut b = net(1);
+        let x = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        let labels = [0usize, 1];
+        let head = SoftmaxCrossEntropy;
+
+        let out = head.evaluate(&a.forward(&x), &labels);
+        a.backward(&out.grad);
+        let mut opt = Sgd::new(&a, SgdConfig { learning_rate: 0.1, momentum: 0.0, weight_decay: 0.0 });
+        opt.step(&mut a);
+
+        let out_b = head.evaluate(&b.forward(&x), &labels);
+        b.backward(&out_b.grad);
+        b.apply_own_grads(-0.1);
+
+        assert!(a.max_param_diff(&b) < 1e-7);
+    }
+
+    #[test]
+    fn momentum_accelerates_along_constant_gradient() {
+        // Two steps with the same gradient: with momentum the second step is
+        // larger than the first.
+        let mut n = net(2);
+        let before = n.layer(0).params().unwrap().weights.clone();
+        let g = Matrix::filled(2, 2, 1.0);
+        let mut opt = Sgd::new(&n, SgdConfig { learning_rate: 0.1, momentum: 0.9, weight_decay: 0.0 });
+
+        n.layer_mut(0).params_mut().unwrap().grad_weights = g.clone();
+        opt.step(&mut n);
+        let after1 = n.layer(0).params().unwrap().weights.clone();
+        n.layer_mut(0).params_mut().unwrap().grad_weights = g.clone();
+        opt.step(&mut n);
+        let after2 = n.layer(0).params().unwrap().weights.clone();
+
+        let step1 = before.max_abs_diff(&after1);
+        let step2 = after1.max_abs_diff(&after2);
+        assert!((step1 - 0.1).abs() < 1e-6);
+        assert!((step2 - 0.19).abs() < 1e-6, "second step should be lr*(1+mu)");
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights_without_gradient() {
+        let mut n = net(3);
+        n.layer_mut(0).params_mut().unwrap().weights = Matrix::filled(2, 2, 1.0);
+        n.layer_mut(0).params_mut().unwrap().grad_weights = Matrix::zeros(2, 2);
+        let mut opt = Sgd::new(&n, SgdConfig { learning_rate: 0.1, momentum: 0.0, weight_decay: 0.5 });
+        opt.step(&mut n);
+        let w = &n.layer(0).params().unwrap().weights;
+        assert!(w.as_slice().iter().all(|&v| (v - 0.95).abs() < 1e-6));
+    }
+
+    #[test]
+    fn learning_rate_can_be_decayed() {
+        let n = net(4);
+        let mut opt = Sgd::new(&n, SgdConfig::default());
+        opt.set_learning_rate(0.001);
+        assert_eq!(opt.config().learning_rate, 0.001);
+    }
+}

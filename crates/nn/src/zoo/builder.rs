@@ -1,0 +1,248 @@
+//! A shape-tracking builder for descriptor models.
+//!
+//! Encodes the standard conv/FC parameter and FLOP formulas once so the model
+//! definitions in [`super::models`] read like the architecture tables in the
+//! original papers. Branchy modules (inception, residual blocks) are
+//! *flattened*: on a single GPU branch computations serialise anyway, so a
+//! flat layer list preserves both total parameters and total compute, and the
+//! builder's [`SpecBuilder::set_shape`] rewinds the tracked shape to emit
+//! sibling branches from a shared input.
+
+use super::spec::{LayerSpec, SpecKind};
+use crate::layer::TensorShape;
+
+/// Incrementally builds a `Vec<LayerSpec>` while tracking the activation shape.
+pub struct SpecBuilder {
+    shape: TensorShape,
+    layers: Vec<LayerSpec>,
+}
+
+impl SpecBuilder {
+    /// Starts from the network input shape.
+    pub fn new(input: TensorShape) -> Self {
+        Self {
+            shape: input,
+            layers: Vec::new(),
+        }
+    }
+
+    /// The current activation shape.
+    pub fn shape(&self) -> TensorShape {
+        self.shape
+    }
+
+    /// Overrides the tracked shape (used when flattening branches: rewind to
+    /// the branch input, emit the branch, then `set_shape` to the concat
+    /// output).
+    pub fn set_shape(&mut self, shape: TensorShape) -> &mut Self {
+        self.shape = shape;
+        self
+    }
+
+    /// Adds a square convolution `c_out @ k×k / stride, pad`.
+    pub fn conv(&mut self, name: &str, c_out: usize, k: usize, stride: usize, pad: usize) -> &mut Self {
+        self.conv_grouped(name, c_out, k, k, stride, pad, pad, 1)
+    }
+
+    /// Adds a rectangular convolution (`kh × kw`), e.g. Inception-V3's 1×7.
+    pub fn conv_rect(
+        &mut self,
+        name: &str,
+        c_out: usize,
+        kh: usize,
+        kw: usize,
+        stride: usize,
+        pad_h: usize,
+        pad_w: usize,
+    ) -> &mut Self {
+        self.conv_grouped(name, c_out, kh, kw, stride, pad_h, pad_w, 1)
+    }
+
+    /// Adds a grouped convolution (AlexNet's two-GPU groups).
+    ///
+    /// # Panics
+    ///
+    /// Panics if channel counts are not divisible by `groups` or the output
+    /// would be empty.
+    pub fn conv_grouped(
+        &mut self,
+        name: &str,
+        c_out: usize,
+        kh: usize,
+        kw: usize,
+        stride: usize,
+        pad_h: usize,
+        pad_w: usize,
+        groups: usize,
+    ) -> &mut Self {
+        let c_in = self.shape.c;
+        assert!(groups >= 1 && c_in % groups == 0 && c_out % groups == 0,
+            "{name}: groups {groups} must divide c_in {c_in} and c_out {c_out}");
+        let ho = out_dim(self.shape.h, kh, stride, pad_h);
+        let wo = out_dim(self.shape.w, kw, stride, pad_w);
+        assert!(ho > 0 && wo > 0, "{name}: empty convolution output");
+        let weights = (c_in / groups) * kh * kw * c_out;
+        let params = (weights + c_out) as u64;
+        // 2 FLOPs per MAC; each output cell sees (c_in/groups)·kh·kw inputs.
+        let fwd = 2 * weights as u64 * (ho * wo) as u64;
+        self.layers.push(LayerSpec {
+            name: name.to_string(),
+            kind: SpecKind::Conv,
+            params,
+            fwd_flops: fwd,
+            bwd_flops: 2 * fwd,
+        });
+        self.shape = TensorShape::new(c_out, ho, wo);
+        self
+    }
+
+    /// Adds a batch-norm / scale layer over the current channels.
+    pub fn batchnorm(&mut self, name: &str) -> &mut Self {
+        let c = self.shape.c;
+        let act = self.shape.len() as u64;
+        self.layers.push(LayerSpec {
+            name: name.to_string(),
+            kind: SpecKind::Norm,
+            params: (2 * c) as u64,
+            fwd_flops: 2 * act,
+            bwd_flops: 4 * act,
+        });
+        self
+    }
+
+    /// Adds a parameter-free pooling layer with a `k×k` window.
+    pub fn pool(&mut self, name: &str, k: usize, stride: usize, pad: usize) -> &mut Self {
+        let ho = out_dim(self.shape.h, k, stride, pad);
+        let wo = out_dim(self.shape.w, k, stride, pad);
+        assert!(ho > 0 && wo > 0, "{name}: empty pooling output");
+        let flops = (self.shape.c * ho * wo * k * k) as u64;
+        self.layers.push(LayerSpec {
+            name: name.to_string(),
+            kind: SpecKind::Stateless,
+            params: 0,
+            fwd_flops: flops,
+            bwd_flops: flops,
+        });
+        self.shape = TensorShape::new(self.shape.c, ho, wo);
+        self
+    }
+
+    /// Collapses the spatial dimensions with global average pooling.
+    pub fn global_avgpool(&mut self, name: &str) -> &mut Self {
+        let flops = self.shape.len() as u64;
+        self.layers.push(LayerSpec {
+            name: name.to_string(),
+            kind: SpecKind::Stateless,
+            params: 0,
+            fwd_flops: flops,
+            bwd_flops: flops,
+        });
+        self.shape = TensorShape::flat(self.shape.c);
+        self
+    }
+
+    /// Adds a fully-connected layer to `out` features (flattens the current
+    /// shape as input).
+    pub fn fc(&mut self, name: &str, out: usize) -> &mut Self {
+        let n = self.shape.len();
+        let fwd = (2 * out * n) as u64;
+        self.layers.push(LayerSpec {
+            name: name.to_string(),
+            kind: SpecKind::FullyConnected { m: out, n },
+            params: (out * n + out) as u64,
+            fwd_flops: fwd,
+            bwd_flops: 2 * fwd,
+        });
+        self.shape = TensorShape::flat(out);
+        self
+    }
+
+    /// Finishes, returning the layer list.
+    pub fn build(self) -> Vec<LayerSpec> {
+        self.layers
+    }
+}
+
+fn out_dim(input: usize, k: usize, stride: usize, pad: usize) -> usize {
+    let padded = input + 2 * pad;
+    if padded < k {
+        return 0;
+    }
+    (padded - k) / stride + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_param_and_flop_formulas() {
+        let mut b = SpecBuilder::new(TensorShape::new(3, 32, 32));
+        b.conv("conv1", 32, 5, 1, 2);
+        let layers = b.build();
+        assert_eq!(layers[0].params, (3 * 5 * 5 * 32 + 32) as u64);
+        // 32x32 output cells, 75 MACs each, 32 filters, 2 FLOPs per MAC.
+        assert_eq!(layers[0].fwd_flops, 2 * 75 * 32 * 1024);
+        assert_eq!(layers[0].bwd_flops, 2 * layers[0].fwd_flops);
+    }
+
+    #[test]
+    fn shape_tracks_through_stack() {
+        let mut b = SpecBuilder::new(TensorShape::new(3, 224, 224));
+        b.conv("c1", 64, 7, 2, 3);
+        assert_eq!(b.shape(), TensorShape::new(64, 112, 112));
+        b.pool("p1", 3, 2, 1);
+        assert_eq!(b.shape(), TensorShape::new(64, 56, 56));
+        b.global_avgpool("gap");
+        assert_eq!(b.shape(), TensorShape::flat(64));
+        b.fc("fc", 1000);
+        assert_eq!(b.shape(), TensorShape::flat(1000));
+        let layers = b.build();
+        assert_eq!(layers.last().unwrap().params, 64 * 1000 + 1000);
+    }
+
+    #[test]
+    fn grouped_conv_halves_weights() {
+        let mut a = SpecBuilder::new(TensorShape::new(96, 27, 27));
+        a.conv("full", 256, 5, 1, 2);
+        let mut g = SpecBuilder::new(TensorShape::new(96, 27, 27));
+        g.conv_grouped("grouped", 256, 5, 5, 1, 2, 2, 2);
+        let full = a.build()[0].params - 256;
+        let half = g.build()[0].params - 256;
+        assert_eq!(half * 2, full);
+    }
+
+    #[test]
+    fn rect_conv_shape() {
+        let mut b = SpecBuilder::new(TensorShape::new(768, 17, 17));
+        b.conv_rect("c1x7", 128, 1, 7, 1, 0, 3);
+        assert_eq!(b.shape(), TensorShape::new(128, 17, 17));
+    }
+
+    #[test]
+    fn set_shape_enables_branches() {
+        let mut b = SpecBuilder::new(TensorShape::new(192, 28, 28));
+        let input = b.shape();
+        b.conv("branch1", 64, 1, 1, 0);
+        b.set_shape(input);
+        b.conv("branch2a", 96, 1, 1, 0);
+        b.conv("branch2b", 128, 3, 1, 1);
+        b.set_shape(TensorShape::new(64 + 128, 28, 28)); // concat
+        assert_eq!(b.shape().c, 192);
+        assert_eq!(b.build().len(), 3);
+    }
+
+    #[test]
+    fn batchnorm_params_are_two_per_channel() {
+        let mut b = SpecBuilder::new(TensorShape::new(64, 56, 56));
+        b.batchnorm("bn1");
+        assert_eq!(b.build()[0].params, 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty convolution output")]
+    fn oversized_kernel_panics() {
+        let mut b = SpecBuilder::new(TensorShape::new(3, 4, 4));
+        b.conv("bad", 8, 7, 1, 0);
+    }
+}

@@ -1,0 +1,187 @@
+//! Layer and model descriptor types.
+
+/// What kind of parameters a descriptor layer owns — the property Algorithm 1
+/// dispatches on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpecKind {
+    /// Convolutional weights: indecomposable updates, always synchronised via
+    /// the parameter server.
+    Conv,
+    /// Fully-connected weights of shape `m × n` (`m` outputs, `n` inputs):
+    /// gradients decompose into `K` rank-1 sufficient factors.
+    FullyConnected {
+        /// Output features (gradient rows `M` in Table 1).
+        m: usize,
+        /// Input features (gradient columns `N` in Table 1).
+        n: usize,
+    },
+    /// Normalisation parameters (batch norm scale/shift): tiny, via PS.
+    Norm,
+    /// No parameters (pooling, activation, concat...).
+    Stateless,
+}
+
+/// One layer of a descriptor model.
+#[derive(Clone, Debug)]
+pub struct LayerSpec {
+    /// Unique layer name within the model.
+    pub name: String,
+    /// Parameter kind.
+    pub kind: SpecKind,
+    /// Trainable scalar count (weights + biases).
+    pub params: u64,
+    /// Forward FLOPs per sample (multiply-accumulate counted as 2).
+    pub fwd_flops: u64,
+    /// Backward FLOPs per sample (≈ 2× forward for parameterised layers:
+    /// one GEMM for the weight gradient, one for the input gradient).
+    pub bwd_flops: u64,
+}
+
+impl LayerSpec {
+    /// `true` iff the layer has trainable parameters.
+    pub fn is_trainable(&self) -> bool {
+        self.params > 0
+    }
+
+    /// Bytes of a dense f32 copy of the parameters (one direction on the wire).
+    pub fn param_bytes(&self) -> u64 {
+        self.params * 4
+    }
+
+    /// The FC shape `(m, n)` if this is a fully-connected layer.
+    pub fn fc_shape(&self) -> Option<(usize, usize)> {
+        match self.kind {
+            SpecKind::FullyConnected { m, n } => Some((m, n)),
+            _ => None,
+        }
+    }
+}
+
+/// A full network descriptor plus the evaluation metadata of Table 3.
+#[derive(Clone, Debug)]
+pub struct ModelSpec {
+    /// Model name as used in the paper.
+    pub name: &'static str,
+    /// Dataset the paper trained it on.
+    pub dataset: &'static str,
+    /// Per-GPU batch size from Table 3.
+    pub default_batch: usize,
+    /// Layers, bottom-up. Backward visits them in reverse.
+    pub layers: Vec<LayerSpec>,
+    /// Single-node throughput (images/sec) the paper measured for this model,
+    /// used to calibrate the simulator's GPU speed. `None` if the paper gives
+    /// no number; the simulator then derives time from FLOPs alone.
+    pub paper_single_node_ips: Option<f64>,
+}
+
+impl ModelSpec {
+    /// Total trainable scalars.
+    pub fn total_params(&self) -> u64 {
+        self.layers.iter().map(|l| l.params).sum()
+    }
+
+    /// Trainable scalars living in FC layers.
+    pub fn fc_params(&self) -> u64 {
+        self.layers
+            .iter()
+            .filter(|l| matches!(l.kind, SpecKind::FullyConnected { .. }))
+            .map(|l| l.params)
+            .sum()
+    }
+
+    /// Fraction of parameters in FC layers (the paper quotes 91% for
+    /// VGG19-22K).
+    pub fn fc_fraction(&self) -> f64 {
+        let total = self.total_params();
+        if total == 0 {
+            return 0.0;
+        }
+        self.fc_params() as f64 / total as f64
+    }
+
+    /// Total forward FLOPs per sample.
+    pub fn fwd_flops(&self) -> u64 {
+        self.layers.iter().map(|l| l.fwd_flops).sum()
+    }
+
+    /// Total backward FLOPs per sample.
+    pub fn bwd_flops(&self) -> u64 {
+        self.layers.iter().map(|l| l.bwd_flops).sum()
+    }
+
+    /// Indices of trainable layers, bottom-up.
+    pub fn trainable_layers(&self) -> Vec<usize> {
+        (0..self.layers.len())
+            .filter(|&i| self.layers[i].is_trainable())
+            .collect()
+    }
+
+    /// Bytes of one dense copy of all parameters.
+    pub fn param_bytes(&self) -> u64 {
+        self.total_params() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fc(m: usize, n: usize) -> LayerSpec {
+        LayerSpec {
+            name: format!("fc{m}x{n}"),
+            kind: SpecKind::FullyConnected { m, n },
+            params: (m * n + m) as u64,
+            fwd_flops: (2 * m * n) as u64,
+            bwd_flops: (4 * m * n) as u64,
+        }
+    }
+
+    #[test]
+    fn model_aggregates() {
+        let spec = ModelSpec {
+            name: "toy",
+            dataset: "none",
+            default_batch: 8,
+            layers: vec![
+                LayerSpec {
+                    name: "conv".into(),
+                    kind: SpecKind::Conv,
+                    params: 100,
+                    fwd_flops: 1000,
+                    bwd_flops: 2000,
+                },
+                LayerSpec {
+                    name: "pool".into(),
+                    kind: SpecKind::Stateless,
+                    params: 0,
+                    fwd_flops: 10,
+                    bwd_flops: 10,
+                },
+                fc(10, 20),
+            ],
+            paper_single_node_ips: None,
+        };
+        assert_eq!(spec.total_params(), 100 + 210);
+        assert_eq!(spec.fc_params(), 210);
+        assert!((spec.fc_fraction() - 210.0 / 310.0).abs() < 1e-12);
+        assert_eq!(spec.fwd_flops(), 1410);
+        assert_eq!(spec.trainable_layers(), vec![0, 2]);
+        assert_eq!(spec.param_bytes(), 310 * 4);
+    }
+
+    #[test]
+    fn fc_shape_extraction() {
+        let l = fc(4096, 25088);
+        assert_eq!(l.fc_shape(), Some((4096, 25088)));
+        assert!(l.is_trainable());
+        let p = LayerSpec {
+            name: "pool".into(),
+            kind: SpecKind::Stateless,
+            params: 0,
+            fwd_flops: 0,
+            bwd_flops: 0,
+        };
+        assert_eq!(p.fc_shape(), None);
+        assert!(!p.is_trainable());
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for the neural-network engine.
+
+use poseidon_nn::layer::{Layer, TensorShape};
+use poseidon_nn::layers::{FullyConnected, ReLU};
+use poseidon_nn::loss::SoftmaxCrossEntropy;
+use poseidon_nn::presets;
+use poseidon_tensor::Matrix;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut m = Matrix::zeros(rows, cols);
+    poseidon_tensor::init::gaussian(&mut m, 0.0, 1.0, &mut StdRng::seed_from_u64(seed));
+    m
+}
+
+proptest! {
+    /// FC sufficient factors reconstruct the dense weight gradient exactly,
+    /// for arbitrary layer shapes and batch sizes.
+    #[test]
+    fn fc_sf_reconstruction_matches_dense_gradient(
+        inf in 1usize..12,
+        outf in 1usize..12,
+        batch in 1usize..8,
+        seed in 0u64..500,
+    ) {
+        let mut fc = FullyConnected::new("fc", inf, outf, &mut StdRng::seed_from_u64(seed));
+        let x = random_matrix(batch, inf, seed ^ 0xAB);
+        let d = random_matrix(batch, outf, seed ^ 0xCD);
+        fc.forward(&x);
+        fc.backward(&d);
+        let dense = fc.params().unwrap().grad_weights.clone();
+        let rebuilt = fc.sufficient_factors().unwrap().reconstruct();
+        let tol = 1e-4 * (1.0 + dense.max_abs());
+        prop_assert!(rebuilt.max_abs_diff(&dense) <= tol);
+    }
+
+    /// Gradient accumulation over a batch equals the sum of per-sample
+    /// gradients (the additivity PS exploits; Eq. 2 of the paper).
+    #[test]
+    fn fc_batch_gradient_is_sum_of_sample_gradients(
+        inf in 1usize..8,
+        outf in 1usize..8,
+        batch in 2usize..6,
+        seed in 0u64..200,
+    ) {
+        let mut fc = FullyConnected::new("fc", inf, outf, &mut StdRng::seed_from_u64(seed));
+        let x = random_matrix(batch, inf, seed ^ 0x11);
+        let d = random_matrix(batch, outf, seed ^ 0x22);
+        fc.forward(&x);
+        fc.backward(&d);
+        let whole = fc.params().unwrap().grad_weights.clone();
+
+        let mut acc = Matrix::zeros(outf, inf);
+        for k in 0..batch {
+            let xk = Matrix::from_vec(1, inf, x.row(k).to_vec());
+            let dk = Matrix::from_vec(1, outf, d.row(k).to_vec());
+            fc.forward(&xk);
+            fc.backward(&dk);
+            acc.add_assign(&fc.params().unwrap().grad_weights);
+        }
+        prop_assert!(whole.max_abs_diff(&acc) <= 1e-3 * (1.0 + acc.max_abs()));
+    }
+
+    /// ReLU backward never lets gradient through where forward clamped.
+    #[test]
+    fn relu_gradient_is_consistent_with_mask(
+        n in 1usize..32,
+        seed in 0u64..200,
+    ) {
+        let mut r = ReLU::new("relu", TensorShape::flat(n));
+        let x = random_matrix(3, n, seed);
+        let y = r.forward(&x);
+        let g = random_matrix(3, n, seed ^ 0x7);
+        let gin = r.backward(&g);
+        for i in 0..3 {
+            for j in 0..n {
+                if y[(i, j)] == 0.0 {
+                    prop_assert_eq!(gin[(i, j)], 0.0);
+                } else {
+                    prop_assert_eq!(gin[(i, j)], g[(i, j)]);
+                }
+            }
+        }
+    }
+
+    /// Softmax gradient rows always sum to ~0 and loss is non-negative.
+    #[test]
+    fn softmax_invariants(
+        classes in 2usize..10,
+        batch in 1usize..6,
+        seed in 0u64..300,
+    ) {
+        let logits = random_matrix(batch, classes, seed);
+        let labels: Vec<usize> = (0..batch).map(|i| i % classes).collect();
+        let out = SoftmaxCrossEntropy.evaluate(&logits, &labels);
+        prop_assert!(out.loss >= 0.0);
+        prop_assert!(out.correct <= batch);
+        for s in 0..batch {
+            let sum: f32 = out.grad.row(s).iter().sum();
+            prop_assert!(sum.abs() < 1e-5);
+        }
+    }
+
+    /// An MLP forward pass is deterministic and batch rows are independent:
+    /// evaluating rows separately gives the same outputs.
+    #[test]
+    fn network_rows_are_independent(seed in 0u64..100) {
+        let mut net = presets::mlp(&[6, 10, 4], seed);
+        let x = random_matrix(4, 6, seed ^ 0x33);
+        let whole = net.forward(&x);
+        for k in 0..4 {
+            let row = Matrix::from_vec(1, 6, x.row(k).to_vec());
+            let single = net.forward(&row);
+            for c in 0..4 {
+                prop_assert!((whole[(k, c)] - single[(0, c)]).abs() < 1e-5);
+            }
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Deterministic random initialisation for parameters and synthetic data.
+//!
+//! All initialisers take an explicit [`rand::Rng`] so every experiment in the
+//! repository is reproducible from a seed. The Xavier/Glorot scheme matches
+//! what Caffe used for the networks in the paper's evaluation.
+
+use crate::Matrix;
+use rand::Rng;
+
+/// Fills `m` with samples from `U(-limit, limit)`.
+pub fn uniform(m: &mut Matrix, limit: f32, rng: &mut impl Rng) {
+    for v in m.as_mut_slice() {
+        *v = rng.gen_range(-limit..limit);
+    }
+}
+
+/// Fills `m` with samples from `N(mean, std²)` using Box–Muller.
+pub fn gaussian(m: &mut Matrix, mean: f32, std: f32, rng: &mut impl Rng) {
+    for v in m.as_mut_slice() {
+        *v = mean + std * standard_normal(rng);
+    }
+}
+
+/// Xavier/Glorot uniform initialisation for a layer with the given fan-in and
+/// fan-out: `U(-sqrt(6/(fan_in+fan_out)), +sqrt(6/(fan_in+fan_out)))`.
+pub fn xavier(m: &mut Matrix, fan_in: usize, fan_out: usize, rng: &mut impl Rng) {
+    let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform(m, limit, rng);
+}
+
+/// Draws one standard normal sample via the Box–Muller transform.
+pub fn standard_normal(rng: &mut impl Rng) -> f32 {
+    // Re-draw until u1 is non-zero so ln(u1) is finite.
+    let mut u1: f32 = rng.gen();
+    while u1 <= f32::MIN_POSITIVE {
+        u1 = rng.gen();
+    }
+    let u2: f32 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_respects_limit() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut m = Matrix::zeros(16, 16);
+        uniform(&mut m, 0.25, &mut rng);
+        assert!(m.as_slice().iter().all(|&x| x.abs() < 0.25));
+        assert!(m.norm() > 0.0, "initialisation should not be all-zero");
+    }
+
+    #[test]
+    fn gaussian_moments_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut m = Matrix::zeros(100, 100);
+        gaussian(&mut m, 1.0, 2.0, &mut rng);
+        let n = m.len() as f32;
+        let mean = m.sum() / n;
+        let var = m.as_slice().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n;
+        assert!((mean - 1.0).abs() < 0.1, "sample mean {mean} too far from 1.0");
+        assert!((var - 4.0).abs() < 0.3, "sample variance {var} too far from 4.0");
+    }
+
+    #[test]
+    fn xavier_limit_shrinks_with_fan() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut big = Matrix::zeros(8, 8);
+        xavier(&mut big, 10_000, 10_000, &mut rng);
+        let limit = (6.0f32 / 20_000.0).sqrt();
+        assert!(big.max_abs() < limit);
+    }
+
+    #[test]
+    fn seeded_init_is_reproducible() {
+        let mut a = Matrix::zeros(4, 4);
+        let mut b = Matrix::zeros(4, 4);
+        xavier(&mut a, 4, 4, &mut StdRng::seed_from_u64(42));
+        xavier(&mut b, 4, 4, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn standard_normal_is_finite() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            let x = standard_normal(&mut rng);
+            assert!(x.is_finite());
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Dense numeric kernels for the Poseidon reproduction.
+//!
+//! This crate is the lowest layer of the workspace: it provides the row-major
+//! [`Matrix`] type with the linear-algebra kernels the neural-network engine
+//! needs (GEMM variants, AXPY, outer products), deterministic random
+//! initialisation, [`sf::SufficientFactor`] pairs used by sufficient-factor
+//! broadcasting, the [`quantize::OneBitQuantizer`] gradient compressor used by
+//! the CNTK-style baseline, and byte-level serialisation used by the
+//! in-process transport to account for every byte that would cross the
+//! network.
+//!
+//! The kernels are deliberately straightforward (no SIMD intrinsics, no
+//! unsafe): the reproduction's performance claims come from the communication
+//! architecture and the cluster simulator, not from raw FLOPs, and
+//! deterministic, easily-audited math makes the distributed-equals-serial
+//! equivalence tests meaningful.
+
+pub mod bytesio;
+pub mod init;
+pub mod matrix;
+pub mod quantize;
+pub mod sf;
+
+pub use matrix::Matrix;
+pub use sf::{SfBatch, SufficientFactor};

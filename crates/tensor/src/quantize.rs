@@ -1,0 +1,291 @@
+//! 1-bit gradient quantization with error-residual feedback.
+//!
+//! This is the communication-reduction baseline the paper compares against in
+//! Section 5.3 (the strategy used by CNTK, Seide et al. 2014). Each gradient
+//! element is quantized to its sign; the magnitude information is carried by
+//! two per-matrix scales (the mean of the positive and of the negative
+//! elements), and the quantization error is added back into the *next*
+//! iteration's gradient ("residual feedback"), so the error behaves like a
+//! delayed update rather than a lost one.
+//!
+//! Wire cost: 1 bit per element plus two f32 scales, i.e. a 32× reduction on
+//! large matrices — but statistically lossy, which Figure 11 of the paper
+//! (and our reproduction of it) shows as slower convergence.
+
+use crate::Matrix;
+
+/// Dense bit-packed 1-bit encoding of a gradient matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QuantizedGrad {
+    rows: usize,
+    cols: usize,
+    /// Mean magnitude assigned to elements quantized as positive.
+    pos_scale: f32,
+    /// Mean magnitude assigned to elements quantized as negative (≤ 0).
+    neg_scale: f32,
+    /// Bit-packed signs, row-major, 1 = positive.
+    bits: Vec<u64>,
+}
+
+impl QuantizedGrad {
+    /// Shape of the encoded gradient.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of bytes this encoding puts on the wire.
+    ///
+    /// Two dimension words, two scales and the packed bit vector. This is the
+    /// figure the traffic accounting uses.
+    pub fn wire_bytes(&self) -> usize {
+        4 + 4 + 4 + 4 + self.bits.len() * 8
+    }
+
+    /// Serialises to the wire format counted by [`Self::wire_bytes`].
+    pub fn to_bytes(&self) -> bytes::Bytes {
+        use bytes::BufMut;
+        let mut buf = bytes::BytesMut::with_capacity(self.wire_bytes());
+        buf.put_u32_le(self.rows as u32);
+        buf.put_u32_le(self.cols as u32);
+        buf.put_f32_le(self.pos_scale);
+        buf.put_f32_le(self.neg_scale);
+        for &w in &self.bits {
+            buf.put_u64_le(w);
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a buffer produced by [`Self::to_bytes`].
+    ///
+    /// Returns `None` if the buffer is truncated or declares a zero dimension.
+    pub fn from_bytes(mut buf: &[u8]) -> Option<Self> {
+        use bytes::Buf;
+        if buf.remaining() < 16 {
+            return None;
+        }
+        let rows = buf.get_u32_le() as usize;
+        let cols = buf.get_u32_le() as usize;
+        if rows == 0 || cols == 0 {
+            return None;
+        }
+        let pos_scale = buf.get_f32_le();
+        let neg_scale = buf.get_f32_le();
+        let words = (rows * cols).div_ceil(64);
+        if buf.remaining() < words * 8 {
+            return None;
+        }
+        let bits = (0..words).map(|_| buf.get_u64_le()).collect();
+        Some(Self {
+            rows,
+            cols,
+            pos_scale,
+            neg_scale,
+            bits,
+        })
+    }
+
+    /// Decodes into a dense gradient matrix.
+    pub fn dequantize(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for (i, v) in out.as_mut_slice().iter_mut().enumerate() {
+            let word = self.bits[i / 64];
+            let bit = (word >> (i % 64)) & 1;
+            *v = if bit == 1 { self.pos_scale } else { self.neg_scale };
+        }
+        out
+    }
+}
+
+/// Stateful 1-bit quantizer for one parameter matrix.
+///
+/// Keeps the error residual between calls; the residual is added to the next
+/// gradient before quantization, as in Seide et al.
+#[derive(Clone, Debug)]
+pub struct OneBitQuantizer {
+    residual: Matrix,
+}
+
+impl OneBitQuantizer {
+    /// Creates a quantizer for gradients of shape `rows × cols` with a zero
+    /// initial residual.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Self {
+            residual: Matrix::zeros(rows, cols),
+        }
+    }
+
+    /// Current error residual (what has been "owed" to the model so far).
+    pub fn residual(&self) -> &Matrix {
+        &self.residual
+    }
+
+    /// Quantizes `grad + residual` to one bit per element and updates the
+    /// residual to the new quantization error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad`'s shape differs from the shape given at construction.
+    pub fn quantize(&mut self, grad: &Matrix) -> QuantizedGrad {
+        assert_eq!(
+            grad.shape(),
+            self.residual.shape(),
+            "gradient shape changed between quantize calls"
+        );
+        let (rows, cols) = grad.shape();
+        let n = rows * cols;
+
+        // Effective gradient = fresh gradient + carried error.
+        let mut eff = grad.clone();
+        eff.add_assign(&self.residual);
+
+        // Split by sign; scales are the per-group means so the reconstruction
+        // is unbiased within each group.
+        let mut pos_sum = 0.0f64;
+        let mut pos_cnt = 0usize;
+        let mut neg_sum = 0.0f64;
+        let mut neg_cnt = 0usize;
+        for &v in eff.as_slice() {
+            if v > 0.0 {
+                pos_sum += v as f64;
+                pos_cnt += 1;
+            } else {
+                neg_sum += v as f64;
+                neg_cnt += 1;
+            }
+        }
+        let pos_scale = if pos_cnt > 0 { (pos_sum / pos_cnt as f64) as f32 } else { 0.0 };
+        let neg_scale = if neg_cnt > 0 { (neg_sum / neg_cnt as f64) as f32 } else { 0.0 };
+
+        let mut bits = vec![0u64; n.div_ceil(64)];
+        for (i, &v) in eff.as_slice().iter().enumerate() {
+            if v > 0.0 {
+                bits[i / 64] |= 1 << (i % 64);
+            }
+        }
+
+        let q = QuantizedGrad {
+            rows,
+            cols,
+            pos_scale,
+            neg_scale,
+            bits,
+        };
+
+        // New residual = effective gradient - what the receiver will decode.
+        let decoded = q.dequantize();
+        self.residual = eff;
+        self.residual.sub_assign(&decoded);
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_grad(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut m = Matrix::zeros(rows, cols);
+        crate::init::gaussian(&mut m, 0.0, 1.0, &mut StdRng::seed_from_u64(seed));
+        m
+    }
+
+    #[test]
+    fn decode_uses_group_means() {
+        let g = Matrix::from_vec(1, 4, vec![1.0, 3.0, -2.0, -4.0]);
+        let mut q = OneBitQuantizer::new(1, 4);
+        let enc = q.quantize(&g);
+        let dec = enc.dequantize();
+        assert_eq!(dec.as_slice(), &[2.0, 2.0, -3.0, -3.0]);
+    }
+
+    #[test]
+    fn residual_carries_exact_error() {
+        let g = random_grad(8, 8, 7);
+        let mut q = OneBitQuantizer::new(8, 8);
+        let enc = q.quantize(&g);
+        let dec = enc.dequantize();
+        // residual == g - dec exactly.
+        let mut expect = g.clone();
+        expect.sub_assign(&dec);
+        assert!(q.residual().max_abs_diff(&expect) == 0.0);
+    }
+
+    #[test]
+    fn repeated_quantization_transmits_mass_eventually() {
+        // A constant gradient fed repeatedly: the decoded sum should approach
+        // the true cumulative gradient because the residual is fed back.
+        let g = Matrix::filled(4, 4, 0.1);
+        let mut q = OneBitQuantizer::new(4, 4);
+        let mut decoded_sum = Matrix::zeros(4, 4);
+        let steps = 50;
+        for _ in 0..steps {
+            decoded_sum.add_assign(&q.quantize(&g).dequantize());
+        }
+        let true_sum = 0.1 * steps as f32;
+        for &v in decoded_sum.as_slice() {
+            assert!(
+                (v - true_sum).abs() <= 0.2,
+                "decoded cumulative {v} drifted from {true_sum}"
+            );
+        }
+    }
+
+    #[test]
+    fn wire_bytes_is_roughly_32x_smaller() {
+        let enc = OneBitQuantizer::new(256, 256).quantize(&random_grad(256, 256, 1));
+        let dense_bytes = 256 * 256 * 4;
+        assert!(enc.wire_bytes() < dense_bytes / 30);
+        assert!(enc.wire_bytes() >= 256 * 256 / 8);
+    }
+
+    #[test]
+    fn all_zero_gradient_is_stable() {
+        let g = Matrix::zeros(3, 3);
+        let mut q = OneBitQuantizer::new(3, 3);
+        let dec = q.quantize(&g).dequantize();
+        assert_eq!(dec.max_abs(), 0.0);
+        assert_eq!(q.residual().max_abs(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape changed")]
+    fn shape_change_panics() {
+        let mut q = OneBitQuantizer::new(2, 2);
+        let _ = q.quantize(&Matrix::zeros(3, 3));
+    }
+
+    #[test]
+    fn wire_codec_roundtrips() {
+        let g = random_grad(13, 9, 42);
+        let enc = OneBitQuantizer::new(13, 9).quantize(&g);
+        let bytes = enc.to_bytes();
+        assert_eq!(bytes.len(), enc.wire_bytes());
+        let back = QuantizedGrad::from_bytes(&bytes).unwrap();
+        assert_eq!(back, enc);
+        assert_eq!(back.dequantize(), enc.dequantize());
+    }
+
+    #[test]
+    fn wire_codec_rejects_truncation() {
+        let enc = OneBitQuantizer::new(4, 4).quantize(&random_grad(4, 4, 1));
+        let bytes = enc.to_bytes();
+        assert!(QuantizedGrad::from_bytes(&bytes[..bytes.len() - 1]).is_none());
+        assert!(QuantizedGrad::from_bytes(&bytes[..8]).is_none());
+    }
+
+    #[test]
+    fn bit_packing_roundtrip_signs() {
+        let g = Matrix::from_vec(1, 70, (0..70).map(|i| if i % 3 == 0 { 1.0 } else { -1.0 }).collect());
+        let mut q = OneBitQuantizer::new(1, 70);
+        let dec = q.quantize(&g).dequantize();
+        for (i, &v) in dec.as_slice().iter().enumerate() {
+            if i % 3 == 0 {
+                assert!(v > 0.0, "element {i} lost its sign");
+            } else {
+                assert!(v < 0.0, "element {i} lost its sign");
+            }
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Sufficient factors: the rank-1 decomposition of FC-layer gradients.
+//!
+//! For a fully-connected layer trained with SGD, the gradient contributed by a
+//! single training sample is a rank-1 matrix `∇W = u · vᵀ` (Section 2.1 of the
+//! paper), where `u` is the back-propagated error at the layer output and `v`
+//! is the layer input activation. Sufficient-factor broadcasting (SFB, Xie et
+//! al.) transmits the `(u, v)` pairs instead of the `M×N` dense gradient and
+//! reconstructs the gradient at the receiver.
+//!
+//! Unlike dense gradients, sufficient factors are *not additive over samples*:
+//! a batch of `K` samples needs `K` pairs on the wire, so the wire cost is
+//! `K(M+N)` floats versus `M·N` for the dense matrix — the trade-off the
+//! HybComm cost model (Table 1) arbitrates.
+
+use crate::Matrix;
+
+/// One sufficient-factor pair `(u, v)` with `∇W = u · vᵀ`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SufficientFactor {
+    /// Output-side factor; length equals the gradient's row count `M`.
+    pub u: Vec<f32>,
+    /// Input-side factor; length equals the gradient's column count `N`.
+    pub v: Vec<f32>,
+}
+
+impl SufficientFactor {
+    /// Creates a pair from the two factor vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either vector is empty.
+    pub fn new(u: Vec<f32>, v: Vec<f32>) -> Self {
+        assert!(!u.is_empty() && !v.is_empty(), "sufficient factors must be non-empty");
+        Self { u, v }
+    }
+
+    /// Shape `(M, N)` of the gradient this pair reconstructs.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.u.len(), self.v.len())
+    }
+
+    /// Number of f32 values this pair puts on the wire (`M + N`).
+    pub fn wire_floats(&self) -> usize {
+        self.u.len() + self.v.len()
+    }
+
+    /// Accumulates `alpha · u · vᵀ` into `grad`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad` does not have shape `(M, N)`.
+    pub fn accumulate_into(&self, grad: &mut Matrix, alpha: f32) {
+        grad.rank1_update(alpha, &self.u, &self.v);
+    }
+
+    /// Reconstructs the dense rank-1 gradient `u · vᵀ`.
+    pub fn to_dense(&self) -> Matrix {
+        let (m, n) = self.shape();
+        let mut g = Matrix::zeros(m, n);
+        self.accumulate_into(&mut g, 1.0);
+        g
+    }
+}
+
+/// A batch of sufficient factors (one per training sample), all sharing the
+/// same gradient shape.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SfBatch {
+    factors: Vec<SufficientFactor>,
+}
+
+impl SfBatch {
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a batch from existing pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pairs disagree on shape.
+    pub fn from_factors(factors: Vec<SufficientFactor>) -> Self {
+        if let Some(first) = factors.first() {
+            let shape = first.shape();
+            assert!(
+                factors.iter().all(|f| f.shape() == shape),
+                "all sufficient factors in a batch must share one shape"
+            );
+        }
+        Self { factors }
+    }
+
+    /// Appends a pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sf`'s shape differs from the pairs already in the batch.
+    pub fn push(&mut self, sf: SufficientFactor) {
+        if let Some(first) = self.factors.first() {
+            assert_eq!(first.shape(), sf.shape(), "shape mismatch within SfBatch");
+        }
+        self.factors.push(sf);
+    }
+
+    /// Number of pairs (i.e. samples) in the batch.
+    pub fn len(&self) -> usize {
+        self.factors.len()
+    }
+
+    /// `true` iff the batch holds no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.factors.is_empty()
+    }
+
+    /// The pairs in sample order.
+    pub fn factors(&self) -> &[SufficientFactor] {
+        &self.factors
+    }
+
+    /// Gradient shape `(M, N)`, or `None` for an empty batch.
+    pub fn shape(&self) -> Option<(usize, usize)> {
+        self.factors.first().map(SufficientFactor::shape)
+    }
+
+    /// Total f32 values on the wire: `K(M+N)`.
+    pub fn wire_floats(&self) -> usize {
+        self.factors.iter().map(SufficientFactor::wire_floats).sum()
+    }
+
+    /// Reconstructs the dense batch gradient `Σₖ uₖ·vₖᵀ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch is empty.
+    pub fn reconstruct(&self) -> Matrix {
+        let (m, n) = self.shape().expect("cannot reconstruct from an empty SfBatch");
+        let mut g = Matrix::zeros(m, n);
+        self.accumulate_into(&mut g, 1.0);
+        g
+    }
+
+    /// Accumulates `alpha · Σₖ uₖ·vₖᵀ` into `grad`.
+    pub fn accumulate_into(&self, grad: &mut Matrix, alpha: f32) {
+        for f in &self.factors {
+            f.accumulate_into(grad, alpha);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_pair_reconstructs_outer_product() {
+        let sf = SufficientFactor::new(vec![1.0, 2.0], vec![3.0, 4.0, 5.0]);
+        let g = sf.to_dense();
+        assert_eq!(g.shape(), (2, 3));
+        assert_eq!(g.as_slice(), &[3.0, 4.0, 5.0, 6.0, 8.0, 10.0]);
+        assert_eq!(sf.wire_floats(), 5);
+    }
+
+    #[test]
+    fn batch_reconstruction_is_sum_of_rank1_terms() {
+        let a = SufficientFactor::new(vec![1.0, 0.0], vec![1.0, 1.0]);
+        let b = SufficientFactor::new(vec![0.0, 1.0], vec![2.0, -1.0]);
+        let batch = SfBatch::from_factors(vec![a.clone(), b.clone()]);
+        let dense = batch.reconstruct();
+        let mut expect = a.to_dense();
+        expect.add_assign(&b.to_dense());
+        assert_eq!(dense, expect);
+        assert_eq!(batch.wire_floats(), 8);
+        assert_eq!(batch.shape(), Some((2, 2)));
+    }
+
+    #[test]
+    fn accumulate_with_alpha_scales() {
+        let sf = SufficientFactor::new(vec![2.0], vec![3.0]);
+        let mut g = Matrix::zeros(1, 1);
+        SfBatch::from_factors(vec![sf]).accumulate_into(&mut g, 0.5);
+        assert_eq!(g[(0, 0)], 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn push_rejects_mixed_shapes() {
+        let mut batch = SfBatch::new();
+        batch.push(SufficientFactor::new(vec![1.0], vec![1.0, 2.0]));
+        batch.push(SufficientFactor::new(vec![1.0, 2.0], vec![1.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "must share one shape")]
+    fn from_factors_rejects_mixed_shapes() {
+        let _ = SfBatch::from_factors(vec![
+            SufficientFactor::new(vec![1.0], vec![1.0]),
+            SufficientFactor::new(vec![1.0, 2.0], vec![1.0]),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty SfBatch")]
+    fn reconstruct_empty_batch_panics() {
+        let _ = SfBatch::new().reconstruct();
+    }
+
+    #[test]
+    fn empty_batch_reports_empty() {
+        let batch = SfBatch::new();
+        assert!(batch.is_empty());
+        assert_eq!(batch.len(), 0);
+        assert_eq!(batch.wire_floats(), 0);
+        assert_eq!(batch.shape(), None);
+    }
+}

@@ -1,0 +1,158 @@
+//! Property-based tests for the tensor substrate.
+
+use poseidon_tensor::bytesio;
+use poseidon_tensor::quantize::OneBitQuantizer;
+use poseidon_tensor::{Matrix, SfBatch, SufficientFactor};
+use proptest::prelude::*;
+
+fn matrix_strategy(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-100.0f32..100.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+fn sf_strategy(max_dim: usize, max_k: usize) -> impl Strategy<Value = SfBatch> {
+    (1..=max_dim, 1..=max_dim, 1..=max_k).prop_flat_map(|(m, n, k)| {
+        proptest::collection::vec(
+            (
+                proptest::collection::vec(-10.0f32..10.0, m),
+                proptest::collection::vec(-10.0f32..10.0, n),
+            ),
+            k,
+        )
+        .prop_map(|pairs| {
+            SfBatch::from_factors(
+                pairs
+                    .into_iter()
+                    .map(|(u, v)| SufficientFactor::new(u, v))
+                    .collect(),
+            )
+        })
+    })
+}
+
+/// Naive reference matmul used to validate the optimised loop orders.
+fn reference_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for j in 0..b.cols() {
+            let mut acc = 0.0f32;
+            for k in 0..a.cols() {
+                acc += a[(i, k)] * b[(k, j)];
+            }
+            out[(i, j)] = acc;
+        }
+    }
+    out
+}
+
+proptest! {
+    #[test]
+    fn matmul_matches_reference(
+        a in matrix_strategy(12),
+        bcols in 1usize..12,
+        seed in 0u64..1000,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut b = Matrix::zeros(a.cols(), bcols);
+        for v in b.as_mut_slice() { *v = rng.gen_range(-5.0..5.0); }
+        let fast = a.matmul(&b);
+        let slow = reference_matmul(&a, &b);
+        prop_assert!(fast.max_abs_diff(&slow) <= 1e-3 * (1.0 + slow.max_abs()));
+    }
+
+    #[test]
+    fn transpose_products_agree(a in matrix_strategy(10), seed in 0u64..1000) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut b = Matrix::zeros(a.rows(), 7);
+        for v in b.as_mut_slice() { *v = rng.gen_range(-5.0..5.0); }
+        let tn = a.matmul_tn(&b);
+        let explicit = a.transposed().matmul(&b);
+        prop_assert!(tn.max_abs_diff(&explicit) <= 1e-3 * (1.0 + explicit.max_abs()));
+    }
+
+    #[test]
+    fn sf_reconstruction_equals_sum_of_outer_products(batch in sf_strategy(10, 6)) {
+        let dense = batch.reconstruct();
+        let (m, n) = batch.shape().unwrap();
+        let mut expect = Matrix::zeros(m, n);
+        for sf in batch.factors() {
+            for r in 0..m {
+                for c in 0..n {
+                    expect[(r, c)] += sf.u[r] * sf.v[c];
+                }
+            }
+        }
+        prop_assert!(dense.max_abs_diff(&expect) <= 1e-3 * (1.0 + expect.max_abs()));
+    }
+
+    #[test]
+    fn matrix_codec_roundtrips(m in matrix_strategy(16)) {
+        let bytes = bytesio::encode_matrix(&m);
+        prop_assert_eq!(bytes.len(), bytesio::matrix_wire_bytes(m.rows(), m.cols()));
+        let back = bytesio::decode_matrix(&bytes).unwrap();
+        prop_assert_eq!(back, m);
+    }
+
+    #[test]
+    fn sf_codec_roundtrips(batch in sf_strategy(8, 5)) {
+        let bytes = bytesio::encode_sf_batch(&batch);
+        let (m, n) = batch.shape().unwrap();
+        prop_assert_eq!(bytes.len(), bytesio::sf_batch_wire_bytes(batch.len(), m, n));
+        let back = bytesio::decode_sf_batch(&bytes).unwrap();
+        prop_assert_eq!(back, batch);
+    }
+
+    /// Decoders never panic on arbitrary bytes — they return an error (or
+    /// `None`) instead. This is the transport's safety boundary.
+    #[test]
+    fn decoders_survive_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = bytesio::decode_matrix(&bytes);
+        let _ = bytesio::decode_sf_batch(&bytes);
+        let _ = poseidon_tensor::quantize::QuantizedGrad::from_bytes(&bytes);
+    }
+
+    /// Truncating a valid encoding at any point is detected, never mis-decoded
+    /// into a wrong-but-plausible value of the same length.
+    #[test]
+    fn truncated_matrix_never_decodes(m in matrix_strategy(8), cut in 0usize..10) {
+        let bytes = bytesio::encode_matrix(&m);
+        if cut > 0 && cut <= bytes.len() {
+            let truncated = &bytes[..bytes.len() - cut];
+            prop_assert!(bytesio::decode_matrix(truncated).is_err());
+        }
+    }
+
+    #[test]
+    fn quantizer_residual_is_exact_error(m in matrix_strategy(8)) {
+        let mut q = OneBitQuantizer::new(m.rows(), m.cols());
+        let decoded = q.quantize(&m).dequantize();
+        // After one step, residual must equal input - decoded exactly.
+        let mut expect = m.clone();
+        expect.sub_assign(&decoded);
+        prop_assert_eq!(q.residual().clone(), expect);
+    }
+
+    #[test]
+    fn quantizer_conserves_cumulative_mass(
+        m in matrix_strategy(6),
+        steps in 1usize..8,
+    ) {
+        // Invariant of error feedback: sum of decoded msgs + final residual
+        // == sum of inputs (up to f32 accumulation error).
+        let mut q = OneBitQuantizer::new(m.rows(), m.cols());
+        let mut decoded_sum = Matrix::zeros(m.rows(), m.cols());
+        for _ in 0..steps {
+            decoded_sum.add_assign(&q.quantize(&m).dequantize());
+        }
+        decoded_sum.add_assign(q.residual());
+        let mut input_sum = Matrix::zeros(m.rows(), m.cols());
+        for _ in 0..steps {
+            input_sum.add_assign(&m);
+        }
+        prop_assert!(decoded_sum.max_abs_diff(&input_sum) <= 1e-2 * (1.0 + input_sum.max_abs()));
+    }
+}

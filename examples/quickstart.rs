@@ -1,0 +1,44 @@
+//! Quickstart: train a small network data-parallel across 4 in-process
+//! "machines" with Poseidon's full pipeline (WFBP + HybComm over a
+//! byte-counted transport), then inspect what the coordinator decided and
+//! what it cost.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use poseidon::runtime::{evaluate_error, train, RuntimeConfig};
+use poseidon_nn::data::Dataset;
+use poseidon_nn::layer::TensorShape;
+use poseidon_nn::presets;
+
+fn main() {
+    // A learnable synthetic task: 10 classes of smooth 3x16x16 "images".
+    let all = Dataset::smooth_clusters(TensorShape::new(3, 16, 16), 10, 1200, 2.0, 7);
+    let (train_set, test_set) = all.split_at(1000);
+
+    // 4 workers, batch 8 each, 150 synchronous iterations. The default
+    // policy is HybComm: the coordinator picks PS or SFB per layer.
+    let cfg = RuntimeConfig::new(4, 8, 0.08, 150);
+
+    println!("training a cifar10_quick-style CNN on 4 workers (hybrid communication)...");
+    let result = train(
+        &|| presets::cifar_quick_scaled(TensorShape::new(3, 16, 16), 8, 10, 42),
+        &train_set,
+        None,
+        &cfg,
+    );
+
+    println!("\nper-layer scheme decisions (Algorithm 1):");
+    for &(layer, scheme) in &result.schemes {
+        println!("  layer {layer:2} -> {scheme}");
+    }
+
+    println!("\nloss: first {:.3} -> last {:.3}", result.losses[0], result.losses.last().unwrap());
+    let mut net = result.net;
+    let err = evaluate_error(&mut net, &test_set);
+    println!("final top-1 test error: {err:.3}");
+
+    println!("\nbytes that crossed the (in-process) network, per node:");
+    for (node, bytes) in result.traffic.per_node_totals().iter().enumerate() {
+        println!("  node{node}: {:.2} MB", *bytes as f64 / 1e6);
+    }
+}

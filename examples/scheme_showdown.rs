@@ -1,0 +1,59 @@
+//! Scheme showdown: train the same model with every communication scheme on
+//! the real threaded runtime and compare convergence, bytes moved and wall
+//! time — the paper's Section 5.3 comparison in miniature.
+//!
+//! Run: `cargo run --release --example scheme_showdown`
+
+use poseidon::config::SchemePolicy;
+use poseidon::runtime::{evaluate_error, train, RuntimeConfig};
+use poseidon_nn::data::Dataset;
+use poseidon_nn::layer::TensorShape;
+use poseidon_nn::presets;
+use std::time::Instant;
+
+fn main() {
+    let all = Dataset::smooth_clusters(TensorShape::new(3, 16, 16), 10, 1200, 2.0, 99);
+    let (train_set, test_set) = all.split_at(1000);
+
+    println!(
+        "{:>10} {:>10} {:>10} {:>12} {:>10}",
+        "policy", "loss", "test err", "net MB", "wall s"
+    );
+    for (policy, name) in [
+        (SchemePolicy::AlwaysPs, "PS"),
+        (SchemePolicy::AlwaysSfbForFc, "SFB"),
+        (SchemePolicy::Hybrid, "Hybrid"),
+        (SchemePolicy::AdamSf, "Adam"),
+        (SchemePolicy::OneBit, "1-bit"),
+    ] {
+        let cfg = RuntimeConfig {
+            policy,
+            ..RuntimeConfig::new(4, 8, 0.08, 120)
+        };
+        let t0 = Instant::now();
+        let result = train(
+            &|| presets::cifar_quick_scaled(TensorShape::new(3, 16, 16), 8, 10, 42),
+            &train_set,
+            None,
+            &cfg,
+        );
+        let wall = t0.elapsed().as_secs_f64();
+        let mut net = result.net;
+        let err = evaluate_error(&mut net, &test_set);
+        let mb = result.traffic.total_bytes() as f64 / 1e6;
+        println!(
+            "{:>10} {:>10.3} {:>10.3} {:>12.1} {:>10.2}",
+            name,
+            result.losses.last().unwrap(),
+            err,
+            mb,
+            wall
+        );
+    }
+    println!("\nExpected: PS, Hybrid and Adam are bitwise-identical trajectories and");
+    println!("SFB matches within floating-point tolerance (all four are *exact*");
+    println!("synchronisation — only the wire format differs). 1-bit is lossy: its");
+    println!("trajectory deviates (the mean-magnitude decode inflates small gradient");
+    println!("entries, which can speed up or hurt convergence depending on the");
+    println!("learning-rate regime — see fig11 and EXPERIMENTS.md).");
+}

@@ -1,0 +1,65 @@
+//! WFBP timeline: visualise *why* wait-free backpropagation works — for
+//! VGG19, print each trainable layer's backward-completion time, its
+//! parameter volume, and the scheme HybComm picks, showing that the heavy FC
+//! layers finish first and their communication hides under the long conv
+//! backward tail.
+//!
+//! Run: `cargo run --release --example wfbp_timeline`
+
+use poseidon::config::{ClusterConfig, Partition, SchemePolicy};
+use poseidon::coordinator::Coordinator;
+use poseidon::sim::LayerTimes;
+use poseidon_nn::zoo;
+
+fn main() {
+    let model = zoo::vgg19();
+    let cluster = ClusterConfig::colocated(8, model.default_batch);
+    let coordinator = Coordinator::from_spec(
+        &model,
+        cluster,
+        SchemePolicy::Hybrid,
+        Partition::default_kv_pairs(),
+    );
+    let times = LayerTimes::derive(&model, model.default_batch, 4.0e12);
+
+    // Backward runs top-down; accumulate completion times.
+    let fwd_total: f64 = times.fwd.iter().sum();
+    let mut t = fwd_total;
+    let mut rows: Vec<(usize, f64)> = Vec::new();
+    for l in (0..model.layers.len()).rev() {
+        t += times.bwd[l];
+        rows.push((l, t));
+    }
+    let total = t;
+
+    println!(
+        "VGG19, batch {}, one iteration = {:.0} ms compute ({:.0} ms forward)\n",
+        model.default_batch,
+        total * 1e3,
+        fwd_total * 1e3
+    );
+    println!(
+        "{:>3} {:>12} {:>10} {:>12} {:>8}  {}",
+        "l", "layer", "bwd done", "params", "scheme", "remaining backward that hides its comm"
+    );
+    for (l, done) in rows {
+        let spec = &model.layers[l];
+        if !spec.is_trainable() {
+            continue;
+        }
+        let scheme = coordinator.best_scheme(l);
+        let remaining = total - done;
+        let bar_len = (remaining / total * 40.0).round() as usize;
+        println!(
+            "{:>3} {:>12} {:>8.0} ms {:>11.1}M {:>8}  {}",
+            l,
+            spec.name,
+            done * 1e3,
+            spec.params as f64 / 1e6,
+            scheme.to_string(),
+            "#".repeat(bar_len)
+        );
+    }
+    println!("\nfc6-fc8 hold 86% of the parameters but finish backward first — their");
+    println!("synchronisation overlaps the entire conv backward (the long bars).");
+}

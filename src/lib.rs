@@ -1,0 +1,15 @@
+//! Workspace root for the Poseidon reproduction.
+//!
+//! This crate only re-exports the member crates so the runnable examples under
+//! `examples/` and the cross-crate integration tests under `tests/` have a
+//! single import surface. The actual implementation lives in:
+//!
+//! * [`poseidon`] — the paper's contribution (WFBP, HybComm, KV store, SFB).
+//! * [`poseidon_nn`] — the neural-network engine, model zoo and datasets.
+//! * [`poseidon_netsim`] — the discrete-event cluster simulator.
+//! * [`poseidon_tensor`] — dense tensor kernels and gradient compression.
+
+pub use poseidon;
+pub use poseidon_netsim;
+pub use poseidon_nn;
+pub use poseidon_tensor;

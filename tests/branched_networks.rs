@@ -1,0 +1,109 @@
+//! WFBP on non-chain structures: the paper argues the scheme "is generally
+//! applicable to other non-chain like structures (e.g., tree-like
+//! structures)". These tests train a branched (inception-style) DAG network
+//! through the full distributed runtime.
+
+use poseidon::config::SchemePolicy;
+use poseidon::runtime::{evaluate_error, train, RuntimeConfig};
+use poseidon_nn::data::Dataset;
+use poseidon_nn::graph::GraphNetwork;
+use poseidon_nn::layer::TensorShape;
+use poseidon_nn::layers::{Conv2d, FullyConnected, MaxPool2d, ReLU};
+use poseidon_nn::Model;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A small two-branch inception-style classifier on 3×8×8 inputs.
+fn branched(classes: usize, seed: u64) -> GraphNetwork {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let shape = TensorShape::new(3, 8, 8);
+    let mut g = GraphNetwork::new(shape);
+    let stem = g.add_layer(
+        g.input(),
+        Box::new(Conv2d::new("stem", shape, 6, 3, 1, 1, &mut rng)),
+    );
+    let stem_shape = g.node_shape(stem);
+    let b1 = g.add_layer(
+        stem,
+        Box::new(Conv2d::new("b1_1x1", stem_shape, 4, 1, 1, 0, &mut rng)),
+    );
+    let b2r = g.add_layer(
+        stem,
+        Box::new(Conv2d::new("b2_reduce", stem_shape, 4, 1, 1, 0, &mut rng)),
+    );
+    let b2 = g.add_layer(
+        b2r,
+        Box::new(Conv2d::new("b2_3x3", g.node_shape(b2r), 6, 3, 1, 1, &mut rng)),
+    );
+    let merged = g.concat(&[b1, b2]);
+    let relu = g.add_layer(merged, Box::new(ReLU::new("relu", g.node_shape(merged))));
+    let pool = g.add_layer(relu, Box::new(MaxPool2d::new("pool", g.node_shape(relu), 2, 2)));
+    let flat = g.node_shape(pool).len();
+    let fc = g.add_layer(pool, Box::new(FullyConnected::new("fc", flat, classes, &mut rng)));
+    g.set_output(fc);
+    g
+}
+
+fn dataset() -> Dataset {
+    Dataset::smooth_clusters(TensorShape::new(3, 8, 8), 4, 512, 1.2, 91)
+}
+
+#[test]
+fn branched_network_trains_distributed_with_hybrid_comm() {
+    let all = dataset();
+    let (train_set, test_set) = all.split_at(416);
+    let cfg = RuntimeConfig::new(4, 8, 0.1, 120);
+    let result = train(&|| branched(4, 33), &train_set, None, &cfg);
+    let mut net = result.net;
+    let err = evaluate_error(&mut net, &test_set);
+    assert!(err < 0.25, "branched distributed training should learn, err {err}");
+    assert!(result.losses.last().unwrap() < &result.losses[0]);
+}
+
+#[test]
+fn branched_ps_and_sfb_agree() {
+    let all = dataset();
+    let (train_set, _) = all.split_at(416);
+    let mk = |policy| {
+        let cfg = RuntimeConfig {
+            policy,
+            batch_per_worker: 4,
+            ..RuntimeConfig::new(3, 4, 0.1, 8)
+        };
+        train(&|| branched(4, 35), &train_set, None, &cfg)
+    };
+    let ps = mk(SchemePolicy::AlwaysPs);
+    let sfb = mk(SchemePolicy::AlwaysSfbForFc);
+    let diff = ps.net.max_param_diff_with(&sfb.net);
+    assert!(diff < 1e-4, "PS and SFB disagree on the DAG: {diff}");
+}
+
+#[test]
+fn branched_runs_are_deterministic() {
+    let all = dataset();
+    let (train_set, _) = all.split_at(416);
+    let cfg = RuntimeConfig::new(4, 4, 0.1, 6);
+    let a = train(&|| branched(4, 37), &train_set, None, &cfg);
+    let b = train(&|| branched(4, 37), &train_set, None, &cfg);
+    assert_eq!(a.net.max_param_diff_with(&b.net), 0.0);
+    assert_eq!(a.losses, b.losses);
+}
+
+#[test]
+fn structural_nodes_get_no_syncers() {
+    // The coordinator must classify concat/input slots as untrainable.
+    let g = branched(4, 39);
+    use poseidon::config::{ClusterConfig, Partition};
+    let c = poseidon::coordinator::Coordinator::from_model(
+        &g,
+        ClusterConfig::colocated(2, 8),
+        SchemePolicy::Hybrid,
+        Partition::default_kv_pairs(),
+    );
+    let trainable: Vec<usize> = c.scheme_assignment().iter().map(|&(l, _)| l).collect();
+    assert_eq!(trainable, g.trainable_slots());
+    // Input node (0) and the concat node are untrainable entries.
+    assert!(!c.layers()[0].is_trainable());
+    let concat_entry = c.layers().iter().find(|l| l.name.starts_with("<structural"));
+    assert!(concat_entry.is_some(), "concat slot recorded as structural");
+}

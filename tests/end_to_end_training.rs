@@ -1,0 +1,101 @@
+//! End-to-end training across the full stack: real CNN, real datasets,
+//! threaded workers + shards, hybrid communication — the system a user would
+//! actually run, exercised as a whole.
+
+use poseidon::config::SchemePolicy;
+use poseidon::runtime::{evaluate_error, train, RuntimeConfig};
+use poseidon_nn::data::Dataset;
+use poseidon_nn::layer::TensorShape;
+use poseidon_nn::presets;
+
+#[test]
+fn cnn_trains_to_low_error_with_hybrid_comm() {
+    let shape = TensorShape::new(3, 16, 16);
+    let all = Dataset::smooth_clusters(shape, 6, 480, 1.2, 17);
+    let (train_set, test_set) = all.split_at(400);
+    let cfg = RuntimeConfig {
+        eval_every: 50,
+        ..RuntimeConfig::new(4, 8, 0.08, 150)
+    };
+    let result = train(
+        &|| presets::cifar_quick_scaled(shape, 6, 6, 23),
+        &train_set,
+        Some(&test_set),
+        &cfg,
+    );
+    let mut net = result.net;
+    let err = evaluate_error(&mut net, &test_set);
+    assert!(
+        err < 0.25,
+        "4-worker hybrid training should reach <25% error, got {err}"
+    );
+    // Loss decreased substantially.
+    let first: f32 = result.losses[..10].iter().sum::<f32>() / 10.0;
+    let last: f32 = result.losses[140..].iter().sum::<f32>() / 10.0;
+    assert!(last < first * 0.5, "loss {first} -> {last}");
+    // The eval hook produced samples at the requested cadence.
+    assert_eq!(result.test_errors.len(), 3);
+}
+
+#[test]
+fn mlp_converges_with_every_policy() {
+    let all = Dataset::gaussian_clusters(TensorShape::flat(16), 4, 320, 0.4, 29);
+    let (train_set, test_set) = all.split_at(256);
+    for policy in [
+        SchemePolicy::AlwaysPs,
+        SchemePolicy::AlwaysSfbForFc,
+        SchemePolicy::Hybrid,
+        SchemePolicy::AdamSf,
+        SchemePolicy::OneBit,
+    ] {
+        let cfg = RuntimeConfig {
+            policy,
+            ..RuntimeConfig::new(4, 8, 0.1, 80)
+        };
+        let result = train(&|| presets::mlp(&[16, 24, 4], 31), &train_set, None, &cfg);
+        let mut net = result.net;
+        let err = evaluate_error(&mut net, &test_set);
+        assert!(
+            err < 0.2,
+            "{policy:?}: distributed training should reach <20% error, got {err}"
+        );
+    }
+}
+
+#[test]
+fn many_workers_still_correct() {
+    // 8 workers — more threads than some CI cores; correctness must hold.
+    let data = Dataset::gaussian_clusters(TensorShape::flat(10), 3, 160, 0.4, 41);
+    let cfg = RuntimeConfig::new(8, 4, 0.1, 20);
+    let result = train(&|| presets::mlp(&[10, 12, 3], 37), &data, None, &cfg);
+    assert!(result.losses.last().unwrap() < &result.losses[0]);
+    // All 8 nodes participated in traffic.
+    let totals = result.traffic.per_node_totals();
+    assert!(totals.iter().all(|&b| b > 0));
+}
+
+#[test]
+fn single_worker_runs_without_network() {
+    let data = Dataset::gaussian_clusters(TensorShape::flat(8), 2, 64, 0.3, 43);
+    let cfg = RuntimeConfig::new(1, 8, 0.1, 10);
+    let result = train(&|| presets::mlp(&[8, 6, 2], 41), &data, None, &cfg);
+    assert_eq!(result.traffic.total_bytes(), 0, "colocated loop-back only");
+    assert!(result.losses.last().unwrap() < &result.losses[0]);
+}
+
+#[test]
+fn scheme_assignment_respects_hybrid_cost_model() {
+    // A fat FC layer at tiny batch must pick SFB; run it end to end.
+    let data = Dataset::gaussian_clusters(TensorShape::flat(64), 4, 64, 0.4, 47);
+    let cfg = RuntimeConfig {
+        batch_per_worker: 2, // tiny K favours SFB
+        ..RuntimeConfig::new(4, 2, 0.1, 6)
+    };
+    let result = train(&|| presets::mlp(&[64, 96, 4], 43), &data, None, &cfg);
+    use poseidon::config::CommScheme;
+    assert!(
+        result.schemes.iter().any(|&(_, s)| s == CommScheme::Sfb),
+        "expected at least one SFB layer at K=2: {:?}",
+        result.schemes
+    );
+}
