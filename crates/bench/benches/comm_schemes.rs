@@ -27,12 +27,7 @@ fn bench_scheme_policies(c: &mut Criterion) {
                     policy,
                     ..RuntimeConfig::new(4, 8, 0.1, 10)
                 };
-                std::hint::black_box(train(
-                    &|| presets::mlp(&[64, 96, 4], 3),
-                    &data,
-                    None,
-                    &cfg,
-                ))
+                std::hint::black_box(train(&|| presets::mlp(&[64, 96, 4], 3), &data, None, &cfg))
             });
         });
     }

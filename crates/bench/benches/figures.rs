@@ -46,5 +46,10 @@ fn bench_single_simulation(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_fig5_sweep, bench_fig8_sweep, bench_single_simulation);
+criterion_group!(
+    benches,
+    bench_fig5_sweep,
+    bench_fig8_sweep,
+    bench_single_simulation
+);
 criterion_main!(benches);

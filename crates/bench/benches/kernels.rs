@@ -1,0 +1,78 @@
+//! Criterion microbenches for the blocked GEMM kernels on the exact shapes
+//! the paper's models put on the hot path: VGG19's giant FC layers and
+//! GoogLeNet's classifier (FC forward is `x · Wᵀ` over a 32-sample batch),
+//! plus an im2col-shaped conv GEMM and the square 512³ reference point.
+//!
+//! Run: `cargo bench -p poseidon-bench --bench kernels`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use poseidon_tensor::Matrix;
+
+fn lcg_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut m = Matrix::zeros(rows, cols);
+    let mut state = seed;
+    for v in m.as_mut_slice() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *v = ((state >> 40) as f32) / (1u64 << 24) as f32 - 0.5;
+    }
+    m
+}
+
+/// FC forward GEMMs, batch 32: `(K × in) · (out × in)ᵀ`.
+fn bench_model_fc_shapes(c: &mut Criterion) {
+    let shapes: &[(&str, usize, usize)] = &[
+        ("vgg19_fc6_25088x4096", 25088, 4096),
+        ("vgg19_fc7_4096x4096", 4096, 4096),
+        ("vgg19_fc8_4096x1000", 4096, 1000),
+        ("googlenet_fc_1024x1000", 1024, 1000),
+    ];
+    let mut g = c.benchmark_group("fc_forward_gemm_batch32");
+    g.sample_size(10);
+    for &(name, inf, outf) in shapes {
+        let x = lcg_matrix(32, inf, 1);
+        let w = lcg_matrix(outf, inf, 2);
+        g.bench_with_input(BenchmarkId::from_parameter(name), &name, |bench, _| {
+            bench.iter(|| std::hint::black_box(x.matmul_nt(&w)));
+        });
+    }
+    g.finish();
+}
+
+/// An im2col conv GEMM: VGG19 conv3_1-shaped, one sample —
+/// patches `(56·56) × (128·3·3)` times filters `256 × (128·3·3)`.
+fn bench_conv_im2col_gemm(c: &mut Criterion) {
+    let patches = lcg_matrix(56 * 56, 128 * 9, 3);
+    let filters = lcg_matrix(256, 128 * 9, 4);
+    let mut g = c.benchmark_group("conv_im2col_gemm");
+    g.sample_size(10);
+    g.bench_function("vgg19_conv3_1", |bench| {
+        bench.iter(|| std::hint::black_box(filters.matmul_nt(&patches)));
+    });
+    g.finish();
+}
+
+/// Square 512³ — the headline blocked-vs-naive comparison point recorded in
+/// `BENCH_kernels.json`.
+fn bench_square_512(c: &mut Criterion) {
+    let a = lcg_matrix(512, 512, 5);
+    let b = lcg_matrix(512, 512, 6);
+    let mut g = c.benchmark_group("gemm_512");
+    g.sample_size(10);
+    g.bench_function("blocked", |bench| {
+        bench.iter(|| std::hint::black_box(a.matmul(&b)));
+    });
+    g.bench_function("naive", |bench| {
+        bench.iter(|| std::hint::black_box(a.matmul_naive(&b)));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_model_fc_shapes,
+    bench_conv_im2col_gemm,
+    bench_square_512
+);
+criterion_main!(benches);

@@ -27,8 +27,18 @@ fn bench_partition_ablation(c: &mut Criterion) {
     let model = zoo::vgg19();
     for (partition, name) in [
         (Partition::default_kv_pairs(), "kv2mb"),
-        (Partition::KvPairs { pair_elems: 64 * 1024 }, "kv256kb"),
-        (Partition::KvPairs { pair_elems: 4 * 1024 * 1024 }, "kv16mb"),
+        (
+            Partition::KvPairs {
+                pair_elems: 64 * 1024,
+            },
+            "kv256kb",
+        ),
+        (
+            Partition::KvPairs {
+                pair_elems: 4 * 1024 * 1024,
+            },
+            "kv16mb",
+        ),
         (Partition::WholeTensor, "whole"),
     ] {
         g.bench_with_input(BenchmarkId::from_parameter(name), &partition, |b, &p| {

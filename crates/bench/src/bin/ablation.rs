@@ -24,7 +24,10 @@ fn main() {
 }
 
 fn scheduler_ablation() {
-    banner("Ablation 1", "WFBP overlap on/off (PS, KV pairs, 8 nodes, 40GbE)");
+    banner(
+        "Ablation 1",
+        "WFBP overlap on/off (PS, KV pairs, 8 nodes, 40GbE)",
+    );
     let header: Vec<String> = ["model", "sequential", "WFBP", "gain"]
         .iter()
         .map(|s| s.to_string())
@@ -60,9 +63,24 @@ fn granularity_ablation() {
     let model = zoo::vgg19();
     let mut rows = Vec::new();
     for (partition, label) in [
-        (Partition::KvPairs { pair_elems: 16 * 1024 }, "64 KB pairs"),
-        (Partition::KvPairs { pair_elems: 512 * 1024 }, "2 MB pairs (Poseidon)"),
-        (Partition::KvPairs { pair_elems: 16 * 1024 * 1024 }, "64 MB pairs"),
+        (
+            Partition::KvPairs {
+                pair_elems: 16 * 1024,
+            },
+            "64 KB pairs",
+        ),
+        (
+            Partition::KvPairs {
+                pair_elems: 512 * 1024,
+            },
+            "2 MB pairs (Poseidon)",
+        ),
+        (
+            Partition::KvPairs {
+                pair_elems: 16 * 1024 * 1024,
+            },
+            "64 MB pairs",
+        ),
         (Partition::WholeTensor, "whole tensors (TF)"),
     ] {
         let mut cfg = SimConfig::system(System::WfbpPs, 8, 40.0);
@@ -84,7 +102,10 @@ fn scheme_ablation() {
         "Ablation 3",
         "forcing one scheme vs HybComm (VGG19-22K, 16 nodes, 10GbE)",
     );
-    let header: Vec<String> = ["policy", "speedup"].iter().map(|s| s.to_string()).collect();
+    let header: Vec<String> = ["policy", "speedup"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     let model = zoo::vgg19_22k();
     let mut rows = Vec::new();
     for (policy, label) in [
@@ -151,10 +172,34 @@ fn bandwidth_model_ablation() {
         .map(|s| s.to_string())
         .collect();
     let cases = [
-        ("VGG19-22K, WFBP, 16n, 10GbE", poseidon_nn::zoo::vgg19_22k(), System::WfbpPs, 16usize, 10.0),
-        ("VGG19-22K, Poseidon, 16n, 10GbE", poseidon_nn::zoo::vgg19_22k(), System::Poseidon, 16, 10.0),
-        ("GoogLeNet, WFBP, 16n, 2GbE", poseidon_nn::zoo::googlenet(), System::WfbpPs, 16, 2.0),
-        ("VGG19, Poseidon, 8n, 40GbE", poseidon_nn::zoo::vgg19(), System::Poseidon, 8, 40.0),
+        (
+            "VGG19-22K, WFBP, 16n, 10GbE",
+            poseidon_nn::zoo::vgg19_22k(),
+            System::WfbpPs,
+            16usize,
+            10.0,
+        ),
+        (
+            "VGG19-22K, Poseidon, 16n, 10GbE",
+            poseidon_nn::zoo::vgg19_22k(),
+            System::Poseidon,
+            16,
+            10.0,
+        ),
+        (
+            "GoogLeNet, WFBP, 16n, 2GbE",
+            poseidon_nn::zoo::googlenet(),
+            System::WfbpPs,
+            16,
+            2.0,
+        ),
+        (
+            "VGG19, Poseidon, 8n, 40GbE",
+            poseidon_nn::zoo::vgg19(),
+            System::Poseidon,
+            8,
+            40.0,
+        ),
     ];
     let mut rows = Vec::new();
     for (label, model, sys, nodes, bw) in cases {
@@ -162,7 +207,11 @@ fn bandwidth_model_ablation() {
         let mut cfg = SimConfig::system(sys, nodes, bw);
         cfg.fair_share = true;
         let fair = simulate(&model, &cfg).speedup;
-        rows.push(vec![label.to_string(), format!("{fifo:.1}"), format!("{fair:.1}")]);
+        rows.push(vec![
+            label.to_string(),
+            format!("{fifo:.1}"),
+            format!("{fair:.1}"),
+        ]);
     }
     println!("{}", render_table(&header, &rows));
     println!("The two bandwidth models agree within ~20% on every configuration, so");

@@ -27,7 +27,10 @@ fn run(policy: SchemePolicy, iters: usize) -> TrainResult<poseidon_nn::Network> 
         // The Caffe cifar10_quick solver trains with momentum 0.9 and a
         // stepped learning rate.
         momentum: 0.9,
-        lr_schedule: LrSchedule::Step { every: 250, factor: 0.3 },
+        lr_schedule: LrSchedule::Step {
+            every: 250,
+            factor: 0.3,
+        },
         eval_every: iters / 10,
         ..RuntimeConfig::new(4, 8, 0.01, iters)
     };

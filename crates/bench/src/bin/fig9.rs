@@ -21,7 +21,10 @@ use poseidon_nn::presets;
 use poseidon_nn::zoo;
 
 fn main() {
-    banner("Figure 9a", "ResNet-152 throughput speedup (TF engine, 40GbE)");
+    banner(
+        "Figure 9a",
+        "ResNet-152 throughput speedup (TF engine, 40GbE)",
+    );
     print_speedup_panel(
         &zoo::resnet152(),
         &[System::TensorFlow, System::Poseidon],
@@ -65,7 +68,11 @@ fn main() {
     }
 
     let header: Vec<String> = std::iter::once("epoch".to_string())
-        .chain(columns.iter().map(|(w, _)| format!("{w} workers (batch {})", w * per_worker_batch)))
+        .chain(
+            columns
+                .iter()
+                .map(|(w, _)| format!("{w} workers (batch {})", w * per_worker_batch)),
+        )
         .collect();
     let rows: Vec<Vec<String>> = (0..epochs)
         .map(|e| {

@@ -1,0 +1,149 @@
+//! Emits `BENCH_kernels.json` — the compute-kernel performance baseline the
+//! repository tracks across PRs:
+//!
+//! 1. 512³ GEMM, naive jik reference vs the blocked/packed kernel.
+//! 2. Conv2d forward+backward over a 32-sample CIFAR-shaped batch at compute
+//!    thread counts 1 and 4.
+//! 3. A full CIFAR-10-quick training step (forward, loss, backward, SGD) at
+//!    thread counts 1 and 4, reported as images/second.
+//!
+//! Run from the repo root: `cargo run --release -p poseidon-bench --bin
+//! kernel_baseline` (writes `BENCH_kernels.json` into the current
+//! directory). Timings are min-of-N wall clock; the JSON is hand-rolled so
+//! the binary stays dependency-free.
+
+use poseidon_nn::layer::{Layer, TensorShape};
+use poseidon_nn::layers::Conv2d;
+use poseidon_nn::loss::SoftmaxCrossEntropy;
+use poseidon_nn::{parallel, presets};
+use poseidon_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn lcg_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut m = Matrix::zeros(rows, cols);
+    let mut state = seed;
+    for v in m.as_mut_slice() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *v = ((state >> 40) as f32) / (1u64 << 24) as f32 - 0.5;
+    }
+    m
+}
+
+/// The seed revision's GEMM (ikj loop order with a zero-skip fast path),
+/// kept here so the baseline records speedup against the exact kernel this
+/// PR replaced, not just the jik oracle.
+fn seed_style_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for k in 0..a.cols() {
+            let av = a[(i, k)];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = b.row(k);
+            let orow = &mut out.as_mut_slice()[i * brow.len()..(i + 1) * brow.len()];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    out
+}
+
+/// Min-of-`reps` wall-clock seconds for `f`.
+fn time(reps: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // 1. 512^3 GEMM: naive vs blocked.
+    let a = lcg_matrix(512, 512, 1);
+    let b = lcg_matrix(512, 512, 2);
+    let flops = 2.0 * 512f64.powi(3);
+    let naive_s = time(3, || {
+        std::hint::black_box(a.matmul_naive(&b));
+    });
+    let seed_s = time(3, || {
+        std::hint::black_box(seed_style_matmul(&a, &b));
+    });
+    let blocked_s = time(5, || {
+        std::hint::black_box(a.matmul(&b));
+    });
+
+    // 2. Conv2d fwd+bwd, batch 32, CIFAR conv1 shape (3x32x32 -> 32 @ 5x5).
+    let mut conv_ms = Vec::new();
+    let x = lcg_matrix(32, 3 * 32 * 32, 3);
+    for &threads in &[1usize, 4] {
+        parallel::set_compute_threads(threads);
+        let mut conv = Conv2d::new(
+            "conv1",
+            TensorShape::new(3, 32, 32),
+            32,
+            5,
+            1,
+            2,
+            &mut StdRng::seed_from_u64(7),
+        );
+        let gout = lcg_matrix(32, conv.output_shape().len(), 4);
+        let s = time(3, || {
+            conv.forward(&x);
+            std::hint::black_box(conv.backward(&gout));
+        });
+        conv_ms.push((threads, s * 1e3));
+    }
+
+    // 3. Full CIFAR-10-quick training step, batch 32.
+    let mut step_rows = Vec::new();
+    let labels: Vec<usize> = (0..32).map(|i| i % 10).collect();
+    let head = SoftmaxCrossEntropy;
+    for &threads in &[1usize, 4] {
+        parallel::set_compute_threads(threads);
+        let mut net = presets::cifar_quick(10, 42);
+        let s = time(3, || {
+            let logits = net.forward(&x);
+            let out = head.evaluate(&logits, &labels);
+            net.backward(&out.grad);
+            net.apply_own_grads(-0.001);
+        });
+        step_rows.push((threads, s * 1e3, 32.0 / s));
+    }
+    parallel::reset_compute_threads();
+
+    let conv_json: Vec<String> = conv_ms
+        .iter()
+        .map(|(t, ms)| format!("    {{\"threads\": {t}, \"fwd_bwd_ms\": {ms:.2}}}"))
+        .collect();
+    let step_json: Vec<String> = step_rows
+        .iter()
+        .map(|(t, ms, ips)| {
+            format!("    {{\"threads\": {t}, \"step_ms\": {ms:.2}, \"img_per_s\": {ips:.1}}}")
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"host\": {{\"cores\": {cores}}},\n  \"gemm_512\": {{\n    \"naive_ms\": {:.2},\n    \"seed_ikj_ms\": {:.2},\n    \"blocked_ms\": {:.2},\n    \"blocked_gflops\": {:.2},\n    \"speedup_vs_naive\": {:.2},\n    \"speedup_vs_seed\": {:.2}\n  }},\n  \"conv2d_cifar_batch32\": [\n{}\n  ],\n  \"cifar_quick_step_batch32\": [\n{}\n  ]\n}}\n",
+        naive_s * 1e3,
+        seed_s * 1e3,
+        blocked_s * 1e3,
+        flops / blocked_s * 1e-9,
+        naive_s / blocked_s,
+        seed_s / blocked_s,
+        conv_json.join(",\n"),
+        step_json.join(",\n"),
+    );
+    print!("{json}");
+    std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
+    eprintln!("wrote BENCH_kernels.json");
+}

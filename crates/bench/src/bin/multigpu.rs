@@ -25,8 +25,8 @@ fn poseidon_speedup(model: &ModelSpec, nodes: usize, gpus: usize) -> f64 {
 /// blocking 2·log2(G)-hop parameter exchange over unpinned PCIe per
 /// iteration (the paper measured ~3x on GoogLeNet, ~2x on VGG19 at 4 GPUs).
 fn caffe_tree_speedup(model: &ModelSpec, gpus: usize) -> f64 {
-    let compute = model.default_batch as f64
-        / model.paper_single_node_ips.expect("calibrated model");
+    let compute =
+        model.default_batch as f64 / model.paper_single_node_ips.expect("calibrated model");
     let hops = 2.0 * (gpus as f64).log2().ceil();
     let pcie_unpinned = 3.0e9;
     let per_layer_overhead = 0.5e-3 * model.trainable_layers().len() as f64;

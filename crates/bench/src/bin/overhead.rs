@@ -13,10 +13,16 @@ fn main() {
         "Section 5.1",
         "single-node throughput (img/s): native vs +PS vs Poseidon",
     );
-    let header: Vec<String> = ["model", "native", "engine+PS", "Poseidon", "paper (native/+PS/PSD)"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let header: Vec<String> = [
+        "model",
+        "native",
+        "engine+PS",
+        "Poseidon",
+        "paper (native/+PS/PSD)",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     let paper = [
         ("GoogLeNet", "257 / 213.3 / 257"),
         ("VGG19", "35.5 / 21.3 / 35.5"),

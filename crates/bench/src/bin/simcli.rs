@@ -88,17 +88,35 @@ fn main() {
     cfg.drop_stragglers = drop;
     let r = simulate(&model, &cfg);
 
-    println!("model        : {} ({:.1}M params)", model.name, model.total_params() as f64 / 1e6);
+    println!(
+        "model        : {} ({:.1}M params)",
+        model.name,
+        model.total_params() as f64 / 1e6
+    );
     println!("system       : {}", system.label());
     println!("cluster      : {nodes} nodes x {gpus} GPU(s), {bandwidth} GbE");
-    println!("iteration    : {:.4} s ({:.4} s compute, {:.0}% stall)",
-        r.iter_time_s, r.compute_s, r.stall_fraction * 100.0);
-    println!("throughput   : {:.1} img/s ({:.1} img/s on one GPU)",
-        r.throughput_ips, r.single_node_ips);
+    println!(
+        "iteration    : {:.4} s ({:.4} s compute, {:.0}% stall)",
+        r.iter_time_s,
+        r.compute_s,
+        r.stall_fraction * 100.0
+    );
+    println!(
+        "throughput   : {:.1} img/s ({:.1} img/s on one GPU)",
+        r.throughput_ips, r.single_node_ips
+    );
     println!("speedup      : {:.2}x over one GPU", r.speedup);
     let max = r.per_node_gbit.iter().cloned().fold(0.0f64, f64::max);
     let mean = r.per_node_gbit.iter().sum::<f64>() / r.per_node_gbit.len().max(1) as f64;
     println!("traffic/node : {mean:.2} Gb/iter mean, {max:.2} max");
-    let sfb = r.schemes.iter().filter(|(_, s)| *s == poseidon::config::CommScheme::Sfb).count();
-    println!("schemes      : {} layers total, {} via SFB", r.schemes.len(), sfb);
+    let sfb = r
+        .schemes
+        .iter()
+        .filter(|(_, s)| *s == poseidon::config::CommScheme::Sfb)
+        .count();
+    println!(
+        "schemes      : {} layers total, {} via SFB",
+        r.schemes.len(),
+        sfb
+    );
 }

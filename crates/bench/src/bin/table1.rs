@@ -13,7 +13,10 @@ fn fmt_millions(v: f64) -> String {
 }
 
 fn main() {
-    banner("Table 1", "per-node communication cost (f32 values) for an M x N FC layer");
+    banner(
+        "Table 1",
+        "per-node communication cost (f32 values) for an M x N FC layer",
+    );
 
     // The paper's worked example: M = N = 4096, K = 32, P1 = P2 = 8.
     let (m, n) = (4096usize, 4096usize);
@@ -48,12 +51,13 @@ fn main() {
     ];
     println!("M = N = 4096, K = 32, P1 = P2 = 8 (Section 3.2 worked example)");
     println!("{}", render_table(&header, &rows));
-    println!(
-        "Paper quotes: PS worker ~34M, PS server ~34M, PS both ~58.7M, SFB ~3.7M.\n"
-    );
+    println!("Paper quotes: PS worker ~34M, PS server ~34M, PS both ~58.7M, SFB ~3.7M.\n");
 
     // BestScheme crossovers: where HybComm switches for the paper's FC layers.
-    banner("Algorithm 1", "BestScheme decisions for the evaluation networks' FC layers");
+    banner(
+        "Algorithm 1",
+        "BestScheme decisions for the evaluation networks' FC layers",
+    );
     let header: Vec<String> = ["layer", "M", "N", "K", "P", "scheme"]
         .iter()
         .map(|s| s.to_string())

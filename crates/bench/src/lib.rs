@@ -29,7 +29,10 @@ pub fn print_speedup_panel(
     nodes: &[usize],
     bandwidth_gbps: f64,
 ) {
-    println!("{} ({:.0} GbE), speedup vs single-node native:", model.name, bandwidth_gbps);
+    println!(
+        "{} ({:.0} GbE), speedup vs single-node native:",
+        model.name, bandwidth_gbps
+    );
     let mut header = vec!["nodes".to_string(), "linear".to_string()];
     header.extend(systems.iter().map(|s| s.label().to_string()));
     let rows: Vec<Vec<String>> = nodes
@@ -51,7 +54,12 @@ pub fn print_speedup_panel(
 pub fn speedups(model: &ModelSpec, system: System, nodes: &[usize], bw: f64) -> Vec<(usize, f64)> {
     nodes
         .iter()
-        .map(|&n| (n, simulate(model, &SimConfig::system(system, n, bw)).speedup))
+        .map(|&n| {
+            (
+                n,
+                simulate(model, &SimConfig::system(system, n, bw)).speedup,
+            )
+        })
         .collect()
 }
 

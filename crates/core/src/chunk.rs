@@ -98,7 +98,11 @@ impl ChunkTable {
 
     /// Chunks of one layer, offset-ordered.
     pub fn layer_chunks(&self, layer: usize) -> Vec<Chunk> {
-        self.chunks.iter().copied().filter(|c| c.layer == layer).collect()
+        self.chunks
+            .iter()
+            .copied()
+            .filter(|c| c.layer == layer)
+            .collect()
     }
 
     /// Number of server shards.
@@ -141,13 +145,22 @@ mod tests {
         assert_eq!(l2[0].len, 1000);
         assert_eq!(l2[2].len, 500, "tail chunk is short");
         assert_eq!(l2[2].offset, 2000);
-        assert!(t.layer_chunks(1).is_empty(), "zero-size layers get no chunks");
+        assert!(
+            t.layer_chunks(1).is_empty(),
+            "zero-size layers get no chunks"
+        );
     }
 
     #[test]
     fn kv_pairs_balance_large_layers_across_all_shards() {
         // One huge layer (VGG-like): KV pairs must spread over every shard.
-        let t = ChunkTable::build(&[8_000_000], 8, Partition::KvPairs { pair_elems: 524_288 });
+        let t = ChunkTable::build(
+            &[8_000_000],
+            8,
+            Partition::KvPairs {
+                pair_elems: 524_288,
+            },
+        );
         let loads = t.shard_loads();
         assert!(loads.iter().all(|&l| l > 0), "every shard holds a piece");
         assert!(t.imbalance() < 1.1, "imbalance {}", t.imbalance());
@@ -156,7 +169,11 @@ mod tests {
     #[test]
     fn whole_tensor_creates_hotspot_for_skewed_models() {
         // VGG-like: one 100M-element tensor among small ones.
-        let t = ChunkTable::build(&[100_000_000, 10_000, 10_000, 10_000], 4, Partition::WholeTensor);
+        let t = ChunkTable::build(
+            &[100_000_000, 10_000, 10_000, 10_000],
+            4,
+            Partition::WholeTensor,
+        );
         assert!(t.imbalance() > 3.5, "imbalance {}", t.imbalance());
         assert_eq!(t.layer_chunks(0).len(), 1, "tensor is not split");
     }
@@ -170,7 +187,12 @@ mod tests {
 
     #[test]
     fn chunk_bytes() {
-        let c = Chunk { layer: 0, offset: 0, len: 524_288, shard: 0 };
+        let c = Chunk {
+            layer: 0,
+            offset: 0,
+            len: 524_288,
+            shard: 0,
+        };
         assert_eq!(c.bytes(), 2 * 1024 * 1024);
     }
 

@@ -99,6 +99,40 @@ impl Partition {
     }
 }
 
+/// Compute-thread budget for the batch-parallel layer kernels
+/// (`poseidon_nn::parallel`).
+///
+/// The threaded runtime divides the budget evenly across its worker threads
+/// (`max(1, total / workers)`) so worker-level and batch-level parallelism
+/// compose without oversubscribing the machine. A budget of 1 per worker
+/// runs the legacy single-threaded kernels. Thread count never changes
+/// results: layer kernels are bitwise thread-count independent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ComputeConfig {
+    /// Resolve from the `POSEIDON_THREADS` environment variable if set to a
+    /// positive integer, else `std::thread::available_parallelism()`.
+    #[default]
+    Auto,
+    /// A fixed total compute-thread budget for the run.
+    Fixed(usize),
+}
+
+impl ComputeConfig {
+    /// The total compute-thread budget this config resolves to (≥ 1).
+    pub fn total_threads(&self) -> usize {
+        match *self {
+            ComputeConfig::Auto => poseidon_nn::parallel::compute_threads(),
+            ComputeConfig::Fixed(n) => n.max(1),
+        }
+    }
+
+    /// The per-worker share of the budget when `workers` runtime workers
+    /// compute concurrently.
+    pub fn threads_per_worker(&self, workers: usize) -> usize {
+        (self.total_threads() / workers.max(1)).max(1)
+    }
+}
+
 /// Cluster topology parameters used by the cost model (Table 1's `P1`, `P2`,
 /// `K`).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -187,5 +221,23 @@ mod tests {
     #[should_panic(expected = "at least one node")]
     fn zero_node_cluster_rejected() {
         let _ = ClusterConfig::colocated(0, 32);
+    }
+
+    #[test]
+    fn fixed_compute_budget_divides_across_workers() {
+        let c = ComputeConfig::Fixed(8);
+        assert_eq!(c.total_threads(), 8);
+        assert_eq!(c.threads_per_worker(1), 8);
+        assert_eq!(c.threads_per_worker(2), 4);
+        assert_eq!(c.threads_per_worker(3), 2);
+        assert_eq!(c.threads_per_worker(16), 1, "floor of one thread");
+        assert_eq!(ComputeConfig::Fixed(0).total_threads(), 1, "clamped to one");
+    }
+
+    #[test]
+    fn auto_compute_budget_is_positive() {
+        assert!(ComputeConfig::Auto.total_threads() >= 1);
+        assert!(ComputeConfig::default().threads_per_worker(4) >= 1);
+        assert_eq!(ComputeConfig::default(), ComputeConfig::Auto);
     }
 }

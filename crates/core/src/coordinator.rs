@@ -153,7 +153,12 @@ impl Coordinator {
     /// Panics if `layer` is out of range or not trainable.
     pub fn best_scheme(&self, layer: usize) -> CommScheme {
         let info = &self.layers[layer];
-        assert!(info.is_trainable(), "layer {} ({}) has no parameters", layer, info.name);
+        assert!(
+            info.is_trainable(),
+            "layer {} ({}) has no parameters",
+            layer,
+            info.name
+        );
         let Some((m, n)) = info.fc_shape else {
             return CommScheme::Ps;
         };
@@ -292,7 +297,10 @@ mod tests {
     #[test]
     fn always_ps_policy_overrides_fc() {
         let c = coordinator(SchemePolicy::AlwaysPs, 8, 32);
-        assert!(c.scheme_assignment().iter().all(|&(_, s)| s == CommScheme::Ps));
+        assert!(c
+            .scheme_assignment()
+            .iter()
+            .all(|&(_, s)| s == CommScheme::Ps));
     }
 
     #[test]
@@ -310,9 +318,15 @@ mod tests {
     #[test]
     fn single_node_never_uses_sfb() {
         let c = coordinator(SchemePolicy::Hybrid, 1, 32);
-        assert!(c.scheme_assignment().iter().all(|&(_, s)| s == CommScheme::Ps));
+        assert!(c
+            .scheme_assignment()
+            .iter()
+            .all(|&(_, s)| s == CommScheme::Ps));
         let c = coordinator(SchemePolicy::AlwaysSfbForFc, 1, 32);
-        assert!(c.scheme_assignment().iter().all(|&(_, s)| s == CommScheme::Ps));
+        assert!(c
+            .scheme_assignment()
+            .iter()
+            .all(|&(_, s)| s == CommScheme::Ps));
     }
 
     #[test]

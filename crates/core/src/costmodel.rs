@@ -116,12 +116,19 @@ mod tests {
         let ps = ps_cost(4096, 4096, &cluster);
         // "synchronizing its parameters via PS will transfer 2MN ≈ 34 million
         // parameters for a worker node".
-        assert!((ps.worker - 33.55e6).abs() / 33.55e6 < 0.01, "worker {}", ps.worker);
+        assert!(
+            (ps.worker - 33.55e6).abs() / 33.55e6 < 0.01,
+            "worker {}",
+            ps.worker
+        );
         // "2·P1·MN/P2 ≈ 34 million for a server node".
         assert!((ps.server - 33.55e6).abs() / 33.55e6 < 0.01);
         // "2MN(P1+P2−2)/P2 ≈ 58.7 million for a node that is both".
-        assert!((ps.server_and_worker - 58.7e6).abs() / 58.7e6 < 0.01,
-            "both {}", ps.server_and_worker);
+        assert!(
+            (ps.server_and_worker - 58.7e6).abs() / 58.7e6 < 0.01,
+            "both {}",
+            ps.server_and_worker
+        );
         // "compared to 2K(M+N)(P1−1) ≈ 3.7 million for a single node using SFB".
         let sfb = sfb_cost(4096, 4096, &cluster);
         assert!((sfb - 3.67e6).abs() / 3.67e6 < 0.01, "sfb {sfb}");
@@ -142,7 +149,11 @@ mod tests {
         // VGG19's 4096×25088 fc6 at batch 32.
         for nodes in [2usize, 4, 8, 16, 32] {
             let cluster = ClusterConfig::colocated(nodes, 32);
-            assert_eq!(best_scheme_fc(4096, 25088, &cluster), CommScheme::Sfb, "{nodes} nodes");
+            assert_eq!(
+                best_scheme_fc(4096, 25088, &cluster),
+                CommScheme::Sfb,
+                "{nodes} nodes"
+            );
         }
     }
 
@@ -157,7 +168,10 @@ mod tests {
         let total_8 = per_node_8 * 8.0;
         let total_16 = per_node_16 * 16.0;
         let ratio = total_16 / total_8;
-        assert!(ratio > 4.0 && ratio < 4.5, "total SFB traffic ratio {ratio}");
+        assert!(
+            ratio > 4.0 && ratio < 4.5,
+            "total SFB traffic ratio {ratio}"
+        );
     }
 
     #[test]

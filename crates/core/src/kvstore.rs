@@ -88,7 +88,11 @@ impl ShardState {
             .params
             .get_mut(&key)
             .unwrap_or_else(|| panic!("KV pair {key:?} not initialised on this shard"));
-        assert_eq!(grad.len(), master.len(), "gradient length mismatch for {key:?}");
+        assert_eq!(
+            grad.len(),
+            master.len(),
+            "gradient length mismatch for {key:?}"
+        );
 
         let slots = self
             .pending
@@ -156,7 +160,11 @@ impl ShardState {
             .params
             .get_mut(&key)
             .unwrap_or_else(|| panic!("KV pair {key:?} not initialised on this shard"));
-        assert_eq!(grad.len(), master.len(), "gradient length mismatch for {key:?}");
+        assert_eq!(
+            grad.len(),
+            master.len(),
+            "gradient length mismatch for {key:?}"
+        );
         for (p, g) in master.iter_mut().zip(grad) {
             *p += self.update_scale * g;
         }
@@ -238,7 +246,11 @@ mod tests {
         assert!(shard.receive_grad(2, (0, 0), &[2.0, 2.0]).is_none());
         let updated = shard.receive_grad(1, (0, 0), &[3.0, 3.0]).unwrap();
         assert_eq!(updated, vec![10.0 - 6.0, 20.0 - 6.0]);
-        assert_eq!(shard.pending_count((0, 0)), 0, "round resets after broadcast");
+        assert_eq!(
+            shard.pending_count((0, 0)),
+            0,
+            "round resets after broadcast"
+        );
     }
 
     #[test]
@@ -345,7 +357,11 @@ mod tests {
         shard.receive_grad(0, (0, 0), &[5.0]);
         assert_eq!(shard.pending_count((0, 0)), 1);
         shard.restore(&ckpt).unwrap();
-        assert_eq!(shard.pending_count((0, 0)), 0, "in-flight gradients roll back");
+        assert_eq!(
+            shard.pending_count((0, 0)),
+            0,
+            "in-flight gradients roll back"
+        );
         // The same worker may now resend without a protocol violation.
         shard.receive_grad(0, (0, 0), &[5.0]);
     }
@@ -357,7 +373,11 @@ mod tests {
         let mut ckpt = shard.checkpoint();
         ckpt.truncate(ckpt.len() - 1);
         assert_eq!(shard.restore(&ckpt), None);
-        assert_eq!(shard.pair((0, 0)).unwrap(), &[7.0], "failed restore must not corrupt");
+        assert_eq!(
+            shard.pair((0, 0)).unwrap(),
+            &[7.0],
+            "failed restore must not corrupt"
+        );
         // Trailing garbage is also rejected.
         let mut long = shard.checkpoint();
         long.push(0);

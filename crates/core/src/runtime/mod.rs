@@ -22,7 +22,9 @@ pub use clock::SspClock;
 pub use codec::LAYER_GRANULAR_CHUNK;
 pub use worker::evaluate_error;
 
-use crate::config::{ClusterConfig, CommScheme, Consistency, Partition, SchemePolicy};
+use crate::config::{
+    ClusterConfig, CommScheme, ComputeConfig, Consistency, Partition, SchemePolicy,
+};
 use crate::coordinator::Coordinator;
 use crate::runtime::server::{LayerGranular, ServerPlan};
 use crate::runtime::worker::{WorkerConfig, WorkerOutput};
@@ -92,11 +94,20 @@ pub struct RuntimeConfig {
     /// sleeps a uniformly random `0..jitter` microseconds each iteration
     /// (deterministic per worker id). This is the workload SSP absorbs.
     pub jitter_us: Option<u64>,
+    /// Compute-thread budget for the layer kernels, divided evenly across
+    /// worker threads so nested parallelism stays bounded. Thread count
+    /// never affects results (kernels are bitwise thread-count independent).
+    pub compute: ComputeConfig,
 }
 
 impl RuntimeConfig {
     /// A reasonable default: hybrid policy, 2 MB KV pairs, no evaluation.
-    pub fn new(workers: usize, batch_per_worker: usize, learning_rate: f32, iterations: usize) -> Self {
+    pub fn new(
+        workers: usize,
+        batch_per_worker: usize,
+        learning_rate: f32,
+        iterations: usize,
+    ) -> Self {
         Self {
             workers,
             batch_per_worker,
@@ -110,6 +121,7 @@ impl RuntimeConfig {
             consistency: Consistency::Bsp,
             straggler_delay_ms: None,
             jitter_us: None,
+            compute: ComputeConfig::default(),
         }
     }
 }
@@ -222,19 +234,26 @@ pub fn train<M: Model>(
         let mut ordered = Vec::with_capacity(plan.ps_chunks.len() + plan.layer_granular.len());
         for &(_, chunk) in &plan.ps_chunks {
             let flat = syncer::flatten_params(
-                reference.slot(chunk.layer).and_then(|l| l.params()).expect("trainable layer"),
+                reference
+                    .slot(chunk.layer)
+                    .and_then(|l| l.params())
+                    .expect("trainable layer"),
             );
             ordered.push(flat[chunk.offset..chunk.offset + chunk.len].to_vec());
         }
         for lg in &plan.layer_granular {
             ordered.push(syncer::flatten_params(
-                reference.slot(lg.layer).and_then(|l| l.params()).expect("trainable layer"),
+                reference
+                    .slot(lg.layer)
+                    .and_then(|l| l.params())
+                    .expect("trainable layer"),
             ));
         }
         plan.init_values = ordered;
     }
 
     let shards = data.partition(p);
+    let compute_threads = cfg.compute.threads_per_worker(p);
     let mut worker_outputs: Vec<Option<WorkerOutput<M>>> = (0..p).map(|_| None).collect();
 
     crossbeam::thread::scope(|scope| {
@@ -256,16 +275,23 @@ pub fn train<M: Model>(
                 eval_every: cfg.eval_every,
                 ssp_staleness: ssp,
                 straggler_delay: match cfg.straggler_delay_ms {
-                    Some((node, ms)) if node == w => {
-                        Some(std::time::Duration::from_millis(ms))
-                    }
+                    Some((node, ms)) if node == w => Some(std::time::Duration::from_millis(ms)),
                     _ => None,
                 },
                 jitter_us: cfg.jitter_us,
+                compute_threads,
             };
             let clock = Arc::clone(&clock);
             worker_handles.push(scope.spawn(move |_| {
-                worker::run_worker(wc, coordinator, net_factory(), shard, eval_set, endpoint, clock)
+                worker::run_worker(
+                    wc,
+                    coordinator,
+                    net_factory(),
+                    shard,
+                    eval_set,
+                    endpoint,
+                    clock,
+                )
             }));
         }
         for (w, h) in worker_handles.into_iter().enumerate() {
@@ -277,7 +303,10 @@ pub fn train<M: Model>(
     })
     .expect("scope panicked");
 
-    let outputs: Vec<WorkerOutput<M>> = worker_outputs.into_iter().map(|o| o.expect("joined")).collect();
+    let outputs: Vec<WorkerOutput<M>> = worker_outputs
+        .into_iter()
+        .map(|o| o.expect("joined"))
+        .collect();
     let worker_wall_s: Vec<f64> = outputs.iter().map(|o| o.wall.as_secs_f64()).collect();
     let iters = cfg.iterations;
     let losses: Vec<f32> = (0..iters)
@@ -341,6 +370,7 @@ mod tests {
             consistency: Consistency::Bsp,
             straggler_delay_ms: None,
             jitter_us: None,
+            compute: ComputeConfig::Auto,
         };
         train(&factory, &dataset(), None, &cfg)
     }
@@ -381,7 +411,11 @@ mod tests {
     fn runs_are_deterministic() {
         let a = distributed(SchemePolicy::Hybrid, 3);
         let b = distributed(SchemePolicy::Hybrid, 3);
-        assert_eq!(a.net.max_param_diff(&b.net), 0.0, "BSP runs must be bitwise identical");
+        assert_eq!(
+            a.net.max_param_diff(&b.net),
+            0.0,
+            "BSP runs must be bitwise identical"
+        );
         assert_eq!(a.losses, b.losses);
     }
 
@@ -436,7 +470,10 @@ mod tests {
         };
         let dist = train(&factory, &dataset(), None, &cfg);
         let diff = dist.net.max_param_diff(&serial);
-        assert!(diff < 1e-5, "server-side momentum diverged from Sgd: {diff}");
+        assert!(
+            diff < 1e-5,
+            "server-side momentum diverged from Sgd: {diff}"
+        );
     }
 
     #[test]
@@ -453,8 +490,14 @@ mod tests {
         let ps = mk(SchemePolicy::AlwaysPs);
         let sfb = mk(SchemePolicy::AlwaysSfbForFc);
         let adam = mk(SchemePolicy::AdamSf);
-        assert!(ps.net.max_param_diff(&sfb.net) < 1e-4, "PS vs SFB with momentum");
-        assert!(ps.net.max_param_diff(&adam.net) < 1e-4, "PS vs Adam with momentum");
+        assert!(
+            ps.net.max_param_diff(&sfb.net) < 1e-4,
+            "PS vs SFB with momentum"
+        );
+        assert!(
+            ps.net.max_param_diff(&adam.net) < 1e-4,
+            "PS vs Adam with momentum"
+        );
         // Momentum changes the trajectory relative to plain SGD.
         let plain = distributed(SchemePolicy::AlwaysPs, 4);
         assert!(ps.net.max_param_diff(&plain.net) > 1e-6);
@@ -486,18 +529,27 @@ mod tests {
 
         let cfg = RuntimeConfig {
             momentum: 0.9,
-            lr_schedule: LrSchedule::Step { every: 3, factor: 0.5 },
+            lr_schedule: LrSchedule::Step {
+                every: 3,
+                factor: 0.5,
+            },
             policy: SchemePolicy::AlwaysPs,
             ..RuntimeConfig::new(1, 8, 0.2, 8)
         };
         let dist = train(&factory, &dataset(), None, &cfg);
         let diff = dist.net.max_param_diff(&serial);
-        assert!(diff < 1e-5, "scheduled distributed SGD diverged from serial: {diff}");
+        assert!(
+            diff < 1e-5,
+            "scheduled distributed SGD diverged from serial: {diff}"
+        );
     }
 
     #[test]
     fn lr_schedule_multiplier_steps() {
-        let s = LrSchedule::Step { every: 100, factor: 0.1 };
+        let s = LrSchedule::Step {
+            every: 100,
+            factor: 0.1,
+        };
         assert_eq!(s.multiplier(0), 1.0);
         assert_eq!(s.multiplier(99), 1.0);
         assert!((s.multiplier(100) - 0.1).abs() < 1e-9);
@@ -510,7 +562,10 @@ mod tests {
         let mk = |policy| {
             let cfg = RuntimeConfig {
                 momentum: 0.5,
-                lr_schedule: LrSchedule::Step { every: 2, factor: 0.7 },
+                lr_schedule: LrSchedule::Step {
+                    every: 2,
+                    factor: 0.7,
+                },
                 policy,
                 partition: Partition::KvPairs { pair_elems: 50 },
                 ..RuntimeConfig::new(3, 8, 0.15, 6)
@@ -530,7 +585,10 @@ mod tests {
             ..RuntimeConfig::new(4, 8, 0.1, 20)
         };
         let r = train(&factory, &dataset(), None, &cfg);
-        assert!(r.losses.last().unwrap() < &r.losses[0], "SSP must still learn");
+        assert!(
+            r.losses.last().unwrap() < &r.losses[0],
+            "SSP must still learn"
+        );
         assert!(
             r.max_staleness_spread <= 3,
             "spread {} exceeded staleness+1",

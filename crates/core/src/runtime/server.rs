@@ -119,8 +119,7 @@ pub(crate) fn run_server(plan: ServerPlan, endpoint: Endpoint) {
                     let ob = onebit
                         .get_mut(&layer)
                         .expect("1-bit push for a layer this shard does not own");
-                    let (quant, bias) =
-                        codec::decode_onebit(&data).expect("corrupt 1-bit payload");
+                    let (quant, bias) = codec::decode_onebit(&data).expect("corrupt 1-bit payload");
                     assert!(
                         ob.pending[env.from].is_none(),
                         "worker {} sent two 1-bit updates in one round",
@@ -152,7 +151,10 @@ pub(crate) fn run_server(plan: ServerPlan, endpoint: Endpoint) {
                         let agg_quant = ob.quantizer.quantize(&delta_w);
                         let decoded = agg_quant.dequantize();
                         // Keep the master consistent with what workers apply.
-                        for (mv, d) in ob.master_weights.as_mut_slice().iter_mut()
+                        for (mv, d) in ob
+                            .master_weights
+                            .as_mut_slice()
+                            .iter_mut()
                             .zip(decoded.as_slice())
                         {
                             *mv += d;
@@ -186,7 +188,9 @@ pub(crate) fn run_server(plan: ServerPlan, endpoint: Endpoint) {
                                 data: codec::encode_f32s(&updated),
                             },
                         );
-                    } else if let Some(updated) = state.receive_grad(env.from, (layer, chunk), &grad) {
+                    } else if let Some(updated) =
+                        state.receive_grad(env.from, (layer, chunk), &grad)
+                    {
                         for w in 0..plan.workers {
                             endpoint.send(
                                 w,
@@ -208,8 +212,8 @@ pub(crate) fn run_server(plan: ServerPlan, endpoint: Endpoint) {
                     .iter()
                     .find(|lg| lg.layer as u32 == layer && lg.adam)
                     .expect("SF push for a layer this shard does not own");
-                let batch = poseidon_tensor::bytesio::decode_sf_batch(&data)
-                    .expect("corrupt SF payload");
+                let batch =
+                    poseidon_tensor::bytesio::decode_sf_batch(&data).expect("corrupt SF payload");
                 let (m, n) = lg.fc_shape;
                 let mut grad_w = Matrix::zeros(m, n);
                 batch.accumulate_into(&mut grad_w, 1.0);
@@ -221,7 +225,11 @@ pub(crate) fn run_server(plan: ServerPlan, endpoint: Endpoint) {
                     }
                 }
                 flat.extend_from_slice(&bias);
-                assert_eq!(flat.len(), lg.param_elems, "reconstructed gradient size mismatch");
+                assert_eq!(
+                    flat.len(),
+                    lg.param_elems,
+                    "reconstructed gradient size mismatch"
+                );
                 if let Some(updated) =
                     state.receive_grad(env.from, (layer, LAYER_GRANULAR_CHUNK), &flat)
                 {

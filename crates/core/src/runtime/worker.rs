@@ -49,6 +49,8 @@ pub(crate) struct WorkerConfig {
     /// Uniform random per-iteration delay bound in microseconds (jitter
     /// injection for the SSP experiments).
     pub jitter_us: Option<u64>,
+    /// This worker's share of the compute-thread budget for layer kernels.
+    pub compute_threads: usize,
 }
 
 /// Runs one worker to completion.
@@ -62,6 +64,9 @@ pub(crate) fn run_worker<M: Model>(
     clock: std::sync::Arc<crate::runtime::clock::SspClock>,
 ) -> WorkerOutput<M> {
     let workers = coordinator.cluster().workers;
+    // Pin this worker thread's share of the compute budget; the layer
+    // kernels read it thread-locally when fanning out batch work.
+    poseidon_nn::parallel::set_compute_threads(cfg.compute_threads.max(1));
     let head = SoftmaxCrossEntropy;
 
     // One syncer per trainable layer, plus 1-bit quantizer state where needed
@@ -72,7 +77,10 @@ pub(crate) fn run_worker<M: Model>(
     for (l, scheme) in coordinator.scheme_assignment() {
         let info = &coordinator.layers()[l];
         let chunks = coordinator.chunk_table().layer_chunks(l);
-        syncers.insert(l, Syncer::new(l, scheme, chunks, info.param_elems, workers, cfg.me));
+        syncers.insert(
+            l,
+            Syncer::new(l, scheme, chunks, info.param_elems, workers, cfg.me),
+        );
         if scheme == CommScheme::OneBitPs {
             let (m, n) = info.fc_shape.expect("1-bit applies to FC layers");
             quantizers.insert(l, OneBitQuantizer::new(m, n));
@@ -233,7 +241,10 @@ pub(crate) fn run_worker<M: Model>(
                 Message::GradChunk { chunk, data, .. } => {
                     // 1-bit path: the server broadcasts the quantized
                     // aggregated update; decode it into a flat delta.
-                    assert_eq!(chunk, LAYER_GRANULAR_CHUNK, "unexpected grad chunk at worker");
+                    assert_eq!(
+                        chunk, LAYER_GRANULAR_CHUNK,
+                        "unexpected grad chunk at worker"
+                    );
                     let (quant, bias) =
                         codec::decode_onebit(&data).expect("corrupt 1-bit broadcast");
                     let dense = quant.dequantize();
@@ -252,11 +263,9 @@ pub(crate) fn run_worker<M: Model>(
                     SyncOutcome::FreshParams(flat) => syncer::write_params_flat(params, &flat),
                     SyncOutcome::ApplyDelta(flat) => syncer::apply_delta_flat(params, &flat),
                     SyncOutcome::SfApply(batches) => {
-                        let scale =
-                            cfg.update_scale * cfg.lr_schedule.multiplier(iter);
+                        let scale = cfg.update_scale * cfg.lr_schedule.multiplier(iter);
                         let (rows, cols) = params.weights.shape();
-                        let (grad_w, grad_b) =
-                            syncer::reconstruct_sf_batches(&batches, rows, cols);
+                        let (grad_w, grad_b) = syncer::reconstruct_sf_batches(&batches, rows, cols);
                         let (vw, vb) = sf_velocity.entry(layer).or_insert_with(|| {
                             (poseidon_tensor::Matrix::zeros(rows, cols), vec![0.0; rows])
                         });

@@ -10,9 +10,9 @@
 //! every layer's synchronisation have finished on every node (the completion
 //! vector of Section 4.1).
 
+use crate::config::ClusterConfig;
 use crate::config::CommScheme;
 use crate::config::Scheduler;
-use crate::config::ClusterConfig;
 use crate::coordinator::Coordinator;
 use crate::sim::profile::{LayerTimes, SimConfig};
 use poseidon_netsim::{EventQueue, FlowNetwork, LinkConfig, Network, NodeId, Resource};
@@ -55,7 +55,11 @@ enum Ev {
     /// The shard finished applying a chunk's aggregated update.
     ApplyDone { layer: usize, chunk: usize },
     /// Fresh parameters arrived back at a worker.
-    PullArrive { layer: usize, chunk: usize, worker: usize },
+    PullArrive {
+        layer: usize,
+        chunk: usize,
+        worker: usize,
+    },
     /// A peer's SF batch arrived at a worker (SFB).
     SfArrive { layer: usize, at: usize },
     /// A worker finished reconstructing a layer from factors (SFB).
@@ -298,7 +302,8 @@ pub fn simulate(spec: &ModelSpec, cfg: &SimConfig) -> IterationReport {
                 t = f;
                 bwd_done[w][l] = f;
             }
-            let dropped = matches!(cfg.straggler, Some((node, _)) if cfg.drop_stragglers && node == w);
+            let dropped =
+                matches!(cfg.straggler, Some((node, _)) if cfg.drop_stragglers && node == w);
             if !dropped {
                 compute_end = compute_end.max(t);
             }
@@ -336,7 +341,13 @@ pub fn simulate(spec: &ModelSpec, cfg: &SimConfig) -> IterationReport {
                         bwd_done[w][0].max(bwd_done[w][spec.layers.len() - 1])
                     }
                 };
-                queue.schedule_at(ready, Ev::SyncReady { layer: l, worker: w });
+                queue.schedule_at(
+                    ready,
+                    Ev::SyncReady {
+                        layer: l,
+                        worker: w,
+                    },
+                );
             }
         }
 
@@ -433,8 +444,11 @@ fn step(state: &mut SimState<'_>, queue: &mut EventQueue<Ev>, now: f64, ev: Ev) 
                 CommScheme::Ps | CommScheme::OneBitPs => {
                     state.chunks_remaining.insert((layer, w), plan.chunks.len());
                     for (c, &(shard, bytes)) in plan.chunks.iter().enumerate() {
-                        let mut ready = state
-                            .local_aggregate(w, now, plan.dense_bytes / plan.chunks.len() as u64);
+                        let mut ready = state.local_aggregate(
+                            w,
+                            now,
+                            plan.dense_bytes / plan.chunks.len() as u64,
+                        );
                         if state.charge_memcpy() {
                             let dur = state.move_dur(plan.dense_bytes / plan.chunks.len() as u64);
                             ready = state.memcpy[w].reserve(ready, dur).1;
@@ -444,7 +458,14 @@ fn step(state: &mut SimState<'_>, queue: &mut EventQueue<Ev>, now: f64, ev: Ev) 
                             let qdur = 2.0 * plan.dense_bytes as f64 / state.cfg.transform_flops;
                             ready = state.cpu[w].reserve(ready, qdur).1;
                         }
-                        state.send(queue, ready, w, shard, bytes, Ev::GradArrive { layer, chunk: c });
+                        state.send(
+                            queue,
+                            ready,
+                            w,
+                            shard,
+                            bytes,
+                            Ev::GradArrive { layer, chunk: c },
+                        );
                     }
                 }
                 CommScheme::Sfb => {
@@ -458,7 +479,14 @@ fn step(state: &mut SimState<'_>, queue: &mut EventQueue<Ev>, now: f64, ev: Ev) 
                         if v == w {
                             continue;
                         }
-                        state.send(queue, ready, w, v, plan.sf_bytes, Ev::SfArrive { layer, at: v });
+                        state.send(
+                            queue,
+                            ready,
+                            w,
+                            v,
+                            plan.sf_bytes,
+                            Ev::SfArrive { layer, at: v },
+                        );
                     }
                     if p == 1 {
                         // Degenerate single-node SFB: nothing to receive.
@@ -473,7 +501,14 @@ fn step(state: &mut SimState<'_>, queue: &mut EventQueue<Ev>, now: f64, ev: Ev) 
                         let dur = state.move_dur(plan.sf_bytes);
                         ready = state.memcpy[w].reserve(ready, dur).1;
                     }
-                    state.send(queue, ready, w, owner, plan.sf_bytes, Ev::GradArrive { layer, chunk: 0 });
+                    state.send(
+                        queue,
+                        ready,
+                        w,
+                        owner,
+                        plan.sf_bytes,
+                        Ev::GradArrive { layer, chunk: 0 },
+                    );
                 }
             }
         }
@@ -505,9 +540,8 @@ fn step(state: &mut SimState<'_>, queue: &mut EventQueue<Ev>, now: f64, ev: Ev) 
                 }
                 CommScheme::AdamSf => {
                     let (m, n) = plan.fc_shape.expect("Adam needs FC shape");
-                    let recon =
-                        p as f64 * 2.0 * state.batch as f64 * m as f64 * n as f64
-                            / state.cfg.transform_flops;
+                    let recon = p as f64 * 2.0 * state.batch as f64 * m as f64 * n as f64
+                        / state.cfg.transform_flops;
                     let fold = p as f64 * plan.dense_bytes as f64 / state.cfg.apply_bytes_per_s;
                     (layer % p, recon + fold)
                 }
@@ -526,10 +560,25 @@ fn step(state: &mut SimState<'_>, queue: &mut EventQueue<Ev>, now: f64, ev: Ev) 
             };
             state.pull_remaining.insert((layer, chunk), p);
             for w in 0..p {
-                state.send(queue, now, shard, w, pull_bytes, Ev::PullArrive { layer, chunk, worker: w });
+                state.send(
+                    queue,
+                    now,
+                    shard,
+                    w,
+                    pull_bytes,
+                    Ev::PullArrive {
+                        layer,
+                        chunk,
+                        worker: w,
+                    },
+                );
             }
         }
-        Ev::PullArrive { layer, chunk, worker } => {
+        Ev::PullArrive {
+            layer,
+            chunk,
+            worker,
+        } => {
             let plan = state.plans[&layer].clone();
             let mut done = now;
             if state.charge_memcpy() {
@@ -633,7 +682,10 @@ mod tests {
             "single-node Poseidon VGG19 = {} img/s, expected ~35.5",
             r.throughput_ips
         );
-        assert!(r.per_node_gbit.iter().all(|&g| g == 0.0), "no network traffic on 1 node");
+        assert!(
+            r.per_node_gbit.iter().all(|&g| g == 0.0),
+            "no network traffic on 1 node"
+        );
     }
 
     #[test]
@@ -653,7 +705,11 @@ mod tests {
     fn poseidon_scales_near_linearly_on_vgg_at_40gbe() {
         let vgg = zoo::vgg19();
         let r = report(System::Poseidon, &vgg, 32, 40.0);
-        assert!(r.speedup > 28.0, "Poseidon VGG19 at 32 nodes: {}x", r.speedup);
+        assert!(
+            r.speedup > 28.0,
+            "Poseidon VGG19 at 32 nodes: {}x",
+            r.speedup
+        );
     }
 
     #[test]
@@ -680,7 +736,11 @@ mod tests {
             psd.speedup,
             ps.speedup
         );
-        assert!(psd.speedup > 13.0, "Poseidon should stay near-linear: {}", psd.speedup);
+        assert!(
+            psd.speedup > 13.0,
+            "Poseidon should stay near-linear: {}",
+            psd.speedup
+        );
     }
 
     #[test]
@@ -737,7 +797,13 @@ mod tests {
         let g = zoo::googlenet();
         let r = report(System::CaffePs, &g, 4, 10.0);
         assert!(r.iter_time_s > r.compute_s, "sequential must add comm time");
-        assert_eq!(r.schemes.iter().filter(|(_, s)| *s == CommScheme::Sfb).count(), 0);
+        assert_eq!(
+            r.schemes
+                .iter()
+                .filter(|(_, s)| *s == CommScheme::Sfb)
+                .count(),
+            0
+        );
     }
 
     #[test]
@@ -769,7 +835,11 @@ mod tests {
         let mut cfg = SimConfig::system(System::Poseidon, 4, 40.0);
         cfg.gpus_per_node = 8;
         let r = simulate(&vgg, &cfg);
-        assert!(r.speedup > 28.0 && r.speedup < 32.0, "4x8 GPUs VGG19: {}x", r.speedup);
+        assert!(
+            r.speedup > 28.0 && r.speedup < 32.0,
+            "4x8 GPUs VGG19: {}x",
+            r.speedup
+        );
     }
 
     #[test]
@@ -791,7 +861,11 @@ mod tests {
                 .expect("classifier present")
         };
         assert_eq!(fc_scheme(&r_small), CommScheme::Sfb);
-        assert_eq!(fc_scheme(&r_big), CommScheme::Ps, "bigger node batch flips to PS");
+        assert_eq!(
+            fc_scheme(&r_big),
+            CommScheme::Ps,
+            "bigger node batch flips to PS"
+        );
     }
 
     #[test]
@@ -865,7 +939,10 @@ mod tests {
         cfg.fair_share = true;
         let fair = simulate(&g, &cfg);
         let rel = (fifo.speedup - fair.speedup).abs() / fifo.speedup;
-        assert!(rel < 0.25, "bandwidth-bound disagreement {rel:.2} too large");
+        assert!(
+            rel < 0.25,
+            "bandwidth-bound disagreement {rel:.2} too large"
+        );
     }
 
     #[test]
@@ -876,7 +953,10 @@ mod tests {
             |n| SimConfig::system(System::Poseidon, n, 40.0),
             &[1, 2, 4, 8],
         );
-        assert!((series[0].1 - 1.0).abs() < 0.02, "1-node speedup ~1: {series:?}");
+        assert!(
+            (series[0].1 - 1.0).abs() < 0.02,
+            "1-node speedup ~1: {series:?}"
+        );
         for w in series.windows(2) {
             assert!(w[1].1 > w[0].1, "speedup must grow: {series:?}");
         }

@@ -189,8 +189,16 @@ impl LayerTimes {
         };
         let scale = batch as f64 / effective_flops;
         Self {
-            fwd: spec.layers.iter().map(|l| l.fwd_flops as f64 * scale).collect(),
-            bwd: spec.layers.iter().map(|l| l.bwd_flops as f64 * scale).collect(),
+            fwd: spec
+                .layers
+                .iter()
+                .map(|l| l.fwd_flops as f64 * scale)
+                .collect(),
+            bwd: spec
+                .layers
+                .iter()
+                .map(|l| l.bwd_flops as f64 * scale)
+                .collect(),
             effective_flops,
         }
     }
@@ -253,6 +261,9 @@ mod tests {
         assert_eq!(psd.policy, SchemePolicy::Hybrid);
         let caffe_ps = SimConfig::system(System::CaffePs, 8, 40.0);
         assert!(caffe_ps.unoverlapped_memcpy);
-        assert_eq!(SimConfig::system(System::Cntk1Bit, 8, 40.0).policy, SchemePolicy::OneBit);
+        assert_eq!(
+            SimConfig::system(System::Cntk1Bit, 8, 40.0).policy,
+            SchemePolicy::OneBit
+        );
     }
 }

@@ -28,7 +28,10 @@ impl SpeedupSeries {
 
     /// The speedup at `nodes`, if present.
     pub fn at(&self, nodes: usize) -> Option<f64> {
-        self.points.iter().find(|&&(n, _)| n == nodes).map(|&(_, s)| s)
+        self.points
+            .iter()
+            .find(|&&(n, _)| n == nodes)
+            .map(|&(_, s)| s)
     }
 }
 
@@ -74,10 +77,7 @@ mod tests {
 
     #[test]
     fn speedup_normalises_to_first_point() {
-        let s = SpeedupSeries::from_throughputs(
-            "x",
-            &[(1, 50.0), (2, 95.0), (4, 180.0)],
-        );
+        let s = SpeedupSeries::from_throughputs("x", &[(1, 50.0), (2, 95.0), (4, 180.0)]);
         assert_eq!(s.at(1), Some(1.0));
         assert_eq!(s.at(2), Some(1.9));
         assert_eq!(s.at(4), Some(3.6));

@@ -111,7 +111,10 @@ impl Syncer {
     /// Records our own sufficient-factor batch at `Send` time (SFB includes
     /// the local contribution when reconstructing).
     pub fn set_own_sf(&mut self, batch: SfBatch) {
-        assert!(matches!(self.scheme, CommScheme::Sfb), "own SF only meaningful for SFB");
+        assert!(
+            matches!(self.scheme, CommScheme::Sfb),
+            "own SF only meaningful for SFB"
+        );
         self.own_sf = Some(batch);
     }
 
@@ -146,7 +149,11 @@ impl Syncer {
             self.layer,
             self.scheme
         );
-        assert_eq!(values.len(), self.param_elems, "param matrix length mismatch");
+        assert_eq!(
+            values.len(),
+            self.param_elems,
+            "param matrix length mismatch"
+        );
         assert!(self.received_matrix.is_none(), "duplicate param matrix");
         self.received_matrix = Some(values);
     }
@@ -183,7 +190,11 @@ impl Syncer {
     ///
     /// Panics if the syncer is not complete.
     pub fn take_outcome(&mut self) -> SyncOutcome {
-        assert!(self.is_complete(), "layer {} syncer not complete", self.layer);
+        assert!(
+            self.is_complete(),
+            "layer {} syncer not complete",
+            self.layer
+        );
         match self.scheme {
             CommScheme::Ps => {
                 let mut flat = vec![0.0f32; self.param_elems];
@@ -322,9 +333,8 @@ mod tests {
     #[test]
     fn sfb_syncer_needs_own_and_all_peers() {
         let mut s = Syncer::new(2, CommScheme::Sfb, vec![], 6, 3, 1);
-        let batch = |v: f32| {
-            SfBatch::from_factors(vec![SufficientFactor::new(vec![v, v], vec![1.0])])
-        };
+        let batch =
+            |v: f32| SfBatch::from_factors(vec![SufficientFactor::new(vec![v, v], vec![1.0])]);
         s.on_peer_sf(0, batch(1.0));
         assert!(!s.is_complete(), "missing own batch and worker 2");
         s.set_own_sf(batch(2.0));
@@ -378,7 +388,10 @@ mod tests {
     #[should_panic(expected = "our own SF broadcast")]
     fn own_broadcast_echo_panics() {
         let mut s = Syncer::new(0, CommScheme::Sfb, vec![], 2, 2, 1);
-        s.on_peer_sf(1, SfBatch::from_factors(vec![SufficientFactor::new(vec![1.0], vec![1.0])]));
+        s.on_peer_sf(
+            1,
+            SfBatch::from_factors(vec![SufficientFactor::new(vec![1.0], vec![1.0])]),
+        );
     }
 
     #[test]
@@ -411,7 +424,10 @@ mod tests {
     #[test]
     fn single_worker_sfb_is_complete_with_own_batch_only() {
         let mut s = Syncer::new(0, CommScheme::Sfb, vec![], 2, 1, 0);
-        s.set_own_sf(SfBatch::from_factors(vec![SufficientFactor::new(vec![1.0], vec![1.0])]));
+        s.set_own_sf(SfBatch::from_factors(vec![SufficientFactor::new(
+            vec![1.0],
+            vec![1.0],
+        )]));
         assert!(s.is_complete());
     }
 }

@@ -171,7 +171,8 @@ impl Endpoint {
     /// Panics if `to` is out of range or the destination endpoint has been
     /// dropped.
     pub fn send(&self, to: usize, msg: Message) {
-        self.counters.record(self.node, self.dest_nodes[to], msg.wire_bytes());
+        self.counters
+            .record(self.node, self.dest_nodes[to], msg.wire_bytes());
         self.outboxes[to]
             .send(Envelope {
                 from: self.node,
@@ -208,7 +209,10 @@ pub fn fabric(nodes: usize) -> (Vec<Endpoint>, Arc<TrafficCounters>) {
 /// every machine — and traffic between co-resident endpoints is loop-back
 /// (delivered, not counted).
 pub fn fabric_with_nodes(node_of_endpoint: &[usize]) -> (Vec<Endpoint>, Arc<TrafficCounters>) {
-    assert!(!node_of_endpoint.is_empty(), "fabric needs at least one node");
+    assert!(
+        !node_of_endpoint.is_empty(),
+        "fabric needs at least one node"
+    );
     let physical_nodes = node_of_endpoint.iter().max().expect("non-empty") + 1;
     let counters = Arc::new(TrafficCounters::new(physical_nodes));
     let mut senders = Vec::with_capacity(node_of_endpoint.len());

@@ -298,7 +298,11 @@ mod tests {
         net.add_flow(0.0, 0, 1, 1_000_000_000, "a");
         let done = drain(&mut net);
         assert_eq!(done.len(), 1);
-        assert!((done[0].0 - 1.0).abs() < 1e-6, "1GB at 1GB/s: {}", done[0].0);
+        assert!(
+            (done[0].0 - 1.0).abs() < 1e-6,
+            "1GB at 1GB/s: {}",
+            done[0].0
+        );
     }
 
     #[test]
@@ -352,7 +356,10 @@ mod tests {
         let mut net: FlowNetwork<&str> = FlowNetwork::new(4, 8.0);
         let a = net.add_flow(0.0, 0, 1, 1_000_000, "a");
         let c = net.add_flow(0.0, 3, 2, 1_000_000, "c");
-        assert!((net.rate_of(a) - LINE_RATE).abs() < 1.0, "disjoint flows run at line rate");
+        assert!(
+            (net.rate_of(a) - LINE_RATE).abs() < 1.0,
+            "disjoint flows run at line rate"
+        );
         assert!((net.rate_of(c) - LINE_RATE).abs() < 1.0);
     }
 
@@ -415,7 +422,10 @@ mod tests {
             .cloned()
             .max()
             .unwrap() as f64;
-        assert!(makespan >= busiest / LINE_RATE - 1e-6, "makespan {makespan} beats capacity");
+        assert!(
+            makespan >= busiest / LINE_RATE - 1e-6,
+            "makespan {makespan} beats capacity"
+        );
         assert_eq!(done.len(), flows.len(), "every flow completes");
     }
 }

@@ -194,7 +194,10 @@ mod tests {
         let d1 = n.transfer(0.0, NodeId(0), NodeId(1), 1_000_000_000);
         let d2 = n.transfer(0.0, NodeId(1), NodeId(0), 1_000_000_000);
         assert!((d1 - 1.001).abs() < 1e-9);
-        assert!((d2 - 1.001).abs() < 1e-9, "reverse direction is independent: {d2}");
+        assert!(
+            (d2 - 1.001).abs() < 1e-9,
+            "reverse direction is independent: {d2}"
+        );
     }
 
     #[test]

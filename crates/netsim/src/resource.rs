@@ -29,7 +29,10 @@ impl Resource {
     /// Panics if `duration` is negative or either argument is NaN.
     pub fn reserve(&mut self, ready: f64, duration: f64) -> (f64, f64) {
         assert!(!ready.is_nan() && !duration.is_nan(), "NaN time");
-        assert!(duration >= 0.0, "duration must be non-negative, got {duration}");
+        assert!(
+            duration >= 0.0,
+            "duration must be non-negative, got {duration}"
+        );
         let start = ready.max(self.busy_until);
         let finish = start + duration;
         self.busy_until = finish;

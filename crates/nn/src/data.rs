@@ -38,7 +38,10 @@ impl Dataset {
         noise: f32,
         seed: u64,
     ) -> Self {
-        assert!(classes > 0 && count > 0, "need at least one class and one sample");
+        assert!(
+            classes > 0 && count > 0,
+            "need at least one class and one sample"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let d = shape.len();
         let mut prototypes = Matrix::zeros(classes, d);
@@ -109,7 +112,9 @@ impl Dataset {
             let mut samples = Matrix::zeros(to - from, self.shape.len());
             let mut labels = Vec::with_capacity(to - from);
             for i in from..to {
-                samples.row_mut(i - from).copy_from_slice(self.samples.row(i));
+                samples
+                    .row_mut(i - from)
+                    .copy_from_slice(self.samples.row(i));
                 labels.push(self.labels[i]);
             }
             Dataset {
@@ -129,7 +134,10 @@ impl Dataset {
     ///
     /// Panics if `parts == 0` or `parts > len`.
     pub fn partition(&self, parts: usize) -> Vec<Dataset> {
-        assert!(parts > 0 && parts <= self.len(), "bad partition count {parts}");
+        assert!(
+            parts > 0 && parts <= self.len(),
+            "bad partition count {parts}"
+        );
         let base = self.len() / parts;
         let extra = self.len() % parts;
         let mut out = Vec::with_capacity(parts);
@@ -139,7 +147,9 @@ impl Dataset {
             let mut samples = Matrix::zeros(size, self.shape.len());
             let mut labels = Vec::with_capacity(size);
             for i in 0..size {
-                samples.row_mut(i).copy_from_slice(self.samples.row(offset + i));
+                samples
+                    .row_mut(i)
+                    .copy_from_slice(self.samples.row(offset + i));
                 labels.push(self.labels[offset + i]);
             }
             out.push(Dataset {
@@ -176,8 +186,14 @@ impl Dataset {
         noise: f32,
         seed: u64,
     ) -> Self {
-        assert!(shape.h % 4 == 0 && shape.w % 4 == 0, "spatial size must divide by 4");
-        assert!(classes > 0 && count > 0, "need at least one class and one sample");
+        assert!(
+            shape.h % 4 == 0 && shape.w % 4 == 0,
+            "spatial size must divide by 4"
+        );
+        assert!(
+            classes > 0 && count > 0,
+            "need at least one class and one sample"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let (lh, lw) = (shape.h / 4, shape.w / 4);
         let d = shape.len();

@@ -18,7 +18,10 @@ enum Node {
     /// A layer applied to one upstream node.
     Layer { layer: Box<dyn Layer>, input: usize },
     /// Channel-wise concatenation of upstream nodes (equal spatial dims).
-    Concat { inputs: Vec<usize>, shape: TensorShape },
+    Concat {
+        inputs: Vec<usize>,
+        shape: TensorShape,
+    },
 }
 
 /// A DAG of layers with one input and one output.
@@ -69,7 +72,10 @@ impl GraphNetwork {
     ///
     /// Panics if `input` is not an existing node (ids must be topological).
     pub fn add_layer(&mut self, input: usize, layer: Box<dyn Layer>) -> usize {
-        assert!(input < self.nodes.len(), "input node {input} does not exist");
+        assert!(
+            input < self.nodes.len(),
+            "input node {input} does not exist"
+        );
         self.nodes.push(Node::Layer { layer, input });
         self.nodes.len() - 1
     }
@@ -180,7 +186,10 @@ impl Model for GraphNetwork {
                     layer.forward(x)
                 }
                 Node::Concat { inputs, shape } => {
-                    let batch = self.activations[inputs[0]].as_ref().expect("computed").rows();
+                    let batch = self.activations[inputs[0]]
+                        .as_ref()
+                        .expect("computed")
+                        .rows();
                     let mut out = Matrix::zeros(batch, shape.len());
                     let mut offset = 0usize;
                     for &i in inputs.iter() {
@@ -228,7 +237,8 @@ impl Model for GraphNetwork {
                         let width = self.activations[i].as_ref().expect("forward ran").cols();
                         let mut part = Matrix::zeros(g.rows(), width);
                         for s in 0..g.rows() {
-                            part.row_mut(s).copy_from_slice(&g.row(s)[offset..offset + width]);
+                            part.row_mut(s)
+                                .copy_from_slice(&g.row(s)[offset..offset + width]);
                         }
                         offset += width;
                         accumulate(&mut grads[i], part);
@@ -275,11 +285,22 @@ mod tests {
         );
         let b2 = g.add_layer(
             b2a,
-            Box::new(Conv2d::new("b2_3x3", g.node_shape(b2a), 3, 3, 1, 1, &mut rng)),
+            Box::new(Conv2d::new(
+                "b2_3x3",
+                g.node_shape(b2a),
+                3,
+                3,
+                1,
+                1,
+                &mut rng,
+            )),
         );
         let merged = g.concat(&[b1, b2]);
         let relu = g.add_layer(merged, Box::new(ReLU::new("relu", g.node_shape(merged))));
-        let pool = g.add_layer(relu, Box::new(MaxPool2d::new("pool", g.node_shape(relu), 2, 2)));
+        let pool = g.add_layer(
+            relu,
+            Box::new(MaxPool2d::new("pool", g.node_shape(relu), 2, 2)),
+        );
         let flat = g.node_shape(pool).len();
         let fc = g.add_layer(pool, Box::new(FullyConnected::new("fc", flat, 3, &mut rng)));
         g.set_output(fc);
@@ -301,8 +322,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let mut g = GraphNetwork::new(shape);
         // Two 1x1 "identity-able" convs on the same input.
-        let a = g.add_layer(g.input(), Box::new(Conv2d::new("a", shape, 1, 1, 1, 0, &mut rng)));
-        let b = g.add_layer(g.input(), Box::new(Conv2d::new("b", shape, 1, 1, 1, 0, &mut rng)));
+        let a = g.add_layer(
+            g.input(),
+            Box::new(Conv2d::new("a", shape, 1, 1, 1, 0, &mut rng)),
+        );
+        let b = g.add_layer(
+            g.input(),
+            Box::new(Conv2d::new("b", shape, 1, 1, 1, 0, &mut rng)),
+        );
         let m = g.concat(&[a, b]);
         g.set_output(m);
         // Force conv a to multiply by 2 and conv b by -1.
@@ -325,7 +352,10 @@ mod tests {
         // Layers only (no concat/pool-only callbacks for stateless? pool and
         // relu ARE layer nodes, so they appear too), strictly decreasing ids.
         for w in order.windows(2) {
-            assert!(w[0] > w[1], "callback order must be reverse-topological: {order:?}");
+            assert!(
+                w[0] > w[1],
+                "callback order must be reverse-topological: {order:?}"
+            );
         }
         assert_eq!(*order.first().unwrap(), 8, "fc first");
         assert_eq!(*order.last().unwrap(), 1, "stem last");
@@ -386,8 +416,14 @@ mod tests {
         let shape = TensorShape::flat(4);
         let mut rng = StdRng::seed_from_u64(8);
         let mut g = GraphNetwork::new(shape);
-        let a = g.add_layer(g.input(), Box::new(FullyConnected::new("a", 4, 2, &mut rng)));
-        let _orphan = g.add_layer(g.input(), Box::new(FullyConnected::new("b", 4, 2, &mut rng)));
+        let a = g.add_layer(
+            g.input(),
+            Box::new(FullyConnected::new("a", 4, 2, &mut rng)),
+        );
+        let _orphan = g.add_layer(
+            g.input(),
+            Box::new(FullyConnected::new("b", 4, 2, &mut rng)),
+        );
         g.set_output(a);
     }
 
@@ -397,8 +433,14 @@ mod tests {
         let shape = TensorShape::new(1, 4, 4);
         let mut rng = StdRng::seed_from_u64(9);
         let mut g = GraphNetwork::new(shape);
-        let a = g.add_layer(g.input(), Box::new(Conv2d::new("a", shape, 1, 3, 1, 1, &mut rng)));
-        let b = g.add_layer(g.input(), Box::new(Conv2d::new("b", shape, 1, 3, 2, 1, &mut rng)));
+        let a = g.add_layer(
+            g.input(),
+            Box::new(Conv2d::new("a", shape, 1, 3, 1, 1, &mut rng)),
+        );
+        let b = g.add_layer(
+            g.input(),
+            Box::new(Conv2d::new("b", shape, 1, 3, 2, 1, &mut rng)),
+        );
         let _ = g.concat(&[a, b]);
     }
 

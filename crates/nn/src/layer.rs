@@ -124,7 +124,11 @@ impl ParamBlock {
     ///
     /// Panics on shape mismatch.
     pub fn set_params(&mut self, weights: &Matrix, bias: &Matrix) {
-        assert_eq!(self.weights.shape(), weights.shape(), "weight shape mismatch");
+        assert_eq!(
+            self.weights.shape(),
+            weights.shape(),
+            "weight shape mismatch"
+        );
         assert_eq!(self.bias.shape(), bias.shape(), "bias shape mismatch");
         self.weights = weights.clone();
         self.bias = bias.clone();

@@ -65,7 +65,12 @@ impl Layer for AvgPool2d {
     }
 
     fn forward(&mut self, input: &Matrix) -> Matrix {
-        assert_eq!(input.cols(), self.in_shape.len(), "{}: bad input size", self.name);
+        assert_eq!(
+            input.cols(),
+            self.in_shape.len(),
+            "{}: bad input size",
+            self.name
+        );
         let TensorShape { c, h, w } = self.in_shape;
         let (ho, wo) = (self.out_shape.h, self.out_shape.w);
         self.batch = input.rows();
@@ -182,8 +187,11 @@ mod tests {
         let mut p = AvgPool2d::new("avg", TensorShape::new(1, 3, 3), 2, 2);
         let x = Matrix::filled(1, 9, 6.0);
         let y = p.forward(&x);
-        assert!(y.as_slice().iter().all(|&v| (v - 6.0).abs() < 1e-6),
-            "constant input must stay constant under true averaging: {:?}", y.as_slice());
+        assert!(
+            y.as_slice().iter().all(|&v| (v - 6.0).abs() < 1e-6),
+            "constant input must stay constant under true averaging: {:?}",
+            y.as_slice()
+        );
     }
 
     #[test]

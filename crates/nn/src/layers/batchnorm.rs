@@ -87,7 +87,12 @@ impl Layer for BatchNorm {
     }
 
     fn forward(&mut self, input: &Matrix) -> Matrix {
-        assert_eq!(input.cols(), self.shape.len(), "{}: bad input size", self.name);
+        assert_eq!(
+            input.cols(),
+            self.shape.len(),
+            "{}: bad input size",
+            self.name
+        );
         let batch = input.rows();
         let c = self.shape.c;
         let sp = self.spatial();
@@ -190,8 +195,8 @@ impl Layer for BatchNorm {
             for s in 0..batch {
                 for i in 0..sp {
                     let idx = ch * sp + i;
-                    grad_in[(s, idx)] = scale
-                        * (grad_out[(s, idx)] - mean_dy - cache.x_hat[(s, idx)] * mean_dyxh);
+                    grad_in[(s, idx)] =
+                        scale * (grad_out[(s, idx)] - mean_dy - cache.x_hat[(s, idx)] * mean_dyxh);
                 }
             }
         }
@@ -269,7 +274,11 @@ mod tests {
         let loss = |bn: &mut BatchNorm, x: &Matrix| -> f32 {
             let y = bn.forward(x);
             // Non-uniform loss so the gradient isn't killed by mean-subtraction.
-            y.as_slice().iter().enumerate().map(|(i, &v)| v * v * (i as f32 + 1.0) * 0.1).sum()
+            y.as_slice()
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| v * v * (i as f32 + 1.0) * 0.1)
+                .sum()
         };
         let y = bn.forward(&x);
         let grad_out = {
@@ -295,8 +304,10 @@ mod tests {
             m.params_mut().unwrap().bias = Matrix::from_vec(1, 1, vec![0.2]);
             let dn = loss(&mut m, &x);
             let numeric = (up - dn) / (2.0 * eps);
-            assert!((dgamma - numeric).abs() < 0.05 * (1.0 + numeric.abs()),
-                "dgamma {dgamma} vs numeric {numeric}");
+            assert!(
+                (dgamma - numeric).abs() < 0.05 * (1.0 + numeric.abs()),
+                "dgamma {dgamma} vs numeric {numeric}"
+            );
         }
         // dβ numeric.
         {
@@ -309,8 +320,10 @@ mod tests {
             m.params_mut().unwrap().bias = Matrix::from_vec(1, 1, vec![0.2 - eps]);
             let dn = loss(&mut m, &x);
             let numeric = (up - dn) / (2.0 * eps);
-            assert!((dbeta - numeric).abs() < 0.05 * (1.0 + numeric.abs()),
-                "dbeta {dbeta} vs numeric {numeric}");
+            assert!(
+                (dbeta - numeric).abs() < 0.05 * (1.0 + numeric.abs()),
+                "dbeta {dbeta} vs numeric {numeric}"
+            );
         }
         // dx numeric (spot check).
         for idx in [0usize, 5, 11] {
@@ -342,7 +355,11 @@ mod tests {
         for _ in 0..50 {
             bn.forward(&x);
         }
-        assert!(bn.running_mean()[0] > 4.0, "running mean {:?}", bn.running_mean());
+        assert!(
+            bn.running_mean()[0] > 4.0,
+            "running mean {:?}",
+            bn.running_mean()
+        );
         bn.set_training(false);
         // Inputs near the running mean normalise to near zero.
         let y = bn.forward(&Matrix::filled(1, 2, 5.3));
@@ -360,7 +377,10 @@ mod tests {
         assert_eq!(p.weights.shape(), (8, 1));
         assert_eq!(p.bias.shape(), (1, 8));
         assert_eq!(p.num_params(), 16);
-        assert!(p.weights.as_slice().iter().all(|&g| g == 1.0), "gamma init 1");
+        assert!(
+            p.weights.as_slice().iter().all(|&g| g == 1.0),
+            "gamma init 1"
+        );
     }
 
     impl BatchNorm {

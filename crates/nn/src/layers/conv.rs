@@ -4,8 +4,10 @@
 //! via the parameter server).
 
 use crate::layer::{Layer, LayerKind, ParamBlock, TensorShape};
+use crate::parallel;
 use poseidon_tensor::Matrix;
 use rand::Rng;
+use std::ops::Range;
 
 /// A 2-D convolution layer with square kernels, zero padding and stride.
 ///
@@ -67,12 +69,14 @@ impl Conv2d {
         self.in_shape
     }
 
-    /// Lowers one sample to its patch matrix: `(h_out·w_out) × (c_in·kh·kw)`.
-    fn im2col(&self, sample: &[f32]) -> Matrix {
+    /// Lowers one sample into the caller's patch matrix
+    /// (`(h_out·w_out) × (c_in·kh·kw)`). Every element is written — padding
+    /// positions get an explicit zero — so the scratch matrix can be reused
+    /// across samples without clearing.
+    fn im2col_into(&self, sample: &[f32], patches: &mut Matrix) {
         let TensorShape { c, h, w } = self.in_shape;
         let (ho, wo) = (self.out_shape.h, self.out_shape.w);
-        let d = c * self.kh * self.kw;
-        let mut patches = Matrix::zeros(ho * wo, d);
+        debug_assert_eq!(patches.shape(), (ho * wo, c * self.kh * self.kw));
         for oy in 0..ho {
             for ox in 0..wo {
                 let prow = patches.row_mut(oy * wo + ox);
@@ -83,16 +87,18 @@ impl Conv2d {
                         let iy = (oy * self.stride + ky) as isize - self.pad as isize;
                         for kx in 0..self.kw {
                             let ix = (ox * self.stride + kx) as isize - self.pad as isize;
-                            if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
-                                prow[idx] = chan[iy as usize * w + ix as usize];
-                            }
+                            prow[idx] =
+                                if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
+                                    chan[iy as usize * w + ix as usize]
+                                } else {
+                                    0.0
+                                };
                             idx += 1;
                         }
                     }
                 }
             }
         }
-        patches
     }
 
     /// Scatters a patch-matrix gradient back to an input-sample gradient.
@@ -116,6 +122,42 @@ impl Conv2d {
                     }
                 }
             }
+        }
+    }
+
+    /// Backward pass over one contiguous sample range: fills the matching
+    /// rows of `grad_in` and one weight/bias gradient partial per sample.
+    /// All scratch (patch matrix, per-sample `G` view, `Gᵀ·W` product) is
+    /// allocated once per chunk and reused across its samples.
+    fn backward_chunk(
+        &self,
+        input: &Matrix,
+        grad_out: &Matrix,
+        range: Range<usize>,
+        grad_in: &mut [f32],
+        gw_parts: &mut [Matrix],
+        gb_parts: &mut [Matrix],
+    ) {
+        let l = self.out_shape.h * self.out_shape.w;
+        let d = self.in_shape.c * self.kh * self.kw;
+        let in_len = self.in_shape.len();
+        let mut patches = Matrix::zeros(l, d);
+        let mut gmat = Matrix::zeros(self.c_out, l);
+        let mut gp = Matrix::zeros(l, d);
+        for (i, s) in range.enumerate() {
+            self.im2col_into(input.row(s), &mut patches);
+            // View this sample's output gradient as c_out × L.
+            gmat.as_mut_slice().copy_from_slice(grad_out.row(s));
+            // dW_s = G · P  (c_out × D).
+            gmat.matmul_rows_into(&patches, 0..self.c_out, gw_parts[i].as_mut_slice());
+            // db_s = row sums of G.
+            for co in 0..self.c_out {
+                gb_parts[i][(0, co)] = gmat.row(co).iter().sum::<f32>();
+            }
+            // dP = Gᵀ · W  (L × D), scattered back to the input.
+            gp.clear();
+            gmat.matmul_tn_rows_into(&self.params.weights, 0..l, gp.as_mut_slice());
+            self.col2im(&gp, &mut grad_in[i * in_len..(i + 1) * in_len]);
         }
     }
 }
@@ -154,19 +196,30 @@ impl Layer for Conv2d {
         );
         let k = input.rows();
         let l = self.out_shape.h * self.out_shape.w;
-        let mut out = Matrix::zeros(k, self.c_out * l);
-        for s in 0..k {
-            let patches = self.im2col(input.row(s));
-            // (c_out × D) · (L × D)ᵀ = c_out × L
-            let y = self.params.weights.matmul_nt(&patches);
-            let orow = out.row_mut(s);
-            for co in 0..self.c_out {
-                let b = self.params.bias[(0, co)];
-                for p in 0..l {
-                    orow[co * l + p] = y[(co, p)] + b;
+        let d = self.in_shape.c * self.kh * self.kw;
+        let c_out = self.c_out;
+        let mut out = Matrix::zeros(k, c_out * l);
+        let this = &*self;
+        parallel::par_row_chunks(k, c_out * l, out.as_mut_slice(), |range, chunk| {
+            // Per-thread scratch, reused across this chunk's samples.
+            let mut patches = Matrix::zeros(l, d);
+            let mut y = vec![0.0f32; c_out * l];
+            for (i, s) in range.enumerate() {
+                this.im2col_into(input.row(s), &mut patches);
+                y.fill(0.0);
+                // (c_out × D) · (L × D)ᵀ = c_out × L
+                this.params
+                    .weights
+                    .matmul_nt_rows_into(&patches, 0..c_out, &mut y);
+                let orow = &mut chunk[i * c_out * l..(i + 1) * c_out * l];
+                for co in 0..c_out {
+                    let b = this.params.bias[(0, co)];
+                    for p in 0..l {
+                        orow[co * l + p] = y[co * l + p] + b;
+                    }
                 }
             }
-        }
+        });
         self.cached_input = Some(input.clone());
         out
     }
@@ -174,35 +227,57 @@ impl Layer for Conv2d {
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
         let input = self
             .cached_input
-            .as_ref()
-            .expect("backward called before forward")
-            .clone();
+            .take()
+            .expect("backward called before forward");
         let k = input.rows();
         let l = self.out_shape.h * self.out_shape.w;
         assert_eq!(grad_out.rows(), k, "batch size mismatch");
         assert_eq!(grad_out.cols(), self.c_out * l, "grad width mismatch");
 
         let d = self.in_shape.c * self.kh * self.kw;
-        let mut gw = Matrix::zeros(self.c_out, d);
-        let mut gb = Matrix::zeros(1, self.c_out);
-        let mut grad_in = Matrix::zeros(k, self.in_shape.len());
+        let in_len = self.in_shape.len();
+        let mut grad_in = Matrix::zeros(k, in_len);
+        // One weight/bias gradient partial per sample; reduced below in a
+        // fixed tree over the sample index, so the result is independent of
+        // how samples were spread across threads.
+        let mut gw_parts: Vec<Matrix> = (0..k).map(|_| Matrix::zeros(self.c_out, d)).collect();
+        let mut gb_parts: Vec<Matrix> = (0..k).map(|_| Matrix::zeros(1, self.c_out)).collect();
 
-        for s in 0..k {
-            let patches = self.im2col(input.row(s));
-            // View this sample's output gradient as c_out × L.
-            let gmat = Matrix::from_vec(self.c_out, l, grad_out.row(s).to_vec());
-            // dW += G · P  (c_out × D).
-            gw.add_assign(&gmat.matmul(&patches));
-            // db += row sums of G.
-            for co in 0..self.c_out {
-                gb[(0, co)] += gmat.row(co).iter().sum::<f32>();
-            }
-            // dP = Gᵀ · W  (L × D), scattered back to the input.
-            let gp = gmat.matmul_tn(&self.params.weights);
-            self.col2im(&gp, grad_in.row_mut(s));
+        let ranges = parallel::chunk_ranges(k, parallel::compute_threads());
+        if ranges.len() <= 1 {
+            self.backward_chunk(
+                &input,
+                grad_out,
+                0..k,
+                grad_in.as_mut_slice(),
+                &mut gw_parts,
+                &mut gb_parts,
+            );
+        } else {
+            let this = &*self;
+            crossbeam::thread::scope(|scope| {
+                let mut gi_rest = grad_in.as_mut_slice();
+                let mut gw_rest = gw_parts.as_mut_slice();
+                let mut gb_rest = gb_parts.as_mut_slice();
+                for range in ranges {
+                    let (gi, tail) = gi_rest.split_at_mut(range.len() * in_len);
+                    gi_rest = tail;
+                    let (gw, tail) = gw_rest.split_at_mut(range.len());
+                    gw_rest = tail;
+                    let (gb, tail) = gb_rest.split_at_mut(range.len());
+                    gb_rest = tail;
+                    let input = &input;
+                    scope.spawn(move |_| this.backward_chunk(input, grad_out, range, gi, gw, gb));
+                }
+            })
+            .expect("compute thread panicked");
         }
-        self.params.grad_weights = gw;
-        self.params.grad_bias = gb;
+
+        self.params.grad_weights =
+            parallel::tree_reduce(gw_parts, |a, b| a.add_assign(b)).expect("batch is non-empty");
+        self.params.grad_bias =
+            parallel::tree_reduce(gb_parts, |a, b| a.add_assign(b)).expect("batch is non-empty");
+        self.cached_input = Some(input);
         grad_in
     }
 

@@ -28,7 +28,10 @@ impl Dropout {
     ///
     /// Panics if `p` is outside `[0, 1)`.
     pub fn new(name: impl Into<String>, shape: TensorShape, p: f32, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&p), "drop probability must be in [0,1), got {p}");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "drop probability must be in [0,1), got {p}"
+        );
         Self {
             name: name.into(),
             shape,
@@ -59,7 +62,12 @@ impl Layer for Dropout {
     }
 
     fn forward(&mut self, input: &Matrix) -> Matrix {
-        assert_eq!(input.cols(), self.shape.len(), "{}: bad input size", self.name);
+        assert_eq!(
+            input.cols(),
+            self.shape.len(),
+            "{}: bad input size",
+            self.name
+        );
         if !self.training || self.p == 0.0 {
             self.mask = None;
             return input.clone();
@@ -121,10 +129,16 @@ mod tests {
         let y = d.forward(&Matrix::filled(1, 1000, 1.0));
         let kept = y.as_slice().iter().filter(|&&v| v != 0.0).count();
         assert!(kept > 400 && kept < 600, "kept {kept} of 1000 at p=0.5");
-        assert!(y.as_slice().iter().all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
+        assert!(y
+            .as_slice()
+            .iter()
+            .all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
         // Expected value preserved approximately.
         let mean = y.sum() / 1000.0;
-        assert!((mean - 1.0).abs() < 0.15, "inverted scaling keeps the mean: {mean}");
+        assert!(
+            (mean - 1.0).abs() < 0.15,
+            "inverted scaling keeps the mean: {mean}"
+        );
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! sufficient factors.
 
 use crate::layer::{Layer, LayerKind, ParamBlock, TensorShape};
+use crate::parallel;
 use poseidon_tensor::{Matrix, SfBatch, SufficientFactor};
 use rand::Rng;
 
@@ -25,7 +26,12 @@ pub struct FullyConnected {
 
 impl FullyConnected {
     /// Creates a layer with Xavier-initialised weights and zero bias.
-    pub fn new(name: impl Into<String>, in_features: usize, out_features: usize, rng: &mut impl Rng) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        in_features: usize,
+        out_features: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
         let mut params = ParamBlock::new(out_features, in_features);
         poseidon_tensor::init::xavier(&mut params.weights, in_features, out_features, rng);
         Self {
@@ -71,14 +77,24 @@ impl Layer for FullyConnected {
             input.cols(),
             self.in_features
         );
-        // y = x · Wᵀ + b, rows are samples.
-        let mut out = input.matmul_nt(&self.params.weights);
-        for r in 0..out.rows() {
-            let bias = self.params.bias.row(0);
-            for (o, &b) in out.row_mut(r).iter_mut().zip(bias) {
-                *o += b;
+        // y = x · Wᵀ + b, rows are samples; sample rows fan out across
+        // compute threads. Each output element folds its dot product in the
+        // same order regardless of the row partition, so the result is
+        // bitwise identical at every thread count.
+        let k = input.rows();
+        let width = self.out_features;
+        let mut out = Matrix::zeros(k, width);
+        let weights = &self.params.weights;
+        let bias = &self.params.bias;
+        parallel::par_row_chunks(k, width, out.as_mut_slice(), |range, chunk| {
+            input.matmul_nt_rows_into(weights, range.clone(), chunk);
+            for i in 0..range.len() {
+                let row = &mut chunk[i * width..(i + 1) * width];
+                for (o, &b) in row.iter_mut().zip(bias.row(0)) {
+                    *o += b;
+                }
             }
-        }
+        });
         self.cached_input = Some(input.clone());
         out
     }
@@ -91,18 +107,37 @@ impl Layer for FullyConnected {
         assert_eq!(grad_out.rows(), input.rows(), "batch size mismatch");
         assert_eq!(grad_out.cols(), self.out_features, "grad width mismatch");
 
-        // ∂L/∂W = δᵀ · x  (out × in); ∂L/∂b = column sums of δ.
-        self.params.grad_weights = grad_out.matmul_tn(input);
+        // ∂L/∂W = δᵀ · x  (out × in), parallel over weight rows. Each
+        // element sums over samples in ascending order whatever the
+        // partition, keeping gradients thread-count independent.
+        let mut gw = Matrix::zeros(self.out_features, self.in_features);
+        parallel::par_row_chunks(
+            self.out_features,
+            self.in_features,
+            gw.as_mut_slice(),
+            |range, chunk| grad_out.matmul_tn_rows_into(input, range, chunk),
+        );
+
+        // ∂L/∂b = column sums of δ (cheap; kept serial).
         let mut gb = Matrix::zeros(1, self.out_features);
         for r in 0..grad_out.rows() {
             for (g, &d) in gb.row_mut(0).iter_mut().zip(grad_out.row(r)) {
                 *g += d;
             }
         }
-        self.params.grad_bias = gb;
 
-        // ∂L/∂x = δ · W  (K × in).
-        let grad_in = grad_out.matmul(&self.params.weights);
+        // ∂L/∂x = δ · W  (K × in), parallel over sample rows.
+        let weights = &self.params.weights;
+        let mut grad_in = Matrix::zeros(grad_out.rows(), self.in_features);
+        parallel::par_row_chunks(
+            grad_out.rows(),
+            self.in_features,
+            grad_in.as_mut_slice(),
+            |range, chunk| grad_out.matmul_rows_into(weights, range, chunk),
+        );
+
+        self.params.grad_weights = gw;
+        self.params.grad_bias = gb;
         self.cached_delta = Some(grad_out.clone());
         grad_in
     }

@@ -55,7 +55,12 @@ impl Layer for MaxPool2d {
     }
 
     fn forward(&mut self, input: &Matrix) -> Matrix {
-        assert_eq!(input.cols(), self.in_shape.len(), "{}: bad input size", self.name);
+        assert_eq!(
+            input.cols(),
+            self.in_shape.len(),
+            "{}: bad input size",
+            self.name
+        );
         let TensorShape { c, h, w } = self.in_shape;
         let (ho, wo) = (self.out_shape.h, self.out_shape.w);
         let batch = input.rows();

@@ -36,7 +36,12 @@ impl Layer for ReLU {
     }
 
     fn forward(&mut self, input: &Matrix) -> Matrix {
-        assert_eq!(input.cols(), self.shape.len(), "{}: bad input size", self.name);
+        assert_eq!(
+            input.cols(),
+            self.shape.len(),
+            "{}: bad input size",
+            self.name
+        );
         let mut out = input.clone();
         let mut mask = Matrix::zeros(input.rows(), input.cols());
         for (i, v) in out.as_mut_slice().iter_mut().enumerate() {

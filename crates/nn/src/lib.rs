@@ -30,6 +30,7 @@ pub mod layers;
 pub mod loss;
 pub mod model;
 pub mod network;
+pub mod parallel;
 pub mod presets;
 pub mod sgd;
 pub mod zoo;

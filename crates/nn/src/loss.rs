@@ -38,7 +38,10 @@ impl SoftmaxCrossEntropy {
         let mut correct = 0usize;
         for s in 0..k {
             let label = labels[s];
-            assert!(label < classes, "label {label} out of range ({classes} classes)");
+            assert!(
+                label < classes,
+                "label {label} out of range ({classes} classes)"
+            );
             let row = logits.row(s);
             // Numerically stable softmax.
             let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
@@ -91,7 +94,10 @@ mod tests {
         let out = SoftmaxCrossEntropy.evaluate(&logits, &[0, 2]);
         for s in 0..2 {
             let sum: f32 = out.grad.row(s).iter().sum();
-            assert!(sum.abs() < 1e-6, "softmax grad rows must sum to 0, got {sum}");
+            assert!(
+                sum.abs() < 1e-6,
+                "softmax grad rows must sum to 0, got {sum}"
+            );
         }
     }
 
@@ -107,7 +113,8 @@ mod tests {
             lp[(0, c)] += eps;
             let mut lm = logits.clone();
             lm[(0, c)] -= eps;
-            let numeric = (head.evaluate(&lp, &labels).loss - head.evaluate(&lm, &labels).loss) / (2.0 * eps);
+            let numeric =
+                (head.evaluate(&lp, &labels).loss - head.evaluate(&lm, &labels).loss) / (2.0 * eps);
             assert!(
                 (out.grad[(0, c)] - numeric).abs() < 1e-3,
                 "grad[{c}] {} vs numeric {numeric}",

@@ -33,7 +33,11 @@ pub trait Model: Send {
     /// Backward pass; `on_layer_done(id, layer)` fires the moment slot `id`'s
     /// parameter gradients are final — the WFBP hook. Callback order must
     /// follow gradient-completion order (reverse topological).
-    fn backward_with(&mut self, grad_top: &Matrix, on_layer_done: &mut dyn FnMut(usize, &mut dyn Layer));
+    fn backward_with(
+        &mut self,
+        grad_top: &Matrix,
+        on_layer_done: &mut dyn FnMut(usize, &mut dyn Layer),
+    );
 
     /// Backward pass without a callback.
     fn backward(&mut self, grad_top: &Matrix) {
@@ -133,14 +137,19 @@ mod tests {
         assert_eq!(Model::num_slots(&net), 3);
         assert_eq!(net.trainable_slots(), vec![0, 2]);
         assert_eq!(Model::total_params(&net), 6 * 8 + 8 + 8 * 3 + 3);
-        assert!(Model::slot(&net, 1).unwrap().params().is_none(), "relu slot");
+        assert!(
+            Model::slot(&net, 1).unwrap().params().is_none(),
+            "relu slot"
+        );
         assert!(Model::slot(&net, 3).is_none(), "out of range");
 
         let x = Matrix::filled(2, 6, 0.5);
         let y = Model::forward(&mut net, &x);
         assert_eq!(y.shape(), (2, 3));
         let mut order = Vec::new();
-        Model::backward_with(&mut net, &Matrix::filled(2, 3, 0.1), &mut |id, _| order.push(id));
+        Model::backward_with(&mut net, &Matrix::filled(2, 3, 0.1), &mut |id, _| {
+            order.push(id)
+        });
         assert_eq!(order, vec![2, 1, 0]);
     }
 

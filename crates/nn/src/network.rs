@@ -142,7 +142,11 @@ impl Network {
     ///
     /// Panics if the layer structure differs.
     pub fn copy_params_from(&mut self, other: &Network) {
-        assert_eq!(self.num_layers(), other.num_layers(), "layer count mismatch");
+        assert_eq!(
+            self.num_layers(),
+            other.num_layers(),
+            "layer count mismatch"
+        );
         for l in 0..self.layers.len() {
             match (self.layers[l].params_mut(), other.layers[l].params()) {
                 (Some(mine), Some(theirs)) => {
@@ -156,7 +160,11 @@ impl Network {
 
     /// Maximum absolute parameter difference to `other` (architecture must match).
     pub fn max_param_diff(&self, other: &Network) -> f32 {
-        assert_eq!(self.num_layers(), other.num_layers(), "layer count mismatch");
+        assert_eq!(
+            self.num_layers(),
+            other.num_layers(),
+            "layer count mismatch"
+        );
         let mut max = 0.0f32;
         for l in 0..self.layers.len() {
             if let (Some(a), Some(b)) = (self.layers[l].params(), other.layers[l].params()) {
@@ -226,7 +234,11 @@ mod tests {
     #[test]
     fn training_reduces_loss() {
         let mut net = tiny_net(4);
-        let x = Matrix::from_vec(3, 4, vec![1.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0]);
+        let x = Matrix::from_vec(
+            3,
+            4,
+            vec![1.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0],
+        );
         let labels = [0usize, 1, 2];
         let head = SoftmaxCrossEntropy;
         let first = head.evaluate(&net.forward(&x), &labels).loss;
@@ -236,7 +248,10 @@ mod tests {
             net.apply_own_grads(-0.5);
         }
         let last = head.evaluate(&net.forward(&x), &labels).loss;
-        assert!(last < first * 0.3, "loss {first} -> {last} should drop sharply");
+        assert!(
+            last < first * 0.3,
+            "loss {first} -> {last} should drop sharply"
+        );
     }
 
     #[test]

@@ -1,0 +1,287 @@
+//! Batch-parallel execution helpers for the layer kernels.
+//!
+//! Layers fan work across a [`crossbeam::thread::scope`] by partitioning
+//! *output rows* (or samples) into contiguous chunks, one per compute
+//! thread. Every per-element fold the kernels perform is identical no matter
+//! how the rows are partitioned, and cross-sample gradient reductions go
+//! through [`tree_reduce`], whose combination order depends only on the
+//! sample index — so layer outputs and gradients are **bitwise identical at
+//! every thread count**. That is the property the distributed-equals-serial
+//! invariant (DESIGN §4.4) builds on, and `tests/parallel_determinism.rs`
+//! asserts it for thread counts {1, 2, 7}.
+//!
+//! The thread count is a per-thread knob so the threaded runtime can give
+//! each of its workers a bounded share of the machine: explicit
+//! [`set_compute_threads`] wins, then the `POSEIDON_THREADS` environment
+//! variable, then `std::thread::available_parallelism()`. A count of 1 runs
+//! the chunk closure inline on the calling thread — no spawns, the legacy
+//! execution path.
+
+use std::cell::Cell;
+use std::ops::Range;
+
+thread_local! {
+    static COMPUTE_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Pins the compute-thread count for the *calling thread* (and the layer
+/// kernels it invokes). Overrides `POSEIDON_THREADS` and the hardware
+/// default.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn set_compute_threads(n: usize) {
+    assert!(n >= 1, "compute thread count must be >= 1");
+    COMPUTE_THREADS.with(|c| c.set(Some(n)));
+}
+
+/// Clears a previous [`set_compute_threads`], restoring env/hardware
+/// resolution.
+pub fn reset_compute_threads() {
+    COMPUTE_THREADS.with(|c| c.set(None));
+}
+
+/// The compute-thread count in effect on the calling thread:
+/// explicit [`set_compute_threads`] > `POSEIDON_THREADS` env >
+/// `available_parallelism()` (1 if unknown).
+pub fn compute_threads() -> usize {
+    if let Some(n) = COMPUTE_THREADS.with(|c| c.get()) {
+        return n;
+    }
+    match std::env::var("POSEIDON_THREADS") {
+        Ok(v) => parse_threads(&v).unwrap_or_else(hardware_threads),
+        Err(_) => hardware_threads(),
+    }
+}
+
+fn hardware_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// Parses a `POSEIDON_THREADS` value; `None` for anything that is not a
+/// positive integer.
+fn parse_threads(v: &str) -> Option<usize> {
+    v.trim().parse::<usize>().ok().filter(|&n| n >= 1)
+}
+
+/// Splits `0..total` into at most `parts` contiguous, non-empty ranges of
+/// near-equal length (the first `total % parts` ranges are one longer).
+/// Returns an empty vector when `total == 0`.
+pub fn chunk_ranges(total: usize, parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.max(1).min(total);
+    let mut out = Vec::with_capacity(parts);
+    if total == 0 {
+        return out;
+    }
+    let base = total / parts;
+    let rem = total % parts;
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < rem);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Runs `f(row_range, rows_slice)` over contiguous row chunks of `out`
+/// (`total_rows` rows of `row_width` elements), one chunk per compute
+/// thread. With one thread (or one row) the closure runs inline on the
+/// calling thread.
+///
+/// The chunks partition `out`, so each invocation owns its slice; `f` must
+/// not depend on which partition it receives — with the row-range kernels in
+/// `poseidon-tensor` every output element is computed identically regardless
+/// of the split, keeping results bitwise thread-count independent.
+///
+/// # Panics
+///
+/// Panics if `out.len() != total_rows * row_width`, or if a spawned compute
+/// thread panics.
+pub fn par_row_chunks<F>(total_rows: usize, row_width: usize, out: &mut [f32], f: F)
+where
+    F: Fn(Range<usize>, &mut [f32]) + Sync,
+{
+    assert_eq!(
+        out.len(),
+        total_rows * row_width,
+        "par_row_chunks: buffer size mismatch"
+    );
+    let ranges = chunk_ranges(total_rows, compute_threads());
+    if ranges.len() <= 1 {
+        f(0..total_rows, out);
+        return;
+    }
+    crossbeam::thread::scope(|scope| {
+        let mut rest = out;
+        for range in ranges {
+            let (chunk, tail) = rest.split_at_mut(range.len() * row_width);
+            rest = tail;
+            let f = &f;
+            scope.spawn(move |_| f(range, chunk));
+        }
+    })
+    .expect("compute thread panicked");
+}
+
+/// Runs `f(slot_range, slots_chunk)` over contiguous chunks of `slots`, one
+/// chunk per compute thread — the slot-per-sample counterpart of
+/// [`par_row_chunks`], used to fill per-sample gradient partials that are
+/// then combined with [`tree_reduce`].
+pub fn par_slots<T, F>(slots: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(Range<usize>, &mut [T]) + Sync,
+{
+    let total = slots.len();
+    let ranges = chunk_ranges(total, compute_threads());
+    if ranges.len() <= 1 {
+        f(0..total, slots);
+        return;
+    }
+    crossbeam::thread::scope(|scope| {
+        let mut rest = slots;
+        for range in ranges {
+            let (chunk, tail) = rest.split_at_mut(range.len());
+            rest = tail;
+            let f = &f;
+            scope.spawn(move |_| f(range, chunk));
+        }
+    })
+    .expect("compute thread panicked");
+}
+
+/// Reduces `items` with `combine` in a **fixed pairwise tree order** that
+/// depends only on the number of items, never on thread count or timing:
+/// stride-doubling over the original indices (`0+=1, 2+=3, …`, then
+/// `0+=2, 4+=6, …`, and so on). Returns `None` for an empty input.
+///
+/// Floating-point addition is not associative, so *some* canonical order has
+/// to be fixed for per-sample gradient partials; fixing a tree (rather than
+/// a left fold) keeps the result independent of how samples were distributed
+/// across threads.
+pub fn tree_reduce<T>(mut items: Vec<T>, mut combine: impl FnMut(&mut T, &T)) -> Option<T> {
+    let n = items.len();
+    if n == 0 {
+        return None;
+    }
+    let mut stride = 1;
+    while stride < n {
+        let mut i = 0;
+        while i + stride < n {
+            let (left, right) = items.split_at_mut(i + stride);
+            combine(&mut left[i], &right[0]);
+            i += 2 * stride;
+        }
+        stride *= 2;
+    }
+    items.truncate(1);
+    items.pop()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_ranges_partition_the_input() {
+        for total in [0usize, 1, 2, 5, 7, 16, 100] {
+            for parts in [1usize, 2, 3, 7, 64] {
+                let ranges = chunk_ranges(total, parts);
+                assert_eq!(ranges.len(), parts.min(total));
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next, "contiguous");
+                    assert!(!r.is_empty(), "non-empty");
+                    next = r.end;
+                }
+                assert_eq!(next, total, "covers 0..{total}");
+                if let (Some(first), Some(last)) = (ranges.first(), ranges.last()) {
+                    assert!(first.len() - last.len() <= 1, "near-equal sizes");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_thread_count_wins() {
+        set_compute_threads(3);
+        assert_eq!(compute_threads(), 3);
+        set_compute_threads(1);
+        assert_eq!(compute_threads(), 1);
+        reset_compute_threads();
+        assert!(compute_threads() >= 1);
+    }
+
+    #[test]
+    fn parse_threads_rejects_garbage() {
+        assert_eq!(parse_threads("4"), Some(4));
+        assert_eq!(parse_threads(" 2 "), Some(2));
+        assert_eq!(parse_threads("0"), None);
+        assert_eq!(parse_threads("-1"), None);
+        assert_eq!(parse_threads("many"), None);
+        assert_eq!(parse_threads(""), None);
+    }
+
+    #[test]
+    fn par_row_chunks_fills_disjoint_rows() {
+        for threads in [1usize, 2, 5, 7] {
+            set_compute_threads(threads);
+            let (rows, width) = (11usize, 3usize);
+            let mut out = vec![0.0f32; rows * width];
+            par_row_chunks(rows, width, &mut out, |range, chunk| {
+                for (i, r) in range.clone().enumerate() {
+                    for c in 0..width {
+                        chunk[i * width + c] = (r * width + c) as f32;
+                    }
+                }
+            });
+            let expect: Vec<f32> = (0..rows * width).map(|v| v as f32).collect();
+            assert_eq!(out, expect, "threads={threads}");
+        }
+        reset_compute_threads();
+    }
+
+    #[test]
+    fn tree_reduce_uses_fixed_pairwise_order() {
+        // Track combination order symbolically: each item is a parenthesised
+        // string, so the final string is the exact reduction tree.
+        let shape = |n: usize| {
+            let items: Vec<String> = (0..n).map(|i| i.to_string()).collect();
+            tree_reduce(items, |a, b| *a = format!("({a}+{b})")).unwrap()
+        };
+        assert_eq!(shape(1), "0");
+        assert_eq!(shape(2), "(0+1)");
+        assert_eq!(shape(3), "((0+1)+2)");
+        assert_eq!(shape(4), "((0+1)+(2+3))");
+        assert_eq!(shape(5), "(((0+1)+(2+3))+4)");
+        assert_eq!(shape(7), "(((0+1)+(2+3))+((4+5)+6))");
+    }
+
+    #[test]
+    fn tree_reduce_handles_empty_and_sums_correctly() {
+        assert_eq!(tree_reduce(Vec::<u64>::new(), |a, b| *a += b), None);
+        for n in 1usize..40 {
+            let items: Vec<u64> = (1..=n as u64).collect();
+            let total = tree_reduce(items, |a, b| *a += b).unwrap();
+            assert_eq!(total, (n as u64) * (n as u64 + 1) / 2);
+        }
+    }
+
+    #[test]
+    fn par_slots_covers_every_slot_once() {
+        for threads in [1usize, 2, 7] {
+            set_compute_threads(threads);
+            let mut slots = vec![0u32; 13];
+            par_slots(&mut slots, |range, chunk| {
+                for (i, s) in range.clone().enumerate() {
+                    chunk[i] += s as u32 + 1;
+                }
+            });
+            let expect: Vec<u32> = (1..=13).collect();
+            assert_eq!(slots, expect, "threads={threads}");
+        }
+        reset_compute_threads();
+    }
+}

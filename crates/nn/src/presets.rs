@@ -22,7 +22,10 @@ use rand::SeedableRng;
 ///
 /// Panics if fewer than two sizes are given.
 pub fn mlp(sizes: &[usize], seed: u64) -> Network {
-    assert!(sizes.len() >= 2, "an MLP needs at least input and output sizes");
+    assert!(
+        sizes.len() >= 2,
+        "an MLP needs at least input and output sizes"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut net = Network::new(TensorShape::flat(sizes[0]));
     for (i, pair) in sizes.windows(2).enumerate() {
@@ -33,7 +36,10 @@ pub fn mlp(sizes: &[usize], seed: u64) -> Network {
             &mut rng,
         )));
         if i + 2 < sizes.len() {
-            net.push(Box::new(ReLU::new(format!("relu{}", i + 1), TensorShape::flat(pair[1]))));
+            net.push(Box::new(ReLU::new(
+                format!("relu{}", i + 1),
+                TensorShape::flat(pair[1]),
+            )));
         }
     }
     net
@@ -91,8 +97,18 @@ pub fn cifar_quick_scaled(
     let s3p = pool3.output_shape();
     net.push(Box::new(pool3));
 
-    net.push(Box::new(FullyConnected::new("ip1", s3p.len(), 2 * c, &mut rng)));
-    net.push(Box::new(FullyConnected::new("ip2", 2 * c, classes, &mut rng)));
+    net.push(Box::new(FullyConnected::new(
+        "ip1",
+        s3p.len(),
+        2 * c,
+        &mut rng,
+    )));
+    net.push(Box::new(FullyConnected::new(
+        "ip2",
+        2 * c,
+        classes,
+        &mut rng,
+    )));
     net
 }
 
@@ -135,7 +151,10 @@ mod tests {
         let trainable = net.trainable_layers();
         let last = trainable[trainable.len() - 1];
         let second_last = trainable[trainable.len() - 2];
-        assert!(net.layer(last).sufficient_factors().is_none(), "no backward yet");
+        assert!(
+            net.layer(last).sufficient_factors().is_none(),
+            "no backward yet"
+        );
         assert_eq!(net.layer(last).name(), "ip2");
         assert_eq!(net.layer(second_last).name(), "ip1");
     }

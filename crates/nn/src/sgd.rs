@@ -62,7 +62,11 @@ impl Sgd {
     ///
     /// Panics if `net`'s layer structure changed since construction.
     pub fn step(&mut self, net: &mut Network) {
-        assert_eq!(net.num_layers(), self.velocity.len(), "network structure changed");
+        assert_eq!(
+            net.num_layers(),
+            self.velocity.len(),
+            "network structure changed"
+        );
         let lr = self.config.learning_rate;
         let mu = self.config.momentum;
         let wd = self.config.weight_decay;
@@ -116,7 +120,14 @@ mod tests {
 
         let out = head.evaluate(&a.forward(&x), &labels);
         a.backward(&out.grad);
-        let mut opt = Sgd::new(&a, SgdConfig { learning_rate: 0.1, momentum: 0.0, weight_decay: 0.0 });
+        let mut opt = Sgd::new(
+            &a,
+            SgdConfig {
+                learning_rate: 0.1,
+                momentum: 0.0,
+                weight_decay: 0.0,
+            },
+        );
         opt.step(&mut a);
 
         let out_b = head.evaluate(&b.forward(&x), &labels);
@@ -133,7 +144,14 @@ mod tests {
         let mut n = net(2);
         let before = n.layer(0).params().unwrap().weights.clone();
         let g = Matrix::filled(2, 2, 1.0);
-        let mut opt = Sgd::new(&n, SgdConfig { learning_rate: 0.1, momentum: 0.9, weight_decay: 0.0 });
+        let mut opt = Sgd::new(
+            &n,
+            SgdConfig {
+                learning_rate: 0.1,
+                momentum: 0.9,
+                weight_decay: 0.0,
+            },
+        );
 
         n.layer_mut(0).params_mut().unwrap().grad_weights = g.clone();
         opt.step(&mut n);
@@ -145,7 +163,10 @@ mod tests {
         let step1 = before.max_abs_diff(&after1);
         let step2 = after1.max_abs_diff(&after2);
         assert!((step1 - 0.1).abs() < 1e-6);
-        assert!((step2 - 0.19).abs() < 1e-6, "second step should be lr*(1+mu)");
+        assert!(
+            (step2 - 0.19).abs() < 1e-6,
+            "second step should be lr*(1+mu)"
+        );
     }
 
     #[test]
@@ -153,7 +174,14 @@ mod tests {
         let mut n = net(3);
         n.layer_mut(0).params_mut().unwrap().weights = Matrix::filled(2, 2, 1.0);
         n.layer_mut(0).params_mut().unwrap().grad_weights = Matrix::zeros(2, 2);
-        let mut opt = Sgd::new(&n, SgdConfig { learning_rate: 0.1, momentum: 0.0, weight_decay: 0.5 });
+        let mut opt = Sgd::new(
+            &n,
+            SgdConfig {
+                learning_rate: 0.1,
+                momentum: 0.0,
+                weight_decay: 0.5,
+            },
+        );
         opt.step(&mut n);
         let w = &n.layer(0).params().unwrap().weights;
         assert!(w.as_slice().iter().all(|&v| (v - 0.95).abs() < 1e-6));

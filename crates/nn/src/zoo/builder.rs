@@ -40,7 +40,14 @@ impl SpecBuilder {
     }
 
     /// Adds a square convolution `c_out @ k×k / stride, pad`.
-    pub fn conv(&mut self, name: &str, c_out: usize, k: usize, stride: usize, pad: usize) -> &mut Self {
+    pub fn conv(
+        &mut self,
+        name: &str,
+        c_out: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+    ) -> &mut Self {
         self.conv_grouped(name, c_out, k, k, stride, pad, pad, 1)
     }
 
@@ -76,8 +83,10 @@ impl SpecBuilder {
         groups: usize,
     ) -> &mut Self {
         let c_in = self.shape.c;
-        assert!(groups >= 1 && c_in % groups == 0 && c_out % groups == 0,
-            "{name}: groups {groups} must divide c_in {c_in} and c_out {c_out}");
+        assert!(
+            groups >= 1 && c_in % groups == 0 && c_out % groups == 0,
+            "{name}: groups {groups} must divide c_in {c_in} and c_out {c_out}"
+        );
         let ho = out_dim(self.shape.h, kh, stride, pad_h);
         let wo = out_dim(self.shape.w, kw, stride, pad_w);
         assert!(ho > 0 && wo > 0, "{name}: empty convolution output");

@@ -16,6 +16,6 @@ mod spec;
 
 pub use builder::SpecBuilder;
 pub use models::{
-    alexnet, cifar10_quick, googlenet, inception_v3, resnet152, vgg19, vgg19_22k, all_models,
+    alexnet, all_models, cifar10_quick, googlenet, inception_v3, resnet152, vgg19, vgg19_22k,
 };
 pub use spec::{LayerSpec, ModelSpec, SpecKind};

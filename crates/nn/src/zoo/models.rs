@@ -283,7 +283,9 @@ pub fn vgg19_22k() -> ModelSpec {
 /// exact count 60.3M.
 pub fn resnet152() -> ModelSpec {
     let mut b = SpecBuilder::new(TensorShape::new(3, 224, 224));
-    b.conv("conv1", 64, 7, 2, 3).batchnorm("bn_conv1").pool("pool1", 3, 2, 1);
+    b.conv("conv1", 64, 7, 2, 3)
+        .batchnorm("bn_conv1")
+        .pool("pool1", 3, 2, 1);
     let stages: [(usize, usize, usize); 4] =
         [(256, 3, 1), (512, 8, 2), (1024, 36, 2), (2048, 3, 2)];
     for (s, &(width, blocks, first_stride)) in stages.iter().enumerate() {
@@ -380,8 +382,11 @@ mod tests {
         let m = googlenet();
         // Paper quotes 5M ("12x fewer than AlexNet"); the exact deploy
         // network with biases is 6.998M.
-        assert!(m.total_params() > 5_000_000 && m.total_params() < 7_100_000,
-            "GoogLeNet params {}", m.total_params());
+        assert!(
+            m.total_params() > 5_000_000 && m.total_params() < 7_100_000,
+            "GoogLeNet params {}",
+            m.total_params()
+        );
         // Exactly one FC layer, the thin 1000×1024 classifier.
         let fcs: Vec<_> = m
             .layers

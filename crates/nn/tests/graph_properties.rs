@@ -11,26 +11,45 @@ use rand::SeedableRng;
 
 /// Builds a random-ish layered DAG of FC layers: `width` parallel branches
 /// from a shared stem, concatenated into a classifier.
-fn fan_out_graph(input: usize, branches: usize, hidden: usize, classes: usize, seed: u64) -> GraphNetwork {
+fn fan_out_graph(
+    input: usize,
+    branches: usize,
+    hidden: usize,
+    classes: usize,
+    seed: u64,
+) -> GraphNetwork {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut g = GraphNetwork::new(TensorShape::flat(input));
     let stem = g.add_layer(
         g.input(),
         Box::new(FullyConnected::new("stem", input, hidden, &mut rng)),
     );
-    let relu = g.add_layer(stem, Box::new(ReLU::new("stem_relu", TensorShape::flat(hidden))));
+    let relu = g.add_layer(
+        stem,
+        Box::new(ReLU::new("stem_relu", TensorShape::flat(hidden))),
+    );
     let mut outs = Vec::new();
     for b in 0..branches {
         let id = g.add_layer(
             relu,
-            Box::new(FullyConnected::new(format!("branch{b}"), hidden, hidden, &mut rng)),
+            Box::new(FullyConnected::new(
+                format!("branch{b}"),
+                hidden,
+                hidden,
+                &mut rng,
+            )),
         );
         outs.push(id);
     }
     let cat = g.concat(&outs);
     let fc = g.add_layer(
         cat,
-        Box::new(FullyConnected::new("head", branches * hidden, classes, &mut rng)),
+        Box::new(FullyConnected::new(
+            "head",
+            branches * hidden,
+            classes,
+            &mut rng,
+        )),
     );
     g.set_output(fc);
     g

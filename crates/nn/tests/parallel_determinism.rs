@@ -1,0 +1,112 @@
+//! Thread-count independence of the batch-parallel layer kernels.
+//!
+//! The distributed runtime's bit-comparability story (DESIGN §4.4) requires
+//! that layer compute is a pure function of its inputs — in particular,
+//! independent of how many compute threads fan the batch out. These tests
+//! train a real CIFAR-10-quick network at thread counts {1, 2, 7} and demand
+//! *bitwise* identical logits, gradients and parameter trajectories.
+//!
+//! The compute-thread knob is thread-local, so each configuration runs on a
+//! fresh spawned thread and cannot leak its setting into sibling tests.
+
+use poseidon_nn::loss::SoftmaxCrossEntropy;
+use poseidon_nn::{parallel, presets, Network};
+use poseidon_tensor::Matrix;
+
+/// Deterministic input batch (LCG; no dependence on rand's stream).
+fn synthetic_batch(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut m = Matrix::zeros(rows, cols);
+    let mut state = seed;
+    for v in m.as_mut_slice() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *v = ((state >> 40) as f32) / (1u64 << 24) as f32 - 0.5;
+    }
+    m
+}
+
+/// One run: build CIFAR-10-quick, take `steps` SGD steps on a fixed batch,
+/// return the final parameters of every layer plus the last logits/loss grad.
+struct RunResult {
+    params: Vec<Vec<f32>>,
+    logits: Matrix,
+    grads: Vec<Vec<f32>>,
+}
+
+fn train_at(threads: usize, steps: usize) -> RunResult {
+    std::thread::spawn(move || {
+        parallel::set_compute_threads(threads);
+        let mut net: Network = presets::cifar_quick(10, 42);
+        let x = synthetic_batch(16, 3 * 32 * 32, 0xC0FFEE);
+        let labels: Vec<usize> = (0..16).map(|i| i % 10).collect();
+        let head = SoftmaxCrossEntropy;
+        let mut logits = Matrix::zeros(1, 1);
+        for _ in 0..steps {
+            logits = net.forward(&x);
+            let out = head.evaluate(&logits, &labels);
+            net.backward(&out.grad);
+            net.apply_own_grads(-0.01);
+        }
+        let mut params = Vec::new();
+        let mut grads = Vec::new();
+        for l in 0..net.num_layers() {
+            if let Some(p) = net.layer(l).params() {
+                params.push(p.weights.as_slice().to_vec());
+                params.push(p.bias.as_slice().to_vec());
+                grads.push(p.grad_weights.as_slice().to_vec());
+                grads.push(p.grad_bias.as_slice().to_vec());
+            }
+        }
+        RunResult {
+            params,
+            logits,
+            grads,
+        }
+    })
+    .join()
+    .expect("training thread panicked")
+}
+
+fn assert_bitwise(a: &[f32], b: &[f32], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}[{i}]: {x} != {y} (bitwise)"
+        );
+    }
+}
+
+#[test]
+fn cifar_quick_trajectory_is_bitwise_identical_across_thread_counts() {
+    let base = train_at(1, 3);
+    for threads in [2usize, 7] {
+        let run = train_at(threads, 3);
+        assert_bitwise(
+            base.logits.as_slice(),
+            run.logits.as_slice(),
+            &format!("logits@t{threads}"),
+        );
+        assert_eq!(base.grads.len(), run.grads.len());
+        for (i, (g1, gt)) in base.grads.iter().zip(&run.grads).enumerate() {
+            assert_bitwise(g1, gt, &format!("grad{i}@t{threads}"));
+        }
+        for (i, (p1, pt)) in base.params.iter().zip(&run.params).enumerate() {
+            assert_bitwise(p1, pt, &format!("param{i}@t{threads}"));
+        }
+    }
+}
+
+#[test]
+fn explicit_thread_setting_overrides_environment() {
+    std::thread::spawn(|| {
+        parallel::set_compute_threads(3);
+        assert_eq!(parallel::compute_threads(), 3);
+        parallel::reset_compute_threads();
+        assert!(parallel::compute_threads() >= 1);
+    })
+    .join()
+    .unwrap();
+}

@@ -169,7 +169,10 @@ mod tests {
     #[test]
     fn truncated_matrix_is_rejected() {
         let bytes = encode_matrix(&Matrix::filled(3, 3, 1.0));
-        assert_eq!(decode_matrix(&bytes[..bytes.len() - 1]), Err(DecodeError::Truncated));
+        assert_eq!(
+            decode_matrix(&bytes[..bytes.len() - 1]),
+            Err(DecodeError::Truncated)
+        );
         assert_eq!(decode_matrix(&bytes[..4]), Err(DecodeError::Truncated));
     }
 
@@ -200,6 +203,9 @@ mod tests {
         // one-way dense message is MN floats = MN*4 bytes (+8 header).
         assert_eq!(matrix_wire_bytes(4096, 4096), 4096 * 4096 * 4 + 8);
         // K=32 SF pairs: K(M+N) floats one way.
-        assert_eq!(sf_batch_wire_bytes(32, 4096, 4096), 32 * (4096 + 4096) * 4 + 12);
+        assert_eq!(
+            sf_batch_wire_bytes(32, 4096, 4096),
+            32 * (4096 + 4096) * 4 + 12
+        );
     }
 }

@@ -61,9 +61,20 @@ mod tests {
         gaussian(&mut m, 1.0, 2.0, &mut rng);
         let n = m.len() as f32;
         let mean = m.sum() / n;
-        let var = m.as_slice().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n;
-        assert!((mean - 1.0).abs() < 0.1, "sample mean {mean} too far from 1.0");
-        assert!((var - 4.0).abs() < 0.3, "sample variance {var} too far from 4.0");
+        let var = m
+            .as_slice()
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f32>()
+            / n;
+        assert!(
+            (mean - 1.0).abs() < 0.1,
+            "sample mean {mean} too far from 1.0"
+        );
+        assert!(
+            (var - 4.0).abs() < 0.3,
+            "sample variance {var} too far from 4.0"
+        );
     }
 
     #[test]

@@ -1,0 +1,362 @@
+//! Cache-blocked, panel-packed f32 GEMM kernel.
+//!
+//! One generic routine computes `C += A·B` over *strided* views of row-major
+//! storage, so the three public multiply flavours (`A·B`, `Aᵀ·B`, `A·Bᵀ`)
+//! are a single kernel with swapped strides — no transpose is ever
+//! materialised.
+//!
+//! Layout follows the classic BLIS/GotoBLAS decomposition: the shared
+//! dimension is split into `KC`-deep slabs, `B` slabs are packed into
+//! `NR`-wide column panels and `A` slabs into `MR`-tall row panels, and a
+//! fixed-size, branch-free microkernel accumulates an `MR × NR` register
+//! tile. The microkernel contains only ordinary `*`/`+` arithmetic on
+//! fixed-size arrays; it is compiled three times — baseline, AVX2 and
+//! AVX-512 — and the widest version the CPU supports is selected at runtime.
+//! The `#[target_feature]` copies merely give the autovectorizer wider
+//! registers: there are no intrinsics, and no FMA contraction, so all three
+//! produce bitwise identical results.
+//!
+//! # Determinism and float semantics
+//!
+//! The microkernel seeds its accumulator tile from `C` and writes the tile
+//! back, and the shared dimension advances in the middle loop, so each
+//! output element accumulates its `k` products **strictly in ascending-k
+//! order**, one multiply and one add per product — exactly the fold order
+//! of the naive triple loop. The blocked kernel is therefore bitwise
+//! identical to the naive reference on every shape (the tests assert
+//! this), and NaN/Inf propagate like plain IEEE arithmetic: there is no
+//! zero-skipping fast path.
+
+/// Depth of one packed slab of the shared dimension.
+const KC: usize = 256;
+/// Rows of `A` packed per pass (one `A` block stays L2-resident).
+const MC: usize = 96;
+/// Columns of `B` packed per pass (one `B` slab stays cache-resident).
+const NC: usize = 1024;
+
+/// A microkernel: multiplies one packed `A` row panel by one packed `B`
+/// column panel, accumulating into the `C` tile at the head of the third
+/// argument (`ldc` row stride).
+///
+/// # Safety
+///
+/// Implementations compiled with `#[target_feature]` must only be invoked
+/// after the corresponding CPU feature has been detected at runtime.
+type MicroKernel = unsafe fn(&[f32], &[f32], &mut [f32], usize);
+
+/// `C += A·B` for strided views.
+///
+/// * `A` is `m × k`: element `(i, p)` lives at `a[i*a_rs + p*a_cs]`.
+/// * `B` is `k × n`: element `(p, j)` lives at `b[p*b_rs + j*b_cs]`.
+/// * `C` is `m × n`, row-major and contiguous (`c.len() == m*n`).
+///
+/// Passing `(a_rs, a_cs) = (1, lda)` reads `A` transposed in place; the same
+/// trick on `B` yields `A·Bᵀ`.
+///
+/// # Panics
+///
+/// Panics (via slice indexing) if a stride/dimension combination addresses
+/// past the end of `a` or `b`, or if `c.len() != m*n`.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    a_rs: usize,
+    a_cs: usize,
+    b: &[f32],
+    b_rs: usize,
+    b_cs: usize,
+    c: &mut [f32],
+) {
+    assert_eq!(
+        c.len(),
+        m * n,
+        "gemm: C buffer is {} elements, want {m}x{n}",
+        c.len()
+    );
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let view_a = View {
+        data: a,
+        rs: a_rs,
+        cs: a_cs,
+    };
+    let view_b = View {
+        data: b,
+        rs: b_rs,
+        cs: b_cs,
+    };
+    match detect_isa() {
+        // Safety: `detect_isa` returned a variant only if the matching CPU
+        // feature is present, which is the contract of each microkernel.
+        Isa::Avx512 => gemm_blocked::<8, 32>(m, n, k, view_a, view_b, c, mk_avx512),
+        Isa::Avx2 => gemm_blocked::<4, 16>(m, n, k, view_a, view_b, c, mk_avx2),
+        Isa::Baseline => gemm_blocked::<4, 16>(m, n, k, view_a, view_b, c, mk_baseline),
+    }
+}
+
+/// Instruction-set tier the runtime dispatch selected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Isa {
+    Baseline,
+    Avx2,
+    Avx512,
+}
+
+#[cfg(target_arch = "x86_64")]
+fn detect_isa() -> Isa {
+    if is_x86_feature_detected!("avx512f") {
+        Isa::Avx512
+    } else if is_x86_feature_detected!("avx2") {
+        Isa::Avx2
+    } else {
+        Isa::Baseline
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn detect_isa() -> Isa {
+    Isa::Baseline
+}
+
+/// A strided read-only 2-D view into row-major storage.
+#[derive(Clone, Copy)]
+struct View<'a> {
+    data: &'a [f32],
+    rs: usize,
+    cs: usize,
+}
+
+impl View<'_> {
+    #[inline(always)]
+    fn at(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.rs + c * self.cs]
+    }
+}
+
+/// The blocked driver, generic over the microkernel tile shape.
+fn gemm_blocked<const MR: usize, const NR: usize>(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: View<'_>,
+    b: View<'_>,
+    c: &mut [f32],
+    mk: MicroKernel,
+) {
+    let kc_max = k.min(KC);
+    let mc_max = pad_to(m.min(MC), MR);
+    let nc_max = pad_to(n.min(NC), NR);
+    let mut apack = vec![0.0f32; mc_max * kc_max];
+    let mut bpack = vec![0.0f32; nc_max * kc_max];
+
+    let mut jc = 0;
+    while jc < n {
+        let nc = (n - jc).min(NC);
+        // The shared dimension advances in the *middle* loop so every C tile
+        // sees its k-slabs in ascending order — the determinism contract.
+        let mut pc = 0;
+        while pc < k {
+            let kc = (k - pc).min(KC);
+            pack_b::<NR>(&mut bpack, b, pc, kc, jc, nc);
+            let mut ic = 0;
+            while ic < m {
+                let mc = (m - ic).min(MC);
+                pack_a::<MR>(&mut apack, a, ic, mc, pc, kc);
+                run_tiles::<MR, NR>(&apack, &bpack, c, n, ic, mc, jc, nc, kc, mk);
+                ic += MC;
+            }
+            pc += KC;
+        }
+        jc += NC;
+    }
+}
+
+/// Rounds `x` up to a multiple of `to`.
+fn pad_to(x: usize, to: usize) -> usize {
+    x.div_ceil(to) * to
+}
+
+/// Packs the `mc × kc` block of `A` at `(ic, pc)` into `MR`-tall row panels,
+/// k-major within each panel (`[p][r]`), zero-padding the ragged last panel.
+fn pack_a<const MR: usize>(
+    apack: &mut [f32],
+    a: View<'_>,
+    ic: usize,
+    mc: usize,
+    pc: usize,
+    kc: usize,
+) {
+    let mut idx = 0;
+    let mut r0 = 0;
+    while r0 < mc {
+        let rows = (mc - r0).min(MR);
+        for p in 0..kc {
+            for r in 0..MR {
+                apack[idx] = if r < rows {
+                    a.at(ic + r0 + r, pc + p)
+                } else {
+                    0.0
+                };
+                idx += 1;
+            }
+        }
+        r0 += MR;
+    }
+}
+
+/// Packs the `kc × nc` block of `B` at `(pc, jc)` into `NR`-wide column
+/// panels, k-major within each panel (`[p][j]`), zero-padding the ragged
+/// last panel.
+fn pack_b<const NR: usize>(
+    bpack: &mut [f32],
+    b: View<'_>,
+    pc: usize,
+    kc: usize,
+    jc: usize,
+    nc: usize,
+) {
+    let mut idx = 0;
+    let mut j0 = 0;
+    while j0 < nc {
+        let cols = (nc - j0).min(NR);
+        for p in 0..kc {
+            for j in 0..NR {
+                bpack[idx] = if j < cols {
+                    b.at(pc + p, jc + j0 + j)
+                } else {
+                    0.0
+                };
+                idx += 1;
+            }
+        }
+        j0 += NR;
+    }
+}
+
+/// Sweeps the microkernel over every `MR × NR` tile of the packed block.
+#[allow(clippy::too_many_arguments)]
+fn run_tiles<const MR: usize, const NR: usize>(
+    apack: &[f32],
+    bpack: &[f32],
+    c: &mut [f32],
+    ldc: usize,
+    ic: usize,
+    mc: usize,
+    jc: usize,
+    nc: usize,
+    kc: usize,
+    mk: MicroKernel,
+) {
+    let mut r0 = 0;
+    let mut apanel_idx = 0;
+    while r0 < mc {
+        let mr = (mc - r0).min(MR);
+        let apanel = &apack[apanel_idx * kc * MR..(apanel_idx + 1) * kc * MR];
+        let mut j0 = 0;
+        let mut bpanel_idx = 0;
+        while j0 < nc {
+            let nr = (nc - j0).min(NR);
+            let bpanel = &bpack[bpanel_idx * kc * NR..(bpanel_idx + 1) * kc * NR];
+            let coff = (ic + r0) * ldc + jc + j0;
+            if mr == MR && nr == NR {
+                // Safety: `mk` matches the ISA verified by `detect_isa`.
+                unsafe { mk(apanel, bpanel, &mut c[coff..], ldc) };
+            } else {
+                microkernel_edge::<MR, NR>(apanel, bpanel, &mut c[coff..], ldc, mr, nr);
+            }
+            j0 += NR;
+            bpanel_idx += 1;
+        }
+        r0 += MR;
+        apanel_idx += 1;
+    }
+}
+
+/// The register-tiled inner loop on a full `MR × NR` tile. The accumulator
+/// is seeded from `C` and written back whole, so the per-element fold order
+/// is ascending k with one mul and one add per product.
+#[inline(always)]
+fn microkernel_body<const MR: usize, const NR: usize>(
+    apanel: &[f32],
+    bpanel: &[f32],
+    c: &mut [f32],
+    ldc: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for (r, row) in acc.iter_mut().enumerate() {
+        row.copy_from_slice(&c[r * ldc..r * ldc + NR]);
+    }
+    for (ak, bk) in apanel.chunks_exact(MR).zip(bpanel.chunks_exact(NR)) {
+        for (r, row) in acc.iter_mut().enumerate() {
+            let a = ak[r];
+            for (j, x) in row.iter_mut().enumerate() {
+                *x += a * bk[j];
+            }
+        }
+    }
+    for (r, row) in acc.iter().enumerate() {
+        c[r * ldc..r * ldc + NR].copy_from_slice(row);
+    }
+}
+
+/// Baseline microkernel (no feature requirements; `unsafe fn` only to share
+/// the [`MicroKernel`] signature).
+unsafe fn mk_baseline(apanel: &[f32], bpanel: &[f32], c: &mut [f32], ldc: usize) {
+    microkernel_body::<4, 16>(apanel, bpanel, c, ldc);
+}
+
+/// AVX2 compilation of the identical arithmetic (wider autovectorization,
+/// same operations in the same order — bitwise identical results).
+///
+/// # Safety
+///
+/// Caller must have verified `avx2` via `is_x86_feature_detected!`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn mk_avx2(apanel: &[f32], bpanel: &[f32], c: &mut [f32], ldc: usize) {
+    microkernel_body::<4, 16>(apanel, bpanel, c, ldc);
+}
+
+/// AVX-512 compilation of the identical arithmetic.
+///
+/// # Safety
+///
+/// Caller must have verified `avx512f` via `is_x86_feature_detected!`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn mk_avx512(apanel: &[f32], bpanel: &[f32], c: &mut [f32], ldc: usize) {
+    microkernel_body::<8, 32>(apanel, bpanel, c, ldc);
+}
+
+/// Ragged edge tiles: same arithmetic through a local tile, touching only
+/// the `mr × nr` valid region of `C`. Zero-padded packing lanes multiply
+/// into accumulator lanes that are never written back (a padding zero times
+/// a NaN stays in a dead lane, so padding cannot leak into results).
+fn microkernel_edge<const MR: usize, const NR: usize>(
+    apanel: &[f32],
+    bpanel: &[f32],
+    c: &mut [f32],
+    ldc: usize,
+    mr: usize,
+    nr: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for (r, row) in acc.iter_mut().enumerate().take(mr) {
+        row[..nr].copy_from_slice(&c[r * ldc..r * ldc + nr]);
+    }
+    for (ak, bk) in apanel.chunks_exact(MR).zip(bpanel.chunks_exact(NR)) {
+        for (r, row) in acc.iter_mut().enumerate() {
+            let a = ak[r];
+            for (j, x) in row.iter_mut().enumerate() {
+                *x += a * bk[j];
+            }
+        }
+    }
+    for (r, row) in acc.iter().enumerate().take(mr) {
+        c[r * ldc..r * ldc + nr].copy_from_slice(&row[..nr]);
+    }
+}

@@ -9,14 +9,17 @@
 //! in-process transport to account for every byte that would cross the
 //! network.
 //!
-//! The kernels are deliberately straightforward (no SIMD intrinsics, no
-//! unsafe): the reproduction's performance claims come from the communication
-//! architecture and the cluster simulator, not from raw FLOPs, and
-//! deterministic, easily-audited math makes the distributed-equals-serial
-//! equivalence tests meaningful.
+//! The GEMM family is backed by the cache-blocked, panel-packed kernel in
+//! [`kernel`]. It contains no SIMD intrinsics — only fixed-size safe
+//! arithmetic compiled per ISA tier and selected at runtime — and it
+//! preserves the naive ascending-`k` fold order, so results stay bitwise
+//! deterministic and the distributed-equals-serial equivalence tests remain
+//! meaningful. The naive reference kernels are retained on [`Matrix`]
+//! (`*_naive`) as differential-test oracles.
 
 pub mod bytesio;
 pub mod init;
+pub mod kernel;
 pub mod matrix;
 pub mod quantize;
 pub mod sf;

@@ -1,7 +1,17 @@
 //! Row-major dense `f32` matrices and the kernels used by the NN engine.
+//!
+//! The multiply family (`matmul`, `matmul_tn`, `matmul_nt`) routes through
+//! the blocked GEMM in [`crate::kernel`], which folds each output element in
+//! ascending-`k` order — the same order as the retained `*_naive` reference
+//! kernels — so blocked and naive results are bitwise identical. The
+//! `*_rows_into` variants compute a contiguous range of output rows into a
+//! caller-provided slice; they are the building block of the batch-parallel
+//! layer kernels, which partition output rows across threads without
+//! changing any per-element fold order.
 
+use crate::kernel;
 use std::fmt;
-use std::ops::{Index, IndexMut};
+use std::ops::{Index, IndexMut, Range};
 
 /// A dense, row-major `f32` matrix.
 ///
@@ -166,13 +176,24 @@ impl Matrix {
         }
     }
 
-    /// Returns the transpose as a new matrix.
+    /// Returns the transpose as a new matrix (cache-blocked copy).
     pub fn transposed(&self) -> Matrix {
+        const TB: usize = 32;
         let mut t = Matrix::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                t[(c, r)] = self[(r, c)];
+        let mut rb = 0;
+        while rb < self.rows {
+            let re = (rb + TB).min(self.rows);
+            let mut cb = 0;
+            while cb < self.cols {
+                let ce = (cb + TB).min(self.cols);
+                for r in rb..re {
+                    for c in cb..ce {
+                        t.data[c * self.rows + r] = self.data[r * self.cols + c];
+                    }
+                }
+                cb = ce;
             }
+            rb = re;
         }
         t
     }
@@ -189,22 +210,38 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.rows, other.cols);
-        // ikj loop order keeps the inner loop contiguous for both the output
-        // row and the `other` row, which matters for the conv layers.
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self[(i, k)];
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = other.row(k);
-                let out_row = out.row_mut(i);
-                for (o, &b) in out_row.iter_mut().zip(orow) {
-                    *o += a * b;
-                }
-            }
-        }
+        self.matmul_rows_into(other, 0..self.rows, out.as_mut_slice());
         out
+    }
+
+    /// Accumulates rows `rows` of `self * other` into `out`, which must hold
+    /// exactly `rows.len() * other.cols()` elements (the corresponding output
+    /// rows). An empty range is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch, an out-of-bounds range, or a wrong-sized
+    /// `out`.
+    pub fn matmul_rows_into(&self, other: &Matrix, rows: Range<usize>, out: &mut [f32]) {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        assert!(rows.end <= self.rows, "matmul_rows_into: row range OOB");
+        let m = rows.len();
+        kernel::gemm(
+            m,
+            other.cols,
+            self.cols,
+            &self.data[rows.start * self.cols..],
+            self.cols,
+            1,
+            &other.data,
+            other.cols,
+            1,
+            out,
+        );
     }
 
     /// Matrix product `selfᵀ * other` without materialising the transpose.
@@ -215,20 +252,39 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.cols, other.cols);
-        for k in 0..self.rows {
-            let arow = self.row(k);
-            let brow = other.row(k);
-            for (i, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = out.row_mut(i);
-                for (o, &b) in out_row.iter_mut().zip(brow) {
-                    *o += a * b;
-                }
-            }
-        }
+        self.matmul_tn_rows_into(other, 0..self.cols, out.as_mut_slice());
         out
+    }
+
+    /// Accumulates rows `rows` of `selfᵀ * other` into `out` (output rows
+    /// correspond to *columns* of `self`). `out` must hold exactly
+    /// `rows.len() * other.cols()` elements; an empty range is a no-op.
+    pub fn matmul_tn_rows_into(&self, other: &Matrix, rows: Range<usize>, out: &mut [f32]) {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_tn shape mismatch: ({}x{})ᵀ * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        assert!(rows.end <= self.cols, "matmul_tn_rows_into: row range OOB");
+        let m = rows.len();
+        if m == 0 {
+            return;
+        }
+        // Row `i` of the transposed view starts at element `i` with the
+        // original column stride, so offsetting the data by `rows.start`
+        // shifts the view down without copying.
+        kernel::gemm(
+            m,
+            other.cols,
+            self.rows,
+            &self.data[rows.start..],
+            1,
+            self.cols,
+            &other.data,
+            other.cols,
+            1,
+            out,
+        );
     }
 
     /// Matrix product `self * otherᵀ` without materialising the transpose.
@@ -239,15 +295,92 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.rows, other.rows);
+        self.matmul_nt_rows_into(other, 0..self.rows, out.as_mut_slice());
+        out
+    }
+
+    /// Accumulates rows `rows` of `self * otherᵀ` into `out`, which must
+    /// hold exactly `rows.len() * other.rows()` elements; an empty range is
+    /// a no-op.
+    pub fn matmul_nt_rows_into(&self, other: &Matrix, rows: Range<usize>, out: &mut [f32]) {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_nt shape mismatch: {}x{} * ({}x{})ᵀ",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        assert!(rows.end <= self.rows, "matmul_nt_rows_into: row range OOB");
+        let m = rows.len();
+        kernel::gemm(
+            m,
+            other.rows,
+            self.cols,
+            &self.data[rows.start * self.cols..],
+            self.cols,
+            1,
+            &other.data,
+            1,
+            other.cols,
+            out,
+        );
+    }
+
+    /// Naive `self * other` reference: plain triple loop, ascending-`k`
+    /// fold, no fast paths. Retained as the differential-test oracle for the
+    /// blocked kernel — the blocked result must match it bitwise.
+    pub fn matmul_naive(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
         for i in 0..self.rows {
-            let arow = self.row(i);
-            for j in 0..other.rows {
-                let brow = other.row(j);
+            for j in 0..other.cols {
                 let mut acc = 0.0f32;
-                for (&a, &b) in arow.iter().zip(brow) {
-                    acc += a * b;
+                for k in 0..self.cols {
+                    acc += self.data[i * self.cols + k] * other.data[k * other.cols + j];
                 }
-                out[(i, j)] = acc;
+                out.data[i * other.cols + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// Naive `selfᵀ * other` reference (see [`Matrix::matmul_naive`]).
+    pub fn matmul_tn_naive(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_tn shape mismatch: ({}x{})ᵀ * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for i in 0..self.cols {
+            for j in 0..other.cols {
+                let mut acc = 0.0f32;
+                for k in 0..self.rows {
+                    acc += self.data[k * self.cols + i] * other.data[k * other.cols + j];
+                }
+                out.data[i * other.cols + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// Naive `self * otherᵀ` reference (see [`Matrix::matmul_naive`]).
+    pub fn matmul_nt_naive(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_nt shape mismatch: {}x{} * ({}x{})ᵀ",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            for j in 0..other.rows {
+                let mut acc = 0.0f32;
+                for k in 0..self.cols {
+                    acc += self.data[i * self.cols + k] * other.data[j * other.cols + k];
+                }
+                out.data[i * other.rows + j] = acc;
             }
         }
         out
@@ -257,13 +390,12 @@ impl Matrix {
     ///
     /// `u` must have `self.rows()` elements and `v` must have `self.cols()`.
     /// This is the reconstruction kernel of sufficient-factor broadcasting.
+    /// The loop body is branch-free: a zero in `u` still multiplies through,
+    /// so NaN/Inf in `v` propagate per IEEE semantics.
     pub fn rank1_update(&mut self, alpha: f32, u: &[f32], v: &[f32]) {
         assert_eq!(u.len(), self.rows, "rank1_update: u length mismatch");
         assert_eq!(v.len(), self.cols, "rank1_update: v length mismatch");
         for (r, &uu) in u.iter().enumerate() {
-            if uu == 0.0 {
-                continue;
-            }
             let s = alpha * uu;
             let row = self.row_mut(r);
             for (o, &vv) in row.iter_mut().zip(v) {
@@ -413,7 +545,11 @@ mod tests {
     #[test]
     fn matmul_nt_equals_explicit_transpose() {
         let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
-        let b = m(4, 3, &[1.0, 0.0, 2.0, 3.0, 1.0, 1.0, 0.0, 2.0, 5.0, 1.0, 1.0, 1.0]);
+        let b = m(
+            4,
+            3,
+            &[1.0, 0.0, 2.0, 3.0, 1.0, 1.0, 0.0, 2.0, 5.0, 1.0, 1.0, 1.0],
+        );
         let fast = a.matmul_nt(&b);
         let slow = a.matmul(&b.transposed());
         assert_eq!(fast, slow);

@@ -90,7 +90,11 @@ impl QuantizedGrad {
         for (i, v) in out.as_mut_slice().iter_mut().enumerate() {
             let word = self.bits[i / 64];
             let bit = (word >> (i % 64)) & 1;
-            *v = if bit == 1 { self.pos_scale } else { self.neg_scale };
+            *v = if bit == 1 {
+                self.pos_scale
+            } else {
+                self.neg_scale
+            };
         }
         out
     }
@@ -153,8 +157,16 @@ impl OneBitQuantizer {
                 neg_cnt += 1;
             }
         }
-        let pos_scale = if pos_cnt > 0 { (pos_sum / pos_cnt as f64) as f32 } else { 0.0 };
-        let neg_scale = if neg_cnt > 0 { (neg_sum / neg_cnt as f64) as f32 } else { 0.0 };
+        let pos_scale = if pos_cnt > 0 {
+            (pos_sum / pos_cnt as f64) as f32
+        } else {
+            0.0
+        };
+        let neg_scale = if neg_cnt > 0 {
+            (neg_sum / neg_cnt as f64) as f32
+        } else {
+            0.0
+        };
 
         let mut bits = vec![0u64; n.div_ceil(64)];
         for (i, &v) in eff.as_slice().iter().enumerate() {
@@ -277,7 +289,13 @@ mod tests {
 
     #[test]
     fn bit_packing_roundtrip_signs() {
-        let g = Matrix::from_vec(1, 70, (0..70).map(|i| if i % 3 == 0 { 1.0 } else { -1.0 }).collect());
+        let g = Matrix::from_vec(
+            1,
+            70,
+            (0..70)
+                .map(|i| if i % 3 == 0 { 1.0 } else { -1.0 })
+                .collect(),
+        );
         let mut q = OneBitQuantizer::new(1, 70);
         let dec = q.quantize(&g).dequantize();
         for (i, &v) in dec.as_slice().iter().enumerate() {

@@ -30,7 +30,10 @@ impl SufficientFactor {
     ///
     /// Panics if either vector is empty.
     pub fn new(u: Vec<f32>, v: Vec<f32>) -> Self {
-        assert!(!u.is_empty() && !v.is_empty(), "sufficient factors must be non-empty");
+        assert!(
+            !u.is_empty() && !v.is_empty(),
+            "sufficient factors must be non-empty"
+        );
         Self { u, v }
     }
 
@@ -134,7 +137,9 @@ impl SfBatch {
     ///
     /// Panics if the batch is empty.
     pub fn reconstruct(&self) -> Matrix {
-        let (m, n) = self.shape().expect("cannot reconstruct from an empty SfBatch");
+        let (m, n) = self
+            .shape()
+            .expect("cannot reconstruct from an empty SfBatch");
         let mut g = Matrix::zeros(m, n);
         self.accumulate_into(&mut g, 1.0);
         g

@@ -32,6 +32,15 @@ fn sf_strategy(max_dim: usize, max_k: usize) -> impl Strategy<Value = SfBatch> {
     })
 }
 
+/// Bitwise equality — `==` would treat `-0.0 == 0.0` and `NaN != NaN`.
+fn bits_equal(a: &Matrix, b: &Matrix) -> bool {
+    a.shape() == b.shape()
+        && a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
 /// Naive reference matmul used to validate the optimised loop orders.
 fn reference_matmul(a: &Matrix, b: &Matrix) -> Matrix {
     let mut out = Matrix::zeros(a.rows(), b.cols());
@@ -136,6 +145,51 @@ proptest! {
         prop_assert_eq!(q.residual().clone(), expect);
     }
 
+    /// The blocked kernel must be *bitwise* identical to the naive jik
+    /// reference on arbitrary shapes — including dimensions straddling the
+    /// KC/MC tile boundaries exercised separately below. This is the
+    /// determinism contract the distributed runtime builds on.
+    #[test]
+    fn blocked_matmul_is_bitwise_naive(
+        a in matrix_strategy(40),
+        bcols in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut b = Matrix::zeros(a.cols(), bcols);
+        for v in b.as_mut_slice() { *v = rng.gen_range(-5.0..5.0); }
+        prop_assert!(bits_equal(&a.matmul(&b), &a.matmul_naive(&b)));
+        let at = a.transposed();
+        prop_assert!(bits_equal(&b.matmul_tn(&at), &b.matmul_tn_naive(&at)));
+        let bt = b.transposed();
+        prop_assert!(bits_equal(&a.matmul_nt(&bt), &a.matmul_nt_naive(&bt)));
+    }
+
+    /// Accumulating a product row-range by row-range must compose to the
+    /// whole product bitwise, for any split point — this is what makes the
+    /// batch-parallel layer kernels thread-count independent.
+    #[test]
+    fn row_range_products_compose_bitwise(
+        a in matrix_strategy(24),
+        bcols in 1usize..16,
+        split_num in 0usize..1000,
+        seed in 0u64..1000,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut b = Matrix::zeros(a.cols(), bcols);
+        for v in b.as_mut_slice() { *v = rng.gen_range(-5.0..5.0); }
+        let whole = a.matmul(&b);
+        let split = split_num % (a.rows() + 1);
+        let mut pieced = Matrix::zeros(a.rows(), bcols);
+        let w = bcols;
+        // Empty ranges (split == 0 or == rows) must be harmless no-ops.
+        a.matmul_rows_into(&b, 0..split, &mut pieced.as_mut_slice()[..split * w]);
+        a.matmul_rows_into(&b, split..a.rows(), &mut pieced.as_mut_slice()[split * w..]);
+        prop_assert!(bits_equal(&pieced, &whole));
+    }
+
     #[test]
     fn quantizer_conserves_cumulative_mass(
         m in matrix_strategy(6),
@@ -155,4 +209,67 @@ proptest! {
         }
         prop_assert!(decoded_sum.max_abs_diff(&input_sum) <= 1e-2 * (1.0 + input_sum.max_abs()));
     }
+}
+
+/// Fixed adversarial shapes around the blocked kernel's tile boundaries
+/// (KC=256, MC=96, NC=1024, MR/NR register tiles) — the exact dimensions a
+/// random strategy is unlikely to hit.
+#[test]
+fn blocked_matmul_bitwise_on_tile_boundary_shapes() {
+    let shapes: &[(usize, usize, usize)] = &[
+        (1, 1, 1),
+        (1, 7, 300),
+        (300, 1, 7),
+        (4, 16, 256),
+        (5, 17, 257),
+        (96, 1024, 256),
+        (97, 1025, 300),
+        (130, 70, 513),
+    ];
+    for &(m, n, k) in shapes {
+        let mut a = Matrix::zeros(m, k);
+        let mut b = Matrix::zeros(k, n);
+        let mut state = 0x1234_5678_u64 ^ ((m * 31 + n * 7 + k) as u64);
+        for v in a.as_mut_slice().iter_mut().chain(b.as_mut_slice()) {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            *v = ((state >> 40) as f32) / (1u64 << 24) as f32 - 0.5;
+        }
+        let fast = a.matmul(&b);
+        let slow = a.matmul_naive(&b);
+        assert!(
+            fast.as_slice()
+                .iter()
+                .zip(slow.as_slice())
+                .all(|(x, y)| x.to_bits() == y.to_bits()),
+            "blocked != naive at shape {m}x{k}x{n}"
+        );
+    }
+}
+
+/// NaN and infinity must flow through the kernels — the seed's zero-skip
+/// fast path silently swallowed `0 * NaN`.
+#[test]
+fn non_finite_values_propagate_through_kernels() {
+    let mut a = Matrix::zeros(3, 3);
+    a[(1, 1)] = f32::NAN;
+    let b = Matrix::filled(3, 3, 1.0);
+    assert!(a.matmul(&b)[(1, 0)].is_nan(), "matmul must propagate NaN");
+    assert!(
+        a.matmul_tn(&b)[(1, 0)].is_nan(),
+        "matmul_tn must propagate NaN"
+    );
+    assert!(
+        b.matmul_nt(&a)[(0, 1)].is_nan(),
+        "matmul_nt must propagate NaN"
+    );
+
+    let mut m = Matrix::zeros(2, 2);
+    m.rank1_update(1.0, &[0.0, 1.0], &[f32::INFINITY, 2.0]);
+    assert!(
+        m[(0, 0)].is_nan(),
+        "rank1_update: 0 * inf must produce NaN, not skip"
+    );
+    assert_eq!(m[(1, 0)], f32::INFINITY);
 }

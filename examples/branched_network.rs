@@ -21,20 +21,45 @@ fn build(classes: usize, seed: u64) -> GraphNetwork {
     let mut rng = StdRng::seed_from_u64(seed);
     let shape = TensorShape::new(3, 8, 8);
     let mut g = GraphNetwork::new(shape);
-    let stem = g.add_layer(g.input(), Box::new(Conv2d::new("stem", shape, 8, 3, 1, 1, &mut rng)));
+    let stem = g.add_layer(
+        g.input(),
+        Box::new(Conv2d::new("stem", shape, 8, 3, 1, 1, &mut rng)),
+    );
     let s = g.node_shape(stem);
-    let b1 = g.add_layer(stem, Box::new(Conv2d::new("branch1/1x1", s, 4, 1, 1, 0, &mut rng)));
-    let b2a = g.add_layer(stem, Box::new(Conv2d::new("branch2/reduce", s, 4, 1, 1, 0, &mut rng)));
+    let b1 = g.add_layer(
+        stem,
+        Box::new(Conv2d::new("branch1/1x1", s, 4, 1, 1, 0, &mut rng)),
+    );
+    let b2a = g.add_layer(
+        stem,
+        Box::new(Conv2d::new("branch2/reduce", s, 4, 1, 1, 0, &mut rng)),
+    );
     let b2 = g.add_layer(
         b2a,
-        Box::new(Conv2d::new("branch2/3x3", g.node_shape(b2a), 8, 3, 1, 1, &mut rng)),
+        Box::new(Conv2d::new(
+            "branch2/3x3",
+            g.node_shape(b2a),
+            8,
+            3,
+            1,
+            1,
+            &mut rng,
+        )),
     );
     let cat = g.concat(&[b1, b2]);
     let relu = g.add_layer(cat, Box::new(ReLU::new("relu", g.node_shape(cat))));
-    let pool = g.add_layer(relu, Box::new(MaxPool2d::new("pool", g.node_shape(relu), 2, 2)));
+    let pool = g.add_layer(
+        relu,
+        Box::new(MaxPool2d::new("pool", g.node_shape(relu), 2, 2)),
+    );
     let fc = g.add_layer(
         pool,
-        Box::new(FullyConnected::new("classifier", g.node_shape(pool).len(), classes, &mut rng)),
+        Box::new(FullyConnected::new(
+            "classifier",
+            g.node_shape(pool).len(),
+            classes,
+            &mut rng,
+        )),
     );
     g.set_output(fc);
     g
@@ -42,7 +67,11 @@ fn build(classes: usize, seed: u64) -> GraphNetwork {
 
 fn main() {
     let mut g = build(4, 7);
-    println!("built a two-branch DAG with {} slots, {} trainable", g.num_slots(), g.trainable_slots().len());
+    println!(
+        "built a two-branch DAG with {} slots, {} trainable",
+        g.num_slots(),
+        g.trainable_slots().len()
+    );
 
     // Show the WFBP hook order: gradients complete reverse-topologically,
     // so the classifier's sync starts while both conv branches still compute.
@@ -61,7 +90,10 @@ fn main() {
         Partition::default_kv_pairs(),
     );
     for (slot, scheme) in coord.scheme_assignment() {
-        println!("  slot {slot:2} {:18} -> {scheme}", coord.layers()[slot].name);
+        println!(
+            "  slot {slot:2} {:18} -> {scheme}",
+            coord.layers()[slot].name
+        );
     }
 
     // Train it distributed across 4 in-process machines.

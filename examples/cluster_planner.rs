@@ -35,7 +35,10 @@ fn main() {
     );
 
     println!("efficiency (speedup / nodes) by bandwidth, Poseidon vs PS-only:");
-    println!("{:>8} {:>7} {:>14} {:>14}", "nodes", "GbE", "Poseidon", "PS-only");
+    println!(
+        "{:>8} {:>7} {:>14} {:>14}",
+        "nodes", "GbE", "Poseidon", "PS-only"
+    );
     for &nodes in &[8usize, 16, 32] {
         for &bw in &[1.0, 5.0, 10.0, 25.0, 40.0] {
             let psd = simulate(&model, &SimConfig::system(System::Poseidon, nodes, bw));
@@ -62,6 +65,9 @@ fn main() {
             "=> {} scales to 16 nodes at >=90% efficiency with {bw:.0} GbE under Poseidon.",
             model.name
         ),
-        None => println!("=> even 40 GbE cannot hold 90% efficiency at 16 nodes for {}.", model.name),
+        None => println!(
+            "=> even 40 GbE cannot hold 90% efficiency at 16 nodes for {}.",
+            model.name
+        ),
     }
 }

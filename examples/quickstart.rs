@@ -32,7 +32,11 @@ fn main() {
         println!("  layer {layer:2} -> {scheme}");
     }
 
-    println!("\nloss: first {:.3} -> last {:.3}", result.losses[0], result.losses.last().unwrap());
+    println!(
+        "\nloss: first {:.3} -> last {:.3}",
+        result.losses[0],
+        result.losses.last().unwrap()
+    );
     let mut net = result.net;
     let err = evaluate_error(&mut net, &test_set);
     println!("final top-1 test error: {err:.3}");

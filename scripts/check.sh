@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Repository gate: formatting, lints, and the full test suite.
+# Run from the repo root: ./scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (warnings are errors) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test =="
+cargo test -q --workspace
+
+echo "All checks passed."

@@ -33,13 +33,27 @@ fn branched(classes: usize, seed: u64) -> GraphNetwork {
     );
     let b2 = g.add_layer(
         b2r,
-        Box::new(Conv2d::new("b2_3x3", g.node_shape(b2r), 6, 3, 1, 1, &mut rng)),
+        Box::new(Conv2d::new(
+            "b2_3x3",
+            g.node_shape(b2r),
+            6,
+            3,
+            1,
+            1,
+            &mut rng,
+        )),
     );
     let merged = g.concat(&[b1, b2]);
     let relu = g.add_layer(merged, Box::new(ReLU::new("relu", g.node_shape(merged))));
-    let pool = g.add_layer(relu, Box::new(MaxPool2d::new("pool", g.node_shape(relu), 2, 2)));
+    let pool = g.add_layer(
+        relu,
+        Box::new(MaxPool2d::new("pool", g.node_shape(relu), 2, 2)),
+    );
     let flat = g.node_shape(pool).len();
-    let fc = g.add_layer(pool, Box::new(FullyConnected::new("fc", flat, classes, &mut rng)));
+    let fc = g.add_layer(
+        pool,
+        Box::new(FullyConnected::new("fc", flat, classes, &mut rng)),
+    );
     g.set_output(fc);
     g
 }
@@ -56,7 +70,10 @@ fn branched_network_trains_distributed_with_hybrid_comm() {
     let result = train(&|| branched(4, 33), &train_set, None, &cfg);
     let mut net = result.net;
     let err = evaluate_error(&mut net, &test_set);
-    assert!(err < 0.25, "branched distributed training should learn, err {err}");
+    assert!(
+        err < 0.25,
+        "branched distributed training should learn, err {err}"
+    );
     assert!(result.losses.last().unwrap() < &result.losses[0]);
 }
 
@@ -104,6 +121,9 @@ fn structural_nodes_get_no_syncers() {
     assert_eq!(trainable, g.trainable_slots());
     // Input node (0) and the concat node are untrainable entries.
     assert!(!c.layers()[0].is_trainable());
-    let concat_entry = c.layers().iter().find(|l| l.name.starts_with("<structural"));
+    let concat_entry = c
+        .layers()
+        .iter()
+        .find(|l| l.name.starts_with("<structural"));
     assert!(concat_entry.is_some(), "concat slot recorded as structural");
 }

@@ -115,5 +115,9 @@ fn repeated_runs_are_bitwise_deterministic() {
     assert_eq!(a.net.max_param_diff(&b.net), 0.0);
     let a1 = run(SchemePolicy::OneBit, 3, 5);
     let b1 = run(SchemePolicy::OneBit, 3, 5);
-    assert_eq!(a1.net.max_param_diff(&b1.net), 0.0, "even the lossy path is deterministic");
+    assert_eq!(
+        a1.net.max_param_diff(&b1.net),
+        0.0,
+        "even the lossy path is deterministic"
+    );
 }

@@ -15,9 +15,15 @@ fn speedup(model: &zoo::ModelSpec, sys: System, nodes: usize, bw: f64) -> f64 {
 #[test]
 fn abstract_claim_vgg19_22k_at_10gbe() {
     let s = speedup(&zoo::vgg19_22k(), System::Poseidon, 16, 10.0);
-    assert!(s > 14.0, "Poseidon VGG19-22K @16 nodes/10GbE: {s}x (paper: 15.5x)");
+    assert!(
+        s > 14.0,
+        "Poseidon VGG19-22K @16 nodes/10GbE: {s}x (paper: 15.5x)"
+    );
     let ps = speedup(&zoo::vgg19_22k(), System::WfbpPs, 16, 10.0);
-    assert!(ps < 0.6 * s, "PS-only should collapse at 10GbE: {ps}x vs {s}x");
+    assert!(
+        ps < 0.6 * s,
+        "PS-only should collapse at 10GbE: {ps}x vs {s}x"
+    );
 }
 
 /// Abstract claim: "31.5x speed-up with 32 single-GPU machines on
@@ -26,8 +32,14 @@ fn abstract_claim_vgg19_22k_at_10gbe() {
 fn abstract_claim_inception_at_32_nodes() {
     let psd = speedup(&zoo::inception_v3(), System::Poseidon, 32, 40.0);
     let tf = speedup(&zoo::inception_v3(), System::TensorFlow, 32, 40.0);
-    assert!(psd > 30.0, "Poseidon Inception-V3 @32: {psd}x (paper: 31.5x)");
-    assert!(tf < 26.0 && tf > 14.0, "TF Inception-V3 @32: {tf}x (paper: ~20x)");
+    assert!(
+        psd > 30.0,
+        "Poseidon Inception-V3 @32: {psd}x (paper: 31.5x)"
+    );
+    assert!(
+        tf < 26.0 && tf > 14.0,
+        "TF Inception-V3 @32: {tf}x (paper: ~20x)"
+    );
     assert!(psd > 1.3 * tf, "Poseidon should beat TF by ~50%");
 }
 
@@ -37,9 +49,17 @@ fn abstract_claim_inception_at_32_nodes() {
 fn tf_fails_on_vgg_models() {
     for model in [zoo::vgg19(), zoo::vgg19_22k()] {
         let tf32 = speedup(&model, System::TensorFlow, 32, 40.0);
-        assert!(tf32 < 6.0, "{}: TF @32 should be far from linear: {tf32}x", model.name);
+        assert!(
+            tf32 < 6.0,
+            "{}: TF @32 should be far from linear: {tf32}x",
+            model.name
+        );
         let psd32 = speedup(&model, System::Poseidon, 32, 40.0);
-        assert!(psd32 > 29.0, "{}: Poseidon @32 near-linear: {psd32}x", model.name);
+        assert!(
+            psd32 > 29.0,
+            "{}: Poseidon @32 near-linear: {psd32}x",
+            model.name
+        );
     }
 }
 
@@ -67,7 +87,10 @@ fn hybrid_advantage_grows_as_bandwidth_shrinks() {
     let g10 = gain(10.0);
     let g20 = gain(20.0);
     let g40 = gain(40.0);
-    assert!(g10 > g20 && g20 >= g40, "gain must shrink with bandwidth: {g10} {g20} {g40}");
+    assert!(
+        g10 > g20 && g20 >= g40,
+        "gain must shrink with bandwidth: {g10} {g20} {g40}"
+    );
     assert!(g10 > 2.0, "at 10GbE the hybrid gain should be large: {g10}");
 }
 
@@ -92,7 +115,11 @@ fn adam_imbalance_and_speedup() {
         let max = g.iter().cloned().fold(0.0f64, f64::max);
         max / (g.iter().sum::<f64>() / g.len() as f64)
     };
-    assert!(imb(&adam.per_node_gbit) > 2.0, "Adam hotspot missing: {:?}", adam.per_node_gbit);
+    assert!(
+        imb(&adam.per_node_gbit) > 2.0,
+        "Adam hotspot missing: {:?}",
+        adam.per_node_gbit
+    );
     assert!(
         adam.speedup > 3.5 && adam.speedup < 6.5,
         "Adam @8 nodes: {}x (paper: ~5x)",

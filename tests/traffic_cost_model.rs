@@ -103,8 +103,8 @@ fn sfb_traffic_matches_table1_formula() {
     let result = run(SchemePolicy::AlwaysSfbForFc);
     let cluster = ClusterConfig::colocated(WORKERS, BATCH);
     // Table 1: per-node 2K(P1-1)(M+N) values per layer.
-    let analytic_values = costmodel::sfb_cost(HID, IN, &cluster)
-        + costmodel::sfb_cost(OUT, HID, &cluster);
+    let analytic_values =
+        costmodel::sfb_cost(HID, IN, &cluster) + costmodel::sfb_cost(OUT, HID, &cluster);
     let analytic_bytes = analytic_values * 4.0 * ITERS as f64;
     let measured: f64 = result
         .traffic
