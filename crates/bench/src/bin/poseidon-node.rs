@@ -1,0 +1,397 @@
+//! Multi-process distributed SGD over the TCP transport.
+//!
+//! Without `--endpoint` this binary is the launcher: it spawns `2P` copies of
+//! itself (`P` workers + `P` colocated KV shards) as separate OS processes on
+//! a localhost TCP mesh, waits for all of them, merges their per-process
+//! traffic ledgers, and asserts every worker converged to the bitwise-same
+//! replica. With `--endpoint N` it runs exactly one participant via
+//! [`poseidon::runtime::run_endpoint`].
+//!
+//! There is no control plane beyond the command line: every process derives
+//! the same deterministic run plan (model init, data partition, scheme
+//! assignment, chunk tables) from the same flags, exactly as the threaded
+//! `train` does — so a run here is comparable byte-for-byte with an
+//! in-process run of the same configuration.
+//!
+//! ```text
+//! cargo run --release -p poseidon-bench --bin poseidon-node -- \
+//!     --workers 3 --iters 5 --policy hybrid --base-port 46000
+//! ```
+
+use poseidon::config::{Partition, SchemePolicy};
+use poseidon::runtime::{flatten_model_params, run_endpoint, NodeOutcome, RuntimeConfig};
+use poseidon::transport::{TcpFabricSpec, TcpTransport, TrafficSnapshot, Transport};
+use poseidon_nn::data::Dataset;
+use poseidon_nn::layer::TensorShape;
+use poseidon_nn::presets;
+use std::process::{Command, ExitCode, Stdio};
+use std::time::Duration;
+
+#[derive(Clone)]
+struct Args {
+    workers: usize,
+    iters: usize,
+    batch: usize,
+    lr: f32,
+    momentum: f32,
+    policy: SchemePolicy,
+    pair_elems: usize,
+    base_port: u16,
+    seed: u64,
+    layers: Vec<usize>,
+    samples: usize,
+    timeout_s: u64,
+    endpoint: Option<usize>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            iters: 4,
+            batch: 8,
+            lr: 0.2,
+            momentum: 0.0,
+            policy: SchemePolicy::Hybrid,
+            pair_elems: 37,
+            base_port: 45000,
+            seed: 5,
+            layers: vec![12, 16, 8, 4],
+            samples: 96,
+            timeout_s: 60,
+            endpoint: None,
+        }
+    }
+}
+
+const USAGE: &str = "poseidon-node: multi-process distributed SGD over TCP
+  --workers N       worker count P (2P processes total)     [2]
+  --iters N         BSP iterations                          [4]
+  --batch N         per-worker minibatch                    [8]
+  --lr F            learning rate                           [0.2]
+  --momentum F      classical momentum                      [0.0]
+  --policy S        ps | hybrid | sfb | adam | onebit       [hybrid]
+  --pair-elems N    KV-pair size in f32 elements            [37]
+  --base-port N     first TCP port (2P consecutive used)    [45000]
+  --seed N          model/data seed                         [5]
+  --layers A,B,..   MLP layer sizes, >= 2 entries           [12,16,8,4]
+  --samples N       synthetic dataset size                  [96]
+  --timeout-s N     per-endpoint comm timeout, seconds      [60]
+  --endpoint N      run one endpoint (internal; launcher spawns these)";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        if flag == "--help" || flag == "-h" {
+            return Err(USAGE.to_string());
+        }
+        let val = it
+            .next()
+            .ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))?;
+        let bad = |e: &dyn std::fmt::Display| format!("bad value for {flag}: {e}");
+        match flag.as_str() {
+            "--workers" => args.workers = val.parse().map_err(|e| bad(&e))?,
+            "--iters" => args.iters = val.parse().map_err(|e| bad(&e))?,
+            "--batch" => args.batch = val.parse().map_err(|e| bad(&e))?,
+            "--lr" => args.lr = val.parse().map_err(|e| bad(&e))?,
+            "--momentum" => args.momentum = val.parse().map_err(|e| bad(&e))?,
+            "--policy" => {
+                args.policy = match val.as_str() {
+                    "ps" => SchemePolicy::AlwaysPs,
+                    "hybrid" => SchemePolicy::Hybrid,
+                    "sfb" => SchemePolicy::AlwaysSfbForFc,
+                    "adam" => SchemePolicy::AdamSf,
+                    "onebit" => SchemePolicy::OneBit,
+                    other => return Err(format!("unknown policy {other:?}\n{USAGE}")),
+                }
+            }
+            "--pair-elems" => args.pair_elems = val.parse().map_err(|e| bad(&e))?,
+            "--base-port" => args.base_port = val.parse().map_err(|e| bad(&e))?,
+            "--seed" => args.seed = val.parse().map_err(|e| bad(&e))?,
+            "--layers" => {
+                args.layers = val
+                    .split(',')
+                    .map(|s| s.trim().parse().map_err(|e| bad(&e)))
+                    .collect::<Result<_, _>>()?;
+                if args.layers.len() < 2 {
+                    return Err("--layers needs at least input,output".into());
+                }
+            }
+            "--samples" => args.samples = val.parse().map_err(|e| bad(&e))?,
+            "--timeout-s" => args.timeout_s = val.parse().map_err(|e| bad(&e))?,
+            "--endpoint" => args.endpoint = Some(val.parse().map_err(|e| bad(&e))?),
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    if args.workers == 0 {
+        return Err("--workers must be positive".into());
+    }
+    Ok(args)
+}
+
+fn runtime_config(a: &Args) -> RuntimeConfig {
+    RuntimeConfig {
+        policy: a.policy,
+        momentum: a.momentum,
+        partition: Partition::KvPairs {
+            pair_elems: a.pair_elems,
+        },
+        comm_timeout: Duration::from_secs(a.timeout_s),
+        ..RuntimeConfig::new(a.workers, a.batch, a.lr, a.iters)
+    }
+}
+
+fn dataset(a: &Args) -> Dataset {
+    Dataset::gaussian_clusters(
+        TensorShape::flat(a.layers[0]),
+        *a.layers.last().unwrap(),
+        a.samples,
+        0.3,
+        a.seed + 1,
+    )
+}
+
+fn f32s_to_hex(vals: &[f32]) -> String {
+    let mut s = String::with_capacity(vals.len() * 8);
+    for v in vals {
+        for b in v.to_le_bytes() {
+            s.push_str(&format!("{b:02x}"));
+        }
+    }
+    s
+}
+
+fn csv<T: std::fmt::Display>(vals: &[T]) -> String {
+    vals.iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// One endpoint's role in the mesh: joins, trains (or serves), prints its
+/// results as `key=value` lines for the launcher to scrape.
+fn run_one(a: &Args, me: usize) -> ExitCode {
+    let spec = TcpFabricSpec::colocated_loopback(a.workers, a.base_port);
+    assert!(me < 2 * a.workers, "endpoint {me} out of range");
+    let endpoint = match TcpTransport::connect(&spec, me) {
+        Ok(ep) => ep,
+        Err(e) => {
+            eprintln!("endpoint {me}: mesh connect failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let traffic = std::sync::Arc::clone(endpoint.traffic());
+    let cfg = runtime_config(a);
+    let data = dataset(a);
+    let layers = a.layers.clone();
+    let seed = a.seed;
+    let outcome = run_endpoint(
+        &move || presets::mlp(&layers, seed),
+        &data,
+        None,
+        &cfg,
+        endpoint,
+    );
+
+    println!("endpoint={me}");
+    println!("node={}", spec.node_of_endpoint[me]);
+    let snap = traffic.snapshot();
+    println!("tx={}", csv(&snap.tx));
+    println!("rx={}", csv(&snap.rx));
+    match outcome {
+        NodeOutcome::Worker { losses, net, .. } => {
+            println!("role=worker");
+            println!("losses={}", csv(&losses));
+            println!("params={}", f32s_to_hex(&flatten_model_params(&net)));
+        }
+        NodeOutcome::Server => println!("role=server"),
+    }
+    ExitCode::SUCCESS
+}
+
+/// Scraped output of one child process.
+struct ChildReport {
+    endpoint: usize,
+    role: String,
+    losses: Vec<f32>,
+    params: Option<String>,
+    traffic: TrafficSnapshot,
+}
+
+fn parse_report(endpoint: usize, stdout: &str) -> Result<ChildReport, String> {
+    let mut report = ChildReport {
+        endpoint,
+        role: String::new(),
+        losses: Vec::new(),
+        params: None,
+        traffic: TrafficSnapshot::zeros(0),
+    };
+    let parse_u64s = |v: &str| -> Result<Vec<u64>, String> {
+        v.split(',')
+            .map(|s| s.parse().map_err(|e| format!("endpoint {endpoint}: {e}")))
+            .collect()
+    };
+    for line in stdout.lines() {
+        let Some((key, val)) = line.split_once('=') else {
+            continue;
+        };
+        match key {
+            "endpoint" => {
+                let reported: usize = val.parse().map_err(|e| format!("{e}"))?;
+                if reported != endpoint {
+                    return Err(format!("child {endpoint} reported endpoint {reported}"));
+                }
+            }
+            "role" => report.role = val.to_string(),
+            "losses" => {
+                report.losses = val
+                    .split(',')
+                    .map(|s| s.parse().map_err(|e| format!("endpoint {endpoint}: {e}")))
+                    .collect::<Result<_, String>>()?;
+            }
+            "params" => report.params = Some(val.to_string()),
+            "tx" => report.traffic.tx = parse_u64s(val)?,
+            "rx" => report.traffic.rx = parse_u64s(val)?,
+            _ => {}
+        }
+    }
+    if report.role.is_empty() {
+        return Err(format!(
+            "endpoint {endpoint} produced no report — it likely died; output:\n{stdout}"
+        ));
+    }
+    Ok(report)
+}
+
+/// Launcher: spawn all `2P` endpoints first (each blocks in mesh connect
+/// until every peer is up, so spawn-then-wait is mandatory), then collect.
+fn launch(a: &Args) -> Result<(), String> {
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let n = 2 * a.workers;
+    let mut children = Vec::with_capacity(n);
+    for me in 0..n {
+        let child = Command::new(&exe)
+            .args([
+                "--workers".into(),
+                a.workers.to_string(),
+                "--iters".into(),
+                a.iters.to_string(),
+                "--batch".into(),
+                a.batch.to_string(),
+                "--lr".into(),
+                a.lr.to_string(),
+                "--momentum".into(),
+                a.momentum.to_string(),
+                "--policy".into(),
+                match a.policy {
+                    SchemePolicy::AlwaysPs => "ps".to_string(),
+                    SchemePolicy::Hybrid => "hybrid".to_string(),
+                    SchemePolicy::AlwaysSfbForFc => "sfb".to_string(),
+                    SchemePolicy::AdamSf => "adam".to_string(),
+                    SchemePolicy::OneBit => "onebit".to_string(),
+                },
+                "--pair-elems".into(),
+                a.pair_elems.to_string(),
+                "--base-port".into(),
+                a.base_port.to_string(),
+                "--seed".into(),
+                a.seed.to_string(),
+                "--layers".into(),
+                csv(&a.layers),
+                "--samples".into(),
+                a.samples.to_string(),
+                "--timeout-s".into(),
+                a.timeout_s.to_string(),
+                "--endpoint".into(),
+                me.to_string(),
+            ])
+            .stdout(Stdio::piped())
+            .spawn()
+            .map_err(|e| format!("spawn endpoint {me}: {e}"))?;
+        children.push(child);
+    }
+
+    let mut reports = Vec::with_capacity(n);
+    let mut failures = Vec::new();
+    for (me, child) in children.into_iter().enumerate() {
+        let out = child
+            .wait_with_output()
+            .map_err(|e| format!("wait endpoint {me}: {e}"))?;
+        let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+        for line in stdout.lines() {
+            println!("e{me}. {line}");
+        }
+        if !out.status.success() {
+            failures.push(format!("endpoint {me} exited with {}", out.status));
+            continue;
+        }
+        match parse_report(me, &stdout) {
+            Ok(r) => reports.push(r),
+            Err(e) => failures.push(e),
+        }
+    }
+    if !failures.is_empty() {
+        return Err(failures.join("\n"));
+    }
+
+    // Merge the per-process ledgers. Each process counted only the frames it
+    // sent (crediting both its tx and the destination's rx), so the sum over
+    // processes double-counts nothing.
+    let mut traffic = TrafficSnapshot::zeros(a.workers);
+    for r in &reports {
+        traffic.accumulate(&r.traffic);
+    }
+
+    // BSP must leave every worker replica bitwise identical.
+    let workers: Vec<&ChildReport> = reports.iter().filter(|r| r.role == "worker").collect();
+    if workers.len() != a.workers {
+        return Err(format!(
+            "expected {} worker reports, got {}",
+            a.workers,
+            workers.len()
+        ));
+    }
+    let reference = workers[0].params.as_deref().unwrap_or_default();
+    for w in &workers[1..] {
+        if w.params.as_deref().unwrap_or_default() != reference {
+            return Err(format!(
+                "worker {} diverged from worker {} — replicas are not bitwise identical",
+                w.endpoint, workers[0].endpoint
+            ));
+        }
+    }
+
+    println!(
+        "workers={} iters={} policy={:?}",
+        a.workers, a.iters, a.policy
+    );
+    println!(
+        "final_loss={}",
+        workers[0].losses.last().copied().unwrap_or(f32::NAN)
+    );
+    println!("traffic_total_bytes={}", traffic.total_bytes());
+    println!("traffic_per_node={}", csv(&traffic.per_node_totals()));
+    println!("replicas=bitwise-identical");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let a = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match a.endpoint {
+        Some(me) => run_one(&a, me),
+        None => match launch(&a) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("poseidon-node: {msg}");
+                ExitCode::FAILURE
+            }
+        },
+    }
+}

@@ -18,19 +18,22 @@
 //!
 //! The crate offers two execution backends:
 //!
-//! * [`runtime`] — a real multi-threaded data-parallel trainer: worker and
-//!   KV-shard threads exchanging serialised byte messages over an in-process
-//!   [`transport`], training real [`poseidon_nn`] networks. Used for the
-//!   correctness and statistical experiments.
+//! * [`runtime`] — a real data-parallel trainer: worker and KV-shard
+//!   endpoints exchanging serialised byte messages over a pluggable
+//!   [`transport`] (in-process channels for the threaded `train`, TCP
+//!   sockets for the per-process `run_endpoint` / `poseidon-node` runtime),
+//!   training real [`poseidon_nn`] networks. Used for the correctness and
+//!   statistical experiments.
 //! * [`sim`] — a discrete-event timing simulation of a GPU cluster running
 //!   the same protocol over [`poseidon_netsim`], calibrated against the
 //!   paper's single-node throughputs. Used for the throughput experiments
 //!   (Figures 5–10).
 //!
-//! Supporting modules: [`chunk`] (fixed-size KV-pair partitioning of
-//! parameters), [`kvstore`] (bulk-synchronous shard state machine),
-//! [`syncer`] (per-layer Send/Receive/Move), [`config`] (cluster and scheme
-//! configuration), and [`stats`] (report formatting).
+//! Supporting modules: [`wire`] (the versioned frame codec every transport
+//! speaks), [`chunk`] (fixed-size KV-pair partitioning of parameters),
+//! [`kvstore`] (bulk-synchronous shard state machine), [`syncer`] (per-layer
+//! Send/Receive/Move), [`config`] (cluster and scheme configuration), and
+//! [`stats`] (report formatting).
 
 pub mod api;
 pub mod chunk;
@@ -43,6 +46,7 @@ pub mod sim;
 pub mod stats;
 pub mod syncer;
 pub mod transport;
+pub mod wire;
 
 pub use config::{ClusterConfig, CommScheme, Partition, Scheduler, SchemePolicy};
 pub use coordinator::Coordinator;

@@ -1,11 +1,16 @@
-//! The threaded distributed-training runtime.
+//! The distributed-training runtime.
 //!
-//! This backend executes Poseidon's protocol for real: `P` worker threads
-//! train real [`poseidon_nn::Network`] replicas on disjoint data shards, and
-//! `P` KV-store shard threads (colocated: shard *i* shares physical node *i*
-//! with worker *i*) hold the master parameters. All synchronisation flows as
-//! serialised byte messages over the byte-counted in-process
-//! [`crate::transport`], so the traffic the integration tests measure is the
+//! This backend executes Poseidon's protocol for real: `P` workers train real
+//! [`poseidon_nn::Network`] replicas on disjoint data shards, and `P`
+//! KV-store shards (colocated: shard *i* shares physical node *i* with worker
+//! *i*) hold the master parameters. All synchronisation flows as serialised
+//! byte messages over a pluggable [`crate::transport::Transport`] — the
+//! threaded [`train`] entry point wires everything over
+//! [`InProcTransport`](crate::transport::InProcTransport) channels, while
+//! [`run_endpoint`] drives a *single* endpoint so one OS process per
+//! worker/shard can form the same protocol over
+//! [`TcpTransport`](crate::transport::TcpTransport) (see the `poseidon-node`
+//! binary). Either way the traffic the integration tests measure is the
 //! traffic the analytic cost model predicts.
 //!
 //! The runtime implements synchronous (BSP) data-parallel SGD exactly as in
@@ -14,12 +19,13 @@
 //! distributed trajectory equals single-node large-batch SGD.
 
 mod clock;
-mod codec;
+mod node;
 mod server;
 mod worker;
 
+pub use crate::wire::LAYER_GRANULAR_CHUNK;
 pub use clock::SspClock;
-pub use codec::LAYER_GRANULAR_CHUNK;
+pub use node::{flatten_model_params, run_endpoint, NodeOutcome};
 pub use worker::evaluate_error;
 
 use crate::config::{
@@ -33,6 +39,7 @@ use crate::transport::{self, TrafficCounters};
 use poseidon_nn::data::Dataset;
 use poseidon_nn::Model;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// A learning-rate schedule evaluated per BSP iteration.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -98,6 +105,11 @@ pub struct RuntimeConfig {
     /// worker threads so nested parallelism stays bounded. Thread count
     /// never affects results (kernels are bitwise thread-count independent).
     pub compute: ComputeConfig,
+    /// How long a worker or shard waits on its transport before declaring a
+    /// peer lost. A stalled run fails with a diagnosable
+    /// [`TransportError::Timeout`](crate::transport::TransportError::Timeout)
+    /// naming the starved endpoint instead of hanging forever.
+    pub comm_timeout: Duration,
 }
 
 impl RuntimeConfig {
@@ -122,6 +134,7 @@ impl RuntimeConfig {
             straggler_delay_ms: None,
             jitter_us: None,
             compute: ComputeConfig::default(),
+            comm_timeout: Duration::from_secs(30),
         }
     }
 }
@@ -146,28 +159,10 @@ pub struct TrainResult<M: Model> {
     pub worker_wall_s: Vec<f64>,
 }
 
-/// Trains `net_factory()`-built replicas on `data` across threads.
-///
-/// `net_factory` must be deterministic — every worker builds its replica from
-/// it and the replicas must start identical (same seed). The training set is
-/// partitioned into `workers` contiguous shards; `eval` (if any) is scored by
-/// worker 0 every [`RuntimeConfig::eval_every`] iterations.
-///
-/// # Panics
-///
-/// Panics if the configuration is degenerate (zero workers/iterations) or the
-/// dataset is smaller than the worker count.
-pub fn train<M: Model>(
-    net_factory: &(dyn Fn() -> M + Sync),
-    data: &Dataset,
-    eval: Option<&Dataset>,
-    cfg: &RuntimeConfig,
-) -> TrainResult<M> {
-    assert!(cfg.workers > 0, "need at least one worker");
-    assert!(cfg.iterations > 0, "need at least one iteration");
-    let p = cfg.workers;
-
-    let ssp = match cfg.consistency {
+/// Validates the consistency configuration, returning the SSP staleness
+/// bound if enabled.
+fn ssp_mode(cfg: &RuntimeConfig) -> Option<u64> {
+    match cfg.consistency {
         Consistency::Bsp => None,
         Consistency::Ssp { staleness } => {
             assert_eq!(
@@ -178,23 +173,27 @@ pub fn train<M: Model>(
             assert_eq!(cfg.momentum, 0.0, "momentum is not supported under SSP");
             Some(staleness as u64)
         }
-    };
-    let clock = Arc::new(clock::SspClock::new(p));
+    }
+}
 
-    let reference = net_factory();
+/// Everything derived from the model + config that every participant (worker
+/// or shard, in-process or remote) must agree on: the scheme assignment, the
+/// chunk tables, and each shard's serving plan with initial master values.
+pub(crate) struct RunPlan {
+    pub coordinator: Coordinator,
+    pub schemes: Vec<(usize, CommScheme)>,
+    pub plans: Vec<ServerPlan>,
+    pub update_scale: f32,
+}
+
+/// Builds the shared run plan deterministically from the reference replica.
+pub(crate) fn build_run_plan<M: Model>(reference: &M, cfg: &RuntimeConfig, ssp: bool) -> RunPlan {
+    let p = cfg.workers;
     let cluster = ClusterConfig::colocated(p, cfg.batch_per_worker);
-    let coordinator = Coordinator::from_model(&reference, cluster, cfg.policy, cfg.partition);
+    let coordinator = Coordinator::from_model(reference, cluster, cfg.policy, cfg.partition);
     let schemes = coordinator.scheme_assignment();
     let update_scale = -cfg.learning_rate / p as f32;
 
-    // Endpoints 0..P are workers on nodes 0..P; endpoints P..2P are shards
-    // colocated on the same nodes.
-    let node_ids: Vec<usize> = (0..p).chain(0..p).collect();
-    let (mut endpoints, traffic) = transport::fabric_with_nodes(&node_ids);
-    let shard_endpoints: Vec<_> = endpoints.split_off(p);
-    let worker_endpoints = endpoints;
-
-    // Build one plan per shard.
     let mut plans: Vec<ServerPlan> = (0..p)
         .map(|_| ServerPlan {
             ps_chunks: Vec::new(),
@@ -205,7 +204,8 @@ pub fn train<M: Model>(
             momentum: cfg.momentum,
             lr_schedule: cfg.lr_schedule,
             iterations: cfg.iterations,
-            ssp: ssp.is_some(),
+            ssp,
+            comm_timeout: cfg.comm_timeout,
         })
         .collect();
     for &(l, scheme) in &schemes {
@@ -252,37 +252,93 @@ pub fn train<M: Model>(
         plan.init_values = ordered;
     }
 
+    RunPlan {
+        coordinator,
+        schemes,
+        plans,
+        update_scale,
+    }
+}
+
+/// The per-worker configuration slice for worker `w`.
+fn worker_config(
+    cfg: &RuntimeConfig,
+    w: usize,
+    update_scale: f32,
+    ssp: Option<u64>,
+    compute_threads: usize,
+) -> WorkerConfig {
+    WorkerConfig {
+        me: w,
+        iterations: cfg.iterations,
+        batch: cfg.batch_per_worker,
+        update_scale,
+        momentum: cfg.momentum,
+        lr_schedule: cfg.lr_schedule,
+        eval_every: cfg.eval_every,
+        ssp_staleness: ssp,
+        straggler_delay: match cfg.straggler_delay_ms {
+            Some((node, ms)) if node == w => Some(Duration::from_millis(ms)),
+            _ => None,
+        },
+        jitter_us: cfg.jitter_us,
+        compute_threads,
+        comm_timeout: cfg.comm_timeout,
+    }
+}
+
+/// Trains `net_factory()`-built replicas on `data` across threads.
+///
+/// `net_factory` must be deterministic — every worker builds its replica from
+/// it and the replicas must start identical (same seed). The training set is
+/// partitioned into `workers` contiguous shards; `eval` (if any) is scored by
+/// worker 0 every [`RuntimeConfig::eval_every`] iterations.
+///
+/// # Panics
+///
+/// Panics if the configuration is degenerate (zero workers/iterations) or the
+/// dataset is smaller than the worker count.
+pub fn train<M: Model>(
+    net_factory: &(dyn Fn() -> M + Sync),
+    data: &Dataset,
+    eval: Option<&Dataset>,
+    cfg: &RuntimeConfig,
+) -> TrainResult<M> {
+    assert!(cfg.workers > 0, "need at least one worker");
+    assert!(cfg.iterations > 0, "need at least one iteration");
+    let p = cfg.workers;
+
+    let ssp = ssp_mode(cfg);
+    let clock = Arc::new(clock::SspClock::new(p));
+
+    let reference = net_factory();
+    let plan = build_run_plan(&reference, cfg, ssp.is_some());
+    let coordinator = plan.coordinator;
+    let schemes = plan.schemes;
+
+    // Endpoints 0..P are workers on nodes 0..P; endpoints P..2P are shards
+    // colocated on the same nodes.
+    let node_ids: Vec<usize> = (0..p).chain(0..p).collect();
+    let (mut endpoints, traffic) = transport::fabric_with_nodes(&node_ids);
+    let shard_endpoints: Vec<_> = endpoints.split_off(p);
+    let worker_endpoints = endpoints;
+
     let shards = data.partition(p);
     let compute_threads = cfg.compute.threads_per_worker(p);
     let mut worker_outputs: Vec<Option<WorkerOutput<M>>> = (0..p).map(|_| None).collect();
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut server_handles = Vec::new();
-        for (plan, endpoint) in plans.into_iter().zip(shard_endpoints) {
-            server_handles.push(scope.spawn(move |_| server::run_server(plan, endpoint)));
+        for (sp, endpoint) in plan.plans.into_iter().zip(shard_endpoints) {
+            server_handles.push(scope.spawn(move || server::run_server(sp, endpoint)));
         }
         let mut worker_handles = Vec::new();
         for (w, (shard, endpoint)) in shards.into_iter().zip(worker_endpoints).enumerate() {
             let coordinator = &coordinator;
             let eval_set = if w == 0 { eval.cloned() } else { None };
-            let wc = WorkerConfig {
-                me: w,
-                iterations: cfg.iterations,
-                batch: cfg.batch_per_worker,
-                update_scale,
-                momentum: cfg.momentum,
-                lr_schedule: cfg.lr_schedule,
-                eval_every: cfg.eval_every,
-                ssp_staleness: ssp,
-                straggler_delay: match cfg.straggler_delay_ms {
-                    Some((node, ms)) if node == w => Some(std::time::Duration::from_millis(ms)),
-                    _ => None,
-                },
-                jitter_us: cfg.jitter_us,
-                compute_threads,
-            };
+            let wc = worker_config(cfg, w, plan.update_scale, ssp, compute_threads);
             let clock = Arc::clone(&clock);
-            worker_handles.push(scope.spawn(move |_| {
+            worker_handles.push(scope.spawn(move || {
                 worker::run_worker(
                     wc,
                     coordinator,
@@ -300,8 +356,7 @@ pub fn train<M: Model>(
         for h in server_handles {
             h.join().expect("server thread panicked");
         }
-    })
-    .expect("scope panicked");
+    });
 
     let outputs: Vec<WorkerOutput<M>> = worker_outputs
         .into_iter()
@@ -358,19 +413,9 @@ mod tests {
 
     fn distributed(policy: SchemePolicy, workers: usize) -> TrainResult<Network> {
         let cfg = RuntimeConfig {
-            workers,
-            batch_per_worker: 8,
-            learning_rate: 0.2,
-            momentum: 0.0,
-            lr_schedule: LrSchedule::Constant,
             policy,
             partition: Partition::KvPairs { pair_elems: 50 },
-            iterations: 5,
-            eval_every: 0,
-            consistency: Consistency::Bsp,
-            straggler_delay_ms: None,
-            jitter_us: None,
-            compute: ComputeConfig::Auto,
+            ..RuntimeConfig::new(workers, 8, 0.2, 5)
         };
         train(&factory, &dataset(), None, &cfg)
     }

@@ -1,0 +1,122 @@
+//! Single-endpoint runtime entry: one worker *or* one KV shard, driven over
+//! any [`Transport`].
+//!
+//! [`train`](crate::runtime::train) runs all `2P` endpoints as threads of one
+//! process; [`run_endpoint`] runs exactly one of them, so `2P` OS processes
+//! (the `poseidon-node` binary) connected by a
+//! [`TcpTransport`](crate::transport::TcpTransport) mesh execute the
+//! identical protocol. Every participant derives the same
+//! [`RunPlan`](super::RunPlan) deterministically from the shared model
+//! factory and config — there is no separate control plane; agreement on the
+//! CLI flags *is* the control plane.
+//!
+//! Endpoint ids follow the fabric convention: `0..P` are workers on physical
+//! nodes `0..P`, `P..2P` are shards colocated on the same nodes.
+
+use super::{build_run_plan, server, ssp_mode, worker, worker_config, RuntimeConfig, SspClock};
+use crate::syncer;
+use crate::transport::Transport;
+use poseidon_nn::data::Dataset;
+use poseidon_nn::Model;
+use std::sync::Arc;
+
+/// What one endpoint produced.
+pub enum NodeOutcome<M: Model> {
+    /// A worker endpoint: its per-iteration losses, eval samples (endpoint 0
+    /// only) and final replica.
+    Worker {
+        /// Mean training loss per iteration on this worker's shard.
+        losses: Vec<f32>,
+        /// `(iteration, top-1 error)` samples on the eval set.
+        test_errors: Vec<(usize, f32)>,
+        /// The final model replica.
+        net: M,
+    },
+    /// A KV shard endpoint (servers hold no reportable state once done).
+    Server,
+}
+
+/// Runs the single worker or shard owning `endpoint` to completion.
+///
+/// All participants must build the run from identical `net_factory`, `data`
+/// and `cfg` (deterministic agreement); the endpoint's fabric id decides its
+/// role. Only BSP is supported — SSP's shared clock needs one process.
+///
+/// # Panics
+///
+/// Panics on configuration mismatch (fabric size ≠ `2 * cfg.workers`, SSP
+/// requested) and on transport failures (a dead peer surfaces as a timeout
+/// panic naming this endpoint).
+pub fn run_endpoint<M: Model, T: Transport>(
+    net_factory: &(dyn Fn() -> M + Sync),
+    data: &Dataset,
+    eval: Option<&Dataset>,
+    cfg: &RuntimeConfig,
+    endpoint: T,
+) -> NodeOutcome<M> {
+    assert!(cfg.workers > 0, "need at least one worker");
+    assert!(cfg.iterations > 0, "need at least one iteration");
+    let p = cfg.workers;
+    assert_eq!(
+        endpoint.endpoints(),
+        2 * p,
+        "fabric has {} endpoints but the config implies {} (2 x {p} workers)",
+        endpoint.endpoints(),
+        2 * p
+    );
+    assert!(
+        ssp_mode(cfg).is_none(),
+        "the per-process runtime is BSP-only: SSP's clock is shared process state"
+    );
+
+    let reference = net_factory();
+    let plan = build_run_plan(&reference, cfg, false);
+    let me = endpoint.endpoint_id();
+
+    if me < p {
+        // Worker role: train on shard `me` of the same deterministic
+        // partition every participant computes.
+        let shard = data.partition(p).swap_remove(me);
+        let eval_set = if me == 0 { eval.cloned() } else { None };
+        let wc = worker_config(
+            cfg,
+            me,
+            plan.update_scale,
+            None,
+            cfg.compute.threads_per_worker(p),
+        );
+        // BSP never consults the clock; a private one satisfies the worker.
+        let clock = Arc::new(SspClock::new(p));
+        let out = worker::run_worker(
+            wc,
+            &plan.coordinator,
+            net_factory(),
+            shard,
+            eval_set,
+            endpoint,
+            clock,
+        );
+        NodeOutcome::Worker {
+            losses: out.losses,
+            test_errors: out.test_errors,
+            net: out.net,
+        }
+    } else {
+        let sp = plan.plans.into_iter().nth(me - p).expect("shard plan");
+        server::run_server(sp, endpoint);
+        NodeOutcome::Server
+    }
+}
+
+/// Flattens every trainable layer's parameters in slot order — a canonical
+/// form for comparing replicas across process boundaries (the `poseidon-node`
+/// parent asserts all workers' flats are bitwise identical).
+pub fn flatten_model_params<M: Model>(net: &M) -> Vec<f32> {
+    let mut flat = Vec::new();
+    for slot in 0..net.num_slots() {
+        if let Some(params) = net.slot(slot).and_then(|l| l.params()) {
+            flat.extend(syncer::flatten_params(params));
+        }
+    }
+    flat
+}

@@ -1,14 +1,16 @@
-//! The KV-store shard thread.
+//! The KV-store shard.
 //!
 //! Each shard owns a [`ShardState`] holding the master copy of its KV pairs
 //! (plus any layer-granular masters for the Adam/1-bit paths), consumes
 //! gradient messages from workers, and broadcasts fresh parameters when a
-//! pair's update count reaches the number of workers (BSP).
+//! pair's update count reaches the number of workers (BSP). Like the worker,
+//! the shard is written against the [`Transport`] trait and runs unchanged
+//! over in-process channels or TCP.
 
 use crate::chunk::Chunk;
 use crate::kvstore::ShardState;
-use crate::runtime::codec::{self, LAYER_GRANULAR_CHUNK};
-use crate::transport::{Endpoint, Message};
+use crate::transport::{Envelope, Message, Transport, TransportError};
+use crate::wire::{self, LAYER_GRANULAR_CHUNK};
 use poseidon_tensor::quantize::OneBitQuantizer;
 use poseidon_tensor::Matrix;
 use std::collections::HashMap;
@@ -25,7 +27,7 @@ pub(crate) struct LayerGranular {
     pub adam: bool,
 }
 
-/// Everything one shard thread needs.
+/// Everything one shard needs.
 pub(crate) struct ServerPlan {
     /// Owned KV pairs: `(within-layer chunk index, chunk)`.
     pub ps_chunks: Vec<(u32, Chunk)>,
@@ -47,6 +49,8 @@ pub(crate) struct ServerPlan {
     /// Stale-synchronous mode: apply each worker's gradient eagerly and reply
     /// to that worker only (no per-pair barrier).
     pub ssp: bool,
+    /// Transport receive timeout before declaring a worker lost.
+    pub comm_timeout: std::time::Duration,
 }
 
 /// Server-side state for one 1-bit layer: the master copy, the aggregate
@@ -61,8 +65,18 @@ struct OneBitState {
     pending: Vec<Option<(Matrix, Vec<f32>)>>,
 }
 
+/// Sends or panics with enough context to name the broken link.
+fn must_send<T: Transport>(endpoint: &T, to: usize, msg: Message) {
+    if let Err(e) = endpoint.send(to, msg) {
+        panic!(
+            "shard endpoint {}: send to endpoint {to} failed: {e}",
+            endpoint.endpoint_id()
+        );
+    }
+}
+
 /// Runs one shard to completion.
-pub(crate) fn run_server(plan: ServerPlan, endpoint: Endpoint) {
+pub(crate) fn run_server<T: Transport>(plan: ServerPlan, mut endpoint: T) {
     let mut state = ShardState::with_momentum(plan.workers, plan.update_scale, plan.momentum);
     let mut onebit: HashMap<u32, OneBitState> = HashMap::new();
     let mut init = plan.init_values.into_iter();
@@ -97,8 +111,19 @@ pub(crate) fn run_server(plan: ServerPlan, endpoint: Endpoint) {
     // iteration; serve that many envelopes, then exit.
     let pairs = plan.ps_chunks.len() + plan.layer_granular.len();
     let expected = pairs * plan.workers * plan.iterations;
-    for _ in 0..expected {
-        let env = endpoint.recv();
+    for served in 0..expected {
+        let env: Envelope = match endpoint.recv_timeout(plan.comm_timeout) {
+            Ok(env) => env,
+            Err(e @ (TransportError::Timeout | TransportError::Closed)) => panic!(
+                "shard endpoint {} starved after {served}/{expected} messages — a worker died \
+                 or stalled: {e}",
+                endpoint.endpoint_id()
+            ),
+            Err(e) => panic!(
+                "shard endpoint {} transport failed: {e}",
+                endpoint.endpoint_id()
+            ),
+        };
         // Per-iteration learning-rate schedule: messages carry their BSP
         // round, so the scale for this update is exact even under SSP.
         let scale = plan.update_scale * plan.lr_schedule.multiplier(env.msg.iter() as usize);
@@ -119,7 +144,7 @@ pub(crate) fn run_server(plan: ServerPlan, endpoint: Endpoint) {
                     let ob = onebit
                         .get_mut(&layer)
                         .expect("1-bit push for a layer this shard does not own");
-                    let (quant, bias) = codec::decode_onebit(&data).expect("corrupt 1-bit payload");
+                    let (quant, bias) = wire::decode_onebit(&data).expect("corrupt 1-bit payload");
                     assert!(
                         ob.pending[env.from].is_none(),
                         "worker {} sent two 1-bit updates in one round",
@@ -162,9 +187,10 @@ pub(crate) fn run_server(plan: ServerPlan, endpoint: Endpoint) {
                         for (mv, d) in ob.master_bias.iter_mut().zip(&grad_b) {
                             *mv += d;
                         }
-                        let payload = codec::encode_onebit(&agg_quant, &grad_b);
+                        let payload = wire::encode_onebit(&agg_quant, &grad_b);
                         for w in 0..plan.workers {
-                            endpoint.send(
+                            must_send(
+                                &endpoint,
                                 w,
                                 Message::GradChunk {
                                     iter,
@@ -176,29 +202,31 @@ pub(crate) fn run_server(plan: ServerPlan, endpoint: Endpoint) {
                         }
                     }
                 } else {
-                    let grad = codec::decode_f32s(&data).expect("corrupt gradient payload");
+                    let grad = wire::decode_f32s(&data).expect("corrupt gradient payload");
                     if plan.ssp {
                         let updated = state.receive_grad_async(env.from, (layer, chunk), &grad);
-                        endpoint.send(
+                        must_send(
+                            &endpoint,
                             env.from,
                             Message::ParamChunk {
                                 iter,
                                 layer,
                                 chunk,
-                                data: codec::encode_f32s(&updated),
+                                data: wire::encode_f32s(&updated),
                             },
                         );
                     } else if let Some(updated) =
                         state.receive_grad(env.from, (layer, chunk), &grad)
                     {
                         for w in 0..plan.workers {
-                            endpoint.send(
+                            must_send(
+                                &endpoint,
                                 w,
                                 Message::ParamChunk {
                                     iter,
                                     layer,
                                     chunk,
-                                    data: codec::encode_f32s(&updated),
+                                    data: wire::encode_f32s(&updated),
                                 },
                             );
                         }
@@ -239,16 +267,27 @@ pub(crate) fn run_server(plan: ServerPlan, endpoint: Endpoint) {
             other => panic!("server received unexpected message {other:?}"),
         }
     }
+
+    endpoint.shutdown().unwrap_or_else(|e| {
+        panic!("shard transport shutdown failed: {e}");
+    });
 }
 
-fn broadcast_matrix(endpoint: &Endpoint, workers: usize, iter: u64, layer: u32, flat: &[f32]) {
+fn broadcast_matrix<T: Transport>(
+    endpoint: &T,
+    workers: usize,
+    iter: u64,
+    layer: u32,
+    flat: &[f32],
+) {
     for w in 0..workers {
-        endpoint.send(
+        must_send(
+            endpoint,
             w,
             Message::ParamMatrix {
                 iter,
                 layer,
-                data: codec::encode_f32s(flat),
+                data: wire::encode_f32s(flat),
             },
         );
     }

@@ -1,4 +1,4 @@
-//! The worker thread: Algorithm 2 of the paper.
+//! The worker: Algorithm 2 of the paper.
 //!
 //! Per iteration: forward, then backward with syncer `Send`s fired from the
 //! per-layer gradient callback (wait-free backpropagation — communication of
@@ -6,12 +6,18 @@
 //! receive loop that drains the endpoint until every syncer reports complete
 //! (the completion vector `C` is all ones), applying each layer's outcome as
 //! it finishes.
+//!
+//! The worker is transport-agnostic: the same loop drives an in-process
+//! channel endpoint (threaded [`train`](crate::runtime::train)) or a TCP
+//! endpoint (the `poseidon-node` process runtime). A peer that stops talking
+//! surfaces as a [`TransportError::Timeout`] panic naming this worker, its
+//! iteration and its sync progress — never a silent hang.
 
 use crate::config::CommScheme;
 use crate::coordinator::Coordinator;
-use crate::runtime::codec::{self, LAYER_GRANULAR_CHUNK};
 use crate::syncer::{self, SyncOutcome, Syncer};
-use crate::transport::{Endpoint, Message};
+use crate::transport::{Message, Transport, TransportError};
+use crate::wire::{self, LAYER_GRANULAR_CHUNK};
 use poseidon_nn::data::Dataset;
 use poseidon_nn::loss::SoftmaxCrossEntropy;
 use poseidon_nn::Model;
@@ -51,16 +57,25 @@ pub(crate) struct WorkerConfig {
     pub jitter_us: Option<u64>,
     /// This worker's share of the compute-thread budget for layer kernels.
     pub compute_threads: usize,
+    /// Transport receive timeout before declaring a peer lost.
+    pub comm_timeout: std::time::Duration,
+}
+
+/// Sends or panics with enough context to name the broken link.
+fn must_send<T: Transport>(endpoint: &T, me: usize, to: usize, msg: Message) {
+    if let Err(e) = endpoint.send(to, msg) {
+        panic!("worker {me}: send to endpoint {to} failed: {e}");
+    }
 }
 
 /// Runs one worker to completion.
-pub(crate) fn run_worker<M: Model>(
+pub(crate) fn run_worker<M: Model, T: Transport>(
     cfg: WorkerConfig,
     coordinator: &Coordinator,
     mut net: M,
     data: Dataset,
     eval: Option<Dataset>,
-    endpoint: Endpoint,
+    mut endpoint: T,
     clock: std::sync::Arc<crate::runtime::clock::SspClock>,
 ) -> WorkerOutput<M> {
     let workers = coordinator.cluster().workers;
@@ -130,8 +145,10 @@ pub(crate) fn run_worker<M: Model>(
                     let flat = syncer::flatten_grads(params);
                     for (idx, chunk) in s.chunks().iter().enumerate() {
                         let payload =
-                            codec::encode_f32s(&flat[chunk.offset..chunk.offset + chunk.len]);
-                        endpoint.send(
+                            wire::encode_f32s(&flat[chunk.offset..chunk.offset + chunk.len]);
+                        must_send(
+                            &endpoint,
+                            cfg.me,
                             workers + chunk.shard,
                             Message::GradChunk {
                                 iter: iter as u64,
@@ -149,7 +166,9 @@ pub(crate) fn run_worker<M: Model>(
                     let payload = bytesio::encode_sf_batch(&batch);
                     for peer in 0..workers {
                         if peer != cfg.me {
-                            endpoint.send(
+                            must_send(
+                                &endpoint,
+                                cfg.me,
                                 peer,
                                 Message::SfPush {
                                     iter: iter as u64,
@@ -166,7 +185,9 @@ pub(crate) fn run_worker<M: Model>(
                         .sufficient_factors()
                         .expect("Adam requires sufficient factors");
                     let owner = l % workers;
-                    endpoint.send(
+                    must_send(
+                        &endpoint,
+                        cfg.me,
                         workers + owner,
                         Message::SfPush {
                             iter: iter as u64,
@@ -181,13 +202,15 @@ pub(crate) fn run_worker<M: Model>(
                         .expect("quantizer per 1-bit layer")
                         .quantize(&params.grad_weights);
                     let owner = l % workers;
-                    endpoint.send(
+                    must_send(
+                        &endpoint,
+                        cfg.me,
                         workers + owner,
                         Message::GradChunk {
                             iter: iter as u64,
                             layer: l as u32,
                             chunk: LAYER_GRANULAR_CHUNK,
-                            data: codec::encode_onebit(&quant, params.grad_bias.as_slice()),
+                            data: wire::encode_onebit(&quant, params.grad_bias.as_slice()),
                         },
                     );
                 }
@@ -205,8 +228,18 @@ pub(crate) fn run_worker<M: Model>(
             let (from, msg) = if let Some(p) = pending.pop() {
                 p
             } else {
-                let env = endpoint.recv();
-                (env.from, env.msg)
+                match endpoint.recv_timeout(cfg.comm_timeout) {
+                    Ok(env) => (env.from, env.msg),
+                    Err(e @ (TransportError::Timeout | TransportError::Closed)) => panic!(
+                        "worker {} starved at iteration {iter} with {completed}/{num_syncers} \
+                         layers synced — a peer died or stalled: {e}",
+                        cfg.me
+                    ),
+                    Err(e) => panic!(
+                        "worker {} transport failed at iteration {iter}: {e}",
+                        cfg.me
+                    ),
+                }
             };
             let msg_iter = msg.iter() as usize;
             if msg_iter > iter {
@@ -226,11 +259,11 @@ pub(crate) fn run_worker<M: Model>(
                 Message::ParamChunk { chunk, data, .. } => {
                     s.on_param_chunk(
                         chunk as usize,
-                        codec::decode_f32s(&data).expect("corrupt param chunk"),
+                        wire::decode_f32s(&data).expect("corrupt param chunk"),
                     );
                 }
                 Message::ParamMatrix { data, .. } => {
-                    s.on_param_matrix(codec::decode_f32s(&data).expect("corrupt param matrix"));
+                    s.on_param_matrix(wire::decode_f32s(&data).expect("corrupt param matrix"));
                 }
                 Message::SfPush { data, .. } => {
                     s.on_peer_sf(
@@ -246,7 +279,7 @@ pub(crate) fn run_worker<M: Model>(
                         "unexpected grad chunk at worker"
                     );
                     let (quant, bias) =
-                        codec::decode_onebit(&data).expect("corrupt 1-bit broadcast");
+                        wire::decode_onebit(&data).expect("corrupt 1-bit broadcast");
                     let dense = quant.dequantize();
                     let mut flat = dense.as_slice().to_vec();
                     flat.extend_from_slice(&bias);
@@ -298,11 +331,16 @@ pub(crate) fn run_worker<M: Model>(
         }
     }
 
+    let wall = started.elapsed();
+    endpoint
+        .shutdown()
+        .unwrap_or_else(|e| panic!("worker {}: transport shutdown failed: {e}", cfg.me));
+
     WorkerOutput {
         losses,
         test_errors,
         net,
-        wall: started.elapsed(),
+        wall,
     }
 }
 

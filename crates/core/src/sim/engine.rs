@@ -328,17 +328,17 @@ pub fn simulate(spec: &ModelSpec, cfg: &SimConfig) -> IterationReport {
         let mut trainable: Vec<usize> = state.plans.keys().copied().collect();
         trainable.sort_unstable_by(|a, b| b.cmp(a)); // top-down
         for &l in &trainable {
-            for w in 0..p {
+            for (w, done) in bwd_done.iter().enumerate() {
                 if state.is_dropped(w) {
                     // The dropped straggler's sends never happen; it lags
                     // behind on stale parameters and only consumes pulls.
                     continue;
                 }
                 let ready = match cfg.scheduler {
-                    Scheduler::Wfbp => bwd_done[w][l],
+                    Scheduler::Wfbp => done[l],
                     Scheduler::Sequential => {
                         // The node finishes its own backward first.
-                        bwd_done[w][0].max(bwd_done[w][spec.layers.len() - 1])
+                        done[0].max(done[spec.layers.len() - 1])
                     }
                 };
                 queue.schedule_at(

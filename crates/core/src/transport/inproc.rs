@@ -1,0 +1,162 @@
+//! In-process transport: the threaded runtime's stand-in for the cluster
+//! network.
+//!
+//! Every endpoint gets one mpsc inbox; sends push an [`Envelope`] onto the
+//! destination's queue after charging the message's frame bytes to the
+//! traffic ledger. Messages never actually cross the wire format here — the
+//! codec is exercised by `wire_bytes()` (accounting) and by the codec's own
+//! tests — which keeps the threaded runtime allocation-light while still
+//! counting exactly what [`super::TcpTransport`] would move.
+
+use super::{Envelope, Message, TrafficCounters, Transport, TransportError};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One endpoint's attachment to an in-process fabric.
+pub struct InProcTransport {
+    me: usize,
+    node: usize,
+    inbox: Receiver<Envelope>,
+    outboxes: Vec<Option<Sender<Envelope>>>,
+    dest_nodes: Vec<usize>,
+    counters: Arc<TrafficCounters>,
+}
+
+impl Transport for InProcTransport {
+    fn node(&self) -> usize {
+        self.node
+    }
+
+    fn endpoint_id(&self) -> usize {
+        self.me
+    }
+
+    fn endpoints(&self) -> usize {
+        self.outboxes.len()
+    }
+
+    fn traffic(&self) -> &Arc<TrafficCounters> {
+        &self.counters
+    }
+
+    fn send(&self, to: usize, msg: Message) -> Result<(), TransportError> {
+        let outbox = self
+            .outboxes
+            .get(to)
+            .ok_or(TransportError::Closed)?
+            .as_ref()
+            .ok_or(TransportError::Closed)?;
+        let bytes = msg.wire_bytes();
+        outbox
+            .send(Envelope {
+                from: self.node,
+                msg,
+            })
+            .map_err(|_| TransportError::Closed)?;
+        self.counters.record(self.node, self.dest_nodes[to], bytes);
+        Ok(())
+    }
+
+    fn recv(&self) -> Result<Envelope, TransportError> {
+        self.inbox.recv().map_err(|_| TransportError::Closed)
+    }
+
+    fn try_recv(&self) -> Result<Option<Envelope>, TransportError> {
+        match self.inbox.try_recv() {
+            Ok(env) => Ok(Some(env)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(TransportError::Closed),
+        }
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Envelope, TransportError> {
+        match self.inbox.recv_timeout(timeout) {
+            Ok(env) => Ok(env),
+            Err(RecvTimeoutError::Timeout) => Err(TransportError::Timeout),
+            Err(RecvTimeoutError::Disconnected) => Err(TransportError::Closed),
+        }
+    }
+
+    fn shutdown(&mut self) -> Result<(), TransportError> {
+        // Dropping our clones of the senders lets peers' `recv` observe
+        // `Closed` once every endpoint has shut down.
+        for slot in &mut self.outboxes {
+            *slot = None;
+        }
+        Ok(())
+    }
+}
+
+/// Creates a fabric of `nodes` endpoints plus the shared traffic counters.
+/// Endpoint `i` lives on physical node `i`.
+pub fn fabric(nodes: usize) -> (Vec<InProcTransport>, Arc<TrafficCounters>) {
+    let ids: Vec<usize> = (0..nodes).collect();
+    fabric_with_nodes(&ids)
+}
+
+/// Creates one endpoint per entry of `node_of_endpoint`, where entry `j` is
+/// the *physical node* endpoint `j` lives on. Several endpoints may share a
+/// node — the paper's deployment colocates a worker and a KV-store shard on
+/// every machine — and traffic between co-resident endpoints is loop-back
+/// (delivered, not counted).
+pub fn fabric_with_nodes(
+    node_of_endpoint: &[usize],
+) -> (Vec<InProcTransport>, Arc<TrafficCounters>) {
+    assert!(
+        !node_of_endpoint.is_empty(),
+        "fabric needs at least one node"
+    );
+    let physical_nodes = node_of_endpoint.iter().max().expect("non-empty") + 1;
+    let counters = Arc::new(TrafficCounters::new(physical_nodes));
+    let mut senders = Vec::with_capacity(node_of_endpoint.len());
+    let mut receivers = Vec::with_capacity(node_of_endpoint.len());
+    for _ in node_of_endpoint {
+        let (s, r) = channel();
+        senders.push(Some(s));
+        receivers.push(r);
+    }
+    let node_ids = node_of_endpoint.to_vec();
+    let endpoints = receivers
+        .into_iter()
+        .enumerate()
+        .map(|(idx, inbox)| InProcTransport {
+            me: idx,
+            node: node_ids[idx],
+            inbox,
+            outboxes: senders.clone(),
+            dest_nodes: node_ids.clone(),
+            counters: Arc::clone(&counters),
+        })
+        .collect();
+    (endpoints, counters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    #[test]
+    fn shutdown_is_idempotent_and_closes_peers() {
+        let (mut eps, _) = fabric(2);
+        let mut e1 = eps.remove(1);
+        let mut e0 = eps.remove(0);
+        e1.shutdown().unwrap();
+        e1.shutdown().unwrap();
+        assert_eq!(
+            e1.send(
+                0,
+                Message::SfPush {
+                    iter: 0,
+                    layer: 0,
+                    data: Bytes::new()
+                }
+            ),
+            Err(TransportError::Closed)
+        );
+        e0.shutdown().unwrap();
+        // All senders for endpoint 0's inbox are gone now.
+        assert_eq!(e0.recv().unwrap_err(), TransportError::Closed);
+    }
+}

@@ -1,0 +1,456 @@
+//! The transport layer: pluggable point-to-point message delivery with
+//! per-node byte accounting.
+//!
+//! The comm plane is split into three layers (DESIGN.md §2.4):
+//!
+//! 1. **Messages** ([`Message`], [`Envelope`]) — what the runtime exchanges.
+//! 2. **Wire format** ([`crate::wire`]) — how a message is serialised into one
+//!    self-describing frame. `Message::wire_bytes()` is derived from the
+//!    encoded frame, so accounting can never drift from the bytes moved.
+//! 3. **Transports** (the [`Transport`] trait) — how frames travel:
+//!    [`InProcTransport`] over in-process channels for the threaded runtime,
+//!    [`TcpTransport`] over length-prefixed TCP sockets for the
+//!    one-process-per-endpoint runtime (`poseidon-node`).
+//!
+//! Byte accounting is uniform across transports: every frame is counted on
+//! the *send* side against the (source, destination) physical nodes, and
+//! loop-back traffic — a worker talking to the KV shard colocated on its own
+//! node — is delivered but *not* counted, matching Table 1's
+//! `(P1 + P2 − 2)/P2` accounting and the simulator's ledger semantics.
+//! Counting on the send side only means per-process counters from a TCP
+//! deployment can be summed without double-counting a frame.
+
+mod inproc;
+mod tcp;
+
+pub use inproc::{fabric, fabric_with_nodes, InProcTransport};
+pub use tcp::{bind_ephemeral, TcpFabricSpec, TcpTransport};
+
+use crate::wire::{self, FrameError};
+use bytes::Bytes;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A message between nodes. Payloads are pre-serialised byte buffers; the
+/// transport never inspects them.
+#[derive(Clone, Debug)]
+pub enum Message {
+    /// Dense (or quantized) gradient for one KV pair, worker → server.
+    GradChunk {
+        /// Training iteration.
+        iter: u64,
+        /// Layer index.
+        layer: u32,
+        /// Chunk index within the layer.
+        chunk: u32,
+        /// Encoded payload.
+        data: Bytes,
+    },
+    /// Fresh parameters for one KV pair, server → worker.
+    ParamChunk {
+        /// Training iteration.
+        iter: u64,
+        /// Layer index.
+        layer: u32,
+        /// Chunk index within the layer.
+        chunk: u32,
+        /// Encoded payload.
+        data: Bytes,
+    },
+    /// A batch of sufficient factors, worker → peer (SFB) or worker → server
+    /// (Adam).
+    SfPush {
+        /// Training iteration.
+        iter: u64,
+        /// Layer index.
+        layer: u32,
+        /// Encoded `SfBatch`.
+        data: Bytes,
+    },
+    /// A dense parameter matrix, server → worker (Adam's pull path).
+    ParamMatrix {
+        /// Training iteration.
+        iter: u64,
+        /// Layer index.
+        layer: u32,
+        /// Encoded payload.
+        data: Bytes,
+    },
+}
+
+impl Message {
+    /// Bytes this message occupies on the wire — the length of its encoded
+    /// frame (header plus payload), not a hand-maintained formula.
+    pub fn wire_bytes(&self) -> u64 {
+        (wire::FRAME_HEADER_BYTES + self.payload_len()) as u64
+    }
+
+    /// The iteration stamp carried by the message.
+    pub fn iter(&self) -> u64 {
+        match self {
+            Message::GradChunk { iter, .. }
+            | Message::ParamChunk { iter, .. }
+            | Message::SfPush { iter, .. }
+            | Message::ParamMatrix { iter, .. } => *iter,
+        }
+    }
+
+    fn payload_len(&self) -> usize {
+        match self {
+            Message::GradChunk { data, .. }
+            | Message::ParamChunk { data, .. }
+            | Message::SfPush { data, .. }
+            | Message::ParamMatrix { data, .. } => data.len(),
+        }
+    }
+}
+
+/// A delivered message plus its origin.
+#[derive(Clone, Debug)]
+pub struct Envelope {
+    /// Sending *physical node*.
+    pub from: usize,
+    /// The message.
+    pub msg: Message,
+}
+
+/// Why a transport operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// `recv_timeout` expired with no message; in the runtime this means a
+    /// peer stopped talking (crash, partition) rather than a silent hang.
+    Timeout,
+    /// The fabric (or the destination endpoint) has shut down.
+    Closed,
+    /// The TCP mesh could not be established.
+    Handshake(String),
+    /// An I/O error on an established connection.
+    Io(String),
+    /// A peer sent bytes that do not parse as a frame.
+    Frame(FrameError),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Timeout => write!(f, "timed out waiting for a message"),
+            TransportError::Closed => write!(f, "transport closed"),
+            TransportError::Handshake(e) => write!(f, "handshake failed: {e}"),
+            TransportError::Io(e) => write!(f, "transport i/o error: {e}"),
+            TransportError::Frame(e) => write!(f, "wire protocol violation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<FrameError> for TransportError {
+    fn from(e: FrameError) -> Self {
+        TransportError::Frame(e)
+    }
+}
+
+/// Point-to-point message delivery between the fabric's endpoints.
+///
+/// Contract (uniform across implementations, pinned by the shared tests in
+/// `crates/core/tests/loopback_accounting.rs` and
+/// `tests/transport_equivalence.rs`):
+///
+/// - Endpoints are addressed by fabric index `0..endpoints()`; each lives on
+///   a physical node (`node()`), and several endpoints may share a node.
+/// - `send` is reliable and per-(sender, receiver) ordered; it records the
+///   encoded frame's length against the (source, destination) nodes in the
+///   shared [`TrafficCounters`], *except* when both endpoints share a node
+///   (loop-back is delivered, never counted).
+/// - `recv`/`recv_timeout`/`try_recv` deliver [`Envelope`]s stamped with the
+///   sender's physical node.
+/// - `shutdown` flushes and tears down the endpoint; after a clean shutdown
+///   of all endpoints no thread is left blocked.
+pub trait Transport: Send {
+    /// The physical node this endpoint lives on.
+    fn node(&self) -> usize;
+
+    /// This endpoint's fabric index.
+    fn endpoint_id(&self) -> usize;
+
+    /// Number of endpoints on the fabric.
+    fn endpoints(&self) -> usize;
+
+    /// The shared traffic ledger (one slot per *physical node*).
+    fn traffic(&self) -> &Arc<TrafficCounters>;
+
+    /// Sends `msg` to endpoint `to`, recording its frame bytes against the
+    /// two endpoints' physical nodes (loop-back excluded).
+    fn send(&self, to: usize, msg: Message) -> Result<(), TransportError>;
+
+    /// Blocks until a message arrives.
+    fn recv(&self) -> Result<Envelope, TransportError>;
+
+    /// Non-blocking receive; `Ok(None)` when no message is queued.
+    fn try_recv(&self) -> Result<Option<Envelope>, TransportError>;
+
+    /// Blocks until a message arrives or `timeout` elapses
+    /// ([`TransportError::Timeout`]).
+    fn recv_timeout(&self, timeout: Duration) -> Result<Envelope, TransportError>;
+
+    /// Gracefully tears down this endpoint. Idempotent.
+    fn shutdown(&mut self) -> Result<(), TransportError>;
+}
+
+/// Thread-safe per-node traffic counters (bytes that crossed the "network").
+#[derive(Debug)]
+pub struct TrafficCounters {
+    tx: Vec<AtomicU64>,
+    rx: Vec<AtomicU64>,
+}
+
+impl TrafficCounters {
+    /// A zeroed ledger with one tx/rx slot per physical node.
+    pub fn new(nodes: usize) -> Self {
+        Self {
+            tx: (0..nodes).map(|_| AtomicU64::new(0)).collect(),
+            rx: (0..nodes).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Number of physical nodes in the ledger.
+    pub fn nodes(&self) -> usize {
+        self.tx.len()
+    }
+
+    /// Bytes sent by `node` (excluding loop-back).
+    pub fn tx_bytes(&self, node: usize) -> u64 {
+        self.tx[node].load(Ordering::Relaxed)
+    }
+
+    /// Bytes received by `node` (excluding loop-back).
+    pub fn rx_bytes(&self, node: usize) -> u64 {
+        self.rx[node].load(Ordering::Relaxed)
+    }
+
+    /// Total bytes on the network.
+    pub fn total_bytes(&self) -> u64 {
+        self.tx.iter().map(|a| a.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Per-node totals (tx + rx).
+    pub fn per_node_totals(&self) -> Vec<u64> {
+        (0..self.tx.len())
+            .map(|n| self.tx_bytes(n) + self.rx_bytes(n))
+            .collect()
+    }
+
+    /// A plain-value copy for aggregation across process boundaries.
+    pub fn snapshot(&self) -> TrafficSnapshot {
+        TrafficSnapshot {
+            tx: self.tx.iter().map(|a| a.load(Ordering::Relaxed)).collect(),
+            rx: self.rx.iter().map(|a| a.load(Ordering::Relaxed)).collect(),
+        }
+    }
+
+    /// Records one frame. Counting is send-side only in the TCP runtime, so
+    /// summing per-process snapshots never double-counts a frame; loop-back
+    /// (src == dst) is delivered but never counted.
+    pub(crate) fn record(&self, src: usize, dst: usize, bytes: u64) {
+        if src == dst {
+            return;
+        }
+        self.tx[src].fetch_add(bytes, Ordering::Relaxed);
+        self.rx[dst].fetch_add(bytes, Ordering::Relaxed);
+    }
+}
+
+/// Plain-value traffic totals, mergeable across processes. Each process in a
+/// TCP deployment counts only the frames *it* sent (send-side accounting), so
+/// accumulating every process's snapshot reconstructs the cluster ledger
+/// without double counting.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TrafficSnapshot {
+    /// Bytes sent per physical node.
+    pub tx: Vec<u64>,
+    /// Bytes received per physical node.
+    pub rx: Vec<u64>,
+}
+
+impl TrafficSnapshot {
+    /// A zeroed snapshot for `nodes` physical nodes.
+    pub fn zeros(nodes: usize) -> Self {
+        Self {
+            tx: vec![0; nodes],
+            rx: vec![0; nodes],
+        }
+    }
+
+    /// Adds `other` into `self`, growing if needed.
+    pub fn accumulate(&mut self, other: &TrafficSnapshot) {
+        if other.tx.len() > self.tx.len() {
+            self.tx.resize(other.tx.len(), 0);
+            self.rx.resize(other.rx.len(), 0);
+        }
+        for (n, &b) in other.tx.iter().enumerate() {
+            self.tx[n] += b;
+        }
+        for (n, &b) in other.rx.iter().enumerate() {
+            self.rx[n] += b;
+        }
+    }
+
+    /// Total bytes on the network.
+    pub fn total_bytes(&self) -> u64 {
+        self.tx.iter().sum()
+    }
+
+    /// Per-node totals (tx + rx).
+    pub fn per_node_totals(&self) -> Vec<u64> {
+        self.tx.iter().zip(&self.rx).map(|(t, r)| t + r).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::FRAME_HEADER_BYTES;
+
+    const HDR: u64 = FRAME_HEADER_BYTES as u64;
+
+    fn grad(iter: u64, payload: usize) -> Message {
+        Message::GradChunk {
+            iter,
+            layer: 0,
+            chunk: 0,
+            data: Bytes::from(vec![0u8; payload]),
+        }
+    }
+
+    #[test]
+    fn wire_bytes_is_the_encoded_frame_length() {
+        for payload in [0usize, 1, 17, 4096] {
+            let msg = grad(3, payload);
+            assert_eq!(msg.wire_bytes(), wire::encode_frame(&msg).len() as u64);
+        }
+        let sf = Message::SfPush {
+            iter: 1,
+            layer: 2,
+            data: Bytes::from(vec![1u8; 31]),
+        };
+        assert_eq!(sf.wire_bytes(), wire::encode_frame(&sf).len() as u64);
+    }
+
+    #[test]
+    fn messages_are_delivered_with_origin() {
+        let (eps, _) = fabric(3);
+        eps[0].send(2, grad(7, 10)).unwrap();
+        let env = eps[2].recv().unwrap();
+        assert_eq!(env.from, 0);
+        assert_eq!(env.msg.iter(), 7);
+        assert_eq!(env.msg.wire_bytes(), HDR + 10);
+    }
+
+    #[test]
+    fn traffic_is_counted_per_node() {
+        let (eps, counters) = fabric(3);
+        eps[0].send(1, grad(0, 100)).unwrap();
+        eps[0].send(2, grad(0, 50)).unwrap();
+        eps[1].recv().unwrap();
+        eps[2].recv().unwrap();
+        assert_eq!(counters.tx_bytes(0), 2 * HDR + 150);
+        assert_eq!(counters.rx_bytes(1), HDR + 100);
+        assert_eq!(counters.rx_bytes(2), HDR + 50);
+        assert_eq!(counters.total_bytes(), 2 * HDR + 150);
+    }
+
+    #[test]
+    fn loopback_is_delivered_but_not_counted() {
+        let (eps, counters) = fabric(2);
+        eps[1].send(1, grad(0, 999)).unwrap();
+        let env = eps[1].recv().unwrap();
+        assert_eq!(env.from, 1);
+        assert_eq!(counters.total_bytes(), 0);
+        assert_eq!(counters.tx_bytes(1), 0);
+    }
+
+    #[test]
+    fn try_recv_is_nonblocking() {
+        let (eps, _) = fabric(2);
+        assert!(eps[0].try_recv().unwrap().is_none());
+        eps[1].send(0, grad(1, 1)).unwrap();
+        assert!(eps[0].try_recv().unwrap().is_some());
+        assert!(eps[0].try_recv().unwrap().is_none());
+    }
+
+    #[test]
+    fn recv_timeout_reports_a_dropped_peer() {
+        let (eps, _) = fabric(2);
+        let err = eps[0].recv_timeout(Duration::from_millis(20)).unwrap_err();
+        assert_eq!(err, TransportError::Timeout);
+        eps[1].send(0, grad(1, 1)).unwrap();
+        assert!(eps[0].recv_timeout(Duration::from_millis(20)).is_ok());
+    }
+
+    #[test]
+    fn endpoints_work_across_threads() {
+        let (mut eps, counters) = fabric(2);
+        let e1 = eps.remove(1);
+        let e0 = eps.remove(0);
+        let t = std::thread::spawn(move || {
+            for i in 0..10 {
+                e1.send(0, grad(i, 8)).unwrap();
+            }
+        });
+        let mut got = 0;
+        for _ in 0..10 {
+            let env = e0.recv().unwrap();
+            assert_eq!(env.from, 1);
+            got += 1;
+        }
+        t.join().unwrap();
+        assert_eq!(got, 10);
+        assert_eq!(counters.total_bytes(), 10 * (HDR + 8));
+    }
+
+    #[test]
+    fn colocated_endpoints_share_a_node() {
+        // Endpoints 0,1 are workers on nodes 0,1; endpoints 2,3 are shards on
+        // the same nodes.
+        let (eps, counters) = fabric_with_nodes(&[0, 1, 0, 1]);
+        // Worker 0 → its local shard (endpoint 2, node 0): loop-back.
+        eps[0].send(2, grad(0, 100)).unwrap();
+        eps[2].recv().unwrap();
+        assert_eq!(counters.total_bytes(), 0);
+        // Worker 0 → remote shard (endpoint 3, node 1): counted.
+        eps[0].send(3, grad(0, 100)).unwrap();
+        eps[3].recv().unwrap();
+        assert_eq!(counters.tx_bytes(0), HDR + 100);
+        assert_eq!(counters.rx_bytes(1), HDR + 100);
+    }
+
+    #[test]
+    fn per_node_totals_sum_tx_and_rx() {
+        let (eps, counters) = fabric(2);
+        eps[0].send(1, grad(0, 10)).unwrap();
+        eps[1].send(0, grad(0, 20)).unwrap();
+        let totals = counters.per_node_totals();
+        assert_eq!(totals[0], (HDR + 10) + (HDR + 20));
+        assert_eq!(totals[0], totals[1]);
+    }
+
+    #[test]
+    fn snapshots_accumulate_without_double_counting() {
+        let a = {
+            let c = TrafficCounters::new(2);
+            c.record(0, 1, 100);
+            c.snapshot()
+        };
+        let b = {
+            let c = TrafficCounters::new(2);
+            c.record(1, 0, 40);
+            c.snapshot()
+        };
+        let mut sum = TrafficSnapshot::zeros(2);
+        sum.accumulate(&a);
+        sum.accumulate(&b);
+        assert_eq!(sum.total_bytes(), 140);
+        assert_eq!(sum.per_node_totals(), vec![140, 140]);
+    }
+}

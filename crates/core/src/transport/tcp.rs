@@ -1,0 +1,618 @@
+//! TCP transport: the comm plane over real sockets, one OS process (or
+//! thread) per endpoint.
+//!
+//! Topology is a full mesh of *unidirectional* connections: for every ordered
+//! pair (a, b) endpoint `a` dials `b` and uses that stream exclusively for
+//! a → b frames, so per-pair ordering is the stream's own ordering. Each
+//! endpoint runs one reader thread per inbound peer; readers decode
+//! length-prefixed frames ([`crate::wire`]) and push [`Envelope`]s onto the
+//! endpoint's inbox.
+//!
+//! Connection establishment is symmetric and retry-based: every endpoint
+//! binds its listener, then concurrently accepts inbound peers (background
+//! thread) and dials outbound peers, retrying `connect` until
+//! [`TcpFabricSpec::connect_timeout`] so start-up order does not matter. Each
+//! dialer opens with a 12-byte HELLO (magic, wire version, endpoint id) so
+//! the acceptor can attribute the stream.
+//!
+//! Graceful shutdown: `shutdown()` half-closes every outbound stream (FIN),
+//! letting peers read all in-flight frames to EOF, then force-closes the
+//! inbound streams so the local readers exit and can be joined even if a
+//! peer dies without saying goodbye.
+//!
+//! Accounting is send-side only: the sender charges the exact buffer it
+//! writes against (source node, destination node) in its ledger, and nothing
+//! is recorded at the receiver — so summing per-process
+//! [`TrafficSnapshot`](super::TrafficSnapshot)s reconstructs the cluster
+//! ledger without double counting. Loop-back (same physical node) frames
+//! still cross the socket but are never counted, exactly like
+//! [`InProcTransport`](super::InProcTransport).
+
+use super::{Envelope, Message, TrafficCounters, Transport, TransportError};
+use crate::wire::{assemble, encode_frame, parse_header, FRAME_HEADER_BYTES, FRAME_VERSION};
+use bytes::Bytes;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// First four bytes of the connection HELLO ("PSDN").
+const HELLO_MAGIC: u32 = 0x5053_444E;
+const HELLO_BYTES: usize = 12;
+
+/// Static description of a TCP fabric: where every endpoint listens and
+/// which physical node it lives on. All participants must construct the
+/// identical spec (same flags to every `poseidon-node` process).
+#[derive(Debug, Clone)]
+pub struct TcpFabricSpec {
+    /// Listen address of each endpoint, indexed by endpoint id.
+    pub addrs: Vec<SocketAddr>,
+    /// Physical node of each endpoint (colocated endpoints share a node and
+    /// their traffic is uncounted loop-back).
+    pub node_of_endpoint: Vec<usize>,
+    /// How long `connect` keeps retrying the mesh before giving up.
+    pub connect_timeout: Duration,
+    /// Pause between dial attempts while a peer's listener is not up yet.
+    pub retry_interval: Duration,
+}
+
+impl TcpFabricSpec {
+    /// A localhost fabric on consecutive ports starting at `base_port`.
+    pub fn loopback(base_port: u16, node_of_endpoint: &[usize]) -> Self {
+        let addrs = (0..node_of_endpoint.len())
+            .map(|i| SocketAddr::from(([127, 0, 0, 1], base_port + i as u16)))
+            .collect();
+        Self {
+            addrs,
+            node_of_endpoint: node_of_endpoint.to_vec(),
+            connect_timeout: Duration::from_secs(10),
+            retry_interval: Duration::from_millis(25),
+        }
+    }
+
+    /// The paper's deployment on localhost: `workers` physical nodes, each
+    /// hosting one worker (endpoints `0..P`) colocated with one KV-store
+    /// shard (endpoints `P..2P`).
+    pub fn colocated_loopback(workers: usize, base_port: u16) -> Self {
+        let ids: Vec<usize> = (0..workers).chain(0..workers).collect();
+        Self::loopback(base_port, &ids)
+    }
+
+    /// Number of physical nodes on the fabric.
+    pub fn physical_nodes(&self) -> usize {
+        self.node_of_endpoint.iter().max().map_or(0, |m| m + 1)
+    }
+}
+
+/// Binds `n` listeners on OS-assigned localhost ports. Lets threaded tests
+/// build a collision-free [`TcpFabricSpec`] before connecting endpoints.
+pub fn bind_ephemeral(n: usize) -> std::io::Result<(Vec<TcpListener>, Vec<SocketAddr>)> {
+    let mut listeners = Vec::with_capacity(n);
+    let mut addrs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let l = TcpListener::bind((std::net::Ipv4Addr::LOCALHOST, 0))?;
+        addrs.push(l.local_addr()?);
+        listeners.push(l);
+    }
+    Ok((listeners, addrs))
+}
+
+/// One endpoint's attachment to a TCP fabric.
+pub struct TcpTransport {
+    me: usize,
+    node: usize,
+    dest_nodes: Vec<usize>,
+    /// Outbound write halves, indexed by peer endpoint; `None` for `me`.
+    writers: Vec<Option<Mutex<TcpStream>>>,
+    /// Loop-back path to our own inbox (dropped at shutdown so readers'
+    /// sender drops can close the channel).
+    self_tx: Option<Sender<Envelope>>,
+    inbox: Receiver<Envelope>,
+    /// Clones of the inbound streams, kept to force readers out of blocking
+    /// reads during shutdown.
+    inbound: Vec<TcpStream>,
+    readers: Vec<JoinHandle<()>>,
+    /// First hard error any reader hit (corrupt frame, I/O failure);
+    /// surfaced by `recv_timeout` so stalls are diagnosable.
+    reader_err: Arc<Mutex<Option<TransportError>>>,
+    counters: Arc<TrafficCounters>,
+    down: bool,
+}
+
+impl TcpTransport {
+    /// Binds this endpoint's listener from the spec and joins the mesh.
+    /// Blocks until connections to and from every peer are up, or until
+    /// `spec.connect_timeout`.
+    pub fn connect(spec: &TcpFabricSpec, me: usize) -> Result<Self, TransportError> {
+        let listener = TcpListener::bind(spec.addrs[me])
+            .map_err(|e| TransportError::Handshake(format!("bind {}: {e}", spec.addrs[me])))?;
+        Self::connect_with_listener(spec, me, listener, None)
+    }
+
+    /// Joins the mesh through an already-bound listener (for ephemeral-port
+    /// fabrics inside one process). `shared_counters` lets colocated test
+    /// endpoints write one ledger; `None` gives this endpoint its own ledger
+    /// holding only frames *it* sends — the multi-process configuration,
+    /// merged later via snapshots.
+    pub fn connect_with_listener(
+        spec: &TcpFabricSpec,
+        me: usize,
+        listener: TcpListener,
+        shared_counters: Option<Arc<TrafficCounters>>,
+    ) -> Result<Self, TransportError> {
+        let n = spec.addrs.len();
+        assert_eq!(n, spec.node_of_endpoint.len(), "malformed fabric spec");
+        assert!(me < n, "endpoint id {me} out of range for {n} endpoints");
+        let deadline = Instant::now() + spec.connect_timeout;
+        let counters = shared_counters
+            .unwrap_or_else(|| Arc::new(TrafficCounters::new(spec.physical_nodes())));
+
+        // Accept inbound peers in the background while we dial outbound, so
+        // the mesh forms regardless of process start-up order.
+        let acceptor = std::thread::spawn(move || accept_peers(&listener, me, n - 1, deadline));
+
+        let mut writers: Vec<Option<Mutex<TcpStream>>> = (0..n).map(|_| None).collect();
+        for peer in (0..n).filter(|&p| p != me) {
+            let stream = dial(spec, me, peer, deadline)?;
+            writers[peer] = Some(Mutex::new(stream));
+        }
+
+        let accepted = acceptor
+            .join()
+            .map_err(|_| TransportError::Handshake("acceptor thread panicked".into()))??;
+
+        let (self_tx, inbox) = channel();
+        let reader_err = Arc::new(Mutex::new(None));
+        let mut inbound = Vec::with_capacity(accepted.len());
+        let mut readers = Vec::with_capacity(accepted.len());
+        for (peer, stream) in accepted {
+            let clone = stream
+                .try_clone()
+                .map_err(|e| TransportError::Handshake(format!("clone inbound stream: {e}")))?;
+            inbound.push(clone);
+            let tx = self_tx.clone();
+            let err = Arc::clone(&reader_err);
+            let from_node = spec.node_of_endpoint[peer];
+            readers.push(std::thread::spawn(move || {
+                reader_loop(stream, from_node, &tx, &err)
+            }));
+        }
+
+        Ok(Self {
+            me,
+            node: spec.node_of_endpoint[me],
+            dest_nodes: spec.node_of_endpoint.clone(),
+            writers,
+            self_tx: Some(self_tx),
+            inbox,
+            inbound,
+            readers,
+            reader_err,
+            counters,
+            down: false,
+        })
+    }
+
+    /// The reader error, if any, else the fallback.
+    fn pending_error(&self, fallback: TransportError) -> TransportError {
+        self.reader_err
+            .lock()
+            .expect("reader error lock")
+            .clone()
+            .unwrap_or(fallback)
+    }
+}
+
+impl Transport for TcpTransport {
+    fn node(&self) -> usize {
+        self.node
+    }
+
+    fn endpoint_id(&self) -> usize {
+        self.me
+    }
+
+    fn endpoints(&self) -> usize {
+        self.writers.len()
+    }
+
+    fn traffic(&self) -> &Arc<TrafficCounters> {
+        &self.counters
+    }
+
+    fn send(&self, to: usize, msg: Message) -> Result<(), TransportError> {
+        if to == self.me {
+            let tx = self.self_tx.as_ref().ok_or(TransportError::Closed)?;
+            // Loop-back within one endpoint never touches the socket and, like
+            // all same-node traffic, is never counted.
+            return tx
+                .send(Envelope {
+                    from: self.node,
+                    msg,
+                })
+                .map_err(|_| TransportError::Closed);
+        }
+        let writer = self
+            .writers
+            .get(to)
+            .ok_or(TransportError::Closed)?
+            .as_ref()
+            .ok_or(TransportError::Closed)?;
+        let frame = encode_frame(&msg);
+        {
+            let mut stream = writer.lock().expect("writer lock");
+            stream
+                .write_all(&frame)
+                .map_err(|e| TransportError::Io(format!("send to endpoint {to}: {e}")))?;
+        }
+        // The counted bytes are the length of the buffer just written.
+        self.counters
+            .record(self.node, self.dest_nodes[to], frame.len() as u64);
+        Ok(())
+    }
+
+    fn recv(&self) -> Result<Envelope, TransportError> {
+        self.inbox
+            .recv()
+            .map_err(|_| self.pending_error(TransportError::Closed))
+    }
+
+    fn try_recv(&self) -> Result<Option<Envelope>, TransportError> {
+        match self.inbox.try_recv() {
+            Ok(env) => Ok(Some(env)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(self.pending_error(TransportError::Closed)),
+        }
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Envelope, TransportError> {
+        match self.inbox.recv_timeout(timeout) {
+            Ok(env) => Ok(env),
+            // A reader that died explains the silence better than "timeout".
+            Err(RecvTimeoutError::Timeout) => Err(self.pending_error(TransportError::Timeout)),
+            Err(RecvTimeoutError::Disconnected) => Err(self.pending_error(TransportError::Closed)),
+        }
+    }
+
+    fn shutdown(&mut self) -> Result<(), TransportError> {
+        if self.down {
+            return Ok(());
+        }
+        self.down = true;
+        self.self_tx = None;
+        // FIN every outbound stream: peers read to EOF, losing nothing.
+        for writer in self.writers.iter().flatten() {
+            let stream = writer.lock().expect("writer lock");
+            let _ = stream.shutdown(Shutdown::Write);
+        }
+        // Force-close inbound streams so readers exit even if a peer never
+        // half-closed its side (crash), then reap them.
+        for stream in &self.inbound {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        for handle in self.readers.drain(..) {
+            let _ = handle.join();
+        }
+        Ok(())
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        if !self.down {
+            // Best-effort teardown on panic paths: close the sockets so
+            // reader threads exit, but do not block joining them.
+            self.down = true;
+            for writer in self.writers.iter().flatten() {
+                if let Ok(stream) = writer.lock() {
+                    let _ = stream.shutdown(Shutdown::Both);
+                }
+            }
+            for stream in &self.inbound {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+        }
+    }
+}
+
+/// Dials `peer`, retrying until its listener is up or `deadline` passes, and
+/// opens the stream with our HELLO.
+fn dial(
+    spec: &TcpFabricSpec,
+    me: usize,
+    peer: usize,
+    deadline: Instant,
+) -> Result<TcpStream, TransportError> {
+    let addr = spec.addrs[peer];
+    loop {
+        let remaining = deadline
+            .checked_duration_since(Instant::now())
+            .ok_or_else(|| {
+                TransportError::Handshake(format!("endpoint {me}: timed out dialing {addr}"))
+            })?;
+        match TcpStream::connect_timeout(&addr, remaining.min(Duration::from_secs(1))) {
+            Ok(mut stream) => {
+                stream
+                    .set_nodelay(true)
+                    .map_err(|e| TransportError::Handshake(format!("nodelay: {e}")))?;
+                let mut hello = [0u8; HELLO_BYTES];
+                hello[0..4].copy_from_slice(&HELLO_MAGIC.to_le_bytes());
+                hello[4..8].copy_from_slice(&(FRAME_VERSION as u32).to_le_bytes());
+                hello[8..12].copy_from_slice(&(me as u32).to_le_bytes());
+                stream
+                    .write_all(&hello)
+                    .map_err(|e| TransportError::Handshake(format!("hello to {addr}: {e}")))?;
+                return Ok(stream);
+            }
+            Err(_) => std::thread::sleep(spec.retry_interval),
+        }
+    }
+}
+
+/// Accepts `expected` inbound peers, validating each HELLO, until `deadline`.
+fn accept_peers(
+    listener: &TcpListener,
+    me: usize,
+    expected: usize,
+    deadline: Instant,
+) -> Result<Vec<(usize, TcpStream)>, TransportError> {
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| TransportError::Handshake(format!("nonblocking accept: {e}")))?;
+    let mut peers: Vec<(usize, TcpStream)> = Vec::with_capacity(expected);
+    while peers.len() < expected {
+        if Instant::now() >= deadline {
+            return Err(TransportError::Handshake(format!(
+                "endpoint {me}: accepted {} of {expected} peers before timeout",
+                peers.len()
+            )));
+        }
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                stream
+                    .set_nonblocking(false)
+                    .map_err(|e| TransportError::Handshake(format!("blocking stream: {e}")))?;
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(5)))
+                    .map_err(|e| TransportError::Handshake(format!("read timeout: {e}")))?;
+                let mut hello = [0u8; HELLO_BYTES];
+                stream
+                    .read_exact(&mut hello)
+                    .map_err(|e| TransportError::Handshake(format!("read hello: {e}")))?;
+                let magic = u32::from_le_bytes(hello[0..4].try_into().expect("4 bytes"));
+                let version = u32::from_le_bytes(hello[4..8].try_into().expect("4 bytes"));
+                let peer = u32::from_le_bytes(hello[8..12].try_into().expect("4 bytes")) as usize;
+                if magic != HELLO_MAGIC {
+                    return Err(TransportError::Handshake(format!(
+                        "bad hello magic {magic:#010x}"
+                    )));
+                }
+                if version != FRAME_VERSION as u32 {
+                    return Err(TransportError::Handshake(format!(
+                        "peer speaks wire version {version}, we speak {FRAME_VERSION}"
+                    )));
+                }
+                if peer == me || peers.iter().any(|(p, _)| *p == peer) {
+                    return Err(TransportError::Handshake(format!(
+                        "duplicate or self hello from endpoint {peer}"
+                    )));
+                }
+                stream
+                    .set_read_timeout(None)
+                    .map_err(|e| TransportError::Handshake(format!("clear timeout: {e}")))?;
+                stream
+                    .set_nodelay(true)
+                    .map_err(|e| TransportError::Handshake(format!("nodelay: {e}")))?;
+                peers.push((peer, stream));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => {
+                return Err(TransportError::Handshake(format!("accept: {e}")));
+            }
+        }
+    }
+    Ok(peers)
+}
+
+/// Reads `buf.len()` bytes. `Ok(false)` on clean EOF at a frame boundary;
+/// EOF mid-buffer is an `UnexpectedEof` error (the peer died mid-frame).
+fn read_full(stream: &mut TcpStream, buf: &mut [u8]) -> std::io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(false);
+                }
+                return Err(std::io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    format!("peer closed {filled} bytes into a {}-byte read", buf.len()),
+                ));
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+/// Decodes frames off one inbound stream until EOF (clean exit) or a hard
+/// error (recorded in `err` for `recv_timeout` to surface).
+fn reader_loop(
+    mut stream: TcpStream,
+    from_node: usize,
+    tx: &Sender<Envelope>,
+    err: &Mutex<Option<TransportError>>,
+) {
+    let fail = |e: TransportError| {
+        let mut slot = err.lock().expect("reader error lock");
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+    };
+    loop {
+        let mut hdr = [0u8; FRAME_HEADER_BYTES];
+        match read_full(&mut stream, &mut hdr) {
+            Ok(false) => return, // clean EOF
+            Ok(true) => {}
+            Err(e) => return fail(TransportError::Io(format!("read frame header: {e}"))),
+        }
+        let header = match parse_header(&hdr) {
+            Ok(h) => h,
+            Err(e) => return fail(TransportError::Frame(e)),
+        };
+        let mut payload = vec![0u8; header.payload_len];
+        match read_full(&mut stream, &mut payload) {
+            Ok(true) => {}
+            Ok(false) | Err(_) => {
+                return fail(TransportError::Io("peer died mid-frame".into()));
+            }
+        }
+        let msg = assemble(&header, Bytes::from(payload));
+        if tx
+            .send(Envelope {
+                from: from_node,
+                msg,
+            })
+            .is_err()
+        {
+            return; // local endpoint shut down first
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::LAYER_GRANULAR_CHUNK;
+
+    fn grad(iter: u64, payload: usize) -> Message {
+        Message::GradChunk {
+            iter,
+            layer: 1,
+            chunk: LAYER_GRANULAR_CHUNK,
+            data: Bytes::from(vec![7u8; payload]),
+        }
+    }
+
+    /// Builds an ephemeral-port fabric and runs `f(endpoint)` on one thread
+    /// per endpoint, all sharing one ledger.
+    fn with_fabric(
+        node_of_endpoint: &[usize],
+        f: impl Fn(TcpTransport) + Send + Sync,
+    ) -> Arc<TrafficCounters> {
+        let (listeners, addrs) = bind_ephemeral(node_of_endpoint.len()).expect("bind");
+        let spec = TcpFabricSpec {
+            addrs,
+            node_of_endpoint: node_of_endpoint.to_vec(),
+            connect_timeout: Duration::from_secs(10),
+            retry_interval: Duration::from_millis(5),
+        };
+        let counters = Arc::new(TrafficCounters::new(spec.physical_nodes()));
+        std::thread::scope(|s| {
+            for (me, listener) in listeners.into_iter().enumerate() {
+                let spec = spec.clone();
+                let counters = Arc::clone(&counters);
+                let f = &f;
+                s.spawn(move || {
+                    let ep =
+                        TcpTransport::connect_with_listener(&spec, me, listener, Some(counters))
+                            .expect("mesh");
+                    f(ep);
+                });
+            }
+        });
+        counters
+    }
+
+    #[test]
+    fn mesh_delivers_in_both_directions_and_counts_frames() {
+        let counters = with_fabric(&[0, 1], |mut ep| {
+            let other = 1 - ep.endpoint_id();
+            ep.send(other, grad(ep.endpoint_id() as u64, 40)).unwrap();
+            let env = ep.recv().unwrap();
+            assert_eq!(env.from, other);
+            assert_eq!(env.msg.iter(), other as u64);
+            ep.shutdown().unwrap();
+        });
+        let frame = (FRAME_HEADER_BYTES + 40) as u64;
+        assert_eq!(counters.tx_bytes(0), frame);
+        assert_eq!(counters.tx_bytes(1), frame);
+        assert_eq!(counters.total_bytes(), 2 * frame);
+    }
+
+    #[test]
+    fn colocated_tcp_endpoints_are_loopback() {
+        let counters = with_fabric(&[0, 0, 1], |mut ep| {
+            if ep.endpoint_id() == 0 {
+                // Same-node peer and self: delivered, never counted.
+                ep.send(1, grad(1, 64)).unwrap();
+                ep.send(0, grad(2, 64)).unwrap();
+                assert_eq!(ep.recv().unwrap().from, 0);
+                // Cross-node: counted.
+                ep.send(2, grad(3, 64)).unwrap();
+            }
+            if ep.endpoint_id() == 1 {
+                assert_eq!(ep.recv().unwrap().from, 0);
+            }
+            if ep.endpoint_id() == 2 {
+                assert_eq!(ep.recv().unwrap().msg.iter(), 3);
+            }
+            ep.shutdown().unwrap();
+        });
+        assert_eq!(counters.total_bytes(), (FRAME_HEADER_BYTES + 64) as u64);
+        assert_eq!(counters.rx_bytes(1), (FRAME_HEADER_BYTES + 64) as u64);
+    }
+
+    #[test]
+    fn frames_keep_per_pair_order_under_load() {
+        with_fabric(&[0, 1], |mut ep| {
+            if ep.endpoint_id() == 0 {
+                for i in 0..500u64 {
+                    ep.send(1, grad(i, (i % 97) as usize)).unwrap();
+                }
+            } else {
+                for i in 0..500u64 {
+                    let env = ep.recv().unwrap();
+                    assert_eq!(env.msg.iter(), i, "reordered frame");
+                }
+            }
+            ep.shutdown().unwrap();
+        });
+    }
+
+    #[test]
+    fn recv_timeout_expires_when_no_peer_talks() {
+        with_fabric(&[0, 1], |mut ep| {
+            let err = ep.recv_timeout(Duration::from_millis(30)).unwrap_err();
+            assert_eq!(err, TransportError::Timeout);
+            ep.shutdown().unwrap();
+        });
+    }
+
+    #[test]
+    fn connect_times_out_without_peers() {
+        let (listeners, addrs) = bind_ephemeral(2).expect("bind");
+        let spec = TcpFabricSpec {
+            addrs,
+            node_of_endpoint: vec![0, 1],
+            connect_timeout: Duration::from_millis(200),
+            retry_interval: Duration::from_millis(10),
+        };
+        // Endpoint 1 never shows up.
+        drop(listeners);
+        let l = TcpListener::bind((std::net::Ipv4Addr::LOCALHOST, 0)).unwrap();
+        let mut spec2 = spec.clone();
+        spec2.addrs[0] = l.local_addr().unwrap();
+        let err = match TcpTransport::connect_with_listener(&spec2, 0, l, None) {
+            Ok(_) => panic!("mesh connect must fail without peers"),
+            Err(e) => e,
+        };
+        assert!(matches!(err, TransportError::Handshake(_)), "{err:?}");
+    }
+}

@@ -1,0 +1,446 @@
+//! The wire layer: a self-describing, versioned frame codec plus the payload
+//! codecs for the runtime's messages.
+//!
+//! Every [`Message`](crate::transport::Message) that crosses a transport is
+//! encoded as one *frame*:
+//!
+//! ```text
+//! offset  size  field
+//! 0       2     magic  "PN"
+//! 2       1     version (currently 1)
+//! 3       1     tag (1 GradChunk | 2 ParamChunk | 3 SfPush | 4 ParamMatrix)
+//! 4       8     iter        u64 LE
+//! 12      4     layer       u32 LE
+//! 16      4     chunk       u32 LE (LAYER_GRANULAR_CHUNK where not applicable)
+//! 20      4     payload_len u32 LE
+//! 24      n     payload (opaque bytes, see the payload codecs below)
+//! ```
+//!
+//! The frame is the single source of truth for byte accounting:
+//! `Message::wire_bytes()` is *derived from the encoded frame*, so the
+//! traffic counters can never drift from what actually crosses a socket.
+//! The in-process transport counts `encode_frame(..).len()`; the TCP
+//! transport counts the very buffer it writes.
+//!
+//! Payload codecs (dense f32 runs, the 1-bit bundle) live here too so the
+//! whole wire format is defined in one module; sufficient-factor batches use
+//! [`poseidon_tensor::bytesio`].
+
+use crate::transport::Message;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use poseidon_tensor::quantize::QuantizedGrad;
+
+/// First two bytes of every frame.
+pub const FRAME_MAGIC: [u8; 2] = *b"PN";
+
+/// Current wire-format version. Decoders reject every other version.
+pub const FRAME_VERSION: u8 = 1;
+
+/// Fixed size of the frame header preceding every payload.
+pub const FRAME_HEADER_BYTES: usize = 24;
+
+/// Upper bound on a frame payload; guards against corrupt length fields
+/// causing huge allocations (VGG19-22K's largest layer is ~1.5 GB of f32s,
+/// but it is chunked into 2 MB KV pairs long before framing).
+pub const MAX_FRAME_PAYLOAD: usize = 1 << 30;
+
+/// Chunk id marking a layer-granular message (Adam / 1-bit paths), which
+/// bypasses KV-pair chunking. Also written into the chunk field of frames
+/// whose message variant carries no chunk id.
+pub const LAYER_GRANULAR_CHUNK: u32 = u32::MAX;
+
+const TAG_GRAD_CHUNK: u8 = 1;
+const TAG_PARAM_CHUNK: u8 = 2;
+const TAG_SF_PUSH: u8 = 3;
+const TAG_PARAM_MATRIX: u8 = 4;
+
+/// Why a buffer failed to decode as a frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The buffer ends before the frame does; `needed` is the total frame
+    /// size in bytes (or the header size if even that is incomplete). A
+    /// streaming decoder should read more; a whole-message decoder should
+    /// reject the input as truncated.
+    Incomplete {
+        /// Total bytes the frame needs from the start of the buffer.
+        needed: usize,
+    },
+    /// The first two bytes are not [`FRAME_MAGIC`].
+    BadMagic([u8; 2]),
+    /// The version byte is not [`FRAME_VERSION`].
+    BadVersion(u8),
+    /// The tag byte names no known message variant.
+    BadTag(u8),
+    /// The declared payload length exceeds [`MAX_FRAME_PAYLOAD`].
+    Oversized(usize),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Incomplete { needed } => {
+                write!(f, "frame truncated (needs {needed} bytes)")
+            }
+            FrameError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            FrameError::BadVersion(v) => {
+                write!(
+                    f,
+                    "unsupported frame version {v} (expected {FRAME_VERSION})"
+                )
+            }
+            FrameError::BadTag(t) => write!(f, "unknown frame tag {t}"),
+            FrameError::Oversized(n) => write!(f, "frame payload of {n} bytes exceeds the cap"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// A parsed frame header; pair it with `payload_len` payload bytes and
+/// [`assemble`] to recover the message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Message variant tag (validated).
+    tag: u8,
+    /// Training iteration stamp.
+    pub iter: u64,
+    /// Layer index.
+    pub layer: u32,
+    /// Chunk index ([`LAYER_GRANULAR_CHUNK`] where the variant has none).
+    pub chunk: u32,
+    /// Payload bytes following the header.
+    pub payload_len: usize,
+}
+
+/// Encodes a message as one self-describing frame.
+///
+/// # Panics
+///
+/// Panics if the payload exceeds [`MAX_FRAME_PAYLOAD`].
+pub fn encode_frame(msg: &Message) -> Bytes {
+    let (tag, iter, layer, chunk, data) = match msg {
+        Message::GradChunk {
+            iter,
+            layer,
+            chunk,
+            data,
+        } => (TAG_GRAD_CHUNK, *iter, *layer, *chunk, data),
+        Message::ParamChunk {
+            iter,
+            layer,
+            chunk,
+            data,
+        } => (TAG_PARAM_CHUNK, *iter, *layer, *chunk, data),
+        Message::SfPush { iter, layer, data } => {
+            (TAG_SF_PUSH, *iter, *layer, LAYER_GRANULAR_CHUNK, data)
+        }
+        Message::ParamMatrix { iter, layer, data } => {
+            (TAG_PARAM_MATRIX, *iter, *layer, LAYER_GRANULAR_CHUNK, data)
+        }
+    };
+    assert!(
+        data.len() <= MAX_FRAME_PAYLOAD,
+        "payload of {} bytes exceeds the frame cap",
+        data.len()
+    );
+    let mut buf = BytesMut::with_capacity(FRAME_HEADER_BYTES + data.len());
+    buf.put_slice(&FRAME_MAGIC);
+    buf.put_u8(FRAME_VERSION);
+    buf.put_u8(tag);
+    buf.put_u64_le(iter);
+    buf.put_u32_le(layer);
+    buf.put_u32_le(chunk);
+    buf.put_u32_le(data.len() as u32);
+    buf.put_slice(data);
+    buf.freeze()
+}
+
+/// Validates and parses a frame header.
+pub fn parse_header(hdr: &[u8; FRAME_HEADER_BYTES]) -> Result<FrameHeader, FrameError> {
+    if hdr[0..2] != FRAME_MAGIC {
+        return Err(FrameError::BadMagic([hdr[0], hdr[1]]));
+    }
+    if hdr[2] != FRAME_VERSION {
+        return Err(FrameError::BadVersion(hdr[2]));
+    }
+    let tag = hdr[3];
+    if !(TAG_GRAD_CHUNK..=TAG_PARAM_MATRIX).contains(&tag) {
+        return Err(FrameError::BadTag(tag));
+    }
+    let mut rest = &hdr[4..];
+    let iter = rest.get_u64_le();
+    let layer = rest.get_u32_le();
+    let chunk = rest.get_u32_le();
+    let payload_len = rest.get_u32_le() as usize;
+    if payload_len > MAX_FRAME_PAYLOAD {
+        return Err(FrameError::Oversized(payload_len));
+    }
+    Ok(FrameHeader {
+        tag,
+        iter,
+        layer,
+        chunk,
+        payload_len,
+    })
+}
+
+/// Rebuilds the message from a validated header and its payload.
+///
+/// # Panics
+///
+/// Panics if `payload` does not match the header's declared length.
+pub fn assemble(header: &FrameHeader, payload: Bytes) -> Message {
+    assert_eq!(
+        payload.len(),
+        header.payload_len,
+        "payload length does not match the frame header"
+    );
+    match header.tag {
+        TAG_GRAD_CHUNK => Message::GradChunk {
+            iter: header.iter,
+            layer: header.layer,
+            chunk: header.chunk,
+            data: payload,
+        },
+        TAG_PARAM_CHUNK => Message::ParamChunk {
+            iter: header.iter,
+            layer: header.layer,
+            chunk: header.chunk,
+            data: payload,
+        },
+        TAG_SF_PUSH => Message::SfPush {
+            iter: header.iter,
+            layer: header.layer,
+            data: payload,
+        },
+        TAG_PARAM_MATRIX => Message::ParamMatrix {
+            iter: header.iter,
+            layer: header.layer,
+            data: payload,
+        },
+        other => unreachable!("parse_header admitted tag {other}"),
+    }
+}
+
+/// Decodes one frame from the front of `buf`.
+///
+/// Returns the message and the number of bytes consumed, or
+/// [`FrameError::Incomplete`] when `buf` holds less than one whole frame.
+pub fn decode_frame(buf: &[u8]) -> Result<(Message, usize), FrameError> {
+    if buf.len() < FRAME_HEADER_BYTES {
+        return Err(FrameError::Incomplete {
+            needed: FRAME_HEADER_BYTES,
+        });
+    }
+    let mut hdr = [0u8; FRAME_HEADER_BYTES];
+    hdr.copy_from_slice(&buf[..FRAME_HEADER_BYTES]);
+    let header = parse_header(&hdr)?;
+    let total = FRAME_HEADER_BYTES + header.payload_len;
+    if buf.len() < total {
+        return Err(FrameError::Incomplete { needed: total });
+    }
+    let payload = Bytes::copy_from_slice(&buf[FRAME_HEADER_BYTES..total]);
+    Ok((assemble(&header, payload), total))
+}
+
+// ---------------------------------------------------------------------------
+// Payload codecs
+// ---------------------------------------------------------------------------
+
+/// Encodes a flat f32 slice.
+pub fn encode_f32s(vals: &[f32]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(vals.len() * 4);
+    for &v in vals {
+        buf.put_f32_le(v);
+    }
+    buf.freeze()
+}
+
+/// Decodes a buffer produced by [`encode_f32s`].
+///
+/// Returns `None` if the length is not a multiple of 4.
+pub fn decode_f32s(mut buf: &[u8]) -> Option<Vec<f32>> {
+    if !buf.len().is_multiple_of(4) {
+        return None;
+    }
+    let mut out = Vec::with_capacity(buf.len() / 4);
+    while buf.has_remaining() {
+        out.push(buf.get_f32_le());
+    }
+    Some(out)
+}
+
+/// Encodes a 1-bit payload: `u32 qlen ++ quantized weights ++ bias f32s`.
+pub fn encode_onebit(quant: &QuantizedGrad, bias_grad: &[f32]) -> Bytes {
+    let q = quant.to_bytes();
+    let mut buf = BytesMut::with_capacity(4 + q.len() + bias_grad.len() * 4);
+    buf.put_u32_le(q.len() as u32);
+    buf.put_slice(&q);
+    for &v in bias_grad {
+        buf.put_f32_le(v);
+    }
+    buf.freeze()
+}
+
+/// Decodes a buffer produced by [`encode_onebit`].
+pub fn decode_onebit(mut buf: &[u8]) -> Option<(QuantizedGrad, Vec<f32>)> {
+    if buf.remaining() < 4 {
+        return None;
+    }
+    let qlen = buf.get_u32_le() as usize;
+    if buf.remaining() < qlen {
+        return None;
+    }
+    let quant = QuantizedGrad::from_bytes(&buf[..qlen])?;
+    buf.advance(qlen);
+    let bias = decode_f32s(buf)?;
+    Some((quant, bias))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poseidon_tensor::quantize::OneBitQuantizer;
+    use poseidon_tensor::Matrix;
+
+    fn sample_messages() -> Vec<Message> {
+        vec![
+            Message::GradChunk {
+                iter: 7,
+                layer: 3,
+                chunk: 2,
+                data: encode_f32s(&[1.0, -2.5, 3.25]),
+            },
+            Message::ParamChunk {
+                iter: u64::MAX,
+                layer: u32::MAX,
+                chunk: LAYER_GRANULAR_CHUNK,
+                data: Bytes::new(),
+            },
+            Message::SfPush {
+                iter: 0,
+                layer: 0,
+                data: Bytes::from(vec![9u8; 17]),
+            },
+            Message::ParamMatrix {
+                iter: 42,
+                layer: 1,
+                data: encode_f32s(&[f32::MIN, f32::MAX, 0.0]),
+            },
+        ]
+    }
+
+    fn payload_of(msg: &Message) -> &Bytes {
+        match msg {
+            Message::GradChunk { data, .. }
+            | Message::ParamChunk { data, .. }
+            | Message::SfPush { data, .. }
+            | Message::ParamMatrix { data, .. } => data,
+        }
+    }
+
+    #[test]
+    fn frames_roundtrip_every_variant() {
+        for msg in sample_messages() {
+            let frame = encode_frame(&msg);
+            assert_eq!(frame.len(), FRAME_HEADER_BYTES + payload_of(&msg).len());
+            let (decoded, consumed) = decode_frame(&frame).expect("clean frame");
+            assert_eq!(consumed, frame.len());
+            assert_eq!(encode_frame(&decoded), frame, "re-encode must be stable");
+        }
+    }
+
+    #[test]
+    fn decode_consumes_exactly_one_frame() {
+        let msgs = sample_messages();
+        let mut stream = Vec::new();
+        for m in &msgs {
+            stream.extend_from_slice(&encode_frame(m));
+        }
+        let mut off = 0;
+        for m in &msgs {
+            let (decoded, used) = decode_frame(&stream[off..]).expect("frame");
+            assert_eq!(encode_frame(&decoded), encode_frame(m));
+            off += used;
+        }
+        assert_eq!(off, stream.len());
+    }
+
+    #[test]
+    fn truncated_frames_are_incomplete_not_garbage() {
+        let frame = encode_frame(&sample_messages()[0]);
+        for cut in 0..frame.len() {
+            match decode_frame(&frame[..cut]) {
+                Err(FrameError::Incomplete { needed }) => assert!(needed > cut),
+                other => panic!("prefix of {cut} bytes decoded as {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_headers_are_rejected() {
+        let frame = encode_frame(&sample_messages()[0]).to_vec();
+        let mut bad = frame.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            decode_frame(&bad),
+            Err(FrameError::BadMagic([b'X', _]))
+        ));
+        let mut bad = frame.clone();
+        bad[2] = FRAME_VERSION + 1;
+        assert!(matches!(
+            decode_frame(&bad),
+            Err(FrameError::BadVersion(v)) if v == FRAME_VERSION + 1
+        ));
+        let mut bad = frame.clone();
+        bad[3] = 200;
+        assert!(matches!(decode_frame(&bad), Err(FrameError::BadTag(200))));
+        let mut bad = frame;
+        bad[20..24].copy_from_slice(&(MAX_FRAME_PAYLOAD as u32 + 1).to_le_bytes());
+        assert!(matches!(decode_frame(&bad), Err(FrameError::Oversized(_))));
+    }
+
+    #[test]
+    fn f32_roundtrip() {
+        let vals = vec![1.5f32, -2.25, 0.0, f32::MAX];
+        let bytes = encode_f32s(&vals);
+        assert_eq!(bytes.len(), 16);
+        assert_eq!(decode_f32s(&bytes).unwrap(), vals);
+    }
+
+    #[test]
+    fn f32_rejects_misaligned() {
+        assert!(decode_f32s(&[0u8; 5]).is_none());
+        assert_eq!(decode_f32s(&[]).unwrap(), Vec::<f32>::new());
+    }
+
+    #[test]
+    fn onebit_roundtrip() {
+        let g = Matrix::from_vec(2, 3, vec![1.0, -2.0, 3.0, -4.0, 5.0, -6.0]);
+        let mut quantizer = OneBitQuantizer::new(2, 3);
+        let quant = quantizer.quantize(&g);
+        let bias = vec![0.5f32, -0.5];
+        let bytes = encode_onebit(&quant, &bias);
+        let (q2, b2) = decode_onebit(&bytes).unwrap();
+        assert_eq!(q2, quant);
+        assert_eq!(b2, bias);
+    }
+
+    #[test]
+    fn onebit_rejects_truncation() {
+        let g = Matrix::filled(4, 4, 1.0);
+        let quant = OneBitQuantizer::new(4, 4).quantize(&g);
+        let bytes = encode_onebit(&quant, &[1.0]);
+        assert!(decode_onebit(&bytes[..3]).is_none());
+        assert!(decode_onebit(&bytes[..bytes.len() - 2]).is_none());
+    }
+
+    #[test]
+    fn onebit_payload_is_compressed() {
+        let g = Matrix::filled(128, 128, 1.0);
+        let quant = OneBitQuantizer::new(128, 128).quantize(&g);
+        let bytes = encode_onebit(&quant, &[0.0; 128]);
+        let dense = 128 * 128 * 4;
+        assert!(bytes.len() < dense / 10, "{} vs {dense}", bytes.len());
+    }
+}

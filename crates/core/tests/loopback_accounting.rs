@@ -1,0 +1,206 @@
+//! Pins the loop-back accounting contract on *both* transports: messages
+//! between endpoints colocated on one physical node are delivered but never
+//! counted by [`TrafficCounters`], while cross-node messages are counted at
+//! exactly their encoded frame length. Table 1's `(P1 + P2 − 2)/P2` factor
+//! depends on this — a colocated worker/shard pair's exchange is free.
+
+use bytes::Bytes;
+use poseidon::transport::{
+    bind_ephemeral, fabric_with_nodes, Message, TcpFabricSpec, TcpTransport, TrafficCounters,
+    Transport,
+};
+use poseidon::wire::FRAME_HEADER_BYTES;
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn grad(iter: u64, payload: usize) -> Message {
+    Message::GradChunk {
+        iter,
+        layer: 0,
+        chunk: 0,
+        data: Bytes::from(vec![0x5Au8; payload]),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// In-proc fabric, arbitrary colocation layout and message plan: only
+    /// cross-node messages are counted, each at its frame length, and every
+    /// message (loop-back included) is delivered.
+    #[test]
+    fn inproc_loopback_uncounted_cross_node_exact(
+        node_of_endpoint in proptest::collection::vec(0usize..4, 2..8),
+        plan in proptest::collection::vec(
+            (any::<u16>(), any::<u16>(), 0usize..256),
+            1..32,
+        ),
+    ) {
+        let (eps, counters) = fabric_with_nodes(&node_of_endpoint);
+        let n = eps.len();
+        let mut expected_total = 0u64;
+        let mut expected_deliveries = vec![0usize; n];
+        for &(from_raw, to_raw, payload) in &plan {
+            let from = from_raw as usize % n;
+            let to = to_raw as usize % n;
+            let msg = grad(0, payload);
+            if node_of_endpoint[from] != node_of_endpoint[to] {
+                expected_total += msg.wire_bytes();
+            }
+            eps[from].send(to, msg).unwrap();
+            expected_deliveries[to] += 1;
+        }
+        prop_assert_eq!(counters.total_bytes(), expected_total);
+        for (ep, &want) in eps.iter().zip(&expected_deliveries) {
+            let mut got = 0;
+            while ep.try_recv().unwrap().is_some() {
+                got += 1;
+            }
+            prop_assert_eq!(got, want, "endpoint lost or invented messages");
+        }
+        // tx and rx ledgers agree in aggregate.
+        let tx_sum: u64 = (0..counters.nodes()).map(|x| counters.tx_bytes(x)).sum();
+        let rx_sum: u64 = (0..counters.nodes()).map(|x| counters.rx_bytes(x)).sum();
+        prop_assert_eq!(tx_sum, rx_sum);
+    }
+}
+
+/// The same contract over real sockets: endpoints 0 and 1 share node 0,
+/// endpoint 2 sits alone on node 1. Colocated traffic crosses the socket but
+/// never the ledger; remote traffic is counted at frame length.
+#[test]
+fn tcp_loopback_uncounted_cross_node_exact() {
+    let node_of_endpoint = [0usize, 0, 1];
+    let (listeners, addrs) = bind_ephemeral(3).expect("bind");
+    let spec = TcpFabricSpec {
+        addrs,
+        node_of_endpoint: node_of_endpoint.to_vec(),
+        connect_timeout: Duration::from_secs(10),
+        retry_interval: Duration::from_millis(5),
+    };
+    let counters = Arc::new(TrafficCounters::new(spec.physical_nodes()));
+    const PAYLOAD: usize = 96;
+    const ROUNDS: u64 = 10;
+
+    std::thread::scope(|s| {
+        for (me, listener) in listeners.into_iter().enumerate() {
+            let spec = spec.clone();
+            let counters = Arc::clone(&counters);
+            s.spawn(move || {
+                let mut ep =
+                    TcpTransport::connect_with_listener(&spec, me, listener, Some(counters))
+                        .expect("mesh");
+                match me {
+                    0 => {
+                        for i in 0..ROUNDS {
+                            ep.send(1, grad(i, PAYLOAD)).unwrap(); // colocated
+                            ep.send(0, grad(i, PAYLOAD)).unwrap(); // self
+                            ep.send(2, grad(i, PAYLOAD)).unwrap(); // remote
+                        }
+                        for i in 0..ROUNDS {
+                            let env = ep.recv().unwrap();
+                            assert_eq!(env.from, 0, "self loop-back keeps origin");
+                            assert_eq!(env.msg.iter(), i);
+                        }
+                    }
+                    1 => {
+                        for i in 0..ROUNDS {
+                            let env = ep.recv().unwrap();
+                            assert_eq!(env.from, 0);
+                            assert_eq!(env.msg.iter(), i);
+                        }
+                    }
+                    _ => {
+                        for i in 0..ROUNDS {
+                            let env = ep.recv().unwrap();
+                            assert_eq!(env.from, 0);
+                            assert_eq!(env.msg.iter(), i);
+                        }
+                    }
+                }
+                ep.shutdown().unwrap();
+            });
+        }
+    });
+
+    // Of 3 sends per round only the node 0 -> node 1 one is counted.
+    let frame = (FRAME_HEADER_BYTES + PAYLOAD) as u64;
+    assert_eq!(counters.total_bytes(), ROUNDS * frame);
+    assert_eq!(counters.tx_bytes(0), ROUNDS * frame);
+    assert_eq!(counters.rx_bytes(1), ROUNDS * frame);
+    assert_eq!(counters.rx_bytes(0), 0, "loop-back must not be counted");
+}
+
+/// Both transports charge the identical number of bytes for the identical
+/// message plan — the in-proc fabric is a faithful accounting model of TCP.
+#[test]
+fn transports_agree_on_counted_bytes() {
+    let node_of_endpoint = [0usize, 0, 1];
+    let payloads = [0usize, 1, 13, 128, 1024];
+
+    // In-proc run.
+    let (inproc_eps, inproc_counters) = fabric_with_nodes(&node_of_endpoint);
+    for (i, &p) in payloads.iter().enumerate() {
+        inproc_eps[0].send(1, grad(i as u64, p)).unwrap();
+        inproc_eps[0].send(2, grad(i as u64, p)).unwrap();
+        inproc_eps[2].send(0, grad(i as u64, p)).unwrap();
+    }
+
+    // TCP run of the same plan.
+    let (listeners, addrs) = bind_ephemeral(3).expect("bind");
+    let spec = TcpFabricSpec {
+        addrs,
+        node_of_endpoint: node_of_endpoint.to_vec(),
+        connect_timeout: Duration::from_secs(10),
+        retry_interval: Duration::from_millis(5),
+    };
+    let tcp_counters = Arc::new(TrafficCounters::new(spec.physical_nodes()));
+    std::thread::scope(|s| {
+        for (me, listener) in listeners.into_iter().enumerate() {
+            let spec = spec.clone();
+            let counters = Arc::clone(&tcp_counters);
+            s.spawn(move || {
+                let mut ep =
+                    TcpTransport::connect_with_listener(&spec, me, listener, Some(counters))
+                        .expect("mesh");
+                match me {
+                    0 => {
+                        for (i, &p) in payloads.iter().enumerate() {
+                            ep.send(1, grad(i as u64, p)).unwrap();
+                            ep.send(2, grad(i as u64, p)).unwrap();
+                        }
+                        for _ in payloads {
+                            ep.recv().unwrap();
+                        }
+                    }
+                    1 => {
+                        for _ in payloads {
+                            ep.recv().unwrap();
+                        }
+                    }
+                    _ => {
+                        for (i, &p) in payloads.iter().enumerate() {
+                            ep.send(0, grad(i as u64, p)).unwrap();
+                        }
+                        for _ in payloads {
+                            ep.recv().unwrap();
+                        }
+                    }
+                }
+                ep.shutdown().unwrap();
+            });
+        }
+    });
+
+    assert_eq!(inproc_counters.total_bytes(), tcp_counters.total_bytes());
+    assert_eq!(
+        inproc_counters.per_node_totals(),
+        tcp_counters.per_node_totals()
+    );
+    assert_eq!(
+        inproc_counters.snapshot(),
+        tcp_counters.snapshot(),
+        "full tx/rx ledgers must agree between transports"
+    );
+}

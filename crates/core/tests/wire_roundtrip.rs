@@ -1,0 +1,199 @@
+//! Property tests for the wire layer: every frame variant round-trips
+//! bit-exactly through the codec, truncation is always reported as
+//! `Incomplete` (never a panic or a garbage message), and corrupt headers
+//! are rejected with the precise error.
+
+use bytes::Bytes;
+use poseidon::transport::Message;
+use poseidon::wire::{
+    decode_frame, encode_frame, encode_onebit, FrameError, FRAME_HEADER_BYTES, FRAME_MAGIC,
+    FRAME_VERSION, LAYER_GRANULAR_CHUNK,
+};
+use poseidon_tensor::bytesio;
+use poseidon_tensor::quantize::OneBitQuantizer;
+use poseidon_tensor::sf::{SfBatch, SufficientFactor};
+use poseidon_tensor::Matrix;
+use proptest::prelude::*;
+
+/// A strategy over every message variant with arbitrary header fields and an
+/// arbitrary opaque payload.
+fn any_message() -> impl Strategy<Value = Message> {
+    let payload = proptest::collection::vec(any::<u8>(), 0..512);
+    (any::<u64>(), any::<u32>(), any::<u32>(), payload, 0u8..4).prop_map(
+        |(iter, layer, chunk, data, variant)| {
+            let data = Bytes::from(data);
+            match variant {
+                0 => Message::GradChunk {
+                    iter,
+                    layer,
+                    chunk,
+                    data,
+                },
+                1 => Message::ParamChunk {
+                    iter,
+                    layer,
+                    chunk,
+                    data,
+                },
+                2 => Message::SfPush { iter, layer, data },
+                _ => Message::ParamMatrix { iter, layer, data },
+            }
+        },
+    )
+}
+
+fn header_fields(msg: &Message) -> (u64, u32, Option<u32>, &Bytes) {
+    match msg {
+        Message::GradChunk {
+            iter,
+            layer,
+            chunk,
+            data,
+        }
+        | Message::ParamChunk {
+            iter,
+            layer,
+            chunk,
+            data,
+        } => (*iter, *layer, Some(*chunk), data),
+        Message::SfPush { iter, layer, data } | Message::ParamMatrix { iter, layer, data } => {
+            (*iter, *layer, None, data)
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn every_variant_roundtrips_bit_exactly(msg in any_message()) {
+        let frame = encode_frame(&msg);
+        let (iter, _, _, data) = header_fields(&msg);
+        prop_assert_eq!(frame.len(), FRAME_HEADER_BYTES + data.len());
+        prop_assert_eq!(msg.wire_bytes(), frame.len() as u64);
+
+        let (decoded, consumed) = decode_frame(&frame).expect("own frame must decode");
+        prop_assert_eq!(consumed, frame.len());
+        prop_assert_eq!(decoded.iter(), iter);
+        // Same variant, same fields, same payload <=> identical re-encoding.
+        prop_assert_eq!(encode_frame(&decoded), frame);
+    }
+
+    #[test]
+    fn any_strict_prefix_is_incomplete(msg in any_message(), cut_frac in 0.0f64..1.0) {
+        let frame = encode_frame(&msg);
+        let cut = ((frame.len() as f64) * cut_frac) as usize; // < len
+        match decode_frame(&frame[..cut]) {
+            Err(FrameError::Incomplete { needed }) => {
+                prop_assert!(needed > cut, "needed {} <= cut {}", needed, cut);
+                prop_assert!(needed <= frame.len());
+            }
+            other => prop_assert!(false, "prefix of {} bytes gave {:?}", cut, other),
+        }
+        // And trailing garbage does not confuse the decode of frame one.
+        let mut padded = frame.to_vec();
+        padded.extend_from_slice(&[0xAA; 7]);
+        let (_, consumed) = decode_frame(&padded).expect("padded frame");
+        prop_assert_eq!(consumed, frame.len());
+    }
+
+    #[test]
+    fn corrupt_magic_version_tag_are_rejected(
+        msg in any_message(),
+        bad_magic in any::<[u8; 2]>(),
+        bad_version in any::<u8>(),
+        bad_tag in 5u8..,
+    ) {
+        let frame = encode_frame(&msg).to_vec();
+
+        if bad_magic != FRAME_MAGIC {
+            let mut f = frame.clone();
+            f[0] = bad_magic[0];
+            f[1] = bad_magic[1];
+            prop_assert_eq!(
+                decode_frame(&f).err(),
+                Some(FrameError::BadMagic(bad_magic))
+            );
+        }
+        if bad_version != FRAME_VERSION {
+            let mut f = frame.clone();
+            f[2] = bad_version;
+            prop_assert_eq!(
+                decode_frame(&f).err(),
+                Some(FrameError::BadVersion(bad_version))
+            );
+        }
+        let mut f = frame;
+        f[3] = bad_tag;
+        prop_assert_eq!(decode_frame(&f).err(), Some(FrameError::BadTag(bad_tag)));
+    }
+
+    /// A realistic SFB payload survives the full path: factor batch ->
+    /// payload codec -> frame -> decode -> payload codec.
+    #[test]
+    fn sf_push_payload_roundtrips_through_the_frame(
+        m in 1usize..12,
+        n in 1usize..12,
+        k in 1usize..6,
+        seed in any::<u32>(),
+    ) {
+        let mut batch = SfBatch::new();
+        for s in 0..k {
+            let val = |i: usize| (seed.wrapping_add((s * 31 + i) as u32) % 1000) as f32 / 97.0 - 5.0;
+            batch.push(SufficientFactor::new(
+                (0..m).map(val).collect(),
+                (0..n).map(|i| val(i + m)).collect(),
+            ));
+        }
+        let msg = Message::SfPush {
+            iter: 3,
+            layer: 1,
+            data: bytesio::encode_sf_batch(&batch),
+        };
+        let frame = encode_frame(&msg);
+        prop_assert_eq!(
+            frame.len(),
+            FRAME_HEADER_BYTES + bytesio::sf_batch_wire_bytes(k, m, n)
+        );
+        let (decoded, _) = decode_frame(&frame).expect("frame");
+        let Message::SfPush { data, .. } = decoded else {
+            panic!("variant changed in flight");
+        };
+        let back = bytesio::decode_sf_batch(&data).expect("sf payload");
+        prop_assert_eq!(back.len(), k);
+        for (a, b) in back.factors().iter().zip(batch.factors()) {
+            prop_assert_eq!(&a.u, &b.u);
+            prop_assert_eq!(&a.v, &b.v);
+        }
+    }
+
+    /// The 1-bit bundle (quantized weights + dense bias) survives the full
+    /// path, including its internal error-feedback state being irrelevant to
+    /// the wire representation.
+    #[test]
+    fn onebit_payload_roundtrips_through_the_frame(
+        m in 1usize..10,
+        n in 1usize..10,
+        seed in any::<u32>(),
+    ) {
+        let vals: Vec<f32> = (0..m * n)
+            .map(|i| (seed.wrapping_add(i as u32) % 2001) as f32 / 100.0 - 10.0)
+            .collect();
+        let grad = Matrix::from_vec(m, n, vals);
+        let quant = OneBitQuantizer::new(m, n).quantize(&grad);
+        let bias: Vec<f32> = (0..m).map(|i| i as f32 - 1.5).collect();
+        let msg = Message::GradChunk {
+            iter: 9,
+            layer: 4,
+            chunk: LAYER_GRANULAR_CHUNK,
+            data: encode_onebit(&quant, &bias),
+        };
+        let frame = encode_frame(&msg);
+        let (decoded, _) = decode_frame(&frame).expect("frame");
+        let Message::GradChunk { chunk, data, .. } = decoded else {
+            panic!("variant changed in flight");
+        };
+        prop_assert_eq!(chunk, LAYER_GRANULAR_CHUNK);
+        let (q2, b2) = poseidon::wire::decode_onebit(&data).expect("1-bit payload");
+        prop_assert_eq!(q2, quant);
+        prop_assert_eq!(b2, bias);
+    }
+}

@@ -400,8 +400,8 @@ mod tests {
         // Random-ish mix of flows; verify total completion time >= bytes/B
         // bound at the busiest NIC.
         let mut net: FlowNetwork<usize> = FlowNetwork::new(4, 8.0);
-        let mut tx_bytes = vec![0u64; 4];
-        let mut rx_bytes = vec![0u64; 4];
+        let mut tx_bytes = [0u64; 4];
+        let mut rx_bytes = [0u64; 4];
         let flows = [
             (0usize, 1usize, 300_000_000u64),
             (0, 2, 500_000_000),

@@ -109,8 +109,8 @@ proptest! {
     ) {
         use poseidon_netsim::FlowNetwork;
         let mut net: FlowNetwork<usize> = FlowNetwork::new(4, gbps);
-        let mut tx = vec![0u64; 4];
-        let mut rx = vec![0u64; 4];
+        let mut tx = [0u64; 4];
+        let mut rx = [0u64; 4];
         let mut expect_total = 0u64;
         let mut n_real = 0usize;
         for (i, &(src, dst, bytes, start)) in flows.iter().enumerate() {

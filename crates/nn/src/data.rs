@@ -187,7 +187,7 @@ impl Dataset {
         seed: u64,
     ) -> Self {
         assert!(
-            shape.h % 4 == 0 && shape.w % 4 == 0,
+            shape.h.is_multiple_of(4) && shape.w.is_multiple_of(4),
             "spatial size must divide by 4"
         );
         assert!(
@@ -305,8 +305,8 @@ mod tests {
                 *m += x;
             }
         }
-        for l in 0..4 {
-            let inv = 1.0 / counts[l].max(1) as f32;
+        for (l, &count) in counts.iter().enumerate() {
+            let inv = 1.0 / count.max(1) as f32;
             for m in means.row_mut(l) {
                 *m *= inv;
             }

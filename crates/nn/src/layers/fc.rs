@@ -245,7 +245,7 @@ mod tests {
         assert!(rebuilt.max_abs_diff(direct) < 1e-4);
 
         // The bias gradient is the sum of the u factors.
-        let mut bias = vec![0.0f32; 4];
+        let mut bias = [0.0f32; 4];
         for sf in sfs.factors() {
             for (b, &u) in bias.iter_mut().zip(&sf.u) {
                 *b += u;

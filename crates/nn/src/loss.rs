@@ -36,8 +36,7 @@ impl SoftmaxCrossEntropy {
         let mut grad = Matrix::zeros(k, classes);
         let mut loss = 0.0f64;
         let mut correct = 0usize;
-        for s in 0..k {
-            let label = labels[s];
+        for (s, &label) in labels.iter().enumerate() {
             assert!(
                 label < classes,
                 "label {label} out of range ({classes} classes)"

@@ -65,7 +65,7 @@ pub fn cifar_quick_scaled(
     seed: u64,
 ) -> Network {
     assert!(
-        input.h % 8 == 0 && input.w % 8 == 0,
+        input.h.is_multiple_of(8) && input.w.is_multiple_of(8),
         "spatial size {} not divisible by 8",
         input
     );

@@ -52,6 +52,7 @@ impl SpecBuilder {
     }
 
     /// Adds a rectangular convolution (`kh × kw`), e.g. Inception-V3's 1×7.
+    #[allow(clippy::too_many_arguments)]
     pub fn conv_rect(
         &mut self,
         name: &str,
@@ -71,6 +72,7 @@ impl SpecBuilder {
     ///
     /// Panics if channel counts are not divisible by `groups` or the output
     /// would be empty.
+    #[allow(clippy::too_many_arguments)]
     pub fn conv_grouped(
         &mut self,
         name: &str,
@@ -84,7 +86,7 @@ impl SpecBuilder {
     ) -> &mut Self {
         let c_in = self.shape.c;
         assert!(
-            groups >= 1 && c_in % groups == 0 && c_out % groups == 0,
+            groups >= 1 && c_in.is_multiple_of(groups) && c_out.is_multiple_of(groups),
             "{name}: groups {groups} must divide c_in {c_in} and c_out {c_out}"
         );
         let ho = out_dim(self.shape.h, kh, stride, pad_h);

@@ -39,8 +39,8 @@ fn main() {
         fwd_total * 1e3
     );
     println!(
-        "{:>3} {:>12} {:>10} {:>12} {:>8}  {}",
-        "l", "layer", "bwd done", "params", "scheme", "remaining backward that hides its comm"
+        "{:>3} {:>12} {:>10} {:>12} {:>8}  remaining backward that hides its comm",
+        "l", "layer", "bwd done", "params", "scheme"
     );
     for (l, done) in rows {
         let spec = &model.layers[l];

@@ -1,11 +1,14 @@
 //! The headline systems claim of Table 1, verified end to end: the bytes the
 //! threaded runtime actually moves across its transport equal the analytic
-//! cost model's predictions.
+//! cost model's predictions. Since PR 3 the counted bytes are the *encoded
+//! frame lengths* ([`poseidon::wire`]) — the same buffers the TCP transport
+//! writes to its sockets — so this also pins the wire format's overhead.
 
 use poseidon::config::{ClusterConfig, Partition, SchemePolicy};
 use poseidon::costmodel;
 use poseidon::runtime::{train, RuntimeConfig};
-use poseidon::transport::HEADER_BYTES;
+use poseidon::transport::Message;
+use poseidon::wire::{encode_frame, FRAME_HEADER_BYTES};
 use poseidon_nn::data::Dataset;
 use poseidon_nn::layer::TensorShape;
 use poseidon_nn::presets;
@@ -18,6 +21,7 @@ const WORKERS: usize = 4;
 const BATCH: usize = 8;
 const ITERS: usize = 3;
 const PAIR: usize = 64;
+const HDR: u64 = FRAME_HEADER_BYTES as u64;
 
 fn run(policy: SchemePolicy) -> poseidon::runtime::TrainResult<poseidon_nn::Network> {
     let data = Dataset::gaussian_clusters(TensorShape::flat(IN), OUT, 64, 0.4, 3);
@@ -34,6 +38,20 @@ fn chunks(elems: usize) -> u64 {
     elems.div_ceil(PAIR) as u64
 }
 
+/// The accounting must be frame-derived: a message's `wire_bytes()` is
+/// exactly the length of its encoded frame, no parallel formula to drift.
+#[test]
+fn wire_bytes_equals_encoded_frame_length() {
+    let msg = Message::GradChunk {
+        iter: 5,
+        layer: 1,
+        chunk: 0,
+        data: poseidon::wire::encode_f32s(&vec![0.0f32; PAIR]),
+    };
+    assert_eq!(msg.wire_bytes(), encode_frame(&msg).len() as u64);
+    assert_eq!(msg.wire_bytes(), HDR + (PAIR as u64) * 4);
+}
+
 #[test]
 fn ps_traffic_matches_exact_message_accounting() {
     let result = run(SchemePolicy::AlwaysPs);
@@ -44,14 +62,14 @@ fn ps_traffic_matches_exact_message_accounting() {
     let mut expect = 0u64;
     for elems in layer_elems {
         let n_chunks = chunks(elems);
-        let payload = elems as u64 * 4 + n_chunks * HEADER_BYTES;
+        let payload = elems as u64 * 4 + n_chunks * HDR;
         expect += 2 * (WORKERS as u64 - 1) * payload;
     }
     expect *= ITERS as u64;
     assert_eq!(
         result.traffic.total_bytes(),
         expect,
-        "measured PS bytes differ from the exact per-message accounting"
+        "measured PS bytes differ from the exact per-frame accounting"
     );
 }
 
@@ -59,8 +77,9 @@ fn ps_traffic_matches_exact_message_accounting() {
 fn ps_traffic_matches_table1_formula_asymptotically() {
     // Table 1 says a colocated node carries 2·M·N·(P1+P2-2)/P2 values per FC
     // layer. The runtime additionally ships the bias vector (modelled here by
-    // extending N by one column) and 16-byte message headers (~6% at this
-    // deliberately tiny KV-pair size), so allow an 8% envelope.
+    // extending N by one column) and 24-byte frame headers (~10% at this
+    // deliberately tiny KV-pair size; negligible at the real 2 MB pairs), so
+    // allow a 12% envelope.
     let result = run(SchemePolicy::AlwaysPs);
     let cluster = ClusterConfig::colocated(WORKERS, BATCH);
     let analytic_values = costmodel::ps_cost(HID, IN + 1, &cluster).server_and_worker
@@ -75,7 +94,7 @@ fn ps_traffic_matches_table1_formula_asymptotically() {
         / WORKERS as f64;
     let rel = (measured - analytic_bytes).abs() / analytic_bytes;
     assert!(
-        rel < 0.08,
+        rel < 0.12,
         "per-node PS traffic {measured} vs Table 1 {analytic_bytes} ({:.1}% off)",
         rel * 100.0
     );
@@ -87,14 +106,14 @@ fn sfb_traffic_matches_exact_message_accounting() {
     // Every FC layer: each worker broadcasts one SF batch to P-1 peers.
     let mut expect = 0u64;
     for (m, n) in [(HID, IN), (OUT, HID)] {
-        let payload = bytesio::sf_batch_wire_bytes(BATCH, m, n) as u64 + HEADER_BYTES;
+        let payload = bytesio::sf_batch_wire_bytes(BATCH, m, n) as u64 + HDR;
         expect += WORKERS as u64 * (WORKERS as u64 - 1) * payload;
     }
     expect *= ITERS as u64;
     assert_eq!(
         result.traffic.total_bytes(),
         expect,
-        "measured SFB bytes differ from the exact per-message accounting"
+        "measured SFB bytes differ from the exact per-frame accounting"
     );
 }
 
@@ -102,7 +121,8 @@ fn sfb_traffic_matches_exact_message_accounting() {
 fn sfb_traffic_matches_table1_formula() {
     let result = run(SchemePolicy::AlwaysSfbForFc);
     let cluster = ClusterConfig::colocated(WORKERS, BATCH);
-    // Table 1: per-node 2K(P1-1)(M+N) values per layer.
+    // Table 1: per-node 2K(P1-1)(M+N) values per layer. Frame + SF-batch
+    // headers add ~2% at these tiny layers.
     let analytic_values =
         costmodel::sfb_cost(HID, IN, &cluster) + costmodel::sfb_cost(OUT, HID, &cluster);
     let analytic_bytes = analytic_values * 4.0 * ITERS as f64;
@@ -115,7 +135,7 @@ fn sfb_traffic_matches_table1_formula() {
         / WORKERS as f64;
     let rel = (measured - analytic_bytes).abs() / analytic_bytes;
     assert!(
-        rel < 0.02,
+        rel < 0.03,
         "per-node SFB traffic {measured} vs Table 1 {analytic_bytes} ({:.1}% off)",
         rel * 100.0
     );

@@ -1,0 +1,180 @@
+//! Transport-independence of the runtime: the same configuration driven over
+//! the in-process channel fabric and over a real TCP mesh produces *bitwise*
+//! identical replicas, identical counted traffic, and (for PS) the serial
+//! large-batch trajectory — the transport is an implementation detail, not a
+//! semantic choice.
+//!
+//! Here the TCP mesh runs threaded inside one process (ephemeral ports, one
+//! shared traffic ledger); `crates/bench/tests/tcp_loopback.rs` repeats the
+//! experiment with one OS process per endpoint.
+
+use poseidon::config::{Partition, SchemePolicy};
+use poseidon::runtime::{flatten_model_params, run_endpoint, train, NodeOutcome, RuntimeConfig};
+use poseidon::transport::{bind_ephemeral, TcpFabricSpec, TcpTransport, TrafficCounters};
+use poseidon_nn::data::Dataset;
+use poseidon_nn::layer::TensorShape;
+use poseidon_nn::loss::SoftmaxCrossEntropy;
+use poseidon_nn::presets;
+use poseidon_nn::Network;
+use std::sync::Arc;
+use std::time::Duration;
+
+const WORKERS: usize = 3;
+const BATCH: usize = 8;
+const ITERS: usize = 5;
+const LR: f32 = 0.15;
+
+fn dataset() -> Dataset {
+    Dataset::gaussian_clusters(TensorShape::flat(12), 4, 96, 0.4, 21)
+}
+
+fn factory() -> Network {
+    presets::mlp(&[12, 16, 8, 4], 5)
+}
+
+fn config(policy: SchemePolicy) -> RuntimeConfig {
+    RuntimeConfig {
+        policy,
+        partition: Partition::KvPairs { pair_elems: 37 },
+        comm_timeout: Duration::from_secs(60),
+        ..RuntimeConfig::new(WORKERS, BATCH, LR, ITERS)
+    }
+}
+
+/// Runs all `2P` endpoints as threads over a real TCP mesh on ephemeral
+/// localhost ports, one shared ledger, and returns (worker replicas in worker
+/// order, per-iteration losses per worker, counters).
+fn run_over_tcp(policy: SchemePolicy) -> (Vec<Network>, Vec<Vec<f32>>, Arc<TrafficCounters>) {
+    let cfg = config(policy);
+    let n = 2 * WORKERS;
+    let (listeners, addrs) = bind_ephemeral(n).expect("bind");
+    let spec = TcpFabricSpec {
+        addrs,
+        node_of_endpoint: (0..WORKERS).chain(0..WORKERS).collect(),
+        connect_timeout: Duration::from_secs(10),
+        retry_interval: Duration::from_millis(5),
+    };
+    let counters = Arc::new(TrafficCounters::new(WORKERS));
+    let data = dataset();
+
+    let mut outcomes: Vec<Option<(usize, Vec<f32>, Network)>> = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = listeners
+            .into_iter()
+            .enumerate()
+            .map(|(me, listener)| {
+                let spec = spec.clone();
+                let counters = Arc::clone(&counters);
+                let cfg = &cfg;
+                let data = &data;
+                s.spawn(move || {
+                    let ep =
+                        TcpTransport::connect_with_listener(&spec, me, listener, Some(counters))
+                            .expect("mesh connect");
+                    match run_endpoint(&factory, data, None, cfg, ep) {
+                        NodeOutcome::Worker { losses, net, .. } => Some((me, losses, net)),
+                        NodeOutcome::Server => None,
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            outcomes.push(h.join().expect("endpoint thread"));
+        }
+    });
+
+    let mut nets = Vec::new();
+    let mut losses = Vec::new();
+    for out in outcomes.into_iter().flatten() {
+        let (me, l, net) = out;
+        assert_eq!(me, nets.len(), "workers must be endpoints 0..P in order");
+        nets.push(net);
+        losses.push(l);
+    }
+    assert_eq!(nets.len(), WORKERS);
+    (nets, losses, counters)
+}
+
+/// Serial large-batch SGD over the reassembled worker shards (the ground
+/// truth of `tests/distributed_equivalence.rs`).
+fn serial_reference() -> Network {
+    let shards = dataset().partition(WORKERS);
+    let mut net = factory();
+    let head = SoftmaxCrossEntropy;
+    for it in 0..ITERS {
+        let mut xs = poseidon_tensor::Matrix::zeros(WORKERS * BATCH, 12);
+        let mut ys = Vec::new();
+        for (w, shard) in shards.iter().enumerate() {
+            let (x, y) = shard.minibatch(it * BATCH, BATCH);
+            for r in 0..BATCH {
+                xs.row_mut(w * BATCH + r).copy_from_slice(x.row(r));
+            }
+            ys.extend(y);
+        }
+        let logits = net.forward(&xs);
+        let out = head.evaluate(&logits, &ys);
+        net.backward(&out.grad);
+        net.apply_own_grads(-LR);
+    }
+    net
+}
+
+#[test]
+fn tcp_equals_inproc_bitwise_always_ps() {
+    let (tcp_nets, tcp_losses, tcp_counters) = run_over_tcp(SchemePolicy::AlwaysPs);
+    let inproc = train(&factory, &dataset(), None, &config(SchemePolicy::AlwaysPs));
+
+    for (w, net) in tcp_nets.iter().enumerate() {
+        assert_eq!(
+            net.max_param_diff(&inproc.net),
+            0.0,
+            "worker {w}: TCP replica must be bitwise equal to the in-proc run"
+        );
+        assert_eq!(
+            flatten_model_params(net),
+            flatten_model_params(&inproc.net),
+            "worker {w}: canonical flats must agree"
+        );
+    }
+    // Averaged per-iteration losses agree too (same per-worker shards).
+    let avg: Vec<f32> = (0..ITERS)
+        .map(|i| tcp_losses.iter().map(|l| l[i]).sum::<f32>() / WORKERS as f32)
+        .collect();
+    assert_eq!(avg, inproc.losses);
+    // And the counted traffic is identical frame for frame.
+    assert_eq!(tcp_counters.total_bytes(), inproc.traffic.total_bytes());
+    assert_eq!(
+        tcp_counters.per_node_totals(),
+        inproc.traffic.per_node_totals()
+    );
+    assert_eq!(tcp_counters.snapshot(), inproc.traffic.snapshot());
+}
+
+#[test]
+fn tcp_matches_serial_large_batch_sgd() {
+    let (tcp_nets, _, _) = run_over_tcp(SchemePolicy::AlwaysPs);
+    let serial = serial_reference();
+    let diff = tcp_nets[0].max_param_diff(&serial);
+    assert!(
+        diff < 5e-5,
+        "TCP-distributed PS diverged from the serial large-batch trajectory by {diff}"
+    );
+}
+
+#[test]
+fn tcp_equals_inproc_bitwise_sfb_and_hybrid() {
+    for policy in [SchemePolicy::AlwaysSfbForFc, SchemePolicy::Hybrid] {
+        let (tcp_nets, _, tcp_counters) = run_over_tcp(policy);
+        let inproc = train(&factory, &dataset(), None, &config(policy));
+        assert_eq!(
+            tcp_nets[0].max_param_diff(&inproc.net),
+            0.0,
+            "{policy:?}: TCP replica must be bitwise equal to the in-proc run"
+        );
+        assert_eq!(
+            tcp_counters.total_bytes(),
+            inproc.traffic.total_bytes(),
+            "{policy:?}: transports must count identical traffic"
+        );
+    }
+}
