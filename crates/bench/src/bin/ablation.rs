@@ -8,11 +8,13 @@
 //! 4. Straggler policies: wait (BSP) vs drop (the paper's policy).
 //!
 //! Run: `cargo run --release -p poseidon-bench --bin ablation`
+//! (add `--trace-out PATH` to also dump the straggler-drop scenario of
+//! ablation 4 as a Chrome trace.)
 
 use poseidon::config::{Partition, Scheduler, SchemePolicy};
 use poseidon::sim::{simulate, SimConfig, System};
 use poseidon::stats::render_table;
-use poseidon_bench::banner;
+use poseidon_bench::{banner, trace_out_arg, write_sim_trace};
 use poseidon_nn::zoo;
 
 fn main() {
@@ -21,6 +23,16 @@ fn main() {
     scheme_ablation();
     straggler_ablation();
     bandwidth_model_ablation();
+    if let Some(path) = trace_out_arg() {
+        banner(
+            "Trace",
+            "GoogLeNet WFBP, node 3 twice as slow and dropped (8 nodes, 40GbE)",
+        );
+        let mut cfg = SimConfig::system(System::WfbpPs, 8, 40.0);
+        cfg.straggler = Some((3, 2.0));
+        cfg.drop_stragglers = true;
+        write_sim_trace(&zoo::googlenet(), &cfg, &path);
+    }
 }
 
 fn scheduler_ablation() {

@@ -2,9 +2,11 @@
 //! GoogLeNet, VGG19 and VGG19-22K under Caffe+PS, Caffe+WFBP and Poseidon.
 //!
 //! Run: `cargo run --release -p poseidon-bench --bin fig5`
+//! (add `--trace-out PATH` to also dump one simulated VGG19 iteration as a
+//! Chrome trace.)
 
-use poseidon::sim::System;
-use poseidon_bench::{banner, print_speedup_panel, FIG5_NODES};
+use poseidon::sim::{SimConfig, System};
+use poseidon_bench::{banner, print_speedup_panel, trace_out_arg, write_sim_trace, FIG5_NODES};
 use poseidon_nn::zoo;
 
 fn main() {
@@ -20,4 +22,15 @@ fn main() {
     println!("and VGG19 (Poseidon 30x on VGG19-22K vs 21.5x for WFBP-only); the");
     println!("vanilla Caffe+PS baseline starts below 1.0 on a single node (memcpy");
     println!("overhead: 213/257 img/s on GoogLeNet) and scales sub-linearly.");
+    if let Some(path) = trace_out_arg() {
+        banner(
+            "Trace",
+            "one simulated VGG19 Poseidon iteration (8 nodes, 40GbE)",
+        );
+        write_sim_trace(
+            &zoo::vgg19(),
+            &SimConfig::system(System::Poseidon, 8, 40.0),
+            &path,
+        );
+    }
 }

@@ -1,10 +1,12 @@
 //! Section 5.1 single-node overhead: images/sec of the native engine vs a
-//! vanilla PS parallelisation vs Poseidon on ONE machine (no network).
+//! vanilla PS parallelisation vs Poseidon on ONE machine (no network),
+//! rendered through the telemetry summary-report formatter so its output
+//! matches the per-layer digests `poseidon-node --trace-out` prints.
 //!
 //! Run: `cargo run --release -p poseidon-bench --bin overhead`
 
 use poseidon::sim::{simulate, SimConfig, System};
-use poseidon::stats::render_table;
+use poseidon::telemetry::report::Report;
 use poseidon_bench::banner;
 use poseidon_nn::zoo;
 
@@ -13,16 +15,6 @@ fn main() {
         "Section 5.1",
         "single-node throughput (img/s): native vs +PS vs Poseidon",
     );
-    let header: Vec<String> = [
-        "model",
-        "native",
-        "engine+PS",
-        "Poseidon",
-        "paper (native/+PS/PSD)",
-    ]
-    .iter()
-    .map(|s| s.to_string())
-    .collect();
     let paper = [
         ("GoogLeNet", "257 / 213.3 / 257"),
         ("VGG19", "35.5 / 21.3 / 35.5"),
@@ -45,7 +37,19 @@ fn main() {
             paper_row.to_string(),
         ]);
     }
-    println!("{}", render_table(&header, &rows));
-    println!("Shape: vanilla PS loses throughput on one node to unoverlapped GPU<->CPU");
-    println!("copies; Poseidon overlaps them and matches the native engine.");
+    let mut report = Report::new();
+    report.table(
+        "single-node img/s",
+        &[
+            "model",
+            "native",
+            "engine+PS",
+            "Poseidon",
+            "paper (native/+PS/PSD)",
+        ],
+        rows,
+    );
+    report.note("Shape: vanilla PS loses throughput on one node to unoverlapped GPU<->CPU");
+    report.note("copies; Poseidon overlaps them and matches the native engine.");
+    print!("{}", report.render());
 }

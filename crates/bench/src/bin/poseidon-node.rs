@@ -20,6 +20,7 @@
 
 use poseidon::config::{Partition, SchemePolicy};
 use poseidon::runtime::{flatten_model_params, run_endpoint, NodeOutcome, RuntimeConfig};
+use poseidon::telemetry::{self, chrome, report, TelemetryConfig};
 use poseidon::transport::{TcpFabricSpec, TcpTransport, TrafficSnapshot, Transport};
 use poseidon_nn::data::Dataset;
 use poseidon_nn::layer::TensorShape;
@@ -41,6 +42,7 @@ struct Args {
     layers: Vec<usize>,
     samples: usize,
     timeout_s: u64,
+    trace_out: Option<String>,
     endpoint: Option<usize>,
 }
 
@@ -59,6 +61,7 @@ impl Default for Args {
             layers: vec![12, 16, 8, 4],
             samples: 96,
             timeout_s: 60,
+            trace_out: None,
             endpoint: None,
         }
     }
@@ -77,6 +80,8 @@ const USAGE: &str = "poseidon-node: multi-process distributed SGD over TCP
   --layers A,B,..   MLP layer sizes, >= 2 entries           [12,16,8,4]
   --samples N       synthetic dataset size                  [96]
   --timeout-s N     per-endpoint comm timeout, seconds      [60]
+  --trace-out PATH  record telemetry; write a merged Chrome trace to PATH
+                    (children write PATH.eN.json; open in chrome://tracing)
   --endpoint N      run one endpoint (internal; launcher spawns these)";
 
 fn parse_args() -> Result<Args, String> {
@@ -120,6 +125,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--samples" => args.samples = val.parse().map_err(|e| bad(&e))?,
             "--timeout-s" => args.timeout_s = val.parse().map_err(|e| bad(&e))?,
+            "--trace-out" => args.trace_out = Some(val),
             "--endpoint" => args.endpoint = Some(val.parse().map_err(|e| bad(&e))?),
             other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
         }
@@ -138,8 +144,18 @@ fn runtime_config(a: &Args) -> RuntimeConfig {
             pair_elems: a.pair_elems,
         },
         comm_timeout: Duration::from_secs(a.timeout_s),
+        telemetry: if a.trace_out.is_some() {
+            TelemetryConfig::enabled()
+        } else {
+            TelemetryConfig::default()
+        },
         ..RuntimeConfig::new(a.workers, a.batch, a.lr, a.iters)
     }
+}
+
+/// The per-child trace part file for endpoint `me`.
+fn trace_part_path(base: &str, me: usize) -> String {
+    format!("{base}.e{me}.json")
 }
 
 fn dataset(a: &Args) -> Dataset {
@@ -199,6 +215,25 @@ fn run_one(a: &Args, me: usize) -> ExitCode {
     let snap = traffic.snapshot();
     println!("tx={}", csv(&snap.tx));
     println!("rx={}", csv(&snap.rx));
+    if let Some(base) = &a.trace_out {
+        // run_endpoint's shutdown joined the reader threads, so every
+        // recording thread of this process has flushed by now.
+        let trace = telemetry::drain();
+        let path = trace_part_path(base, me);
+        if me == 0 {
+            // One child demonstrates the plain-text summary (scrape-safe:
+            // report lines carry no `key=value` shape).
+            print!(
+                "{}",
+                report::summarize(std::slice::from_ref(&trace)).render()
+            );
+        }
+        if let Err(e) = std::fs::write(&path, chrome::to_chrome_json(&[trace])) {
+            eprintln!("endpoint {me}: writing trace {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("trace_file={path}");
+    }
     match outcome {
         NodeOutcome::Worker { losses, net, .. } => {
             println!("role=worker");
@@ -306,6 +341,11 @@ fn launch(a: &Args) -> Result<(), String> {
                 "--endpoint".into(),
                 me.to_string(),
             ])
+            .args(
+                a.trace_out
+                    .iter()
+                    .flat_map(|p| ["--trace-out".to_string(), p.clone()]),
+            )
             .stdout(Stdio::piped())
             .spawn()
             .map_err(|e| format!("spawn endpoint {me}: {e}"))?;
@@ -360,6 +400,24 @@ fn launch(a: &Args) -> Result<(), String> {
                 w.endpoint, workers[0].endpoint
             ));
         }
+    }
+
+    // Merge the per-process Chrome trace parts into one file and validate
+    // its structure (balanced spans, monotonic timestamps per track).
+    if let Some(base) = &a.trace_out {
+        let parts = (0..n)
+            .map(|me| {
+                let path = trace_part_path(base, me);
+                std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let merged = chrome::merge_chrome_json(&parts)?;
+        let stats = chrome::validate(&merged)?;
+        std::fs::write(base, &merged).map_err(|e| format!("writing {base}: {e}"))?;
+        println!(
+            "trace=valid events={} spans={} tracks={} pids={} file={base}",
+            stats.events, stats.spans, stats.tracks, stats.pids
+        );
     }
 
     println!(

@@ -1,0 +1,119 @@
+//! Emits `BENCH_telemetry.json` — the telemetry plane's overhead budget,
+//! tracked across PRs next to `BENCH_kernels.json`:
+//!
+//! 1. Cost of one record call (a span begin or end) with the recorder
+//!    disabled (the production default: one relaxed atomic load and a
+//!    branch) and enabled (clock read + thread-local push).
+//! 2. A full CIFAR-10-quick training step (forward, loss, backward, SGD;
+//!    batch 32) with telemetry off vs on, the end-to-end overhead that
+//!    matters. The nn probe hook is installed either way once telemetry has
+//!    been enabled, so the "off" number includes the disabled-hook branch.
+//!
+//! After the instrumented run the recorded trace is rendered through
+//! [`poseidon::telemetry::report`], so the binary doubles as a smoke test of
+//! the per-layer summary on live (non-simulated) data.
+//!
+//! Run from the repo root: `cargo run --release -p poseidon-bench --bin
+//! telemetry_overhead` (writes `BENCH_telemetry.json` into the current
+//! directory). Timings are min-of-N wall clock; the JSON is hand-rolled so
+//! the binary stays dependency-free.
+
+use poseidon::telemetry::{self, report, TelemetryConfig};
+use poseidon_nn::loss::SoftmaxCrossEntropy;
+use poseidon_nn::{parallel, presets};
+use poseidon_tensor::Matrix;
+use std::time::Instant;
+
+fn lcg_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut m = Matrix::zeros(rows, cols);
+    let mut state = seed;
+    for v in m.as_mut_slice() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *v = ((state >> 40) as f32) / (1u64 << 24) as f32 - 0.5;
+    }
+    m
+}
+
+/// Min-of-`reps` wall-clock seconds for `f`.
+fn time(reps: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Nanoseconds per record call over `pairs` begin/end pairs.
+fn record_call_ns(pairs: usize) -> f64 {
+    let t = Instant::now();
+    for i in 0..pairs {
+        telemetry::span_begin("bench", i as u64, 0);
+        telemetry::span_end("bench", i as u64, 0);
+    }
+    t.elapsed().as_nanos() as f64 / (2 * pairs) as f64
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // 1. Record-call cost, recorder off vs on. Drain between enabled reps so
+    // the bounded per-thread buffer never saturates into the (cheaper) drop
+    // path mid-measurement.
+    telemetry::configure(&TelemetryConfig::default());
+    let _ = telemetry::drain();
+    let mut disabled_ns = f64::INFINITY;
+    for _ in 0..5 {
+        disabled_ns = disabled_ns.min(record_call_ns(1_000_000));
+    }
+    telemetry::configure(&TelemetryConfig::enabled());
+    let mut enabled_ns = f64::INFINITY;
+    for _ in 0..5 {
+        enabled_ns = enabled_ns.min(record_call_ns(100_000));
+        let _ = telemetry::drain();
+    }
+    telemetry::disable();
+    let _ = telemetry::drain();
+
+    // 2. CIFAR-10-quick step, telemetry off vs on. `enabled()` above already
+    // installed the nn probe hook, so the "off" run pays the same disabled
+    // branch a production binary without --trace-out pays.
+    parallel::set_compute_threads(1);
+    let x = lcg_matrix(32, 3 * 32 * 32, 3);
+    let labels: Vec<usize> = (0..32).map(|i| i % 10).collect();
+    let head = SoftmaxCrossEntropy;
+    let mut step_s = [0.0f64; 2];
+    for (slot, enabled) in [false, true].into_iter().enumerate() {
+        telemetry::configure(&TelemetryConfig {
+            enabled,
+            ..TelemetryConfig::default()
+        });
+        let mut net = presets::cifar_quick(10, 42);
+        step_s[slot] = time(10, || {
+            let logits = net.forward(&x);
+            let out = head.evaluate(&logits, &labels);
+            net.backward(&out.grad);
+            net.apply_own_grads(-0.001);
+        });
+    }
+    parallel::reset_compute_threads();
+    telemetry::disable();
+    let trace = telemetry::drain();
+    print!(
+        "{}",
+        report::summarize(std::slice::from_ref(&trace)).render()
+    );
+
+    let (off_ms, on_ms) = (step_s[0] * 1e3, step_s[1] * 1e3);
+    let overhead_pct = (on_ms / off_ms - 1.0) * 100.0;
+    let json = format!(
+        "{{\n  \"host\": {{\"cores\": {cores}}},\n  \"record_call_ns\": {{\n    \"disabled\": {disabled_ns:.3},\n    \"enabled\": {enabled_ns:.1}\n  }},\n  \"cifar_quick_step_batch32\": {{\n    \"telemetry_off_ms\": {off_ms:.2},\n    \"telemetry_on_ms\": {on_ms:.2},\n    \"overhead_pct\": {overhead_pct:.2}\n  }}\n}}\n"
+    );
+    print!("{json}");
+    std::fs::write("BENCH_telemetry.json", &json).expect("write BENCH_telemetry.json");
+    eprintln!("wrote BENCH_telemetry.json");
+}

@@ -6,8 +6,9 @@
 //! share. Expected output (paper-reported numbers vs. what this reproduction
 //! measures) is catalogued in the repository's `EXPERIMENTS.md`.
 
-use poseidon::sim::{simulate, SimConfig, System};
+use poseidon::sim::{simulate, simulate_with_trace, SimConfig, System};
 use poseidon::stats;
+use poseidon::telemetry::{chrome, report};
 use poseidon_nn::zoo::ModelSpec;
 
 /// The node counts of the paper's main scaling figures.
@@ -47,6 +48,36 @@ pub fn print_speedup_panel(
         })
         .collect();
     println!("{}", stats::render_table(&header, &rows));
+}
+
+/// Parses an optional `--trace-out PATH` flag from the binary's argv (the
+/// figure binaries accept it to dump one simulated iteration as a Chrome
+/// trace alongside their tables).
+pub fn trace_out_arg() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--trace-out" {
+            return args.next();
+        }
+    }
+    None
+}
+
+/// Runs one traced simulation of `model` under `cfg`, prints the standard
+/// telemetry summary, and writes validated Chrome-trace JSON to `path`.
+pub fn write_sim_trace(model: &ModelSpec, cfg: &SimConfig, path: &str) {
+    let (_, trace) = simulate_with_trace(model, cfg);
+    print!(
+        "{}",
+        report::summarize(std::slice::from_ref(&trace)).render()
+    );
+    let json = chrome::to_chrome_json(&[trace]);
+    let stats = chrome::validate(&json).expect("simulated trace must validate");
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!(
+        "trace=valid events={} spans={} tracks={} file={path}",
+        stats.events, stats.spans, stats.tracks
+    );
 }
 
 /// One full speedup series for a system (used by the assertions in the

@@ -1,0 +1,76 @@
+//! `poseidon-node --trace-out` end to end: a real multi-process TCP run in
+//! which every endpoint process records its own telemetry, writes a Chrome
+//! trace part, and the launcher merges the parts into one valid trace with
+//! one pid per OS process. Uses its own port slot so it can run alongside
+//! `tcp_loopback.rs`.
+
+use poseidon::telemetry::chrome;
+use std::process::Command;
+
+const WORKERS: usize = 2;
+
+#[test]
+fn multiprocess_trace_merges_and_validates() {
+    let dir = std::env::temp_dir().join(format!("poseidon_trace_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("trace dir");
+    let base = dir.join("trace.json");
+    let base_str = base.to_str().expect("utf-8 temp path");
+
+    // Port slot 2: clear of tcp_loopback's slots 0 and 1.
+    let base_port = 24000 + (std::process::id() % 2800) as u16;
+    let out = Command::new(env!("CARGO_BIN_EXE_poseidon-node"))
+        .args([
+            "--workers",
+            &WORKERS.to_string(),
+            "--iters",
+            "3",
+            "--batch",
+            "8",
+            "--policy",
+            "hybrid",
+            "--base-port",
+            &base_port.to_string(),
+            "--trace-out",
+            base_str,
+        ])
+        .output()
+        .expect("spawn poseidon-node launcher");
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(
+        out.status.success(),
+        "launcher failed ({}):\n--- stdout ---\n{stdout}\n--- stderr ---\n{stderr}",
+        out.status
+    );
+
+    // The launcher validated the merge itself and said so.
+    let valid_line = stdout
+        .lines()
+        .find(|l| l.starts_with("trace=valid"))
+        .unwrap_or_else(|| panic!("no trace=valid line:\n{stdout}"));
+    assert!(
+        valid_line.contains(&format!("pids={}", 2 * WORKERS)),
+        "{valid_line}"
+    );
+
+    // Independently re-validate the merged file and the per-endpoint parts.
+    let merged = std::fs::read_to_string(&base).expect("merged trace file");
+    let stats = chrome::validate(&merged).expect("merged trace must validate");
+    assert_eq!(stats.pids, 2 * WORKERS, "one pid per OS process");
+    assert!(stats.spans > 0 && stats.tracks >= 2 * WORKERS);
+    assert!(merged.contains("wfbp.sync"), "WFBP spans present");
+    assert!(merged.contains("serve.apply"), "shard spans present");
+    for me in 0..2 * WORKERS {
+        let part = std::fs::read_to_string(format!("{base_str}.e{me}.json"))
+            .unwrap_or_else(|e| panic!("endpoint {me} trace part: {e}"));
+        chrome::validate(&part).unwrap_or_else(|e| panic!("part {me} invalid: {e}"));
+    }
+
+    // The summary report made it onto endpoint 0's stdout.
+    assert!(
+        stdout.contains("per-layer compute vs communication"),
+        "summary report missing:\n{stdout}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -32,8 +32,9 @@
 //! Supporting modules: [`wire`] (the versioned frame codec every transport
 //! speaks), [`chunk`] (fixed-size KV-pair partitioning of parameters),
 //! [`kvstore`] (bulk-synchronous shard state machine), [`syncer`] (per-layer
-//! Send/Receive/Move), [`config`] (cluster and scheme configuration), and
-//! [`stats`] (report formatting).
+//! Send/Receive/Move), [`config`] (cluster and scheme configuration),
+//! [`telemetry`] (structured tracing of the training path with Chrome-trace
+//! export), and [`stats`] (report formatting).
 
 pub mod api;
 pub mod chunk;
@@ -45,6 +46,7 @@ pub mod runtime;
 pub mod sim;
 pub mod stats;
 pub mod syncer;
+pub mod telemetry;
 pub mod transport;
 pub mod wire;
 

@@ -35,6 +35,7 @@ use crate::coordinator::Coordinator;
 use crate::runtime::server::{LayerGranular, ServerPlan};
 use crate::runtime::worker::{WorkerConfig, WorkerOutput};
 use crate::syncer;
+use crate::telemetry::{self, TelemetryConfig};
 use crate::transport::{self, TrafficCounters};
 use poseidon_nn::data::Dataset;
 use poseidon_nn::Model;
@@ -110,6 +111,11 @@ pub struct RuntimeConfig {
     /// [`TransportError::Timeout`](crate::transport::TransportError::Timeout)
     /// naming the starved endpoint instead of hanging forever.
     pub comm_timeout: Duration,
+    /// Telemetry recorder knobs. Disabled by default; enabling records
+    /// per-layer compute spans, WFBP sync windows and transport counters into
+    /// [`TrainResult::trace`] without perturbing the numerics (runs are
+    /// bitwise identical either way).
+    pub telemetry: TelemetryConfig,
 }
 
 impl RuntimeConfig {
@@ -135,6 +141,7 @@ impl RuntimeConfig {
             jitter_us: None,
             compute: ComputeConfig::default(),
             comm_timeout: Duration::from_secs(30),
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -157,6 +164,11 @@ pub struct TrainResult<M: Model> {
     /// Per-worker wall time of the training loop, seconds. Under BSP every
     /// worker paces the slowest; under SSP fast workers finish early.
     pub worker_wall_s: Vec<f64>,
+    /// Everything the telemetry recorder captured, when
+    /// [`RuntimeConfig::telemetry`] was enabled (`None` otherwise). Export
+    /// with [`crate::telemetry::chrome::to_chrome_json`] or summarise with
+    /// [`crate::telemetry::report::summarize`].
+    pub trace: Option<telemetry::Trace>,
 }
 
 /// Validates the consistency configuration, returning the SSP staleness
@@ -310,6 +322,7 @@ pub fn train<M: Model>(
 
     let ssp = ssp_mode(cfg);
     let clock = Arc::new(clock::SspClock::new(p));
+    telemetry::configure(&cfg.telemetry);
 
     let reference = net_factory();
     let plan = build_run_plan(&reference, cfg, ssp.is_some());
@@ -358,6 +371,15 @@ pub fn train<M: Model>(
         }
     });
 
+    // Workers and shards are joined, so every recording thread has flushed;
+    // collect the trace before anything else runs in this process.
+    let trace = if cfg.telemetry.enabled {
+        telemetry::disable();
+        Some(telemetry::drain())
+    } else {
+        None
+    };
+
     let outputs: Vec<WorkerOutput<M>> = worker_outputs
         .into_iter()
         .map(|o| o.expect("joined"))
@@ -378,6 +400,7 @@ pub fn train<M: Model>(
         schemes,
         max_staleness_spread: clock.max_spread_observed(),
         worker_wall_s,
+        trace,
     }
 }
 

@@ -15,6 +15,7 @@
 
 use super::{build_run_plan, server, ssp_mode, worker, worker_config, RuntimeConfig, SspClock};
 use crate::syncer;
+use crate::telemetry;
 use crate::transport::Transport;
 use poseidon_nn::data::Dataset;
 use poseidon_nn::Model;
@@ -69,9 +70,14 @@ pub fn run_endpoint<M: Model, T: Transport>(
         "the per-process runtime is BSP-only: SSP's clock is shared process state"
     );
 
+    telemetry::configure(&cfg.telemetry);
     let reference = net_factory();
     let plan = build_run_plan(&reference, cfg, false);
     let me = endpoint.endpoint_id();
+    if cfg.telemetry.enabled {
+        let role = if me < p { "worker" } else { "shard" };
+        telemetry::set_process(me as u32, format!("poseidon-node e{me} ({role})"));
+    }
 
     if me < p {
         // Worker role: train on shard `me` of the same deterministic

@@ -9,6 +9,7 @@
 
 use crate::chunk::Chunk;
 use crate::kvstore::ShardState;
+use crate::telemetry;
 use crate::transport::{Envelope, Message, Transport, TransportError};
 use crate::wire::{self, LAYER_GRANULAR_CHUNK};
 use poseidon_tensor::quantize::OneBitQuantizer;
@@ -77,6 +78,7 @@ fn must_send<T: Transport>(endpoint: &T, to: usize, msg: Message) {
 
 /// Runs one shard to completion.
 pub(crate) fn run_server<T: Transport>(plan: ServerPlan, mut endpoint: T) {
+    telemetry::set_thread_track(format!("shard e{}", endpoint.endpoint_id()));
     let mut state = ShardState::with_momentum(plan.workers, plan.update_scale, plan.momentum);
     let mut onebit: HashMap<u32, OneBitState> = HashMap::new();
     let mut init = plan.init_values.into_iter();
@@ -114,7 +116,7 @@ pub(crate) fn run_server<T: Transport>(plan: ServerPlan, mut endpoint: T) {
     for served in 0..expected {
         let env: Envelope = match endpoint.recv_timeout(plan.comm_timeout) {
             Ok(env) => env,
-            Err(e @ (TransportError::Timeout | TransportError::Closed)) => panic!(
+            Err(e @ (TransportError::Timeout(_) | TransportError::Closed)) => panic!(
                 "shard endpoint {} starved after {served}/{expected} messages — a worker died \
                  or stalled: {e}",
                 endpoint.endpoint_id()
@@ -126,6 +128,7 @@ pub(crate) fn run_server<T: Transport>(plan: ServerPlan, mut endpoint: T) {
         };
         // Per-iteration learning-rate schedule: messages carry their BSP
         // round, so the scale for this update is exact even under SSP.
+        let _serve_span = telemetry::span("serve.apply", env.msg.layer() as u64, env.msg.iter());
         let scale = plan.update_scale * plan.lr_schedule.multiplier(env.msg.iter() as usize);
         state.set_update_scale(scale);
         match env.msg {

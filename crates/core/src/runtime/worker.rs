@@ -16,6 +16,7 @@
 use crate::config::CommScheme;
 use crate::coordinator::Coordinator;
 use crate::syncer::{self, SyncOutcome, Syncer};
+use crate::telemetry;
 use crate::transport::{Message, Transport, TransportError};
 use crate::wire::{self, LAYER_GRANULAR_CHUNK};
 use poseidon_nn::data::Dataset;
@@ -79,6 +80,7 @@ pub(crate) fn run_worker<M: Model, T: Transport>(
     clock: std::sync::Arc<crate::runtime::clock::SspClock>,
 ) -> WorkerOutput<M> {
     let workers = coordinator.cluster().workers;
+    telemetry::set_thread_track(format!("worker {}", cfg.me));
     // Pin this worker thread's share of the compute budget; the layer
     // kernels read it thread-locally when fanning out batch work.
     poseidon_nn::parallel::set_compute_threads(cfg.compute_threads.max(1));
@@ -115,6 +117,7 @@ pub(crate) fn run_worker<M: Model, T: Transport>(
     let mut stashed: VecDeque<(usize, Message)> = VecDeque::new();
 
     for iter in 0..cfg.iterations {
+        let _iter_span = telemetry::span("iter", cfg.me as u64, iter as u64);
         if let Some(staleness) = cfg.ssp_staleness {
             clock.wait_until_allowed(cfg.me, iter as u64, staleness);
         }
@@ -215,6 +218,14 @@ pub(crate) fn run_worker<M: Model, T: Transport>(
                     );
                 }
             }
+            // The layer's sync window opens the instant its gradient left
+            // (WFBP); it closes when the outcome is applied below. The span
+            // lives on the layer's own lane because windows of different
+            // layers overlap.
+            if telemetry::is_enabled() {
+                telemetry::instant("grad.ready", l as u64, iter as u64);
+                telemetry::span_begin_lane("wfbp.sync", l as u32, l as u64, iter as u64);
+            }
         });
 
         // Receive until the completion vector is all ones.
@@ -230,7 +241,7 @@ pub(crate) fn run_worker<M: Model, T: Transport>(
             } else {
                 match endpoint.recv_timeout(cfg.comm_timeout) {
                     Ok(env) => (env.from, env.msg),
-                    Err(e @ (TransportError::Timeout | TransportError::Closed)) => panic!(
+                    Err(e @ (TransportError::Timeout(_) | TransportError::Closed)) => panic!(
                         "worker {} starved at iteration {iter} with {completed}/{num_syncers} \
                          layers synced — a peer died or stalled: {e}",
                         cfg.me
@@ -287,6 +298,7 @@ pub(crate) fn run_worker<M: Model, T: Transport>(
                 }
             }
             if !was_complete && s.is_complete() {
+                telemetry::span_begin("apply", layer as u64, iter as u64);
                 let outcome = s.take_outcome();
                 let params = net
                     .slot_mut(layer)
@@ -313,6 +325,8 @@ pub(crate) fn run_worker<M: Model, T: Transport>(
                         }
                     }
                 }
+                telemetry::span_end("apply", layer as u64, iter as u64);
+                telemetry::span_end_lane("wfbp.sync", layer as u32, layer as u64, iter as u64);
                 completed += 1;
             }
         }

@@ -15,6 +15,7 @@ use crate::config::CommScheme;
 use crate::config::Scheduler;
 use crate::coordinator::Coordinator;
 use crate::sim::profile::{LayerTimes, SimConfig};
+use crate::telemetry::{Event, EventKind, Trace, Track};
 use poseidon_netsim::{EventQueue, FlowNetwork, LinkConfig, Network, NodeId, Resource};
 use poseidon_nn::zoo::ModelSpec;
 use std::collections::HashMap;
@@ -43,6 +44,86 @@ pub struct IterationReport {
     pub per_node_gbit: Vec<f64>,
     /// Scheme chosen per trainable layer: `(layer name, scheme)`.
     pub schemes: Vec<(String, CommScheme)>,
+}
+
+/// Collects telemetry events on the *virtual* clock while the simulator
+/// runs, so simulated timelines use the exact schema (and exporters) of the
+/// live runtime. Track `w` (`w < p`) is node `w`'s GPU/NIC; track `p + s` is
+/// node `s`'s CPU/transform stream (server applies). Only the measured
+/// (last) iteration records.
+struct SimTracer {
+    recording: bool,
+    iter: u64,
+    tracks: Vec<Vec<Event>>,
+}
+
+/// Virtual seconds → recorder nanoseconds.
+fn secs_to_ns(t: f64) -> u64 {
+    (t.max(0.0) * 1e9).round() as u64
+}
+
+impl SimTracer {
+    fn new(p: usize) -> Self {
+        Self {
+            recording: false,
+            iter: 0,
+            tracks: vec![Vec::new(); 2 * p],
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn push(
+        &mut self,
+        track: usize,
+        kind: EventKind,
+        name: &'static str,
+        lane: u32,
+        a: u64,
+        b: u64,
+        t: f64,
+    ) {
+        if !self.recording {
+            return;
+        }
+        self.tracks[track].push(Event {
+            ts_ns: secs_to_ns(t),
+            kind,
+            name,
+            lane,
+            a,
+            b,
+        });
+    }
+
+    fn span(&mut self, track: usize, name: &'static str, lane: u32, a: u64, start: f64, end: f64) {
+        let b = self.iter;
+        self.push(track, EventKind::Begin, name, lane, a, b, start);
+        self.push(track, EventKind::End, name, lane, a, b, end);
+    }
+
+    /// Assembles the recorded tracks into a [`Trace`] (events time-sorted;
+    /// ties keep insertion order, which was chosen Begin-first/End-last).
+    fn into_trace(self, p: usize, model: &str) -> Trace {
+        let mut trace = Trace::new(0, format!("sim {model}"));
+        for (i, mut events) in self.tracks.into_iter().enumerate() {
+            if events.is_empty() {
+                continue;
+            }
+            events.sort_by_key(|e| e.ts_ns);
+            let name = if i < p {
+                format!("node {i}")
+            } else {
+                format!("node {} cpu", i - p)
+            };
+            trace.tracks.push(Track {
+                tid: i as u64 + 1,
+                name,
+                events,
+                dropped: 0,
+            });
+        }
+        trace
+    }
 }
 
 #[derive(Clone, Debug)]
@@ -104,6 +185,7 @@ struct SimState<'a> {
     layer_done: f64,
     done_count: usize,
     expected_done: usize,
+    tracer: Option<SimTracer>,
 }
 
 impl SimState<'_> {
@@ -174,6 +256,17 @@ impl SimState<'_> {
         bytes: u64,
         ev: Ev,
     ) {
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.push(
+                src,
+                EventKind::Instant,
+                "tx.frame",
+                0,
+                dst as u64,
+                bytes,
+                ready,
+            );
+        }
         match self.fair.as_mut() {
             Some(fair) => {
                 fair.add_flow(ready, src, dst, bytes, ev);
@@ -188,6 +281,23 @@ impl SimState<'_> {
 
 /// Simulates `spec` under `cfg` and reports the steady-state iteration.
 pub fn simulate(spec: &ModelSpec, cfg: &SimConfig) -> IterationReport {
+    simulate_inner(spec, cfg, false).0
+}
+
+/// Like [`simulate`], but also records the measured iteration as a
+/// [`Trace`] on the simulator's virtual clock — the same event schema the
+/// live runtime emits, so [`crate::telemetry::chrome::to_chrome_json`] and
+/// [`crate::telemetry::report::summarize`] work on simulated timelines too.
+pub fn simulate_with_trace(spec: &ModelSpec, cfg: &SimConfig) -> (IterationReport, Trace) {
+    let (report, trace) = simulate_inner(spec, cfg, true);
+    (report, trace.expect("tracing requested"))
+}
+
+fn simulate_inner(
+    spec: &ModelSpec,
+    cfg: &SimConfig,
+    trace: bool,
+) -> (IterationReport, Option<Trace>) {
     let p = cfg.nodes;
     let gpus = cfg.gpus_per_node.max(1);
     let batch = cfg.batch_per_node.unwrap_or(spec.default_batch);
@@ -269,6 +379,7 @@ pub fn simulate(spec: &ModelSpec, cfg: &SimConfig) -> IterationReport {
         layer_done: 0.0,
         done_count: 0,
         expected_done: 0,
+        tracer: trace.then(|| SimTracer::new(p)),
     };
 
     let mut gpu: Vec<Resource> = vec![Resource::new(); p];
@@ -283,6 +394,21 @@ pub fn simulate(spec: &ModelSpec, cfg: &SimConfig) -> IterationReport {
                 fair.ledger_mut().reset();
             }
         }
+        if let Some(tr) = state.tracer.as_mut() {
+            tr.recording = it == iterations - 1;
+            tr.iter = it as u64;
+            for w in 0..p {
+                tr.push(
+                    w,
+                    EventKind::Begin,
+                    "iter",
+                    0,
+                    w as u64,
+                    it as u64,
+                    iter_start,
+                );
+            }
+        }
         // Compute schedule: forward then backward on every GPU; an injected
         // straggler's compute is uniformly slowed down.
         let mut bwd_done = vec![vec![0.0f64; spec.layers.len()]; p];
@@ -294,11 +420,17 @@ pub fn simulate(spec: &ModelSpec, cfg: &SimConfig) -> IterationReport {
             };
             let mut t = iter_start;
             for l in 0..spec.layers.len() {
-                let (_, f) = g.reserve(t, times.fwd[l] * slow);
+                let (s, f) = g.reserve(t, times.fwd[l] * slow);
+                if let Some(tr) = state.tracer.as_mut() {
+                    tr.span(w, "fwd", 0, l as u64, s, f);
+                }
                 t = f;
             }
             for l in (0..spec.layers.len()).rev() {
-                let (_, f) = g.reserve(t, times.bwd[l] * slow);
+                let (s, f) = g.reserve(t, times.bwd[l] * slow);
+                if let Some(tr) = state.tracer.as_mut() {
+                    tr.span(w, "bwd", 0, l as u64, s, f);
+                }
                 t = f;
                 bwd_done[w][l] = f;
             }
@@ -395,6 +527,11 @@ pub fn simulate(spec: &ModelSpec, cfg: &SimConfig) -> IterationReport {
                 state.cpu[0].total_busy(),
             );
         }
+        if let Some(tr) = state.tracer.as_mut() {
+            for w in 0..p {
+                tr.push(w, EventKind::End, "iter", 0, w as u64, it as u64, iter_end);
+            }
+        }
         measured = (iter_start, iter_end);
         iter_start = iter_end;
     }
@@ -411,7 +548,7 @@ pub fn simulate(spec: &ModelSpec, cfg: &SimConfig) -> IterationReport {
         Some(fair) => fair.ledger(),
         None => state.net.ledger(),
     };
-    IterationReport {
+    let report = IterationReport {
         iter_time_s: iter_time,
         compute_s: compute,
         throughput_ips: throughput,
@@ -432,13 +569,36 @@ pub fn simulate(spec: &ModelSpec, cfg: &SimConfig) -> IterationReport {
                 .map(|(l, scheme)| (coordinator.layers()[l].name.clone(), scheme))
                 .collect()
         },
-    }
+    };
+    let trace = state.tracer.take().map(|tr| tr.into_trace(p, spec.name));
+    (report, trace)
 }
 
 fn step(state: &mut SimState<'_>, queue: &mut EventQueue<Ev>, now: f64, ev: Ev) {
     let p = state.p;
     match ev {
         Ev::SyncReady { layer, worker: w } => {
+            if let Some(tr) = state.tracer.as_mut() {
+                let iter = tr.iter;
+                tr.push(
+                    w,
+                    EventKind::Instant,
+                    "grad.ready",
+                    0,
+                    layer as u64,
+                    iter,
+                    now,
+                );
+                tr.push(
+                    w,
+                    EventKind::Begin,
+                    "wfbp.sync",
+                    layer as u32 + 1,
+                    layer as u64,
+                    iter,
+                    now,
+                );
+            }
             let plan = state.plans[&layer].clone();
             match plan.scheme {
                 CommScheme::Ps | CommScheme::OneBitPs => {
@@ -547,7 +707,10 @@ fn step(state: &mut SimState<'_>, queue: &mut EventQueue<Ev>, now: f64, ev: Ev) 
                 }
                 CommScheme::Sfb => unreachable!("SFB has no server-side apply"),
             };
-            let done = state.cpu[shard].reserve(now, apply_dur).1;
+            let (astart, done) = state.cpu[shard].reserve(now, apply_dur);
+            if let Some(tr) = state.tracer.as_mut() {
+                tr.span(p + shard, "serve.apply", 0, layer as u64, astart, done);
+            }
             queue.schedule_at(done, Ev::ApplyDone { layer, chunk });
         }
         Ev::ApplyDone { layer, chunk } => {
@@ -612,6 +775,18 @@ fn step(state: &mut SimState<'_>, queue: &mut EventQueue<Ev>, now: f64, ev: Ev) 
                 state.chunks_remaining.remove(&(layer, worker));
                 let done = state.local_distribute(worker, done, plan.dense_bytes);
                 if !state.is_dropped(worker) {
+                    if let Some(tr) = state.tracer.as_mut() {
+                        let iter = tr.iter;
+                        tr.push(
+                            worker,
+                            EventKind::End,
+                            "wfbp.sync",
+                            layer as u32 + 1,
+                            layer as u64,
+                            iter,
+                            done,
+                        );
+                    }
                     state.mark_layer_worker_done(done);
                 }
             }
@@ -641,6 +816,18 @@ fn step(state: &mut SimState<'_>, queue: &mut EventQueue<Ev>, now: f64, ev: Ev) 
             let dense = state.plans[&layer].dense_bytes;
             let done = state.local_distribute(at, now, dense);
             if !state.is_dropped(at) {
+                if let Some(tr) = state.tracer.as_mut() {
+                    let iter = tr.iter;
+                    tr.push(
+                        at,
+                        EventKind::End,
+                        "wfbp.sync",
+                        layer as u32 + 1,
+                        layer as u64,
+                        iter,
+                        done,
+                    );
+                }
                 state.mark_layer_worker_done(done);
             }
         }
@@ -943,6 +1130,49 @@ mod tests {
             rel < 0.25,
             "bandwidth-bound disagreement {rel:.2} too large"
         );
+    }
+
+    #[test]
+    fn traced_simulation_matches_untraced_and_exports_valid_chrome_json() {
+        let vgg = zoo::vgg19();
+        let cfg = SimConfig::system(System::Poseidon, 4, 40.0);
+        let plain = simulate(&vgg, &cfg);
+        let (report, trace) = simulate_with_trace(&vgg, &cfg);
+        // Tracing is pure observation: the simulation result is unchanged.
+        assert_eq!(plain.iter_time_s, report.iter_time_s);
+        assert_eq!(plain.per_node_gbit, report.per_node_gbit);
+        assert!(trace.event_count() > 0, "trace must record the iteration");
+
+        // WFBP is visible in the timeline: on node 0 some layer's sync
+        // window opens strictly before the node's backward pass finishes.
+        let t0 = trace
+            .tracks
+            .iter()
+            .find(|t| t.name == "node 0")
+            .expect("node 0 track");
+        let last_bwd_end = t0
+            .events
+            .iter()
+            .filter(|e| e.name == "bwd" && e.kind == EventKind::End)
+            .map(|e| e.ts_ns)
+            .max()
+            .expect("bwd spans recorded");
+        let first_sync_begin = t0
+            .events
+            .iter()
+            .filter(|e| e.name == "wfbp.sync" && e.kind == EventKind::Begin)
+            .map(|e| e.ts_ns)
+            .min()
+            .expect("sync spans recorded");
+        assert!(
+            first_sync_begin < last_bwd_end,
+            "WFBP overlap missing: first sync at {first_sync_begin} ns, backward ends {last_bwd_end} ns"
+        );
+
+        // The exporter round-trips: structurally valid Chrome trace JSON.
+        let json = crate::telemetry::chrome::to_chrome_json(&[trace]);
+        let stats = crate::telemetry::chrome::validate(&json).expect("valid chrome trace");
+        assert!(stats.spans > 0 && stats.tracks > 1);
     }
 
     #[test]

@@ -8,7 +8,8 @@
 //! tests — which keeps the threaded runtime allocation-light while still
 //! counting exactly what [`super::TcpTransport`] would move.
 
-use super::{Envelope, Message, TrafficCounters, Transport, TransportError};
+use super::{Envelope, Message, RecvTracker, TrafficCounters, Transport, TransportError};
+use crate::telemetry;
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::Arc;
 use std::time::Duration;
@@ -21,6 +22,17 @@ pub struct InProcTransport {
     outboxes: Vec<Option<Sender<Envelope>>>,
     dest_nodes: Vec<usize>,
     counters: Arc<TrafficCounters>,
+    tracker: RecvTracker,
+}
+
+impl InProcTransport {
+    /// Notes a delivered envelope for timeout diagnostics and telemetry.
+    fn on_delivered(&self, env: &Envelope) {
+        self.tracker.note(env);
+        if telemetry::is_enabled() {
+            telemetry::instant("rx.frame", env.from as u64, env.msg.wire_bytes());
+        }
+    }
 }
 
 impl Transport for InProcTransport {
@@ -48,6 +60,9 @@ impl Transport for InProcTransport {
             .as_ref()
             .ok_or(TransportError::Closed)?;
         let bytes = msg.wire_bytes();
+        if telemetry::is_enabled() {
+            telemetry::instant("tx.frame", to as u64, bytes);
+        }
         outbox
             .send(Envelope {
                 from: self.node,
@@ -59,12 +74,17 @@ impl Transport for InProcTransport {
     }
 
     fn recv(&self) -> Result<Envelope, TransportError> {
-        self.inbox.recv().map_err(|_| TransportError::Closed)
+        let env = self.inbox.recv().map_err(|_| TransportError::Closed)?;
+        self.on_delivered(&env);
+        Ok(env)
     }
 
     fn try_recv(&self) -> Result<Option<Envelope>, TransportError> {
         match self.inbox.try_recv() {
-            Ok(env) => Ok(Some(env)),
+            Ok(env) => {
+                self.on_delivered(&env);
+                Ok(Some(env))
+            }
             Err(TryRecvError::Empty) => Ok(None),
             Err(TryRecvError::Disconnected) => Err(TransportError::Closed),
         }
@@ -72,8 +92,11 @@ impl Transport for InProcTransport {
 
     fn recv_timeout(&self, timeout: Duration) -> Result<Envelope, TransportError> {
         match self.inbox.recv_timeout(timeout) {
-            Ok(env) => Ok(env),
-            Err(RecvTimeoutError::Timeout) => Err(TransportError::Timeout),
+            Ok(env) => {
+                self.on_delivered(&env);
+                Ok(env)
+            }
+            Err(RecvTimeoutError::Timeout) => Err(self.tracker.timeout(self.me, timeout)),
             Err(RecvTimeoutError::Disconnected) => Err(TransportError::Closed),
         }
     }
@@ -127,6 +150,7 @@ pub fn fabric_with_nodes(
             outboxes: senders.clone(),
             dest_nodes: node_ids.clone(),
             counters: Arc::clone(&counters),
+            tracker: RecvTracker::default(),
         })
         .collect();
     (endpoints, counters)

@@ -29,8 +29,8 @@ pub use tcp::{bind_ephemeral, TcpFabricSpec, TcpTransport};
 use crate::wire::{self, FrameError};
 use bytes::Bytes;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// A message between nodes. Payloads are pre-serialised byte buffers; the
 /// transport never inspects them.
@@ -96,6 +96,26 @@ impl Message {
         }
     }
 
+    /// The layer index carried by the message.
+    pub fn layer(&self) -> u32 {
+        match self {
+            Message::GradChunk { layer, .. }
+            | Message::ParamChunk { layer, .. }
+            | Message::SfPush { layer, .. }
+            | Message::ParamMatrix { layer, .. } => *layer,
+        }
+    }
+
+    /// The wire-tag name of the variant, for diagnostics.
+    pub fn tag_name(&self) -> &'static str {
+        match self {
+            Message::GradChunk { .. } => "GradChunk",
+            Message::ParamChunk { .. } => "ParamChunk",
+            Message::SfPush { .. } => "SfPush",
+            Message::ParamMatrix { .. } => "ParamMatrix",
+        }
+    }
+
     fn payload_len(&self) -> usize {
         match self {
             Message::GradChunk { data, .. }
@@ -115,12 +135,56 @@ pub struct Envelope {
     pub msg: Message,
 }
 
+/// The most recent frame an endpoint received before a timeout — the first
+/// thing to look at when a worker starves: *who* went quiet, and at which
+/// (iteration, layer) the conversation stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LastFrame {
+    /// Physical node the frame came from.
+    pub from_node: usize,
+    /// Wire-tag name of the frame's message variant.
+    pub tag: &'static str,
+    /// Iteration stamp the frame carried.
+    pub iter: u64,
+    /// Layer index the frame carried.
+    pub layer: u32,
+    /// Elapsed between that frame's arrival and the timeout firing.
+    pub since: Duration,
+}
+
+/// Diagnostic context attached to a receive timeout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimeoutDiag {
+    /// The endpoint that timed out.
+    pub endpoint: usize,
+    /// The `recv_timeout` budget that expired.
+    pub waited: Duration,
+    /// The last frame this endpoint ever received (`None` if the peer never
+    /// said anything at all).
+    pub last_frame: Option<LastFrame>,
+}
+
+impl std::fmt::Display for TimeoutDiag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "endpoint {} waited {:.1?}", self.endpoint, self.waited)?;
+        match &self.last_frame {
+            Some(last) => write!(
+                f,
+                "; last frame {:.1?} ago from node {} ({} iter {} layer {})",
+                last.since, last.from_node, last.tag, last.iter, last.layer
+            ),
+            None => write!(f, "; no frame ever received"),
+        }
+    }
+}
+
 /// Why a transport operation failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TransportError {
     /// `recv_timeout` expired with no message; in the runtime this means a
     /// peer stopped talking (crash, partition) rather than a silent hang.
-    Timeout,
+    /// Carries the last frame seen so the stall is diagnosable.
+    Timeout(TimeoutDiag),
     /// The fabric (or the destination endpoint) has shut down.
     Closed,
     /// The TCP mesh could not be established.
@@ -134,7 +198,7 @@ pub enum TransportError {
 impl std::fmt::Display for TransportError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            TransportError::Timeout => write!(f, "timed out waiting for a message"),
+            TransportError::Timeout(d) => write!(f, "timed out waiting for a message: {d}"),
             TransportError::Closed => write!(f, "transport closed"),
             TransportError::Handshake(e) => write!(f, "handshake failed: {e}"),
             TransportError::Io(e) => write!(f, "transport i/o error: {e}"),
@@ -144,6 +208,56 @@ impl std::fmt::Display for TransportError {
 }
 
 impl std::error::Error for TransportError {}
+
+/// Tracks the most recent frame an endpoint received, so a later timeout
+/// can report who went quiet and when. One per transport endpoint; the
+/// `Mutex` is uncontended (only the endpoint's receive path touches it).
+#[derive(Debug, Default)]
+pub(crate) struct RecvTracker {
+    last: Mutex<Option<LastSeen>>,
+}
+
+/// `(from node, frame tag, iter, layer, arrival time)` of the last envelope.
+type LastSeen = (usize, &'static str, u64, u32, Instant);
+
+impl RecvTracker {
+    /// Notes a delivered envelope (and emits the `rx.frame` telemetry
+    /// instant for transports with no reader thread of their own).
+    pub(crate) fn note(&self, env: &Envelope) {
+        *self.last.lock().unwrap() = Some((
+            env.from,
+            env.msg.tag_name(),
+            env.msg.iter(),
+            env.msg.layer(),
+            Instant::now(),
+        ));
+    }
+
+    /// Builds the enriched timeout error for `endpoint` after `waited`.
+    pub(crate) fn timeout(&self, endpoint: usize, waited: Duration) -> TransportError {
+        crate::telemetry::instant(
+            "transport.timeout",
+            endpoint as u64,
+            waited.as_millis() as u64,
+        );
+        let last_frame = self
+            .last
+            .lock()
+            .unwrap()
+            .map(|(from_node, tag, iter, layer, at)| LastFrame {
+                from_node,
+                tag,
+                iter,
+                layer,
+                since: at.elapsed(),
+            });
+        TransportError::Timeout(TimeoutDiag {
+            endpoint,
+            waited,
+            last_frame,
+        })
+    }
+}
 
 impl From<FrameError> for TransportError {
     fn from(e: FrameError) -> Self {
@@ -383,9 +497,47 @@ mod tests {
     fn recv_timeout_reports_a_dropped_peer() {
         let (eps, _) = fabric(2);
         let err = eps[0].recv_timeout(Duration::from_millis(20)).unwrap_err();
-        assert_eq!(err, TransportError::Timeout);
+        match &err {
+            TransportError::Timeout(diag) => {
+                assert_eq!(diag.endpoint, 0);
+                assert!(diag.waited >= Duration::from_millis(20));
+                assert!(diag.last_frame.is_none(), "nothing was ever received");
+            }
+            other => panic!("expected Timeout, got {other:?}"),
+        }
         eps[1].send(0, grad(1, 1)).unwrap();
         assert!(eps[0].recv_timeout(Duration::from_millis(20)).is_ok());
+    }
+
+    #[test]
+    fn timeout_diag_names_the_last_frame_seen() {
+        let (eps, _) = fabric(2);
+        eps[1]
+            .send(
+                0,
+                Message::GradChunk {
+                    iter: 9,
+                    layer: 4,
+                    chunk: 0,
+                    data: Bytes::from(vec![0u8; 8]),
+                },
+            )
+            .unwrap();
+        eps[0].recv().unwrap();
+        let err = eps[0].recv_timeout(Duration::from_millis(10)).unwrap_err();
+        let TransportError::Timeout(diag) = err else {
+            panic!("expected Timeout");
+        };
+        let last = diag
+            .last_frame
+            .clone()
+            .expect("a frame was received before");
+        assert_eq!(last.from_node, 1);
+        assert_eq!(last.tag, "GradChunk");
+        assert_eq!(last.iter, 9);
+        assert_eq!(last.layer, 4);
+        let text = format!("{}", TransportError::Timeout(diag));
+        assert!(text.contains("GradChunk iter 9 layer 4"), "{text}");
     }
 
     #[test]

@@ -28,11 +28,13 @@
 //! still cross the socket but are never counted, exactly like
 //! [`InProcTransport`](super::InProcTransport).
 
-use super::{Envelope, Message, TrafficCounters, Transport, TransportError};
+use super::{Envelope, Message, RecvTracker, TrafficCounters, Transport, TransportError};
+use crate::telemetry;
 use crate::wire::{assemble, encode_frame, parse_header, FRAME_HEADER_BYTES, FRAME_VERSION};
 use bytes::Bytes;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -118,6 +120,10 @@ pub struct TcpTransport {
     /// surfaced by `recv_timeout` so stalls are diagnosable.
     reader_err: Arc<Mutex<Option<TransportError>>>,
     counters: Arc<TrafficCounters>,
+    /// Envelopes enqueued on the inbox but not yet received — the reader
+    /// queue depth sampled by the `rx.queue` telemetry counter.
+    inflight: Arc<AtomicU64>,
+    tracker: RecvTracker,
     down: bool,
 }
 
@@ -165,6 +171,7 @@ impl TcpTransport {
 
         let (self_tx, inbox) = channel();
         let reader_err = Arc::new(Mutex::new(None));
+        let inflight = Arc::new(AtomicU64::new(0));
         let mut inbound = Vec::with_capacity(accepted.len());
         let mut readers = Vec::with_capacity(accepted.len());
         for (peer, stream) in accepted {
@@ -174,9 +181,11 @@ impl TcpTransport {
             inbound.push(clone);
             let tx = self_tx.clone();
             let err = Arc::clone(&reader_err);
+            let depth = Arc::clone(&inflight);
             let from_node = spec.node_of_endpoint[peer];
             readers.push(std::thread::spawn(move || {
-                reader_loop(stream, from_node, &tx, &err)
+                telemetry::set_thread_track(format!("rx e{me}<-n{from_node}"));
+                reader_loop(stream, from_node, &tx, &err, &depth)
             }));
         }
 
@@ -191,6 +200,8 @@ impl TcpTransport {
             readers,
             reader_err,
             counters,
+            inflight,
+            tracker: RecvTracker::default(),
             down: false,
         })
     }
@@ -202,6 +213,13 @@ impl TcpTransport {
             .expect("reader error lock")
             .clone()
             .unwrap_or(fallback)
+    }
+
+    /// Notes a delivered envelope: queue-depth bookkeeping plus timeout
+    /// diagnostics.
+    fn on_delivered(&self, env: &Envelope) {
+        self.inflight.fetch_sub(1, Ordering::Relaxed);
+        self.tracker.note(env);
     }
 }
 
@@ -225,6 +243,10 @@ impl Transport for TcpTransport {
     fn send(&self, to: usize, msg: Message) -> Result<(), TransportError> {
         if to == self.me {
             let tx = self.self_tx.as_ref().ok_or(TransportError::Closed)?;
+            if telemetry::is_enabled() {
+                telemetry::instant("tx.frame", to as u64, msg.wire_bytes());
+            }
+            self.inflight.fetch_add(1, Ordering::Relaxed);
             // Loop-back within one endpoint never touches the socket and, like
             // all same-node traffic, is never counted.
             return tx
@@ -241,6 +263,9 @@ impl Transport for TcpTransport {
             .as_ref()
             .ok_or(TransportError::Closed)?;
         let frame = encode_frame(&msg);
+        if telemetry::is_enabled() {
+            telemetry::instant("tx.frame", to as u64, frame.len() as u64);
+        }
         {
             let mut stream = writer.lock().expect("writer lock");
             stream
@@ -254,14 +279,20 @@ impl Transport for TcpTransport {
     }
 
     fn recv(&self) -> Result<Envelope, TransportError> {
-        self.inbox
+        let env = self
+            .inbox
             .recv()
-            .map_err(|_| self.pending_error(TransportError::Closed))
+            .map_err(|_| self.pending_error(TransportError::Closed))?;
+        self.on_delivered(&env);
+        Ok(env)
     }
 
     fn try_recv(&self) -> Result<Option<Envelope>, TransportError> {
         match self.inbox.try_recv() {
-            Ok(env) => Ok(Some(env)),
+            Ok(env) => {
+                self.on_delivered(&env);
+                Ok(Some(env))
+            }
             Err(TryRecvError::Empty) => Ok(None),
             Err(TryRecvError::Disconnected) => Err(self.pending_error(TransportError::Closed)),
         }
@@ -269,9 +300,14 @@ impl Transport for TcpTransport {
 
     fn recv_timeout(&self, timeout: Duration) -> Result<Envelope, TransportError> {
         match self.inbox.recv_timeout(timeout) {
-            Ok(env) => Ok(env),
+            Ok(env) => {
+                self.on_delivered(&env);
+                Ok(env)
+            }
             // A reader that died explains the silence better than "timeout".
-            Err(RecvTimeoutError::Timeout) => Err(self.pending_error(TransportError::Timeout)),
+            Err(RecvTimeoutError::Timeout) => {
+                Err(self.pending_error(self.tracker.timeout(self.me, timeout)))
+            }
             Err(RecvTimeoutError::Disconnected) => Err(self.pending_error(TransportError::Closed)),
         }
     }
@@ -326,6 +362,7 @@ fn dial(
     deadline: Instant,
 ) -> Result<TcpStream, TransportError> {
     let addr = spec.addrs[peer];
+    let mut attempts: u64 = 0;
     loop {
         let remaining = deadline
             .checked_duration_since(Instant::now())
@@ -346,7 +383,11 @@ fn dial(
                     .map_err(|e| TransportError::Handshake(format!("hello to {addr}: {e}")))?;
                 return Ok(stream);
             }
-            Err(_) => std::thread::sleep(spec.retry_interval),
+            Err(_) => {
+                attempts += 1;
+                telemetry::instant("dial.retry", peer as u64, attempts);
+                std::thread::sleep(spec.retry_interval);
+            }
         }
     }
 }
@@ -448,6 +489,7 @@ fn reader_loop(
     from_node: usize,
     tx: &Sender<Envelope>,
     err: &Mutex<Option<TransportError>>,
+    depth: &AtomicU64,
 ) {
     let fail = |e: TransportError| {
         let mut slot = err.lock().expect("reader error lock");
@@ -474,6 +516,15 @@ fn reader_loop(
             }
         }
         let msg = assemble(&header, Bytes::from(payload));
+        let queued = depth.fetch_add(1, Ordering::Relaxed) + 1;
+        if telemetry::is_enabled() {
+            telemetry::instant(
+                "rx.frame",
+                from_node as u64,
+                (FRAME_HEADER_BYTES + header.payload_len) as u64,
+            );
+            telemetry::counter("rx.queue", from_node as u64, queued);
+        }
         if tx
             .send(Envelope {
                 from: from_node,
@@ -589,8 +640,15 @@ mod tests {
     #[test]
     fn recv_timeout_expires_when_no_peer_talks() {
         with_fabric(&[0, 1], |mut ep| {
+            let me = ep.endpoint_id();
             let err = ep.recv_timeout(Duration::from_millis(30)).unwrap_err();
-            assert_eq!(err, TransportError::Timeout);
+            match err {
+                TransportError::Timeout(diag) => {
+                    assert_eq!(diag.endpoint, me);
+                    assert!(diag.last_frame.is_none());
+                }
+                other => panic!("expected Timeout, got {other:?}"),
+            }
             ep.shutdown().unwrap();
         });
     }

@@ -183,7 +183,10 @@ impl Model for GraphNetwork {
                     let x = self.activations[*input]
                         .as_ref()
                         .expect("topological order guarantees the input is computed");
-                    layer.forward(x)
+                    crate::probe::emit(crate::probe::ProbeEvent::ForwardBegin { layer: id });
+                    let act = layer.forward(x);
+                    crate::probe::emit(crate::probe::ProbeEvent::ForwardEnd { layer: id });
+                    act
                 }
                 Node::Concat { inputs, shape } => {
                     let batch = self.activations[inputs[0]]
@@ -227,7 +230,9 @@ impl Model for GraphNetwork {
             match &mut self.nodes[id] {
                 Node::Input => unreachable!(),
                 Node::Layer { layer, input } => {
+                    crate::probe::emit(crate::probe::ProbeEvent::BackwardBegin { layer: id });
                     let gin = layer.backward(&g);
+                    crate::probe::emit(crate::probe::ProbeEvent::BackwardEnd { layer: id });
                     on_layer_done(id, layer.as_mut());
                     accumulate(&mut grads[*input], gin);
                 }

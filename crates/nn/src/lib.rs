@@ -32,6 +32,7 @@ pub mod model;
 pub mod network;
 pub mod parallel;
 pub mod presets;
+pub mod probe;
 pub mod sgd;
 pub mod zoo;
 

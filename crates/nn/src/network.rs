@@ -86,8 +86,10 @@ impl Network {
             self.input_shape
         );
         let mut act = input.clone();
-        for layer in &mut self.layers {
+        for (l, layer) in self.layers.iter_mut().enumerate() {
+            crate::probe::emit(crate::probe::ProbeEvent::ForwardBegin { layer: l });
             act = layer.forward(&act);
+            crate::probe::emit(crate::probe::ProbeEvent::ForwardEnd { layer: l });
         }
         act
     }
@@ -112,7 +114,9 @@ impl Network {
     ) {
         let mut grad = grad_top.clone();
         for l in (0..self.layers.len()).rev() {
+            crate::probe::emit(crate::probe::ProbeEvent::BackwardBegin { layer: l });
             grad = self.layers[l].backward(&grad);
+            crate::probe::emit(crate::probe::ProbeEvent::BackwardEnd { layer: l });
             on_layer_done(l, self.layers[l].as_mut());
         }
     }

@@ -119,7 +119,17 @@ where
             let (chunk, tail) = rest.split_at_mut(range.len() * row_width);
             rest = tail;
             let f = &f;
-            scope.spawn(move |_| f(range, chunk));
+            scope.spawn(move |_| {
+                crate::probe::emit(crate::probe::ProbeEvent::ChunkBegin {
+                    lo: range.start,
+                    hi: range.end,
+                });
+                f(range.clone(), chunk);
+                crate::probe::emit(crate::probe::ProbeEvent::ChunkEnd {
+                    lo: range.start,
+                    hi: range.end,
+                });
+            });
         }
     })
     .expect("compute thread panicked");
@@ -146,7 +156,17 @@ where
             let (chunk, tail) = rest.split_at_mut(range.len());
             rest = tail;
             let f = &f;
-            scope.spawn(move |_| f(range, chunk));
+            scope.spawn(move |_| {
+                crate::probe::emit(crate::probe::ProbeEvent::ChunkBegin {
+                    lo: range.start,
+                    hi: range.end,
+                });
+                f(range.clone(), chunk);
+                crate::probe::emit(crate::probe::ProbeEvent::ChunkEnd {
+                    lo: range.start,
+                    hi: range.end,
+                });
+            });
         }
     })
     .expect("compute thread panicked");

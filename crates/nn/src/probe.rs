@@ -1,0 +1,93 @@
+//! A per-layer compute probe, so an observer above this crate (the
+//! telemetry recorder in `poseidon::telemetry`) can time forward/backward
+//! passes without inverting the dependency graph: `poseidon` depends on
+//! `poseidon_nn`, so this crate cannot call the recorder directly. Instead
+//! it emits [`ProbeEvent`]s through a process-global hook that the recorder
+//! installs once when tracing is enabled.
+//!
+//! The emit path is designed to vanish when unused: one atomic load of the
+//! [`OnceLock`] and a branch. The hook must never touch the computation —
+//! it observes; training stays bitwise identical with or without it.
+
+use std::sync::OnceLock;
+
+/// A compute-side event: a layer's forward/backward pass, or one
+/// batch-parallel worker's chunk of it, starting or finishing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeEvent {
+    /// Layer `layer`'s forward pass starts.
+    ForwardBegin {
+        /// Slot index.
+        layer: usize,
+    },
+    /// Layer `layer`'s forward pass is complete.
+    ForwardEnd {
+        /// Slot index.
+        layer: usize,
+    },
+    /// Layer `layer`'s backward pass starts.
+    BackwardBegin {
+        /// Slot index.
+        layer: usize,
+    },
+    /// Layer `layer`'s gradients are final (fires before the WFBP callback).
+    BackwardEnd {
+        /// Slot index.
+        layer: usize,
+    },
+    /// A batch-parallel worker starts on sample rows `lo..hi`.
+    ChunkBegin {
+        /// First row of the chunk.
+        lo: usize,
+        /// One past the last row.
+        hi: usize,
+    },
+    /// A batch-parallel worker finished rows `lo..hi`.
+    ChunkEnd {
+        /// First row of the chunk.
+        lo: usize,
+        /// One past the last row.
+        hi: usize,
+    },
+}
+
+/// The hook signature. Must be cheap and must not panic.
+pub type ProbeFn = fn(ProbeEvent);
+
+static HOOK: OnceLock<ProbeFn> = OnceLock::new();
+
+/// Installs the process-global probe hook. First install wins; later calls
+/// are ignored (the recorder installs the same hook every time it enables).
+pub fn install(hook: ProbeFn) {
+    let _ = HOOK.set(hook);
+}
+
+/// Emits an event to the installed hook, if any.
+#[inline]
+pub fn emit(ev: ProbeEvent) {
+    if let Some(hook) = HOOK.get() {
+        hook(ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    static SEEN: AtomicUsize = AtomicUsize::new(0);
+
+    fn counting_hook(_ev: ProbeEvent) {
+        SEEN.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[test]
+    fn emit_reaches_the_installed_hook() {
+        emit(ProbeEvent::ForwardBegin { layer: 0 }); // no hook yet: no-op
+        install(counting_hook);
+        install(counting_hook); // second install is ignored, not a panic
+        let before = SEEN.load(Ordering::Relaxed);
+        emit(ProbeEvent::BackwardEnd { layer: 3 });
+        assert_eq!(SEEN.load(Ordering::Relaxed), before + 1);
+    }
+}

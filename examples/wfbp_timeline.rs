@@ -1,65 +1,116 @@
-//! WFBP timeline: visualise *why* wait-free backpropagation works — for
-//! VGG19, print each trainable layer's backward-completion time, its
-//! parameter volume, and the scheme HybComm picks, showing that the heavy FC
-//! layers finish first and their communication hides under the long conv
-//! backward tail.
+//! WFBP timeline: visualise *why* wait-free backpropagation works — replay
+//! one simulated VGG19 iteration with the telemetry recorder on and render
+//! the recorded event stream: each trainable layer's backward completion,
+//! when its `wfbp.sync` span ran, and how much of it hid under the long conv
+//! backward tail. The heavy FC layers finish backward first, so their
+//! communication overlaps almost the entire remaining compute.
 //!
 //! Run: `cargo run --release --example wfbp_timeline`
+//! The same event schema comes out of a live run
+//! (`poseidon-node --trace-out`), so this doubles as a reading guide for
+//! those traces.
 
-use poseidon::config::{ClusterConfig, Partition, SchemePolicy};
-use poseidon::coordinator::Coordinator;
-use poseidon::sim::LayerTimes;
+use poseidon::sim::{simulate_with_trace, SimConfig, System};
+use poseidon::telemetry::{report, EventKind, Track};
 use poseidon_nn::zoo;
+
+/// Pairs begin/end events of `name` on a track into `(layer, start, end)`
+/// intervals (one open-span stack per lane, innermost-first).
+fn close_spans(track: &Track, name: &str) -> Vec<(u64, u64, u64)> {
+    let mut stacks: Vec<(u32, Vec<(u64, u64)>)> = Vec::new();
+    let mut out = Vec::new();
+    for ev in &track.events {
+        if ev.name != name {
+            continue;
+        }
+        let stack = match stacks.iter_mut().find(|(l, _)| *l == ev.lane) {
+            Some((_, s)) => s,
+            None => {
+                stacks.push((ev.lane, Vec::new()));
+                &mut stacks.last_mut().unwrap().1
+            }
+        };
+        match ev.kind {
+            EventKind::Begin => stack.push((ev.a, ev.ts_ns)),
+            EventKind::End => {
+                if let Some((a, start)) = stack.pop() {
+                    out.push((a, start, ev.ts_ns));
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
 
 fn main() {
     let model = zoo::vgg19();
-    let cluster = ClusterConfig::colocated(8, model.default_batch);
-    let coordinator = Coordinator::from_spec(
-        &model,
-        cluster,
-        SchemePolicy::Hybrid,
-        Partition::default_kv_pairs(),
-    );
-    let times = LayerTimes::derive(&model, model.default_batch, 4.0e12);
+    let cfg = SimConfig::system(System::Poseidon, 8, 40.0);
+    let (rep, trace) = simulate_with_trace(&model, &cfg);
 
-    // Backward runs top-down; accumulate completion times.
-    let fwd_total: f64 = times.fwd.iter().sum();
-    let mut t = fwd_total;
-    let mut rows: Vec<(usize, f64)> = Vec::new();
-    for l in (0..model.layers.len()).rev() {
-        t += times.bwd[l];
-        rows.push((l, t));
-    }
-    let total = t;
+    print!(
+        "{}",
+        report::summarize(std::slice::from_ref(&trace)).render()
+    );
 
+    let track = trace
+        .tracks
+        .iter()
+        .find(|t| t.name == "node 0")
+        .expect("worker 0 track");
+    let (_, t0, t1) = close_spans(track, "iter")
+        .pop()
+        .expect("one iter span on the worker track");
+    let bwd = close_spans(track, "bwd");
+    let mut sync = close_spans(track, "wfbp.sync");
+    let last_bwd_end = bwd.iter().map(|&(_, _, e)| e).max().unwrap_or(t1);
+
+    let ms = |ns: u64| (ns - t0) as f64 / 1e6;
     println!(
-        "VGG19, batch {}, one iteration = {:.0} ms compute ({:.0} ms forward)\n",
-        model.default_batch,
-        total * 1e3,
-        fwd_total * 1e3
+        "\nVGG19 on 8 nodes at 40GbE: worker 0, one recorded iteration = {:.0} ms",
+        (t1 - t0) as f64 / 1e6
     );
     println!(
-        "{:>3} {:>12} {:>10} {:>12} {:>8}  remaining backward that hides its comm",
-        "l", "layer", "bwd done", "params", "scheme"
+        "(iteration time {:.3} s, {:.0} img/s cluster-wide)\n",
+        rep.iter_time_s, rep.throughput_ips
     );
-    for (l, done) in rows {
-        let spec = &model.layers[l];
-        if !spec.is_trainable() {
-            continue;
-        }
-        let scheme = coordinator.best_scheme(l);
-        let remaining = total - done;
-        let bar_len = (remaining / total * 40.0).round() as usize;
+    println!(
+        "{:>3} {:>12} {:>10} {:>16}  sync span on the timeline (| = backward done)",
+        "l", "layer", "bwd done", "wfbp.sync"
+    );
+
+    // Print in backward-completion order (top of the net first), the order
+    // the syncs are issued.
+    sync.sort_by_key(|&(l, _, _)| std::cmp::Reverse(l));
+    const W: usize = 44;
+    let col = |ns: u64| (((ns - t0) as f64 / (t1 - t0) as f64) * W as f64).round() as usize;
+    for &(l, s, e) in &sync {
+        let spec = &model.layers[l as usize];
+        let done = bwd
+            .iter()
+            .find(|&&(bl, _, _)| bl == l)
+            .map(|&(_, _, be)| be)
+            .unwrap_or(s);
+        let (c0, c1, cb) = (col(s), col(e).max(col(s) + 1), col(last_bwd_end).min(W - 1));
+        let bar: String = (0..W)
+            .map(|i| match i {
+                _ if i == cb => '|',
+                _ if i >= c0 && i < c1 && i < cb => '#',
+                _ if i >= c0 && i < c1 => '+',
+                _ => ' ',
+            })
+            .collect();
         println!(
-            "{:>3} {:>12} {:>8.0} ms {:>11.1}M {:>8}  {}",
+            "{:>3} {:>12} {:>7.0} ms {:>6.0}..{:>4.0} ms  {}",
             l,
             spec.name,
-            done * 1e3,
-            spec.params as f64 / 1e6,
-            scheme.to_string(),
-            "#".repeat(bar_len)
+            ms(done),
+            ms(s),
+            ms(e),
+            bar
         );
     }
-    println!("\nfc6-fc8 hold 86% of the parameters but finish backward first — their");
-    println!("synchronisation overlaps the entire conv backward (the long bars).");
+    println!("\n'#' = sync time hidden under backward compute, '+' = exposed after it.");
+    println!("fc6-fc8 hold 86% of the parameters but finish backward first — their");
+    println!("synchronisation overlaps the entire conv backward tail.");
 }

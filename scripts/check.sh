@@ -27,4 +27,12 @@ echo "== multi-process TCP loopback (bounded) =="
 # in-process run bitwise. Bounded so a wedged mesh fails instead of hanging.
 timeout 300 cargo test "${CARGO_OFFLINE[@]}" -q -p poseidon-bench --test tcp_loopback
 
+echo "== telemetry smoke: traced multi-process run + overhead budget =="
+# A traced TCP run must merge into valid Chrome-trace JSON (asserted by the
+# launcher itself and re-checked by the trace_roundtrip test), and the
+# telemetry_overhead binary regenerates BENCH_telemetry.json, the recorder's
+# disabled-path overhead record. Both bounded against a wedged mesh.
+timeout 300 cargo test "${CARGO_OFFLINE[@]}" -q -p poseidon-bench --test trace_roundtrip
+timeout 300 cargo run "${CARGO_OFFLINE[@]}" -q --release -p poseidon-bench --bin telemetry_overhead
+
 echo "All checks passed."
