@@ -19,9 +19,12 @@
 //! ```
 
 use poseidon::config::{Partition, SchemePolicy};
+use poseidon::faults::{FaultPlan, FaultyTransport};
 use poseidon::runtime::{flatten_model_params, run_endpoint, NodeOutcome, RuntimeConfig};
 use poseidon::telemetry::{self, chrome, report, TelemetryConfig};
-use poseidon::transport::{TcpFabricSpec, TcpTransport, TrafficSnapshot, Transport};
+use poseidon::transport::{
+    ReliabilityConfig, ReliableTransport, TcpFabricSpec, TcpTransport, TrafficSnapshot, Transport,
+};
 use poseidon_nn::data::Dataset;
 use poseidon_nn::layer::TensorShape;
 use poseidon_nn::presets;
@@ -43,6 +46,8 @@ struct Args {
     samples: usize,
     timeout_s: u64,
     trace_out: Option<String>,
+    fault_plan: Option<FaultPlan>,
+    reliable: bool,
     endpoint: Option<usize>,
 }
 
@@ -62,6 +67,8 @@ impl Default for Args {
             samples: 96,
             timeout_s: 60,
             trace_out: None,
+            fault_plan: None,
+            reliable: false,
             endpoint: None,
         }
     }
@@ -82,6 +89,10 @@ const USAGE: &str = "poseidon-node: multi-process distributed SGD over TCP
   --timeout-s N     per-endpoint comm timeout, seconds      [60]
   --trace-out PATH  record telemetry; write a merged Chrome trace to PATH
                     (children write PATH.eN.json; open in chrome://tracing)
+  --fault-plan P    scripted chaos, e.g. 'drop:0>2@n3;sever:1>3@n5'
+                    (action:from>to@trigger; implies the reliability layer)
+  --reliable on     wrap every endpoint in the reliability layer even with
+                    no faults scripted (sequencing, acks, retransmits)
   --endpoint N      run one endpoint (internal; launcher spawns these)";
 
 fn parse_args() -> Result<Args, String> {
@@ -126,6 +137,14 @@ fn parse_args() -> Result<Args, String> {
             "--samples" => args.samples = val.parse().map_err(|e| bad(&e))?,
             "--timeout-s" => args.timeout_s = val.parse().map_err(|e| bad(&e))?,
             "--trace-out" => args.trace_out = Some(val),
+            "--fault-plan" => args.fault_plan = Some(FaultPlan::parse(&val).map_err(|e| bad(&e))?),
+            "--reliable" => {
+                args.reliable = match val.as_str() {
+                    "on" | "true" | "1" => true,
+                    "off" | "false" | "0" => false,
+                    other => return Err(format!("--reliable takes on|off, got {other:?}")),
+                }
+            }
             "--endpoint" => args.endpoint = Some(val.parse().map_err(|e| bad(&e))?),
             other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
         }
@@ -202,19 +221,36 @@ fn run_one(a: &Args, me: usize) -> ExitCode {
     let data = dataset(a);
     let layers = a.layers.clone();
     let seed = a.seed;
-    let outcome = run_endpoint(
-        &move || presets::mlp(&layers, seed),
-        &data,
-        None,
-        &cfg,
-        endpoint,
-    );
+    let factory = move || presets::mlp(&layers, seed);
+
+    // Chaos plane: wrap the socket endpoint as Reliable(Faulty(tcp)), keep
+    // Arc handles to the fired-fault log and recovery stats so they can be
+    // reported after `run_endpoint` consumes the stack.
+    let mut chaos = None;
+    let outcome = if a.fault_plan.is_some() || a.reliable {
+        let plan = a.fault_plan.clone().unwrap_or_default();
+        let faulty = FaultyTransport::new(endpoint, &plan);
+        let reliable = ReliableTransport::new(faulty, ReliabilityConfig::default());
+        chaos = Some((reliable.inner().log(), reliable.stats()));
+        run_endpoint(&factory, &data, None, &cfg, reliable)
+    } else {
+        run_endpoint(&factory, &data, None, &cfg, endpoint)
+    };
 
     println!("endpoint={me}");
     println!("node={}", spec.node_of_endpoint[me]);
     let snap = traffic.snapshot();
     println!("tx={}", csv(&snap.tx));
     println!("rx={}", csv(&snap.rx));
+    if let Some((log, stats)) = &chaos {
+        use std::sync::atomic::Ordering::Relaxed;
+        println!("faults_fired={}", log.lock().expect("fault log").len());
+        println!("retransmits={}", stats.retransmits.load(Relaxed));
+        println!("dups_dropped={}", stats.dups_dropped.load(Relaxed));
+        println!("nacks_sent={}", stats.nacks_sent.load(Relaxed));
+        println!("acks_sent={}", stats.acks_sent.load(Relaxed));
+        println!("recovery_actions={}", stats.recovery_actions());
+    }
     if let Some(base) = &a.trace_out {
         // run_endpoint's shutdown joined the reader threads, so every
         // recording thread of this process has flushed by now.
@@ -252,6 +288,8 @@ struct ChildReport {
     losses: Vec<f32>,
     params: Option<String>,
     traffic: TrafficSnapshot,
+    faults_fired: u64,
+    recovery_actions: u64,
 }
 
 fn parse_report(endpoint: usize, stdout: &str) -> Result<ChildReport, String> {
@@ -261,6 +299,8 @@ fn parse_report(endpoint: usize, stdout: &str) -> Result<ChildReport, String> {
         losses: Vec::new(),
         params: None,
         traffic: TrafficSnapshot::zeros(0),
+        faults_fired: 0,
+        recovery_actions: 0,
     };
     let parse_u64s = |v: &str| -> Result<Vec<u64>, String> {
         v.split(',')
@@ -288,6 +328,16 @@ fn parse_report(endpoint: usize, stdout: &str) -> Result<ChildReport, String> {
             "params" => report.params = Some(val.to_string()),
             "tx" => report.traffic.tx = parse_u64s(val)?,
             "rx" => report.traffic.rx = parse_u64s(val)?,
+            "faults_fired" => {
+                report.faults_fired = val
+                    .parse()
+                    .map_err(|e| format!("endpoint {endpoint}: {e}"))?
+            }
+            "recovery_actions" => {
+                report.recovery_actions = val
+                    .parse()
+                    .map_err(|e| format!("endpoint {endpoint}: {e}"))?
+            }
             _ => {}
         }
     }
@@ -346,6 +396,16 @@ fn launch(a: &Args) -> Result<(), String> {
                     .iter()
                     .flat_map(|p| ["--trace-out".to_string(), p.clone()]),
             )
+            .args(
+                a.fault_plan
+                    .iter()
+                    .flat_map(|p| ["--fault-plan".to_string(), p.to_string()]),
+            )
+            .args(if a.reliable {
+                vec!["--reliable".to_string(), "on".to_string()]
+            } else {
+                Vec::new()
+            })
             .stdout(Stdio::piped())
             .spawn()
             .map_err(|e| format!("spawn endpoint {me}: {e}"))?;
@@ -430,6 +490,12 @@ fn launch(a: &Args) -> Result<(), String> {
     );
     println!("traffic_total_bytes={}", traffic.total_bytes());
     println!("traffic_per_node={}", csv(&traffic.per_node_totals()));
+    if a.fault_plan.is_some() || a.reliable {
+        let fired: u64 = reports.iter().map(|r| r.faults_fired).sum();
+        let recovered: u64 = reports.iter().map(|r| r.recovery_actions).sum();
+        println!("faults_fired_total={fired}");
+        println!("recovery_actions_total={recovered}");
+    }
     println!("replicas=bitwise-identical");
     Ok(())
 }

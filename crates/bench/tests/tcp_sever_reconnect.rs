@@ -1,0 +1,157 @@
+//! Chaos over real sockets: a multi-process `poseidon-node` run whose fault
+//! plan drops a frame and then severs the live TCP connection under a later
+//! one, mid-training. The run must self-heal — redial the peer, rewrite the
+//! frame, retransmit the dropped one — and still finish **bitwise identical**
+//! to the fault-free in-process run, with the recovery visible in the merged
+//! telemetry trace (`reconnect` and `retransmit` instants).
+//!
+//! Uses port slot 3 (27000+) so it can run alongside `tcp_loopback.rs`
+//! (slots 0–1) and `trace_roundtrip.rs` (slot 2).
+
+use poseidon::config::{Partition, SchemePolicy};
+use poseidon::runtime::{flatten_model_params, train, RuntimeConfig};
+use poseidon_nn::data::Dataset;
+use poseidon_nn::layer::TensorShape;
+use poseidon_nn::presets;
+use std::process::Command;
+use std::time::Duration;
+
+// Mirrors the binary's defaults (see `run_inproc`): any drift and the
+// bitwise comparison fails loudly.
+const WORKERS: usize = 2;
+const ITERS: usize = 4;
+const BATCH: usize = 8;
+const LR: f32 = 0.2;
+const PAIR: usize = 37;
+const SEED: u64 = 5;
+const LAYERS: [usize; 4] = [12, 16, 8, 4];
+const SAMPLES: usize = 96;
+
+/// Worker 0 → shard 3 is a real cross-process socket under `--policy ps`:
+/// drop its 2nd frame (forcing a nack + retransmit), then sever the
+/// connection under its 4th (forcing a redial + frame rewrite).
+const PLAN: &str = "drop:0>3@n2;sever:0>3@n4";
+
+#[test]
+fn severed_socket_reconnects_and_stays_bitwise() {
+    let dir = std::env::temp_dir().join(format!("poseidon_sever_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("trace dir");
+    let base = dir.join("trace.json");
+    let base_str = base.to_str().expect("utf-8 temp path");
+    let base_port = 27000 + (std::process::id() % 2800) as u16;
+
+    let out = Command::new(env!("CARGO_BIN_EXE_poseidon-node"))
+        .args([
+            "--workers",
+            &WORKERS.to_string(),
+            "--iters",
+            &ITERS.to_string(),
+            "--batch",
+            &BATCH.to_string(),
+            "--lr",
+            &LR.to_string(),
+            "--policy",
+            "ps",
+            "--pair-elems",
+            &PAIR.to_string(),
+            "--seed",
+            &SEED.to_string(),
+            "--base-port",
+            &base_port.to_string(),
+            "--fault-plan",
+            PLAN,
+            "--trace-out",
+            base_str,
+        ])
+        .output()
+        .expect("spawn poseidon-node launcher");
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(
+        out.status.success(),
+        "chaos launcher failed ({}):\n--- stdout ---\n{stdout}\n--- stderr ---\n{stderr}",
+        out.status
+    );
+
+    // The launcher itself verified the workers agree; scrape the evidence.
+    assert!(
+        stdout.contains("replicas=bitwise-identical"),
+        "replica check missing:\n{stdout}"
+    );
+    let scrape = |key: &str| -> u64 {
+        stdout
+            .lines()
+            .find_map(|l| l.strip_prefix(key).and_then(|v| v.strip_prefix('=')))
+            .unwrap_or_else(|| panic!("no {key}= line:\n{stdout}"))
+            .parse()
+            .expect(key)
+    };
+    assert_eq!(
+        scrape("faults_fired_total"),
+        2,
+        "both the drop and the sever must fire:\n{stdout}"
+    );
+    assert!(
+        scrape("recovery_actions_total") >= 1,
+        "the dropped frame must be retransmitted:\n{stdout}"
+    );
+
+    // And the healed run equals the fault-free single-process run, bit for
+    // bit, on every worker replica.
+    let want = hex(&flatten_model_params(&run_inproc_clean().net));
+    let replicas: Vec<&str> = stdout
+        .lines()
+        .filter_map(|l| {
+            let body = l.split_once(". ").map_or(l, |(_, rest)| rest);
+            body.strip_prefix("params=")
+        })
+        .collect();
+    assert_eq!(replicas.len(), WORKERS, "one params line per worker");
+    for (w, got) in replicas.iter().enumerate() {
+        assert_eq!(
+            *got, want,
+            "worker {w}: a severed+healed TCP run must match the clean run"
+        );
+    }
+
+    // The recovery left its fingerprints in the merged trace: the scripted
+    // faults, the socket redial, and the reliability-layer retransmit.
+    let merged = std::fs::read_to_string(&base).expect("merged trace file");
+    for mark in ["fault.drop", "fault.sever", "reconnect", "retransmit"] {
+        assert!(
+            merged.contains(mark),
+            "merged trace missing a {mark:?} instant"
+        );
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The identical configuration, fault-free, in one process over channels —
+/// the ground truth the chaos run must reproduce exactly.
+fn run_inproc_clean() -> poseidon::runtime::TrainResult<poseidon_nn::Network> {
+    let data = Dataset::gaussian_clusters(
+        TensorShape::flat(LAYERS[0]),
+        *LAYERS.last().unwrap(),
+        SAMPLES,
+        0.3,
+        SEED + 1,
+    );
+    let cfg = RuntimeConfig {
+        policy: SchemePolicy::AlwaysPs,
+        partition: Partition::KvPairs { pair_elems: PAIR },
+        comm_timeout: Duration::from_secs(60),
+        ..RuntimeConfig::new(WORKERS, BATCH, LR, ITERS)
+    };
+    train(&|| presets::mlp(&LAYERS, SEED), &data, None, &cfg)
+}
+
+fn hex(vals: &[f32]) -> String {
+    let mut s = String::with_capacity(vals.len() * 8);
+    for v in vals {
+        for b in v.to_le_bytes() {
+            s.push_str(&format!("{b:02x}"));
+        }
+    }
+    s
+}

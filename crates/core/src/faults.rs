@@ -1,0 +1,723 @@
+//! Deterministic fault injection for the comm plane.
+//!
+//! A [`FaultPlan`] scripts failures on *logical* counters — the n-th data
+//! frame on a (sender endpoint → receiver endpoint) link, or the frame of a
+//! given (iteration, layer) — never on wall-clock time, so a chaos run is
+//! exactly reproducible: the same plan fires the same faults on the same
+//! frames every run, and bitwise equivalence against the fault-free run
+//! stays provable (the invariant PR 2–4 established for threads, transports,
+//! and tracing, extended here to failure).
+//!
+//! [`FaultyTransport`] interposes on the *send* path of any
+//! [`Transport`]: it counts original data frames per link and, when a plan
+//! event matches, drops, duplicates, delays (reorders), severs the physical
+//! link under, or black-holes the frame. Three classes of traffic pass
+//! through unfaulted and uncounted, which is what keeps plans deterministic
+//! under recovery:
+//!
+//! - **Control frames** (`Ack`/`Nack`) — the repair channel itself.
+//! - **Retransmissions** (sequence number ≤ the link's high-water mark) —
+//!   otherwise a retransmit would advance the frame counter and shift which
+//!   frame a later event fires on, making the fired-event log depend on
+//!   recovery timing.
+//! - **Black-holed links** swallow *everything*, including control frames —
+//!   modelling a dead peer that the runtime must detect with a bounded
+//!   [`TimeoutDiag`](crate::transport::TimeoutDiag)-bearing abort.
+//!
+//! Every fired fault is appended to a shared log ([`FaultyTransport::log`])
+//! for chaos-suite assertions, and emitted as a `fault.*` telemetry instant
+//! so recovery is visible in Chrome traces next to the `reconnect` /
+//! `retransmit` instants of the layers that heal it.
+//!
+//! Plans have a compact text form for `poseidon-node --fault-plan`:
+//!
+//! ```text
+//! plan   := event (';' event)*
+//! event  := action ':' from '>' to '@' trigger
+//! action := 'drop' | 'dup' | 'delay' COUNT? | 'sever' | 'hole'
+//! trigger:= 'n' N        -- the N-th original data frame on the link
+//!         | 'e' N        -- every N-th original data frame
+//!         | 'i' N 'l' L  -- first frame stamped iteration N, layer L
+//! ```
+//!
+//! `drop:0>2@n3` drops the 3rd frame worker 0 sends endpoint 2;
+//! `delay2:1>3@i1l0` holds worker 1's (iter 1, layer 0) frame to endpoint 3
+//! until two more frames have passed it; `sever:0>2@n5` cuts the socket
+//! under the 5th frame (which then reconnects and retransmits);
+//! `hole:1>2@n4` kills the link for good from the 4th frame on.
+
+use crate::telemetry;
+use crate::transport::{Envelope, Message, TrafficCounters, Transport, TransportError};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// What a fired fault does to the frame that triggered it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Swallow the frame (the reliability layer must retransmit it).
+    Drop,
+    /// Send the frame twice (the reliability layer must deduplicate).
+    Duplicate,
+    /// Hold the frame until `hold` further original frames have been sent
+    /// on the link, then release it (out of order; the reliability layer
+    /// must reorder).
+    Delay {
+        /// Original frames that overtake the held one.
+        hold: u32,
+    },
+    /// Sever the physical link under the frame, then send it — the
+    /// transport must reconnect (and, on TCP, rewrite the frame).
+    Sever,
+    /// Kill the link from this frame on: swallow it and *everything* after,
+    /// control frames included. The peer must reach a bounded dead-peer
+    /// verdict.
+    Blackhole,
+}
+
+impl std::fmt::Display for FaultAction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultAction::Drop => write!(f, "drop"),
+            FaultAction::Duplicate => write!(f, "dup"),
+            FaultAction::Delay { hold } => write!(f, "delay{hold}"),
+            FaultAction::Sever => write!(f, "sever"),
+            FaultAction::Blackhole => write!(f, "hole"),
+        }
+    }
+}
+
+/// When an event fires, in logical (not wall-clock) coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultTrigger {
+    /// The `n`-th original data frame on the link (1-based), once.
+    NthFrame(u64),
+    /// Every `n`-th original data frame on the link, repeatedly.
+    EveryNth(u64),
+    /// The first original frame stamped (iteration, layer), once.
+    IterLayer(u64, u32),
+}
+
+impl std::fmt::Display for FaultTrigger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultTrigger::NthFrame(n) => write!(f, "n{n}"),
+            FaultTrigger::EveryNth(n) => write!(f, "e{n}"),
+            FaultTrigger::IterLayer(i, l) => write!(f, "i{i}l{l}"),
+        }
+    }
+}
+
+/// One scripted fault on one directed link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Sending endpoint (whose `FaultyTransport` enforces the event).
+    pub from: usize,
+    /// Receiving endpoint.
+    pub to: usize,
+    /// When it fires.
+    pub trigger: FaultTrigger,
+    /// What it does.
+    pub action: FaultAction,
+}
+
+impl std::fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}>{}@{}",
+            self.action, self.from, self.to, self.trigger
+        )
+    }
+}
+
+/// A deterministic script of fault events.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The scripted events; evaluated in order, first match wins per frame.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// The empty plan: a `FaultyTransport` carrying it is transparent.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Parses the compact text form (see module docs). Whitespace around
+    /// events is ignored; an empty string is the empty plan.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut events = Vec::new();
+        for raw in text.split(';') {
+            let spec = raw.trim();
+            if spec.is_empty() {
+                continue;
+            }
+            events.push(parse_event(spec)?);
+        }
+        Ok(Self { events })
+    }
+
+    /// A small pseudo-random plan derived from `seed`: a handful of
+    /// recoverable faults (drops, dups, delays) spread over the cross-node
+    /// links of a fabric with `endpoints` endpoints where endpoint `i` and
+    /// `i + endpoints/2` share a node. Deterministic in `seed`.
+    pub fn seeded(seed: u64, endpoints: usize) -> Self {
+        assert!(endpoints >= 4, "seeded plans need at least a 2-worker mesh");
+        // xorshift64*: tiny, dependency-free, and plenty for scripting.
+        let mut s = seed.wrapping_mul(2685821657736338717).wrapping_add(1);
+        let mut next = move || {
+            s ^= s >> 12;
+            s ^= s << 25;
+            s ^= s >> 27;
+            s = s.wrapping_mul(2685821657736338717);
+            s
+        };
+        let half = endpoints / 2;
+        let mut events = Vec::new();
+        for _ in 0..4 {
+            // Pick a cross-node ordered pair (different node ⇒ not i ↔ i+half).
+            let (from, to) = loop {
+                let a = (next() % endpoints as u64) as usize;
+                let b = (next() % endpoints as u64) as usize;
+                if a != b && a % half != b % half {
+                    break (a, b);
+                }
+            };
+            let action = match next() % 3 {
+                0 => FaultAction::Drop,
+                1 => FaultAction::Duplicate,
+                _ => FaultAction::Delay {
+                    hold: 1 + (next() % 2) as u32,
+                },
+            };
+            let trigger = FaultTrigger::NthFrame(1 + next() % 6);
+            events.push(FaultEvent {
+                from,
+                to,
+                trigger,
+                action,
+            });
+        }
+        Self { events }
+    }
+}
+
+impl std::fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, ev) in self.events.iter().enumerate() {
+            if i > 0 {
+                write!(f, ";")?;
+            }
+            write!(f, "{ev}")?;
+        }
+        Ok(())
+    }
+}
+
+fn parse_event(spec: &str) -> Result<FaultEvent, String> {
+    let (action_s, rest) = spec
+        .split_once(':')
+        .ok_or_else(|| format!("event `{spec}`: missing `:`"))?;
+    let (link_s, trigger_s) = rest
+        .split_once('@')
+        .ok_or_else(|| format!("event `{spec}`: missing `@trigger`"))?;
+    let (from_s, to_s) = link_s
+        .split_once('>')
+        .ok_or_else(|| format!("event `{spec}`: link must be `from>to`"))?;
+    let from: usize = from_s
+        .trim()
+        .parse()
+        .map_err(|_| format!("event `{spec}`: bad sender `{from_s}`"))?;
+    let to: usize = to_s
+        .trim()
+        .parse()
+        .map_err(|_| format!("event `{spec}`: bad receiver `{to_s}`"))?;
+    let action = match action_s.trim() {
+        "drop" => FaultAction::Drop,
+        "dup" => FaultAction::Duplicate,
+        "sever" => FaultAction::Sever,
+        "hole" => FaultAction::Blackhole,
+        a if a.starts_with("delay") => {
+            let count = &a["delay".len()..];
+            let hold: u32 = if count.is_empty() {
+                1
+            } else {
+                count
+                    .parse()
+                    .map_err(|_| format!("event `{spec}`: bad delay count `{count}`"))?
+            };
+            FaultAction::Delay { hold }
+        }
+        other => return Err(format!("event `{spec}`: unknown action `{other}`")),
+    };
+    let t = trigger_s.trim();
+    let trigger = if let Some(n) = t.strip_prefix('n') {
+        FaultTrigger::NthFrame(
+            n.parse()
+                .map_err(|_| format!("event `{spec}`: bad frame index `{n}`"))?,
+        )
+    } else if let Some(n) = t.strip_prefix('e') {
+        let every: u64 = n
+            .parse()
+            .map_err(|_| format!("event `{spec}`: bad period `{n}`"))?;
+        if every == 0 {
+            return Err(format!("event `{spec}`: period must be ≥ 1"));
+        }
+        FaultTrigger::EveryNth(every)
+    } else if let Some(rest) = t.strip_prefix('i') {
+        let (i, l) = rest
+            .split_once('l')
+            .ok_or_else(|| format!("event `{spec}`: iter trigger is `iNlL`"))?;
+        FaultTrigger::IterLayer(
+            i.parse()
+                .map_err(|_| format!("event `{spec}`: bad iteration `{i}`"))?,
+            l.parse()
+                .map_err(|_| format!("event `{spec}`: bad layer `{l}`"))?,
+        )
+    } else {
+        return Err(format!("event `{spec}`: unknown trigger `{t}`"));
+    };
+    Ok(FaultEvent {
+        from,
+        to,
+        trigger,
+        action,
+    })
+}
+
+/// One fault that actually fired, in logical coordinates — the chaos suite
+/// compares these logs across runs to prove plans are deterministic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FiredFault {
+    /// Sending endpoint.
+    pub from: usize,
+    /// Receiving endpoint.
+    pub to: usize,
+    /// 1-based original-frame index on the link when the event fired.
+    pub frame: u64,
+    /// The action taken.
+    pub action: FaultAction,
+    /// Wire tag of the affected frame.
+    pub tag: &'static str,
+    /// Iteration stamp of the affected frame.
+    pub iter: u64,
+    /// Layer stamp of the affected frame.
+    pub layer: u32,
+}
+
+/// Per-event firing state.
+#[derive(Debug)]
+struct EventState {
+    ev: FaultEvent,
+    /// One-shot triggers flip this after firing.
+    spent: bool,
+}
+
+/// Per-destination link state of one faulty endpoint.
+#[derive(Debug, Default)]
+struct LinkState {
+    /// Original data frames sent on this link.
+    sent: u64,
+    /// Highest sequence number seen from the reliable layer; anything at or
+    /// below is a retransmission and passes unfaulted.
+    max_seq: u32,
+    /// Delayed frames: `(release_after_frame, seq, msg)`.
+    held: Vec<(u64, u32, Message)>,
+    /// A `Blackhole` fired: swallow everything from now on.
+    dead: bool,
+}
+
+struct FaultState {
+    events: Vec<EventState>,
+    links: Vec<LinkState>,
+}
+
+/// A [`Transport`] wrapper executing a [`FaultPlan`] on the send path; see
+/// the module docs for semantics and determinism rules.
+pub struct FaultyTransport<T: Transport> {
+    inner: T,
+    state: Mutex<FaultState>,
+    log: Arc<Mutex<Vec<FiredFault>>>,
+}
+
+impl<T: Transport> FaultyTransport<T> {
+    /// Wraps `inner`, keeping only the plan events whose `from` is this
+    /// endpoint (each endpoint enforces its own outbound faults).
+    pub fn new(inner: T, plan: &FaultPlan) -> Self {
+        let me = inner.endpoint_id();
+        let n = inner.endpoints();
+        let events = plan
+            .events
+            .iter()
+            .filter(|ev| ev.from == me)
+            .map(|ev| EventState {
+                ev: *ev,
+                spent: false,
+            })
+            .collect();
+        let links = (0..n).map(|_| LinkState::default()).collect();
+        Self {
+            inner,
+            state: Mutex::new(FaultState { events, links }),
+            log: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// Handle to the fired-fault log (usable after the endpoint moved into
+    /// its runtime thread).
+    pub fn log(&self) -> Arc<Mutex<Vec<FiredFault>>> {
+        Arc::clone(&self.log)
+    }
+
+    /// The wrapped transport.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// The first unspent event matching frame `n` of link `me → to`.
+    fn match_event(
+        events: &mut [EventState],
+        to: usize,
+        n: u64,
+        msg: &Message,
+    ) -> Option<FaultAction> {
+        for st in events.iter_mut() {
+            if st.spent || st.ev.to != to {
+                continue;
+            }
+            let hit = match st.ev.trigger {
+                FaultTrigger::NthFrame(want) => n == want,
+                FaultTrigger::EveryNth(every) => n.is_multiple_of(every),
+                FaultTrigger::IterLayer(iter, layer) => msg.iter() == iter && msg.layer() == layer,
+            };
+            if hit {
+                if !matches!(st.ev.trigger, FaultTrigger::EveryNth(_)) {
+                    st.spent = true;
+                }
+                return Some(st.ev.action);
+            }
+        }
+        None
+    }
+
+    fn fire(&self, to: usize, frame: u64, action: FaultAction, msg: &Message) {
+        let name = match action {
+            FaultAction::Drop => "fault.drop",
+            FaultAction::Duplicate => "fault.dup",
+            FaultAction::Delay { .. } => "fault.delay",
+            FaultAction::Sever => "fault.sever",
+            FaultAction::Blackhole => "fault.blackhole",
+        };
+        telemetry::instant(name, to as u64, frame);
+        self.log.lock().expect("fault log lock").push(FiredFault {
+            from: self.inner.endpoint_id(),
+            to,
+            frame,
+            action,
+            tag: msg.tag_name(),
+            iter: msg.iter(),
+            layer: msg.layer(),
+        });
+    }
+}
+
+impl<T: Transport> Transport for FaultyTransport<T> {
+    fn node(&self) -> usize {
+        self.inner.node()
+    }
+
+    fn endpoint_id(&self) -> usize {
+        self.inner.endpoint_id()
+    }
+
+    fn endpoints(&self) -> usize {
+        self.inner.endpoints()
+    }
+
+    fn traffic(&self) -> &Arc<TrafficCounters> {
+        self.inner.traffic()
+    }
+
+    fn send_seq(&self, to: usize, msg: Message, seq: u32) -> Result<(), TransportError> {
+        let mut st = self.state.lock().expect("fault state lock");
+        let FaultState { events, links } = &mut *st;
+        let link = &mut links[to];
+        if link.dead {
+            // Black-holed: swallow everything, control included. The link
+            // is gone; only the peer's bounded timeout notices.
+            return Ok(());
+        }
+        // Control frames and retransmissions pass unfaulted and uncounted:
+        // faulting the repair channel (outside a blackhole) would make the
+        // fired-event log depend on recovery timing.
+        let original = seq == 0 || seq > link.max_seq;
+        if msg.is_control() || !original {
+            drop(st);
+            return self.inner.send_seq(to, msg, seq);
+        }
+        link.max_seq = link.max_seq.max(seq);
+        link.sent += 1;
+        let n = link.sent;
+        let action = Self::match_event(events, to, n, &msg);
+        // Frames whose hold expires with this send (released *after* it, so
+        // a `delay1` frame is overtaken by exactly one frame).
+        let due: Vec<(u32, Message)> = {
+            let mut due = Vec::new();
+            link.held.retain(|(release_after, s, m)| {
+                if *release_after <= n {
+                    due.push((*s, m.clone()));
+                    false
+                } else {
+                    true
+                }
+            });
+            due
+        };
+        match action {
+            None => {
+                drop(st);
+                self.inner.send_seq(to, msg, seq)?;
+            }
+            Some(FaultAction::Drop) => {
+                self.fire(to, n, FaultAction::Drop, &msg);
+                drop(st);
+            }
+            Some(FaultAction::Duplicate) => {
+                self.fire(to, n, FaultAction::Duplicate, &msg);
+                drop(st);
+                self.inner.send_seq(to, msg.clone(), seq)?;
+                self.inner.send_seq(to, msg, seq)?;
+            }
+            Some(FaultAction::Delay { hold }) => {
+                self.fire(to, n, FaultAction::Delay { hold }, &msg);
+                link.held.push((n + hold as u64, seq, msg));
+                drop(st);
+            }
+            Some(FaultAction::Sever) => {
+                self.fire(to, n, FaultAction::Sever, &msg);
+                drop(st);
+                self.inner.sever_link(to)?;
+                self.inner.send_seq(to, msg, seq)?;
+            }
+            Some(FaultAction::Blackhole) => {
+                self.fire(to, n, FaultAction::Blackhole, &msg);
+                link.dead = true;
+                drop(st);
+            }
+        }
+        for (s, m) in due {
+            self.inner.send_seq(to, m, s)?;
+        }
+        Ok(())
+    }
+
+    fn sever_link(&self, to: usize) -> Result<(), TransportError> {
+        self.inner.sever_link(to)
+    }
+
+    fn recv(&self) -> Result<Envelope, TransportError> {
+        self.inner.recv()
+    }
+
+    fn try_recv(&self) -> Result<Option<Envelope>, TransportError> {
+        self.inner.try_recv()
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Envelope, TransportError> {
+        self.inner.recv_timeout(timeout)
+    }
+
+    fn shutdown(&mut self) -> Result<(), TransportError> {
+        // Flush frames still held by unexpired delays (their release point
+        // never came) so recoverable plans lose nothing at teardown.
+        type HeldFrames = Vec<(u64, u32, Message)>;
+        let flush: Vec<(usize, HeldFrames)> = {
+            let mut st = self.state.lock().expect("fault state lock");
+            st.links
+                .iter_mut()
+                .enumerate()
+                .filter(|(_, l)| !l.dead)
+                .map(|(to, l)| (to, std::mem::take(&mut l.held)))
+                .collect()
+        };
+        for (to, held) in flush {
+            for (_, seq, msg) in held {
+                let _ = self.inner.send_seq(to, msg, seq);
+            }
+        }
+        self.inner.shutdown()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::fabric;
+    use bytes::Bytes;
+
+    fn grad(iter: u64, layer: u32) -> Message {
+        Message::GradChunk {
+            iter,
+            layer,
+            chunk: 0,
+            data: Bytes::from(vec![2u8; 6]),
+        }
+    }
+
+    #[test]
+    fn plan_round_trips_through_text() {
+        let text = "drop:0>2@n3;dup:1>3@e2;delay2:0>3@i1l4;sever:2>0@n5;hole:1>2@n9";
+        let plan = FaultPlan::parse(text).expect("parses");
+        assert_eq!(plan.events.len(), 5);
+        assert_eq!(plan.to_string(), text);
+        assert_eq!(FaultPlan::parse(&plan.to_string()).unwrap(), plan);
+        assert_eq!(plan.events[2].action, FaultAction::Delay { hold: 2 },);
+        assert_eq!(plan.events[2].trigger, FaultTrigger::IterLayer(1, 4));
+        // Bare `delay` means hold 1.
+        let p = FaultPlan::parse("delay:0>1@n1").unwrap();
+        assert_eq!(p.events[0].action, FaultAction::Delay { hold: 1 });
+        // Empty and whitespace plans are empty.
+        assert!(FaultPlan::parse("").unwrap().events.is_empty());
+        assert!(FaultPlan::parse(" ; ").unwrap().events.is_empty());
+    }
+
+    #[test]
+    fn malformed_plans_are_rejected_with_context() {
+        for bad in [
+            "zap:0>1@n1",
+            "drop:0-1@n1",
+            "drop:0>1",
+            "drop:0>1@x3",
+            "drop:a>1@n1",
+            "dup:0>1@e0",
+            "delayx:0>1@n1",
+        ] {
+            let err = FaultPlan::parse(bad).unwrap_err();
+            assert!(err.contains('`'), "error should quote the spec: {err}");
+        }
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_seed_sensitive() {
+        let a = FaultPlan::seeded(7, 4);
+        let b = FaultPlan::seeded(7, 4);
+        assert_eq!(a, b);
+        assert_eq!(a.events.len(), 4);
+        let c = FaultPlan::seeded(8, 4);
+        assert_ne!(a, c, "different seeds give different plans");
+        for ev in &a.events {
+            assert!(ev.from < 4 && ev.to < 4);
+            assert_ne!(ev.from % 2, ev.to % 2, "cross-node links only");
+        }
+    }
+
+    #[test]
+    fn empty_plan_is_transparent() {
+        let (mut eps, _) = fabric(2);
+        let b = eps.remove(1);
+        let a = FaultyTransport::new(eps.remove(0), &FaultPlan::empty());
+        for i in 0..10 {
+            a.send_seq(1, grad(i, 0), i as u32 + 1).unwrap();
+        }
+        for i in 0..10 {
+            let env = b.recv().unwrap();
+            assert_eq!(env.msg.iter(), i);
+            assert_eq!(env.seq, i as u32 + 1);
+        }
+        assert!(a.log().lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn drop_swallows_exactly_the_scripted_frame() {
+        let (mut eps, _) = fabric(2);
+        let b = eps.remove(1);
+        let plan = FaultPlan::parse("drop:0>1@n2").unwrap();
+        let a = FaultyTransport::new(eps.remove(0), &plan);
+        for i in 1..=4u32 {
+            a.send_seq(1, grad(i as u64, 0), i).unwrap();
+        }
+        let seqs: Vec<u32> = (0..3).map(|_| b.recv().unwrap().seq).collect();
+        assert_eq!(seqs, vec![1, 3, 4], "frame 2 was dropped");
+        let log = a.log();
+        let log = log.lock().unwrap();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].frame, 2);
+        assert_eq!(log[0].action, FaultAction::Drop);
+        // A retransmission of the dropped frame passes unfaulted.
+        drop(log);
+        a.send_seq(1, grad(2, 0), 2).unwrap();
+        assert_eq!(b.recv().unwrap().seq, 2);
+        assert_eq!(a.log().lock().unwrap().len(), 1, "no new event fired");
+    }
+
+    #[test]
+    fn delay_reorders_by_the_scripted_hold() {
+        let (mut eps, _) = fabric(2);
+        let b = eps.remove(1);
+        let plan = FaultPlan::parse("delay2:0>1@n1").unwrap();
+        let a = FaultyTransport::new(eps.remove(0), &plan);
+        for i in 1..=4u32 {
+            a.send_seq(1, grad(i as u64, 0), i).unwrap();
+        }
+        let seqs: Vec<u32> = (0..4).map(|_| b.recv().unwrap().seq).collect();
+        assert_eq!(seqs, vec![2, 3, 1, 4], "frame 1 held past frames 2 and 3");
+    }
+
+    #[test]
+    fn unreleased_delay_flushes_at_shutdown() {
+        let (mut eps, _) = fabric(2);
+        let b = eps.remove(1);
+        let plan = FaultPlan::parse("delay9:0>1@n2").unwrap();
+        let mut a = FaultyTransport::new(eps.remove(0), &plan);
+        a.send_seq(1, grad(1, 0), 1).unwrap();
+        a.send_seq(1, grad(2, 0), 2).unwrap();
+        a.shutdown().unwrap();
+        let seqs: Vec<u32> = (0..2).map(|_| b.recv().unwrap().seq).collect();
+        assert_eq!(seqs, vec![1, 2], "held frame flushed before FIN");
+    }
+
+    #[test]
+    fn duplicate_sends_twice_and_every_nth_repeats() {
+        let (mut eps, _) = fabric(2);
+        let b = eps.remove(1);
+        let plan = FaultPlan::parse("dup:0>1@e2").unwrap();
+        let a = FaultyTransport::new(eps.remove(0), &plan);
+        for i in 1..=4u32 {
+            a.send_seq(1, grad(i as u64, 0), i).unwrap();
+        }
+        let seqs: Vec<u32> = (0..6).map(|_| b.recv().unwrap().seq).collect();
+        assert_eq!(seqs, vec![1, 2, 2, 3, 4, 4], "frames 2 and 4 doubled");
+        assert_eq!(a.log().lock().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn blackhole_swallows_everything_after_it() {
+        let (mut eps, _) = fabric(2);
+        let b = eps.remove(1);
+        let plan = FaultPlan::parse("hole:0>1@n2").unwrap();
+        let a = FaultyTransport::new(eps.remove(0), &plan);
+        a.send_seq(1, grad(1, 0), 1).unwrap();
+        a.send_seq(1, grad(2, 0), 2).unwrap(); // eaten
+        a.send_seq(1, grad(3, 0), 3).unwrap(); // eaten
+        a.send(1, Message::Nack { expect: 1 }).unwrap(); // control eaten too
+        assert_eq!(b.recv().unwrap().seq, 1);
+        assert!(b.try_recv().unwrap().is_none(), "the link is dead");
+    }
+
+    #[test]
+    fn iter_layer_trigger_hits_the_stamped_frame() {
+        let (mut eps, _) = fabric(2);
+        let b = eps.remove(1);
+        let plan = FaultPlan::parse("drop:0>1@i2l5").unwrap();
+        let a = FaultyTransport::new(eps.remove(0), &plan);
+        a.send_seq(1, grad(1, 5), 1).unwrap();
+        a.send_seq(1, grad(2, 4), 2).unwrap();
+        a.send_seq(1, grad(2, 5), 3).unwrap(); // dropped
+        a.send_seq(1, grad(2, 5), 4).unwrap(); // one-shot: passes
+        let seqs: Vec<u32> = (0..3).map(|_| b.recv().unwrap().seq).collect();
+        assert_eq!(seqs, vec![1, 2, 4]);
+        let log = a.log();
+        let log = log.lock().unwrap();
+        assert_eq!((log[0].iter, log[0].layer), (2, 5));
+    }
+}

@@ -33,14 +33,16 @@
 //! speaks), [`chunk`] (fixed-size KV-pair partitioning of parameters),
 //! [`kvstore`] (bulk-synchronous shard state machine), [`syncer`] (per-layer
 //! Send/Receive/Move), [`config`] (cluster and scheme configuration),
-//! [`telemetry`] (structured tracing of the training path with Chrome-trace
-//! export), and [`stats`] (report formatting).
+//! [`faults`] (deterministic fault injection for chaos testing the comm
+//! plane), [`telemetry`] (structured tracing of the training path with
+//! Chrome-trace export), and [`stats`] (report formatting).
 
 pub mod api;
 pub mod chunk;
 pub mod config;
 pub mod coordinator;
 pub mod costmodel;
+pub mod faults;
 pub mod kvstore;
 pub mod runtime;
 pub mod sim;

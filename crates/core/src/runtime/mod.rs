@@ -32,11 +32,15 @@ use crate::config::{
     ClusterConfig, CommScheme, ComputeConfig, Consistency, Partition, SchemePolicy,
 };
 use crate::coordinator::Coordinator;
+use crate::faults::{FaultPlan, FaultyTransport, FiredFault};
 use crate::runtime::server::{LayerGranular, ServerPlan};
 use crate::runtime::worker::{WorkerConfig, WorkerOutput};
 use crate::syncer;
 use crate::telemetry::{self, TelemetryConfig};
-use crate::transport::{self, TrafficCounters};
+use crate::transport::{
+    self, Envelope, ReliabilityConfig, ReliabilityStats, ReliableTransport, TrafficCounters,
+    Transport, TransportError,
+};
 use poseidon_nn::data::Dataset;
 use poseidon_nn::Model;
 use std::sync::Arc;
@@ -64,6 +68,61 @@ impl LrSchedule {
             LrSchedule::Constant => 1.0,
             LrSchedule::Step { every, factor } => factor.powi((iter / every.max(1)) as i32),
         }
+    }
+}
+
+/// Fault-injection and recovery knobs of a run (the chaos plane).
+///
+/// With either field set, every endpoint's transport is wrapped as
+/// `Reliable(Faulty(transport))`: the [`FaultyTransport`] executes the plan
+/// on the send path (an empty plan when only `reliability` is set), and the
+/// [`ReliableTransport`] above it heals whatever the plan breaks — so the
+/// run either converges bitwise identical to the fault-free run, or (for
+/// unrecoverable plans like a black-holed link) aborts within
+/// [`RuntimeConfig::comm_timeout`] with a
+/// [`TimeoutDiag`](crate::transport::TimeoutDiag)-bearing panic.
+#[derive(Clone, Debug, Default)]
+pub struct FaultConfig {
+    /// The scripted faults, if any.
+    pub plan: Option<FaultPlan>,
+    /// Reliability-layer tuning; `None` means
+    /// [`ReliabilityConfig::default`] when the chaos plane is active.
+    pub reliability: Option<ReliabilityConfig>,
+}
+
+impl FaultConfig {
+    /// Whether the chaos plane (fault wrapper + reliability layer) is on.
+    pub fn active(&self) -> bool {
+        self.plan.is_some() || self.reliability.is_some()
+    }
+}
+
+/// What the chaos plane observed during a run: every fault that fired, and
+/// the recovery work the reliability layer did to survive it, summed over
+/// all endpoints.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChaosReport {
+    /// Every fired fault, ordered by (sender, receiver, frame index).
+    pub fired: Vec<FiredFault>,
+    /// Data frames retransmitted in response to nacks.
+    pub retransmits: u64,
+    /// Duplicate data frames dropped.
+    pub dups_dropped: u64,
+    /// Gap nacks sent.
+    pub nacks_sent: u64,
+    /// Cumulative acks sent.
+    pub acks_sent: u64,
+    /// Tail-loss probe rounds.
+    pub probes_sent: u64,
+    /// Out-of-order frames stashed for reordering.
+    pub reorders_stashed: u64,
+}
+
+impl ChaosReport {
+    /// Sum of repair actions (retransmits + dup drops + reorders + nacks) —
+    /// non-zero iff the reliability layer ever had to fix anything.
+    pub fn recovery_actions(&self) -> u64 {
+        self.retransmits + self.dups_dropped + self.nacks_sent + self.reorders_stashed
     }
 }
 
@@ -116,6 +175,11 @@ pub struct RuntimeConfig {
     /// [`TrainResult::trace`] without perturbing the numerics (runs are
     /// bitwise identical either way).
     pub telemetry: TelemetryConfig,
+    /// The chaos plane: scripted fault injection plus the reliability layer
+    /// that heals it. Off by default; with faults scripted the run must
+    /// still produce bitwise-identical results (or abort bounded, for
+    /// unrecoverable plans). See [`FaultConfig`].
+    pub faults: FaultConfig,
 }
 
 impl RuntimeConfig {
@@ -142,6 +206,7 @@ impl RuntimeConfig {
             compute: ComputeConfig::default(),
             comm_timeout: Duration::from_secs(30),
             telemetry: TelemetryConfig::default(),
+            faults: FaultConfig::default(),
         }
     }
 }
@@ -169,6 +234,41 @@ pub struct TrainResult<M: Model> {
     /// with [`crate::telemetry::chrome::to_chrome_json`] or summarise with
     /// [`crate::telemetry::report::summarize`].
     pub trace: Option<telemetry::Trace>,
+    /// What the chaos plane did, when [`RuntimeConfig::faults`] was active
+    /// (`None` otherwise): the fired fault events and the summed recovery
+    /// work of every endpoint's reliability layer.
+    pub fault_report: Option<ChaosReport>,
+}
+
+/// How many slices a blocking receive's `comm_timeout` budget is cut into.
+/// Each expired slice is surfaced as a `comm.retry` telemetry instant and
+/// retried, letting the layers below (reliability probes, TCP redials) keep
+/// working; the budget itself is unchanged, so a genuinely dead peer still
+/// produces a verdict within `comm_timeout`.
+pub(crate) const COMM_RETRY_ROUNDS: u32 = 4;
+
+/// Blocking receive with `comm_timeout` sliced into [`COMM_RETRY_ROUNDS`]
+/// retry rounds. Returns the last round's [`TransportError::Timeout`] (its
+/// [`TimeoutDiag`](crate::transport::TimeoutDiag) carries the recovery
+/// attempt count) once the whole budget is spent.
+pub(crate) fn recv_with_retry<T: Transport>(
+    endpoint: &T,
+    timeout: Duration,
+) -> Result<Envelope, TransportError> {
+    let slice = (timeout / COMM_RETRY_ROUNDS).max(Duration::from_millis(1));
+    let mut last = None;
+    for round in 1..=COMM_RETRY_ROUNDS {
+        match endpoint.recv_timeout(slice) {
+            Err(TransportError::Timeout(diag)) => {
+                if round < COMM_RETRY_ROUNDS && telemetry::is_enabled() {
+                    telemetry::instant("comm.retry", endpoint.endpoint_id() as u64, round as u64);
+                }
+                last = Some(TransportError::Timeout(diag));
+            }
+            other => return other,
+        }
+    }
+    Err(last.expect("at least one retry round ran"))
 }
 
 /// Validates the consistency configuration, returning the SSP staleness
@@ -332,25 +432,143 @@ pub fn train<M: Model>(
     // Endpoints 0..P are workers on nodes 0..P; endpoints P..2P are shards
     // colocated on the same nodes.
     let node_ids: Vec<usize> = (0..p).chain(0..p).collect();
-    let (mut endpoints, traffic) = transport::fabric_with_nodes(&node_ids);
-    let shard_endpoints: Vec<_> = endpoints.split_off(p);
-    let worker_endpoints = endpoints;
+    let (endpoints, traffic) = transport::fabric_with_nodes(&node_ids);
 
     let shards = data.partition(p);
     let compute_threads = cfg.compute.threads_per_worker(p);
+
+    let (worker_outputs, fault_report) = if cfg.faults.active() {
+        // Chaos plane on: every endpoint becomes Reliable(Faulty(channel)).
+        // The fault layer breaks originals on the way out; the reliability
+        // layer above it (whose retransmits pass the fault layer unfaulted)
+        // heals the stream before the runtime sees it.
+        let fplan = cfg.faults.plan.clone().unwrap_or_default();
+        let rcfg = cfg.faults.reliability.clone().unwrap_or_default();
+        let mut logs = Vec::with_capacity(2 * p);
+        let mut stats: Vec<Arc<ReliabilityStats>> = Vec::with_capacity(2 * p);
+        let wrapped: Vec<_> = endpoints
+            .into_iter()
+            .map(|ep| {
+                let faulty = FaultyTransport::new(ep, &fplan);
+                logs.push(faulty.log());
+                let reliable = ReliableTransport::new(faulty, rcfg.clone());
+                stats.push(reliable.stats());
+                reliable
+            })
+            .collect();
+        let outputs = run_fabric(
+            net_factory,
+            cfg,
+            &coordinator,
+            plan.plans,
+            plan.update_scale,
+            shards,
+            eval,
+            ssp,
+            &clock,
+            compute_threads,
+            wrapped,
+        );
+        let mut fired: Vec<FiredFault> = logs
+            .iter()
+            .flat_map(|l| l.lock().expect("fault log lock").clone())
+            .collect();
+        fired.sort_by_key(|f| (f.from, f.to, f.frame));
+        let mut report = ChaosReport {
+            fired,
+            ..ChaosReport::default()
+        };
+        use std::sync::atomic::Ordering::Relaxed;
+        for s in &stats {
+            report.retransmits += s.retransmits.load(Relaxed);
+            report.dups_dropped += s.dups_dropped.load(Relaxed);
+            report.nacks_sent += s.nacks_sent.load(Relaxed);
+            report.acks_sent += s.acks_sent.load(Relaxed);
+            report.probes_sent += s.probes_sent.load(Relaxed);
+            report.reorders_stashed += s.reorders_stashed.load(Relaxed);
+        }
+        (outputs, Some(report))
+    } else {
+        let outputs = run_fabric(
+            net_factory,
+            cfg,
+            &coordinator,
+            plan.plans,
+            plan.update_scale,
+            shards,
+            eval,
+            ssp,
+            &clock,
+            compute_threads,
+            endpoints,
+        );
+        (outputs, None)
+    };
+
+    // Workers and shards are joined, so every recording thread has flushed;
+    // collect the trace before anything else runs in this process.
+    let trace = if cfg.telemetry.enabled {
+        telemetry::disable();
+        Some(telemetry::drain())
+    } else {
+        None
+    };
+
+    let outputs: Vec<WorkerOutput<M>> = worker_outputs;
+    let worker_wall_s: Vec<f64> = outputs.iter().map(|o| o.wall.as_secs_f64()).collect();
+    let iters = cfg.iterations;
+    let losses: Vec<f32> = (0..iters)
+        .map(|i| outputs.iter().map(|o| o.losses[i]).sum::<f32>() / p as f32)
+        .collect();
+    let mut outputs = outputs;
+    let first = outputs.remove(0);
+
+    TrainResult {
+        losses,
+        test_errors: first.test_errors,
+        net: first.net,
+        traffic,
+        schemes,
+        max_staleness_spread: clock.max_spread_observed(),
+        worker_wall_s,
+        trace,
+        fault_report,
+    }
+}
+
+/// Spawns one thread per endpoint (shards then workers, endpoints ordered
+/// workers `0..P` then shards `P..2P`), joins them all, and returns the
+/// worker outputs in worker order. Generic over the transport so the same
+/// fabric runs bare channels or the chaos-wrapped stack.
+#[allow(clippy::too_many_arguments)]
+fn run_fabric<M: Model, T: Transport + Send>(
+    net_factory: &(dyn Fn() -> M + Sync),
+    cfg: &RuntimeConfig,
+    coordinator: &Coordinator,
+    server_plans: Vec<ServerPlan>,
+    update_scale: f32,
+    shards: Vec<Dataset>,
+    eval: Option<&Dataset>,
+    ssp: Option<u64>,
+    clock: &Arc<clock::SspClock>,
+    compute_threads: usize,
+    mut endpoints: Vec<T>,
+) -> Vec<WorkerOutput<M>> {
+    let p = cfg.workers;
+    let shard_endpoints: Vec<T> = endpoints.split_off(p);
+    let worker_endpoints = endpoints;
     let mut worker_outputs: Vec<Option<WorkerOutput<M>>> = (0..p).map(|_| None).collect();
 
     std::thread::scope(|scope| {
         let mut server_handles = Vec::new();
-        for (sp, endpoint) in plan.plans.into_iter().zip(shard_endpoints) {
+        for (sp, endpoint) in server_plans.into_iter().zip(shard_endpoints) {
             server_handles.push(scope.spawn(move || server::run_server(sp, endpoint)));
         }
         let mut worker_handles = Vec::new();
         for (w, (shard, endpoint)) in shards.into_iter().zip(worker_endpoints).enumerate() {
-            let coordinator = &coordinator;
             let eval_set = if w == 0 { eval.cloned() } else { None };
-            let wc = worker_config(cfg, w, plan.update_scale, ssp, compute_threads);
-            let clock = Arc::clone(&clock);
+            let wc = worker_config(cfg, w, update_scale, ssp, compute_threads);
+            let clock = Arc::clone(clock);
             worker_handles.push(scope.spawn(move || {
                 worker::run_worker(
                     wc,
@@ -371,37 +589,10 @@ pub fn train<M: Model>(
         }
     });
 
-    // Workers and shards are joined, so every recording thread has flushed;
-    // collect the trace before anything else runs in this process.
-    let trace = if cfg.telemetry.enabled {
-        telemetry::disable();
-        Some(telemetry::drain())
-    } else {
-        None
-    };
-
-    let outputs: Vec<WorkerOutput<M>> = worker_outputs
+    worker_outputs
         .into_iter()
         .map(|o| o.expect("joined"))
-        .collect();
-    let worker_wall_s: Vec<f64> = outputs.iter().map(|o| o.wall.as_secs_f64()).collect();
-    let iters = cfg.iterations;
-    let losses: Vec<f32> = (0..iters)
-        .map(|i| outputs.iter().map(|o| o.losses[i]).sum::<f32>() / p as f32)
-        .collect();
-    let mut outputs = outputs;
-    let first = outputs.remove(0);
-
-    TrainResult {
-        losses,
-        test_errors: first.test_errors,
-        net: first.net,
-        traffic,
-        schemes,
-        max_staleness_spread: clock.max_spread_observed(),
-        worker_wall_s,
-        trace,
-    }
+        .collect()
 }
 
 #[cfg(test)]

@@ -110,11 +110,13 @@ pub(crate) fn run_server<T: Transport>(plan: ServerPlan, mut endpoint: T) {
     }
 
     // Every owned pair receives exactly `workers` gradient messages per
-    // iteration; serve that many envelopes, then exit.
+    // iteration; serve that many envelopes, then exit. Control frames (a
+    // peer acking over a bare transport) don't count against the budget.
     let pairs = plan.ps_chunks.len() + plan.layer_granular.len();
     let expected = pairs * plan.workers * plan.iterations;
-    for served in 0..expected {
-        let env: Envelope = match endpoint.recv_timeout(plan.comm_timeout) {
+    let mut served = 0usize;
+    while served < expected {
+        let env: Envelope = match crate::runtime::recv_with_retry(&endpoint, plan.comm_timeout) {
             Ok(env) => env,
             Err(e @ (TransportError::Timeout(_) | TransportError::Closed)) => panic!(
                 "shard endpoint {} starved after {served}/{expected} messages — a worker died \
@@ -126,6 +128,10 @@ pub(crate) fn run_server<T: Transport>(plan: ServerPlan, mut endpoint: T) {
                 endpoint.endpoint_id()
             ),
         };
+        if env.msg.is_control() {
+            continue;
+        }
+        served += 1;
         // Per-iteration learning-rate schedule: messages carry their BSP
         // round, so the scale for this update is exact even under SSP.
         let _serve_span = telemetry::span("serve.apply", env.msg.layer() as u64, env.msg.iter());

@@ -239,7 +239,7 @@ pub(crate) fn run_worker<M: Model, T: Transport>(
             let (from, msg) = if let Some(p) = pending.pop() {
                 p
             } else {
-                match endpoint.recv_timeout(cfg.comm_timeout) {
+                match crate::runtime::recv_with_retry(&endpoint, cfg.comm_timeout) {
                     Ok(env) => (env.from, env.msg),
                     Err(e @ (TransportError::Timeout(_) | TransportError::Closed)) => panic!(
                         "worker {} starved at iteration {iter} with {completed}/{num_syncers} \
@@ -252,6 +252,12 @@ pub(crate) fn run_worker<M: Model, T: Transport>(
                     ),
                 }
             };
+            // Control traffic is consumed by the reliability layer; any that
+            // surfaces here (a peer acking over a bare transport) carries no
+            // training state and is dropped before the iteration bookkeeping.
+            if msg.is_control() {
+                continue;
+            }
             let msg_iter = msg.iter() as usize;
             if msg_iter > iter {
                 stashed.push_back((from, msg));
@@ -263,6 +269,9 @@ pub(crate) fn run_worker<M: Model, T: Transport>(
                 | Message::ParamChunk { layer, .. }
                 | Message::SfPush { layer, .. }
                 | Message::ParamMatrix { layer, .. } => *layer as usize,
+                Message::Ack { .. } | Message::Nack { .. } => {
+                    unreachable!("control frames are filtered before dispatch")
+                }
             };
             let s = syncers.get_mut(&layer).expect("message for unknown layer");
             let was_complete = s.is_complete();
@@ -295,6 +304,9 @@ pub(crate) fn run_worker<M: Model, T: Transport>(
                     let mut flat = dense.as_slice().to_vec();
                     flat.extend_from_slice(&bias);
                     s.on_param_matrix(flat);
+                }
+                Message::Ack { .. } | Message::Nack { .. } => {
+                    unreachable!("control frames are filtered before dispatch")
                 }
             }
             if !was_complete && s.is_complete() {

@@ -165,6 +165,13 @@ pub fn summarize(traces: &[Trace]) -> Report {
     let mut dial_retries = 0u64;
     let mut timeouts = 0u64;
     let mut max_queue = 0u64;
+    // Chaos-plane counters: injected faults and the recovery work that
+    // healed them (reliability-layer retransmits, socket reconnects,
+    // runtime receive retries).
+    let mut faults = 0u64;
+    let mut retransmits = 0u64;
+    let mut reconnects = 0u64;
+    let mut comm_retries = 0u64;
 
     for trace in traces {
         for track in &trace.tracks {
@@ -201,6 +208,11 @@ pub fn summarize(traces: &[Trace]) -> Report {
                     }
                     (EventKind::Instant, "dial.retry") => dial_retries += 1,
                     (EventKind::Instant, "transport.timeout") => timeouts += 1,
+                    (EventKind::Instant, "retransmit") => retransmits += 1,
+                    (EventKind::Instant, "reconnect")
+                    | (EventKind::Instant, "reconnect.accept") => reconnects += 1,
+                    (EventKind::Instant, "comm.retry") => comm_retries += 1,
+                    (EventKind::Instant, name) if name.starts_with("fault.") => faults += 1,
                     (EventKind::Counter, "rx.queue") => max_queue = max_queue.max(ev.b),
                     _ => {}
                 }
@@ -287,6 +299,12 @@ pub fn summarize(traces: &[Trace]) -> Report {
             "transport health: {dial_retries} dial retries, {timeouts} recv timeouts, peak reader queue depth {max_queue}"
         ));
     }
+    if faults + retransmits + reconnects + comm_retries > 0 {
+        report.note(format!(
+            "chaos & recovery: {faults} injected faults, {retransmits} retransmits, \
+             {reconnects} socket reconnects, {comm_retries} receive retries"
+        ));
+    }
 
     report
 }
@@ -331,6 +349,32 @@ mod tests {
         assert!(text.contains("60%"), "{text}"); // 150/250 hidden
         assert!(text.contains("per-peer transport traffic"), "{text}");
         assert!(text.contains("128"), "{text}"); // 2 × 64 bytes to peer 3
+    }
+
+    #[test]
+    fn summarize_counts_chaos_and_recovery_instants() {
+        let mut trace = Trace::new(0, "worker");
+        trace.tracks.push(Track {
+            tid: 1,
+            name: "worker 0".into(),
+            events: vec![
+                ev(10, EventKind::Instant, "fault.drop", 0, 2, 3),
+                ev(20, EventKind::Instant, "fault.delay", 0, 2, 5),
+                ev(30, EventKind::Instant, "retransmit", 0, 2, 3),
+                ev(40, EventKind::Instant, "reconnect", 0, 2, 1),
+                ev(50, EventKind::Instant, "reconnect.accept", 0, 0, 1),
+                ev(60, EventKind::Instant, "comm.retry", 0, 0, 1),
+            ],
+            dropped: 0,
+        });
+        let text = summarize(&[trace]).render();
+        assert!(
+            text.contains(
+                "chaos & recovery: 2 injected faults, 1 retransmits, \
+                 2 socket reconnects, 1 receive retries"
+            ),
+            "{text}"
+        );
     }
 
     #[test]

@@ -52,7 +52,7 @@ impl Transport for InProcTransport {
         &self.counters
     }
 
-    fn send(&self, to: usize, msg: Message) -> Result<(), TransportError> {
+    fn send_seq(&self, to: usize, msg: Message, seq: u32) -> Result<(), TransportError> {
         let outbox = self
             .outboxes
             .get(to)
@@ -66,6 +66,8 @@ impl Transport for InProcTransport {
         outbox
             .send(Envelope {
                 from: self.node,
+                src: self.me,
+                seq,
                 msg,
             })
             .map_err(|_| TransportError::Closed)?;

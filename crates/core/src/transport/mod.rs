@@ -21,9 +21,11 @@
 //! deployment can be summed without double-counting a frame.
 
 mod inproc;
+mod reliable;
 mod tcp;
 
 pub use inproc::{fabric, fabric_with_nodes, InProcTransport};
+pub use reliable::{ReliabilityConfig, ReliabilityStats, ReliableTransport};
 pub use tcp::{bind_ephemeral, TcpFabricSpec, TcpTransport};
 
 use crate::wire::{self, FrameError};
@@ -34,7 +36,7 @@ use std::time::{Duration, Instant};
 
 /// A message between nodes. Payloads are pre-serialised byte buffers; the
 /// transport never inspects them.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Message {
     /// Dense (or quantized) gradient for one KV pair, worker → server.
     GradChunk {
@@ -77,6 +79,20 @@ pub enum Message {
         /// Encoded payload.
         data: Bytes,
     },
+    /// Cumulative acknowledgement (reliable layer, DESIGN.md §2.7): every
+    /// data frame with sequence number ≤ `upto` on this link was delivered.
+    /// Never reaches the runtime — [`ReliableTransport`] consumes it.
+    Ack {
+        /// Highest contiguously delivered sequence number.
+        upto: u64,
+    },
+    /// Retransmit request (reliable layer): the receiver is still waiting
+    /// for the data frame with sequence number `expect` on this link.
+    /// Never reaches the runtime — [`ReliableTransport`] consumes it.
+    Nack {
+        /// The sequence number the receiver expects next.
+        expect: u64,
+    },
 }
 
 impl Message {
@@ -86,13 +102,16 @@ impl Message {
         (wire::FRAME_HEADER_BYTES + self.payload_len()) as u64
     }
 
-    /// The iteration stamp carried by the message.
+    /// The iteration stamp carried by the message (control frames: their
+    /// ack/nack operand, which travels in the same header field).
     pub fn iter(&self) -> u64 {
         match self {
             Message::GradChunk { iter, .. }
             | Message::ParamChunk { iter, .. }
             | Message::SfPush { iter, .. }
             | Message::ParamMatrix { iter, .. } => *iter,
+            Message::Ack { upto } => *upto,
+            Message::Nack { expect } => *expect,
         }
     }
 
@@ -103,6 +122,7 @@ impl Message {
             | Message::ParamChunk { layer, .. }
             | Message::SfPush { layer, .. }
             | Message::ParamMatrix { layer, .. } => *layer,
+            Message::Ack { .. } | Message::Nack { .. } => 0,
         }
     }
 
@@ -113,7 +133,15 @@ impl Message {
             Message::ParamChunk { .. } => "ParamChunk",
             Message::SfPush { .. } => "SfPush",
             Message::ParamMatrix { .. } => "ParamMatrix",
+            Message::Ack { .. } => "Ack",
+            Message::Nack { .. } => "Nack",
         }
+    }
+
+    /// True for the reliable layer's control frames (`Ack`/`Nack`), which
+    /// carry no training data and never reach the runtime.
+    pub fn is_control(&self) -> bool {
+        matches!(self, Message::Ack { .. } | Message::Nack { .. })
     }
 
     fn payload_len(&self) -> usize {
@@ -122,6 +150,7 @@ impl Message {
             | Message::ParamChunk { data, .. }
             | Message::SfPush { data, .. }
             | Message::ParamMatrix { data, .. } => data.len(),
+            Message::Ack { .. } | Message::Nack { .. } => 0,
         }
     }
 }
@@ -131,6 +160,12 @@ impl Message {
 pub struct Envelope {
     /// Sending *physical node*.
     pub from: usize,
+    /// Sending *endpoint* (several endpoints can share a node, and the
+    /// reliable layer keys its sequence streams by endpoint, not node).
+    pub src: usize,
+    /// Per-link sequence number stamped by the sender's reliable layer
+    /// (0 = unsequenced).
+    pub seq: u32,
     /// The message.
     pub msg: Message,
 }
@@ -162,6 +197,10 @@ pub struct TimeoutDiag {
     /// The last frame this endpoint ever received (`None` if the peer never
     /// said anything at all).
     pub last_frame: Option<LastFrame>,
+    /// Recovery attempts this endpoint made before giving up: dial retries,
+    /// socket reconnects, and runtime retry rounds all count here, so a
+    /// dead-peer verdict states how hard the survivor tried.
+    pub attempts: u64,
 }
 
 impl std::fmt::Display for TimeoutDiag {
@@ -172,9 +211,13 @@ impl std::fmt::Display for TimeoutDiag {
                 f,
                 "; last frame {:.1?} ago from node {} ({} iter {} layer {})",
                 last.since, last.from_node, last.tag, last.iter, last.layer
-            ),
-            None => write!(f, "; no frame ever received"),
+            )?,
+            None => write!(f, "; no frame ever received")?,
         }
+        if self.attempts > 0 {
+            write!(f, "; {} recovery attempts", self.attempts)?;
+        }
+        Ok(())
     }
 }
 
@@ -215,6 +258,7 @@ impl std::error::Error for TransportError {}
 #[derive(Debug, Default)]
 pub(crate) struct RecvTracker {
     last: Mutex<Option<LastSeen>>,
+    attempts: AtomicU64,
 }
 
 /// `(from node, frame tag, iter, layer, arrival time)` of the last envelope.
@@ -231,6 +275,12 @@ impl RecvTracker {
             env.msg.layer(),
             Instant::now(),
         ));
+    }
+
+    /// Notes one recovery attempt (dial retry, reconnect) so a later
+    /// timeout diagnostic can report how hard this endpoint tried.
+    pub(crate) fn note_attempt(&self) {
+        self.attempts.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Builds the enriched timeout error for `endpoint` after `waited`.
@@ -255,6 +305,7 @@ impl RecvTracker {
             endpoint,
             waited,
             last_frame,
+            attempts: self.attempts.load(Ordering::Relaxed),
         })
     }
 }
@@ -262,6 +313,35 @@ impl RecvTracker {
 impl From<FrameError> for TransportError {
     fn from(e: FrameError) -> Self {
         TransportError::Frame(e)
+    }
+}
+
+/// Deterministic capped exponential backoff: `base, 2·base, 4·base, …`
+/// clamped to `cap`. No jitter on purpose — chaos runs must replay the same
+/// attempt schedule, and on a localhost mesh there is no thundering herd to
+/// spread. Shared by `TcpTransport`'s initial dials and its post-sever
+/// reconnect path.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    next: Duration,
+    cap: Duration,
+}
+
+impl Backoff {
+    /// A fresh schedule starting at `base` and never exceeding `cap`.
+    pub fn new(base: Duration, cap: Duration) -> Self {
+        Self {
+            next: base.min(cap),
+            cap,
+        }
+    }
+
+    /// The delay to sleep before the upcoming attempt; doubles (up to the
+    /// cap) for the attempt after.
+    pub fn next_delay(&mut self) -> Duration {
+        let d = self.next;
+        self.next = (self.next * 2).min(self.cap);
+        d
     }
 }
 
@@ -294,9 +374,26 @@ pub trait Transport: Send {
     /// The shared traffic ledger (one slot per *physical node*).
     fn traffic(&self) -> &Arc<TrafficCounters>;
 
+    /// Sends `msg` to endpoint `to` stamped with per-link sequence number
+    /// `seq` (0 = unsequenced), recording its frame bytes against the two
+    /// endpoints' physical nodes (loop-back excluded). This is the primitive
+    /// the reliable layer uses; everything else calls [`Transport::send`].
+    fn send_seq(&self, to: usize, msg: Message, seq: u32) -> Result<(), TransportError>;
+
     /// Sends `msg` to endpoint `to`, recording its frame bytes against the
     /// two endpoints' physical nodes (loop-back excluded).
-    fn send(&self, to: usize, msg: Message) -> Result<(), TransportError>;
+    fn send(&self, to: usize, msg: Message) -> Result<(), TransportError> {
+        self.send_seq(to, msg, 0)
+    }
+
+    /// Forcibly severs the underlying link to endpoint `to` as a fault
+    /// injection primitive: the next send on a socket transport hits a broken
+    /// pipe and must reconnect. Transports with no physical link (in-process
+    /// channels) have nothing to sever and succeed as a no-op.
+    fn sever_link(&self, to: usize) -> Result<(), TransportError> {
+        let _ = to;
+        Ok(())
+    }
 
     /// Blocks until a message arrives.
     fn recv(&self) -> Result<Envelope, TransportError>;
@@ -585,6 +682,38 @@ mod tests {
         let totals = counters.per_node_totals();
         assert_eq!(totals[0], (HDR + 10) + (HDR + 20));
         assert_eq!(totals[0], totals[1]);
+    }
+
+    #[test]
+    fn backoff_doubles_to_the_cap_and_stays_there() {
+        let mut b = Backoff::new(Duration::from_millis(5), Duration::from_millis(40));
+        let delays: Vec<u64> = (0..6).map(|_| b.next_delay().as_millis() as u64).collect();
+        assert_eq!(delays, vec![5, 10, 20, 40, 40, 40]);
+        // A base above the cap is clamped immediately.
+        let mut b = Backoff::new(Duration::from_millis(90), Duration::from_millis(40));
+        assert_eq!(b.next_delay(), Duration::from_millis(40));
+    }
+
+    #[test]
+    fn sever_link_is_a_noop_without_a_physical_link() {
+        let (eps, _) = fabric(2);
+        eps[0].sever_link(1).unwrap();
+        eps[0].send(1, grad(0, 4)).unwrap();
+        assert_eq!(eps[1].recv().unwrap().from, 0);
+    }
+
+    #[test]
+    fn envelopes_carry_src_and_seq() {
+        let (eps, _) = fabric_with_nodes(&[0, 1, 0, 1]);
+        // Endpoint 2 (node 0) → endpoint 1 (node 1), sequenced.
+        eps[2].send_seq(1, grad(3, 4), 17).unwrap();
+        let env = eps[1].recv().unwrap();
+        assert_eq!(env.from, 0, "from is the physical node");
+        assert_eq!(env.src, 2, "src is the endpoint");
+        assert_eq!(env.seq, 17);
+        // Plain send is unsequenced.
+        eps[0].send(1, grad(3, 4)).unwrap();
+        assert_eq!(eps[1].recv().unwrap().seq, 0);
     }
 
     #[test]

@@ -4,37 +4,53 @@
 //! Topology is a full mesh of *unidirectional* connections: for every ordered
 //! pair (a, b) endpoint `a` dials `b` and uses that stream exclusively for
 //! a → b frames, so per-pair ordering is the stream's own ordering. Each
-//! endpoint runs one reader thread per inbound peer; readers decode
+//! endpoint runs one reader thread per inbound stream; readers decode
 //! length-prefixed frames ([`crate::wire`]) and push [`Envelope`]s onto the
 //! endpoint's inbox.
 //!
 //! Connection establishment is symmetric and retry-based: every endpoint
 //! binds its listener, then concurrently accepts inbound peers (background
-//! thread) and dials outbound peers, retrying `connect` until
-//! [`TcpFabricSpec::connect_timeout`] so start-up order does not matter. Each
-//! dialer opens with a 12-byte HELLO (magic, wire version, endpoint id) so
-//! the acceptor can attribute the stream.
+//! thread) and dials outbound peers, retrying `connect` with capped
+//! exponential [`Backoff`] until [`TcpFabricSpec::connect_timeout`] so
+//! start-up order does not matter. Each dialer opens with a 12-byte HELLO
+//! (magic, wire version, endpoint id) so the acceptor can attribute the
+//! stream.
 //!
-//! Graceful shutdown: `shutdown()` half-closes every outbound stream (FIN),
-//! letting peers read all in-flight frames to EOF, then force-closes the
-//! inbound streams so the local readers exit and can be joined even if a
-//! peer dies without saying goodbye.
+//! The mesh is *self-healing* (DESIGN.md §2.7): a broken outbound stream is
+//! not terminal. When a send hits an I/O error — the peer crashed and came
+//! back, or a chaos test called [`Transport::sever_link`] — the sender
+//! redials with the same capped exponential backoff (bounded by
+//! [`TcpFabricSpec::reconnect_timeout`]), replaces the stream, and rewrites
+//! the whole frame, emitting a `reconnect` telemetry instant. On the other
+//! side the acceptor thread outlives the initial mesh: it keeps accepting
+//! HELLOs for the life of the endpoint and spawns a fresh reader for every
+//! re-accepted stream (`reconnect.accept` instant). Reader-side EOF and I/O
+//! errors are therefore *benign* — the peer may simply be reconnecting — and
+//! only wire-protocol violations poison the endpoint. A peer that never
+//! comes back surfaces as a plain `recv_timeout` whose [`TimeoutDiag`]
+//! (see [`super::TimeoutDiag`]) carries the reconnect attempt count.
+//!
+//! Graceful shutdown: `shutdown()` stops the acceptor, half-closes every
+//! outbound stream (FIN), letting peers read all in-flight frames to EOF,
+//! then force-closes the inbound streams so the local readers exit and can
+//! be joined even if a peer dies without saying goodbye.
 //!
 //! Accounting is send-side only: the sender charges the exact buffer it
-//! writes against (source node, destination node) in its ledger, and nothing
-//! is recorded at the receiver — so summing per-process
+//! writes against (source node, destination node) in its ledger — a frame
+//! rewritten after a reconnect is charged again, because it crossed the wire
+//! again — and nothing is recorded at the receiver, so summing per-process
 //! [`TrafficSnapshot`](super::TrafficSnapshot)s reconstructs the cluster
 //! ledger without double counting. Loop-back (same physical node) frames
 //! still cross the socket but are never counted, exactly like
 //! [`InProcTransport`](super::InProcTransport).
 
-use super::{Envelope, Message, RecvTracker, TrafficCounters, Transport, TransportError};
+use super::{Backoff, Envelope, Message, RecvTracker, TrafficCounters, Transport, TransportError};
 use crate::telemetry;
-use crate::wire::{assemble, encode_frame, parse_header, FRAME_HEADER_BYTES, FRAME_VERSION};
+use crate::wire::{assemble, encode_frame_seq, parse_header, FRAME_HEADER_BYTES, FRAME_VERSION};
 use bytes::Bytes;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -43,6 +59,9 @@ use std::time::{Duration, Instant};
 /// First four bytes of the connection HELLO ("PSDN").
 const HELLO_MAGIC: u32 = 0x5053_444E;
 const HELLO_BYTES: usize = 12;
+
+/// Poll interval of the persistent acceptor between nonblocking accepts.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
 
 /// Static description of a TCP fabric: where every endpoint listens and
 /// which physical node it lives on. All participants must construct the
@@ -54,10 +73,16 @@ pub struct TcpFabricSpec {
     /// Physical node of each endpoint (colocated endpoints share a node and
     /// their traffic is uncounted loop-back).
     pub node_of_endpoint: Vec<usize>,
-    /// How long `connect` keeps retrying the mesh before giving up.
+    /// How long `connect` keeps retrying the initial mesh before giving up.
     pub connect_timeout: Duration,
-    /// Pause between dial attempts while a peer's listener is not up yet.
-    pub retry_interval: Duration,
+    /// First delay of the capped exponential backoff shared by initial
+    /// dials and post-sever reconnects.
+    pub backoff_base: Duration,
+    /// Ceiling of the dial/reconnect backoff delay.
+    pub backoff_cap: Duration,
+    /// How long a send keeps redialing a broken peer before declaring the
+    /// link dead (bounded dead-peer verdict, never a hang).
+    pub reconnect_timeout: Duration,
 }
 
 impl TcpFabricSpec {
@@ -70,7 +95,9 @@ impl TcpFabricSpec {
             addrs,
             node_of_endpoint: node_of_endpoint.to_vec(),
             connect_timeout: Duration::from_secs(10),
-            retry_interval: Duration::from_millis(25),
+            backoff_base: Duration::from_millis(5),
+            backoff_cap: Duration::from_millis(400),
+            reconnect_timeout: Duration::from_secs(5),
         }
     }
 
@@ -101,29 +128,74 @@ pub fn bind_ephemeral(n: usize) -> std::io::Result<(Vec<TcpListener>, Vec<Socket
     Ok((listeners, addrs))
 }
 
+/// State shared between the endpoint, its persistent acceptor, and every
+/// reader thread — the machinery that lets readers come and go as peers
+/// disconnect and reconnect.
+struct ReaderHub {
+    /// Endpoint id, for reader telemetry track names.
+    me: usize,
+    /// Inbox sender cloned into each reader; `None` once shut down so the
+    /// channel can close.
+    tx: Mutex<Option<Sender<Envelope>>>,
+    /// First *protocol* error any reader hit (corrupt frame); surfaced by
+    /// `recv_timeout` so stalls are diagnosable. Plain I/O errors and EOF
+    /// are benign — the peer may be reconnecting.
+    reader_err: Mutex<Option<TransportError>>,
+    /// Envelopes enqueued on the inbox but not yet received — the reader
+    /// queue depth sampled by the `rx.queue` telemetry counter.
+    inflight: AtomicU64,
+    /// Clones of every inbound stream ever adopted, kept to force readers
+    /// out of blocking reads during shutdown.
+    inbound: Mutex<Vec<TcpStream>>,
+    /// Live (and finished) reader threads, reaped at shutdown.
+    readers: Mutex<Vec<JoinHandle<()>>>,
+    /// Set at shutdown; stops the acceptor and rejects new adoptions.
+    down: AtomicBool,
+    /// Inbound streams re-accepted after the initial mesh.
+    reaccepts: AtomicU64,
+}
+
+impl ReaderHub {
+    /// Registers an inbound stream from `peer` and spawns its reader.
+    fn adopt(self: &Arc<Self>, peer: usize, from_node: usize, stream: TcpStream) {
+        if self.down.load(Ordering::SeqCst) {
+            return;
+        }
+        let Some(tx) = self.tx.lock().expect("hub tx lock").clone() else {
+            return;
+        };
+        let Ok(clone) = stream.try_clone() else {
+            return;
+        };
+        self.inbound.lock().expect("inbound lock").push(clone);
+        let hub = Arc::clone(self);
+        let me = self.me;
+        let handle = std::thread::spawn(move || {
+            telemetry::set_thread_track(format!("rx e{me}<-e{peer}"));
+            reader_loop(stream, from_node, &tx, &hub);
+        });
+        self.readers.lock().expect("readers lock").push(handle);
+    }
+}
+
 /// One endpoint's attachment to a TCP fabric.
 pub struct TcpTransport {
     me: usize,
     node: usize,
-    dest_nodes: Vec<usize>,
+    spec: TcpFabricSpec,
     /// Outbound write halves, indexed by peer endpoint; `None` for `me`.
+    /// The stream inside is *replaced* when a send reconnects.
     writers: Vec<Option<Mutex<TcpStream>>>,
     /// Loop-back path to our own inbox (dropped at shutdown so readers'
     /// sender drops can close the channel).
     self_tx: Option<Sender<Envelope>>,
     inbox: Receiver<Envelope>,
-    /// Clones of the inbound streams, kept to force readers out of blocking
-    /// reads during shutdown.
-    inbound: Vec<TcpStream>,
-    readers: Vec<JoinHandle<()>>,
-    /// First hard error any reader hit (corrupt frame, I/O failure);
-    /// surfaced by `recv_timeout` so stalls are diagnosable.
-    reader_err: Arc<Mutex<Option<TransportError>>>,
+    hub: Arc<ReaderHub>,
+    acceptor: Option<JoinHandle<()>>,
     counters: Arc<TrafficCounters>,
-    /// Envelopes enqueued on the inbox but not yet received — the reader
-    /// queue depth sampled by the `rx.queue` telemetry counter.
-    inflight: Arc<AtomicU64>,
     tracker: RecvTracker,
+    /// Successful outbound reconnects (for stats lines and tests).
+    reconnects: AtomicU64,
     down: bool,
 }
 
@@ -155,60 +227,83 @@ impl TcpTransport {
         let counters = shared_counters
             .unwrap_or_else(|| Arc::new(TrafficCounters::new(spec.physical_nodes())));
 
-        // Accept inbound peers in the background while we dial outbound, so
-        // the mesh forms regardless of process start-up order.
-        let acceptor = std::thread::spawn(move || accept_peers(&listener, me, n - 1, deadline));
+        let (self_tx, inbox) = channel();
+        let hub = Arc::new(ReaderHub {
+            me,
+            tx: Mutex::new(Some(self_tx.clone())),
+            reader_err: Mutex::new(None),
+            inflight: AtomicU64::new(0),
+            inbound: Mutex::new(Vec::new()),
+            readers: Mutex::new(Vec::new()),
+            down: AtomicBool::new(false),
+            reaccepts: AtomicU64::new(0),
+        });
+
+        // The acceptor accepts the initial mesh (reported through `init_tx`)
+        // and then *keeps accepting* for the life of the endpoint, adopting
+        // every reconnecting peer — regardless of process start-up order at
+        // boot, and regardless of socket failures afterwards.
+        let (init_tx, init_rx) = channel();
+        let acceptor = {
+            let hub = Arc::clone(&hub);
+            let spec = spec.clone();
+            std::thread::spawn(move || acceptor_loop(listener, &spec, me, &hub, init_tx, deadline))
+        };
 
         let mut writers: Vec<Option<Mutex<TcpStream>>> = (0..n).map(|_| None).collect();
+        let mut dial_err = None;
         for peer in (0..n).filter(|&p| p != me) {
-            let stream = dial(spec, me, peer, deadline)?;
-            writers[peer] = Some(Mutex::new(stream));
+            match dial(spec, me, peer, deadline) {
+                Ok(stream) => writers[peer] = Some(Mutex::new(stream)),
+                Err(e) => {
+                    dial_err = Some(e);
+                    break;
+                }
+            }
+        }
+        if let Some(e) = dial_err {
+            hub.down.store(true, Ordering::SeqCst);
+            let _ = acceptor.join();
+            return Err(e);
         }
 
-        let accepted = acceptor
-            .join()
+        let accepted = init_rx
+            .recv()
             .map_err(|_| TransportError::Handshake("acceptor thread panicked".into()))??;
-
-        let (self_tx, inbox) = channel();
-        let reader_err = Arc::new(Mutex::new(None));
-        let inflight = Arc::new(AtomicU64::new(0));
-        let mut inbound = Vec::with_capacity(accepted.len());
-        let mut readers = Vec::with_capacity(accepted.len());
         for (peer, stream) in accepted {
-            let clone = stream
-                .try_clone()
-                .map_err(|e| TransportError::Handshake(format!("clone inbound stream: {e}")))?;
-            inbound.push(clone);
-            let tx = self_tx.clone();
-            let err = Arc::clone(&reader_err);
-            let depth = Arc::clone(&inflight);
-            let from_node = spec.node_of_endpoint[peer];
-            readers.push(std::thread::spawn(move || {
-                telemetry::set_thread_track(format!("rx e{me}<-n{from_node}"));
-                reader_loop(stream, from_node, &tx, &err, &depth)
-            }));
+            hub.adopt(peer, spec.node_of_endpoint[peer], stream);
         }
 
         Ok(Self {
             me,
             node: spec.node_of_endpoint[me],
-            dest_nodes: spec.node_of_endpoint.clone(),
+            spec: spec.clone(),
             writers,
             self_tx: Some(self_tx),
             inbox,
-            inbound,
-            readers,
-            reader_err,
+            hub,
+            acceptor: Some(acceptor),
             counters,
-            inflight,
             tracker: RecvTracker::default(),
+            reconnects: AtomicU64::new(0),
             down: false,
         })
     }
 
+    /// Successful outbound reconnects so far.
+    pub fn reconnect_count(&self) -> u64 {
+        self.reconnects.load(Ordering::Relaxed)
+    }
+
+    /// Inbound streams re-accepted after the initial mesh.
+    pub fn reaccept_count(&self) -> u64 {
+        self.hub.reaccepts.load(Ordering::Relaxed)
+    }
+
     /// The reader error, if any, else the fallback.
     fn pending_error(&self, fallback: TransportError) -> TransportError {
-        self.reader_err
+        self.hub
+            .reader_err
             .lock()
             .expect("reader error lock")
             .clone()
@@ -218,8 +313,40 @@ impl TcpTransport {
     /// Notes a delivered envelope: queue-depth bookkeeping plus timeout
     /// diagnostics.
     fn on_delivered(&self, env: &Envelope) {
-        self.inflight.fetch_sub(1, Ordering::Relaxed);
+        self.hub.inflight.fetch_sub(1, Ordering::Relaxed);
         self.tracker.note(env);
+    }
+
+    /// Redials `to` after a broken send, with the fabric's capped
+    /// exponential backoff, bounded by `reconnect_timeout`. Every attempt
+    /// counts toward the endpoint's [`TimeoutDiag::attempts`] so a dead
+    /// peer's verdict states how hard we tried.
+    fn redial(&self, to: usize, cause: &std::io::Error) -> Result<TcpStream, TransportError> {
+        let addr = self.spec.addrs[to];
+        let deadline = Instant::now() + self.spec.reconnect_timeout;
+        let mut backoff = Backoff::new(self.spec.backoff_base, self.spec.backoff_cap);
+        let mut attempts: u64 = 0;
+        loop {
+            attempts += 1;
+            self.tracker.note_attempt();
+            match dial_once(addr, self.me, Duration::from_secs(1)) {
+                Ok(stream) => {
+                    self.reconnects.fetch_add(1, Ordering::Relaxed);
+                    telemetry::instant("reconnect", to as u64, attempts);
+                    return Ok(stream);
+                }
+                Err(_) => {
+                    let delay = backoff.next_delay();
+                    if Instant::now() + delay >= deadline {
+                        return Err(TransportError::Io(format!(
+                            "send to endpoint {to}: {cause}; \
+                             reconnect gave up after {attempts} attempts"
+                        )));
+                    }
+                    std::thread::sleep(delay);
+                }
+            }
+        }
     }
 }
 
@@ -240,18 +367,20 @@ impl Transport for TcpTransport {
         &self.counters
     }
 
-    fn send(&self, to: usize, msg: Message) -> Result<(), TransportError> {
+    fn send_seq(&self, to: usize, msg: Message, seq: u32) -> Result<(), TransportError> {
         if to == self.me {
             let tx = self.self_tx.as_ref().ok_or(TransportError::Closed)?;
             if telemetry::is_enabled() {
                 telemetry::instant("tx.frame", to as u64, msg.wire_bytes());
             }
-            self.inflight.fetch_add(1, Ordering::Relaxed);
+            self.hub.inflight.fetch_add(1, Ordering::Relaxed);
             // Loop-back within one endpoint never touches the socket and, like
             // all same-node traffic, is never counted.
             return tx
                 .send(Envelope {
                     from: self.node,
+                    src: self.me,
+                    seq,
                     msg,
                 })
                 .map_err(|_| TransportError::Closed);
@@ -262,19 +391,41 @@ impl Transport for TcpTransport {
             .ok_or(TransportError::Closed)?
             .as_ref()
             .ok_or(TransportError::Closed)?;
-        let frame = encode_frame(&msg);
+        let frame = encode_frame_seq(&msg, self.me as u32, seq);
         if telemetry::is_enabled() {
             telemetry::instant("tx.frame", to as u64, frame.len() as u64);
         }
         {
             let mut stream = writer.lock().expect("writer lock");
-            stream
-                .write_all(&frame)
-                .map_err(|e| TransportError::Io(format!("send to endpoint {to}: {e}")))?;
+            if let Err(e) = stream.write_all(&frame) {
+                // The link broke (peer restart, injected sever). Reconnect
+                // and rewrite the whole frame: the peer's reader discards
+                // partial frames at EOF, so frame boundaries stay intact.
+                *stream = self.redial(to, &e)?;
+                stream
+                    .write_all(&frame)
+                    .map_err(|e| TransportError::Io(format!("resend to endpoint {to}: {e}")))?;
+            }
         }
         // The counted bytes are the length of the buffer just written.
-        self.counters
-            .record(self.node, self.dest_nodes[to], frame.len() as u64);
+        self.counters.record(
+            self.node,
+            self.spec.node_of_endpoint[to],
+            frame.len() as u64,
+        );
+        Ok(())
+    }
+
+    fn sever_link(&self, to: usize) -> Result<(), TransportError> {
+        if to == self.me {
+            return Ok(());
+        }
+        if let Some(Some(writer)) = self.writers.get(to).map(|w| w.as_ref()) {
+            let stream = writer.lock().expect("writer lock");
+            // Best-effort: an already-dead socket is already severed.
+            let _ = stream.shutdown(Shutdown::Both);
+            telemetry::instant("sever", to as u64, 0);
+        }
         Ok(())
     }
 
@@ -304,7 +455,8 @@ impl Transport for TcpTransport {
                 self.on_delivered(&env);
                 Ok(env)
             }
-            // A reader that died explains the silence better than "timeout".
+            // A reader that hit a protocol violation explains the silence
+            // better than "timeout".
             Err(RecvTimeoutError::Timeout) => {
                 Err(self.pending_error(self.tracker.timeout(self.me, timeout)))
             }
@@ -317,7 +469,13 @@ impl Transport for TcpTransport {
             return Ok(());
         }
         self.down = true;
+        // Stop the acceptor first so no new readers appear mid-teardown.
+        self.hub.down.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
         self.self_tx = None;
+        *self.hub.tx.lock().expect("hub tx lock") = None;
         // FIN every outbound stream: peers read to EOF, losing nothing.
         for writer in self.writers.iter().flatten() {
             let stream = writer.lock().expect("writer lock");
@@ -325,10 +483,17 @@ impl Transport for TcpTransport {
         }
         // Force-close inbound streams so readers exit even if a peer never
         // half-closed its side (crash), then reap them.
-        for stream in &self.inbound {
+        for stream in self.hub.inbound.lock().expect("inbound lock").iter() {
             let _ = stream.shutdown(Shutdown::Both);
         }
-        for handle in self.readers.drain(..) {
+        let handles: Vec<_> = self
+            .hub
+            .readers
+            .lock()
+            .expect("readers lock")
+            .drain(..)
+            .collect();
+        for handle in handles {
             let _ = handle.join();
         }
         Ok(())
@@ -339,22 +504,38 @@ impl Drop for TcpTransport {
     fn drop(&mut self) {
         if !self.down {
             // Best-effort teardown on panic paths: close the sockets so
-            // reader threads exit, but do not block joining them.
+            // acceptor and reader threads exit, but do not block joining.
             self.down = true;
+            self.hub.down.store(true, Ordering::SeqCst);
             for writer in self.writers.iter().flatten() {
                 if let Ok(stream) = writer.lock() {
                     let _ = stream.shutdown(Shutdown::Both);
                 }
             }
-            for stream in &self.inbound {
-                let _ = stream.shutdown(Shutdown::Both);
+            if let Ok(inbound) = self.hub.inbound.lock() {
+                for stream in inbound.iter() {
+                    let _ = stream.shutdown(Shutdown::Both);
+                }
             }
         }
     }
 }
 
-/// Dials `peer`, retrying until its listener is up or `deadline` passes, and
-/// opens the stream with our HELLO.
+/// One connect + HELLO attempt. An error anywhere (refused, reset mid-HELLO)
+/// means "try again later".
+fn dial_once(addr: SocketAddr, me: usize, timeout: Duration) -> std::io::Result<TcpStream> {
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_nodelay(true)?;
+    let mut hello = [0u8; HELLO_BYTES];
+    hello[0..4].copy_from_slice(&HELLO_MAGIC.to_le_bytes());
+    hello[4..8].copy_from_slice(&(FRAME_VERSION as u32).to_le_bytes());
+    hello[8..12].copy_from_slice(&(me as u32).to_le_bytes());
+    stream.write_all(&hello)?;
+    Ok(stream)
+}
+
+/// Dials `peer` with capped exponential backoff until its listener is up or
+/// `deadline` passes.
 fn dial(
     spec: &TcpFabricSpec,
     me: usize,
@@ -362,37 +543,65 @@ fn dial(
     deadline: Instant,
 ) -> Result<TcpStream, TransportError> {
     let addr = spec.addrs[peer];
+    let mut backoff = Backoff::new(spec.backoff_base, spec.backoff_cap);
     let mut attempts: u64 = 0;
     loop {
         let remaining = deadline
             .checked_duration_since(Instant::now())
             .ok_or_else(|| {
-                TransportError::Handshake(format!("endpoint {me}: timed out dialing {addr}"))
+                TransportError::Handshake(format!(
+                    "endpoint {me}: timed out dialing {addr} after {attempts} attempts"
+                ))
             })?;
-        match TcpStream::connect_timeout(&addr, remaining.min(Duration::from_secs(1))) {
-            Ok(mut stream) => {
-                stream
-                    .set_nodelay(true)
-                    .map_err(|e| TransportError::Handshake(format!("nodelay: {e}")))?;
-                let mut hello = [0u8; HELLO_BYTES];
-                hello[0..4].copy_from_slice(&HELLO_MAGIC.to_le_bytes());
-                hello[4..8].copy_from_slice(&(FRAME_VERSION as u32).to_le_bytes());
-                hello[8..12].copy_from_slice(&(me as u32).to_le_bytes());
-                stream
-                    .write_all(&hello)
-                    .map_err(|e| TransportError::Handshake(format!("hello to {addr}: {e}")))?;
-                return Ok(stream);
-            }
+        match dial_once(addr, me, remaining.min(Duration::from_secs(1))) {
+            Ok(stream) => return Ok(stream),
             Err(_) => {
                 attempts += 1;
                 telemetry::instant("dial.retry", peer as u64, attempts);
-                std::thread::sleep(spec.retry_interval);
+                std::thread::sleep(backoff.next_delay().min(remaining));
             }
         }
     }
 }
 
-/// Accepts `expected` inbound peers, validating each HELLO, until `deadline`.
+/// Validates one inbound HELLO; returns the peer endpoint id.
+fn validate_hello(stream: &mut TcpStream, me: usize) -> Result<usize, TransportError> {
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .map_err(|e| TransportError::Handshake(format!("read timeout: {e}")))?;
+    let mut hello = [0u8; HELLO_BYTES];
+    stream
+        .read_exact(&mut hello)
+        .map_err(|e| TransportError::Handshake(format!("read hello: {e}")))?;
+    let magic = u32::from_le_bytes(hello[0..4].try_into().expect("4 bytes"));
+    let version = u32::from_le_bytes(hello[4..8].try_into().expect("4 bytes"));
+    let peer = u32::from_le_bytes(hello[8..12].try_into().expect("4 bytes")) as usize;
+    if magic != HELLO_MAGIC {
+        return Err(TransportError::Handshake(format!(
+            "bad hello magic {magic:#010x}"
+        )));
+    }
+    if version != FRAME_VERSION as u32 {
+        return Err(TransportError::Handshake(format!(
+            "peer speaks wire version {version}, we speak {FRAME_VERSION}"
+        )));
+    }
+    if peer == me {
+        return Err(TransportError::Handshake(format!(
+            "self hello from endpoint {peer}"
+        )));
+    }
+    stream
+        .set_read_timeout(None)
+        .map_err(|e| TransportError::Handshake(format!("clear timeout: {e}")))?;
+    stream
+        .set_nodelay(true)
+        .map_err(|e| TransportError::Handshake(format!("nodelay: {e}")))?;
+    Ok(peer)
+}
+
+/// Accepts `expected` distinct inbound peers, validating each HELLO, until
+/// `deadline`. Phase 1 of the acceptor.
 fn accept_peers(
     listener: &TcpListener,
     me: usize,
@@ -415,41 +624,16 @@ fn accept_peers(
                 stream
                     .set_nonblocking(false)
                     .map_err(|e| TransportError::Handshake(format!("blocking stream: {e}")))?;
-                stream
-                    .set_read_timeout(Some(Duration::from_secs(5)))
-                    .map_err(|e| TransportError::Handshake(format!("read timeout: {e}")))?;
-                let mut hello = [0u8; HELLO_BYTES];
-                stream
-                    .read_exact(&mut hello)
-                    .map_err(|e| TransportError::Handshake(format!("read hello: {e}")))?;
-                let magic = u32::from_le_bytes(hello[0..4].try_into().expect("4 bytes"));
-                let version = u32::from_le_bytes(hello[4..8].try_into().expect("4 bytes"));
-                let peer = u32::from_le_bytes(hello[8..12].try_into().expect("4 bytes")) as usize;
-                if magic != HELLO_MAGIC {
+                let peer = validate_hello(&mut stream, me)?;
+                if peers.iter().any(|(p, _)| *p == peer) {
                     return Err(TransportError::Handshake(format!(
-                        "bad hello magic {magic:#010x}"
+                        "duplicate hello from endpoint {peer}"
                     )));
                 }
-                if version != FRAME_VERSION as u32 {
-                    return Err(TransportError::Handshake(format!(
-                        "peer speaks wire version {version}, we speak {FRAME_VERSION}"
-                    )));
-                }
-                if peer == me || peers.iter().any(|(p, _)| *p == peer) {
-                    return Err(TransportError::Handshake(format!(
-                        "duplicate or self hello from endpoint {peer}"
-                    )));
-                }
-                stream
-                    .set_read_timeout(None)
-                    .map_err(|e| TransportError::Handshake(format!("clear timeout: {e}")))?;
-                stream
-                    .set_nodelay(true)
-                    .map_err(|e| TransportError::Handshake(format!("nodelay: {e}")))?;
                 peers.push((peer, stream));
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(5));
+                std::thread::sleep(ACCEPT_POLL);
             }
             Err(e) => {
                 return Err(TransportError::Handshake(format!("accept: {e}")));
@@ -457,6 +641,53 @@ fn accept_peers(
         }
     }
     Ok(peers)
+}
+
+/// The persistent acceptor: phase 1 collects the initial mesh and reports it
+/// through `init_tx`; phase 2 re-accepts reconnecting peers until shutdown,
+/// adopting each fresh stream into the hub.
+fn acceptor_loop(
+    listener: TcpListener,
+    spec: &TcpFabricSpec,
+    me: usize,
+    hub: &Arc<ReaderHub>,
+    init_tx: Sender<Result<Vec<(usize, TcpStream)>, TransportError>>,
+    deadline: Instant,
+) {
+    telemetry::set_thread_track(format!("accept e{me}"));
+    let initial = accept_peers(&listener, me, spec.addrs.len() - 1, deadline);
+    let ok = initial.is_ok();
+    let _ = init_tx.send(initial);
+    if !ok {
+        return;
+    }
+    // Phase 2: the mesh is up; keep the door open for reconnects.
+    while !hub.down.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                // A malformed reconnect HELLO is dropped, not fatal: the
+                // established mesh keeps running.
+                let Ok(peer) = validate_hello(&mut stream, me) else {
+                    continue;
+                };
+                if peer >= spec.node_of_endpoint.len() {
+                    continue;
+                }
+                hub.reaccepts.fetch_add(1, Ordering::Relaxed);
+                telemetry::instant("reconnect.accept", peer as u64, 0);
+                hub.adopt(peer, spec.node_of_endpoint[peer], stream);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+        }
+    }
 }
 
 /// Reads `buf.len()` bytes. `Ok(false)` on clean EOF at a frame boundary;
@@ -482,41 +713,37 @@ fn read_full(stream: &mut TcpStream, buf: &mut [u8]) -> std::io::Result<bool> {
     Ok(true)
 }
 
-/// Decodes frames off one inbound stream until EOF (clean exit) or a hard
-/// error (recorded in `err` for `recv_timeout` to surface).
-fn reader_loop(
-    mut stream: TcpStream,
-    from_node: usize,
-    tx: &Sender<Envelope>,
-    err: &Mutex<Option<TransportError>>,
-    depth: &AtomicU64,
-) {
-    let fail = |e: TransportError| {
-        let mut slot = err.lock().expect("reader error lock");
-        if slot.is_none() {
-            *slot = Some(e);
-        }
-    };
+/// Decodes frames off one inbound stream until EOF or an I/O error (both
+/// benign: the peer may be gone for good — that surfaces as a recv timeout —
+/// or reconnecting, in which case the acceptor spawns our replacement).
+/// Only a wire-protocol violation poisons the endpoint.
+fn reader_loop(mut stream: TcpStream, from_node: usize, tx: &Sender<Envelope>, hub: &ReaderHub) {
     loop {
         let mut hdr = [0u8; FRAME_HEADER_BYTES];
         match read_full(&mut stream, &mut hdr) {
-            Ok(false) => return, // clean EOF
             Ok(true) => {}
-            Err(e) => return fail(TransportError::Io(format!("read frame header: {e}"))),
+            // Clean EOF, or the peer died / was severed mid-frame. The
+            // stream's partial tail is discarded; a reconnecting sender
+            // rewrites whole frames, so no fragment survives.
+            Ok(false) | Err(_) => return,
         }
         let header = match parse_header(&hdr) {
             Ok(h) => h,
-            Err(e) => return fail(TransportError::Frame(e)),
+            Err(e) => {
+                let mut slot = hub.reader_err.lock().expect("reader error lock");
+                if slot.is_none() {
+                    *slot = Some(TransportError::Frame(e));
+                }
+                return;
+            }
         };
         let mut payload = vec![0u8; header.payload_len];
         match read_full(&mut stream, &mut payload) {
             Ok(true) => {}
-            Ok(false) | Err(_) => {
-                return fail(TransportError::Io("peer died mid-frame".into()));
-            }
+            Ok(false) | Err(_) => return, // benign: died mid-frame
         }
         let msg = assemble(&header, Bytes::from(payload));
-        let queued = depth.fetch_add(1, Ordering::Relaxed) + 1;
+        let queued = hub.inflight.fetch_add(1, Ordering::Relaxed) + 1;
         if telemetry::is_enabled() {
             telemetry::instant(
                 "rx.frame",
@@ -528,6 +755,8 @@ fn reader_loop(
         if tx
             .send(Envelope {
                 from: from_node,
+                src: header.src as usize,
+                seq: header.seq,
                 msg,
             })
             .is_err()
@@ -551,6 +780,17 @@ mod tests {
         }
     }
 
+    fn quick_spec(addrs: Vec<SocketAddr>, node_of_endpoint: Vec<usize>) -> TcpFabricSpec {
+        TcpFabricSpec {
+            addrs,
+            node_of_endpoint,
+            connect_timeout: Duration::from_secs(10),
+            backoff_base: Duration::from_millis(5),
+            backoff_cap: Duration::from_millis(50),
+            reconnect_timeout: Duration::from_secs(5),
+        }
+    }
+
     /// Builds an ephemeral-port fabric and runs `f(endpoint)` on one thread
     /// per endpoint, all sharing one ledger.
     fn with_fabric(
@@ -558,12 +798,7 @@ mod tests {
         f: impl Fn(TcpTransport) + Send + Sync,
     ) -> Arc<TrafficCounters> {
         let (listeners, addrs) = bind_ephemeral(node_of_endpoint.len()).expect("bind");
-        let spec = TcpFabricSpec {
-            addrs,
-            node_of_endpoint: node_of_endpoint.to_vec(),
-            connect_timeout: Duration::from_secs(10),
-            retry_interval: Duration::from_millis(5),
-        };
+        let spec = quick_spec(addrs, node_of_endpoint.to_vec());
         let counters = Arc::new(TrafficCounters::new(spec.physical_nodes()));
         std::thread::scope(|s| {
             for (me, listener) in listeners.into_iter().enumerate() {
@@ -588,6 +823,7 @@ mod tests {
             ep.send(other, grad(ep.endpoint_id() as u64, 40)).unwrap();
             let env = ep.recv().unwrap();
             assert_eq!(env.from, other);
+            assert_eq!(env.src, other, "src names the sending endpoint");
             assert_eq!(env.msg.iter(), other as u64);
             ep.shutdown().unwrap();
         });
@@ -638,6 +874,32 @@ mod tests {
     }
 
     #[test]
+    fn severed_link_reconnects_and_redelivers() {
+        with_fabric(&[0, 1], |mut ep| {
+            if ep.endpoint_id() == 0 {
+                ep.send(1, grad(0, 32)).unwrap();
+                // Kill our own outbound socket, then send again: the send
+                // path must redial and rewrite the frame.
+                ep.sever_link(1).unwrap();
+                ep.send(1, grad(1, 32)).unwrap();
+                assert_eq!(ep.reconnect_count(), 1, "exactly one reconnect");
+            } else {
+                let mut iters = Vec::new();
+                while iters.len() < 2 {
+                    let env = ep
+                        .recv_timeout(Duration::from_secs(10))
+                        .expect("both frames must arrive despite the sever");
+                    iters.push(env.msg.iter());
+                }
+                iters.sort_unstable();
+                assert_eq!(iters, vec![0, 1]);
+                assert_eq!(ep.reaccept_count(), 1, "acceptor adopted the redial");
+            }
+            ep.shutdown().unwrap();
+        });
+    }
+
+    #[test]
     fn recv_timeout_expires_when_no_peer_talks() {
         with_fabric(&[0, 1], |mut ep| {
             let me = ep.endpoint_id();
@@ -656,18 +918,13 @@ mod tests {
     #[test]
     fn connect_times_out_without_peers() {
         let (listeners, addrs) = bind_ephemeral(2).expect("bind");
-        let spec = TcpFabricSpec {
-            addrs,
-            node_of_endpoint: vec![0, 1],
-            connect_timeout: Duration::from_millis(200),
-            retry_interval: Duration::from_millis(10),
-        };
+        let mut spec = quick_spec(addrs, vec![0, 1]);
+        spec.connect_timeout = Duration::from_millis(200);
         // Endpoint 1 never shows up.
         drop(listeners);
         let l = TcpListener::bind((std::net::Ipv4Addr::LOCALHOST, 0)).unwrap();
-        let mut spec2 = spec.clone();
-        spec2.addrs[0] = l.local_addr().unwrap();
-        let err = match TcpTransport::connect_with_listener(&spec2, 0, l, None) {
+        spec.addrs[0] = l.local_addr().unwrap();
+        let err = match TcpTransport::connect_with_listener(&spec, 0, l, None) {
             Ok(_) => panic!("mesh connect must fail without peers"),
             Err(e) => e,
         };

@@ -7,14 +7,26 @@
 //! ```text
 //! offset  size  field
 //! 0       2     magic  "PN"
-//! 2       1     version (currently 1)
-//! 3       1     tag (1 GradChunk | 2 ParamChunk | 3 SfPush | 4 ParamMatrix)
-//! 4       8     iter        u64 LE
+//! 2       1     version (currently 2)
+//! 3       1     tag (1 GradChunk | 2 ParamChunk | 3 SfPush | 4 ParamMatrix
+//!                    | 5 Ack | 6 Nack)
+//! 4       8     iter        u64 LE (control frames: the ack/nack operand)
 //! 12      4     layer       u32 LE
 //! 16      4     chunk       u32 LE (LAYER_GRANULAR_CHUNK where not applicable)
 //! 20      4     payload_len u32 LE
-//! 24      n     payload (opaque bytes, see the payload codecs below)
+//! 24      4     seq         u32 LE (per-link sequence number, 0 = unsequenced)
+//! 28      4     src         u32 LE (sender *endpoint* id)
+//! 32      n     payload (opaque bytes, see the payload codecs below)
 //! ```
+//!
+//! Version 2 added the trailing `seq`/`src` pair for the self-healing comm
+//! plane (DESIGN.md §2.7): `src` names the sending endpoint (several
+//! endpoints can share a physical node, so the node alone cannot identify a
+//! reliability stream) and `seq` is that link's data-frame sequence number,
+//! stamped by [`ReliableTransport`](crate::transport::ReliableTransport) and
+//! zero everywhere else. The `Ack`/`Nack` control tags carry their cumulative
+//! operand in the `iter` field and never reach the runtime — the reliable
+//! layer consumes them.
 //!
 //! The frame is the single source of truth for byte accounting:
 //! `Message::wire_bytes()` is *derived from the encoded frame*, so the
@@ -34,10 +46,10 @@ use poseidon_tensor::quantize::QuantizedGrad;
 pub const FRAME_MAGIC: [u8; 2] = *b"PN";
 
 /// Current wire-format version. Decoders reject every other version.
-pub const FRAME_VERSION: u8 = 1;
+pub const FRAME_VERSION: u8 = 2;
 
 /// Fixed size of the frame header preceding every payload.
-pub const FRAME_HEADER_BYTES: usize = 24;
+pub const FRAME_HEADER_BYTES: usize = 32;
 
 /// Upper bound on a frame payload; guards against corrupt length fields
 /// causing huge allocations (VGG19-22K's largest layer is ~1.5 GB of f32s,
@@ -53,6 +65,8 @@ const TAG_GRAD_CHUNK: u8 = 1;
 const TAG_PARAM_CHUNK: u8 = 2;
 const TAG_SF_PUSH: u8 = 3;
 const TAG_PARAM_MATRIX: u8 = 4;
+const TAG_ACK: u8 = 5;
+const TAG_NACK: u8 = 6;
 
 /// Why a buffer failed to decode as a frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -110,14 +124,31 @@ pub struct FrameHeader {
     pub chunk: u32,
     /// Payload bytes following the header.
     pub payload_len: usize,
+    /// Per-link data-frame sequence number (0 = unsequenced).
+    pub seq: u32,
+    /// Sending endpoint id.
+    pub src: u32,
 }
 
-/// Encodes a message as one self-describing frame.
+/// Encodes a message as one unsequenced self-describing frame (`seq`/`src`
+/// zero) — the form every transport uses when no reliability layer is
+/// stacked on top.
 ///
 /// # Panics
 ///
 /// Panics if the payload exceeds [`MAX_FRAME_PAYLOAD`].
 pub fn encode_frame(msg: &Message) -> Bytes {
+    encode_frame_seq(msg, 0, 0)
+}
+
+/// Encodes a message as one self-describing frame stamped with the sending
+/// endpoint `src` and per-link sequence number `seq`.
+///
+/// # Panics
+///
+/// Panics if the payload exceeds [`MAX_FRAME_PAYLOAD`].
+pub fn encode_frame_seq(msg: &Message, src: u32, seq: u32) -> Bytes {
+    let empty = Bytes::new();
     let (tag, iter, layer, chunk, data) = match msg {
         Message::GradChunk {
             iter,
@@ -137,6 +168,8 @@ pub fn encode_frame(msg: &Message) -> Bytes {
         Message::ParamMatrix { iter, layer, data } => {
             (TAG_PARAM_MATRIX, *iter, *layer, LAYER_GRANULAR_CHUNK, data)
         }
+        Message::Ack { upto } => (TAG_ACK, *upto, 0, LAYER_GRANULAR_CHUNK, &empty),
+        Message::Nack { expect } => (TAG_NACK, *expect, 0, LAYER_GRANULAR_CHUNK, &empty),
     };
     assert!(
         data.len() <= MAX_FRAME_PAYLOAD,
@@ -151,6 +184,8 @@ pub fn encode_frame(msg: &Message) -> Bytes {
     buf.put_u32_le(layer);
     buf.put_u32_le(chunk);
     buf.put_u32_le(data.len() as u32);
+    buf.put_u32_le(seq);
+    buf.put_u32_le(src);
     buf.put_slice(data);
     buf.freeze()
 }
@@ -164,7 +199,7 @@ pub fn parse_header(hdr: &[u8; FRAME_HEADER_BYTES]) -> Result<FrameHeader, Frame
         return Err(FrameError::BadVersion(hdr[2]));
     }
     let tag = hdr[3];
-    if !(TAG_GRAD_CHUNK..=TAG_PARAM_MATRIX).contains(&tag) {
+    if !(TAG_GRAD_CHUNK..=TAG_NACK).contains(&tag) {
         return Err(FrameError::BadTag(tag));
     }
     let mut rest = &hdr[4..];
@@ -172,6 +207,8 @@ pub fn parse_header(hdr: &[u8; FRAME_HEADER_BYTES]) -> Result<FrameHeader, Frame
     let layer = rest.get_u32_le();
     let chunk = rest.get_u32_le();
     let payload_len = rest.get_u32_le() as usize;
+    let seq = rest.get_u32_le();
+    let src = rest.get_u32_le();
     if payload_len > MAX_FRAME_PAYLOAD {
         return Err(FrameError::Oversized(payload_len));
     }
@@ -181,6 +218,8 @@ pub fn parse_header(hdr: &[u8; FRAME_HEADER_BYTES]) -> Result<FrameHeader, Frame
         layer,
         chunk,
         payload_len,
+        seq,
+        src,
     })
 }
 
@@ -217,6 +256,10 @@ pub fn assemble(header: &FrameHeader, payload: Bytes) -> Message {
             iter: header.iter,
             layer: header.layer,
             data: payload,
+        },
+        TAG_ACK => Message::Ack { upto: header.iter },
+        TAG_NACK => Message::Nack {
+            expect: header.iter,
         },
         other => unreachable!("parse_header admitted tag {other}"),
     }
@@ -327,15 +370,18 @@ mod tests {
                 layer: 1,
                 data: encode_f32s(&[f32::MIN, f32::MAX, 0.0]),
             },
+            Message::Ack { upto: 12345 },
+            Message::Nack { expect: u64::MAX },
         ]
     }
 
-    fn payload_of(msg: &Message) -> &Bytes {
+    fn payload_len_of(msg: &Message) -> usize {
         match msg {
             Message::GradChunk { data, .. }
             | Message::ParamChunk { data, .. }
             | Message::SfPush { data, .. }
-            | Message::ParamMatrix { data, .. } => data,
+            | Message::ParamMatrix { data, .. } => data.len(),
+            Message::Ack { .. } | Message::Nack { .. } => 0,
         }
     }
 
@@ -343,7 +389,7 @@ mod tests {
     fn frames_roundtrip_every_variant() {
         for msg in sample_messages() {
             let frame = encode_frame(&msg);
-            assert_eq!(frame.len(), FRAME_HEADER_BYTES + payload_of(&msg).len());
+            assert_eq!(frame.len(), FRAME_HEADER_BYTES + payload_len_of(&msg));
             let (decoded, consumed) = decode_frame(&frame).expect("clean frame");
             assert_eq!(consumed, frame.len());
             assert_eq!(encode_frame(&decoded), frame, "re-encode must be stable");
@@ -398,6 +444,41 @@ mod tests {
         let mut bad = frame;
         bad[20..24].copy_from_slice(&(MAX_FRAME_PAYLOAD as u32 + 1).to_le_bytes());
         assert!(matches!(decode_frame(&bad), Err(FrameError::Oversized(_))));
+    }
+
+    #[test]
+    fn seq_and_src_roundtrip_through_the_header() {
+        let msg = sample_messages().remove(0);
+        let frame = encode_frame_seq(&msg, 7, 0xDEAD_BEEF);
+        let mut hdr = [0u8; FRAME_HEADER_BYTES];
+        hdr.copy_from_slice(&frame[..FRAME_HEADER_BYTES]);
+        let parsed = parse_header(&hdr).expect("clean header");
+        assert_eq!(parsed.seq, 0xDEAD_BEEF);
+        assert_eq!(parsed.src, 7);
+        // The seq/src stamp never changes the reassembled message.
+        let (decoded, _) = decode_frame(&frame).expect("clean frame");
+        assert_eq!(encode_frame(&decoded), encode_frame(&msg));
+        // Unsequenced frames carry zeros.
+        let plain = encode_frame(&msg);
+        let mut hdr = [0u8; FRAME_HEADER_BYTES];
+        hdr.copy_from_slice(&plain[..FRAME_HEADER_BYTES]);
+        let parsed = parse_header(&hdr).unwrap();
+        assert_eq!((parsed.seq, parsed.src), (0, 0));
+    }
+
+    #[test]
+    fn control_frames_carry_their_operand_and_no_payload() {
+        for (msg, operand) in [
+            (Message::Ack { upto: 99 }, 99u64),
+            (Message::Nack { expect: 3 }, 3u64),
+        ] {
+            let frame = encode_frame(&msg);
+            assert_eq!(frame.len(), FRAME_HEADER_BYTES, "control frames are bare");
+            let (decoded, used) = decode_frame(&frame).expect("clean frame");
+            assert_eq!(used, FRAME_HEADER_BYTES);
+            assert_eq!(decoded.iter(), operand);
+            assert_eq!(encode_frame(&decoded), frame);
+        }
     }
 
     #[test]

@@ -77,7 +77,9 @@ fn tcp_loopback_uncounted_cross_node_exact() {
         addrs,
         node_of_endpoint: node_of_endpoint.to_vec(),
         connect_timeout: Duration::from_secs(10),
-        retry_interval: Duration::from_millis(5),
+        backoff_base: Duration::from_millis(5),
+        backoff_cap: Duration::from_millis(50),
+        reconnect_timeout: Duration::from_secs(5),
     };
     let counters = Arc::new(TrafficCounters::new(spec.physical_nodes()));
     const PAYLOAD: usize = 96;
@@ -153,7 +155,9 @@ fn transports_agree_on_counted_bytes() {
         addrs,
         node_of_endpoint: node_of_endpoint.to_vec(),
         connect_timeout: Duration::from_secs(10),
-        retry_interval: Duration::from_millis(5),
+        backoff_base: Duration::from_millis(5),
+        backoff_cap: Duration::from_millis(50),
+        reconnect_timeout: Duration::from_secs(5),
     };
     let tcp_counters = Arc::new(TrafficCounters::new(spec.physical_nodes()));
     std::thread::scope(|s| {

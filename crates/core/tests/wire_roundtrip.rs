@@ -15,11 +15,12 @@ use poseidon_tensor::sf::{SfBatch, SufficientFactor};
 use poseidon_tensor::Matrix;
 use proptest::prelude::*;
 
-/// A strategy over every message variant with arbitrary header fields and an
-/// arbitrary opaque payload.
+/// A strategy over every message variant — the four data frames with
+/// arbitrary header fields and an arbitrary opaque payload, plus the two
+/// payload-free control frames of the reliability layer.
 fn any_message() -> impl Strategy<Value = Message> {
     let payload = proptest::collection::vec(any::<u8>(), 0..512);
-    (any::<u64>(), any::<u32>(), any::<u32>(), payload, 0u8..4).prop_map(
+    (any::<u64>(), any::<u32>(), any::<u32>(), payload, 0u8..6).prop_map(
         |(iter, layer, chunk, data, variant)| {
             let data = Bytes::from(data);
             match variant {
@@ -36,13 +37,18 @@ fn any_message() -> impl Strategy<Value = Message> {
                     data,
                 },
                 2 => Message::SfPush { iter, layer, data },
-                _ => Message::ParamMatrix { iter, layer, data },
+                3 => Message::ParamMatrix { iter, layer, data },
+                4 => Message::Ack { upto: iter },
+                _ => Message::Nack { expect: iter },
             }
         },
     )
 }
 
-fn header_fields(msg: &Message) -> (u64, u32, Option<u32>, &Bytes) {
+/// `(iter-field operand, layer, chunk, payload length)` of the frame header
+/// the message encodes to. Control frames carry their operand in the iter
+/// field and no payload.
+fn header_fields(msg: &Message) -> (u64, u32, Option<u32>, usize) {
     match msg {
         Message::GradChunk {
             iter,
@@ -55,10 +61,12 @@ fn header_fields(msg: &Message) -> (u64, u32, Option<u32>, &Bytes) {
             layer,
             chunk,
             data,
-        } => (*iter, *layer, Some(*chunk), data),
+        } => (*iter, *layer, Some(*chunk), data.len()),
         Message::SfPush { iter, layer, data } | Message::ParamMatrix { iter, layer, data } => {
-            (*iter, *layer, None, data)
+            (*iter, *layer, None, data.len())
         }
+        Message::Ack { upto } => (*upto, 0, None, 0),
+        Message::Nack { expect } => (*expect, 0, None, 0),
     }
 }
 
@@ -66,8 +74,8 @@ proptest! {
     #[test]
     fn every_variant_roundtrips_bit_exactly(msg in any_message()) {
         let frame = encode_frame(&msg);
-        let (iter, _, _, data) = header_fields(&msg);
-        prop_assert_eq!(frame.len(), FRAME_HEADER_BYTES + data.len());
+        let (iter, _, _, payload_len) = header_fields(&msg);
+        prop_assert_eq!(frame.len(), FRAME_HEADER_BYTES + payload_len);
         prop_assert_eq!(msg.wire_bytes(), frame.len() as u64);
 
         let (decoded, consumed) = decode_frame(&frame).expect("own frame must decode");
@@ -100,7 +108,7 @@ proptest! {
         msg in any_message(),
         bad_magic in any::<[u8; 2]>(),
         bad_version in any::<u8>(),
-        bad_tag in 5u8..,
+        bad_tag in 7u8..,
     ) {
         let frame = encode_frame(&msg).to_vec();
 

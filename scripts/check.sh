@@ -35,4 +35,13 @@ echo "== telemetry smoke: traced multi-process run + overhead budget =="
 timeout 300 cargo test "${CARGO_OFFLINE[@]}" -q -p poseidon-bench --test trace_roundtrip
 timeout 300 cargo run "${CARGO_OFFLINE[@]}" -q --release -p poseidon-bench --bin telemetry_overhead
 
+echo "== chaos smoke: scripted faults heal bitwise, dead peers abort bounded =="
+# Fault injection is deterministic (logical frame counters, not wall-clock),
+# so these are exact tests, not flaky ones — but every one involves real
+# recovery machinery (retransmits, socket redials), so each stage is bounded:
+# a hang here means the self-healing plane regressed into a deadlock.
+timeout 300 cargo test "${CARGO_OFFLINE[@]}" -q -p poseidon-repro --test chaos_recovery
+timeout 300 cargo test "${CARGO_OFFLINE[@]}" -q -p poseidon --test fault_plan_properties
+timeout 300 cargo test "${CARGO_OFFLINE[@]}" -q -p poseidon-bench --test tcp_sever_reconnect
+
 echo "All checks passed."

@@ -77,9 +77,9 @@ fn ps_traffic_matches_exact_message_accounting() {
 fn ps_traffic_matches_table1_formula_asymptotically() {
     // Table 1 says a colocated node carries 2·M·N·(P1+P2-2)/P2 values per FC
     // layer. The runtime additionally ships the bias vector (modelled here by
-    // extending N by one column) and 24-byte frame headers (~10% at this
+    // extending N by one column) and 32-byte frame headers (~13% at this
     // deliberately tiny KV-pair size; negligible at the real 2 MB pairs), so
-    // allow a 12% envelope.
+    // allow a 15% envelope.
     let result = run(SchemePolicy::AlwaysPs);
     let cluster = ClusterConfig::colocated(WORKERS, BATCH);
     let analytic_values = costmodel::ps_cost(HID, IN + 1, &cluster).server_and_worker
@@ -94,7 +94,7 @@ fn ps_traffic_matches_table1_formula_asymptotically() {
         / WORKERS as f64;
     let rel = (measured - analytic_bytes).abs() / analytic_bytes;
     assert!(
-        rel < 0.12,
+        rel < 0.15,
         "per-node PS traffic {measured} vs Table 1 {analytic_bytes} ({:.1}% off)",
         rel * 100.0
     );

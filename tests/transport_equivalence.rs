@@ -52,7 +52,9 @@ fn run_over_tcp(policy: SchemePolicy) -> (Vec<Network>, Vec<Vec<f32>>, Arc<Traff
         addrs,
         node_of_endpoint: (0..WORKERS).chain(0..WORKERS).collect(),
         connect_timeout: Duration::from_secs(10),
-        retry_interval: Duration::from_millis(5),
+        backoff_base: Duration::from_millis(5),
+        backoff_cap: Duration::from_millis(50),
+        reconnect_timeout: Duration::from_secs(5),
     };
     let counters = Arc::new(TrafficCounters::new(WORKERS));
     let data = dataset();
