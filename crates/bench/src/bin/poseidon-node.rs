@@ -23,13 +23,31 @@ use poseidon::faults::{FaultPlan, FaultyTransport};
 use poseidon::runtime::{flatten_model_params, run_endpoint, NodeOutcome, RuntimeConfig};
 use poseidon::telemetry::{self, chrome, report, TelemetryConfig};
 use poseidon::transport::{
-    ReliabilityConfig, ReliableTransport, TcpFabricSpec, TcpTransport, TrafficSnapshot, Transport,
+    ReliabilityConfig, ReliableTransport, TcpFabricSpec, TcpTransport, ThreadedTcpTransport,
+    TrafficSnapshot, Transport,
 };
 use poseidon_nn::data::Dataset;
 use poseidon_nn::layer::TensorShape;
 use poseidon_nn::presets;
 use std::process::{Command, ExitCode, Stdio};
 use std::time::Duration;
+
+/// Which TCP core carries the mesh: the evented single-poller transport or
+/// the thread-per-peer baseline it replaced.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum TransportKind {
+    Evented,
+    Threaded,
+}
+
+impl TransportKind {
+    fn as_flag(self) -> &'static str {
+        match self {
+            TransportKind::Evented => "evented",
+            TransportKind::Threaded => "threaded",
+        }
+    }
+}
 
 #[derive(Clone)]
 struct Args {
@@ -48,6 +66,7 @@ struct Args {
     trace_out: Option<String>,
     fault_plan: Option<FaultPlan>,
     reliable: bool,
+    transport: TransportKind,
     endpoint: Option<usize>,
 }
 
@@ -69,6 +88,7 @@ impl Default for Args {
             trace_out: None,
             fault_plan: None,
             reliable: false,
+            transport: TransportKind::Evented,
             endpoint: None,
         }
     }
@@ -93,6 +113,7 @@ const USAGE: &str = "poseidon-node: multi-process distributed SGD over TCP
                     (action:from>to@trigger; implies the reliability layer)
   --reliable on     wrap every endpoint in the reliability layer even with
                     no faults scripted (sequencing, acks, retransmits)
+  --transport S     evented (single-poller core) | threaded      [evented]
   --endpoint N      run one endpoint (internal; launcher spawns these)";
 
 fn parse_args() -> Result<Args, String> {
@@ -143,6 +164,15 @@ fn parse_args() -> Result<Args, String> {
                     "on" | "true" | "1" => true,
                     "off" | "false" | "0" => false,
                     other => return Err(format!("--reliable takes on|off, got {other:?}")),
+                }
+            }
+            "--transport" => {
+                args.transport = match val.as_str() {
+                    "evented" => TransportKind::Evented,
+                    "threaded" => TransportKind::Threaded,
+                    other => {
+                        return Err(format!("--transport takes evented|threaded, got {other:?}"))
+                    }
                 }
             }
             "--endpoint" => args.endpoint = Some(val.parse().map_err(|e| bad(&e))?),
@@ -204,18 +234,36 @@ fn csv<T: std::fmt::Display>(vals: &[T]) -> String {
         .join(",")
 }
 
-/// One endpoint's role in the mesh: joins, trains (or serves), prints its
-/// results as `key=value` lines for the launcher to scrape.
+/// One endpoint's role in the mesh: joins over the selected TCP core, trains
+/// (or serves), prints its results as `key=value` lines for the launcher to
+/// scrape.
 fn run_one(a: &Args, me: usize) -> ExitCode {
     let spec = TcpFabricSpec::colocated_loopback(a.workers, a.base_port);
     assert!(me < 2 * a.workers, "endpoint {me} out of range");
-    let endpoint = match TcpTransport::connect(&spec, me) {
-        Ok(ep) => ep,
-        Err(e) => {
-            eprintln!("endpoint {me}: mesh connect failed: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    match a.transport {
+        TransportKind::Evented => match TcpTransport::connect(&spec, me) {
+            Ok(ep) => run_role(a, me, &spec, ep),
+            Err(e) => {
+                eprintln!("endpoint {me}: mesh connect failed: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        TransportKind::Threaded => match ThreadedTcpTransport::connect(&spec, me) {
+            Ok(ep) => run_role(a, me, &spec, ep),
+            Err(e) => {
+                eprintln!("endpoint {me}: mesh connect failed: {e}");
+                ExitCode::FAILURE
+            }
+        },
+    }
+}
+
+fn run_role<T: Transport + Send + 'static>(
+    a: &Args,
+    me: usize,
+    spec: &TcpFabricSpec,
+    endpoint: T,
+) -> ExitCode {
     let traffic = std::sync::Arc::clone(endpoint.traffic());
     let cfg = runtime_config(a);
     let data = dataset(a);
@@ -388,6 +436,8 @@ fn launch(a: &Args) -> Result<(), String> {
                 a.samples.to_string(),
                 "--timeout-s".into(),
                 a.timeout_s.to_string(),
+                "--transport".into(),
+                a.transport.as_flag().into(),
                 "--endpoint".into(),
                 me.to_string(),
             ])

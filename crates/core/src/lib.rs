@@ -44,6 +44,7 @@ pub mod coordinator;
 pub mod costmodel;
 pub mod faults;
 pub mod kvstore;
+pub mod pool;
 pub mod runtime;
 pub mod sim;
 pub mod stats;

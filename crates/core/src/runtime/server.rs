@@ -196,7 +196,7 @@ pub(crate) fn run_server<T: Transport>(plan: ServerPlan, mut endpoint: T) {
                         for (mv, d) in ob.master_bias.iter_mut().zip(&grad_b) {
                             *mv += d;
                         }
-                        let payload = wire::encode_onebit(&agg_quant, &grad_b);
+                        let payload = wire::encode_onebit_pooled(&agg_quant, &grad_b);
                         for w in 0..plan.workers {
                             must_send(
                                 &endpoint,
@@ -221,7 +221,7 @@ pub(crate) fn run_server<T: Transport>(plan: ServerPlan, mut endpoint: T) {
                                 iter,
                                 layer,
                                 chunk,
-                                data: wire::encode_f32s(&updated),
+                                data: wire::encode_f32s_pooled(&updated),
                             },
                         );
                     } else if let Some(updated) =
@@ -235,7 +235,7 @@ pub(crate) fn run_server<T: Transport>(plan: ServerPlan, mut endpoint: T) {
                                     iter,
                                     layer,
                                     chunk,
-                                    data: wire::encode_f32s(&updated),
+                                    data: wire::encode_f32s_pooled(&updated),
                                 },
                             );
                         }
@@ -296,7 +296,7 @@ fn broadcast_matrix<T: Transport>(
             Message::ParamMatrix {
                 iter,
                 layer,
-                data: wire::encode_f32s(flat),
+                data: wire::encode_f32s_pooled(flat),
             },
         );
     }

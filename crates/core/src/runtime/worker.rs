@@ -148,7 +148,7 @@ pub(crate) fn run_worker<M: Model, T: Transport>(
                     let flat = syncer::flatten_grads(params);
                     for (idx, chunk) in s.chunks().iter().enumerate() {
                         let payload =
-                            wire::encode_f32s(&flat[chunk.offset..chunk.offset + chunk.len]);
+                            wire::encode_f32s_pooled(&flat[chunk.offset..chunk.offset + chunk.len]);
                         must_send(
                             &endpoint,
                             cfg.me,
@@ -213,7 +213,7 @@ pub(crate) fn run_worker<M: Model, T: Transport>(
                             iter: iter as u64,
                             layer: l as u32,
                             chunk: LAYER_GRANULAR_CHUNK,
-                            data: wire::encode_onebit(&quant, params.grad_bias.as_slice()),
+                            data: wire::encode_onebit_pooled(&quant, params.grad_bias.as_slice()),
                         },
                     );
                 }

@@ -20,7 +20,9 @@ pub struct InProcTransport {
     node: usize,
     inbox: Receiver<Envelope>,
     outboxes: Vec<Option<Sender<Envelope>>>,
-    dest_nodes: Vec<usize>,
+    /// Physical node per endpoint, shared by every endpoint of the fabric
+    /// (one allocation total, not one copy per endpoint).
+    dest_nodes: Arc<[usize]>,
     counters: Arc<TrafficCounters>,
     tracker: RecvTracker,
 }
@@ -141,7 +143,7 @@ pub fn fabric_with_nodes(
         senders.push(Some(s));
         receivers.push(r);
     }
-    let node_ids = node_of_endpoint.to_vec();
+    let node_ids: Arc<[usize]> = Arc::from(node_of_endpoint);
     let endpoints = receivers
         .into_iter()
         .enumerate()
@@ -150,7 +152,7 @@ pub fn fabric_with_nodes(
             node: node_ids[idx],
             inbox,
             outboxes: senders.clone(),
-            dest_nodes: node_ids.clone(),
+            dest_nodes: Arc::clone(&node_ids),
             counters: Arc::clone(&counters),
             tracker: RecvTracker::default(),
         })

@@ -21,12 +21,17 @@
 //! deployment can be summed without double-counting a frame.
 
 mod inproc;
+mod net;
 mod reliable;
+pub(crate) mod sys;
 mod tcp;
+mod threaded;
 
 pub use inproc::{fabric, fabric_with_nodes, InProcTransport};
+pub use net::{bind_ephemeral, TcpFabricSpec};
 pub use reliable::{ReliabilityConfig, ReliabilityStats, ReliableTransport};
-pub use tcp::{bind_ephemeral, TcpFabricSpec, TcpTransport};
+pub use tcp::TcpTransport;
+pub use threaded::ThreadedTcpTransport;
 
 use crate::wire::{self, FrameError};
 use bytes::Bytes;
@@ -145,12 +150,34 @@ impl Message {
     }
 
     fn payload_len(&self) -> usize {
+        self.payload().len()
+    }
+
+    /// The payload bytes the frame for this message carries (empty for
+    /// control frames). Pairs with
+    /// [`wire::encode_header_seq`](crate::wire::encode_header_seq) so the
+    /// vectored write path can ship header and payload as two `IoSlice`s
+    /// without materialising the frame.
+    pub fn payload(&self) -> &Bytes {
+        static EMPTY: Bytes = Bytes::new();
         match self {
             Message::GradChunk { data, .. }
             | Message::ParamChunk { data, .. }
             | Message::SfPush { data, .. }
-            | Message::ParamMatrix { data, .. } => data.len(),
-            Message::Ack { .. } | Message::Nack { .. } => 0,
+            | Message::ParamMatrix { data, .. } => data,
+            Message::Ack { .. } | Message::Nack { .. } => &EMPTY,
+        }
+    }
+
+    /// Consumes the message, returning its payload by value (a refcount
+    /// move, never a copy).
+    pub(crate) fn into_payload(self) -> Bytes {
+        match self {
+            Message::GradChunk { data, .. }
+            | Message::ParamChunk { data, .. }
+            | Message::SfPush { data, .. }
+            | Message::ParamMatrix { data, .. } => data,
+            Message::Ack { .. } | Message::Nack { .. } => Bytes::new(),
         }
     }
 }
@@ -201,6 +228,39 @@ pub struct TimeoutDiag {
     /// socket reconnects, and runtime retry rounds all count here, so a
     /// dead-peer verdict states how hard the survivor tried.
     pub attempts: u64,
+    /// Event-loop context at the moment of the timeout (`None` on transports
+    /// without a poller, e.g. in-process channels).
+    pub poller: Option<PollerDiag>,
+}
+
+/// What the event-loop core was doing when a receive timed out: is traffic
+/// stuck in *our* write queues (a flush stall), or did readiness simply stop
+/// arriving (the peer went quiet)?
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PollerDiag {
+    /// Frames queued but not yet written across all links.
+    pub pending_tx_frames: u64,
+    /// Bytes queued but not yet written across all links.
+    pub pending_tx_bytes: u64,
+    /// `(peer, direction, age)` of the last readiness event the poller
+    /// served — direction is `"rx"` or `"tx"`.
+    pub last_ready: Option<(usize, &'static str, Duration)>,
+}
+
+impl std::fmt::Display for PollerDiag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "poller: {} frames / {} bytes pending",
+            self.pending_tx_frames, self.pending_tx_bytes
+        )?;
+        match &self.last_ready {
+            Some((peer, dir, age)) => {
+                write!(f, ", last readiness {dir} on peer {peer} {age:.1?} ago")
+            }
+            None => write!(f, ", no readiness event ever served"),
+        }
+    }
 }
 
 impl std::fmt::Display for TimeoutDiag {
@@ -217,6 +277,9 @@ impl std::fmt::Display for TimeoutDiag {
         if self.attempts > 0 {
             write!(f, "; {} recovery attempts", self.attempts)?;
         }
+        if let Some(p) = &self.poller {
+            write!(f, "; {p}")?;
+        }
         Ok(())
     }
 }
@@ -226,8 +289,10 @@ impl std::fmt::Display for TimeoutDiag {
 pub enum TransportError {
     /// `recv_timeout` expired with no message; in the runtime this means a
     /// peer stopped talking (crash, partition) rather than a silent hang.
-    /// Carries the last frame seen so the stall is diagnosable.
-    Timeout(TimeoutDiag),
+    /// Carries the last frame seen so the stall is diagnosable. Boxed so
+    /// the error stays pointer-sized next to the hot `Ok` path (clippy's
+    /// `result_large_err`).
+    Timeout(Box<TimeoutDiag>),
     /// The fabric (or the destination endpoint) has shut down.
     Closed,
     /// The TCP mesh could not be established.
@@ -301,12 +366,13 @@ impl RecvTracker {
                 layer,
                 since: at.elapsed(),
             });
-        TransportError::Timeout(TimeoutDiag {
+        TransportError::Timeout(Box::new(TimeoutDiag {
             endpoint,
             waited,
             last_frame,
             attempts: self.attempts.load(Ordering::Relaxed),
-        })
+            poller: None,
+        }))
     }
 }
 

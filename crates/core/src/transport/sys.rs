@@ -1,0 +1,603 @@
+//! Minimal readiness-polling layer over raw OS syscalls — `epoll(7)` on
+//! Linux, `poll(2)` elsewhere — declared directly against libc symbols that
+//! `std` already links, so the workspace stays dependency-free.
+//!
+//! The surface is deliberately tiny: register/modify/deregister a file
+//! descriptor with a `u64` token and an (IN, OUT) interest pair, wait for a
+//! batch of [`PollEvent`]s, and wake a sleeping waiter from another thread
+//! via a [`Waker`] (an `eventfd` on Linux, a self-pipe elsewhere). The
+//! event-loop transport ([`super::tcp`]) is the only consumer.
+
+use std::io;
+use std::os::fd::RawFd;
+
+/// One readiness report from [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct PollEvent {
+    /// The token supplied at registration ([`Poller::WAKE_TOKEN`] for the
+    /// internal waker).
+    pub token: u64,
+    /// Readable (or peer closed its write side — a read will observe EOF).
+    pub readable: bool,
+    /// Writable.
+    pub writable: bool,
+    /// Error/hangup condition; the fd should be serviced and retired.
+    pub hangup: bool,
+}
+
+/// Wakes a [`Poller::wait`] in progress from any thread. Cloneable; holds a
+/// non-owning handle (the poller owns the underlying fd).
+#[derive(Debug, Clone, Copy)]
+pub struct Waker {
+    fd: RawFd,
+}
+
+impl Waker {
+    /// Interrupts the poller's current (or next) wait. Best-effort: errors
+    /// are ignored — a failed wake only delays service until the poll tick.
+    pub fn wake(&self) {
+        imp::waker_signal(self.fd);
+    }
+}
+
+pub use imp::Poller;
+
+impl Poller {
+    /// Token reserved for the internal wake channel; [`Poller::wait`] filters
+    /// it out of the reported events.
+    pub const WAKE_TOKEN: u64 = u64::MAX;
+}
+
+#[cfg(target_os = "linux")]
+mod imp {
+    use super::{PollEvent, Waker};
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::time::Duration;
+
+    // epoll_event is packed on x86-64 (kernel ABI), naturally aligned
+    // elsewhere.
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    const EPOLL_CLOEXEC: i32 = 0x80000;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+    const EFD_CLOEXEC: i32 = 0x80000;
+    const EFD_NONBLOCK: i32 = 0x800;
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout_ms: i32) -> i32;
+        fn eventfd(initval: u32, flags: i32) -> i32;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+        fn close(fd: i32) -> i32;
+    }
+
+    pub(super) fn waker_signal(fd: RawFd) {
+        let one = 1u64.to_ne_bytes();
+        // An EAGAIN here means the counter is already nonzero — the poller
+        // will wake anyway.
+        unsafe { write(fd, one.as_ptr(), one.len()) };
+    }
+
+    /// A readiness poller backed by `epoll(7)`.
+    pub struct Poller {
+        epfd: RawFd,
+        wake_fd: RawFd,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            let wake_fd = unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) };
+            if wake_fd < 0 {
+                let e = io::Error::last_os_error();
+                unsafe { close(epfd) };
+                return Err(e);
+            }
+            let poller = Poller { epfd, wake_fd };
+            poller.register(wake_fd, super::Poller::WAKE_TOKEN, true, false)?;
+            Ok(poller)
+        }
+
+        pub fn waker(&self) -> Waker {
+            Waker { fd: self.wake_fd }
+        }
+
+        fn ctl(&self, op: i32, fd: RawFd, token: u64, interest: u32) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events: interest,
+                data: token,
+            };
+            if unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) } < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        fn interest(readable: bool, writable: bool) -> u32 {
+            let mut events = EPOLLRDHUP;
+            if readable {
+                events |= EPOLLIN;
+            }
+            if writable {
+                events |= EPOLLOUT;
+            }
+            events
+        }
+
+        pub fn register(
+            &self,
+            fd: RawFd,
+            token: u64,
+            readable: bool,
+            writable: bool,
+        ) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, token, Self::interest(readable, writable))
+        }
+
+        pub fn modify(
+            &self,
+            fd: RawFd,
+            token: u64,
+            readable: bool,
+            writable: bool,
+        ) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, token, Self::interest(readable, writable))
+        }
+
+        pub fn deregister(&self, fd: RawFd) {
+            // Best-effort: the fd may already be gone.
+            let _ = self.ctl(EPOLL_CTL_DEL, fd, 0, 0);
+        }
+
+        /// Waits for readiness, appending reports to `out` (which is cleared
+        /// first). `None` blocks indefinitely. Wake-channel events are
+        /// drained and filtered out; a `true` return means the wait was
+        /// interrupted by a [`Waker`].
+        pub fn wait(
+            &self,
+            out: &mut Vec<PollEvent>,
+            timeout: Option<Duration>,
+        ) -> io::Result<bool> {
+            out.clear();
+            let timeout_ms = match timeout {
+                // Zero means "report what is ready right now, never sleep".
+                Some(t) if t.is_zero() => 0,
+                // Round up so a 100µs deadline does not spin at timeout 0.
+                Some(t) => i32::try_from(t.as_millis().max(1).min(i32::MAX as u128)).unwrap(),
+                None => -1,
+            };
+            let mut raw = [EpollEvent { events: 0, data: 0 }; 64];
+            let n = loop {
+                let n = unsafe {
+                    epoll_wait(self.epfd, raw.as_mut_ptr(), raw.len() as i32, timeout_ms)
+                };
+                if n >= 0 {
+                    break n as usize;
+                }
+                let err = io::Error::last_os_error();
+                if err.kind() != io::ErrorKind::Interrupted {
+                    return Err(err);
+                }
+            };
+            let mut woken = false;
+            for ev in &raw[..n] {
+                // Copy out of the (possibly packed) struct before use.
+                let (events, token) = (ev.events, ev.data);
+                if token == super::Poller::WAKE_TOKEN {
+                    woken = true;
+                    let mut buf = [0u8; 8];
+                    unsafe { read(self.wake_fd, buf.as_mut_ptr(), buf.len()) };
+                    continue;
+                }
+                out.push(PollEvent {
+                    token,
+                    readable: events & (EPOLLIN | EPOLLRDHUP | EPOLLHUP) != 0,
+                    writable: events & EPOLLOUT != 0,
+                    hangup: events & (EPOLLERR | EPOLLHUP) != 0,
+                });
+            }
+            Ok(woken)
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.epfd);
+                close(self.wake_fd);
+            }
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod imp {
+    use super::{PollEvent, Waker};
+    use std::collections::HashMap;
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+
+    const F_GETFL: i32 = 3;
+    const F_SETFL: i32 = 4;
+    const O_NONBLOCK: i32 = 0x0004; // BSD/macOS value; this module is non-Linux only.
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: u32, timeout_ms: i32) -> i32;
+        fn pipe(fds: *mut i32) -> i32;
+        fn fcntl(fd: i32, cmd: i32, arg: i32) -> i32;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+        fn close(fd: i32) -> i32;
+    }
+
+    pub(super) fn waker_signal(fd: RawFd) {
+        let one = [1u8];
+        unsafe { write(fd, one.as_ptr(), 1) };
+    }
+
+    /// A readiness poller backed by `poll(2)` and a self-pipe. Functional
+    /// fallback for non-Linux hosts; the Linux `epoll` backend is the tuned
+    /// path.
+    pub struct Poller {
+        registry: Mutex<HashMap<RawFd, (u64, bool, bool)>>,
+        pipe_r: RawFd,
+        pipe_w: RawFd,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            let mut fds = [0i32; 2];
+            if unsafe { pipe(fds.as_mut_ptr()) } < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            for fd in fds {
+                let flags = unsafe { fcntl(fd, F_GETFL, 0) };
+                unsafe { fcntl(fd, F_SETFL, flags | O_NONBLOCK) };
+            }
+            Ok(Poller {
+                registry: Mutex::new(HashMap::new()),
+                pipe_r: fds[0],
+                pipe_w: fds[1],
+            })
+        }
+
+        pub fn waker(&self) -> Waker {
+            Waker { fd: self.pipe_w }
+        }
+
+        pub fn register(
+            &self,
+            fd: RawFd,
+            token: u64,
+            readable: bool,
+            writable: bool,
+        ) -> io::Result<()> {
+            self.registry
+                .lock()
+                .expect("poller registry poisoned")
+                .insert(fd, (token, readable, writable));
+            Ok(())
+        }
+
+        pub fn modify(
+            &self,
+            fd: RawFd,
+            token: u64,
+            readable: bool,
+            writable: bool,
+        ) -> io::Result<()> {
+            self.register(fd, token, readable, writable)
+        }
+
+        pub fn deregister(&self, fd: RawFd) {
+            self.registry
+                .lock()
+                .expect("poller registry poisoned")
+                .remove(&fd);
+        }
+
+        pub fn wait(
+            &self,
+            out: &mut Vec<PollEvent>,
+            timeout: Option<Duration>,
+        ) -> io::Result<bool> {
+            out.clear();
+            let mut fds = vec![PollFd {
+                fd: self.pipe_r,
+                events: POLLIN,
+                revents: 0,
+            }];
+            let mut tokens = vec![super::Poller::WAKE_TOKEN];
+            {
+                let reg = self.registry.lock().expect("poller registry poisoned");
+                for (&fd, &(token, readable, writable)) in reg.iter() {
+                    let mut events = 0i16;
+                    if readable {
+                        events |= POLLIN;
+                    }
+                    if writable {
+                        events |= POLLOUT;
+                    }
+                    fds.push(PollFd {
+                        fd,
+                        events,
+                        revents: 0,
+                    });
+                    tokens.push(token);
+                }
+            }
+            let timeout_ms = match timeout {
+                Some(t) if t.is_zero() => 0,
+                Some(t) => i32::try_from(t.as_millis().max(1).min(i32::MAX as u128)).unwrap(),
+                None => -1,
+            };
+            let n = loop {
+                let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as u32, timeout_ms) };
+                if n >= 0 {
+                    break n;
+                }
+                let err = io::Error::last_os_error();
+                if err.kind() != io::ErrorKind::Interrupted {
+                    return Err(err);
+                }
+            };
+            if n == 0 {
+                return Ok(false);
+            }
+            let mut woken = false;
+            for (pfd, &token) in fds.iter().zip(&tokens) {
+                if pfd.revents == 0 {
+                    continue;
+                }
+                if token == super::Poller::WAKE_TOKEN {
+                    woken = true;
+                    let mut buf = [0u8; 64];
+                    while unsafe { read(self.pipe_r, buf.as_mut_ptr(), buf.len()) } > 0 {}
+                    continue;
+                }
+                out.push(PollEvent {
+                    token,
+                    readable: pfd.revents & (POLLIN | POLLHUP) != 0,
+                    writable: pfd.revents & POLLOUT != 0,
+                    hangup: pfd.revents & (POLLERR | POLLHUP) != 0,
+                });
+            }
+            Ok(woken)
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.pipe_r);
+                close(self.pipe_w);
+            }
+        }
+    }
+}
+
+/// Half-closes the write side of a raw socket fd (`shutdown(fd, SHUT_RDWR)`)
+/// without taking ownership — the synchronous core of
+/// [`Transport::sever_link`](super::Transport::sever_link), callable while
+/// the poller thread owns the `TcpStream` itself.
+pub fn shutdown_fd(fd: RawFd) -> io::Result<()> {
+    const SHUT_RDWR: i32 = 2;
+    extern "C" {
+        fn shutdown(fd: i32, how: i32) -> i32;
+    }
+    if unsafe { shutdown(fd, SHUT_RDWR) } < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
+}
+
+/// Vectored write on a raw socket fd without taking ownership — the inline
+/// fast path of `send_seq` writes from the sender thread while the poller
+/// owns the `TcpStream` itself. `IoSlice` is guaranteed ABI-compatible with
+/// `struct iovec` on Unix, so the slice passes straight through.
+pub fn writev_fd(fd: RawFd, bufs: &[io::IoSlice<'_>]) -> io::Result<usize> {
+    extern "C" {
+        fn writev(fd: i32, iov: *const std::ffi::c_void, iovcnt: i32) -> isize;
+    }
+    let n = unsafe { writev(fd, bufs.as_ptr().cast(), bufs.len() as i32) };
+    if n < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(n as usize)
+}
+
+/// Duplicates a raw fd (`dup(2)`). The duplicate pins the underlying socket
+/// object: even if the original is closed by another thread, the dup stays
+/// a valid handle to the same (possibly dead) socket rather than a recycled
+/// descriptor number. Callers own the result and must [`close_fd`] it.
+pub fn dup_fd(fd: RawFd) -> io::Result<RawFd> {
+    extern "C" {
+        fn dup(fd: i32) -> i32;
+    }
+    let n = unsafe { dup(fd) };
+    if n < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(n)
+}
+
+/// Closes a raw fd owned by the caller (one obtained from [`dup_fd`]).
+pub fn close_fd(fd: RawFd) {
+    extern "C" {
+        fn close(fd: i32) -> i32;
+    }
+    unsafe { close(fd) };
+}
+
+/// Sets or clears `O_NONBLOCK` on the open file description behind `fd`.
+/// Best-effort (errors ignored — the caller's next I/O call surfaces any
+/// problem). NOTE: the flag lives on the file *description*, so it also
+/// flips every dup of the socket; callers must hold exclusive write access
+/// (the inline-write claim) across a blocking window.
+pub fn set_nonblocking_fd(fd: RawFd, nonblocking: bool) {
+    const F_GETFL: i32 = 3;
+    const F_SETFL: i32 = 4;
+    #[cfg(target_os = "linux")]
+    const O_NONBLOCK: i32 = 0x800;
+    #[cfg(not(target_os = "linux"))]
+    const O_NONBLOCK: i32 = 0x4;
+    extern "C" {
+        fn fcntl(fd: i32, cmd: i32, ...) -> i32;
+    }
+    unsafe {
+        let flags = fcntl(fd, F_GETFL);
+        if flags < 0 {
+            return;
+        }
+        let want = if nonblocking {
+            flags | O_NONBLOCK
+        } else {
+            flags & !O_NONBLOCK
+        };
+        if want != flags {
+            fcntl(fd, F_SETFL, want);
+        }
+    }
+}
+
+/// Sleeps until `fd` is writable (or in error), capped at `timeout` — a
+/// single-fd `poll(2)`. Best-effort: the caller's next write surfaces
+/// whatever condition ended the wait, so the result is advisory only.
+pub fn poll_out_fd(fd: RawFd, timeout: std::time::Duration) {
+    #[repr(C)]
+    struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+    const POLLOUT: i16 = 0x4;
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: u64, timeout_ms: i32) -> i32;
+    }
+    let mut pfd = PollFd {
+        fd,
+        events: POLLOUT,
+        revents: 0,
+    };
+    let ms = timeout.as_millis().min(i32::MAX as u128) as i32;
+    unsafe { poll(&mut pfd, 1, ms) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn reports_readable_when_data_arrives() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        poller
+            .register(server.as_raw_fd(), 42, true, false)
+            .unwrap();
+
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(50)))
+            .unwrap();
+        assert!(events.is_empty(), "no data yet");
+
+        client.write_all(b"hi").unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, 42);
+        assert!(events[0].readable);
+
+        let mut buf = [0u8; 2];
+        let mut s = &server;
+        s.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"hi");
+    }
+
+    #[test]
+    fn waker_interrupts_a_blocking_wait() {
+        let poller = std::sync::Arc::new(Poller::new().unwrap());
+        let waker = poller.waker();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            waker.wake();
+        });
+        let mut events = Vec::new();
+        let start = Instant::now();
+        let woken = poller
+            .wait(&mut events, Some(Duration::from_secs(10)))
+            .unwrap();
+        assert!(woken, "wait must report the wake");
+        assert!(start.elapsed() < Duration::from_secs(5));
+        assert!(events.is_empty(), "wake channel is filtered out");
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn writable_interest_is_dynamic() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (_server, _) = listener.accept().unwrap();
+        client.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        // Read-only interest: an idle writable socket reports nothing.
+        poller.register(client.as_raw_fd(), 7, true, false).unwrap();
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(30)))
+            .unwrap();
+        assert!(events.iter().all(|e| !e.writable));
+        // Add write interest: an empty socket buffer reports writable.
+        poller.modify(client.as_raw_fd(), 7, true, true).unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.writable));
+    }
+}

@@ -1,0 +1,721 @@
+//! The blocking thread-per-peer TCP transport — the measured *baseline* the
+//! event-loop core ([`super::TcpTransport`]) is benchmarked against, kept
+//! fully functional (`transport_bench --transport threaded`, and
+//! `poseidon-node --transport threaded`).
+//!
+//! Topology is the shared full mesh of unidirectional connections
+//! ([`super::net`]). Each endpoint runs **one reader thread per inbound
+//! stream** plus an acceptor — O(peers) threads — and every send serialises
+//! the whole frame into a fresh buffer before a blocking `write_all`. Those
+//! two costs (thread-per-peer scheduling, allocate-and-copy per frame) are
+//! exactly what the event-loop core removes; see `BENCH_transport.json` for
+//! the measured difference.
+//!
+//! The mesh is self-healing exactly like the evented core: a broken outbound
+//! stream is redialed with capped exponential [`Backoff`] (bounded by
+//! [`TcpFabricSpec::reconnect_timeout`]) and the frame is rewritten; the
+//! persistent acceptor adopts re-accepted streams behind the (peer,
+//! generation) [`HelloGate`](super::net::HelloGate), so a duplicate HELLO
+//! from a racing redial can never install two live readers.
+
+use super::net::{self, dial_once, validate_hello, HelloGate, TcpFabricSpec, ACCEPT_POLL};
+use super::{Backoff, Envelope, Message, RecvTracker, TrafficCounters, Transport, TransportError};
+use crate::telemetry;
+use crate::wire::{assemble, encode_frame_seq, parse_header, FRAME_HEADER_BYTES};
+use std::io::{ErrorKind, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// State shared between the endpoint, its persistent acceptor, and every
+/// reader thread — the machinery that lets readers come and go as peers
+/// disconnect and reconnect.
+struct ReaderHub {
+    /// Endpoint id, for reader telemetry track names.
+    me: usize,
+    /// Inbox sender cloned into each reader; `None` once shut down so the
+    /// channel can close.
+    tx: Mutex<Option<Sender<Envelope>>>,
+    /// First *protocol* error any reader hit (corrupt frame); surfaced by
+    /// `recv_timeout` so stalls are diagnosable. Plain I/O errors and EOF
+    /// are benign — the peer may be reconnecting.
+    reader_err: Mutex<Option<TransportError>>,
+    /// Envelopes enqueued on the inbox but not yet received — the reader
+    /// queue depth sampled by the `rx.queue` telemetry counter.
+    inflight: AtomicU64,
+    /// Clones of every inbound stream ever adopted, kept to force readers
+    /// out of blocking reads during shutdown.
+    inbound: Mutex<Vec<TcpStream>>,
+    /// Live (and finished) reader threads, reaped at shutdown.
+    readers: Mutex<Vec<JoinHandle<()>>>,
+    /// Set at shutdown; stops the acceptor and rejects new adoptions.
+    down: AtomicBool,
+    /// Inbound streams re-accepted after the initial mesh.
+    reaccepts: AtomicU64,
+    /// (peer, generation) idempotence gate for stream adoption.
+    gate: HelloGate,
+}
+
+impl ReaderHub {
+    /// Registers an inbound stream from `peer` and spawns its reader.
+    fn adopt(self: &Arc<Self>, peer: usize, from_node: usize, stream: TcpStream) {
+        if self.down.load(Ordering::SeqCst) {
+            return;
+        }
+        let Some(tx) = self.tx.lock().expect("hub tx lock").clone() else {
+            return;
+        };
+        let Ok(clone) = stream.try_clone() else {
+            return;
+        };
+        self.inbound.lock().expect("inbound lock").push(clone);
+        let hub = Arc::clone(self);
+        let me = self.me;
+        let handle = std::thread::spawn(move || {
+            telemetry::set_thread_track(format!("rx e{me}<-e{peer}"));
+            reader_loop(stream, from_node, &tx, &hub);
+        });
+        self.readers.lock().expect("readers lock").push(handle);
+    }
+}
+
+/// One endpoint's attachment to a TCP fabric over the thread-per-peer core.
+pub struct ThreadedTcpTransport {
+    me: usize,
+    node: usize,
+    spec: TcpFabricSpec,
+    /// Outbound write halves, indexed by peer endpoint; `None` for `me`.
+    /// The stream inside is *replaced* when a send reconnects.
+    writers: Vec<Option<Mutex<TcpStream>>>,
+    /// Connection generation of the next redial per peer (the initial mesh
+    /// is generation 1).
+    gens: Vec<AtomicU32>,
+    /// Loop-back path to our own inbox (dropped at shutdown so readers'
+    /// sender drops can close the channel).
+    self_tx: Option<Sender<Envelope>>,
+    inbox: Receiver<Envelope>,
+    hub: Arc<ReaderHub>,
+    acceptor: Option<JoinHandle<()>>,
+    counters: Arc<TrafficCounters>,
+    tracker: RecvTracker,
+    /// Successful outbound reconnects (for stats lines and tests).
+    reconnects: AtomicU64,
+    down: bool,
+}
+
+impl ThreadedTcpTransport {
+    /// Binds this endpoint's listener from the spec and joins the mesh.
+    /// Blocks until connections to and from every peer are up, or until
+    /// `spec.connect_timeout`.
+    pub fn connect(spec: &TcpFabricSpec, me: usize) -> Result<Self, TransportError> {
+        let listener = TcpListener::bind(spec.addrs[me])
+            .map_err(|e| TransportError::Handshake(format!("bind {}: {e}", spec.addrs[me])))?;
+        Self::connect_with_listener(spec, me, listener, None)
+    }
+
+    /// Joins the mesh through an already-bound listener (for ephemeral-port
+    /// fabrics inside one process). `shared_counters` lets colocated test
+    /// endpoints write one ledger; `None` gives this endpoint its own ledger
+    /// holding only frames *it* sends — the multi-process configuration,
+    /// merged later via snapshots.
+    pub fn connect_with_listener(
+        spec: &TcpFabricSpec,
+        me: usize,
+        listener: TcpListener,
+        shared_counters: Option<Arc<TrafficCounters>>,
+    ) -> Result<Self, TransportError> {
+        let n = spec.addrs.len();
+        assert_eq!(n, spec.node_of_endpoint.len(), "malformed fabric spec");
+        assert!(me < n, "endpoint id {me} out of range for {n} endpoints");
+        let deadline = Instant::now() + spec.connect_timeout;
+        let counters = shared_counters
+            .unwrap_or_else(|| Arc::new(TrafficCounters::new(spec.physical_nodes())));
+
+        let (self_tx, inbox) = channel();
+        let hub = Arc::new(ReaderHub {
+            me,
+            tx: Mutex::new(Some(self_tx.clone())),
+            reader_err: Mutex::new(None),
+            inflight: AtomicU64::new(0),
+            inbound: Mutex::new(Vec::new()),
+            readers: Mutex::new(Vec::new()),
+            down: AtomicBool::new(false),
+            reaccepts: AtomicU64::new(0),
+            gate: HelloGate::new(n),
+        });
+
+        // The acceptor accepts the initial mesh (reported through `init_tx`)
+        // and then *keeps accepting* for the life of the endpoint, adopting
+        // every reconnecting peer — regardless of process start-up order at
+        // boot, and regardless of socket failures afterwards.
+        let (init_tx, init_rx) = channel();
+        let acceptor = {
+            let hub = Arc::clone(&hub);
+            let spec = spec.clone();
+            std::thread::spawn(move || acceptor_loop(listener, &spec, me, &hub, init_tx, deadline))
+        };
+
+        let mut writers: Vec<Option<Mutex<TcpStream>>> = (0..n).map(|_| None).collect();
+        let mut dial_err = None;
+        for peer in (0..n).filter(|&p| p != me) {
+            match net::dial(spec, me, peer, deadline) {
+                Ok(stream) => writers[peer] = Some(Mutex::new(stream)),
+                Err(e) => {
+                    dial_err = Some(e);
+                    break;
+                }
+            }
+        }
+        if let Some(e) = dial_err {
+            hub.down.store(true, Ordering::SeqCst);
+            let _ = acceptor.join();
+            return Err(e);
+        }
+
+        let accepted = init_rx
+            .recv()
+            .map_err(|_| TransportError::Handshake("acceptor thread panicked".into()))??;
+        for (peer, stream) in accepted {
+            hub.adopt(peer, spec.node_of_endpoint[peer], stream);
+        }
+
+        Ok(Self {
+            me,
+            node: spec.node_of_endpoint[me],
+            spec: spec.clone(),
+            writers,
+            gens: (0..n).map(|_| AtomicU32::new(1)).collect(),
+            self_tx: Some(self_tx),
+            inbox,
+            hub,
+            acceptor: Some(acceptor),
+            counters,
+            tracker: RecvTracker::default(),
+            reconnects: AtomicU64::new(0),
+            down: false,
+        })
+    }
+
+    /// Successful outbound reconnects so far.
+    pub fn reconnect_count(&self) -> u64 {
+        self.reconnects.load(Ordering::Relaxed)
+    }
+
+    /// Inbound streams re-accepted after the initial mesh.
+    pub fn reaccept_count(&self) -> u64 {
+        self.hub.reaccepts.load(Ordering::Relaxed)
+    }
+
+    /// Duplicate/stale HELLOs the (peer, generation) gate rejected.
+    pub fn dup_hello_count(&self) -> u64 {
+        self.hub.gate.dup_count()
+    }
+
+    /// The reader error, if any, else the fallback.
+    fn pending_error(&self, fallback: TransportError) -> TransportError {
+        self.hub
+            .reader_err
+            .lock()
+            .expect("reader error lock")
+            .clone()
+            .unwrap_or(fallback)
+    }
+
+    /// Notes a delivered envelope: queue-depth bookkeeping plus timeout
+    /// diagnostics.
+    fn on_delivered(&self, env: &Envelope) {
+        self.hub.inflight.fetch_sub(1, Ordering::Relaxed);
+        self.tracker.note(env);
+    }
+
+    /// Redials `to` after a broken send, with the fabric's capped
+    /// exponential backoff, bounded by `reconnect_timeout`. Every attempt
+    /// counts toward the endpoint's [`TimeoutDiag::attempts`](super::TimeoutDiag)
+    /// so a dead peer's verdict states how hard we tried.
+    fn redial(&self, to: usize, cause: &std::io::Error) -> Result<TcpStream, TransportError> {
+        let addr = self.spec.addrs[to];
+        let deadline = Instant::now() + self.spec.reconnect_timeout;
+        let mut backoff = Backoff::new(self.spec.backoff_base, self.spec.backoff_cap);
+        let mut attempts: u64 = 0;
+        loop {
+            attempts += 1;
+            self.tracker.note_attempt();
+            let generation = self.gens[to].fetch_add(1, Ordering::Relaxed) + 1;
+            match dial_once(addr, self.me, generation, Duration::from_secs(1)) {
+                Ok(stream) => {
+                    self.reconnects.fetch_add(1, Ordering::Relaxed);
+                    telemetry::instant("reconnect", to as u64, attempts);
+                    return Ok(stream);
+                }
+                Err(_) => {
+                    let delay = backoff.next_delay();
+                    if Instant::now() + delay >= deadline {
+                        return Err(TransportError::Io(format!(
+                            "send to endpoint {to}: {cause}; \
+                             reconnect gave up after {attempts} attempts"
+                        )));
+                    }
+                    std::thread::sleep(delay);
+                }
+            }
+        }
+    }
+}
+
+impl Transport for ThreadedTcpTransport {
+    fn node(&self) -> usize {
+        self.node
+    }
+
+    fn endpoint_id(&self) -> usize {
+        self.me
+    }
+
+    fn endpoints(&self) -> usize {
+        self.writers.len()
+    }
+
+    fn traffic(&self) -> &Arc<TrafficCounters> {
+        &self.counters
+    }
+
+    fn send_seq(&self, to: usize, msg: Message, seq: u32) -> Result<(), TransportError> {
+        if to == self.me {
+            let tx = self.self_tx.as_ref().ok_or(TransportError::Closed)?;
+            if telemetry::is_enabled() {
+                telemetry::instant("tx.frame", to as u64, msg.wire_bytes());
+            }
+            self.hub.inflight.fetch_add(1, Ordering::Relaxed);
+            // Loop-back within one endpoint never touches the socket and, like
+            // all same-node traffic, is never counted.
+            return tx
+                .send(Envelope {
+                    from: self.node,
+                    src: self.me,
+                    seq,
+                    msg,
+                })
+                .map_err(|_| TransportError::Closed);
+        }
+        let writer = self
+            .writers
+            .get(to)
+            .ok_or(TransportError::Closed)?
+            .as_ref()
+            .ok_or(TransportError::Closed)?;
+        let frame = encode_frame_seq(&msg, self.me as u32, seq);
+        if telemetry::is_enabled() {
+            telemetry::instant("tx.frame", to as u64, frame.len() as u64);
+        }
+        {
+            let mut stream = writer.lock().expect("writer lock");
+            if let Err(e) = stream.write_all(&frame) {
+                // The link broke (peer restart, injected sever). Reconnect
+                // and rewrite the whole frame: the peer's reader discards
+                // partial frames at EOF, so frame boundaries stay intact.
+                *stream = self.redial(to, &e)?;
+                stream
+                    .write_all(&frame)
+                    .map_err(|e| TransportError::Io(format!("resend to endpoint {to}: {e}")))?;
+            }
+        }
+        // The counted bytes are the length of the buffer just written.
+        self.counters.record(
+            self.node,
+            self.spec.node_of_endpoint[to],
+            frame.len() as u64,
+        );
+        Ok(())
+    }
+
+    fn sever_link(&self, to: usize) -> Result<(), TransportError> {
+        if to == self.me {
+            return Ok(());
+        }
+        if let Some(Some(writer)) = self.writers.get(to).map(|w| w.as_ref()) {
+            let stream = writer.lock().expect("writer lock");
+            // Best-effort: an already-dead socket is already severed.
+            let _ = stream.shutdown(Shutdown::Both);
+            telemetry::instant("sever", to as u64, 0);
+        }
+        Ok(())
+    }
+
+    fn recv(&self) -> Result<Envelope, TransportError> {
+        let env = self
+            .inbox
+            .recv()
+            .map_err(|_| self.pending_error(TransportError::Closed))?;
+        self.on_delivered(&env);
+        Ok(env)
+    }
+
+    fn try_recv(&self) -> Result<Option<Envelope>, TransportError> {
+        match self.inbox.try_recv() {
+            Ok(env) => {
+                self.on_delivered(&env);
+                Ok(Some(env))
+            }
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(self.pending_error(TransportError::Closed)),
+        }
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Envelope, TransportError> {
+        match self.inbox.recv_timeout(timeout) {
+            Ok(env) => {
+                self.on_delivered(&env);
+                Ok(env)
+            }
+            // A reader that hit a protocol violation explains the silence
+            // better than "timeout".
+            Err(RecvTimeoutError::Timeout) => {
+                Err(self.pending_error(self.tracker.timeout(self.me, timeout)))
+            }
+            Err(RecvTimeoutError::Disconnected) => Err(self.pending_error(TransportError::Closed)),
+        }
+    }
+
+    fn shutdown(&mut self) -> Result<(), TransportError> {
+        if self.down {
+            return Ok(());
+        }
+        self.down = true;
+        // Stop the acceptor first so no new readers appear mid-teardown.
+        self.hub.down.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        self.self_tx = None;
+        *self.hub.tx.lock().expect("hub tx lock") = None;
+        // FIN every outbound stream: peers read to EOF, losing nothing.
+        for writer in self.writers.iter().flatten() {
+            let stream = writer.lock().expect("writer lock");
+            let _ = stream.shutdown(Shutdown::Write);
+        }
+        // Force-close inbound streams so readers exit even if a peer never
+        // half-closed its side (crash), then reap them.
+        for stream in self.hub.inbound.lock().expect("inbound lock").iter() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        let handles: Vec<_> = self
+            .hub
+            .readers
+            .lock()
+            .expect("readers lock")
+            .drain(..)
+            .collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+        Ok(())
+    }
+}
+
+impl Drop for ThreadedTcpTransport {
+    fn drop(&mut self) {
+        if !self.down {
+            // Best-effort teardown on panic paths: close the sockets so
+            // acceptor and reader threads exit, but do not block joining.
+            self.down = true;
+            self.hub.down.store(true, Ordering::SeqCst);
+            for writer in self.writers.iter().flatten() {
+                if let Ok(stream) = writer.lock() {
+                    let _ = stream.shutdown(Shutdown::Both);
+                }
+            }
+            if let Ok(inbound) = self.hub.inbound.lock() {
+                for stream in inbound.iter() {
+                    let _ = stream.shutdown(Shutdown::Both);
+                }
+            }
+        }
+    }
+}
+
+/// Accepts `expected` distinct inbound peers, validating each HELLO through
+/// the hub's idempotence gate, until `deadline`. Phase 1 of the acceptor.
+fn accept_peers(
+    listener: &TcpListener,
+    me: usize,
+    expected: usize,
+    hub: &ReaderHub,
+    deadline: Instant,
+) -> Result<Vec<(usize, TcpStream)>, TransportError> {
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| TransportError::Handshake(format!("nonblocking accept: {e}")))?;
+    let mut peers: Vec<(usize, TcpStream)> = Vec::with_capacity(expected);
+    while peers.len() < expected {
+        if Instant::now() >= deadline {
+            return Err(TransportError::Handshake(format!(
+                "endpoint {me}: accepted {} of {expected} peers before timeout",
+                peers.len()
+            )));
+        }
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                stream
+                    .set_nonblocking(false)
+                    .map_err(|e| TransportError::Handshake(format!("blocking stream: {e}")))?;
+                let hello = validate_hello(&mut stream, me)?;
+                // A duplicate HELLO (dial race) is dropped; a newer
+                // generation replaces the stale stream.
+                if !hub.gate.admit(hello) {
+                    continue;
+                }
+                if let Some(slot) = peers.iter_mut().find(|(p, _)| *p == hello.peer) {
+                    slot.1 = stream;
+                } else {
+                    peers.push((hello.peer, stream));
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(e) => {
+                return Err(TransportError::Handshake(format!("accept: {e}")));
+            }
+        }
+    }
+    Ok(peers)
+}
+
+/// The persistent acceptor: phase 1 collects the initial mesh and reports it
+/// through `init_tx`; phase 2 re-accepts reconnecting peers until shutdown,
+/// adopting each fresh stream into the hub.
+fn acceptor_loop(
+    listener: TcpListener,
+    spec: &TcpFabricSpec,
+    me: usize,
+    hub: &Arc<ReaderHub>,
+    init_tx: Sender<Result<Vec<(usize, TcpStream)>, TransportError>>,
+    deadline: Instant,
+) {
+    telemetry::set_thread_track(format!("accept e{me}"));
+    let initial = accept_peers(&listener, me, spec.addrs.len() - 1, hub, deadline);
+    let ok = initial.is_ok();
+    let _ = init_tx.send(initial);
+    if !ok {
+        return;
+    }
+    // Phase 2: the mesh is up; keep the door open for reconnects.
+    while !hub.down.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                // A malformed reconnect HELLO is dropped, not fatal: the
+                // established mesh keeps running.
+                let Ok(hello) = validate_hello(&mut stream, me) else {
+                    continue;
+                };
+                if hello.peer >= spec.node_of_endpoint.len() || !hub.gate.admit(hello) {
+                    continue;
+                }
+                hub.reaccepts.fetch_add(1, Ordering::Relaxed);
+                telemetry::instant("reconnect.accept", hello.peer as u64, 0);
+                hub.adopt(hello.peer, spec.node_of_endpoint[hello.peer], stream);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+        }
+    }
+}
+
+/// Decodes frames off one inbound stream until EOF or an I/O error (both
+/// benign: the peer may be gone for good — that surfaces as a recv timeout —
+/// or reconnecting, in which case the acceptor spawns our replacement).
+/// Only a wire-protocol violation poisons the endpoint.
+fn reader_loop(mut stream: TcpStream, from_node: usize, tx: &Sender<Envelope>, hub: &ReaderHub) {
+    loop {
+        let mut hdr = [0u8; FRAME_HEADER_BYTES];
+        match net::read_full(&mut stream, &mut hdr) {
+            Ok(true) => {}
+            // Clean EOF, or the peer died / was severed mid-frame. The
+            // stream's partial tail is discarded; a reconnecting sender
+            // rewrites whole frames, so no fragment survives.
+            Ok(false) | Err(_) => return,
+        }
+        let header = match parse_header(&hdr) {
+            Ok(h) => h,
+            Err(e) => {
+                let mut slot = hub.reader_err.lock().expect("reader error lock");
+                if slot.is_none() {
+                    *slot = Some(TransportError::Frame(e));
+                }
+                return;
+            }
+        };
+        // Dirty lease: `read_full` overwrites every byte or the frame is
+        // dropped without delivery, so zeroing first would be pure waste.
+        let mut payload = crate::pool::BufPool::global().get_dirty(header.payload_len);
+        match net::read_full(&mut stream, &mut payload) {
+            Ok(true) => {}
+            Ok(false) | Err(_) => return, // benign: died mid-frame
+        }
+        let msg = assemble(&header, payload.freeze());
+        let queued = hub.inflight.fetch_add(1, Ordering::Relaxed) + 1;
+        if telemetry::is_enabled() {
+            telemetry::instant(
+                "rx.frame",
+                from_node as u64,
+                (FRAME_HEADER_BYTES + header.payload_len) as u64,
+            );
+            telemetry::counter("rx.queue", from_node as u64, queued);
+        }
+        if tx
+            .send(Envelope {
+                from: from_node,
+                src: header.src as usize,
+                seq: header.seq,
+                msg,
+            })
+            .is_err()
+        {
+            return; // local endpoint shut down first
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::net::bind_ephemeral;
+    use super::*;
+    use crate::wire::LAYER_GRANULAR_CHUNK;
+    use bytes::Bytes;
+    use std::net::SocketAddr;
+
+    fn grad(iter: u64, payload: usize) -> Message {
+        Message::GradChunk {
+            iter,
+            layer: 1,
+            chunk: LAYER_GRANULAR_CHUNK,
+            data: Bytes::from(vec![7u8; payload]),
+        }
+    }
+
+    fn quick_spec(addrs: Vec<SocketAddr>, node_of_endpoint: Vec<usize>) -> TcpFabricSpec {
+        TcpFabricSpec {
+            addrs,
+            node_of_endpoint,
+            connect_timeout: Duration::from_secs(10),
+            backoff_base: Duration::from_millis(5),
+            backoff_cap: Duration::from_millis(50),
+            reconnect_timeout: Duration::from_secs(5),
+        }
+    }
+
+    /// Builds an ephemeral-port fabric and runs `f(endpoint)` on one thread
+    /// per endpoint, all sharing one ledger.
+    fn with_fabric(
+        node_of_endpoint: &[usize],
+        f: impl Fn(ThreadedTcpTransport) + Send + Sync,
+    ) -> Arc<TrafficCounters> {
+        let (listeners, addrs) = bind_ephemeral(node_of_endpoint.len()).expect("bind");
+        let spec = quick_spec(addrs, node_of_endpoint.to_vec());
+        let counters = Arc::new(TrafficCounters::new(spec.physical_nodes()));
+        std::thread::scope(|s| {
+            for (me, listener) in listeners.into_iter().enumerate() {
+                let spec = spec.clone();
+                let counters = Arc::clone(&counters);
+                let f = &f;
+                s.spawn(move || {
+                    let ep = ThreadedTcpTransport::connect_with_listener(
+                        &spec,
+                        me,
+                        listener,
+                        Some(counters),
+                    )
+                    .expect("mesh");
+                    f(ep);
+                });
+            }
+        });
+        counters
+    }
+
+    #[test]
+    fn mesh_delivers_in_both_directions_and_counts_frames() {
+        let counters = with_fabric(&[0, 1], |mut ep| {
+            let other = 1 - ep.endpoint_id();
+            ep.send(other, grad(ep.endpoint_id() as u64, 40)).unwrap();
+            let env = ep.recv().unwrap();
+            assert_eq!(env.from, other);
+            assert_eq!(env.src, other, "src names the sending endpoint");
+            assert_eq!(env.msg.iter(), other as u64);
+            ep.shutdown().unwrap();
+        });
+        let frame = (FRAME_HEADER_BYTES + 40) as u64;
+        assert_eq!(counters.tx_bytes(0), frame);
+        assert_eq!(counters.tx_bytes(1), frame);
+        assert_eq!(counters.total_bytes(), 2 * frame);
+    }
+
+    #[test]
+    fn frames_keep_per_pair_order_under_load() {
+        with_fabric(&[0, 1], |mut ep| {
+            if ep.endpoint_id() == 0 {
+                for i in 0..500u64 {
+                    ep.send(1, grad(i, (i % 97) as usize)).unwrap();
+                }
+            } else {
+                for i in 0..500u64 {
+                    let env = ep.recv().unwrap();
+                    assert_eq!(env.msg.iter(), i, "reordered frame");
+                }
+            }
+            ep.shutdown().unwrap();
+        });
+    }
+
+    #[test]
+    fn severed_link_reconnects_and_redelivers() {
+        with_fabric(&[0, 1], |mut ep| {
+            if ep.endpoint_id() == 0 {
+                ep.send(1, grad(0, 32)).unwrap();
+                // Kill our own outbound socket, then send again: the send
+                // path must redial and rewrite the frame.
+                ep.sever_link(1).unwrap();
+                ep.send(1, grad(1, 32)).unwrap();
+                assert_eq!(ep.reconnect_count(), 1, "exactly one reconnect");
+            } else {
+                let mut iters = Vec::new();
+                while iters.len() < 2 {
+                    let env = ep
+                        .recv_timeout(Duration::from_secs(10))
+                        .expect("both frames must arrive despite the sever");
+                    iters.push(env.msg.iter());
+                }
+                iters.sort_unstable();
+                assert_eq!(iters, vec![0, 1]);
+                assert_eq!(ep.reaccept_count(), 1, "acceptor adopted the redial");
+            }
+            ep.shutdown().unwrap();
+        });
+    }
+
+    #[test]
+    fn connect_times_out_without_peers() {
+        let (listeners, addrs) = bind_ephemeral(2).expect("bind");
+        let mut spec = quick_spec(addrs, vec![0, 1]);
+        spec.connect_timeout = Duration::from_millis(200);
+        // Endpoint 1 never shows up.
+        drop(listeners);
+        let l = TcpListener::bind((std::net::Ipv4Addr::LOCALHOST, 0)).unwrap();
+        spec.addrs[0] = l.local_addr().unwrap();
+        let err = match ThreadedTcpTransport::connect_with_listener(&spec, 0, l, None) {
+            Ok(_) => panic!("mesh connect must fail without peers"),
+            Err(e) => e,
+        };
+        assert!(matches!(err, TransportError::Handshake(_)), "{err:?}");
+    }
+}

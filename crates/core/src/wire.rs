@@ -148,46 +148,54 @@ pub fn encode_frame(msg: &Message) -> Bytes {
 ///
 /// Panics if the payload exceeds [`MAX_FRAME_PAYLOAD`].
 pub fn encode_frame_seq(msg: &Message, src: u32, seq: u32) -> Bytes {
-    let empty = Bytes::new();
-    let (tag, iter, layer, chunk, data) = match msg {
-        Message::GradChunk {
-            iter,
-            layer,
-            chunk,
-            data,
-        } => (TAG_GRAD_CHUNK, *iter, *layer, *chunk, data),
-        Message::ParamChunk {
-            iter,
-            layer,
-            chunk,
-            data,
-        } => (TAG_PARAM_CHUNK, *iter, *layer, *chunk, data),
-        Message::SfPush { iter, layer, data } => {
-            (TAG_SF_PUSH, *iter, *layer, LAYER_GRANULAR_CHUNK, data)
-        }
-        Message::ParamMatrix { iter, layer, data } => {
-            (TAG_PARAM_MATRIX, *iter, *layer, LAYER_GRANULAR_CHUNK, data)
-        }
-        Message::Ack { upto } => (TAG_ACK, *upto, 0, LAYER_GRANULAR_CHUNK, &empty),
-        Message::Nack { expect } => (TAG_NACK, *expect, 0, LAYER_GRANULAR_CHUNK, &empty),
-    };
-    assert!(
-        data.len() <= MAX_FRAME_PAYLOAD,
-        "payload of {} bytes exceeds the frame cap",
-        data.len()
-    );
+    let header = encode_header_seq(msg, src, seq);
+    let data = msg.payload();
     let mut buf = BytesMut::with_capacity(FRAME_HEADER_BYTES + data.len());
-    buf.put_slice(&FRAME_MAGIC);
-    buf.put_u8(FRAME_VERSION);
-    buf.put_u8(tag);
-    buf.put_u64_le(iter);
-    buf.put_u32_le(layer);
-    buf.put_u32_le(chunk);
-    buf.put_u32_le(data.len() as u32);
-    buf.put_u32_le(seq);
-    buf.put_u32_le(src);
+    buf.put_slice(&header);
     buf.put_slice(data);
     buf.freeze()
+}
+
+/// Encodes only the fixed 32-byte header of the frame for `msg`; the
+/// payload is the message's own [`Bytes`] (see
+/// [`Message::payload`](crate::transport::Message::payload)). The vectored
+/// write path uses this split so header and payload go to the socket as two
+/// `IoSlice`s and the payload bytes are never copied into a frame buffer.
+///
+/// # Panics
+///
+/// Panics if the payload exceeds [`MAX_FRAME_PAYLOAD`].
+pub fn encode_header_seq(msg: &Message, src: u32, seq: u32) -> [u8; FRAME_HEADER_BYTES] {
+    let (tag, iter, layer, chunk) = match msg {
+        Message::GradChunk {
+            iter, layer, chunk, ..
+        } => (TAG_GRAD_CHUNK, *iter, *layer, *chunk),
+        Message::ParamChunk {
+            iter, layer, chunk, ..
+        } => (TAG_PARAM_CHUNK, *iter, *layer, *chunk),
+        Message::SfPush { iter, layer, .. } => (TAG_SF_PUSH, *iter, *layer, LAYER_GRANULAR_CHUNK),
+        Message::ParamMatrix { iter, layer, .. } => {
+            (TAG_PARAM_MATRIX, *iter, *layer, LAYER_GRANULAR_CHUNK)
+        }
+        Message::Ack { upto } => (TAG_ACK, *upto, 0, LAYER_GRANULAR_CHUNK),
+        Message::Nack { expect } => (TAG_NACK, *expect, 0, LAYER_GRANULAR_CHUNK),
+    };
+    let payload_len = msg.payload().len();
+    assert!(
+        payload_len <= MAX_FRAME_PAYLOAD,
+        "payload of {payload_len} bytes exceeds the frame cap"
+    );
+    let mut hdr = [0u8; FRAME_HEADER_BYTES];
+    hdr[0..2].copy_from_slice(&FRAME_MAGIC);
+    hdr[2] = FRAME_VERSION;
+    hdr[3] = tag;
+    hdr[4..12].copy_from_slice(&iter.to_le_bytes());
+    hdr[12..16].copy_from_slice(&layer.to_le_bytes());
+    hdr[16..20].copy_from_slice(&chunk.to_le_bytes());
+    hdr[20..24].copy_from_slice(&(payload_len as u32).to_le_bytes());
+    hdr[24..28].copy_from_slice(&seq.to_le_bytes());
+    hdr[28..32].copy_from_slice(&src.to_le_bytes());
+    hdr
 }
 
 /// Validates and parses a frame header.
@@ -297,6 +305,30 @@ pub fn encode_f32s(vals: &[f32]) -> Bytes {
         buf.put_f32_le(v);
     }
     buf.freeze()
+}
+
+/// [`encode_f32s`] into a recycled [`BufPool`](crate::pool::BufPool) lease:
+/// byte-identical output, but the backing buffer comes from (and returns to)
+/// the global pool instead of the allocator. The runtime's gradient/parameter
+/// hot paths use this form.
+pub fn encode_f32s_pooled(vals: &[f32]) -> Bytes {
+    let mut lease = crate::pool::BufPool::global().get(vals.len() * 4);
+    for (dst, v) in lease.chunks_exact_mut(4).zip(vals) {
+        dst.copy_from_slice(&v.to_le_bytes());
+    }
+    lease.freeze()
+}
+
+/// [`encode_onebit`] into a recycled pool lease; byte-identical output.
+pub fn encode_onebit_pooled(quant: &QuantizedGrad, bias_grad: &[f32]) -> Bytes {
+    let q = quant.to_bytes();
+    let mut lease = crate::pool::BufPool::global().get(4 + q.len() + bias_grad.len() * 4);
+    lease[0..4].copy_from_slice(&(q.len() as u32).to_le_bytes());
+    lease[4..4 + q.len()].copy_from_slice(&q);
+    for (dst, v) in lease[4 + q.len()..].chunks_exact_mut(4).zip(bias_grad) {
+        dst.copy_from_slice(&v.to_le_bytes());
+    }
+    lease.freeze()
 }
 
 /// Decodes a buffer produced by [`encode_f32s`].

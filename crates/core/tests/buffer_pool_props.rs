@@ -1,0 +1,177 @@
+//! Property tests for the pooled-buffer plane: every pooled encode is
+//! byte-identical to its fresh-allocation twin, pooled payloads survive the
+//! frame codec bit-exactly for every message variant, and pool exhaustion
+//! degrades to plain allocation — it never blocks, never corrupts, and never
+//! leaks one lease's bytes into another.
+
+use bytes::Bytes;
+use poseidon::pool::{BufPool, MAX_CLASS_BYTES, MIN_CLASS_BYTES};
+use poseidon::transport::Message;
+use poseidon::wire::{
+    decode_frame, decode_onebit, encode_f32s, encode_f32s_pooled, encode_frame, encode_onebit,
+    encode_onebit_pooled,
+};
+use poseidon_tensor::quantize::OneBitQuantizer;
+use poseidon_tensor::Matrix;
+use proptest::prelude::*;
+
+/// Buffers retained per class (`CLASS_CAP` in `pool.rs`); exhaustion tests
+/// deliberately lease more than this many buffers at once.
+const CLASS_CAP: usize = 32;
+
+/// Every message variant with the payload built two ways: once as plain
+/// `Bytes` and once through a pool lease. The two must be indistinguishable
+/// on the wire.
+fn message_pair() -> impl Strategy<Value = (Message, Message)> {
+    let payload = proptest::collection::vec(any::<u8>(), 0..2048);
+    (any::<u64>(), any::<u32>(), any::<u32>(), payload, 0u8..6).prop_map(
+        |(iter, layer, chunk, data, variant)| {
+            let mut lease = BufPool::global().get(data.len());
+            lease.copy_from_slice(&data);
+            let pooled = lease.freeze();
+            let fresh = Bytes::from(data);
+            let build = |data: Bytes| match variant {
+                0 => Message::GradChunk {
+                    iter,
+                    layer,
+                    chunk,
+                    data,
+                },
+                1 => Message::ParamChunk {
+                    iter,
+                    layer,
+                    chunk,
+                    data,
+                },
+                2 => Message::SfPush { iter, layer, data },
+                3 => Message::ParamMatrix { iter, layer, data },
+                4 => Message::Ack { upto: iter },
+                _ => Message::Nack { expect: iter },
+            };
+            (build(fresh), build(pooled))
+        },
+    )
+}
+
+proptest! {
+    /// The pooled f32 codec is bit-identical to the allocating one — NaNs,
+    /// infinities, negative zero and all.
+    #[test]
+    fn pooled_f32_encode_matches_fresh(bits in proptest::collection::vec(any::<u32>(), 0..512)) {
+        let vals: Vec<f32> = bits.into_iter().map(f32::from_bits).collect();
+        prop_assert_eq!(encode_f32s_pooled(&vals), encode_f32s(&vals));
+    }
+
+    /// The pooled 1-bit codec is bit-identical to the allocating one, and the
+    /// pooled bytes decode back to the original quantized bundle.
+    #[test]
+    fn pooled_onebit_encode_matches_fresh(
+        m in 1usize..10,
+        n in 1usize..10,
+        seed in any::<u32>(),
+    ) {
+        let vals: Vec<f32> = (0..m * n)
+            .map(|i| (seed.wrapping_add(i as u32) % 2001) as f32 / 100.0 - 10.0)
+            .collect();
+        let quant = OneBitQuantizer::new(m, n).quantize(&Matrix::from_vec(m, n, vals));
+        let bias: Vec<f32> = (0..m).map(|i| i as f32 - 1.5).collect();
+        let pooled = encode_onebit_pooled(&quant, &bias);
+        prop_assert_eq!(&pooled, &encode_onebit(&quant, &bias));
+        let (q2, b2) = decode_onebit(&pooled).expect("pooled 1-bit payload");
+        prop_assert_eq!(q2, quant);
+        prop_assert_eq!(b2, bias);
+    }
+
+    /// For every frame variant, a payload carried in a frozen pool lease
+    /// produces the exact same wire frame as a fresh allocation, and the
+    /// decoded message re-encodes identically.
+    #[test]
+    fn pooled_payloads_roundtrip_every_variant((fresh, pooled) in message_pair()) {
+        let frame_fresh = encode_frame(&fresh);
+        let frame_pooled = encode_frame(&pooled);
+        prop_assert_eq!(&frame_fresh, &frame_pooled);
+        let (decoded, consumed) = decode_frame(&frame_pooled).expect("pooled frame decodes");
+        prop_assert_eq!(consumed, frame_pooled.len());
+        prop_assert_eq!(encode_frame(&decoded), frame_fresh);
+    }
+
+    /// Leasing far more buffers than a class retains never blocks and never
+    /// aliases: every lease is zero-filled, holds its own bytes, and the
+    /// pattern written to one lease never shows up in another.
+    #[test]
+    fn exhaustion_degrades_to_allocation(
+        len in 1usize..4096,
+        extra in 1usize..3 * CLASS_CAP,
+    ) {
+        let pool = BufPool::new();
+        // Warm the class so some leases are recycled and some are fresh.
+        drop((0..CLASS_CAP / 2).map(|_| pool.get(len)).collect::<Vec<_>>());
+        let mut leases: Vec<_> = (0..CLASS_CAP + extra).map(|_| pool.get(len)).collect();
+        for (i, lease) in leases.iter_mut().enumerate() {
+            prop_assert_eq!(lease.len(), len);
+            prop_assert!(lease.iter().all(|&b| b == 0), "lease {} not zeroed", i);
+            lease.fill(i as u8 + 1);
+        }
+        for (i, lease) in leases.iter().enumerate() {
+            prop_assert!(
+                lease.iter().all(|&b| b == i as u8 + 1),
+                "lease {} corrupted by a sibling",
+                i
+            );
+        }
+        drop(leases);
+        let stats = pool.stats();
+        prop_assert!(
+            stats.resident as usize <= CLASS_CAP,
+            "class retained {} buffers, cap is {}",
+            stats.resident,
+            CLASS_CAP
+        );
+    }
+
+    /// Dropped leases are recycled: after a warm-up round, gets in the same
+    /// class are pool hits, and a recycled buffer always comes back zeroed
+    /// even after being filled with garbage.
+    #[test]
+    fn dropped_leases_recycle_zeroed(len in 1usize..MAX_CLASS_BYTES / 1024, fill in 1u8..) {
+        let pool = BufPool::new();
+        let mut first = pool.get(len);
+        first.fill(fill);
+        drop(first);
+        let before = pool.stats();
+        prop_assert_eq!(before.resident, 1);
+        let second = pool.get(len);
+        let after = pool.stats();
+        prop_assert_eq!(after.hits, before.hits + 1, "reuse must be a pool hit");
+        prop_assert!(second.iter().all(|&b| b == 0), "recycled lease must be zeroed");
+    }
+}
+
+#[test]
+fn oversized_leases_bypass_the_pool_but_stay_correct() {
+    let pool = BufPool::new();
+    let mut lease = pool.get(MAX_CLASS_BYTES + 1);
+    assert_eq!(lease.len(), MAX_CLASS_BYTES + 1);
+    assert!(lease.iter().all(|&b| b == 0));
+    lease.fill(0xAB);
+    let bytes = lease.freeze();
+    assert!(bytes.iter().all(|&b| b == 0xAB));
+    drop(bytes);
+    assert_eq!(
+        pool.stats().resident,
+        0,
+        "oversized buffers must never pool"
+    );
+}
+
+#[test]
+fn class_boundaries_lease_exact_lengths() {
+    let pool = BufPool::new();
+    for class_size in [MIN_CLASS_BYTES, MIN_CLASS_BYTES << 3, MAX_CLASS_BYTES] {
+        for len in [class_size - 1, class_size, class_size + 1] {
+            let lease = pool.get(len);
+            assert_eq!(lease.len(), len, "lease length must be exact at {len}");
+            assert_eq!(lease.freeze().len(), len);
+        }
+    }
+}

@@ -44,4 +44,14 @@ timeout 300 cargo test "${CARGO_OFFLINE[@]}" -q -p poseidon-repro --test chaos_r
 timeout 300 cargo test "${CARGO_OFFLINE[@]}" -q -p poseidon --test fault_plan_properties
 timeout 300 cargo test "${CARGO_OFFLINE[@]}" -q -p poseidon-bench --test tcp_sever_reconnect
 
+echo "== transport bench smoke: evented core vs threaded baseline =="
+# Regenerates BENCH_transport.json over the full scenario grid and fails when
+# the evented/threaded frames/s ratio of any scenario drops >20% below the
+# committed baseline (read before the file is rewritten). Gating the ratio —
+# both transports run back-to-back per scenario — cancels machine-wide speed
+# drift that makes absolute-throughput gates flap; `timeout` bounds a wedged
+# mesh.
+timeout 900 cargo run "${CARGO_OFFLINE[@]}" -q --release -p poseidon-bench --bin transport_bench -- \
+    --check-against BENCH_transport.json --out BENCH_transport.json
+
 echo "All checks passed."
