@@ -100,7 +100,7 @@ const USAGE: &str = "poseidon-node: multi-process distributed SGD over TCP
   --batch N         per-worker minibatch                    [8]
   --lr F            learning rate                           [0.2]
   --momentum F      classical momentum                      [0.0]
-  --policy S        ps | hybrid | sfb | adam | onebit       [hybrid]
+  --policy S        ps | hybrid | sfb | adam | onebit | ring | tree [hybrid]
   --pair-elems N    KV-pair size in f32 elements            [37]
   --base-port N     first TCP port (2P consecutive used)    [45000]
   --seed N          model/data seed                         [5]
@@ -140,6 +140,8 @@ fn parse_args() -> Result<Args, String> {
                     "sfb" => SchemePolicy::AlwaysSfbForFc,
                     "adam" => SchemePolicy::AdamSf,
                     "onebit" => SchemePolicy::OneBit,
+                    "ring" => SchemePolicy::AlwaysRing,
+                    "tree" => SchemePolicy::AlwaysTree,
                     other => return Err(format!("unknown policy {other:?}\n{USAGE}")),
                 }
             }
@@ -423,6 +425,11 @@ fn launch(a: &Args) -> Result<(), String> {
                     SchemePolicy::AlwaysSfbForFc => "sfb".to_string(),
                     SchemePolicy::AdamSf => "adam".to_string(),
                     SchemePolicy::OneBit => "onebit".to_string(),
+                    SchemePolicy::AlwaysRing => "ring".to_string(),
+                    SchemePolicy::AlwaysTree => "tree".to_string(),
+                    SchemePolicy::TopoAware(_) => {
+                        unreachable!("TopoAware has no CLI spelling; pick ring/tree/hybrid")
+                    }
                 },
                 "--pair-elems".into(),
                 a.pair_elems.to_string(),

@@ -151,6 +151,40 @@ fn multiprocess_tcp_equals_inproc_ps() {
     assert_eq!(tcp.per_node, inproc.traffic.per_node_totals());
 }
 
+/// The collectives' exactness claim, end to end over real sockets: a ring
+/// (and tree) run on the 4-endpoint TCP loopback mesh produces replicas
+/// bitwise identical to the *PS baseline* — not merely internally
+/// consistent — and counts the same traffic as its in-process twin.
+#[test]
+fn multiprocess_tcp_ring_and_tree_equal_inproc_ps() {
+    let ps = run_inproc(SchemePolicy::AlwaysPs);
+    let want = hex(&flatten_model_params(&ps.net));
+    for (slot, policy, scheme) in [
+        (2u16, "ring", SchemePolicy::AlwaysRing),
+        (3u16, "tree", SchemePolicy::AlwaysTree),
+    ] {
+        let tcp = run_launcher(policy, port_base(slot));
+        for (w, got) in tcp.worker_params_hex.iter().enumerate() {
+            assert_eq!(
+                got, &want,
+                "{policy}: worker {w}'s TCP replica differs from in-process PS"
+            );
+        }
+        let inproc = run_inproc(scheme);
+        assert_eq!(
+            hex(&flatten_model_params(&inproc.net)),
+            want,
+            "{policy}: in-process collective differs from PS"
+        );
+        assert_eq!(
+            tcp.total_bytes,
+            inproc.traffic.total_bytes(),
+            "{policy}: both transports must count identical traffic"
+        );
+        assert_eq!(tcp.per_node, inproc.traffic.per_node_totals());
+    }
+}
+
 #[test]
 fn multiprocess_tcp_equals_inproc_hybrid() {
     let tcp = run_launcher("hybrid", port_base(1));

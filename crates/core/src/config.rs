@@ -1,5 +1,7 @@
 //! Cluster, scheme and scheduling configuration shared by both backends.
 
+pub use poseidon_netsim::Topology;
+
 /// How one layer's parameters are synchronised.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum CommScheme {
@@ -14,6 +16,14 @@ pub enum CommScheme {
     /// CNTK-style 1-bit quantized PS traffic with residual feedback (lossy;
     /// baseline).
     OneBitPs,
+    /// Ring allreduce: scaled gradient contributions accumulate around an
+    /// id-ordered worker chain, then the folded update distributes the other
+    /// way — no server traffic, ≈2 tensor transits per NIC.
+    Ring,
+    /// Tree allreduce: contributions gather up a binary worker tree to the
+    /// root, which folds them in worker-id order and broadcasts the update
+    /// back down — logarithmic hop depth (FireCaffe's reduction tree).
+    Tree,
 }
 
 impl std::fmt::Display for CommScheme {
@@ -23,13 +33,18 @@ impl std::fmt::Display for CommScheme {
             CommScheme::Sfb => "SFB",
             CommScheme::AdamSf => "AdamSF",
             CommScheme::OneBitPs => "1bitPS",
+            CommScheme::Ring => "Ring",
+            CommScheme::Tree => "Tree",
         };
         write!(f, "{s}")
     }
 }
 
 /// Policy mapping layers to schemes.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+///
+/// Not `Eq`: [`SchemePolicy::TopoAware`] carries floating-point link
+/// parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum SchemePolicy {
     /// Everything via the parameter server (the WFBP-only baselines).
     AlwaysPs,
@@ -42,6 +57,14 @@ pub enum SchemePolicy {
     AdamSf,
     /// 1-bit quantization for FC layers over PS (baseline).
     OneBit,
+    /// Ring allreduce for every trainable layer (ablation / collectives).
+    AlwaysRing,
+    /// Tree allreduce for every trainable layer (ablation / collectives).
+    AlwaysTree,
+    /// Generalised HybComm: price PS, SFB, ring and tree per layer against a
+    /// hierarchical topology and pick the cheapest
+    /// ([`crate::costmodel::best_scheme_topo`]).
+    TopoAware(Topology),
 }
 
 /// The consistency model coordinating workers across iterations.
@@ -215,6 +238,8 @@ mod tests {
         assert_eq!(CommScheme::Sfb.to_string(), "SFB");
         assert_eq!(CommScheme::AdamSf.to_string(), "AdamSF");
         assert_eq!(CommScheme::OneBitPs.to_string(), "1bitPS");
+        assert_eq!(CommScheme::Ring.to_string(), "Ring");
+        assert_eq!(CommScheme::Tree.to_string(), "Tree");
     }
 
     #[test]

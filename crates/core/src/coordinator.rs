@@ -144,9 +144,11 @@ impl Coordinator {
     /// Algorithm 1, filtered through the configured policy: the communication
     /// scheme for layer `l`.
     ///
-    /// Non-FC layers (indecomposable updates) always use PS. For FC layers
-    /// the hybrid policy compares the analytic per-node costs of SFB and PS;
-    /// baseline policies force their scheme.
+    /// SFB/Adam/1-bit apply to FC layers only (their updates decompose into
+    /// sufficient factors); other layers fall back to PS under those
+    /// policies. The collective schemes (ring/tree) apply to any trainable
+    /// layer. A single-worker cluster always reduces to PS — SFB has no
+    /// peers and a one-worker collective chain never completes.
     ///
     /// # Panics
     ///
@@ -159,27 +161,52 @@ impl Coordinator {
             layer,
             info.name
         );
-        let Some((m, n)) = info.fc_shape else {
-            return CommScheme::Ps;
-        };
+        let fc = info.fc_shape;
+        let single = self.cluster.workers <= 1;
         match self.policy {
             SchemePolicy::AlwaysPs => CommScheme::Ps,
-            SchemePolicy::Hybrid => {
-                if self.cluster.workers <= 1 {
-                    CommScheme::Ps
-                } else {
-                    costmodel::best_scheme_fc(m, n, &self.cluster)
-                }
-            }
+            SchemePolicy::Hybrid => match fc {
+                Some((m, n)) if !single => costmodel::best_scheme_fc(m, n, &self.cluster),
+                _ => CommScheme::Ps,
+            },
             SchemePolicy::AlwaysSfbForFc => {
-                if self.cluster.workers <= 1 {
-                    CommScheme::Ps
-                } else {
+                if fc.is_some() && !single {
                     CommScheme::Sfb
+                } else {
+                    CommScheme::Ps
                 }
             }
-            SchemePolicy::AdamSf => CommScheme::AdamSf,
-            SchemePolicy::OneBit => CommScheme::OneBitPs,
+            SchemePolicy::AdamSf => {
+                if fc.is_some() {
+                    CommScheme::AdamSf
+                } else {
+                    CommScheme::Ps
+                }
+            }
+            SchemePolicy::OneBit => {
+                if fc.is_some() {
+                    CommScheme::OneBitPs
+                } else {
+                    CommScheme::Ps
+                }
+            }
+            SchemePolicy::AlwaysRing => {
+                if single {
+                    CommScheme::Ps
+                } else {
+                    CommScheme::Ring
+                }
+            }
+            SchemePolicy::AlwaysTree => {
+                if single {
+                    CommScheme::Ps
+                } else {
+                    CommScheme::Tree
+                }
+            }
+            SchemePolicy::TopoAware(topo) => {
+                costmodel::best_scheme_topo(info.param_elems, fc, &self.cluster, &topo)
+            }
         }
     }
 
@@ -327,6 +354,77 @@ mod tests {
             .scheme_assignment()
             .iter()
             .all(|&(_, s)| s == CommScheme::Ps));
+    }
+
+    #[test]
+    fn collective_policies_cover_all_trainable_layers() {
+        let c = coordinator(SchemePolicy::AlwaysRing, 8, 32);
+        assert!(c
+            .scheme_assignment()
+            .iter()
+            .all(|&(_, s)| s == CommScheme::Ring));
+        let c = coordinator(SchemePolicy::AlwaysTree, 8, 32);
+        assert!(c
+            .scheme_assignment()
+            .iter()
+            .all(|&(_, s)| s == CommScheme::Tree));
+        // Single node reduces to PS: a one-worker chain never completes.
+        let c = coordinator(SchemePolicy::AlwaysRing, 1, 32);
+        assert!(c
+            .scheme_assignment()
+            .iter()
+            .all(|&(_, s)| s == CommScheme::Ps));
+        let c = coordinator(SchemePolicy::AlwaysTree, 1, 32);
+        assert!(c
+            .scheme_assignment()
+            .iter()
+            .all(|&(_, s)| s == CommScheme::Ps));
+    }
+
+    #[test]
+    fn topo_aware_policy_splits_layers_by_size() {
+        use crate::config::Topology;
+        use poseidon_netsim::LinkConfig;
+        // 4 nodes × 2 devices, fast intra-node links, 10G uplinks into a 4:1
+        // oversubscribed core: big layers go collective, tiny ones stay PS.
+        let topo = Topology::two_level(
+            4,
+            2,
+            LinkConfig {
+                bandwidth_gbps: 100.0,
+                latency_s: 1e-6,
+            },
+            LinkConfig {
+                bandwidth_gbps: 10.0,
+                latency_s: 50e-6,
+            },
+            4.0,
+        );
+        let layers = vec![
+            LayerInfo {
+                name: "conv_small".into(),
+                param_elems: 1_000,
+                fc_shape: None,
+            },
+            LayerInfo {
+                name: "conv_big".into(),
+                param_elems: 16 << 20,
+                fc_shape: None,
+            },
+        ];
+        let c = Coordinator::from_layers(
+            layers,
+            ClusterConfig::colocated(8, 32),
+            SchemePolicy::TopoAware(topo),
+            Partition::default_kv_pairs(),
+        );
+        let schemes = c.scheme_assignment();
+        assert_eq!(schemes[0].1, CommScheme::Ps, "small layer stays on the PS");
+        assert!(
+            matches!(schemes[1].1, CommScheme::Ring | CommScheme::Tree),
+            "large layer goes collective, got {}",
+            schemes[1].1
+        );
     }
 
     #[test]

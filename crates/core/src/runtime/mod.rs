@@ -337,7 +337,8 @@ pub(crate) fn build_run_plan<M: Model>(reference: &M, cfg: &RuntimeConfig, ssp: 
                     adam: scheme == CommScheme::AdamSf,
                 });
             }
-            CommScheme::Sfb => {} // peer-to-peer; no server state
+            // Peer-to-peer schemes; no server state.
+            CommScheme::Sfb | CommScheme::Ring | CommScheme::Tree => {}
         }
     }
     // Initial master values in the servers' canonical order: all PS chunks,
@@ -881,6 +882,134 @@ mod tests {
             ..RuntimeConfig::new(2, 8, 0.1, 2)
         };
         let _ = train(&factory, &dataset(), None, &cfg);
+    }
+
+    #[test]
+    fn ring_and_tree_match_ps_bitwise() {
+        let ps = distributed(SchemePolicy::AlwaysPs, 4);
+        let ring = distributed(SchemePolicy::AlwaysRing, 4);
+        let tree = distributed(SchemePolicy::AlwaysTree, 4);
+        assert_eq!(
+            ps.net.max_param_diff(&ring.net),
+            0.0,
+            "ring must replicate the PS fold bitwise"
+        );
+        assert_eq!(
+            ps.net.max_param_diff(&tree.net),
+            0.0,
+            "tree must replicate the PS fold bitwise"
+        );
+        assert_eq!(ps.losses, ring.losses);
+        assert_eq!(ps.losses, tree.losses);
+        assert!(ring.schemes.iter().all(|&(_, s)| s == CommScheme::Ring));
+        assert!(tree.schemes.iter().all(|&(_, s)| s == CommScheme::Tree));
+        assert!(
+            ring.traffic.total_bytes() > 0,
+            "collectives move real bytes"
+        );
+    }
+
+    #[test]
+    fn collectives_match_ps_with_momentum_and_schedule() {
+        let mk = |policy| {
+            let cfg = RuntimeConfig {
+                momentum: 0.9,
+                lr_schedule: LrSchedule::Step {
+                    every: 2,
+                    factor: 0.5,
+                },
+                policy,
+                partition: Partition::KvPairs { pair_elems: 50 },
+                ..RuntimeConfig::new(3, 8, 0.1, 6)
+            };
+            train(&factory, &dataset(), None, &cfg)
+        };
+        let ps = mk(SchemePolicy::AlwaysPs);
+        let ring = mk(SchemePolicy::AlwaysRing);
+        let tree = mk(SchemePolicy::AlwaysTree);
+        assert_eq!(
+            ps.net.max_param_diff(&ring.net),
+            0.0,
+            "ring diverged under momentum + LR schedule"
+        );
+        assert_eq!(
+            ps.net.max_param_diff(&tree.net),
+            0.0,
+            "tree diverged under momentum + LR schedule"
+        );
+    }
+
+    #[test]
+    fn single_worker_collective_reduces_to_ps() {
+        let ring = distributed(SchemePolicy::AlwaysRing, 1);
+        let serial = serial_train(5, 8, 0.2);
+        assert!(ring.net.max_param_diff(&serial) < 1e-6);
+        assert!(ring.schemes.iter().all(|&(_, s)| s == CommScheme::Ps));
+    }
+
+    /// Satellite regression: one worker starts late every iteration, so its
+    /// peers run ahead and their collective frames for a future iteration
+    /// arrive early — those must be stashed and replayed in arrival order,
+    /// never dropped, and the trajectory must stay bitwise identical.
+    #[test]
+    fn collectives_survive_skewed_start() {
+        let skewed = |policy| {
+            let cfg = RuntimeConfig {
+                policy,
+                partition: Partition::KvPairs { pair_elems: 50 },
+                straggler_delay_ms: Some((1, 5)),
+                ..RuntimeConfig::new(3, 8, 0.2, 5)
+            };
+            train(&factory, &dataset(), None, &cfg)
+        };
+        let ps = distributed(SchemePolicy::AlwaysPs, 3);
+        let ring = skewed(SchemePolicy::AlwaysRing);
+        let tree = skewed(SchemePolicy::AlwaysTree);
+        assert_eq!(
+            ps.net.max_param_diff(&ring.net),
+            0.0,
+            "skewed ring run diverged"
+        );
+        assert_eq!(
+            ps.net.max_param_diff(&tree.net),
+            0.0,
+            "skewed tree run diverged"
+        );
+    }
+
+    #[test]
+    fn topo_aware_policy_trains_exactly() {
+        use poseidon_netsim::LinkConfig;
+        // Whatever mix of PS/SFB/ring/tree the topology-aware pricer picks,
+        // every scheme in the mix is exact, so the trajectory must match PS.
+        let topo = crate::config::Topology::two_level(
+            3,
+            1,
+            LinkConfig {
+                bandwidth_gbps: 100.0,
+                latency_s: 1e-6,
+            },
+            LinkConfig {
+                bandwidth_gbps: 10.0,
+                latency_s: 50e-6,
+            },
+            4.0,
+        );
+        let cfg = RuntimeConfig {
+            policy: SchemePolicy::TopoAware(topo),
+            partition: Partition::KvPairs { pair_elems: 50 },
+            ..RuntimeConfig::new(3, 8, 0.2, 5)
+        };
+        let mixed = train(&factory, &dataset(), None, &cfg);
+        let ps = distributed(SchemePolicy::AlwaysPs, 3);
+        let diff = ps.net.max_param_diff(&mixed.net);
+        if mixed.schemes.iter().any(|&(_, s)| s == CommScheme::Sfb) {
+            // SFB reconstructs the dense gradient worker-side — exact but not
+            // bitwise against the server fold (same bound as ps_and_sfb_agree).
+            assert!(diff < 1e-4, "topology-aware mix diverged from PS: {diff}");
+        } else {
+            assert_eq!(diff, 0.0, "topology-aware mix diverged from PS");
+        }
     }
 
     #[test]

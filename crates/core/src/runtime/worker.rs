@@ -96,7 +96,8 @@ pub(crate) fn run_worker<M: Model, T: Transport>(
         let chunks = coordinator.chunk_table().layer_chunks(l);
         syncers.insert(
             l,
-            Syncer::new(l, scheme, chunks, info.param_elems, workers, cfg.me),
+            Syncer::new(l, scheme, chunks, info.param_elems, workers, cfg.me)
+                .with_momentum(cfg.momentum),
         );
         if scheme == CommScheme::OneBitPs {
             let (m, n) = info.fc_shape.expect("1-bit applies to FC layers");
@@ -199,6 +200,27 @@ pub(crate) fn run_worker<M: Model, T: Transport>(
                         },
                     );
                 }
+                CommScheme::Ring | CommScheme::Tree => {
+                    // Scale client-side with the same f32 product the PS
+                    // shard uses (`update_scale · lr multiplier`), so the
+                    // collective fold is bitwise-identical to the server's.
+                    let flat = syncer::flatten_grads(params);
+                    let scale = cfg.update_scale * cfg.lr_schedule.multiplier(iter);
+                    let scaled: Vec<f32> = flat.iter().map(|g| scale * g).collect();
+                    for send in s.set_collective_grad(scaled) {
+                        must_send(
+                            &endpoint,
+                            cfg.me,
+                            send.to_worker,
+                            Message::Collective {
+                                iter: iter as u64,
+                                layer: l as u32,
+                                route: send.route,
+                                data: send.data,
+                            },
+                        );
+                    }
+                }
                 CommScheme::OneBitPs => {
                     let quant = quantizers
                         .get_mut(&l)
@@ -228,15 +250,14 @@ pub(crate) fn run_worker<M: Model, T: Transport>(
             }
         });
 
-        // Receive until the completion vector is all ones.
+        // Receive until the completion vector is all ones. Replay anything
+        // stashed for this iteration first, in arrival order — the transports
+        // guarantee per-link FIFO and the collective chains rely on it (a
+        // segment's DISTRIBUTE must not overtake its REDUCE on replay).
         let mut completed = 0usize;
-        let mut pending: Vec<(usize, Message)> = Vec::new();
-        // First replay anything stashed for this iteration.
-        while let Some((from, msg)) = stashed.pop_front() {
-            pending.push((from, msg));
-        }
+        let mut pending: VecDeque<(usize, Message)> = std::mem::take(&mut stashed);
         while completed < num_syncers {
-            let (from, msg) = if let Some(p) = pending.pop() {
+            let (from, msg) = if let Some(p) = pending.pop_front() {
                 p
             } else {
                 match crate::runtime::recv_with_retry(&endpoint, cfg.comm_timeout) {
@@ -268,7 +289,8 @@ pub(crate) fn run_worker<M: Model, T: Transport>(
                 Message::GradChunk { layer, .. }
                 | Message::ParamChunk { layer, .. }
                 | Message::SfPush { layer, .. }
-                | Message::ParamMatrix { layer, .. } => *layer as usize,
+                | Message::ParamMatrix { layer, .. }
+                | Message::Collective { layer, .. } => *layer as usize,
                 Message::Ack { .. } | Message::Nack { .. } => {
                     unreachable!("control frames are filtered before dispatch")
                 }
@@ -290,6 +312,21 @@ pub(crate) fn run_worker<M: Model, T: Transport>(
                         from,
                         bytesio::decode_sf_batch(&data).expect("corrupt SF payload"),
                     );
+                }
+                Message::Collective { route, data, .. } => {
+                    for send in s.on_collective(from, route, data) {
+                        must_send(
+                            &endpoint,
+                            cfg.me,
+                            send.to_worker,
+                            Message::Collective {
+                                iter: iter as u64,
+                                layer: layer as u32,
+                                route: send.route,
+                                data: send.data,
+                            },
+                        );
+                    }
                 }
                 Message::GradChunk { chunk, data, .. } => {
                     // 1-bit path: the server broadcasts the quantized

@@ -145,6 +145,31 @@ enum Ev {
     SfArrive { layer: usize, at: usize },
     /// A worker finished reconstructing a layer from factors (SFB).
     ReconDone { layer: usize, at: usize },
+    /// A ring partial sum for `chunk` arrived at worker `at` (REDUCE hop).
+    RingReduce {
+        layer: usize,
+        chunk: usize,
+        at: usize,
+    },
+    /// The folded ring value for `chunk` arrived at worker `at` (DISTRIBUTE).
+    RingShare {
+        layer: usize,
+        chunk: usize,
+        at: usize,
+    },
+    /// A tree contribution for `chunk` arrived at node `at` en route to the
+    /// root (interior nodes relay without folding, as in the live runtime).
+    TreeGather {
+        layer: usize,
+        chunk: usize,
+        at: usize,
+    },
+    /// The root's folded value for `chunk` arrived at node `at` (broadcast).
+    TreeCast {
+        layer: usize,
+        chunk: usize,
+        at: usize,
+    },
 }
 
 /// Per-layer synchronisation plan derived from the coordinator.
@@ -178,6 +203,13 @@ struct SimState<'a> {
     pull_remaining: HashMap<(usize, usize), usize>,
     chunks_remaining: HashMap<(usize, usize), usize>,
     sf_counts: HashMap<(usize, usize), usize>,
+    /// Local gradient ready time per (layer, worker) — collective schemes.
+    coll_ready: HashMap<(usize, usize), f64>,
+    /// Ring REDUCE hops that arrived before the local gradient was ready,
+    /// stashed by (layer, chunk, worker) → arrival time.
+    coll_pending: HashMap<(usize, usize, usize), f64>,
+    /// Contributions gathered at the tree root per (layer, chunk).
+    tree_counts: HashMap<(usize, usize), usize>,
     /// Aggregations already applied (late straggler pushes are discarded).
     applied: std::collections::HashSet<(usize, usize)>,
     /// SFB reconstructions already started per (layer, worker).
@@ -326,7 +358,9 @@ fn simulate_inner(
             .map(|(m, n)| (node_batch * (m + n)) as u64 * 4 + MSG_OVERHEAD)
             .unwrap_or(0);
         let chunks: Vec<(usize, u64)> = match scheme {
-            CommScheme::Ps => coordinator
+            // Collectives reuse the PS chunk table as their segment tiling,
+            // exactly like the live Syncer does.
+            CommScheme::Ps | CommScheme::Ring | CommScheme::Tree => coordinator
                 .chunk_table()
                 .layer_chunks(l)
                 .iter()
@@ -374,6 +408,9 @@ fn simulate_inner(
         pull_remaining: HashMap::new(),
         chunks_remaining: HashMap::new(),
         sf_counts: HashMap::new(),
+        coll_ready: HashMap::new(),
+        coll_pending: HashMap::new(),
+        tree_counts: HashMap::new(),
         applied: std::collections::HashSet::new(),
         reconstructed: std::collections::HashSet::new(),
         layer_done: 0.0,
@@ -454,14 +491,21 @@ fn simulate_inner(
         state.pull_remaining.clear();
         state.chunks_remaining.clear();
         state.sf_counts.clear();
+        state.coll_ready.clear();
+        state.coll_pending.clear();
+        state.tree_counts.clear();
         state.applied.clear();
         state.reconstructed.clear();
 
         let mut trainable: Vec<usize> = state.plans.keys().copied().collect();
         trainable.sort_unstable_by(|a, b| b.cmp(a)); // top-down
         for &l in &trainable {
+            // Collectives have no partial-participation mode: every worker is
+            // a link in the chain/tree, so a straggler still sends (and gates
+            // the fold) even when its iteration completion is discounted.
+            let collective = matches!(state.plans[&l].scheme, CommScheme::Ring | CommScheme::Tree);
             for (w, done) in bwd_done.iter().enumerate() {
-                if state.is_dropped(w) {
+                if state.is_dropped(w) && !collective {
                     // The dropped straggler's sends never happen; it lags
                     // behind on stale parameters and only consumes pulls.
                     continue;
@@ -653,6 +697,69 @@ fn step(state: &mut SimState<'_>, queue: &mut EventQueue<Ev>, now: f64, ev: Ev) 
                         queue.schedule_at(now, Ev::ReconDone { layer, at: w });
                     }
                 }
+                CommScheme::Ring | CommScheme::Tree => {
+                    state
+                        .chunks_remaining
+                        .entry((layer, w))
+                        .or_insert(plan.chunks.len());
+                    let mut ready = state.local_aggregate(w, now, plan.dense_bytes);
+                    if state.charge_memcpy() {
+                        let dur = state.move_dur(plan.dense_bytes);
+                        ready = state.memcpy[w].reserve(ready, dur).1;
+                    }
+                    state.coll_ready.insert((layer, w), ready);
+                    match (plan.scheme, w) {
+                        (CommScheme::Ring, 0) => {
+                            // Worker 0 seeds the chain towards worker 1.
+                            for (c, &(_, bytes)) in plan.chunks.iter().enumerate() {
+                                state.send(
+                                    queue,
+                                    ready,
+                                    0,
+                                    1,
+                                    bytes,
+                                    Ev::RingReduce {
+                                        layer,
+                                        chunk: c,
+                                        at: 1,
+                                    },
+                                );
+                            }
+                        }
+                        (CommScheme::Ring, _) => {
+                            // Replay REDUCE hops that outran our backward.
+                            for c in 0..plan.chunks.len() {
+                                if let Some(t) = state.coll_pending.remove(&(layer, c, w)) {
+                                    ring_reduce_arrive(state, queue, t.max(ready), layer, c, w);
+                                }
+                            }
+                        }
+                        (_, 0) => {
+                            // Tree root: fold any chunk whose contributions
+                            // all arrived before our own gradient was ready.
+                            for c in 0..plan.chunks.len() {
+                                try_tree_fold(state, queue, ready, layer, c);
+                            }
+                        }
+                        _ => {
+                            let parent = (w - 1) / 2;
+                            for (c, &(_, bytes)) in plan.chunks.iter().enumerate() {
+                                state.send(
+                                    queue,
+                                    ready,
+                                    w,
+                                    parent,
+                                    bytes,
+                                    Ev::TreeGather {
+                                        layer,
+                                        chunk: c,
+                                        at: parent,
+                                    },
+                                );
+                            }
+                        }
+                    }
+                }
                 CommScheme::AdamSf => {
                     state.chunks_remaining.insert((layer, w), 1);
                     let owner = layer % p;
@@ -706,6 +813,9 @@ fn step(state: &mut SimState<'_>, queue: &mut EventQueue<Ev>, now: f64, ev: Ev) 
                     (layer % p, recon + fold)
                 }
                 CommScheme::Sfb => unreachable!("SFB has no server-side apply"),
+                CommScheme::Ring | CommScheme::Tree => {
+                    unreachable!("collectives never push to a shard")
+                }
             };
             let (astart, done) = state.cpu[shard].reserve(now, apply_dur);
             if let Some(tr) = state.tracer.as_mut() {
@@ -719,7 +829,7 @@ fn step(state: &mut SimState<'_>, queue: &mut EventQueue<Ev>, now: f64, ev: Ev) 
                 CommScheme::Ps => plan.chunks[chunk],
                 CommScheme::OneBitPs => plan.chunks[chunk],
                 CommScheme::AdamSf => (layer % p, plan.dense_bytes + MSG_OVERHEAD),
-                CommScheme::Sfb => unreachable!(),
+                CommScheme::Sfb | CommScheme::Ring | CommScheme::Tree => unreachable!(),
             };
             state.pull_remaining.insert((layer, chunk), p);
             for w in 0..p {
@@ -830,6 +940,211 @@ fn step(state: &mut SimState<'_>, queue: &mut EventQueue<Ev>, now: f64, ev: Ev) 
                 }
                 state.mark_layer_worker_done(done);
             }
+        }
+        Ev::RingReduce { layer, chunk, at } => match state.coll_ready.get(&(layer, at)) {
+            Some(&ready) => ring_reduce_arrive(state, queue, now.max(ready), layer, chunk, at),
+            None => {
+                // The predecessor ran ahead of this worker's backward; stash
+                // the hop until our own contribution exists (satellite of the
+                // live runtime's frame-stashing discipline).
+                state.coll_pending.insert((layer, chunk, at), now);
+            }
+        },
+        Ev::RingShare { layer, chunk, at } => {
+            let plan = state.plans[&layer].clone();
+            let (_, bytes) = plan.chunks[chunk];
+            finish_collective_chunk(state, now, layer, chunk, at);
+            let next = at + 1;
+            if next != p - 1 {
+                // Stop one short of the originator (worker P−1 already holds
+                // the folded value).
+                state.send(
+                    queue,
+                    now,
+                    at,
+                    next,
+                    bytes,
+                    Ev::RingShare {
+                        layer,
+                        chunk,
+                        at: next,
+                    },
+                );
+            }
+        }
+        Ev::TreeGather { layer, chunk, at } => {
+            if at == 0 {
+                *state.tree_counts.entry((layer, chunk)).or_insert(0) += 1;
+                try_tree_fold(state, queue, now, layer, chunk);
+            } else {
+                // Interior nodes relay origin-tagged payloads unchanged.
+                let (_, bytes) = state.plans[&layer].chunks[chunk];
+                let parent = (at - 1) / 2;
+                state.send(
+                    queue,
+                    now,
+                    at,
+                    parent,
+                    bytes,
+                    Ev::TreeGather {
+                        layer,
+                        chunk,
+                        at: parent,
+                    },
+                );
+            }
+        }
+        Ev::TreeCast { layer, chunk, at } => {
+            let (_, bytes) = state.plans[&layer].chunks[chunk];
+            finish_collective_chunk(state, now, layer, chunk, at);
+            for child in [2 * at + 1, 2 * at + 2] {
+                if child < p {
+                    state.send(
+                        queue,
+                        now,
+                        at,
+                        child,
+                        bytes,
+                        Ev::TreeCast {
+                            layer,
+                            chunk,
+                            at: child,
+                        },
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A ring REDUCE hop lands at `at`, whose local gradient is ready: fuse-add
+/// the partial on the transform stream, then forward (or, at the chain's
+/// end, fold and originate the DISTRIBUTE pass).
+fn ring_reduce_arrive(
+    state: &mut SimState<'_>,
+    queue: &mut EventQueue<Ev>,
+    now: f64,
+    layer: usize,
+    chunk: usize,
+    at: usize,
+) {
+    let p = state.p;
+    let (_, bytes) = state.plans[&layer].chunks[chunk];
+    let dense = bytes - MSG_OVERHEAD;
+    let dur = dense as f64 / state.cfg.apply_bytes_per_s;
+    let done = state.cpu[at].reserve(now, dur).1;
+    if let Some(tr) = state.tracer.as_mut() {
+        tr.span(p + at, "coll.fold", 0, layer as u64, now, done);
+    }
+    if at == p - 1 {
+        // Chain complete: this worker holds the folded update; the broadcast
+        // pass walks the ring from worker 0.
+        finish_collective_chunk(state, done, layer, chunk, at);
+        state.send(
+            queue,
+            done,
+            at,
+            0,
+            bytes,
+            Ev::RingShare {
+                layer,
+                chunk,
+                at: 0,
+            },
+        );
+    } else {
+        state.send(
+            queue,
+            done,
+            at,
+            at + 1,
+            bytes,
+            Ev::RingReduce {
+                layer,
+                chunk,
+                at: at + 1,
+            },
+        );
+    }
+}
+
+/// Folds a tree chunk at the root once its own gradient and all `P−1`
+/// origin contributions are present, then starts the downward broadcast.
+fn try_tree_fold(
+    state: &mut SimState<'_>,
+    queue: &mut EventQueue<Ev>,
+    now: f64,
+    layer: usize,
+    chunk: usize,
+) {
+    let Some(&ready) = state.coll_ready.get(&(layer, 0)) else {
+        return;
+    };
+    if state.tree_counts.get(&(layer, chunk)).copied().unwrap_or(0) < state.p - 1 {
+        return;
+    }
+    state.tree_counts.remove(&(layer, chunk));
+    let p = state.p;
+    let (_, bytes) = state.plans[&layer].chunks[chunk];
+    let dense = bytes - MSG_OVERHEAD;
+    let dur = p as f64 * dense as f64 / state.cfg.apply_bytes_per_s;
+    let start = now.max(ready);
+    let done = state.cpu[0].reserve(start, dur).1;
+    if let Some(tr) = state.tracer.as_mut() {
+        tr.span(p, "coll.fold", 0, layer as u64, start, done);
+    }
+    finish_collective_chunk(state, done, layer, chunk, 0);
+    for child in [1, 2] {
+        if child < p {
+            state.send(
+                queue,
+                done,
+                0,
+                child,
+                bytes,
+                Ev::TreeCast {
+                    layer,
+                    chunk,
+                    at: child,
+                },
+            );
+        }
+    }
+}
+
+/// A collective worker received (or produced) the final value of one chunk;
+/// when the last chunk lands, the layer is synchronised on that worker.
+fn finish_collective_chunk(
+    state: &mut SimState<'_>,
+    t: f64,
+    layer: usize,
+    chunk: usize,
+    worker: usize,
+) {
+    let _ = chunk;
+    let plan = state.plans[&layer].clone();
+    let entry = state
+        .chunks_remaining
+        .entry((layer, worker))
+        .or_insert(plan.chunks.len());
+    *entry -= 1;
+    if *entry == 0 {
+        state.chunks_remaining.remove(&(layer, worker));
+        let done = state.local_distribute(worker, t, plan.dense_bytes);
+        if !state.is_dropped(worker) {
+            if let Some(tr) = state.tracer.as_mut() {
+                let iter = tr.iter;
+                tr.push(
+                    worker,
+                    EventKind::End,
+                    "wfbp.sync",
+                    layer as u32 + 1,
+                    layer as u64,
+                    iter,
+                    done,
+                );
+            }
+            state.mark_layer_worker_done(done);
         }
     }
 }
@@ -1173,6 +1488,138 @@ mod tests {
         let json = crate::telemetry::chrome::to_chrome_json(&[trace]);
         let stats = crate::telemetry::chrome::validate(&json).expect("valid chrome trace");
         assert!(stats.spans > 0 && stats.tracks > 1);
+    }
+
+    #[test]
+    fn ring_per_node_traffic_is_bounded_independent_of_p() {
+        // Each ring worker relays every chunk at most twice in each
+        // direction (one REDUCE hop, one DISTRIBUTE hop), so per-node
+        // traffic caps at 2·dense sent + 2·dense received no matter how
+        // many nodes join — PS per-node traffic instead grows with
+        // (P1+P2−2)/P2. (The ledger counts both directions.)
+        let vgg = zoo::vgg19();
+        let dense_gbit = vgg.param_bytes() as f64 * 8.0 / 1e9;
+        for p in [4usize, 8, 16] {
+            let mut cfg = SimConfig::system(System::WfbpPs, p, 40.0);
+            cfg.policy = crate::config::SchemePolicy::AlwaysRing;
+            let ring = simulate(&vgg, &cfg);
+            assert!(
+                ring.schemes.iter().all(|(_, s)| *s == CommScheme::Ring),
+                "AlwaysRing must assign Ring everywhere: {:?}",
+                ring.schemes
+            );
+            let max_gbit = ring.per_node_gbit.iter().cloned().fold(0.0, f64::max);
+            assert!(
+                max_gbit < 1.02 * 4.0 * dense_gbit,
+                "P={p}: ring per-node traffic {max_gbit} Gb exceeds the 4·dense cap"
+            );
+            // Whole-cluster bytes: 2(P−1) hops, each counted at sender and
+            // receiver.
+            let total: f64 = ring.per_node_gbit.iter().sum();
+            let expect = 2.0 * 2.0 * (p - 1) as f64 * dense_gbit;
+            assert!(
+                (total - expect).abs() / expect < 0.02,
+                "P={p}: cluster ring traffic {total} Gb vs expected {expect} Gb"
+            );
+        }
+    }
+
+    #[test]
+    fn tree_completes_with_gather_and_broadcast() {
+        let g = zoo::googlenet();
+        let mut cfg = SimConfig::system(System::WfbpPs, 8, 40.0);
+        cfg.policy = crate::config::SchemePolicy::AlwaysTree;
+        let r = simulate(&g, &cfg);
+        assert!(r.schemes.iter().all(|(_, s)| *s == CommScheme::Tree));
+        assert!(r.iter_time_s >= r.compute_s);
+        assert!(r.per_node_gbit.iter().all(|&b| b > 0.0));
+        // The root relays the most traffic (gather in + broadcast out plus
+        // relayed interior contributions); leaves send one copy up and
+        // forward at most two down.
+        assert!(
+            r.per_node_gbit[0] > r.per_node_gbit[7],
+            "root should carry more than a leaf: {:?}",
+            r.per_node_gbit
+        );
+    }
+
+    #[test]
+    fn topo_aware_policy_mixes_schemes_in_simulation() {
+        // An oversubscribed 2-level cluster (4 nodes × 2 GPUs): the cost
+        // model keeps the latency-bound first conv on PS and the FC layers
+        // on SFB, but moves the bandwidth-bound big convs — whose PS traffic
+        // would all cross the oversubscribed core — onto a collective. This
+        // is the FireCaffe-style crossover, end to end in the simulator.
+        use crate::config::{SchemePolicy, Topology};
+        use poseidon_netsim::LinkConfig;
+        let vgg = zoo::vgg19();
+        let topo = Topology::two_level(
+            4,
+            2,
+            LinkConfig {
+                bandwidth_gbps: 100.0,
+                latency_s: 1e-6,
+            },
+            LinkConfig {
+                bandwidth_gbps: 10.0,
+                latency_s: 50e-6,
+            },
+            4.0,
+        );
+        let mut cfg = SimConfig::system(System::WfbpPs, 8, 10.0);
+        cfg.policy = SchemePolicy::TopoAware(topo);
+        let r = simulate(&vgg, &cfg);
+        let scheme_of = |name: &str| {
+            r.schemes
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|&(_, s)| s)
+                .unwrap_or_else(|| panic!("{name} missing from {:?}", r.schemes))
+        };
+        assert_eq!(
+            scheme_of("conv1_1"),
+            CommScheme::Ps,
+            "tiny first conv stays latency-bound on PS: {:?}",
+            r.schemes
+        );
+        assert!(
+            matches!(scheme_of("conv5_4"), CommScheme::Ring | CommScheme::Tree),
+            "big conv should go collective: {:?}",
+            r.schemes
+        );
+        assert_eq!(
+            scheme_of("fc6"),
+            CommScheme::Sfb,
+            "FC layers stay on sufficient factors: {:?}",
+            r.schemes
+        );
+        // The mixed plan still completes every layer on every node (the
+        // simulate() internal barrier assertion), and every scheme family
+        // appears at once.
+        let distinct: std::collections::HashSet<_> = r.schemes.iter().map(|&(_, s)| s).collect();
+        assert!(distinct.len() >= 3, "expected a 3-way mix: {:?}", r.schemes);
+    }
+
+    #[test]
+    fn ring_has_no_straggler_drop_escape_hatch() {
+        // Collectives are barrier-full: every worker is a link in the chain,
+        // so even with drop_stragglers the slow node gates the fold (unlike
+        // PS, where its pushes are simply discarded). The run must still
+        // complete — the dropped node keeps sending.
+        let g = zoo::googlenet();
+        let mut cfg = SimConfig::system(System::WfbpPs, 8, 40.0);
+        cfg.policy = crate::config::SchemePolicy::AlwaysRing;
+        let clean = simulate(&g, &cfg);
+        let mut slow = cfg.clone();
+        slow.straggler = Some((3, 2.0));
+        slow.drop_stragglers = true;
+        let gated = simulate(&g, &slow);
+        assert!(
+            gated.iter_time_s > 1.5 * clean.iter_time_s,
+            "ring cannot drop a straggler: {} vs {}",
+            gated.iter_time_s,
+            clean.iter_time_s
+        );
     }
 
     #[test]

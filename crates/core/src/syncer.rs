@@ -14,6 +14,8 @@
 
 use crate::chunk::Chunk;
 use crate::config::CommScheme;
+use crate::wire::{self, COLLECTIVE_DISTRIBUTE, COLLECTIVE_REDUCE};
+use bytes::Bytes;
 use poseidon_nn::ParamBlock;
 use poseidon_tensor::{Matrix, SfBatch};
 
@@ -33,6 +35,20 @@ pub enum SyncOutcome {
     SfApply(Vec<SfBatch>),
 }
 
+/// One collective frame for the runtime to transmit: `data` travels to worker
+/// `to_worker` as a [`crate::transport::Message::Collective`] with the packed
+/// `route` (phase ⊕ origin ⊕ segment, [`crate::wire::pack_collective`]).
+#[derive(Debug, Clone)]
+pub struct CollectiveSend {
+    /// Destination worker id (== its transport endpoint under the runtimes'
+    /// worker-first endpoint numbering).
+    pub to_worker: usize,
+    /// Packed collective route.
+    pub route: u32,
+    /// Wire payload: the segment's little-endian f32 values.
+    pub data: Bytes,
+}
+
 /// Per-layer synchronisation state for one worker.
 #[derive(Debug)]
 pub struct Syncer {
@@ -48,6 +64,22 @@ pub struct Syncer {
     received_matrix: Option<Vec<f32>>,
     own_sf: Option<SfBatch>,
     peer_sf: Vec<Option<SfBatch>>,
+    // --- collective (ring/tree) state ---
+    /// Momentum coefficient µ replicated client-side; must match the PS
+    /// shards' for bitwise parity across schemes.
+    momentum: f32,
+    /// Offset-ordered `(offset, len)` segments for the collective schemes:
+    /// the layer's KV chunks, or one whole-layer segment when it has none.
+    segs: Vec<(usize, usize)>,
+    /// Per-segment scaled velocity `v` — the client-side replica of the PS
+    /// shard's velocity buffer. Persistent across iterations.
+    velocity: Vec<Option<Vec<f32>>>,
+    /// Per-segment own scaled contribution `c_me = scale·g_me` this iteration.
+    own_contrib: Vec<Option<Vec<f32>>>,
+    /// Per-segment completion flag this iteration.
+    seg_done: Vec<bool>,
+    /// Tree root only: buffered origin-tagged contributions, `[seg][origin]`.
+    gathered: Vec<Vec<Option<Bytes>>>,
 }
 
 impl Syncer {
@@ -66,6 +98,30 @@ impl Syncer {
     ) -> Self {
         assert!(me < workers, "worker id out of range");
         let n_chunks = chunks.len();
+        let collective = matches!(scheme, CommScheme::Ring | CommScheme::Tree);
+        let segs: Vec<(usize, usize)> = if collective {
+            if chunks.is_empty() {
+                vec![(0, param_elems)]
+            } else {
+                let mut expect = 0usize;
+                let segs = chunks
+                    .iter()
+                    .map(|c| {
+                        assert_eq!(c.offset, expect, "collective segments must tile the layer");
+                        expect += c.len;
+                        (c.offset, c.len)
+                    })
+                    .collect();
+                assert_eq!(
+                    expect, param_elems,
+                    "collective segments must cover the layer"
+                );
+                segs
+            }
+        } else {
+            Vec::new()
+        };
+        let n_segs = segs.len();
         Self {
             layer,
             scheme,
@@ -77,7 +133,26 @@ impl Syncer {
             received_matrix: None,
             own_sf: None,
             peer_sf: vec![None; workers],
+            momentum: 0.0,
+            velocity: vec![None; n_segs],
+            own_contrib: vec![None; n_segs],
+            seg_done: vec![false; n_segs],
+            gathered: if matches!(scheme, CommScheme::Tree) && me == 0 {
+                vec![vec![None; workers]; n_segs]
+            } else {
+                Vec::new()
+            },
+            segs,
         }
+    }
+
+    /// Sets the momentum coefficient µ the collective schemes replicate
+    /// client-side (must equal the PS shards' µ for bitwise parity across
+    /// schemes). Builder-style so non-collective call sites stay untouched.
+    pub fn with_momentum(mut self, momentum: f32) -> Self {
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0,1)");
+        self.momentum = momentum;
+        self
     }
 
     /// The layer this syncer serves.
@@ -105,6 +180,285 @@ impl Syncer {
         self.own_sf = None;
         for p in &mut self.peer_sf {
             *p = None;
+        }
+        // Collective per-iteration state only — the velocity is the optimiser
+        // state and lives across iterations (next round's µ·v).
+        for c in &mut self.own_contrib {
+            *c = None;
+        }
+        for d in &mut self.seg_done {
+            *d = false;
+        }
+        for seg in &mut self.gathered {
+            for o in seg {
+                *o = None;
+            }
+        }
+    }
+
+    /// Children of `w` in the binary worker tree rooted at worker 0.
+    fn tree_children(&self, w: usize) -> impl Iterator<Item = usize> {
+        let p = self.workers;
+        [2 * w + 1, 2 * w + 2].into_iter().filter(move |&c| c < p)
+    }
+
+    /// Records this worker's scaled gradient contribution `c = scale·g`
+    /// (flattened `weights ++ bias`) at `Send` time and returns the collective
+    /// frames to transmit: ring worker 0 seeds each segment's chain with
+    /// `µ·v + c₀` (the exact PS fold prefix), tree non-roots push their
+    /// origin-tagged contribution towards the root.
+    pub fn set_collective_grad(&mut self, scaled: Vec<f32>) -> Vec<CollectiveSend> {
+        assert!(
+            matches!(self.scheme, CommScheme::Ring | CommScheme::Tree),
+            "layer {}: set_collective_grad under {}",
+            self.layer,
+            self.scheme
+        );
+        assert!(
+            self.workers > 1,
+            "collective schemes need at least two workers"
+        );
+        assert_eq!(
+            scaled.len(),
+            self.param_elems,
+            "scaled gradient length mismatch"
+        );
+        let mut out = Vec::new();
+        match (self.scheme, self.me) {
+            (CommScheme::Ring, 0) => {
+                for seg in 0..self.segs.len() {
+                    let (off, len) = self.segs[seg];
+                    // Seed `t = µ·v` (exact zeros when µ = 0 or before the
+                    // first fold — the shard's `velocity.fill(0.0)`), then
+                    // `t += c₀`: the same f32 op sequence the shard runs, so
+                    // every rounding matches bitwise. Never assign `c₀`
+                    // directly — `0.0 + (-0.0)` is `+0.0`, assignment isn't.
+                    let mut t = vec![0.0f32; len];
+                    if self.momentum != 0.0 {
+                        if let Some(v) = &self.velocity[seg] {
+                            for (t, v) in t.iter_mut().zip(v) {
+                                *t = self.momentum * v;
+                            }
+                        }
+                    }
+                    for (t, c) in t.iter_mut().zip(&scaled[off..off + len]) {
+                        *t += c;
+                    }
+                    out.push(CollectiveSend {
+                        to_worker: 1,
+                        route: wire::pack_collective(COLLECTIVE_REDUCE, 0, seg),
+                        data: wire::encode_f32s_pooled(&t),
+                    });
+                }
+            }
+            (CommScheme::Ring, _) => {
+                for (seg, &(off, len)) in self.segs.iter().enumerate() {
+                    self.own_contrib[seg] = Some(scaled[off..off + len].to_vec());
+                }
+            }
+            (CommScheme::Tree, 0) => {
+                for (seg, &(off, len)) in self.segs.iter().enumerate() {
+                    self.own_contrib[seg] = Some(scaled[off..off + len].to_vec());
+                }
+                for seg in 0..self.segs.len() {
+                    self.try_fold_root(seg, &mut out);
+                }
+            }
+            (CommScheme::Tree, me) => {
+                let parent = (me - 1) / 2;
+                for (seg, &(off, len)) in self.segs.iter().enumerate() {
+                    out.push(CollectiveSend {
+                        to_worker: parent,
+                        route: wire::pack_collective(COLLECTIVE_REDUCE, me, seg),
+                        data: wire::encode_f32s_pooled(&scaled[off..off + len]),
+                    });
+                }
+            }
+            _ => unreachable!(),
+        }
+        out
+    }
+
+    /// Handles a collective (ring/tree) frame, returning frames to forward.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a protocol violation: wrong sender for the route, duplicate
+    /// segment, length mismatch, or a ring REDUCE arriving before this
+    /// worker's own backward produced its contribution (the runtimes drive
+    /// the whole backward pass before draining receives, so that is a bug,
+    /// not a race).
+    pub fn on_collective(
+        &mut self,
+        from_worker: usize,
+        route: u32,
+        payload: Bytes,
+    ) -> Vec<CollectiveSend> {
+        assert!(
+            matches!(self.scheme, CommScheme::Ring | CommScheme::Tree),
+            "layer {}: unexpected collective frame under {}",
+            self.layer,
+            self.scheme
+        );
+        let (phase, origin, seg) = wire::unpack_collective(route);
+        assert!(
+            seg < self.segs.len(),
+            "collective segment {seg} out of range"
+        );
+        let (_, len) = self.segs[seg];
+        assert_eq!(payload.len(), len * 4, "collective payload length mismatch");
+        let mut out = Vec::new();
+        match (self.scheme, phase) {
+            (CommScheme::Ring, COLLECTIVE_REDUCE) => {
+                assert_ne!(self.me, 0, "worker 0 never receives ring REDUCE");
+                assert_eq!(
+                    from_worker,
+                    self.me - 1,
+                    "ring REDUCE from wrong predecessor"
+                );
+                assert_eq!(origin, 0, "ring frames originate at worker 0");
+                assert!(
+                    !self.seg_done[seg],
+                    "duplicate ring REDUCE for segment {seg}"
+                );
+                let own = self.own_contrib[seg].take().unwrap_or_else(|| {
+                    panic!("ring REDUCE for segment {seg} before local backward")
+                });
+                // Fused `partial += c_me` straight on the wire payload into a
+                // pooled buffer — no decode/encode round-trip per hop.
+                let summed = wire::add_f32s_pooled(&payload, &own).expect("length checked above");
+                if self.me == self.workers - 1 {
+                    // Chain complete: `summed` is the new velocity. Store it
+                    // and originate the DISTRIBUTE pass the other way round.
+                    self.velocity[seg] = Some(wire::decode_f32s(&summed).expect("aligned"));
+                    self.seg_done[seg] = true;
+                    out.push(CollectiveSend {
+                        to_worker: (self.me + 1) % self.workers,
+                        route: wire::pack_collective(COLLECTIVE_DISTRIBUTE, 0, seg),
+                        data: summed,
+                    });
+                } else {
+                    out.push(CollectiveSend {
+                        to_worker: self.me + 1,
+                        route,
+                        data: summed,
+                    });
+                }
+            }
+            (CommScheme::Ring, COLLECTIVE_DISTRIBUTE) => {
+                let last = self.workers - 1;
+                assert_ne!(self.me, last, "the last worker originates DISTRIBUTE");
+                let expect_from = if self.me == 0 { last } else { self.me - 1 };
+                assert_eq!(
+                    from_worker, expect_from,
+                    "ring DISTRIBUTE from wrong predecessor"
+                );
+                assert!(
+                    !self.seg_done[seg],
+                    "duplicate ring DISTRIBUTE for segment {seg}"
+                );
+                self.velocity[seg] =
+                    Some(wire::decode_f32s(&payload).expect("length checked above"));
+                self.seg_done[seg] = true;
+                let next = self.me + 1;
+                if next != last {
+                    // Forward the folded velocity unchanged (shared `Bytes`,
+                    // no copy); the chain stops just before its originator.
+                    out.push(CollectiveSend {
+                        to_worker: next,
+                        route,
+                        data: payload,
+                    });
+                }
+            }
+            (CommScheme::Tree, COLLECTIVE_REDUCE) => {
+                assert!(
+                    origin > 0 && origin < self.workers,
+                    "bad tree origin {origin}"
+                );
+                if self.me == 0 {
+                    assert!(
+                        self.gathered[seg][origin].is_none(),
+                        "duplicate tree contribution from origin {origin}"
+                    );
+                    self.gathered[seg][origin] = Some(payload);
+                    self.try_fold_root(seg, &mut out);
+                } else {
+                    // Interior node: relay the origin-tagged frame unchanged
+                    // towards the root (shared `Bytes`, no copy).
+                    out.push(CollectiveSend {
+                        to_worker: (self.me - 1) / 2,
+                        route,
+                        data: payload,
+                    });
+                }
+            }
+            (CommScheme::Tree, COLLECTIVE_DISTRIBUTE) => {
+                assert_ne!(self.me, 0, "the root originates tree DISTRIBUTE");
+                assert_eq!(
+                    from_worker,
+                    (self.me - 1) / 2,
+                    "tree DISTRIBUTE from non-parent"
+                );
+                assert!(
+                    !self.seg_done[seg],
+                    "duplicate tree DISTRIBUTE for segment {seg}"
+                );
+                self.velocity[seg] =
+                    Some(wire::decode_f32s(&payload).expect("length checked above"));
+                self.seg_done[seg] = true;
+                for child in self.tree_children(self.me) {
+                    out.push(CollectiveSend {
+                        to_worker: child,
+                        route,
+                        data: payload.clone(),
+                    });
+                }
+            }
+            _ => unreachable!("unknown collective phase {phase}"),
+        }
+        out
+    }
+
+    /// Root-side tree fold: once every origin's contribution and our own are
+    /// in for `seg`, replay the shard's exact fold (`v ← µ·v` or zeros, then
+    /// `v += c_w` in worker-id order) and broadcast the new velocity down.
+    fn try_fold_root(&mut self, seg: usize, out: &mut Vec<CollectiveSend>) {
+        debug_assert_eq!(self.me, 0, "only the root folds");
+        if self.seg_done[seg]
+            || self.own_contrib[seg].is_none()
+            || (1..self.workers).any(|o| self.gathered[seg][o].is_none())
+        {
+            return;
+        }
+        let (_, len) = self.segs[seg];
+        let mut t = vec![0.0f32; len];
+        if self.momentum != 0.0 {
+            if let Some(v) = &self.velocity[seg] {
+                for (t, v) in t.iter_mut().zip(v) {
+                    *t = self.momentum * v;
+                }
+            }
+        }
+        let own = self.own_contrib[seg].take().expect("checked above");
+        for (t, c) in t.iter_mut().zip(&own) {
+            *t += c;
+        }
+        for origin in 1..self.workers {
+            let b = self.gathered[seg][origin].take().expect("checked above");
+            for (t, src) in t.iter_mut().zip(b.chunks_exact(4)) {
+                *t += f32::from_le_bytes([src[0], src[1], src[2], src[3]]);
+            }
+        }
+        let data = wire::encode_f32s_pooled(&t);
+        self.velocity[seg] = Some(t);
+        self.seg_done[seg] = true;
+        for child in self.tree_children(0) {
+            out.push(CollectiveSend {
+                to_worker: child,
+                route: wire::pack_collective(COLLECTIVE_DISTRIBUTE, 0, seg),
+                data: data.clone(),
+            });
         }
     }
 
@@ -181,6 +535,7 @@ impl Syncer {
                         .filter(|&w| w != self.me)
                         .all(|w| self.peer_sf[w].is_some())
             }
+            CommScheme::Ring | CommScheme::Tree => self.seg_done.iter().all(|&d| d),
         }
     }
 
@@ -220,6 +575,16 @@ impl Syncer {
                     }
                 }
                 SyncOutcome::SfApply(batches)
+            }
+            CommScheme::Ring | CommScheme::Tree => {
+                // The velocity is persistent optimiser state (next round's
+                // µ·v), so clone rather than take.
+                let mut flat = vec![0.0f32; self.param_elems];
+                for (seg, &(off, len)) in self.segs.iter().enumerate() {
+                    flat[off..off + len]
+                        .copy_from_slice(self.velocity[seg].as_ref().expect("complete"));
+                }
+                SyncOutcome::ApplyDelta(flat)
             }
         }
     }
@@ -302,7 +667,9 @@ pub fn apply_sf_batches(p: &mut ParamBlock, batches: &[SfBatch], scale: f32) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kvstore::ShardState;
     use poseidon_tensor::SufficientFactor;
+    use std::collections::VecDeque;
 
     fn chunk(layer: usize, idx: usize, offset: usize, len: usize) -> Chunk {
         Chunk {
@@ -429,5 +796,130 @@ mod tests {
             vec![1.0],
         )]));
         assert!(s.is_complete());
+    }
+
+    fn f32_bits(v: &[f32]) -> Vec<u32> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    /// Drives `workers` collective syncers through three full exchanges and
+    /// checks the applied parameters stay bitwise identical to a PS shard
+    /// folding the same raw gradients (the cross-scheme exactness invariant).
+    fn collective_matches_shard(scheme: CommScheme, workers: usize, momentum: f32) {
+        let elems = 7;
+        let chunks = vec![chunk(0, 0, 0, 4), chunk(0, 1, 4, 3)];
+        let scale = -0.05f32;
+        let mut shard = ShardState::with_momentum(workers, scale, momentum);
+        shard.init_pair((0, 0), vec![0.25; 4]);
+        shard.init_pair((0, 1), vec![0.25; 3]);
+        let mut params = vec![0.25f32; elems];
+        let mut syncers: Vec<Syncer> = (0..workers)
+            .map(|w| {
+                Syncer::new(0, scheme, chunks.clone(), elems, workers, w).with_momentum(momentum)
+            })
+            .collect();
+        for it in 0..3usize {
+            let grads: Vec<Vec<f32>> = (0..workers)
+                .map(|w| {
+                    (0..elems)
+                        .map(|i| ((w * 31 + i * 7 + it * 13) % 17) as f32 * 0.3 - 2.0)
+                        .collect()
+                })
+                .collect();
+            // Backward for every worker, then drain the in-flight frames —
+            // the same send-before-receive order the runtimes follow.
+            let mut inflight: VecDeque<(usize, usize, u32, Bytes)> = VecDeque::new();
+            for (w, s) in syncers.iter_mut().enumerate() {
+                s.begin_iteration();
+                let scaled: Vec<f32> = grads[w].iter().map(|g| scale * g).collect();
+                for send in s.set_collective_grad(scaled) {
+                    inflight.push_back((send.to_worker, w, send.route, send.data));
+                }
+            }
+            while let Some((to, from, route, data)) = inflight.pop_front() {
+                for send in syncers[to].on_collective(from, route, data) {
+                    inflight.push_back((send.to_worker, to, send.route, send.data));
+                }
+            }
+            let mut deltas = Vec::new();
+            for s in &mut syncers {
+                assert!(s.is_complete(), "collective exchange stalled");
+                match s.take_outcome() {
+                    SyncOutcome::ApplyDelta(d) => deltas.push(d),
+                    other => panic!("wrong outcome {other:?}"),
+                }
+            }
+            for d in &deltas[1..] {
+                assert_eq!(f32_bits(d), f32_bits(&deltas[0]), "replicas diverged");
+            }
+            for (p, d) in params.iter_mut().zip(&deltas[0]) {
+                *p += d;
+            }
+            for (w, g) in grads.iter().enumerate() {
+                shard.receive_grad(w, (0, 0), &g[..4]);
+                shard.receive_grad(w, (0, 1), &g[4..]);
+            }
+            let mut master = Vec::new();
+            master.extend_from_slice(shard.pair((0, 0)).unwrap());
+            master.extend_from_slice(shard.pair((0, 1)).unwrap());
+            assert_eq!(
+                f32_bits(&params),
+                f32_bits(&master),
+                "{scheme} P={workers} µ={momentum} diverged from the PS fold at iteration {it}"
+            );
+        }
+    }
+
+    #[test]
+    fn ring_matches_ps_shard_bitwise() {
+        for &workers in &[2, 3, 5] {
+            collective_matches_shard(CommScheme::Ring, workers, 0.0);
+            collective_matches_shard(CommScheme::Ring, workers, 0.9);
+        }
+    }
+
+    #[test]
+    fn tree_matches_ps_shard_bitwise() {
+        for &workers in &[2, 3, 4, 7] {
+            collective_matches_shard(CommScheme::Tree, workers, 0.0);
+            collective_matches_shard(CommScheme::Tree, workers, 0.9);
+        }
+    }
+
+    #[test]
+    fn collective_layer_without_chunks_uses_one_segment() {
+        let mut a = Syncer::new(0, CommScheme::Ring, vec![], 3, 2, 0);
+        let mut b = Syncer::new(0, CommScheme::Ring, vec![], 3, 2, 1);
+        let seeds = a.set_collective_grad(vec![1.0, 2.0, 3.0]);
+        assert!(b.set_collective_grad(vec![0.5, 0.5, 0.5]).is_empty());
+        assert_eq!(seeds.len(), 1, "single whole-layer segment");
+        let fwd = b.on_collective(0, seeds[0].route, seeds[0].data.clone());
+        assert!(b.is_complete());
+        assert_eq!(fwd.len(), 1, "DISTRIBUTE back to worker 0");
+        let done = a.on_collective(1, fwd[0].route, fwd[0].data.clone());
+        assert!(done.is_empty(), "DISTRIBUTE stops before its originator");
+        assert!(a.is_complete());
+        match a.take_outcome() {
+            SyncOutcome::ApplyDelta(d) => assert_eq!(d, vec![1.5, 2.5, 3.5]),
+            other => panic!("wrong outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong predecessor")]
+    fn ring_reduce_from_wrong_sender_panics() {
+        let mut s = Syncer::new(0, CommScheme::Ring, vec![], 2, 3, 2);
+        s.set_collective_grad(vec![0.0, 0.0]);
+        let route = wire::pack_collective(COLLECTIVE_REDUCE, 0, 0);
+        s.on_collective(0, route, wire::encode_f32s(&[1.0, 2.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate tree contribution")]
+    fn duplicate_tree_contribution_panics() {
+        let mut s = Syncer::new(0, CommScheme::Tree, vec![], 1, 3, 0);
+        let route = wire::pack_collective(COLLECTIVE_REDUCE, 1, 0);
+        s.on_collective(1, route, wire::encode_f32s(&[1.0]));
+        s.on_collective(1, route, wire::encode_f32s(&[1.0]));
     }
 }

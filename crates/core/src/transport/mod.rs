@@ -98,6 +98,20 @@ pub enum Message {
         /// The sequence number the receiver expects next.
         expect: u64,
     },
+    /// A collective (ring/tree allreduce) segment travelling worker → worker.
+    /// `route` packs the phase, originating worker and segment index
+    /// ([`crate::wire::pack_collective`]); it rides in the frame's chunk
+    /// field, so the wire format is unchanged.
+    Collective {
+        /// Training iteration.
+        iter: u64,
+        /// Layer index.
+        layer: u32,
+        /// Packed `(phase, origin, seg)` route.
+        route: u32,
+        /// Encoded payload (scaled partial sums or the folded update).
+        data: Bytes,
+    },
 }
 
 impl Message {
@@ -114,7 +128,8 @@ impl Message {
             Message::GradChunk { iter, .. }
             | Message::ParamChunk { iter, .. }
             | Message::SfPush { iter, .. }
-            | Message::ParamMatrix { iter, .. } => *iter,
+            | Message::ParamMatrix { iter, .. }
+            | Message::Collective { iter, .. } => *iter,
             Message::Ack { upto } => *upto,
             Message::Nack { expect } => *expect,
         }
@@ -126,7 +141,8 @@ impl Message {
             Message::GradChunk { layer, .. }
             | Message::ParamChunk { layer, .. }
             | Message::SfPush { layer, .. }
-            | Message::ParamMatrix { layer, .. } => *layer,
+            | Message::ParamMatrix { layer, .. }
+            | Message::Collective { layer, .. } => *layer,
             Message::Ack { .. } | Message::Nack { .. } => 0,
         }
     }
@@ -140,6 +156,7 @@ impl Message {
             Message::ParamMatrix { .. } => "ParamMatrix",
             Message::Ack { .. } => "Ack",
             Message::Nack { .. } => "Nack",
+            Message::Collective { .. } => "Collective",
         }
     }
 
@@ -164,7 +181,8 @@ impl Message {
             Message::GradChunk { data, .. }
             | Message::ParamChunk { data, .. }
             | Message::SfPush { data, .. }
-            | Message::ParamMatrix { data, .. } => data,
+            | Message::ParamMatrix { data, .. }
+            | Message::Collective { data, .. } => data,
             Message::Ack { .. } | Message::Nack { .. } => &EMPTY,
         }
     }
@@ -176,7 +194,8 @@ impl Message {
             Message::GradChunk { data, .. }
             | Message::ParamChunk { data, .. }
             | Message::SfPush { data, .. }
-            | Message::ParamMatrix { data, .. } => data,
+            | Message::ParamMatrix { data, .. }
+            | Message::Collective { data, .. } => data,
             Message::Ack { .. } | Message::Nack { .. } => Bytes::new(),
         }
     }

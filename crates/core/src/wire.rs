@@ -9,7 +9,7 @@
 //! 0       2     magic  "PN"
 //! 2       1     version (currently 2)
 //! 3       1     tag (1 GradChunk | 2 ParamChunk | 3 SfPush | 4 ParamMatrix
-//!                    | 5 Ack | 6 Nack)
+//!                    | 5 Ack | 6 Nack | 7 Collective)
 //! 4       8     iter        u64 LE (control frames: the ack/nack operand)
 //! 12      4     layer       u32 LE
 //! 16      4     chunk       u32 LE (LAYER_GRANULAR_CHUNK where not applicable)
@@ -67,6 +67,41 @@ const TAG_SF_PUSH: u8 = 3;
 const TAG_PARAM_MATRIX: u8 = 4;
 const TAG_ACK: u8 = 5;
 const TAG_NACK: u8 = 6;
+const TAG_COLLECTIVE: u8 = 7;
+
+/// Collective route phase: accumulating towards the fold point (ring
+/// `Reduce`, tree `Up`).
+pub const COLLECTIVE_REDUCE: u8 = 0;
+/// Collective route phase: folded update travelling back out (ring
+/// `Distribute`, tree `Down`).
+pub const COLLECTIVE_DISTRIBUTE: u8 = 1;
+
+/// Packs a collective frame's route — phase, originating worker, segment
+/// index — into the 32-bit chunk field: `phase(2) | origin(14) | seg(16)`.
+/// With phase < 2 the result can never collide with
+/// [`LAYER_GRANULAR_CHUNK`].
+///
+/// # Panics
+///
+/// Panics when a component exceeds its field width.
+pub fn pack_collective(phase: u8, origin: usize, seg: usize) -> u32 {
+    assert!(phase < 2, "collective phase out of range: {phase}");
+    assert!(
+        origin < (1 << 14),
+        "collective origin out of range: {origin}"
+    );
+    assert!(seg < (1 << 16), "collective segment out of range: {seg}");
+    ((phase as u32) << 30) | ((origin as u32) << 16) | seg as u32
+}
+
+/// Inverse of [`pack_collective`]: `(phase, origin, seg)`.
+pub fn unpack_collective(route: u32) -> (u8, usize, usize) {
+    (
+        (route >> 30) as u8,
+        ((route >> 16) & 0x3FFF) as usize,
+        (route & 0xFFFF) as usize,
+    )
+}
 
 /// Why a buffer failed to decode as a frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -179,6 +214,9 @@ pub fn encode_header_seq(msg: &Message, src: u32, seq: u32) -> [u8; FRAME_HEADER
         }
         Message::Ack { upto } => (TAG_ACK, *upto, 0, LAYER_GRANULAR_CHUNK),
         Message::Nack { expect } => (TAG_NACK, *expect, 0, LAYER_GRANULAR_CHUNK),
+        Message::Collective {
+            iter, layer, route, ..
+        } => (TAG_COLLECTIVE, *iter, *layer, *route),
     };
     let payload_len = msg.payload().len();
     assert!(
@@ -207,7 +245,7 @@ pub fn parse_header(hdr: &[u8; FRAME_HEADER_BYTES]) -> Result<FrameHeader, Frame
         return Err(FrameError::BadVersion(hdr[2]));
     }
     let tag = hdr[3];
-    if !(TAG_GRAD_CHUNK..=TAG_NACK).contains(&tag) {
+    if !(TAG_GRAD_CHUNK..=TAG_COLLECTIVE).contains(&tag) {
         return Err(FrameError::BadTag(tag));
     }
     let mut rest = &hdr[4..];
@@ -269,6 +307,12 @@ pub fn assemble(header: &FrameHeader, payload: Bytes) -> Message {
         TAG_NACK => Message::Nack {
             expect: header.iter,
         },
+        TAG_COLLECTIVE => Message::Collective {
+            iter: header.iter,
+            layer: header.layer,
+            route: header.chunk,
+            data: payload,
+        },
         other => unreachable!("parse_header admitted tag {other}"),
     }
 }
@@ -317,6 +361,39 @@ pub fn encode_f32s_pooled(vals: &[f32]) -> Bytes {
         dst.copy_from_slice(&v.to_le_bytes());
     }
     lease.freeze()
+}
+
+/// Fused decode-add-encode for the ring-allreduce hot path, leasing the
+/// output from the **global** pool: interprets `payload` as little-endian
+/// f32s, adds `own` elementwise, and writes the sums straight into a
+/// [`get_dirty`](crate::pool::BufPool::get_dirty) lease — no intermediate
+/// `Vec<f32>` and no per-hop copy; every byte of the lease is overwritten.
+///
+/// Returns `None` when the lengths disagree or `payload` is misaligned.
+pub fn add_f32s_pooled(payload: &[u8], own: &[f32]) -> Option<Bytes> {
+    add_f32s_pooled_with(crate::pool::BufPool::global(), payload, own)
+}
+
+/// [`add_f32s_pooled`] against an explicit pool (tests use a private pool to
+/// assert steady-state hit rates without cross-test interference).
+pub fn add_f32s_pooled_with(
+    pool: &std::sync::Arc<crate::pool::BufPool>,
+    payload: &[u8],
+    own: &[f32],
+) -> Option<Bytes> {
+    if payload.len() != own.len() * 4 {
+        return None;
+    }
+    let mut lease = pool.get_dirty(payload.len());
+    for ((dst, src), v) in lease
+        .chunks_exact_mut(4)
+        .zip(payload.chunks_exact(4))
+        .zip(own)
+    {
+        let x = f32::from_le_bytes([src[0], src[1], src[2], src[3]]);
+        dst.copy_from_slice(&(x + v).to_le_bytes());
+    }
+    Some(lease.freeze())
 }
 
 /// [`encode_onebit`] into a recycled pool lease; byte-identical output.
@@ -404,6 +481,12 @@ mod tests {
             },
             Message::Ack { upto: 12345 },
             Message::Nack { expect: u64::MAX },
+            Message::Collective {
+                iter: 11,
+                layer: 2,
+                route: pack_collective(COLLECTIVE_DISTRIBUTE, 3, 5),
+                data: encode_f32s(&[4.0, -8.0]),
+            },
         ]
     }
 
@@ -412,7 +495,8 @@ mod tests {
             Message::GradChunk { data, .. }
             | Message::ParamChunk { data, .. }
             | Message::SfPush { data, .. }
-            | Message::ParamMatrix { data, .. } => data.len(),
+            | Message::ParamMatrix { data, .. }
+            | Message::Collective { data, .. } => data.len(),
             Message::Ack { .. } | Message::Nack { .. } => 0,
         }
     }
@@ -511,6 +595,66 @@ mod tests {
             assert_eq!(decoded.iter(), operand);
             assert_eq!(encode_frame(&decoded), frame);
         }
+    }
+
+    #[test]
+    fn collective_route_packs_and_unpacks() {
+        for phase in [COLLECTIVE_REDUCE, COLLECTIVE_DISTRIBUTE] {
+            for origin in [0usize, 1, 13, (1 << 14) - 1] {
+                for seg in [0usize, 7, (1 << 16) - 1] {
+                    let route = pack_collective(phase, origin, seg);
+                    assert_ne!(route, LAYER_GRANULAR_CHUNK);
+                    assert_eq!(unpack_collective(route), (phase, origin, seg));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "origin out of range")]
+    fn oversized_collective_origin_rejected() {
+        pack_collective(COLLECTIVE_REDUCE, 1 << 14, 0);
+    }
+
+    #[test]
+    fn fused_pooled_add_matches_decode_add_encode() {
+        let a = vec![1.5f32, -2.25, 0.0, f32::MAX, -0.0];
+        let b = vec![0.5f32, 2.25, -0.0, f32::MIN, 0.0];
+        let payload = encode_f32s(&a);
+        let fused = add_f32s_pooled(&payload, &b).expect("aligned");
+        let naive: Vec<f32> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        assert_eq!(fused, encode_f32s(&naive), "bitwise-equal to the slow path");
+        // Length mismatch and misalignment refuse instead of corrupting.
+        assert!(add_f32s_pooled(&payload, &b[..3]).is_none());
+        assert!(add_f32s_pooled(&payload[..payload.len() - 1], &b).is_none());
+    }
+
+    #[test]
+    fn fused_pooled_add_reaches_zero_miss_steady_state() {
+        // Satellite: ring segments ≥ 8 KiB must recycle pool leases
+        // end-to-end. After one warm-up lap per buffer, every further hop is
+        // a pool hit — zero misses while the steady-state loop runs.
+        let pool = crate::pool::BufPool::new();
+        let own = vec![1.0f32; 4096]; // 16 KiB segment
+        let seed = encode_f32s(&own);
+        // Warm-up: the steady state rotates two buffers (the held hop input
+        // and the fresh output), so prime the pool with both — each a miss.
+        let w1 = add_f32s_pooled_with(&pool, &seed, &own).unwrap();
+        let w2 = add_f32s_pooled_with(&pool, &w1, &own).unwrap();
+        drop(w1);
+        drop(w2);
+        let misses_before = pool.stats().misses;
+        let mut payload = seed;
+        for _ in 0..64 {
+            let next = add_f32s_pooled_with(&pool, &payload, &own).unwrap();
+            payload = next; // dropping the previous lease returns it
+        }
+        let stats = pool.stats();
+        assert_eq!(
+            stats.misses, misses_before,
+            "steady-state ring hops must never miss the pool"
+        );
+        assert!(stats.hits >= 64, "hits {}", stats.hits);
     }
 
     #[test]

@@ -168,3 +168,110 @@ proptest! {
         );
     }
 }
+
+proptest! {
+    /// Topology-aware monotonicity: widening the inter-node links (or the
+    /// uplinks feeding an oversubscribed core) never increases any scheme's
+    /// predicted step time.
+    #[test]
+    fn more_inter_bandwidth_never_slows_any_scheme(
+        nodes in 1usize..6,
+        devices in 1usize..5,
+        intra_gbps in 1u32..200,
+        inter_gbps in 1u32..100,
+        oversub in 1u32..8,
+        elems in 0usize..(1 << 24),
+        k in 1usize..128,
+        boost in 1u32..10,
+    ) {
+        let link = |gbps: f64, lat: f64| poseidon_netsim::LinkConfig {
+            bandwidth_gbps: gbps,
+            latency_s: lat,
+        };
+        let topo = poseidon::config::Topology::two_level(
+            nodes,
+            devices,
+            link(intra_gbps as f64, 1e-6),
+            link(inter_gbps as f64, 40e-6),
+            oversub as f64,
+        );
+        let mut faster = topo;
+        faster.inter.bandwidth_gbps *= boost as f64;
+        let cluster = ClusterConfig::colocated(topo.total_devices().max(1), k);
+        let fc = Some((512usize, 512usize));
+        let slow = costmodel::scheme_times_topo(elems, fc, &cluster, &topo);
+        let fast = costmodel::scheme_times_topo(elems, fc, &cluster, &faster);
+        prop_assert!(fast.ps <= slow.ps, "PS: {} > {}", fast.ps, slow.ps);
+        prop_assert!(fast.sfb.unwrap() <= slow.sfb.unwrap());
+        prop_assert!(fast.ring <= slow.ring, "ring: {} > {}", fast.ring, slow.ring);
+        prop_assert!(fast.tree <= slow.tree, "tree: {} > {}", fast.tree, slow.tree);
+    }
+
+    /// The chosen scheme is always a cheapest one, and ties resolve by the
+    /// fixed preference order PS > SFB > ring > tree — so byte-count ties
+    /// can never flip the choice between runs or between equal-size layers.
+    #[test]
+    fn best_scheme_topo_is_a_stable_minimum(
+        nodes in 1usize..6,
+        devices in 1usize..5,
+        intra_gbps in 1u32..200,
+        inter_gbps in 1u32..100,
+        oversub in 1u32..8,
+        elems in 0usize..(1 << 24),
+        k in 1usize..128,
+        has_fc in 0u32..2,
+    ) {
+        let link = |gbps: f64, lat: f64| poseidon_netsim::LinkConfig {
+            bandwidth_gbps: gbps,
+            latency_s: lat,
+        };
+        let topo = poseidon::config::Topology::two_level(
+            nodes,
+            devices,
+            link(intra_gbps as f64, 1e-6),
+            link(inter_gbps as f64, 40e-6),
+            oversub as f64,
+        );
+        let p = topo.total_devices();
+        let cluster = ClusterConfig::colocated(p.max(1), k);
+        let fc = (has_fc == 1).then_some((1024usize, 256usize));
+        let best = costmodel::best_scheme_topo(elems, fc, &cluster, &topo);
+        // Deterministic: a second evaluation agrees (stability under reruns
+        // and under equal-size sibling layers).
+        prop_assert_eq!(best, costmodel::best_scheme_topo(elems, fc, &cluster, &topo));
+        if p <= 1 {
+            prop_assert_eq!(best, CommScheme::Ps);
+        } else {
+            let t = costmodel::scheme_times_topo(elems, fc, &cluster, &topo);
+            // Preference order, cheapest-first semantics.
+            let mut ranked = vec![(CommScheme::Ps, t.ps)];
+            if let Some(sfb) = t.sfb {
+                ranked.push((CommScheme::Sfb, sfb));
+            }
+            ranked.push((CommScheme::Ring, t.ring));
+            ranked.push((CommScheme::Tree, t.tree));
+            let best_time = ranked
+                .iter()
+                .find(|(s, _)| *s == best)
+                .expect("chosen scheme is priced")
+                .1;
+            for &(scheme, time) in &ranked {
+                prop_assert!(
+                    best_time <= time,
+                    "{:?}@{} beats chosen {:?}@{}",
+                    scheme, time, best, best_time
+                );
+                if scheme == best {
+                    break;
+                }
+                // Everything preferred over the winner must be strictly
+                // slower, else the tie-break would have kept it.
+                prop_assert!(
+                    time > best_time,
+                    "tie with preferred {:?} must not pick {:?}",
+                    scheme, best
+                );
+            }
+        }
+    }
+}

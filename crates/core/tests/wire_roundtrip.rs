@@ -15,12 +15,12 @@ use poseidon_tensor::sf::{SfBatch, SufficientFactor};
 use poseidon_tensor::Matrix;
 use proptest::prelude::*;
 
-/// A strategy over every message variant — the four data frames with
+/// A strategy over every message variant — the five data frames with
 /// arbitrary header fields and an arbitrary opaque payload, plus the two
 /// payload-free control frames of the reliability layer.
 fn any_message() -> impl Strategy<Value = Message> {
     let payload = proptest::collection::vec(any::<u8>(), 0..512);
-    (any::<u64>(), any::<u32>(), any::<u32>(), payload, 0u8..6).prop_map(
+    (any::<u64>(), any::<u32>(), any::<u32>(), payload, 0u8..7).prop_map(
         |(iter, layer, chunk, data, variant)| {
             let data = Bytes::from(data);
             match variant {
@@ -39,6 +39,12 @@ fn any_message() -> impl Strategy<Value = Message> {
                 2 => Message::SfPush { iter, layer, data },
                 3 => Message::ParamMatrix { iter, layer, data },
                 4 => Message::Ack { upto: iter },
+                5 => Message::Collective {
+                    iter,
+                    layer,
+                    route: chunk,
+                    data,
+                },
                 _ => Message::Nack { expect: iter },
             }
         },
@@ -62,6 +68,12 @@ fn header_fields(msg: &Message) -> (u64, u32, Option<u32>, usize) {
             chunk,
             data,
         } => (*iter, *layer, Some(*chunk), data.len()),
+        Message::Collective {
+            iter,
+            layer,
+            route,
+            data,
+        } => (*iter, *layer, Some(*route), data.len()),
         Message::SfPush { iter, layer, data } | Message::ParamMatrix { iter, layer, data } => {
             (*iter, *layer, None, data.len())
         }

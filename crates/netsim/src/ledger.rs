@@ -10,6 +10,7 @@
 pub struct TrafficLedger {
     tx: Vec<u64>,
     rx: Vec<u64>,
+    core: u64,
 }
 
 impl TrafficLedger {
@@ -18,6 +19,7 @@ impl TrafficLedger {
         Self {
             tx: vec![0; nodes],
             rx: vec![0; nodes],
+            core: 0,
         }
     }
 
@@ -34,6 +36,18 @@ impl TrafficLedger {
     pub fn record(&mut self, src: usize, dst: usize, bytes: u64) {
         self.tx[src] += bytes;
         self.rx[dst] += bytes;
+    }
+
+    /// Records `bytes` crossing the (possibly oversubscribed) shared core —
+    /// inter-node traffic in a hierarchical topology. The flat single-switch
+    /// network never calls this, so its counters are unaffected.
+    pub fn record_core(&mut self, bytes: u64) {
+        self.core += bytes;
+    }
+
+    /// Bytes that crossed the shared core since construction or last reset.
+    pub fn core_bytes(&self) -> u64 {
+        self.core
     }
 
     /// Bytes sent by `node` since construction or the last reset.
@@ -81,6 +95,7 @@ impl TrafficLedger {
     pub fn reset(&mut self) {
         self.tx.fill(0);
         self.rx.fill(0);
+        self.core = 0;
     }
 }
 
@@ -133,7 +148,19 @@ mod tests {
     fn reset_zeroes_counters() {
         let mut l = TrafficLedger::new(2);
         l.record(0, 1, 7);
+        l.record_core(7);
         l.reset();
         assert_eq!(l.total_bytes(), 0);
+        assert_eq!(l.core_bytes(), 0);
+    }
+
+    #[test]
+    fn core_counter_is_independent_of_node_counters() {
+        let mut l = TrafficLedger::new(2);
+        l.record(0, 1, 100);
+        l.record_core(100);
+        l.record_core(25);
+        assert_eq!(l.core_bytes(), 125);
+        assert_eq!(l.total_bytes(), 100);
     }
 }

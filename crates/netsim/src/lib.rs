@@ -21,9 +21,11 @@ pub mod ledger;
 pub mod net;
 pub mod queue;
 pub mod resource;
+pub mod topo;
 
 pub use flow::{FlowId, FlowNetwork};
 pub use ledger::TrafficLedger;
 pub use net::{LinkConfig, Network, NodeId};
 pub use queue::EventQueue;
 pub use resource::Resource;
+pub use topo::{HierNetwork, Topology};

@@ -54,4 +54,33 @@ echo "== transport bench smoke: evented core vs threaded baseline =="
 timeout 900 cargo run "${CARGO_OFFLINE[@]}" -q --release -p poseidon-bench --bin transport_bench -- \
     --check-against BENCH_transport.json --out BENCH_transport.json
 
+echo "== collective smoke: ring == PS bitwise over a 4-endpoint TCP mesh =="
+# The collectives' exactness claim end to end: a ring run over real localhost
+# sockets (2 workers + 2 shards = 4 endpoints) must produce replicas bitwise
+# identical to the in-process PS baseline. The tcp_loopback suite above
+# asserts the same; this stage re-proves it through the public launcher CLI,
+# bounded so a wedged chain fails instead of hanging.
+PORT=$((21000 + RANDOM % 2000))
+for policy in ps ring; do
+    timeout 300 cargo run "${CARGO_OFFLINE[@]}" -q --release -p poseidon-bench --bin poseidon-node -- \
+        --workers 2 --iters 4 --policy "$policy" --base-port "$PORT" \
+        > "/tmp/poseidon_${policy}_smoke.txt"
+    grep -q "replicas=bitwise-identical" "/tmp/poseidon_${policy}_smoke.txt"
+    PORT=$((PORT + 1000))
+done
+PS_HEX=$(grep -o 'params=[0-9a-f]*' /tmp/poseidon_ps_smoke.txt | head -1)
+RING_HEX=$(grep -o 'params=[0-9a-f]*' /tmp/poseidon_ring_smoke.txt | head -1)
+test -n "$PS_HEX" && test "$PS_HEX" = "$RING_HEX" \
+    || { echo "ring replicas differ from the PS baseline"; exit 1; }
+
+echo "== collective bench: ring/tree vs PS allreduce over evented TCP =="
+# Regenerates BENCH_collectives.json (ps / ring / tree racing the same
+# segmented allreduce over real sockets) and fails when any collective/ps
+# steps-per-second ratio drops >20% below the committed baseline — the same
+# machine-cancelling ratio gate as the transport stage. The committed
+# baseline also documents the headline: ring beats PS on every tensor size,
+# most at the large ones where serialized push/pull incast dominates.
+timeout 900 cargo run "${CARGO_OFFLINE[@]}" -q --release -p poseidon-bench --bin collective_bench -- \
+    --check-against BENCH_collectives.json --out BENCH_collectives.json
+
 echo "All checks passed."
