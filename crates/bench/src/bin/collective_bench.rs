@@ -233,6 +233,7 @@ fn ps_step(ep: &mut TcpTransport, me: usize, p: usize, iter: u64, segs: &[(usize
                     iter,
                     layer: 0,
                     chunk: g as u32,
+                    codec: wire::Codec::Identity,
                     data,
                 },
             )
@@ -273,6 +274,7 @@ fn ps_step(ep: &mut TcpTransport, me: usize, p: usize, iter: u64, segs: &[(usize
                             iter,
                             layer: 0,
                             chunk: g as u32,
+                            codec: wire::Codec::Identity,
                             data: data.clone(),
                         },
                     )
@@ -299,6 +301,7 @@ fn ring_step(ep: &mut TcpTransport, me: usize, p: usize, iter: u64, segs: &[(usi
                     iter,
                     layer: 0,
                     route: wire::pack_collective(COLLECTIVE_REDUCE, 0, g),
+                    codec: wire::Codec::Identity,
                     data: wire::encode_f32s_pooled(seg),
                 },
             )
@@ -322,6 +325,7 @@ fn ring_step(ep: &mut TcpTransport, me: usize, p: usize, iter: u64, segs: &[(usi
                         iter,
                         layer: 0,
                         route: wire::pack_collective(COLLECTIVE_DISTRIBUTE, 0, g),
+                        codec: wire::Codec::Identity,
                         data: summed,
                     },
                 )
@@ -333,6 +337,7 @@ fn ring_step(ep: &mut TcpTransport, me: usize, p: usize, iter: u64, segs: &[(usi
                         iter,
                         layer: 0,
                         route,
+                        codec: wire::Codec::Identity,
                         data: summed,
                     },
                 )
@@ -348,6 +353,7 @@ fn ring_step(ep: &mut TcpTransport, me: usize, p: usize, iter: u64, segs: &[(usi
                         iter,
                         layer: 0,
                         route,
+                        codec: wire::Codec::Identity,
                         data,
                     },
                 )
@@ -372,6 +378,7 @@ fn tree_step(ep: &mut TcpTransport, me: usize, p: usize, iter: u64, segs: &[(usi
                     iter,
                     layer: 0,
                     route: wire::pack_collective(COLLECTIVE_REDUCE, me, g),
+                    codec: wire::Codec::Identity,
                     data: wire::encode_f32s_pooled(&contribution(me, g, len)),
                 },
             )
@@ -393,6 +400,7 @@ fn tree_step(ep: &mut TcpTransport, me: usize, p: usize, iter: u64, segs: &[(usi
                         iter,
                         layer: 0,
                         route,
+                        codec: wire::Codec::Identity,
                         data,
                     },
                 )
@@ -406,6 +414,7 @@ fn tree_step(ep: &mut TcpTransport, me: usize, p: usize, iter: u64, segs: &[(usi
                             iter,
                             layer: 0,
                             route,
+                            codec: wire::Codec::Identity,
                             data: data.clone(),
                         },
                     )
@@ -442,6 +451,7 @@ fn tree_step(ep: &mut TcpTransport, me: usize, p: usize, iter: u64, segs: &[(usi
                             iter,
                             layer: 0,
                             route: wire::pack_collective(COLLECTIVE_DISTRIBUTE, 0, g),
+                            codec: wire::Codec::Identity,
                             data: data.clone(),
                         },
                     )

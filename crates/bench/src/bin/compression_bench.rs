@@ -1,0 +1,339 @@
+//! Gradient-compression sweep (paper Figure 11 territory): train the same
+//! model under every registry codec and report, per codec, the wire bytes
+//! actually moved (from the traffic ledger), throughput, and the final loss
+//! next to the identity baseline — compression is only worth its bytes if
+//! convergence survives it.
+//!
+//! The run is deterministic end to end (fixed seeds, BSP, error-feedback
+//! compressors), so the bytes ratios in `BENCH_compression.json` are exact
+//! machine-independent facts and the `--check-against` gate compares them
+//! directly; steps/s is recorded for context but never gated.
+//!
+//!   cargo run --release -p poseidon-bench --bin compression_bench -- \
+//!       --out BENCH_compression.json --check-against BENCH_compression.json
+
+use poseidon::config::{Codec, CodecPolicy, Partition, SchemePolicy};
+use poseidon::runtime::{train, RuntimeConfig};
+use poseidon_nn::data::Dataset;
+use poseidon_nn::layer::TensorShape;
+use poseidon_nn::presets;
+use poseidon_nn::Network;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+const USAGE: &str = "compression_bench: per-codec traffic/convergence sweep
+
+USAGE:
+    compression_bench [OPTIONS]
+
+OPTIONS:
+    --workers N        workers, shards colocated (default 3)
+    --iters N          training iterations per run (default 12)
+    --batch N          per-worker minibatch (default 8)
+    --codecs LIST      comma-separated codec list
+                       (default identity,onebit,f16,bf16,topk:100)
+    --pair-elems N     KV-pair chunk granularity (default 256)
+    --repeat N         keep the best steps/s of N runs (default 2)
+    --out FILE         write JSON results (default BENCH_compression.json)
+    --check-against F  gate bytes ratios + convergence parity vs baseline
+    --help             print this text
+";
+
+struct Args {
+    workers: usize,
+    iters: usize,
+    batch: usize,
+    codecs: Vec<Codec>,
+    pair_elems: usize,
+    repeat: usize,
+    out: String,
+    check_against: Option<String>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            workers: 3,
+            iters: 12,
+            batch: 8,
+            codecs: vec![
+                Codec::Identity,
+                Codec::OneBit,
+                Codec::F16,
+                Codec::Bf16,
+                Codec::TopK { permille: 100 },
+            ],
+            pair_elems: 256,
+            repeat: 2,
+            out: "BENCH_compression.json".to_string(),
+            check_against: None,
+        }
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    let bad = |what: &dyn std::fmt::Display| format!("compression_bench: {what}\n\n{USAGE}");
+    while let Some(flag) = it.next() {
+        if flag == "--help" {
+            return Err(USAGE.to_string());
+        }
+        let val = it
+            .next()
+            .ok_or_else(|| bad(&format!("{flag} needs a value")))?;
+        match flag.as_str() {
+            "--workers" => args.workers = val.parse().map_err(|e| bad(&e))?,
+            "--iters" => args.iters = val.parse().map_err(|e| bad(&e))?,
+            "--batch" => args.batch = val.parse().map_err(|e| bad(&e))?,
+            "--pair-elems" => args.pair_elems = val.parse().map_err(|e| bad(&e))?,
+            "--repeat" => args.repeat = val.parse::<usize>().map_err(|e| bad(&e))?.max(1),
+            "--out" => args.out = val,
+            "--check-against" => args.check_against = Some(val),
+            "--codecs" => {
+                args.codecs = val
+                    .split(',')
+                    .map(|s| s.trim().parse::<Codec>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|e| bad(&e))?;
+            }
+            other => return Err(bad(&format!("unknown flag {other}"))),
+        }
+    }
+    if !args.codecs.contains(&Codec::Identity) {
+        // Ratios and parity are all relative to the dense baseline.
+        args.codecs.insert(0, Codec::Identity);
+    }
+    Ok(args)
+}
+
+struct Record {
+    codec: String,
+    workers: usize,
+    iters: usize,
+    bytes_total: u64,
+    bytes_ratio: f64,
+    steps_per_s: f64,
+    final_loss: f32,
+    first_loss: f32,
+}
+
+const IN: usize = 24;
+const CLASSES: usize = 6;
+
+fn dataset() -> Dataset {
+    Dataset::gaussian_clusters(TensorShape::flat(IN), CLASSES, 192, 0.35, 11)
+}
+
+fn factory() -> Network {
+    presets::mlp(&[IN, 64, 48, CLASSES], 9)
+}
+
+/// One deterministic PS training run under `codec`; returns
+/// `(total wire bytes, steps/s, first loss, final loss)`.
+fn run_codec(codec: Codec, a: &Args) -> (u64, f64, f32, f32) {
+    let cfg = RuntimeConfig {
+        policy: SchemePolicy::AlwaysPs,
+        codec: match codec {
+            Codec::Identity => CodecPolicy::Identity,
+            c => CodecPolicy::Always(c),
+        },
+        partition: Partition::KvPairs {
+            pair_elems: a.pair_elems,
+        },
+        comm_timeout: Duration::from_secs(60),
+        ..RuntimeConfig::new(a.workers, a.batch, 0.15, a.iters)
+    };
+    let started = Instant::now();
+    let result = train(&factory, &dataset(), None, &cfg);
+    let elapsed = started.elapsed().as_secs_f64();
+    let steps_per_s = a.iters as f64 / elapsed.max(1e-9);
+    let first = *result.losses.first().expect("at least one iteration");
+    let last = *result.losses.last().expect("at least one iteration");
+    (result.traffic.total_bytes(), steps_per_s, first, last)
+}
+
+fn render(records: &[Record]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"compression\",\n  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let sep = if i + 1 == records.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"codec\": \"{}\", \"workers\": {}, \"iters\": {}, \
+             \"bytes_total\": {}, \"bytes_ratio\": {:.4}, \"steps_per_s\": {:.2}, \
+             \"first_loss\": {:.6}, \"final_loss\": {:.6}}}{sep}\n",
+            r.codec,
+            r.workers,
+            r.iters,
+            r.bytes_total,
+            r.bytes_ratio,
+            r.steps_per_s,
+            r.first_loss,
+            r.final_loss,
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Pulls `"key": value` out of one scenario line (same tiny parser as the
+/// other benches — the baseline format has no other consumer).
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": ");
+    let at = line.find(&pat)? + pat.len();
+    let rest = &line[at..];
+    let end = rest.find([',', '}'])?;
+    Some(rest[..end].trim().trim_matches('"'))
+}
+
+/// `codec -> bytes_ratio` from a committed results file.
+fn parse_baseline(text: &str) -> BTreeMap<String, f64> {
+    let mut map = BTreeMap::new();
+    for line in text.lines() {
+        let (Some(c), Some(r)) = (field(line, "codec"), field(line, "bytes_ratio")) else {
+            continue;
+        };
+        if let Ok(r) = r.parse() {
+            map.insert(c.to_string(), r);
+        }
+    }
+    map
+}
+
+/// The wire-bytes floor a lossy codec must beat regardless of baseline: if a
+/// "compressed" run moves more than 3/4 of the dense bytes, the codec plane
+/// is broken (headers swamping payloads, a codec silently falling back to
+/// dense, double-shipping).
+const LOSSY_RATIO_FLOOR: f64 = 0.75;
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline = args.check_against.as_ref().map(|path| {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("reading baseline {path}: {e}"));
+        parse_baseline(&text)
+    });
+
+    // Identity first (parse_args guarantees membership) so every later row
+    // can report its ratio immediately; repeats run back-to-back per codec so
+    // steps/s comparisons see like machine conditions.
+    let mut codecs = args.codecs.clone();
+    codecs.sort_by_key(|c| if *c == Codec::Identity { 0 } else { 1 });
+
+    let mut records: Vec<Record> = Vec::new();
+    let mut identity_bytes = 0u64;
+    let mut identity_final = f32::NAN;
+    for codec in &codecs {
+        let mut best: Option<(u64, f64, f32, f32)> = None;
+        for _ in 0..args.repeat {
+            let r = run_codec(*codec, &args);
+            if let Some(b) = &best {
+                // Deterministic runs: bytes and losses must not vary between
+                // repeats, only wall time may.
+                assert_eq!(b.0, r.0, "{codec}: wire bytes varied across repeats");
+                assert_eq!(b.3, r.3, "{codec}: final loss varied across repeats");
+            }
+            if best.is_none_or(|b| r.1 > b.1) {
+                best = Some(r);
+            }
+        }
+        let (bytes, steps_per_s, first, last) = best.expect("repeat >= 1");
+        if *codec == Codec::Identity {
+            identity_bytes = bytes;
+            identity_final = last;
+        }
+        let ratio = bytes as f64 / identity_bytes.max(1) as f64;
+        println!(
+            "{:>9}  {:>10} B  ratio {:>6.4}  {:>7.2} steps/s  loss {:.4} -> {:.4}",
+            codec.to_string(),
+            bytes,
+            ratio,
+            steps_per_s,
+            first,
+            last
+        );
+        records.push(Record {
+            codec: codec.to_string(),
+            workers: args.workers,
+            iters: args.iters,
+            bytes_total: bytes,
+            bytes_ratio: ratio,
+            steps_per_s,
+            final_loss: last,
+            first_loss: first,
+        });
+    }
+
+    let json = render(&records);
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("writing {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    println!("results written to {}", args.out);
+
+    // Convergence parity, Figure-11 style: every codec's loss curve must
+    // actually descend, and lossy finals must land near the dense final.
+    // These hold unconditionally — no baseline needed, runs are deterministic.
+    let mut failed = false;
+    for r in &records {
+        if !r.final_loss.is_finite() || r.final_loss >= r.first_loss {
+            eprintln!(
+                "compression_bench: {} diverged (loss {:.4} -> {:.4})",
+                r.codec, r.first_loss, r.final_loss
+            );
+            failed = true;
+        }
+        if r.final_loss > identity_final * 2.0 + 1e-3 {
+            eprintln!(
+                "compression_bench: {} lost convergence parity (final {:.4} vs identity {:.4})",
+                r.codec, r.final_loss, identity_final
+            );
+            failed = true;
+        }
+        if r.codec != "identity" && r.bytes_ratio >= LOSSY_RATIO_FLOOR {
+            eprintln!(
+                "compression_bench: {} saved too little ({:.4} of dense bytes, floor {})",
+                r.codec, r.bytes_ratio, LOSSY_RATIO_FLOOR
+            );
+            failed = true;
+        }
+    }
+
+    if let Some(baseline) = baseline {
+        // Bytes ratios are deterministic, so "no worse than committed" means
+        // equal up to rounding; 5% slack absorbs intentional small protocol
+        // changes without letting a codec quietly stop compressing.
+        let mut checked = 0usize;
+        for r in &records {
+            let Some(&base) = baseline.get(&r.codec) else {
+                continue;
+            };
+            checked += 1;
+            let verdict = if r.bytes_ratio > base * 1.05 {
+                failed = true;
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            println!(
+                "vs baseline: {} bytes ratio {:.4} (committed {:.4}) {}",
+                r.codec, r.bytes_ratio, base, verdict
+            );
+        }
+        if checked == 0 {
+            eprintln!("compression_bench: baseline shares no comparable codecs; nothing gated");
+        }
+    }
+
+    if failed {
+        eprintln!("compression_bench: gate failed");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

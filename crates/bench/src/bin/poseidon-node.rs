@@ -18,7 +18,7 @@
 //!     --workers 3 --iters 5 --policy hybrid --base-port 46000
 //! ```
 
-use poseidon::config::{Partition, SchemePolicy};
+use poseidon::config::{Codec, CodecPolicy, Partition, SchemePolicy};
 use poseidon::faults::{FaultPlan, FaultyTransport};
 use poseidon::runtime::{flatten_model_params, run_endpoint, NodeOutcome, RuntimeConfig};
 use poseidon::telemetry::{self, chrome, report, TelemetryConfig};
@@ -57,6 +57,7 @@ struct Args {
     lr: f32,
     momentum: f32,
     policy: SchemePolicy,
+    codec: CodecPolicy,
     pair_elems: usize,
     base_port: u16,
     seed: u64,
@@ -79,6 +80,7 @@ impl Default for Args {
             lr: 0.2,
             momentum: 0.0,
             policy: SchemePolicy::Hybrid,
+            codec: CodecPolicy::Identity,
             pair_elems: 37,
             base_port: 45000,
             seed: 5,
@@ -101,6 +103,9 @@ const USAGE: &str = "poseidon-node: multi-process distributed SGD over TCP
   --lr F            learning rate                           [0.2]
   --momentum F      classical momentum                      [0.0]
   --policy S        ps | hybrid | sfb | adam | onebit | ring | tree [hybrid]
+  --codec S         gradient codec on PS/collective layers:
+                    identity | onebit | f16 | bf16 | topk[:permille] | cost
+                    (cost = let the cost model pick per layer)  [identity]
   --pair-elems N    KV-pair size in f32 elements            [37]
   --base-port N     first TCP port (2P consecutive used)    [45000]
   --seed N          model/data seed                         [5]
@@ -143,6 +148,15 @@ fn parse_args() -> Result<Args, String> {
                     "ring" => SchemePolicy::AlwaysRing,
                     "tree" => SchemePolicy::AlwaysTree,
                     other => return Err(format!("unknown policy {other:?}\n{USAGE}")),
+                }
+            }
+            "--codec" => {
+                args.codec = match val.as_str() {
+                    "cost" => CodecPolicy::CostAware,
+                    other => match other.parse::<Codec>().map_err(|e| bad(&e))? {
+                        Codec::Identity => CodecPolicy::Identity,
+                        c => CodecPolicy::Always(c),
+                    },
                 }
             }
             "--pair-elems" => args.pair_elems = val.parse().map_err(|e| bad(&e))?,
@@ -190,6 +204,7 @@ fn parse_args() -> Result<Args, String> {
 fn runtime_config(a: &Args) -> RuntimeConfig {
     RuntimeConfig {
         policy: a.policy,
+        codec: a.codec,
         momentum: a.momentum,
         partition: Partition::KvPairs {
             pair_elems: a.pair_elems,
@@ -430,6 +445,12 @@ fn launch(a: &Args) -> Result<(), String> {
                     SchemePolicy::TopoAware(_) => {
                         unreachable!("TopoAware has no CLI spelling; pick ring/tree/hybrid")
                     }
+                },
+                "--codec".into(),
+                match a.codec {
+                    CodecPolicy::Identity => "identity".to_string(),
+                    CodecPolicy::Always(c) => c.to_string(),
+                    CodecPolicy::CostAware => "cost".to_string(),
                 },
                 "--pair-elems".into(),
                 a.pair_elems.to_string(),

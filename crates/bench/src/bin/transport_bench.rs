@@ -179,6 +179,7 @@ where
                         iter: epoch.elapsed().as_micros() as u64,
                         layer: 0,
                         chunk: k as u32,
+                        codec: poseidon::wire::Codec::Identity,
                         data: payload.clone(),
                     };
                     ep.send(next, msg).expect("ring send");

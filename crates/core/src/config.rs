@@ -1,8 +1,13 @@
 //! Cluster, scheme and scheduling configuration shared by both backends.
 
 pub use poseidon_netsim::Topology;
+pub use poseidon_tensor::compress::Codec;
 
 /// How one layer's parameters are synchronised.
+///
+/// Gradient *compression* is deliberately not a scheme: it is an orthogonal
+/// [`Codec`] picked per layer by the [`CodecPolicy`], composable with PS and
+/// the collectives (the CNTK-style 1-bit baseline is `Ps` + `Codec::OneBit`).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum CommScheme {
     /// Sharded parameter server: push dense gradients, pull dense parameters.
@@ -13,9 +18,6 @@ pub enum CommScheme {
     /// Project Adam's strategy: push factors to the owning server shard, pull
     /// the dense parameter matrix back (load-imbalanced; baseline).
     AdamSf,
-    /// CNTK-style 1-bit quantized PS traffic with residual feedback (lossy;
-    /// baseline).
-    OneBitPs,
     /// Ring allreduce: scaled gradient contributions accumulate around an
     /// id-ordered worker chain, then the folded update distributes the other
     /// way — no server traffic, ≈2 tensor transits per NIC.
@@ -32,12 +34,27 @@ impl std::fmt::Display for CommScheme {
             CommScheme::Ps => "PS",
             CommScheme::Sfb => "SFB",
             CommScheme::AdamSf => "AdamSF",
-            CommScheme::OneBitPs => "1bitPS",
             CommScheme::Ring => "Ring",
             CommScheme::Tree => "Tree",
         };
         write!(f, "{s}")
     }
+}
+
+/// Policy mapping layers to gradient-compression codecs, orthogonal to the
+/// [`SchemePolicy`]. SFB/Adam layers always ride identity — sufficient
+/// factors *are* the compression — and the coordinator enforces that.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub enum CodecPolicy {
+    /// Raw f32 everywhere — bitwise identical to the pre-codec wire.
+    #[default]
+    Identity,
+    /// One codec for every codec-capable (PS/ring/tree) layer.
+    Always(Codec),
+    /// Per-layer (scheme × codec) choice from the cost model: compress when
+    /// the bytes saved outweigh the encode/decode compute at the modelled
+    /// bandwidth ([`crate::costmodel::best_codec_topo`]).
+    CostAware,
 }
 
 /// Policy mapping layers to schemes.
@@ -55,7 +72,9 @@ pub enum SchemePolicy {
     AlwaysSfbForFc,
     /// Project Adam's SF-push / matrix-pull for FC layers (baseline).
     AdamSf,
-    /// 1-bit quantization for FC layers over PS (baseline).
+    /// The CNTK-style baseline: PS everywhere with [`Codec::OneBit`] on FC
+    /// layers (shorthand for `AlwaysPs` + a codec policy; kept as a named
+    /// policy so profiles and CLIs can ask for the baseline by name).
     OneBit,
     /// Ring allreduce for every trainable layer (ablation / collectives).
     AlwaysRing,
@@ -237,7 +256,6 @@ mod tests {
         assert_eq!(CommScheme::Ps.to_string(), "PS");
         assert_eq!(CommScheme::Sfb.to_string(), "SFB");
         assert_eq!(CommScheme::AdamSf.to_string(), "AdamSF");
-        assert_eq!(CommScheme::OneBitPs.to_string(), "1bitPS");
         assert_eq!(CommScheme::Ring.to_string(), "Ring");
         assert_eq!(CommScheme::Tree.to_string(), "Tree");
     }

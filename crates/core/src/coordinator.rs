@@ -8,7 +8,9 @@
 //! the KV-pair placement table.
 
 use crate::chunk::ChunkTable;
-use crate::config::{ClusterConfig, CommScheme, Partition, SchemePolicy};
+use crate::config::{
+    ClusterConfig, Codec, CodecPolicy, CommScheme, Partition, SchemePolicy, Topology,
+};
 use crate::costmodel;
 use poseidon_nn::zoo::ModelSpec;
 use poseidon_nn::{LayerKind, Model, Network};
@@ -36,6 +38,7 @@ impl LayerInfo {
 pub struct Coordinator {
     cluster: ClusterConfig,
     policy: SchemePolicy,
+    codec_policy: CodecPolicy,
     layers: Vec<LayerInfo>,
     table: ChunkTable,
 }
@@ -115,9 +118,17 @@ impl Coordinator {
         Self {
             cluster,
             policy,
+            codec_policy: CodecPolicy::Identity,
             layers,
             table,
         }
+    }
+
+    /// Sets the gradient-compression policy (builder-style; the default is
+    /// [`CodecPolicy::Identity`], the bitwise-exact f32 wire).
+    pub fn with_codec_policy(mut self, codec_policy: CodecPolicy) -> Self {
+        self.codec_policy = codec_policy;
+        self
     }
 
     /// The cluster configuration (the `Query` API's `n_worker`, `n_server`,
@@ -183,13 +194,9 @@ impl Coordinator {
                     CommScheme::Ps
                 }
             }
-            SchemePolicy::OneBit => {
-                if fc.is_some() {
-                    CommScheme::OneBitPs
-                } else {
-                    CommScheme::Ps
-                }
-            }
+            // The 1-bit baseline is plain PS traffic; the compression lives in
+            // the codec dimension (see [`Coordinator::best_codec`]).
+            SchemePolicy::OneBit => CommScheme::Ps,
             SchemePolicy::AlwaysRing => {
                 if single {
                     CommScheme::Ps
@@ -215,6 +222,54 @@ impl Coordinator {
         (0..self.layers.len())
             .filter(|&l| self.layers[l].is_trainable())
             .map(|l| (l, self.best_scheme(l)))
+            .collect()
+    }
+
+    /// The gradient codec chosen for `layer`, composing the scheme decision
+    /// with the [`CodecPolicy`].
+    ///
+    /// SFB and Adam layers always ride identity — sufficient factors are the
+    /// compression, and re-encoding `(u, v)` pairs would destroy the rank-K
+    /// structure the scheme depends on. The [`SchemePolicy::OneBit`] baseline
+    /// forces `Codec::OneBit` on FC layers regardless of the codec policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range or not trainable.
+    pub fn best_codec(&self, layer: usize) -> Codec {
+        let info = &self.layers[layer];
+        let scheme = self.best_scheme(layer);
+        if !matches!(scheme, CommScheme::Ps | CommScheme::Ring | CommScheme::Tree) {
+            return Codec::Identity;
+        }
+        if self.policy == SchemePolicy::OneBit && info.fc_shape.is_some() {
+            return Codec::OneBit;
+        }
+        match self.codec_policy {
+            CodecPolicy::Identity => Codec::Identity,
+            CodecPolicy::Always(codec) => codec,
+            CodecPolicy::CostAware => {
+                let flat;
+                let topo = match &self.policy {
+                    SchemePolicy::TopoAware(t) => t,
+                    _ => {
+                        flat = Topology::flat(
+                            self.cluster.nodes(),
+                            poseidon_netsim::LinkConfig::gbe(10.0),
+                        );
+                        &flat
+                    }
+                };
+                costmodel::best_codec_topo(info.param_elems, scheme, &self.cluster, topo)
+            }
+        }
+    }
+
+    /// The codec chosen for every trainable layer: `(layer index, codec)`.
+    pub fn codec_assignment(&self) -> Vec<(usize, Codec)> {
+        (0..self.layers.len())
+            .filter(|&l| self.layers[l].is_trainable())
+            .map(|l| (l, self.best_codec(l)))
             .collect()
     }
 
@@ -340,6 +395,75 @@ mod tests {
                 assert_eq!(s, CommScheme::Ps);
             }
         }
+    }
+
+    #[test]
+    fn one_bit_policy_is_ps_scheme_plus_onebit_codec_on_fc() {
+        let c = coordinator(SchemePolicy::OneBit, 8, 32);
+        for (l, s) in c.scheme_assignment() {
+            assert_eq!(s, CommScheme::Ps, "{}", c.layers()[l].name);
+        }
+        for (l, codec) in c.codec_assignment() {
+            if c.layers()[l].fc_shape.is_some() {
+                assert_eq!(codec, Codec::OneBit, "{}", c.layers()[l].name);
+            } else {
+                assert_eq!(codec, Codec::Identity, "{}", c.layers()[l].name);
+            }
+        }
+    }
+
+    #[test]
+    fn codec_policy_skips_factor_schemes() {
+        // Hybrid sends VGG FC layers via SFB: factors are the compression, so
+        // Always(F16) must only reach the PS layers.
+        let c = coordinator(SchemePolicy::Hybrid, 8, 32)
+            .with_codec_policy(CodecPolicy::Always(Codec::F16));
+        for (l, codec) in c.codec_assignment() {
+            if c.best_scheme(l) == CommScheme::Sfb {
+                assert_eq!(codec, Codec::Identity, "{}", c.layers()[l].name);
+            } else {
+                assert_eq!(codec, Codec::F16, "{}", c.layers()[l].name);
+            }
+        }
+    }
+
+    #[test]
+    fn default_codec_policy_is_identity_everywhere() {
+        let c = coordinator(SchemePolicy::AlwaysPs, 8, 32);
+        assert!(c
+            .codec_assignment()
+            .iter()
+            .all(|&(_, cd)| cd == Codec::Identity));
+    }
+
+    #[test]
+    fn cost_aware_codec_compresses_big_layers_keeps_tiny_ones_raw() {
+        let layers = vec![
+            LayerInfo {
+                name: "bias_tiny".into(),
+                param_elems: 64,
+                fc_shape: None,
+            },
+            LayerInfo {
+                name: "conv_big".into(),
+                param_elems: 16 << 20,
+                fc_shape: None,
+            },
+        ];
+        let c = Coordinator::from_layers(
+            layers,
+            ClusterConfig::colocated(8, 32),
+            SchemePolicy::AlwaysPs,
+            Partition::default_kv_pairs(),
+        )
+        .with_codec_policy(CodecPolicy::CostAware);
+        let codecs = c.codec_assignment();
+        assert_eq!(
+            codecs[0].1,
+            Codec::Identity,
+            "64 floats are not worth an encode pass"
+        );
+        assert_ne!(codecs[1].1, Codec::Identity, "16M floats on 10G links are");
     }
 
     #[test]

@@ -560,6 +560,7 @@ mod tests {
             iter,
             layer,
             chunk: 0,
+            codec: crate::wire::Codec::Identity,
             data: Bytes::from(vec![2u8; 6]),
         }
     }

@@ -83,10 +83,58 @@ impl ShardState {
     /// match, the worker id is out of range, or the same worker reports twice
     /// in one round (a BSP protocol violation).
     pub fn receive_grad(&mut self, worker: usize, key: KvKey, grad: &[f32]) -> Option<Vec<f32>> {
-        assert!(worker < self.workers, "worker {worker} out of range");
+        if !self.stage_grad(worker, key, grad) {
+            return None;
+        }
+        let delta = self.fold_velocity(key);
+        Some(self.apply_delta(key, &delta))
+    }
+
+    /// Like [`Self::receive_grad`], but when the count reaches `P` it returns
+    /// the folded **update delta** (the scaled velocity) *without* applying
+    /// it to the master copy. The compression plane uses this to encode the
+    /// delta lossily and then [`Self::apply_delta`] exactly what the workers
+    /// will decode, keeping master and replicas bitwise in lockstep.
+    pub fn receive_grad_deferred(
+        &mut self,
+        worker: usize,
+        key: KvKey,
+        grad: &[f32],
+    ) -> Option<Vec<f32>> {
+        if !self.stage_grad(worker, key, grad) {
+            return None;
+        }
+        Some(self.fold_velocity(key))
+    }
+
+    /// Adds `delta` to a KV pair's master copy and returns the fresh copy —
+    /// the second half of the deferred path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pair was never initialised or the length mismatches.
+    pub fn apply_delta(&mut self, key: KvKey, delta: &[f32]) -> Vec<f32> {
         let master = self
             .params
             .get_mut(&key)
+            .unwrap_or_else(|| panic!("KV pair {key:?} not initialised on this shard"));
+        assert_eq!(
+            delta.len(),
+            master.len(),
+            "delta length mismatch for {key:?}"
+        );
+        for (p, &v) in master.iter_mut().zip(delta.iter()) {
+            *p += v;
+        }
+        master.clone()
+    }
+
+    /// Buffers one worker's gradient; `true` when the count reached `P`.
+    fn stage_grad(&mut self, worker: usize, key: KvKey, grad: &[f32]) -> bool {
+        assert!(worker < self.workers, "worker {worker} out of range");
+        let master = self
+            .params
+            .get(&key)
             .unwrap_or_else(|| panic!("KV pair {key:?} not initialised on this shard"));
         assert_eq!(
             grad.len(),
@@ -103,17 +151,16 @@ impl ShardState {
             "worker {worker} sent two updates for {key:?} in one BSP round"
         );
         slots[worker] = Some(grad.to_vec());
+        slots.iter().all(Option::is_some)
+    }
 
-        if slots.iter().any(Option::is_none) {
-            return None;
-        }
-        // Count reached P: fold the per-worker gradients in worker-id order
-        // (deterministic) into the scaled velocity, apply, reset the round.
-        let slots = self.pending.remove(&key).expect("just inserted");
-        let velocity = self
-            .velocity
-            .entry(key)
-            .or_insert_with(|| vec![0.0; master.len()]);
+    /// Folds the completed round's gradients in worker-id order
+    /// (deterministic) into the scaled velocity, resets the round, and
+    /// returns the velocity — the exact `θ`-delta for this round.
+    fn fold_velocity(&mut self, key: KvKey) -> Vec<f32> {
+        let slots = self.pending.remove(&key).expect("round not complete");
+        let len = self.params[&key].len();
+        let velocity = self.velocity.entry(key).or_insert_with(|| vec![0.0; len]);
         if self.momentum != 0.0 {
             for v in velocity.iter_mut() {
                 *v *= self.momentum;
@@ -126,10 +173,7 @@ impl ShardState {
                 *v += self.update_scale * gv;
             }
         }
-        for (p, &v) in master.iter_mut().zip(velocity.iter()) {
-            *p += v;
-        }
-        Some(master.clone())
+        velocity.clone()
     }
 
     /// Changes the update scale (`-lr / P`), e.g. when a learning-rate
@@ -298,6 +342,41 @@ mod tests {
         shard.receive_grad(0, (0, 0), &[1.0]);
         shard.receive_grad(0, (0, 0), &[1.0]);
         assert_eq!(shard.pair((0, 0)).unwrap(), &[8.0]);
+    }
+
+    #[test]
+    fn deferred_path_matches_receive_grad_when_delta_applied_verbatim() {
+        let mut direct = ShardState::with_momentum(2, -0.5, 0.9);
+        let mut deferred = ShardState::with_momentum(2, -0.5, 0.9);
+        for s in [&mut direct, &mut deferred] {
+            s.init_pair((0, 0), vec![1.0, -2.0, 3.0]);
+        }
+        for round in 0..3 {
+            let g0 = [1.0 + round as f32, 0.5, -1.0];
+            let g1 = [0.25, -0.125, 2.0];
+            let a = {
+                direct.receive_grad(0, (0, 0), &g0);
+                direct.receive_grad(1, (0, 0), &g1).unwrap()
+            };
+            let b = {
+                deferred.receive_grad_deferred(0, (0, 0), &g0);
+                let delta = deferred.receive_grad_deferred(1, (0, 0), &g1).unwrap();
+                deferred.apply_delta((0, 0), &delta)
+            };
+            let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&a), bits(&b), "round {round}");
+        }
+    }
+
+    #[test]
+    fn deferred_delta_is_the_scaled_velocity_not_the_params() {
+        let mut shard = ShardState::new(1, -1.0);
+        shard.init_pair((0, 0), vec![10.0]);
+        let delta = shard.receive_grad_deferred(0, (0, 0), &[4.0]).unwrap();
+        assert_eq!(delta, vec![-4.0], "delta is -lr·Σg");
+        assert_eq!(shard.pair((0, 0)).unwrap(), &[10.0], "master untouched");
+        let fresh = shard.apply_delta((0, 0), &delta);
+        assert_eq!(fresh, vec![6.0]);
     }
 
     #[test]

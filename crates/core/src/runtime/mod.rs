@@ -29,7 +29,8 @@ pub use node::{flatten_model_params, run_endpoint, NodeOutcome};
 pub use worker::evaluate_error;
 
 use crate::config::{
-    ClusterConfig, CommScheme, ComputeConfig, Consistency, Partition, SchemePolicy,
+    ClusterConfig, Codec, CodecPolicy, CommScheme, ComputeConfig, Consistency, Partition,
+    SchemePolicy,
 };
 use crate::coordinator::Coordinator;
 use crate::faults::{FaultPlan, FaultyTransport, FiredFault};
@@ -43,8 +44,39 @@ use crate::transport::{
 };
 use poseidon_nn::data::Dataset;
 use poseidon_nn::Model;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Process-wide count of frames dropped because their payload failed codec
+/// decode (a "poisoned" frame). Decode corruption is surfaced — counted here,
+/// emitted as a `frame.poisoned` telemetry instant and a stderr diagnostic —
+/// instead of aborting the process at the decode site; a run that then starves
+/// still fails within `comm_timeout` with the usual starvation diagnosis.
+static POISONED_FRAMES: AtomicU64 = AtomicU64::new(0);
+
+/// Total poisoned (undecodable) frames dropped by workers and shards since
+/// process start.
+pub fn poisoned_frames() -> u64 {
+    POISONED_FRAMES.load(Ordering::Relaxed)
+}
+
+/// Records one poisoned frame: bumps the process-wide counter and names the
+/// link and decode error on stderr/telemetry. The caller drops the frame.
+pub(crate) fn note_poisoned_frame(
+    endpoint: usize,
+    from: usize,
+    what: &str,
+    err: &crate::wire::CodecError,
+) {
+    POISONED_FRAMES.fetch_add(1, Ordering::Relaxed);
+    if telemetry::is_enabled() {
+        telemetry::instant("frame.poisoned", endpoint as u64, from as u64);
+    }
+    eprintln!(
+        "poseidon: endpoint {endpoint}: poisoned {what} frame from endpoint {from} dropped: {err}"
+    );
+}
 
 /// A learning-rate schedule evaluated per BSP iteration.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -145,6 +177,11 @@ pub struct RuntimeConfig {
     pub lr_schedule: LrSchedule,
     /// Layer-to-scheme policy.
     pub policy: SchemePolicy,
+    /// Layer-to-codec policy, orthogonal to the scheme policy. The default
+    /// [`CodecPolicy::Identity`] is bitwise identical to the pre-codec wire;
+    /// [`SchemePolicy::OneBit`] overrides this with [`Codec::OneBit`] on FC
+    /// layers regardless (the named CNTK baseline). Lossy codecs require BSP.
+    pub codec: CodecPolicy,
     /// Parameter partitioning across shards.
     pub partition: Partition,
     /// Training iterations.
@@ -197,6 +234,7 @@ impl RuntimeConfig {
             momentum: 0.0,
             lr_schedule: LrSchedule::Constant,
             policy: SchemePolicy::Hybrid,
+            codec: CodecPolicy::Identity,
             partition: Partition::default_kv_pairs(),
             iterations,
             eval_every: 0,
@@ -223,6 +261,8 @@ pub struct TrainResult<M: Model> {
     pub traffic: Arc<TrafficCounters>,
     /// The scheme the coordinator chose per trainable layer.
     pub schemes: Vec<(usize, CommScheme)>,
+    /// The gradient codec the coordinator chose per trainable layer.
+    pub codecs: Vec<(usize, Codec)>,
     /// Largest clock spread observed between the fastest and slowest worker
     /// (0 under BSP; bounded by `staleness + 1` under SSP).
     pub max_staleness_spread: u64,
@@ -294,6 +334,7 @@ fn ssp_mode(cfg: &RuntimeConfig) -> Option<u64> {
 pub(crate) struct RunPlan {
     pub coordinator: Coordinator,
     pub schemes: Vec<(usize, CommScheme)>,
+    pub codecs: Vec<(usize, Codec)>,
     pub plans: Vec<ServerPlan>,
     pub update_scale: f32,
 }
@@ -302,8 +343,10 @@ pub(crate) struct RunPlan {
 pub(crate) fn build_run_plan<M: Model>(reference: &M, cfg: &RuntimeConfig, ssp: bool) -> RunPlan {
     let p = cfg.workers;
     let cluster = ClusterConfig::colocated(p, cfg.batch_per_worker);
-    let coordinator = Coordinator::from_model(reference, cluster, cfg.policy, cfg.partition);
+    let coordinator = Coordinator::from_model(reference, cluster, cfg.policy, cfg.partition)
+        .with_codec_policy(cfg.codec);
     let schemes = coordinator.scheme_assignment();
+    let codecs = coordinator.codec_assignment();
     let update_scale = -cfg.learning_rate / p as f32;
 
     let mut plans: Vec<ServerPlan> = (0..p)
@@ -324,17 +367,27 @@ pub(crate) fn build_run_plan<M: Model>(reference: &M, cfg: &RuntimeConfig, ssp: 
         let info = &coordinator.layers()[l];
         match scheme {
             CommScheme::Ps => {
+                let codec = coordinator.best_codec(l);
+                if ssp {
+                    assert_eq!(
+                        codec,
+                        Codec::Identity,
+                        "SSP supports the identity codec only; lossy error feedback needs the \
+                         BSP barrier"
+                    );
+                }
                 for (idx, chunk) in coordinator.chunk_table().layer_chunks(l).iter().enumerate() {
-                    plans[chunk.shard].ps_chunks.push((idx as u32, *chunk));
+                    plans[chunk.shard]
+                        .ps_chunks
+                        .push((idx as u32, *chunk, codec));
                 }
             }
-            CommScheme::AdamSf | CommScheme::OneBitPs => {
+            CommScheme::AdamSf => {
                 let owner = l % p;
                 plans[owner].layer_granular.push(LayerGranular {
                     layer: l,
                     fc_shape: info.fc_shape.expect("layer-granular schemes need FC shape"),
                     param_elems: info.param_elems,
-                    adam: scheme == CommScheme::AdamSf,
                 });
             }
             // Peer-to-peer schemes; no server state.
@@ -345,7 +398,7 @@ pub(crate) fn build_run_plan<M: Model>(reference: &M, cfg: &RuntimeConfig, ssp: 
     // then all layer-granular layers.
     for plan in &mut plans {
         let mut ordered = Vec::with_capacity(plan.ps_chunks.len() + plan.layer_granular.len());
-        for &(_, chunk) in &plan.ps_chunks {
+        for &(_, chunk, _) in &plan.ps_chunks {
             let flat = syncer::flatten_params(
                 reference
                     .slot(chunk.layer)
@@ -368,6 +421,7 @@ pub(crate) fn build_run_plan<M: Model>(reference: &M, cfg: &RuntimeConfig, ssp: 
     RunPlan {
         coordinator,
         schemes,
+        codecs,
         plans,
         update_scale,
     }
@@ -429,6 +483,7 @@ pub fn train<M: Model>(
     let plan = build_run_plan(&reference, cfg, ssp.is_some());
     let coordinator = plan.coordinator;
     let schemes = plan.schemes;
+    let codecs = plan.codecs;
 
     // Endpoints 0..P are workers on nodes 0..P; endpoints P..2P are shards
     // colocated on the same nodes.
@@ -530,6 +585,7 @@ pub fn train<M: Model>(
         net: first.net,
         traffic,
         schemes,
+        codecs,
         max_staleness_spread: clock.max_spread_observed(),
         worker_wall_s,
         trace,
@@ -692,10 +748,213 @@ mod tests {
     fn one_bit_trains_but_differs() {
         let r = distributed(SchemePolicy::OneBit, 2);
         assert!(r.losses[4] < r.losses[0] * 1.5, "1-bit should still learn");
+        // The named baseline is PS scheme + OneBit codec on FC layers.
+        assert!(r.schemes.iter().all(|&(_, s)| s == CommScheme::Ps));
+        assert!(r.codecs.iter().all(|&(_, c)| c == Codec::OneBit));
         let ps = distributed(SchemePolicy::AlwaysPs, 2);
         assert!(
             r.net.max_param_diff(&ps.net) > 1e-6,
             "1-bit is lossy and must not match the exact trajectory"
+        );
+    }
+
+    #[test]
+    fn explicit_identity_codec_matches_default_bitwise() {
+        let base = distributed(SchemePolicy::Hybrid, 3);
+        let cfg = RuntimeConfig {
+            policy: SchemePolicy::Hybrid,
+            codec: CodecPolicy::Always(Codec::Identity),
+            partition: Partition::KvPairs { pair_elems: 50 },
+            ..RuntimeConfig::new(3, 8, 0.2, 5)
+        };
+        let explicit = train(&factory, &dataset(), None, &cfg);
+        assert_eq!(
+            base.net.max_param_diff(&explicit.net),
+            0.0,
+            "explicit identity codec must be bitwise identical to the default"
+        );
+        assert_eq!(base.losses, explicit.losses);
+        assert!(explicit.codecs.iter().all(|&(_, c)| c == Codec::Identity));
+    }
+
+    fn ps_with_codec(codec: Codec) -> TrainResult<Network> {
+        let cfg = RuntimeConfig {
+            policy: SchemePolicy::AlwaysPs,
+            codec: CodecPolicy::Always(codec),
+            partition: Partition::KvPairs { pair_elems: 50 },
+            ..RuntimeConfig::new(3, 8, 0.2, 5)
+        };
+        train(&factory, &dataset(), None, &cfg)
+    }
+
+    #[test]
+    fn lossy_ps_codecs_cut_traffic_and_stay_deterministic() {
+        let identity = distributed(SchemePolicy::AlwaysPs, 3);
+        for codec in [Codec::OneBit, Codec::F16, Codec::TopK { permille: 100 }] {
+            let a = ps_with_codec(codec);
+            assert!(
+                a.losses.iter().all(|l| l.is_finite()),
+                "{codec}: non-finite loss"
+            );
+            assert!(
+                a.traffic.total_bytes() < identity.traffic.total_bytes(),
+                "{codec} moved {} bytes, identity moved {}",
+                a.traffic.total_bytes(),
+                identity.traffic.total_bytes()
+            );
+            let b = ps_with_codec(codec);
+            assert_eq!(
+                a.net.max_param_diff(&b.net),
+                0.0,
+                "{codec}: lossy BSP runs must be bitwise reproducible"
+            );
+            assert_eq!(a.losses, b.losses);
+        }
+    }
+
+    #[test]
+    fn lossy_collectives_train_and_are_reproducible() {
+        let mk = || {
+            let cfg = RuntimeConfig {
+                policy: SchemePolicy::AlwaysRing,
+                codec: CodecPolicy::Always(Codec::Bf16),
+                partition: Partition::KvPairs { pair_elems: 50 },
+                ..RuntimeConfig::new(3, 8, 0.2, 5)
+            };
+            train(&factory, &dataset(), None, &cfg)
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(
+            a.net.max_param_diff(&b.net),
+            0.0,
+            "lossy ring runs must be bitwise reproducible"
+        );
+        assert_eq!(a.losses, b.losses);
+        assert!(a.losses.iter().all(|l| l.is_finite()));
+        assert!(a.codecs.iter().all(|&(_, c)| c == Codec::Bf16));
+        let identity = distributed(SchemePolicy::AlwaysRing, 3);
+        assert!(
+            a.traffic.total_bytes() < identity.traffic.total_bytes(),
+            "bf16 ring moved {} bytes, identity moved {}",
+            a.traffic.total_bytes(),
+            identity.traffic.total_bytes()
+        );
+    }
+
+    /// The mixed-codec mesh: conv layers ride identity while FC layers ride
+    /// 1-bit (the `OneBit` policy), in the same run, against the same shards —
+    /// and the ledger shows the traffic reduction.
+    #[test]
+    fn mixed_codec_mesh_trains_with_reduced_traffic() {
+        use poseidon_nn::layer::TensorShape;
+        let shape = TensorShape::new(3, 8, 8);
+        let conv_factory = move || presets::cifar_quick_scaled(shape, 4, 3, 42);
+        let data = Dataset::gaussian_clusters(shape, 3, 32, 0.3, 11);
+        let mk = |codec_policy| {
+            let cfg = RuntimeConfig {
+                policy: SchemePolicy::OneBit,
+                codec: codec_policy,
+                partition: Partition::KvPairs { pair_elems: 100 },
+                ..RuntimeConfig::new(2, 4, 0.05, 3)
+            };
+            train(&conv_factory, &data, None, &cfg)
+        };
+        let mixed = mk(CodecPolicy::Identity);
+        // The OneBit policy puts the codec on FC layers only; conv stays raw.
+        assert!(mixed.codecs.iter().any(|&(_, c)| c == Codec::OneBit));
+        assert!(mixed.codecs.iter().any(|&(_, c)| c == Codec::Identity));
+        assert!(mixed.losses.iter().all(|l| l.is_finite()));
+        let raw_cfg = RuntimeConfig {
+            policy: SchemePolicy::AlwaysPs,
+            partition: Partition::KvPairs { pair_elems: 100 },
+            ..RuntimeConfig::new(2, 4, 0.05, 3)
+        };
+        let raw = train(&conv_factory, &data, None, &raw_cfg);
+        assert!(
+            mixed.traffic.total_bytes() < raw.traffic.total_bytes(),
+            "mixed mesh moved {} bytes, raw PS moved {}",
+            mixed.traffic.total_bytes(),
+            raw.traffic.total_bytes()
+        );
+    }
+
+    /// Satellite regression: a gradient frame whose payload fails codec
+    /// decode must be counted and dropped — never `expect`-abort the shard.
+    #[test]
+    fn poisoned_grad_frame_is_counted_and_skipped() {
+        use crate::chunk::Chunk;
+        use crate::transport::Message;
+        let (mut eps, _traffic) = transport::fabric_with_nodes(&[0, 0]);
+        let server_ep = eps.pop().expect("server endpoint");
+        let mut worker_ep = eps.pop().expect("worker endpoint");
+        let plan = ServerPlan {
+            ps_chunks: vec![(
+                0,
+                Chunk {
+                    layer: 0,
+                    offset: 0,
+                    len: 4,
+                    shard: 0,
+                },
+                Codec::Identity,
+            )],
+            layer_granular: Vec::new(),
+            init_values: vec![vec![1.0, 2.0, 3.0, 4.0]],
+            workers: 1,
+            update_scale: -1.0,
+            momentum: 0.0,
+            lr_schedule: LrSchedule::Constant,
+            iterations: 1,
+            ssp: false,
+            comm_timeout: Duration::from_secs(10),
+        };
+        let before = poisoned_frames();
+        std::thread::scope(|scope| {
+            let h = scope.spawn(move || server::run_server(plan, server_ep));
+            // Truncated payload: three f32s where the chunk expects four.
+            worker_ep
+                .send(
+                    1,
+                    Message::GradChunk {
+                        iter: 0,
+                        layer: 0,
+                        chunk: 0,
+                        codec: Codec::Identity,
+                        data: crate::wire::encode_f32s(&[9.0, 9.0, 9.0]),
+                    },
+                )
+                .expect("send corrupt frame");
+            // The real push; the shard must still be alive to fold it.
+            worker_ep
+                .send(
+                    1,
+                    Message::GradChunk {
+                        iter: 0,
+                        layer: 0,
+                        chunk: 0,
+                        codec: Codec::Identity,
+                        data: crate::wire::encode_f32s(&[0.5; 4]),
+                    },
+                )
+                .expect("send valid frame");
+            let env = worker_ep
+                .recv_timeout(Duration::from_secs(10))
+                .expect("fresh params after the poisoned frame was dropped");
+            match env.msg {
+                Message::ParamChunk { data, .. } => {
+                    let params = crate::wire::decode_f32s(&data).expect("valid reply");
+                    // θ += update_scale · grad = θ − 0.5.
+                    assert_eq!(params, vec![0.5, 1.5, 2.5, 3.5]);
+                }
+                other => panic!("expected fresh params, got {other:?}"),
+            }
+            worker_ep.shutdown().expect("worker endpoint shutdown");
+            h.join().expect("shard must survive the poisoned frame");
+        });
+        assert!(
+            poisoned_frames() > before,
+            "the poisoned frame must be counted"
         );
     }
 

@@ -1,22 +1,30 @@
 //! The KV-store shard.
 //!
 //! Each shard owns a [`ShardState`] holding the master copy of its KV pairs
-//! (plus any layer-granular masters for the Adam/1-bit paths), consumes
-//! gradient messages from workers, and broadcasts fresh parameters when a
-//! pair's update count reaches the number of workers (BSP). Like the worker,
-//! the shard is written against the [`Transport`] trait and runs unchanged
-//! over in-process channels or TCP.
+//! (plus any layer-granular masters for the Adam path), consumes gradient
+//! messages from workers, and broadcasts fresh parameters when a pair's
+//! update count reaches the number of workers (BSP). Like the worker, the
+//! shard is written against the [`Transport`] trait and runs unchanged over
+//! in-process channels or TCP.
+//!
+//! Gradient compression rides the codec plane: every gradient frame carries
+//! its codec in the header, the shard decodes whatever arrives (so
+//! mixed-codec meshes interoperate), and a lossy chunk replies with the
+//! compressed *velocity delta* instead of fresh parameters — double error
+//! feedback, CNTK-style, with the master advanced by the decoded bytes the
+//! workers will apply so replicas and master stay bitwise consistent.
 
 use crate::chunk::Chunk;
 use crate::kvstore::ShardState;
 use crate::telemetry;
 use crate::transport::{Envelope, Message, Transport, TransportError};
-use crate::wire::{self, LAYER_GRANULAR_CHUNK};
-use poseidon_tensor::quantize::OneBitQuantizer;
+use crate::wire::{self, Codec, LAYER_GRANULAR_CHUNK};
+use poseidon_tensor::compress::{make_compressor, Compressor};
 use poseidon_tensor::Matrix;
 use std::collections::HashMap;
 
-/// A layer synchronised at layer granularity by this shard (Adam or 1-bit).
+/// A layer synchronised at layer granularity by this shard (the Adam
+/// SF-push / matrix-pull baseline).
 #[derive(Clone, Debug)]
 pub(crate) struct LayerGranular {
     pub layer: usize,
@@ -24,14 +32,12 @@ pub(crate) struct LayerGranular {
     pub fc_shape: (usize, usize),
     /// Flattened parameter length (`M·N + M`).
     pub param_elems: usize,
-    /// `true` for Adam (SF push), `false` for 1-bit (quantized push).
-    pub adam: bool,
 }
 
 /// Everything one shard needs.
 pub(crate) struct ServerPlan {
-    /// Owned KV pairs: `(within-layer chunk index, chunk)`.
-    pub ps_chunks: Vec<(u32, Chunk)>,
+    /// Owned KV pairs: `(within-layer chunk index, chunk, reply codec)`.
+    pub ps_chunks: Vec<(u32, Chunk, Codec)>,
     /// Owned layer-granular layers.
     pub layer_granular: Vec<LayerGranular>,
     /// Initial values for every owned pair, same order as `ps_chunks` then
@@ -54,18 +60,6 @@ pub(crate) struct ServerPlan {
     pub comm_timeout: std::time::Duration,
 }
 
-/// Server-side state for one 1-bit layer: the master copy, the aggregate
-/// quantizer with its error residual, and the per-round pending gradients.
-struct OneBitState {
-    fc_shape: (usize, usize),
-    master_weights: Matrix,
-    master_bias: Vec<f32>,
-    quantizer: OneBitQuantizer,
-    velocity_w: Matrix,
-    velocity_b: Vec<f32>,
-    pending: Vec<Option<(Matrix, Vec<f32>)>>,
-}
-
 /// Sends or panics with enough context to name the broken link.
 fn must_send<T: Transport>(endpoint: &T, to: usize, msg: Message) {
     if let Err(e) = endpoint.send(to, msg) {
@@ -80,9 +74,15 @@ fn must_send<T: Transport>(endpoint: &T, to: usize, msg: Message) {
 pub(crate) fn run_server<T: Transport>(plan: ServerPlan, mut endpoint: T) {
     telemetry::set_thread_track(format!("shard e{}", endpoint.endpoint_id()));
     let mut state = ShardState::with_momentum(plan.workers, plan.update_scale, plan.momentum);
-    let mut onebit: HashMap<u32, OneBitState> = HashMap::new();
+    // Per-chunk serving metadata: expected element count and the codec this
+    // shard replies with. Decoding always follows the *frame's* codec.
+    let mut chunk_info: HashMap<(u32, u32), (usize, Codec)> = HashMap::new();
+    // Per-chunk aggregate compressors (error feedback on the reply path);
+    // created lazily, only lossy chunks ever allocate one.
+    let mut reply_comp: HashMap<(u32, u32), Box<dyn Compressor>> = HashMap::new();
     let mut init = plan.init_values.into_iter();
-    for &(idx, chunk) in &plan.ps_chunks {
+    for &(idx, chunk, codec) in &plan.ps_chunks {
+        chunk_info.insert((chunk.layer as u32, idx), (chunk.len, codec));
         state.init_pair(
             (chunk.layer as u32, idx),
             init.next().expect("init value per ps chunk"),
@@ -90,28 +90,13 @@ pub(crate) fn run_server<T: Transport>(plan: ServerPlan, mut endpoint: T) {
     }
     for lg in &plan.layer_granular {
         let flat = init.next().expect("init value per layer-granular layer");
-        if lg.adam {
-            state.init_pair((lg.layer as u32, LAYER_GRANULAR_CHUNK), flat);
-        } else {
-            let (m, n) = lg.fc_shape;
-            onebit.insert(
-                lg.layer as u32,
-                OneBitState {
-                    fc_shape: (m, n),
-                    master_weights: Matrix::from_vec(m, n, flat[..m * n].to_vec()),
-                    master_bias: flat[m * n..].to_vec(),
-                    quantizer: OneBitQuantizer::new(m, n),
-                    velocity_w: Matrix::zeros(m, n),
-                    velocity_b: vec![0.0; m],
-                    pending: (0..plan.workers).map(|_| None).collect(),
-                },
-            );
-        }
+        state.init_pair((lg.layer as u32, LAYER_GRANULAR_CHUNK), flat);
     }
 
     // Every owned pair receives exactly `workers` gradient messages per
     // iteration; serve that many envelopes, then exit. Control frames (a
-    // peer acking over a bare transport) don't count against the budget.
+    // peer acking over a bare transport) don't count against the budget, and
+    // neither do poisoned frames — they are counted separately and dropped.
     let pairs = plan.ps_chunks.len() + plan.layer_granular.len();
     let expected = pairs * plan.workers * plan.iterations;
     let mut served = 0usize;
@@ -142,91 +127,42 @@ pub(crate) fn run_server<T: Transport>(plan: ServerPlan, mut endpoint: T) {
                 iter,
                 layer,
                 chunk,
+                codec,
                 data,
             } => {
-                if chunk == LAYER_GRANULAR_CHUNK {
-                    // 1-bit path (CNTK baseline, Seide et al.): dequantize the
-                    // P worker pushes, fold them, then quantize the aggregated
-                    // update as well before broadcasting — double error
-                    // feedback, so worker replicas and the master stay
-                    // bitwise consistent while both directions stay 1-bit.
-                    let ob = onebit
-                        .get_mut(&layer)
-                        .expect("1-bit push for a layer this shard does not own");
-                    let (quant, bias) = wire::decode_onebit(&data).expect("corrupt 1-bit payload");
-                    assert!(
-                        ob.pending[env.from].is_none(),
-                        "worker {} sent two 1-bit updates in one round",
-                        env.from
-                    );
-                    ob.pending[env.from] = Some((quant.dequantize(), bias));
-                    if ob.pending.iter().all(Option::is_some) {
-                        let (m, n) = ob.fc_shape;
-                        let mut grad_w = Matrix::zeros(m, n);
-                        let mut grad_b = vec![0.0f32; m];
-                        for slot in ob.pending.iter_mut() {
-                            let (w, b) = slot.take().expect("checked complete");
-                            grad_w.add_assign(&w);
-                            for (acc, v) in grad_b.iter_mut().zip(&b) {
-                                *acc += v;
-                            }
-                        }
-                        // Fold the aggregate into the velocity, pre-scale,
-                        // then quantize (weights only; the bias delta is tiny
-                        // and travels dense).
-                        ob.velocity_w.scale(plan.momentum);
-                        ob.velocity_w.add_assign(&grad_w);
-                        for (v, g) in ob.velocity_b.iter_mut().zip(&grad_b) {
-                            *v = plan.momentum * *v + g;
-                        }
-                        let mut delta_w = ob.velocity_w.clone();
-                        delta_w.scale(scale);
-                        grad_b = ob.velocity_b.iter().map(|&v| v * scale).collect();
-                        let agg_quant = ob.quantizer.quantize(&delta_w);
-                        let decoded = agg_quant.dequantize();
-                        // Keep the master consistent with what workers apply.
-                        for (mv, d) in ob
-                            .master_weights
-                            .as_mut_slice()
-                            .iter_mut()
-                            .zip(decoded.as_slice())
-                        {
-                            *mv += d;
-                        }
-                        for (mv, d) in ob.master_bias.iter_mut().zip(&grad_b) {
-                            *mv += d;
-                        }
-                        let payload = wire::encode_onebit_pooled(&agg_quant, &grad_b);
-                        for w in 0..plan.workers {
-                            must_send(
-                                &endpoint,
-                                w,
-                                Message::GradChunk {
-                                    iter,
-                                    layer,
-                                    chunk: LAYER_GRANULAR_CHUNK,
-                                    data: payload.clone(),
-                                },
-                            );
-                        }
-                    }
-                } else {
-                    let grad = wire::decode_f32s(&data).expect("corrupt gradient payload");
-                    if plan.ssp {
-                        let updated = state.receive_grad_async(env.from, (layer, chunk), &grad);
-                        must_send(
-                            &endpoint,
+                let &(elems, reply_codec) = chunk_info
+                    .get(&(layer, chunk))
+                    .expect("gradient push for a chunk this shard does not own");
+                // Decode by the frame's own codec tag, whatever the worker
+                // chose to send.
+                let grad = match wire::decode_codec(codec, &data, elems) {
+                    Ok(grad) => grad,
+                    Err(e) => {
+                        crate::runtime::note_poisoned_frame(
+                            endpoint.endpoint_id(),
                             env.from,
-                            Message::ParamChunk {
-                                iter,
-                                layer,
-                                chunk,
-                                data: wire::encode_f32s_pooled(&updated),
-                            },
+                            "gradient",
+                            &e,
                         );
-                    } else if let Some(updated) =
-                        state.receive_grad(env.from, (layer, chunk), &grad)
-                    {
+                        served -= 1;
+                        continue;
+                    }
+                };
+                if plan.ssp {
+                    let updated = state.receive_grad_async(env.from, (layer, chunk), &grad);
+                    must_send(
+                        &endpoint,
+                        env.from,
+                        Message::ParamChunk {
+                            iter,
+                            layer,
+                            chunk,
+                            codec: Codec::Identity,
+                            data: wire::encode_f32s_pooled(&updated),
+                        },
+                    );
+                } else if reply_codec == Codec::Identity {
+                    if let Some(updated) = state.receive_grad(env.from, (layer, chunk), &grad) {
                         for w in 0..plan.workers {
                             must_send(
                                 &endpoint,
@@ -235,10 +171,37 @@ pub(crate) fn run_server<T: Transport>(plan: ServerPlan, mut endpoint: T) {
                                     iter,
                                     layer,
                                     chunk,
+                                    codec: Codec::Identity,
                                     data: wire::encode_f32s_pooled(&updated),
                                 },
                             );
                         }
+                    }
+                } else if let Some(delta) =
+                    state.receive_grad_deferred(env.from, (layer, chunk), &grad)
+                {
+                    // Lossy reply: compress the scaled velocity delta (with
+                    // error feedback), then advance the master by the *decoded*
+                    // bytes so it tracks exactly what every replica applies.
+                    let comp = reply_comp
+                        .entry((layer, chunk))
+                        .or_insert_with(|| make_compressor(reply_codec, elems));
+                    let payload = comp.compress(&delta);
+                    let applied = wire::decode_codec(reply_codec, &payload, elems)
+                        .expect("shard's own encoding must decode");
+                    state.apply_delta((layer, chunk), &applied);
+                    for w in 0..plan.workers {
+                        must_send(
+                            &endpoint,
+                            w,
+                            Message::ParamChunk {
+                                iter,
+                                layer,
+                                chunk,
+                                codec: reply_codec,
+                                data: payload.clone(),
+                            },
+                        );
                     }
                 }
             }
@@ -247,7 +210,7 @@ pub(crate) fn run_server<T: Transport>(plan: ServerPlan, mut endpoint: T) {
                 let lg = plan
                     .layer_granular
                     .iter()
-                    .find(|lg| lg.layer as u32 == layer && lg.adam)
+                    .find(|lg| lg.layer as u32 == layer)
                     .expect("SF push for a layer this shard does not own");
                 let batch =
                     poseidon_tensor::bytesio::decode_sf_batch(&data).expect("corrupt SF payload");

@@ -11,19 +11,21 @@
 //! channel endpoint (threaded [`train`](crate::runtime::train)) or a TCP
 //! endpoint (the `poseidon-node` process runtime). A peer that stops talking
 //! surfaces as a [`TransportError::Timeout`] panic naming this worker, its
-//! iteration and its sync progress — never a silent hang.
+//! iteration and its sync progress — never a silent hang. A frame whose
+//! payload fails codec decode is poisoned: counted, diagnosed and dropped,
+//! never a process abort at the decode site.
 
+use crate::chunk::Chunk;
 use crate::config::CommScheme;
 use crate::coordinator::Coordinator;
 use crate::syncer::{self, SyncOutcome, Syncer};
 use crate::telemetry;
 use crate::transport::{Message, Transport, TransportError};
-use crate::wire::{self, LAYER_GRANULAR_CHUNK};
+use crate::wire;
 use poseidon_nn::data::Dataset;
 use poseidon_nn::loss::SoftmaxCrossEntropy;
 use poseidon_nn::Model;
 use poseidon_tensor::bytesio;
-use poseidon_tensor::quantize::OneBitQuantizer;
 use std::collections::HashMap;
 use std::collections::VecDeque;
 
@@ -86,10 +88,10 @@ pub(crate) fn run_worker<M: Model, T: Transport>(
     poseidon_nn::parallel::set_compute_threads(cfg.compute_threads.max(1));
     let head = SoftmaxCrossEntropy;
 
-    // One syncer per trainable layer, plus 1-bit quantizer state where needed
-    // and SFB velocity buffers (identical on every replica).
+    // One syncer per trainable layer — each carries its scheme, its codec
+    // (with per-chunk error-feedback state for lossy codecs) — plus SFB
+    // velocity buffers (identical on every replica).
     let mut syncers: HashMap<usize, Syncer> = HashMap::new();
-    let mut quantizers: HashMap<usize, OneBitQuantizer> = HashMap::new();
     let mut sf_velocity: HashMap<usize, (poseidon_tensor::Matrix, Vec<f32>)> = HashMap::new();
     for (l, scheme) in coordinator.scheme_assignment() {
         let info = &coordinator.layers()[l];
@@ -97,12 +99,9 @@ pub(crate) fn run_worker<M: Model, T: Transport>(
         syncers.insert(
             l,
             Syncer::new(l, scheme, chunks, info.param_elems, workers, cfg.me)
-                .with_momentum(cfg.momentum),
+                .with_momentum(cfg.momentum)
+                .with_codec(coordinator.best_codec(l)),
         );
-        if scheme == CommScheme::OneBitPs {
-            let (m, n) = info.fc_shape.expect("1-bit applies to FC layers");
-            quantizers.insert(l, OneBitQuantizer::new(m, n));
-        }
     }
     let num_syncers = syncers.len();
 
@@ -147,9 +146,13 @@ pub(crate) fn run_worker<M: Model, T: Transport>(
             match s.scheme() {
                 CommScheme::Ps => {
                     let flat = syncer::flatten_grads(params);
-                    for (idx, chunk) in s.chunks().iter().enumerate() {
+                    let codec = s.codec();
+                    // Snapshot the chunk table first: `encode_push` needs the
+                    // syncer mutably (per-chunk error-feedback state).
+                    let chunks: Vec<Chunk> = s.chunks().to_vec();
+                    for (idx, chunk) in chunks.into_iter().enumerate() {
                         let payload =
-                            wire::encode_f32s_pooled(&flat[chunk.offset..chunk.offset + chunk.len]);
+                            s.encode_push(idx, &flat[chunk.offset..chunk.offset + chunk.len]);
                         must_send(
                             &endpoint,
                             cfg.me,
@@ -158,6 +161,7 @@ pub(crate) fn run_worker<M: Model, T: Transport>(
                                 iter: iter as u64,
                                 layer: l as u32,
                                 chunk: idx as u32,
+                                codec,
                                 data: payload,
                             },
                         );
@@ -207,6 +211,7 @@ pub(crate) fn run_worker<M: Model, T: Transport>(
                     let flat = syncer::flatten_grads(params);
                     let scale = cfg.update_scale * cfg.lr_schedule.multiplier(iter);
                     let scaled: Vec<f32> = flat.iter().map(|g| scale * g).collect();
+                    let codec = s.codec();
                     for send in s.set_collective_grad(scaled) {
                         must_send(
                             &endpoint,
@@ -216,28 +221,11 @@ pub(crate) fn run_worker<M: Model, T: Transport>(
                                 iter: iter as u64,
                                 layer: l as u32,
                                 route: send.route,
+                                codec,
                                 data: send.data,
                             },
                         );
                     }
-                }
-                CommScheme::OneBitPs => {
-                    let quant = quantizers
-                        .get_mut(&l)
-                        .expect("quantizer per 1-bit layer")
-                        .quantize(&params.grad_weights);
-                    let owner = l % workers;
-                    must_send(
-                        &endpoint,
-                        cfg.me,
-                        workers + owner,
-                        Message::GradChunk {
-                            iter: iter as u64,
-                            layer: l as u32,
-                            chunk: LAYER_GRANULAR_CHUNK,
-                            data: wire::encode_onebit_pooled(&quant, params.grad_bias.as_slice()),
-                        },
-                    );
                 }
             }
             // The layer's sync window opens the instant its gradient left
@@ -298,11 +286,25 @@ pub(crate) fn run_worker<M: Model, T: Transport>(
             let s = syncers.get_mut(&layer).expect("message for unknown layer");
             let was_complete = s.is_complete();
             match msg {
-                Message::ParamChunk { chunk, data, .. } => {
-                    s.on_param_chunk(
-                        chunk as usize,
-                        wire::decode_f32s(&data).expect("corrupt param chunk"),
-                    );
+                Message::ParamChunk {
+                    chunk, codec, data, ..
+                } => {
+                    // Decode by the frame's codec tag; identity carries fresh
+                    // params, a lossy codec carries the compressed delta (the
+                    // syncer's outcome type follows its own codec).
+                    let elems = s.chunks()[chunk as usize].len;
+                    match wire::decode_codec(codec, &data, elems) {
+                        Ok(vals) => s.on_param_chunk(chunk as usize, vals),
+                        Err(e) => {
+                            crate::runtime::note_poisoned_frame(
+                                endpoint.endpoint_id(),
+                                from,
+                                "param chunk",
+                                &e,
+                            );
+                            continue;
+                        }
+                    }
                 }
                 Message::ParamMatrix { data, .. } => {
                     s.on_param_matrix(wire::decode_f32s(&data).expect("corrupt param matrix"));
@@ -314,33 +316,37 @@ pub(crate) fn run_worker<M: Model, T: Transport>(
                     );
                 }
                 Message::Collective { route, data, .. } => {
-                    for send in s.on_collective(from, route, data) {
-                        must_send(
-                            &endpoint,
-                            cfg.me,
-                            send.to_worker,
-                            Message::Collective {
-                                iter: iter as u64,
-                                layer: layer as u32,
-                                route: send.route,
-                                data: send.data,
-                            },
-                        );
+                    let codec = s.codec();
+                    match s.on_collective(from, route, data) {
+                        Ok(sends) => {
+                            for send in sends {
+                                must_send(
+                                    &endpoint,
+                                    cfg.me,
+                                    send.to_worker,
+                                    Message::Collective {
+                                        iter: iter as u64,
+                                        layer: layer as u32,
+                                        route: send.route,
+                                        codec,
+                                        data: send.data,
+                                    },
+                                );
+                            }
+                        }
+                        Err(e) => {
+                            crate::runtime::note_poisoned_frame(
+                                endpoint.endpoint_id(),
+                                from,
+                                "collective",
+                                &e,
+                            );
+                            continue;
+                        }
                     }
                 }
-                Message::GradChunk { chunk, data, .. } => {
-                    // 1-bit path: the server broadcasts the quantized
-                    // aggregated update; decode it into a flat delta.
-                    assert_eq!(
-                        chunk, LAYER_GRANULAR_CHUNK,
-                        "unexpected grad chunk at worker"
-                    );
-                    let (quant, bias) =
-                        wire::decode_onebit(&data).expect("corrupt 1-bit broadcast");
-                    let dense = quant.dequantize();
-                    let mut flat = dense.as_slice().to_vec();
-                    flat.extend_from_slice(&bias);
-                    s.on_param_matrix(flat);
+                Message::GradChunk { .. } => {
+                    panic!("worker {} received an unexpected gradient chunk", cfg.me)
                 }
                 Message::Ack { .. } | Message::Nack { .. } => {
                     unreachable!("control frames are filtered before dispatch")

@@ -11,6 +11,7 @@
 //! vector of Section 4.1).
 
 use crate::config::ClusterConfig;
+use crate::config::Codec;
 use crate::config::CommScheme;
 use crate::config::Scheduler;
 use crate::coordinator::Coordinator;
@@ -22,8 +23,6 @@ use std::collections::HashMap;
 
 /// Wire overhead per message (framing + header), bytes.
 const MSG_OVERHEAD: u64 = 16;
-/// Compression factor of the 1-bit payload relative to dense f32.
-const ONEBIT_COMPRESSION: u64 = 32;
 
 /// What the simulator reports for one steady-state iteration.
 #[derive(Clone, Debug)]
@@ -176,8 +175,12 @@ enum Ev {
 #[derive(Clone, Debug)]
 struct LayerPlan {
     scheme: CommScheme,
-    /// `(shard, bytes)` per chunk for PS-style paths.
-    chunks: Vec<(usize, u64)>,
+    /// The gradient codec this layer's frames ride (identity unless the
+    /// codec policy compresses it); wire bytes below are priced through it.
+    codec: Codec,
+    /// `(shard, wire bytes incl. overhead, dense payload bytes)` per chunk
+    /// for PS-style and collective paths.
+    chunks: Vec<(usize, u64, u64)>,
     /// Dense flattened parameter bytes.
     dense_bytes: u64,
     /// SF one-way message bytes (FC layers).
@@ -343,7 +346,8 @@ fn simulate_inner(
         batch_per_worker: node_batch,
         colocated: true,
     };
-    let coordinator = Coordinator::from_spec(spec, cluster, cfg.policy, cfg.partition);
+    let coordinator = Coordinator::from_spec(spec, cluster, cfg.policy, cfg.partition)
+        .with_codec_policy(cfg.codec_policy);
     // Each GPU computes its own per-GPU batch in parallel.
     let times = LayerTimes::derive(spec, batch, cfg.gpu_default_flops);
     let single_node_ips = batch as f64 / times.total();
@@ -357,25 +361,30 @@ fn simulate_inner(
             .fc_shape
             .map(|(m, n)| (node_batch * (m + n)) as u64 * 4 + MSG_OVERHEAD)
             .unwrap_or(0);
-        let chunks: Vec<(usize, u64)> = match scheme {
+        let codec = coordinator.best_codec(l);
+        let chunks: Vec<(usize, u64, u64)> = match scheme {
             // Collectives reuse the PS chunk table as their segment tiling,
-            // exactly like the live Syncer does.
+            // exactly like the live Syncer does; wire bytes are priced
+            // through the layer's codec, the dense bytes drive fold costs.
             CommScheme::Ps | CommScheme::Ring | CommScheme::Tree => coordinator
                 .chunk_table()
                 .layer_chunks(l)
                 .iter()
-                .map(|c| (c.shard, c.bytes() + MSG_OVERHEAD))
+                .map(|c| {
+                    (
+                        c.shard,
+                        codec.payload_bytes(c.len) as u64 + MSG_OVERHEAD,
+                        c.bytes(),
+                    )
+                })
                 .collect(),
-            CommScheme::OneBitPs => {
-                // Layer-granular quantized blob to the owner shard.
-                vec![(l % p, dense_bytes / ONEBIT_COMPRESSION + MSG_OVERHEAD)]
-            }
             CommScheme::AdamSf | CommScheme::Sfb => Vec::new(),
         };
         plans.insert(
             l,
             LayerPlan {
                 scheme,
+                codec,
                 chunks,
                 dense_bytes,
                 sf_bytes,
@@ -645,9 +654,9 @@ fn step(state: &mut SimState<'_>, queue: &mut EventQueue<Ev>, now: f64, ev: Ev) 
             }
             let plan = state.plans[&layer].clone();
             match plan.scheme {
-                CommScheme::Ps | CommScheme::OneBitPs => {
+                CommScheme::Ps => {
                     state.chunks_remaining.insert((layer, w), plan.chunks.len());
-                    for (c, &(shard, bytes)) in plan.chunks.iter().enumerate() {
+                    for (c, &(shard, bytes, dense)) in plan.chunks.iter().enumerate() {
                         let mut ready = state.local_aggregate(
                             w,
                             now,
@@ -657,9 +666,10 @@ fn step(state: &mut SimState<'_>, queue: &mut EventQueue<Ev>, now: f64, ev: Ev) 
                             let dur = state.move_dur(plan.dense_bytes / plan.chunks.len() as u64);
                             ready = state.memcpy[w].reserve(ready, dur).1;
                         }
-                        if plan.scheme == CommScheme::OneBitPs {
-                            // Quantization pass before send.
-                            let qdur = 2.0 * plan.dense_bytes as f64 / state.cfg.transform_flops;
+                        if plan.codec != Codec::Identity {
+                            // Compression pass (error feedback + encode)
+                            // before send, on the transform stream.
+                            let qdur = 2.0 * dense as f64 / state.cfg.transform_flops;
                             ready = state.cpu[w].reserve(ready, qdur).1;
                         }
                         state.send(
@@ -707,11 +717,16 @@ fn step(state: &mut SimState<'_>, queue: &mut EventQueue<Ev>, now: f64, ev: Ev) 
                         let dur = state.move_dur(plan.dense_bytes);
                         ready = state.memcpy[w].reserve(ready, dur).1;
                     }
+                    if plan.codec != Codec::Identity {
+                        // Compression pass before seeding / contributing.
+                        let qdur = 2.0 * plan.dense_bytes as f64 / state.cfg.transform_flops;
+                        ready = state.cpu[w].reserve(ready, qdur).1;
+                    }
                     state.coll_ready.insert((layer, w), ready);
                     match (plan.scheme, w) {
                         (CommScheme::Ring, 0) => {
                             // Worker 0 seeds the chain towards worker 1.
-                            for (c, &(_, bytes)) in plan.chunks.iter().enumerate() {
+                            for (c, &(_, bytes, _)) in plan.chunks.iter().enumerate() {
                                 state.send(
                                     queue,
                                     ready,
@@ -743,7 +758,7 @@ fn step(state: &mut SimState<'_>, queue: &mut EventQueue<Ev>, now: f64, ev: Ev) 
                         }
                         _ => {
                             let parent = (w - 1) / 2;
-                            for (c, &(_, bytes)) in plan.chunks.iter().enumerate() {
+                            for (c, &(_, bytes, _)) in plan.chunks.iter().enumerate() {
                                 state.send(
                                     queue,
                                     ready,
@@ -793,16 +808,10 @@ fn step(state: &mut SimState<'_>, queue: &mut EventQueue<Ev>, now: f64, ev: Ev) 
             state.applied.insert((layer, chunk));
             let plan = state.plans[&layer].clone();
             let (shard, apply_dur) = match plan.scheme {
-                CommScheme::Ps | CommScheme::OneBitPs => {
-                    let (shard, bytes) = plan.chunks[chunk];
-                    // Dense fold of P gradients (1-bit dequantizes to dense
-                    // before folding, so same cost).
-                    let dense = if plan.scheme == CommScheme::OneBitPs {
-                        plan.dense_bytes
-                    } else {
-                        bytes - MSG_OVERHEAD
-                    };
-                    let _ = bytes;
+                CommScheme::Ps => {
+                    let (shard, _, dense) = plan.chunks[chunk];
+                    // Dense fold of P gradients (a lossy codec decompresses
+                    // to dense before folding, so same cost).
                     (shard, p as f64 * dense as f64 / state.cfg.apply_bytes_per_s)
                 }
                 CommScheme::AdamSf => {
@@ -826,8 +835,12 @@ fn step(state: &mut SimState<'_>, queue: &mut EventQueue<Ev>, now: f64, ev: Ev) 
         Ev::ApplyDone { layer, chunk } => {
             let plan = state.plans[&layer].clone();
             let (shard, pull_bytes) = match plan.scheme {
-                CommScheme::Ps => plan.chunks[chunk],
-                CommScheme::OneBitPs => plan.chunks[chunk],
+                // Lossy PS replies with the compressed delta: same wire
+                // bytes as the push direction.
+                CommScheme::Ps => {
+                    let (shard, bytes, _) = plan.chunks[chunk];
+                    (shard, bytes)
+                }
                 CommScheme::AdamSf => (layer % p, plan.dense_bytes + MSG_OVERHEAD),
                 CommScheme::Sfb | CommScheme::Ring | CommScheme::Tree => unreachable!(),
             };
@@ -859,8 +872,8 @@ fn step(state: &mut SimState<'_>, queue: &mut EventQueue<Ev>, now: f64, ev: Ev) 
                 let dur = state.move_dur(per_chunk);
                 done = state.memcpy[worker].reserve(now, dur).1;
             }
-            if plan.scheme == CommScheme::OneBitPs {
-                // Dequantize the pulled payload.
+            if plan.codec != Codec::Identity {
+                // Decompress the pulled payload.
                 let dq = plan.dense_bytes as f64 / state.cfg.transform_flops;
                 done = state.cpu[worker].reserve(done, dq).1;
             }
@@ -873,7 +886,7 @@ fn step(state: &mut SimState<'_>, queue: &mut EventQueue<Ev>, now: f64, ev: Ev) 
                 state.pull_remaining.remove(&(layer, chunk));
             }
             let chunks_total = match plan.scheme {
-                CommScheme::Ps | CommScheme::OneBitPs => plan.chunks.len(),
+                CommScheme::Ps => plan.chunks.len(),
                 _ => 1,
             };
             let entry = state
@@ -952,7 +965,7 @@ fn step(state: &mut SimState<'_>, queue: &mut EventQueue<Ev>, now: f64, ev: Ev) 
         },
         Ev::RingShare { layer, chunk, at } => {
             let plan = state.plans[&layer].clone();
-            let (_, bytes) = plan.chunks[chunk];
+            let (_, bytes, _) = plan.chunks[chunk];
             finish_collective_chunk(state, now, layer, chunk, at);
             let next = at + 1;
             if next != p - 1 {
@@ -978,7 +991,7 @@ fn step(state: &mut SimState<'_>, queue: &mut EventQueue<Ev>, now: f64, ev: Ev) 
                 try_tree_fold(state, queue, now, layer, chunk);
             } else {
                 // Interior nodes relay origin-tagged payloads unchanged.
-                let (_, bytes) = state.plans[&layer].chunks[chunk];
+                let (_, bytes, _) = state.plans[&layer].chunks[chunk];
                 let parent = (at - 1) / 2;
                 state.send(
                     queue,
@@ -995,7 +1008,7 @@ fn step(state: &mut SimState<'_>, queue: &mut EventQueue<Ev>, now: f64, ev: Ev) 
             }
         }
         Ev::TreeCast { layer, chunk, at } => {
-            let (_, bytes) = state.plans[&layer].chunks[chunk];
+            let (_, bytes, _) = state.plans[&layer].chunks[chunk];
             finish_collective_chunk(state, now, layer, chunk, at);
             for child in [2 * at + 1, 2 * at + 2] {
                 if child < p {
@@ -1029,8 +1042,7 @@ fn ring_reduce_arrive(
     at: usize,
 ) {
     let p = state.p;
-    let (_, bytes) = state.plans[&layer].chunks[chunk];
-    let dense = bytes - MSG_OVERHEAD;
+    let (_, bytes, dense) = state.plans[&layer].chunks[chunk];
     let dur = dense as f64 / state.cfg.apply_bytes_per_s;
     let done = state.cpu[at].reserve(now, dur).1;
     if let Some(tr) = state.tracer.as_mut() {
@@ -1085,8 +1097,7 @@ fn try_tree_fold(
     }
     state.tree_counts.remove(&(layer, chunk));
     let p = state.p;
-    let (_, bytes) = state.plans[&layer].chunks[chunk];
-    let dense = bytes - MSG_OVERHEAD;
+    let (_, bytes, dense) = state.plans[&layer].chunks[chunk];
     let dur = p as f64 * dense as f64 / state.cfg.apply_bytes_per_s;
     let start = now.max(ready);
     let done = state.cpu[0].reserve(start, dur).1;

@@ -1,6 +1,6 @@
 //! Simulator configuration: systems under test and the GPU compute model.
 
-use crate::config::{Partition, Scheduler, SchemePolicy};
+use crate::config::{CodecPolicy, Partition, Scheduler, SchemePolicy};
 use poseidon_nn::zoo::ModelSpec;
 
 /// The named systems compared in the paper's evaluation.
@@ -64,6 +64,11 @@ pub struct SimConfig {
     pub scheduler: Scheduler,
     /// Layer-to-scheme policy.
     pub policy: SchemePolicy,
+    /// Layer-to-codec policy, orthogonal to the scheme policy (identity by
+    /// default; the `OneBit` scheme policy implies the 1-bit codec on FC
+    /// layers regardless). Compressed wire bytes are priced against the
+    /// ledger; the codec's transform passes are charged on the CPU stream.
+    pub codec_policy: CodecPolicy,
     /// Parameter placement across shards.
     pub partition: Partition,
     /// Vanilla-Caffe-PS behaviour: GPU↔CPU copies block the iteration.
@@ -115,6 +120,7 @@ impl SimConfig {
             latency_s: 50e-6,
             scheduler: Scheduler::Wfbp,
             policy: SchemePolicy::Hybrid,
+            codec_policy: CodecPolicy::Identity,
             partition: Partition::default_kv_pairs(),
             unoverlapped_memcpy: false,
             gpu_default_flops: 4.0e12,

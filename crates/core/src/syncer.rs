@@ -13,10 +13,11 @@
 //! tested; the [`crate::runtime`] threads drive it with real messages.
 
 use crate::chunk::Chunk;
-use crate::config::CommScheme;
-use crate::wire::{self, COLLECTIVE_DISTRIBUTE, COLLECTIVE_REDUCE};
+use crate::config::{Codec, CommScheme};
+use crate::wire::{self, CodecError, COLLECTIVE_DISTRIBUTE, COLLECTIVE_REDUCE};
 use bytes::Bytes;
 use poseidon_nn::ParamBlock;
+use poseidon_tensor::compress::{decompress, make_compressor, Compressor};
 use poseidon_tensor::{Matrix, SfBatch};
 
 /// What a completed syncer hands back to the worker's `Move(CPU→GPU)` step.
@@ -26,9 +27,10 @@ pub enum SyncOutcome {
     /// overwrite the replica's parameters.
     FreshParams(Vec<f32>),
     /// A pre-scaled parameter *delta* (flattened weights ++ bias); add it to
-    /// the replica's parameters. Used by the 1-bit path, where the server
-    /// broadcasts the quantized aggregated update rather than dense
-    /// parameters (Seide et al.'s double quantization).
+    /// the replica's parameters. Used by the collectives and by every lossy
+    /// codec's PS path, where the server broadcasts the (compressed)
+    /// aggregated update rather than dense parameters (Seide et al.'s double
+    /// quantization, generalised to any [`Codec`]).
     ApplyDelta(Vec<f32>),
     /// All workers' sufficient-factor batches in worker-id order (including
     /// our own); reconstruct and apply `scale · Σ` locally.
@@ -78,8 +80,16 @@ pub struct Syncer {
     own_contrib: Vec<Option<Vec<f32>>>,
     /// Per-segment completion flag this iteration.
     seg_done: Vec<bool>,
-    /// Tree root only: buffered origin-tagged contributions, `[seg][origin]`.
-    gathered: Vec<Vec<Option<Bytes>>>,
+    /// Tree root only: decoded origin-tagged contributions, `[seg][origin]`.
+    gathered: Vec<Vec<Option<Vec<f32>>>>,
+    // --- compression plane ---
+    /// This layer's gradient codec (identity = the bitwise-exact f32 wire).
+    codec: Codec,
+    /// Per-chunk push compressors (error-feedback state), PS path. Lazily
+    /// created; `None` until the chunk first compresses.
+    push_comp: Vec<Option<Box<dyn Compressor>>>,
+    /// Per-segment hop compressors (error-feedback state), collective path.
+    seg_comp: Vec<Option<Box<dyn Compressor>>>,
 }
 
 impl Syncer {
@@ -142,6 +152,9 @@ impl Syncer {
             } else {
                 Vec::new()
             },
+            codec: Codec::Identity,
+            push_comp: (0..n_chunks).map(|_| None).collect(),
+            seg_comp: (0..n_segs).map(|_| None).collect(),
             segs,
         }
     }
@@ -153,6 +166,49 @@ impl Syncer {
         assert!((0.0..1.0).contains(&momentum), "momentum must be in [0,1)");
         self.momentum = momentum;
         self
+    }
+
+    /// Sets this layer's gradient codec (builder-style; the default identity
+    /// keeps the pre-codec f32 wire bitwise intact). Factor schemes (SFB /
+    /// Adam) reject lossy codecs — the factors *are* the compression.
+    pub fn with_codec(mut self, codec: Codec) -> Self {
+        assert!(
+            codec == Codec::Identity
+                || !matches!(self.scheme, CommScheme::Sfb | CommScheme::AdamSf),
+            "layer {}: {} cannot ride codec {codec}",
+            self.layer,
+            self.scheme
+        );
+        self.codec = codec;
+        self
+    }
+
+    /// This layer's gradient codec.
+    pub fn codec(&self) -> Codec {
+        self.codec
+    }
+
+    /// Encodes one PS push chunk with this layer's codec, keeping per-chunk
+    /// error-feedback state across iterations. Identity takes the pooled
+    /// bitwise-exact path.
+    pub fn encode_push(&mut self, chunk_idx: usize, vals: &[f32]) -> Bytes {
+        if self.codec == Codec::Identity {
+            return wire::encode_f32s_pooled(vals);
+        }
+        let comp = self.push_comp[chunk_idx]
+            .get_or_insert_with(|| make_compressor(self.codec, vals.len()));
+        comp.compress(vals)
+    }
+
+    /// Compresses one collective segment's values with the per-segment
+    /// error-feedback compressor.
+    fn seg_compress(&mut self, seg: usize, vals: &[f32]) -> Bytes {
+        if self.codec == Codec::Identity {
+            return wire::encode_f32s_pooled(vals);
+        }
+        let comp =
+            self.seg_comp[seg].get_or_insert_with(|| make_compressor(self.codec, vals.len()));
+        comp.compress(vals)
     }
 
     /// The layer this syncer serves.
@@ -244,10 +300,11 @@ impl Syncer {
                     for (t, c) in t.iter_mut().zip(&scaled[off..off + len]) {
                         *t += c;
                     }
+                    let data = self.seg_compress(seg, &t);
                     out.push(CollectiveSend {
                         to_worker: 1,
                         route: wire::pack_collective(COLLECTIVE_REDUCE, 0, seg),
-                        data: wire::encode_f32s_pooled(&t),
+                        data,
                     });
                 }
             }
@@ -266,11 +323,13 @@ impl Syncer {
             }
             (CommScheme::Tree, me) => {
                 let parent = (me - 1) / 2;
-                for (seg, &(off, len)) in self.segs.iter().enumerate() {
+                for seg in 0..self.segs.len() {
+                    let (off, len) = self.segs[seg];
+                    let data = self.seg_compress(seg, &scaled[off..off + len]);
                     out.push(CollectiveSend {
                         to_worker: parent,
                         route: wire::pack_collective(COLLECTIVE_REDUCE, me, seg),
-                        data: wire::encode_f32s_pooled(&scaled[off..off + len]),
+                        data,
                     });
                 }
             }
@@ -280,6 +339,19 @@ impl Syncer {
     }
 
     /// Handles a collective (ring/tree) frame, returning frames to forward.
+    ///
+    /// Under a lossy codec each ring hop decompresses the incoming partial,
+    /// adds its own contribution and recompresses with its per-segment
+    /// error-feedback state; the chain's terminal stores the decode of its
+    /// *own* encoding so every replica ends on the same bytes. Identity keeps
+    /// the fused pooled-add fast path, bitwise identical to the pre-codec
+    /// wire.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`CodecError`] of a payload that fails to decode (a
+    /// poisoned frame); the segment stays incomplete and the caller decides
+    /// whether to count and drop or abort.
     ///
     /// # Panics
     ///
@@ -293,7 +365,7 @@ impl Syncer {
         from_worker: usize,
         route: u32,
         payload: Bytes,
-    ) -> Vec<CollectiveSend> {
+    ) -> Result<Vec<CollectiveSend>, CodecError> {
         assert!(
             matches!(self.scheme, CommScheme::Ring | CommScheme::Tree),
             "layer {}: unexpected collective frame under {}",
@@ -306,7 +378,9 @@ impl Syncer {
             "collective segment {seg} out of range"
         );
         let (_, len) = self.segs[seg];
-        assert_eq!(payload.len(), len * 4, "collective payload length mismatch");
+        if self.codec == Codec::Identity {
+            assert_eq!(payload.len(), len * 4, "collective payload length mismatch");
+        }
         let mut out = Vec::new();
         match (self.scheme, phase) {
             (CommScheme::Ring, COLLECTIVE_REDUCE) => {
@@ -321,28 +395,63 @@ impl Syncer {
                     !self.seg_done[seg],
                     "duplicate ring REDUCE for segment {seg}"
                 );
-                let own = self.own_contrib[seg].take().unwrap_or_else(|| {
-                    panic!("ring REDUCE for segment {seg} before local backward")
-                });
-                // Fused `partial += c_me` straight on the wire payload into a
-                // pooled buffer — no decode/encode round-trip per hop.
-                let summed = wire::add_f32s_pooled(&payload, &own).expect("length checked above");
-                if self.me == self.workers - 1 {
-                    // Chain complete: `summed` is the new velocity. Store it
-                    // and originate the DISTRIBUTE pass the other way round.
-                    self.velocity[seg] = Some(wire::decode_f32s(&summed).expect("aligned"));
-                    self.seg_done[seg] = true;
-                    out.push(CollectiveSend {
-                        to_worker: (self.me + 1) % self.workers,
-                        route: wire::pack_collective(COLLECTIVE_DISTRIBUTE, 0, seg),
-                        data: summed,
+                if self.codec == Codec::Identity {
+                    let own = self.own_contrib[seg].take().unwrap_or_else(|| {
+                        panic!("ring REDUCE for segment {seg} before local backward")
                     });
+                    // Fused `partial += c_me` straight on the wire payload
+                    // into a pooled buffer — no decode/encode round-trip per
+                    // hop.
+                    let summed =
+                        wire::add_f32s_pooled(&payload, &own).expect("length checked above");
+                    if self.me == self.workers - 1 {
+                        // Chain complete: `summed` is the new velocity. Store
+                        // it and originate the DISTRIBUTE pass the other way.
+                        self.velocity[seg] = Some(wire::decode_f32s(&summed).expect("aligned"));
+                        self.seg_done[seg] = true;
+                        out.push(CollectiveSend {
+                            to_worker: (self.me + 1) % self.workers,
+                            route: wire::pack_collective(COLLECTIVE_DISTRIBUTE, 0, seg),
+                            data: summed,
+                        });
+                    } else {
+                        out.push(CollectiveSend {
+                            to_worker: self.me + 1,
+                            route,
+                            data: summed,
+                        });
+                    }
                 } else {
-                    out.push(CollectiveSend {
-                        to_worker: self.me + 1,
-                        route,
-                        data: summed,
+                    // Decompress–add–recompress: validate *before* consuming
+                    // the contribution so a poisoned frame leaves the round
+                    // resumable.
+                    let mut summed = decompress(self.codec, &payload, len)?;
+                    let own = self.own_contrib[seg].take().unwrap_or_else(|| {
+                        panic!("ring REDUCE for segment {seg} before local backward")
                     });
+                    for (s, c) in summed.iter_mut().zip(&own) {
+                        *s += c;
+                    }
+                    let data = self.seg_compress(seg, &summed);
+                    if self.me == self.workers - 1 {
+                        // The terminal's velocity is the decode of its own
+                        // encoding — the exact values every other replica
+                        // will decode from the DISTRIBUTE pass.
+                        self.velocity[seg] =
+                            Some(decompress(self.codec, &data, len).expect("own encoding"));
+                        self.seg_done[seg] = true;
+                        out.push(CollectiveSend {
+                            to_worker: (self.me + 1) % self.workers,
+                            route: wire::pack_collective(COLLECTIVE_DISTRIBUTE, 0, seg),
+                            data,
+                        });
+                    } else {
+                        out.push(CollectiveSend {
+                            to_worker: self.me + 1,
+                            route,
+                            data,
+                        });
+                    }
                 }
             }
             (CommScheme::Ring, COLLECTIVE_DISTRIBUTE) => {
@@ -357,8 +466,7 @@ impl Syncer {
                     !self.seg_done[seg],
                     "duplicate ring DISTRIBUTE for segment {seg}"
                 );
-                self.velocity[seg] =
-                    Some(wire::decode_f32s(&payload).expect("length checked above"));
+                self.velocity[seg] = Some(decompress(self.codec, &payload, len)?);
                 self.seg_done[seg] = true;
                 let next = self.me + 1;
                 if next != last {
@@ -381,7 +489,9 @@ impl Syncer {
                         self.gathered[seg][origin].is_none(),
                         "duplicate tree contribution from origin {origin}"
                     );
-                    self.gathered[seg][origin] = Some(payload);
+                    // Decode on arrival so a poisoned frame surfaces here,
+                    // before the fold consumes any sibling state.
+                    self.gathered[seg][origin] = Some(decompress(self.codec, &payload, len)?);
                     self.try_fold_root(seg, &mut out);
                 } else {
                     // Interior node: relay the origin-tagged frame unchanged
@@ -404,8 +514,7 @@ impl Syncer {
                     !self.seg_done[seg],
                     "duplicate tree DISTRIBUTE for segment {seg}"
                 );
-                self.velocity[seg] =
-                    Some(wire::decode_f32s(&payload).expect("length checked above"));
+                self.velocity[seg] = Some(decompress(self.codec, &payload, len)?);
                 self.seg_done[seg] = true;
                 for child in self.tree_children(self.me) {
                     out.push(CollectiveSend {
@@ -417,7 +526,7 @@ impl Syncer {
             }
             _ => unreachable!("unknown collective phase {phase}"),
         }
-        out
+        Ok(out)
     }
 
     /// Root-side tree fold: once every origin's contribution and our own are
@@ -446,12 +555,20 @@ impl Syncer {
         }
         for origin in 1..self.workers {
             let b = self.gathered[seg][origin].take().expect("checked above");
-            for (t, src) in t.iter_mut().zip(b.chunks_exact(4)) {
-                *t += f32::from_le_bytes([src[0], src[1], src[2], src[3]]);
+            for (t, src) in t.iter_mut().zip(&b) {
+                *t += src;
             }
         }
-        let data = wire::encode_f32s_pooled(&t);
-        self.velocity[seg] = Some(t);
+        let data = self.seg_compress(seg, &t);
+        // Under a lossy codec the root, like every other replica, applies
+        // what the wire carries — the decode of its own encoding — so all
+        // replicas stay bitwise identical.
+        self.velocity[seg] = if self.codec == Codec::Identity {
+            Some(t)
+        } else {
+            let (_, len) = self.segs[seg];
+            Some(decompress(self.codec, &data, len).expect("own encoding"))
+        };
         self.seg_done[seg] = true;
         for child in self.tree_children(0) {
             out.push(CollectiveSend {
@@ -495,10 +612,10 @@ impl Syncer {
         self.received_chunks[chunk_idx] = Some(values);
     }
 
-    /// Handles a dense parameter matrix (Adam pull / 1-bit reply).
+    /// Handles a dense parameter matrix (Adam pull).
     pub fn on_param_matrix(&mut self, values: Vec<f32>) {
         assert!(
-            matches!(self.scheme, CommScheme::AdamSf | CommScheme::OneBitPs),
+            matches!(self.scheme, CommScheme::AdamSf),
             "layer {}: unexpected param matrix under {}",
             self.layer,
             self.scheme
@@ -528,7 +645,7 @@ impl Syncer {
     pub fn is_complete(&self) -> bool {
         match self.scheme {
             CommScheme::Ps => self.received_chunks.iter().all(Option::is_some),
-            CommScheme::AdamSf | CommScheme::OneBitPs => self.received_matrix.is_some(),
+            CommScheme::AdamSf => self.received_matrix.is_some(),
             CommScheme::Sfb => {
                 self.own_sf.is_some()
                     && (0..self.workers)
@@ -557,13 +674,17 @@ impl Syncer {
                     let vals = self.received_chunks[idx].take().expect("complete");
                     flat[chunk.offset..chunk.offset + chunk.len].copy_from_slice(&vals);
                 }
-                SyncOutcome::FreshParams(flat)
+                if self.codec == Codec::Identity {
+                    // Identity PS broadcasts fresh parameters — overwrite.
+                    SyncOutcome::FreshParams(flat)
+                } else {
+                    // Lossy PS broadcasts the compressed aggregated update —
+                    // the chunks hold decoded deltas, add them in place.
+                    SyncOutcome::ApplyDelta(flat)
+                }
             }
             CommScheme::AdamSf => {
                 SyncOutcome::FreshParams(self.received_matrix.take().expect("complete"))
-            }
-            CommScheme::OneBitPs => {
-                SyncOutcome::ApplyDelta(self.received_matrix.take().expect("complete"))
             }
             CommScheme::Sfb => {
                 let mut batches = Vec::with_capacity(self.workers);
@@ -837,7 +958,7 @@ mod tests {
                 }
             }
             while let Some((to, from, route, data)) = inflight.pop_front() {
-                for send in syncers[to].on_collective(from, route, data) {
+                for send in syncers[to].on_collective(from, route, data).unwrap() {
                     inflight.push_back((send.to_worker, to, send.route, send.data));
                 }
             }
@@ -893,10 +1014,14 @@ mod tests {
         let seeds = a.set_collective_grad(vec![1.0, 2.0, 3.0]);
         assert!(b.set_collective_grad(vec![0.5, 0.5, 0.5]).is_empty());
         assert_eq!(seeds.len(), 1, "single whole-layer segment");
-        let fwd = b.on_collective(0, seeds[0].route, seeds[0].data.clone());
+        let fwd = b
+            .on_collective(0, seeds[0].route, seeds[0].data.clone())
+            .unwrap();
         assert!(b.is_complete());
         assert_eq!(fwd.len(), 1, "DISTRIBUTE back to worker 0");
-        let done = a.on_collective(1, fwd[0].route, fwd[0].data.clone());
+        let done = a
+            .on_collective(1, fwd[0].route, fwd[0].data.clone())
+            .unwrap();
         assert!(done.is_empty(), "DISTRIBUTE stops before its originator");
         assert!(a.is_complete());
         match a.take_outcome() {
@@ -905,13 +1030,122 @@ mod tests {
         }
     }
 
+    /// Drives `workers` lossy-codec collective syncers through several
+    /// exchanges: all replicas must land on bitwise-identical deltas (they
+    /// all decode the same terminal encoding), even though the delta itself
+    /// is an approximation of the exact fold.
+    fn lossy_collective_replicas_agree(scheme: CommScheme, codec: Codec, workers: usize) {
+        let elems = 9;
+        let chunks = vec![chunk(0, 0, 0, 5), chunk(0, 1, 5, 4)];
+        let scale = -0.05f32;
+        let mut syncers: Vec<Syncer> = (0..workers)
+            .map(|w| {
+                Syncer::new(0, scheme, chunks.clone(), elems, workers, w)
+                    .with_momentum(0.9)
+                    .with_codec(codec)
+            })
+            .collect();
+        for it in 0..4usize {
+            let mut inflight: VecDeque<(usize, usize, u32, Bytes)> = VecDeque::new();
+            for (w, s) in syncers.iter_mut().enumerate() {
+                s.begin_iteration();
+                let scaled: Vec<f32> = (0..elems)
+                    .map(|i| scale * (((w * 31 + i * 7 + it * 13) % 17) as f32 * 0.3 - 2.0))
+                    .collect();
+                for send in s.set_collective_grad(scaled) {
+                    inflight.push_back((send.to_worker, w, send.route, send.data));
+                }
+            }
+            while let Some((to, from, route, data)) = inflight.pop_front() {
+                for send in syncers[to].on_collective(from, route, data).unwrap() {
+                    inflight.push_back((send.to_worker, to, send.route, send.data));
+                }
+            }
+            let mut deltas = Vec::new();
+            for s in &mut syncers {
+                assert!(s.is_complete(), "lossy collective exchange stalled");
+                match s.take_outcome() {
+                    SyncOutcome::ApplyDelta(d) => deltas.push(d),
+                    other => panic!("wrong outcome {other:?}"),
+                }
+            }
+            for d in &deltas[1..] {
+                assert_eq!(
+                    f32_bits(d),
+                    f32_bits(&deltas[0]),
+                    "{scheme}/{codec} P={workers} replicas diverged at iteration {it}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lossy_collectives_keep_replicas_bitwise_identical() {
+        use poseidon_tensor::compress::TOPK_DEFAULT_PERMILLE;
+        for codec in [
+            Codec::OneBit,
+            Codec::F16,
+            Codec::Bf16,
+            Codec::TopK {
+                permille: TOPK_DEFAULT_PERMILLE,
+            },
+        ] {
+            for &workers in &[2usize, 3, 5] {
+                lossy_collective_replicas_agree(CommScheme::Ring, codec, workers);
+                lossy_collective_replicas_agree(CommScheme::Tree, codec, workers);
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_collective_payload_surfaces_not_panics() {
+        let mut b = Syncer::new(0, CommScheme::Ring, vec![], 4, 2, 1).with_codec(Codec::OneBit);
+        let _ = b.set_collective_grad(vec![0.1, 0.2, 0.3, 0.4]);
+        let route = wire::pack_collective(COLLECTIVE_REDUCE, 0, 0);
+        let err = b.on_collective(0, route, Bytes::from(vec![1u8, 2, 3]));
+        assert!(err.is_err(), "truncated payload must surface, got {err:?}");
+        assert!(
+            !b.is_complete(),
+            "poisoned frame must not complete a segment"
+        );
+    }
+
+    #[test]
+    fn encode_push_identity_is_bitwise_pooled_path() {
+        let mut s = Syncer::new(0, CommScheme::Ps, vec![chunk(0, 0, 0, 3)], 3, 2, 0);
+        let vals = [1.5f32, -2.25, 0.0];
+        assert_eq!(
+            s.encode_push(0, &vals).as_ref(),
+            wire::encode_f32s(&vals).as_ref()
+        );
+    }
+
+    #[test]
+    fn encode_push_error_feedback_is_deterministic_across_instances() {
+        let mk = || {
+            Syncer::new(0, CommScheme::Ps, vec![chunk(0, 0, 0, 6)], 6, 2, 0)
+                .with_codec(Codec::OneBit)
+        };
+        let (mut a, mut b) = (mk(), mk());
+        for it in 0..5 {
+            let vals: Vec<f32> = (0..6).map(|i| (i * 3 + it) as f32 * 0.7 - 4.0).collect();
+            assert_eq!(a.encode_push(0, &vals), b.encode_push(0, &vals), "it {it}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot ride codec")]
+    fn sfb_rejects_lossy_codec() {
+        let _ = Syncer::new(0, CommScheme::Sfb, vec![], 4, 2, 0).with_codec(Codec::F16);
+    }
+
     #[test]
     #[should_panic(expected = "wrong predecessor")]
     fn ring_reduce_from_wrong_sender_panics() {
         let mut s = Syncer::new(0, CommScheme::Ring, vec![], 2, 3, 2);
         s.set_collective_grad(vec![0.0, 0.0]);
         let route = wire::pack_collective(COLLECTIVE_REDUCE, 0, 0);
-        s.on_collective(0, route, wire::encode_f32s(&[1.0, 2.0]));
+        let _ = s.on_collective(0, route, wire::encode_f32s(&[1.0, 2.0]));
     }
 
     #[test]
@@ -919,7 +1153,7 @@ mod tests {
     fn duplicate_tree_contribution_panics() {
         let mut s = Syncer::new(0, CommScheme::Tree, vec![], 1, 3, 0);
         let route = wire::pack_collective(COLLECTIVE_REDUCE, 1, 0);
-        s.on_collective(1, route, wire::encode_f32s(&[1.0]));
-        s.on_collective(1, route, wire::encode_f32s(&[1.0]));
+        let _ = s.on_collective(1, route, wire::encode_f32s(&[1.0]));
+        let _ = s.on_collective(1, route, wire::encode_f32s(&[1.0]));
     }
 }

@@ -43,7 +43,7 @@ use std::time::{Duration, Instant};
 /// transport never inspects them.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Message {
-    /// Dense (or quantized) gradient for one KV pair, worker → server.
+    /// Gradient for one KV pair, worker → server, encoded with `codec`.
     GradChunk {
         /// Training iteration.
         iter: u64,
@@ -51,10 +51,14 @@ pub enum Message {
         layer: u32,
         /// Chunk index within the layer.
         chunk: u32,
+        /// Payload encoding (rides the frame header's layer word).
+        codec: wire::Codec,
         /// Encoded payload.
         data: Bytes,
     },
-    /// Fresh parameters for one KV pair, server → worker.
+    /// Parameters for one KV pair, server → worker. With the identity codec
+    /// the payload is the fresh parameter values; with a lossy codec it is
+    /// the compressed *update delta* the worker applies to its replica.
     ParamChunk {
         /// Training iteration.
         iter: u64,
@@ -62,6 +66,8 @@ pub enum Message {
         layer: u32,
         /// Chunk index within the layer.
         chunk: u32,
+        /// Payload encoding (rides the frame header's layer word).
+        codec: wire::Codec,
         /// Encoded payload.
         data: Bytes,
     },
@@ -109,6 +115,8 @@ pub enum Message {
         layer: u32,
         /// Packed `(phase, origin, seg)` route.
         route: u32,
+        /// Payload encoding (rides the frame header's layer word).
+        codec: wire::Codec,
         /// Encoded payload (scaled partial sums or the folded update).
         data: Bytes,
     },
@@ -144,6 +152,17 @@ impl Message {
             | Message::ParamMatrix { layer, .. }
             | Message::Collective { layer, .. } => *layer,
             Message::Ack { .. } | Message::Nack { .. } => 0,
+        }
+    }
+
+    /// The payload codec carried by the message (identity for variants
+    /// whose payload has a fixed encoding).
+    pub fn codec(&self) -> wire::Codec {
+        match self {
+            Message::GradChunk { codec, .. }
+            | Message::ParamChunk { codec, .. }
+            | Message::Collective { codec, .. } => *codec,
+            _ => wire::Codec::Identity,
         }
     }
 
@@ -615,6 +634,7 @@ mod tests {
             iter,
             layer: 0,
             chunk: 0,
+            codec: wire::Codec::Identity,
             data: Bytes::from(vec![0u8; payload]),
         }
     }
@@ -701,6 +721,7 @@ mod tests {
                     iter: 9,
                     layer: 4,
                     chunk: 0,
+                    codec: wire::Codec::Identity,
                     data: Bytes::from(vec![0u8; 8]),
                 },
             )

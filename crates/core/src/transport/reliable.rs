@@ -410,6 +410,7 @@ mod tests {
             iter,
             layer: 0,
             chunk: 0,
+            codec: crate::wire::Codec::Identity,
             data: Bytes::from(vec![1u8; 8]),
         }
     }

@@ -1546,6 +1546,7 @@ mod tests {
             iter,
             layer: 1,
             chunk: LAYER_GRANULAR_CHUNK,
+            codec: crate::wire::Codec::Identity,
             data: Bytes::from(vec![7u8; payload]),
         }
     }
@@ -1635,6 +1636,7 @@ mod tests {
                         iter: 1,
                         layer: 0,
                         chunk: 0,
+                        codec: crate::wire::Codec::Identity,
                         data: Bytes::from(payload.clone()),
                     },
                 )

@@ -599,6 +599,7 @@ mod tests {
             iter,
             layer: 1,
             chunk: LAYER_GRANULAR_CHUNK,
+            codec: crate::wire::Codec::Identity,
             data: Bytes::from(vec![7u8; payload]),
         }
     }

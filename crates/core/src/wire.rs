@@ -7,11 +7,11 @@
 //! ```text
 //! offset  size  field
 //! 0       2     magic  "PN"
-//! 2       1     version (currently 2)
+//! 2       1     version (currently 3)
 //! 3       1     tag (1 GradChunk | 2 ParamChunk | 3 SfPush | 4 ParamMatrix
 //!                    | 5 Ack | 6 Nack | 7 Collective)
 //! 4       8     iter        u64 LE (control frames: the ack/nack operand)
-//! 12      4     layer       u32 LE
+//! 12      4     codec(8) | layer(24)   u32 LE
 //! 16      4     chunk       u32 LE (LAYER_GRANULAR_CHUNK where not applicable)
 //! 20      4     payload_len u32 LE
 //! 24      4     seq         u32 LE (per-link sequence number, 0 = unsequenced)
@@ -28,25 +28,57 @@
 //! operand in the `iter` field and never reach the runtime — the reliable
 //! layer consumes them.
 //!
+//! Version 3 packs a one-byte [`Codec`] id into the top 8 bits of the layer
+//! word (layer indices are bounded by [`MAX_LAYER_INDEX`]), so every
+//! gradient-bearing frame — PS push, parameter broadcast, ring/tree
+//! collective — is self-describing about its payload encoding and
+//! mixed-codec meshes interoperate. The header stays 32 bytes, so byte
+//! accounting is unchanged; codec id 0 (`identity`) makes a frame identical
+//! to version 2 except for the version byte.
+//!
 //! The frame is the single source of truth for byte accounting:
 //! `Message::wire_bytes()` is *derived from the encoded frame*, so the
 //! traffic counters can never drift from what actually crosses a socket.
 //! The in-process transport counts `encode_frame(..).len()`; the TCP
 //! transport counts the very buffer it writes.
 //!
-//! Payload codecs (dense f32 runs, the 1-bit bundle) live here too so the
-//! whole wire format is defined in one module; sufficient-factor batches use
+//! Payload codecs live behind the [`Codec`] registry
+//! ([`poseidon_tensor::compress`]); this module adds the pooled fast paths
+//! for the dominant identity codec. Sufficient-factor batches use
 //! [`poseidon_tensor::bytesio`].
 
 use crate::transport::Message;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use poseidon_tensor::quantize::QuantizedGrad;
+pub use poseidon_tensor::compress::{Codec, CodecError};
 
 /// First two bytes of every frame.
 pub const FRAME_MAGIC: [u8; 2] = *b"PN";
 
 /// Current wire-format version. Decoders reject every other version.
-pub const FRAME_VERSION: u8 = 2;
+pub const FRAME_VERSION: u8 = 3;
+
+/// Largest layer index the v3 header can carry: the top 8 bits of the layer
+/// word belong to the codec id.
+pub const MAX_LAYER_INDEX: u32 = (1 << 24) - 1;
+
+/// Packs the codec id and layer index into the header's layer word.
+///
+/// # Panics
+///
+/// Panics when `layer` exceeds [`MAX_LAYER_INDEX`].
+pub fn pack_layer(codec: Codec, layer: u32) -> u32 {
+    assert!(
+        layer <= MAX_LAYER_INDEX,
+        "layer index out of range: {layer}"
+    );
+    ((codec.wire_id() as u32) << 24) | layer
+}
+
+/// Inverse of [`pack_layer`]: `(codec_id, layer)`. The codec id is returned
+/// raw so the caller can surface unknown ids as a decode error.
+pub fn unpack_layer(word: u32) -> (u8, u32) {
+    ((word >> 24) as u8, word & MAX_LAYER_INDEX)
+}
 
 /// Fixed size of the frame header preceding every payload.
 pub const FRAME_HEADER_BYTES: usize = 32;
@@ -120,6 +152,8 @@ pub enum FrameError {
     BadVersion(u8),
     /// The tag byte names no known message variant.
     BadTag(u8),
+    /// The codec bits of the layer word name no known [`Codec`].
+    BadCodec(u8),
     /// The declared payload length exceeds [`MAX_FRAME_PAYLOAD`].
     Oversized(usize),
 }
@@ -138,6 +172,7 @@ impl std::fmt::Display for FrameError {
                 )
             }
             FrameError::BadTag(t) => write!(f, "unknown frame tag {t}"),
+            FrameError::BadCodec(c) => write!(f, "unknown codec id {c}"),
             FrameError::Oversized(n) => write!(f, "frame payload of {n} bytes exceeds the cap"),
         }
     }
@@ -153,6 +188,8 @@ pub struct FrameHeader {
     tag: u8,
     /// Training iteration stamp.
     pub iter: u64,
+    /// Payload codec (validated; identity for tags that carry none).
+    pub codec: Codec,
     /// Layer index.
     pub layer: u32,
     /// Chunk index ([`LAYER_GRANULAR_CHUNK`] where the variant has none).
@@ -201,22 +238,42 @@ pub fn encode_frame_seq(msg: &Message, src: u32, seq: u32) -> Bytes {
 ///
 /// Panics if the payload exceeds [`MAX_FRAME_PAYLOAD`].
 pub fn encode_header_seq(msg: &Message, src: u32, seq: u32) -> [u8; FRAME_HEADER_BYTES] {
-    let (tag, iter, layer, chunk) = match msg {
+    let (tag, iter, layer_word, chunk) = match msg {
         Message::GradChunk {
-            iter, layer, chunk, ..
-        } => (TAG_GRAD_CHUNK, *iter, *layer, *chunk),
+            iter,
+            layer,
+            chunk,
+            codec,
+            ..
+        } => (TAG_GRAD_CHUNK, *iter, pack_layer(*codec, *layer), *chunk),
         Message::ParamChunk {
-            iter, layer, chunk, ..
-        } => (TAG_PARAM_CHUNK, *iter, *layer, *chunk),
-        Message::SfPush { iter, layer, .. } => (TAG_SF_PUSH, *iter, *layer, LAYER_GRANULAR_CHUNK),
-        Message::ParamMatrix { iter, layer, .. } => {
-            (TAG_PARAM_MATRIX, *iter, *layer, LAYER_GRANULAR_CHUNK)
-        }
+            iter,
+            layer,
+            chunk,
+            codec,
+            ..
+        } => (TAG_PARAM_CHUNK, *iter, pack_layer(*codec, *layer), *chunk),
+        Message::SfPush { iter, layer, .. } => (
+            TAG_SF_PUSH,
+            *iter,
+            pack_layer(Codec::Identity, *layer),
+            LAYER_GRANULAR_CHUNK,
+        ),
+        Message::ParamMatrix { iter, layer, .. } => (
+            TAG_PARAM_MATRIX,
+            *iter,
+            pack_layer(Codec::Identity, *layer),
+            LAYER_GRANULAR_CHUNK,
+        ),
         Message::Ack { upto } => (TAG_ACK, *upto, 0, LAYER_GRANULAR_CHUNK),
         Message::Nack { expect } => (TAG_NACK, *expect, 0, LAYER_GRANULAR_CHUNK),
         Message::Collective {
-            iter, layer, route, ..
-        } => (TAG_COLLECTIVE, *iter, *layer, *route),
+            iter,
+            layer,
+            route,
+            codec,
+            ..
+        } => (TAG_COLLECTIVE, *iter, pack_layer(*codec, *layer), *route),
     };
     let payload_len = msg.payload().len();
     assert!(
@@ -228,7 +285,7 @@ pub fn encode_header_seq(msg: &Message, src: u32, seq: u32) -> [u8; FRAME_HEADER
     hdr[2] = FRAME_VERSION;
     hdr[3] = tag;
     hdr[4..12].copy_from_slice(&iter.to_le_bytes());
-    hdr[12..16].copy_from_slice(&layer.to_le_bytes());
+    hdr[12..16].copy_from_slice(&layer_word.to_le_bytes());
     hdr[16..20].copy_from_slice(&chunk.to_le_bytes());
     hdr[20..24].copy_from_slice(&(payload_len as u32).to_le_bytes());
     hdr[24..28].copy_from_slice(&seq.to_le_bytes());
@@ -250,7 +307,7 @@ pub fn parse_header(hdr: &[u8; FRAME_HEADER_BYTES]) -> Result<FrameHeader, Frame
     }
     let mut rest = &hdr[4..];
     let iter = rest.get_u64_le();
-    let layer = rest.get_u32_le();
+    let layer_word = rest.get_u32_le();
     let chunk = rest.get_u32_le();
     let payload_len = rest.get_u32_le() as usize;
     let seq = rest.get_u32_le();
@@ -258,9 +315,12 @@ pub fn parse_header(hdr: &[u8; FRAME_HEADER_BYTES]) -> Result<FrameHeader, Frame
     if payload_len > MAX_FRAME_PAYLOAD {
         return Err(FrameError::Oversized(payload_len));
     }
+    let (codec_id, layer) = unpack_layer(layer_word);
+    let codec = Codec::from_wire_id(codec_id).ok_or(FrameError::BadCodec(codec_id))?;
     Ok(FrameHeader {
         tag,
         iter,
+        codec,
         layer,
         chunk,
         payload_len,
@@ -285,12 +345,14 @@ pub fn assemble(header: &FrameHeader, payload: Bytes) -> Message {
             iter: header.iter,
             layer: header.layer,
             chunk: header.chunk,
+            codec: header.codec,
             data: payload,
         },
         TAG_PARAM_CHUNK => Message::ParamChunk {
             iter: header.iter,
             layer: header.layer,
             chunk: header.chunk,
+            codec: header.codec,
             data: payload,
         },
         TAG_SF_PUSH => Message::SfPush {
@@ -311,6 +373,7 @@ pub fn assemble(header: &FrameHeader, payload: Bytes) -> Message {
             iter: header.iter,
             layer: header.layer,
             route: header.chunk,
+            codec: header.codec,
             data: payload,
         },
         other => unreachable!("parse_header admitted tag {other}"),
@@ -342,25 +405,43 @@ pub fn decode_frame(buf: &[u8]) -> Result<(Message, usize), FrameError> {
 // Payload codecs
 // ---------------------------------------------------------------------------
 
-/// Encodes a flat f32 slice.
+/// Encodes a flat f32 slice. Thin unpooled-naming wrapper over
+/// [`encode_f32s_pooled`] — there is exactly one encode implementation, so
+/// the two spellings can never drift byte-wise.
 pub fn encode_f32s(vals: &[f32]) -> Bytes {
-    let mut buf = BytesMut::with_capacity(vals.len() * 4);
-    for &v in vals {
-        buf.put_f32_le(v);
-    }
-    buf.freeze()
+    encode_f32s_pooled(vals)
 }
 
-/// [`encode_f32s`] into a recycled [`BufPool`](crate::pool::BufPool) lease:
-/// byte-identical output, but the backing buffer comes from (and returns to)
-/// the global pool instead of the allocator. The runtime's gradient/parameter
-/// hot paths use this form.
+/// Encodes a flat f32 slice into a recycled
+/// [`BufPool`](crate::pool::BufPool) lease: the backing buffer comes from
+/// (and returns to) the global pool instead of the allocator. The runtime's
+/// gradient/parameter hot paths use this form, and it is the single encode
+/// path behind the identity codec in the registry.
 pub fn encode_f32s_pooled(vals: &[f32]) -> Bytes {
     let mut lease = crate::pool::BufPool::global().get(vals.len() * 4);
     for (dst, v) in lease.chunks_exact_mut(4).zip(vals) {
         dst.copy_from_slice(&v.to_le_bytes());
     }
     lease.freeze()
+}
+
+/// Single sender-side entry point of the codec registry: encodes `vals`
+/// through `comp`, routing the identity codec through the pooled fast path
+/// (bitwise identical to [`encode_f32s_pooled`], zero-copy on the frame
+/// write) and every lossy codec through its own [`Compressor::compress`].
+pub fn encode_codec(comp: &mut dyn poseidon_tensor::compress::Compressor, vals: &[f32]) -> Bytes {
+    if comp.codec() == Codec::Identity {
+        encode_f32s_pooled(vals)
+    } else {
+        comp.compress(vals)
+    }
+}
+
+/// Single receiver-side entry point of the codec registry: decodes a payload
+/// stamped with `codec` back to `expect_elems` dense f32s, surfacing
+/// truncation/corruption as a [`CodecError`] instead of panicking.
+pub fn decode_codec(codec: Codec, buf: &[u8], expect_elems: usize) -> Result<Vec<f32>, CodecError> {
+    poseidon_tensor::compress::decompress(codec, buf, expect_elems)
 }
 
 /// Fused decode-add-encode for the ring-allreduce hot path, leasing the
@@ -396,18 +477,6 @@ pub fn add_f32s_pooled_with(
     Some(lease.freeze())
 }
 
-/// [`encode_onebit`] into a recycled pool lease; byte-identical output.
-pub fn encode_onebit_pooled(quant: &QuantizedGrad, bias_grad: &[f32]) -> Bytes {
-    let q = quant.to_bytes();
-    let mut lease = crate::pool::BufPool::global().get(4 + q.len() + bias_grad.len() * 4);
-    lease[0..4].copy_from_slice(&(q.len() as u32).to_le_bytes());
-    lease[4..4 + q.len()].copy_from_slice(&q);
-    for (dst, v) in lease[4 + q.len()..].chunks_exact_mut(4).zip(bias_grad) {
-        dst.copy_from_slice(&v.to_le_bytes());
-    }
-    lease.freeze()
-}
-
 /// Decodes a buffer produced by [`encode_f32s`].
 ///
 /// Returns `None` if the length is not a multiple of 4.
@@ -422,38 +491,9 @@ pub fn decode_f32s(mut buf: &[u8]) -> Option<Vec<f32>> {
     Some(out)
 }
 
-/// Encodes a 1-bit payload: `u32 qlen ++ quantized weights ++ bias f32s`.
-pub fn encode_onebit(quant: &QuantizedGrad, bias_grad: &[f32]) -> Bytes {
-    let q = quant.to_bytes();
-    let mut buf = BytesMut::with_capacity(4 + q.len() + bias_grad.len() * 4);
-    buf.put_u32_le(q.len() as u32);
-    buf.put_slice(&q);
-    for &v in bias_grad {
-        buf.put_f32_le(v);
-    }
-    buf.freeze()
-}
-
-/// Decodes a buffer produced by [`encode_onebit`].
-pub fn decode_onebit(mut buf: &[u8]) -> Option<(QuantizedGrad, Vec<f32>)> {
-    if buf.remaining() < 4 {
-        return None;
-    }
-    let qlen = buf.get_u32_le() as usize;
-    if buf.remaining() < qlen {
-        return None;
-    }
-    let quant = QuantizedGrad::from_bytes(&buf[..qlen])?;
-    buf.advance(qlen);
-    let bias = decode_f32s(buf)?;
-    Some((quant, bias))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use poseidon_tensor::quantize::OneBitQuantizer;
-    use poseidon_tensor::Matrix;
 
     fn sample_messages() -> Vec<Message> {
         vec![
@@ -461,12 +501,14 @@ mod tests {
                 iter: 7,
                 layer: 3,
                 chunk: 2,
+                codec: Codec::Identity,
                 data: encode_f32s(&[1.0, -2.5, 3.25]),
             },
             Message::ParamChunk {
                 iter: u64::MAX,
-                layer: u32::MAX,
+                layer: MAX_LAYER_INDEX,
                 chunk: LAYER_GRANULAR_CHUNK,
+                codec: Codec::OneBit,
                 data: Bytes::new(),
             },
             Message::SfPush {
@@ -485,6 +527,7 @@ mod tests {
                 iter: 11,
                 layer: 2,
                 route: pack_collective(COLLECTIVE_DISTRIBUTE, 3, 5),
+                codec: Codec::TopK { permille: 100 },
                 data: encode_f32s(&[4.0, -8.0]),
             },
         ]
@@ -672,32 +715,83 @@ mod tests {
     }
 
     #[test]
-    fn onebit_roundtrip() {
-        let g = Matrix::from_vec(2, 3, vec![1.0, -2.0, 3.0, -4.0, 5.0, -6.0]);
-        let mut quantizer = OneBitQuantizer::new(2, 3);
-        let quant = quantizer.quantize(&g);
-        let bias = vec![0.5f32, -0.5];
-        let bytes = encode_onebit(&quant, &bias);
-        let (q2, b2) = decode_onebit(&bytes).unwrap();
-        assert_eq!(q2, quant);
-        assert_eq!(b2, bias);
+    fn codec_id_rides_the_layer_word() {
+        for codec in [
+            Codec::Identity,
+            Codec::OneBit,
+            Codec::F16,
+            Codec::Bf16,
+            Codec::TopK { permille: 100 },
+        ] {
+            let msg = Message::GradChunk {
+                iter: 5,
+                layer: 1234,
+                chunk: 0,
+                codec,
+                data: Bytes::from(vec![0u8; 8]),
+            };
+            let frame = encode_frame(&msg);
+            let mut hdr = [0u8; FRAME_HEADER_BYTES];
+            hdr.copy_from_slice(&frame[..FRAME_HEADER_BYTES]);
+            let parsed = parse_header(&hdr).expect("clean header");
+            assert_eq!(parsed.codec.wire_id(), codec.wire_id());
+            assert_eq!(parsed.layer, 1234, "codec bits must not leak into layer");
+            let (decoded, _) = decode_frame(&frame).expect("clean frame");
+            assert_eq!(encode_frame(&decoded), frame);
+        }
     }
 
     #[test]
-    fn onebit_rejects_truncation() {
-        let g = Matrix::filled(4, 4, 1.0);
-        let quant = OneBitQuantizer::new(4, 4).quantize(&g);
-        let bytes = encode_onebit(&quant, &[1.0]);
-        assert!(decode_onebit(&bytes[..3]).is_none());
-        assert!(decode_onebit(&bytes[..bytes.len() - 2]).is_none());
+    fn identity_frames_differ_from_v2_only_in_version_byte() {
+        // Guards the bitwise-compat story: codec id 0 leaves every other
+        // header byte exactly as version 2 wrote it.
+        let msg = sample_messages().remove(0);
+        let frame = encode_frame(&msg);
+        assert_eq!(frame[2], FRAME_VERSION);
+        let (_, layer) = unpack_layer(u32::from_le_bytes([
+            frame[12], frame[13], frame[14], frame[15],
+        ]));
+        assert_eq!(layer, 3);
+        assert_eq!(frame[15], 0, "identity codec id is zero");
     }
 
     #[test]
-    fn onebit_payload_is_compressed() {
-        let g = Matrix::filled(128, 128, 1.0);
-        let quant = OneBitQuantizer::new(128, 128).quantize(&g);
-        let bytes = encode_onebit(&quant, &[0.0; 128]);
-        let dense = 128 * 128 * 4;
-        assert!(bytes.len() < dense / 10, "{} vs {dense}", bytes.len());
+    fn unknown_codec_id_is_rejected() {
+        let frame = encode_frame(&sample_messages()[0]).to_vec();
+        let mut bad = frame;
+        bad[15] = 0xEE; // top byte of the layer word (LE) = codec id
+        assert!(matches!(
+            decode_frame(&bad),
+            Err(FrameError::BadCodec(0xEE))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "layer index out of range")]
+    fn oversized_layer_index_rejected() {
+        pack_layer(Codec::Identity, MAX_LAYER_INDEX + 1);
+    }
+
+    #[test]
+    fn codec_registry_identity_is_bitwise_pooled_path() {
+        let vals = vec![1.5f32, -2.25, 0.0, f32::MAX, -0.0];
+        let mut comp = poseidon_tensor::compress::make_compressor(Codec::Identity, vals.len());
+        let enc = encode_codec(comp.as_mut(), &vals);
+        assert_eq!(enc, encode_f32s_pooled(&vals));
+        let back = decode_codec(Codec::Identity, &enc, vals.len()).expect("clean");
+        let bits: Vec<u32> = back.iter().map(|v| v.to_bits()).collect();
+        let want: Vec<u32> = vals.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bits, want);
+    }
+
+    #[test]
+    fn codec_registry_surfaces_corruption() {
+        let vals = vec![0.25f32; 64];
+        for codec in [Codec::OneBit, Codec::F16, Codec::TopK { permille: 500 }] {
+            let mut comp = poseidon_tensor::compress::make_compressor(codec, vals.len());
+            let enc = encode_codec(comp.as_mut(), &vals);
+            assert!(decode_codec(codec, &enc, vals.len()).is_ok());
+            assert!(decode_codec(codec, &enc[..enc.len() - 1], vals.len()).is_err());
+        }
     }
 }

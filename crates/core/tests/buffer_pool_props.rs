@@ -8,11 +8,9 @@ use bytes::Bytes;
 use poseidon::pool::{BufPool, MAX_CLASS_BYTES, MIN_CLASS_BYTES};
 use poseidon::transport::Message;
 use poseidon::wire::{
-    decode_frame, decode_onebit, encode_f32s, encode_f32s_pooled, encode_frame, encode_onebit,
-    encode_onebit_pooled,
+    decode_codec, decode_frame, encode_codec, encode_f32s, encode_f32s_pooled, encode_frame, Codec,
 };
-use poseidon_tensor::quantize::OneBitQuantizer;
-use poseidon_tensor::Matrix;
+use poseidon_tensor::compress::make_compressor;
 use proptest::prelude::*;
 
 /// Buffers retained per class (`CLASS_CAP` in `pool.rs`); exhaustion tests
@@ -24,8 +22,14 @@ const CLASS_CAP: usize = 32;
 /// on the wire.
 fn message_pair() -> impl Strategy<Value = (Message, Message)> {
     let payload = proptest::collection::vec(any::<u8>(), 0..2048);
-    (any::<u64>(), any::<u32>(), any::<u32>(), payload, 0u8..6).prop_map(
-        |(iter, layer, chunk, data, variant)| {
+    (
+        any::<u64>(),
+        0u32..=poseidon::wire::MAX_LAYER_INDEX,
+        any::<u32>(),
+        payload,
+        0u8..6,
+    )
+        .prop_map(|(iter, layer, chunk, data, variant)| {
             let mut lease = BufPool::global().get(data.len());
             lease.copy_from_slice(&data);
             let pooled = lease.freeze();
@@ -35,12 +39,14 @@ fn message_pair() -> impl Strategy<Value = (Message, Message)> {
                     iter,
                     layer,
                     chunk,
+                    codec: Codec::Identity,
                     data,
                 },
                 1 => Message::ParamChunk {
                     iter,
                     layer,
                     chunk,
+                    codec: Codec::Identity,
                     data,
                 },
                 2 => Message::SfPush { iter, layer, data },
@@ -49,8 +55,7 @@ fn message_pair() -> impl Strategy<Value = (Message, Message)> {
                 _ => Message::Nack { expect: iter },
             };
             (build(fresh), build(pooled))
-        },
-    )
+        })
 }
 
 proptest! {
@@ -62,24 +67,23 @@ proptest! {
         prop_assert_eq!(encode_f32s_pooled(&vals), encode_f32s(&vals));
     }
 
-    /// The pooled 1-bit codec is bit-identical to the allocating one, and the
-    /// pooled bytes decode back to the original quantized bundle.
+    /// The registry's sender-side entry point routes the identity codec
+    /// through the pooled encoder: its output is bit-identical to both the
+    /// pooled and the compressor's own allocating encode, and decodes back
+    /// to the exact input.
     #[test]
-    fn pooled_onebit_encode_matches_fresh(
-        m in 1usize..10,
-        n in 1usize..10,
-        seed in any::<u32>(),
+    fn encode_codec_identity_matches_pooled(
+        bits in proptest::collection::vec(any::<u32>(), 0..512),
     ) {
-        let vals: Vec<f32> = (0..m * n)
-            .map(|i| (seed.wrapping_add(i as u32) % 2001) as f32 / 100.0 - 10.0)
-            .collect();
-        let quant = OneBitQuantizer::new(m, n).quantize(&Matrix::from_vec(m, n, vals));
-        let bias: Vec<f32> = (0..m).map(|i| i as f32 - 1.5).collect();
-        let pooled = encode_onebit_pooled(&quant, &bias);
-        prop_assert_eq!(&pooled, &encode_onebit(&quant, &bias));
-        let (q2, b2) = decode_onebit(&pooled).expect("pooled 1-bit payload");
-        prop_assert_eq!(q2, quant);
-        prop_assert_eq!(b2, bias);
+        let vals: Vec<f32> = bits.into_iter().map(f32::from_bits).collect();
+        let mut comp = make_compressor(Codec::Identity, vals.len());
+        let via_registry = encode_codec(comp.as_mut(), &vals);
+        prop_assert_eq!(&via_registry, &encode_f32s_pooled(&vals));
+        prop_assert_eq!(&via_registry, &comp.compress(&vals));
+        let back = decode_codec(Codec::Identity, &via_registry, vals.len()).expect("decodes");
+        let want: Vec<u32> = vals.iter().map(|v| v.to_bits()).collect();
+        let got: Vec<u32> = back.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(got, want);
     }
 
     /// For every frame variant, a payload carried in a frozen pool lease

@@ -36,6 +36,7 @@ fn grad(iter: u64, tag: u8) -> Message {
         iter,
         layer: 0,
         chunk: 0,
+        codec: poseidon::wire::Codec::Identity,
         data: Bytes::from(vec![tag; 5]),
     }
 }
@@ -186,6 +187,7 @@ fn drive<T: Transport>(tx: &T, _rx: &impl Transport, payloads: &[Vec<u8>], seqs:
             iter: i as u64,
             layer: 0,
             chunk: 0,
+            codec: poseidon::wire::Codec::Identity,
             data: Bytes::from(p.clone()),
         };
         let seq = seqs[i % seqs.len()];

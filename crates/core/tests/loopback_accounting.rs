@@ -19,6 +19,7 @@ fn grad(iter: u64, payload: usize) -> Message {
         iter,
         layer: 0,
         chunk: 0,
+        codec: poseidon::wire::Codec::Identity,
         data: Bytes::from(vec![0x5Au8; payload]),
     }
 }

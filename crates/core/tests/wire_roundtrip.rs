@@ -1,39 +1,57 @@
 //! Property tests for the wire layer: every frame variant round-trips
-//! bit-exactly through the codec, truncation is always reported as
-//! `Incomplete` (never a panic or a garbage message), and corrupt headers
-//! are rejected with the precise error.
+//! bit-exactly through the codec (including the v3 codec tag in the layer
+//! word), truncation is always reported as `Incomplete` (never a panic or a
+//! garbage message), corrupt headers are rejected with the precise error, and
+//! every payload codec in the registry survives its own round-trip while
+//! rejecting truncated payloads.
 
 use bytes::Bytes;
 use poseidon::transport::Message;
 use poseidon::wire::{
-    decode_frame, encode_frame, encode_onebit, FrameError, FRAME_HEADER_BYTES, FRAME_MAGIC,
-    FRAME_VERSION, LAYER_GRANULAR_CHUNK,
+    decode_codec, decode_frame, encode_frame, Codec, FrameError, FRAME_HEADER_BYTES, FRAME_MAGIC,
+    FRAME_VERSION, MAX_LAYER_INDEX,
 };
 use poseidon_tensor::bytesio;
-use poseidon_tensor::quantize::OneBitQuantizer;
+use poseidon_tensor::compress::make_compressor;
 use poseidon_tensor::sf::{SfBatch, SufficientFactor};
-use poseidon_tensor::Matrix;
 use proptest::prelude::*;
+
+/// A strategy over every codec the registry knows. The wire carries only the
+/// discriminant, so `TopK` uses the default density (what `from_wire_id`
+/// reconstructs) to keep frame round-trips bit-exact.
+fn any_wire_codec() -> impl Strategy<Value = Codec> {
+    (0u8..5).prop_map(|id| Codec::from_wire_id(id).expect("ids 0..5 are all registered"))
+}
 
 /// A strategy over every message variant — the five data frames with
 /// arbitrary header fields and an arbitrary opaque payload, plus the two
-/// payload-free control frames of the reliability layer.
+/// payload-free control frames of the reliability layer. Gradient-bearing
+/// variants additionally carry an arbitrary codec tag.
 fn any_message() -> impl Strategy<Value = Message> {
     let payload = proptest::collection::vec(any::<u8>(), 0..512);
-    (any::<u64>(), any::<u32>(), any::<u32>(), payload, 0u8..7).prop_map(
-        |(iter, layer, chunk, data, variant)| {
+    (
+        any::<u64>(),
+        0u32..=MAX_LAYER_INDEX,
+        any::<u32>(),
+        payload,
+        any_wire_codec(),
+        0u8..7,
+    )
+        .prop_map(|(iter, layer, chunk, data, codec, variant)| {
             let data = Bytes::from(data);
             match variant {
                 0 => Message::GradChunk {
                     iter,
                     layer,
                     chunk,
+                    codec,
                     data,
                 },
                 1 => Message::ParamChunk {
                     iter,
                     layer,
                     chunk,
+                    codec,
                     data,
                 },
                 2 => Message::SfPush { iter, layer, data },
@@ -43,12 +61,12 @@ fn any_message() -> impl Strategy<Value = Message> {
                     iter,
                     layer,
                     route: chunk,
+                    codec,
                     data,
                 },
                 _ => Message::Nack { expect: iter },
             }
-        },
-    )
+        })
 }
 
 /// `(iter-field operand, layer, chunk, payload length)` of the frame header
@@ -61,24 +79,37 @@ fn header_fields(msg: &Message) -> (u64, u32, Option<u32>, usize) {
             layer,
             chunk,
             data,
+            ..
         }
         | Message::ParamChunk {
             iter,
             layer,
             chunk,
             data,
+            ..
         } => (*iter, *layer, Some(*chunk), data.len()),
         Message::Collective {
             iter,
             layer,
             route,
             data,
+            ..
         } => (*iter, *layer, Some(*route), data.len()),
         Message::SfPush { iter, layer, data } | Message::ParamMatrix { iter, layer, data } => {
             (*iter, *layer, None, data.len())
         }
         Message::Ack { upto } => (*upto, 0, None, 0),
         Message::Nack { expect } => (*expect, 0, None, 0),
+    }
+}
+
+/// The codec tag a message stamps into its frame, if its variant carries one.
+fn codec_of(msg: &Message) -> Option<Codec> {
+    match msg {
+        Message::GradChunk { codec, .. }
+        | Message::ParamChunk { codec, .. }
+        | Message::Collective { codec, .. } => Some(*codec),
+        _ => None,
     }
 }
 
@@ -93,6 +124,7 @@ proptest! {
         let (decoded, consumed) = decode_frame(&frame).expect("own frame must decode");
         prop_assert_eq!(consumed, frame.len());
         prop_assert_eq!(decoded.iter(), iter);
+        prop_assert_eq!(codec_of(&decoded), codec_of(&msg), "codec tag lost in flight");
         // Same variant, same fields, same payload <=> identical re-encoding.
         prop_assert_eq!(encode_frame(&decoded), frame);
     }
@@ -116,11 +148,12 @@ proptest! {
     }
 
     #[test]
-    fn corrupt_magic_version_tag_are_rejected(
+    fn corrupt_magic_version_tag_codec_are_rejected(
         msg in any_message(),
         bad_magic in any::<[u8; 2]>(),
         bad_version in any::<u8>(),
-        bad_tag in 7u8..,
+        bad_tag in 8u8..,
+        bad_codec in 5u8..,
     ) {
         let frame = encode_frame(&msg).to_vec();
 
@@ -140,6 +173,14 @@ proptest! {
                 decode_frame(&f).err(),
                 Some(FrameError::BadVersion(bad_version))
             );
+        }
+        {
+            // Byte 15 is the top byte of the little-endian layer word — the
+            // codec id. An unregistered id must surface as BadCodec, for
+            // every variant (even those that always stamp identity).
+            let mut f = frame.clone();
+            f[15] = bad_codec;
+            prop_assert_eq!(decode_frame(&f).err(), Some(FrameError::BadCodec(bad_codec)));
         }
         let mut f = frame;
         f[3] = bad_tag;
@@ -185,35 +226,79 @@ proptest! {
         }
     }
 
-    /// The 1-bit bundle (quantized weights + dense bias) survives the full
-    /// path, including its internal error-feedback state being irrelevant to
-    /// the wire representation.
+    /// Every registry codec's payload survives framing bit-exactly: the bytes
+    /// a compressor emits come out of the frame unchanged and decode to the
+    /// same values whether or not they crossed the wire.
     #[test]
-    fn onebit_payload_roundtrips_through_the_frame(
-        m in 1usize..10,
-        n in 1usize..10,
-        seed in any::<u32>(),
+    fn codec_payloads_roundtrip_through_the_frame(
+        codec in any_wire_codec(),
+        vals in proptest::collection::vec(-100.0f32..100.0, 1..200),
+        layer in 0u32..=MAX_LAYER_INDEX,
     ) {
-        let vals: Vec<f32> = (0..m * n)
-            .map(|i| (seed.wrapping_add(i as u32) % 2001) as f32 / 100.0 - 10.0)
-            .collect();
-        let grad = Matrix::from_vec(m, n, vals);
-        let quant = OneBitQuantizer::new(m, n).quantize(&grad);
-        let bias: Vec<f32> = (0..m).map(|i| i as f32 - 1.5).collect();
+        let mut comp = make_compressor(codec, vals.len());
+        let payload = comp.compress(&vals);
+        prop_assert_eq!(payload.len(), codec.payload_bytes(vals.len()));
+        let direct = decode_codec(codec, &payload, vals.len()).expect("own payload decodes");
+
         let msg = Message::GradChunk {
-            iter: 9,
-            layer: 4,
-            chunk: LAYER_GRANULAR_CHUNK,
-            data: encode_onebit(&quant, &bias),
+            iter: 2,
+            layer,
+            chunk: 0,
+            codec,
+            data: payload,
         };
         let frame = encode_frame(&msg);
         let (decoded, _) = decode_frame(&frame).expect("frame");
-        let Message::GradChunk { chunk, data, .. } = decoded else {
+        let Message::GradChunk { codec: tag, data, .. } = decoded else {
             panic!("variant changed in flight");
         };
-        prop_assert_eq!(chunk, LAYER_GRANULAR_CHUNK);
-        let (q2, b2) = poseidon::wire::decode_onebit(&data).expect("1-bit payload");
-        prop_assert_eq!(q2, quant);
-        prop_assert_eq!(b2, bias);
+        prop_assert_eq!(tag.wire_id(), codec.wire_id());
+        let via_wire = decode_codec(tag, &data, vals.len()).expect("framed payload decodes");
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        prop_assert_eq!(bits(&via_wire), bits(&direct));
+        if codec.is_lossless() {
+            prop_assert_eq!(bits(&via_wire), bits(&vals));
+        }
+    }
+
+    /// Chopping bytes off the end of any codec's payload is always surfaced
+    /// as a `CodecError` — never a panic, never a silently-short decode.
+    #[test]
+    fn truncated_codec_payloads_are_rejected(
+        codec in any_wire_codec(),
+        vals in proptest::collection::vec(-100.0f32..100.0, 1..200),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let mut comp = make_compressor(codec, vals.len());
+        let payload = comp.compress(&vals);
+        // Never empty: vals has >= 1 element, every codec emits framing bytes.
+        let cut = ((payload.len() as f64) * cut_frac) as usize; // < len
+        prop_assert!(
+            decode_codec(codec, &payload[..cut], vals.len()).is_err(),
+            "{} accepted a {}-of-{}-byte prefix",
+            codec,
+            cut,
+            payload.len()
+        );
+    }
+
+    /// Residual-carrying codecs are bitwise deterministic: two independent
+    /// compressor instances fed the same sequence of tensors emit identical
+    /// bytes at every step, so replicas and reruns stay reproducible.
+    #[test]
+    fn residual_state_is_deterministic_across_instances(
+        codec in any_wire_codec(),
+        rounds in proptest::collection::vec(
+            proptest::collection::vec(-10.0f32..10.0, 32),
+            1..6
+        ),
+    ) {
+        let mut a = make_compressor(codec, 32);
+        let mut b = make_compressor(codec, 32);
+        for (i, vals) in rounds.iter().enumerate() {
+            let pa = a.compress(vals);
+            let pb = b.compress(vals);
+            prop_assert_eq!(&pa[..], &pb[..], "{} diverged at round {}", codec, i);
+        }
     }
 }

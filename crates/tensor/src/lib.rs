@@ -18,6 +18,7 @@
 //! (`*_naive`) as differential-test oracles.
 
 pub mod bytesio;
+pub mod compress;
 pub mod init;
 pub mod kernel;
 pub mod matrix;

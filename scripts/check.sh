@@ -83,4 +83,27 @@ echo "== collective bench: ring/tree vs PS allreduce over evented TCP =="
 timeout 900 cargo run "${CARGO_OFFLINE[@]}" -q --release -p poseidon-bench --bin collective_bench -- \
     --check-against BENCH_collectives.json --out BENCH_collectives.json
 
+echo "== compression bench: per-codec traffic + convergence parity =="
+# Regenerates BENCH_compression.json (identity / onebit / f16 / bf16 / topk
+# training runs through the threaded runtime) and fails when any codec's
+# wire-bytes ratio vs identity exceeds its committed baseline — runs are
+# deterministic, so the ratios are exact facts, not flaky timings. The bench
+# also asserts convergence parity internally: every codec's loss curve must
+# descend and lossy finals must land near the dense final (Figure 11).
+timeout 900 cargo run "${CARGO_OFFLINE[@]}" -q --release -p poseidon-bench --bin compression_bench -- \
+    --check-against BENCH_compression.json --out BENCH_compression.json
+
+echo "== codec smoke: 1-bit mesh trains bitwise-identical replicas over TCP =="
+# The compression plane end to end through the public launcher: a lossy codec
+# on a real socket mesh must still produce bitwise-identical replicas (error
+# feedback is deterministic), while moving different params than the dense
+# run — if the hex matches identity, the codec flag silently did nothing.
+timeout 300 cargo run "${CARGO_OFFLINE[@]}" -q --release -p poseidon-bench --bin poseidon-node -- \
+    --workers 2 --iters 4 --policy ps --codec onebit --base-port "$PORT" \
+    > /tmp/poseidon_onebit_smoke.txt
+grep -q "replicas=bitwise-identical" /tmp/poseidon_onebit_smoke.txt
+ONEBIT_HEX=$(grep -o 'params=[0-9a-f]*' /tmp/poseidon_onebit_smoke.txt | head -1)
+test -n "$ONEBIT_HEX" && test "$ONEBIT_HEX" != "$PS_HEX" \
+    || { echo "--codec onebit produced the dense params; codec plane inert"; exit 1; }
+
 echo "All checks passed."

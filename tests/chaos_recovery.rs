@@ -13,7 +13,7 @@
 //! real socket severed mid-run) lives in
 //! `crates/bench/tests/tcp_sever_reconnect.rs`.
 
-use poseidon::config::{Partition, SchemePolicy};
+use poseidon::config::{Codec, CodecPolicy, Partition, SchemePolicy};
 use poseidon::faults::{FaultAction, FaultPlan};
 use poseidon::runtime::{train, FaultConfig, RuntimeConfig, TrainResult};
 use poseidon::transport::ReliabilityConfig;
@@ -190,6 +190,50 @@ fn three_worker_ring_and_tree_survive_mid_chain_faults() {
         assert!(
             report.retransmits >= 1,
             "{policy:?}: the chain heals via retransmit: {report:?}"
+        );
+    }
+}
+
+/// The chaos contract extends to lossy codecs: residual-carrying compressors
+/// make the stream *stateful*, so exactly-once in-order repair is load-bearing
+/// — a dropped-then-retransmitted or duplicated compressed frame must leave
+/// the error-feedback state, and therefore every replica, bitwise identical
+/// to the fault-free lossy run.
+#[test]
+fn compressed_frames_survive_chaos_bitwise() {
+    for (policy, codec) in [
+        (SchemePolicy::AlwaysPs, Codec::OneBit),
+        (SchemePolicy::AlwaysPs, Codec::TopK { permille: 100 }),
+        (SchemePolicy::AlwaysRing, Codec::Bf16),
+    ] {
+        let cfg = |faults| RuntimeConfig {
+            codec: CodecPolicy::Always(codec),
+            ..config(policy, faults)
+        };
+        let clean = train(&factory, &dataset(), None, &cfg(FaultConfig::default()));
+        let faulty = train(
+            &factory,
+            &dataset(),
+            None,
+            &cfg(FaultConfig {
+                plan: Some(plan_for(policy)),
+                reliability: None,
+            }),
+        );
+        assert_eq!(
+            faulty.net.max_param_diff(&clean.net),
+            0.0,
+            "{policy:?}+{codec}: chaos must be invisible to the lossy stream"
+        );
+        assert_eq!(faulty.losses, clean.losses, "{policy:?}+{codec}");
+        let report = faulty.fault_report.expect("chaos plane on");
+        assert!(
+            report.fired.iter().any(|f| f.action == FaultAction::Drop),
+            "{policy:?}+{codec}: a drop must fire to exercise retransmission"
+        );
+        assert!(
+            report.retransmits >= 1,
+            "{policy:?}+{codec}: compressed frames heal via retransmit: {report:?}"
         );
     }
 }

