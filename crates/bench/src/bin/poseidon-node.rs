@@ -20,6 +20,8 @@
 
 use poseidon::config::{Codec, CodecPolicy, Partition, SchemePolicy};
 use poseidon::faults::{FaultPlan, FaultyTransport};
+use poseidon::health::{self, HealthConfig};
+use poseidon::metrics::expose::MetricsServer;
 use poseidon::runtime::{flatten_model_params, run_endpoint, NodeOutcome, RuntimeConfig};
 use poseidon::telemetry::{self, chrome, report, TelemetryConfig};
 use poseidon::transport::{
@@ -68,6 +70,9 @@ struct Args {
     fault_plan: Option<FaultPlan>,
     reliable: bool,
     transport: TransportKind,
+    metrics_addr: Option<String>,
+    straggler: Option<(usize, u64)>,
+    straggler_factor: f64,
     endpoint: Option<usize>,
 }
 
@@ -91,6 +96,9 @@ impl Default for Args {
             fault_plan: None,
             reliable: false,
             transport: TransportKind::Evented,
+            metrics_addr: None,
+            straggler: None,
+            straggler_factor: HealthConfig::default().straggler_factor,
             endpoint: None,
         }
     }
@@ -119,6 +127,13 @@ const USAGE: &str = "poseidon-node: multi-process distributed SGD over TCP
   --reliable on     wrap every endpoint in the reliability layer even with
                     no faults scripted (sequencing, acks, retransmits)
   --transport S     evented (single-poller core) | threaded      [evented]
+  --metrics-addr A  serve Prometheus text on HOST:PORT; endpoint N binds
+                    HOST:PORT+N, so every process of the mesh is scrapable
+                    while it trains (curl any of them)
+  --straggler W:MS  delay worker W by MS milliseconds per iteration (the
+                    health plane should then name W in its verdict)
+  --straggler-factor F  flag workers whose busy-time p50 exceeds the mesh
+                    median by more than F                        [2]
   --endpoint N      run one endpoint (internal; launcher spawns these)";
 
 fn parse_args() -> Result<Args, String> {
@@ -191,6 +206,17 @@ fn parse_args() -> Result<Args, String> {
                     }
                 }
             }
+            "--metrics-addr" => args.metrics_addr = Some(val),
+            "--straggler" => {
+                let (w, ms) = val
+                    .split_once(':')
+                    .ok_or_else(|| format!("--straggler takes W:MS, got {val:?}"))?;
+                args.straggler = Some((
+                    w.parse().map_err(|e| bad(&e))?,
+                    ms.parse().map_err(|e| bad(&e))?,
+                ));
+            }
+            "--straggler-factor" => args.straggler_factor = val.parse().map_err(|e| bad(&e))?,
             "--endpoint" => args.endpoint = Some(val.parse().map_err(|e| bad(&e))?),
             other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
         }
@@ -215,8 +241,27 @@ fn runtime_config(a: &Args) -> RuntimeConfig {
         } else {
             TelemetryConfig::default()
         },
+        straggler_delay_ms: a.straggler,
+        health: HealthConfig {
+            straggler_factor: a.straggler_factor,
+        },
         ..RuntimeConfig::new(a.workers, a.batch, a.lr, a.iters)
     }
+}
+
+/// The scrape address for endpoint `me` under `--metrics-addr HOST:PORT`:
+/// `HOST:PORT+me`, one port per process of the mesh.
+fn metrics_addr_for(base: &str, me: usize) -> Result<String, String> {
+    let (host, port) = base
+        .rsplit_once(':')
+        .ok_or_else(|| format!("--metrics-addr takes HOST:PORT, got {base:?}"))?;
+    let port: u16 = port
+        .parse()
+        .map_err(|e| format!("bad port in --metrics-addr {base:?}: {e}"))?;
+    let port = port
+        .checked_add(me as u16)
+        .ok_or_else(|| format!("--metrics-addr {base:?}: port overflow at endpoint {me}"))?;
+    Ok(format!("{host}:{port}"))
 }
 
 /// The per-child trace part file for endpoint `me`.
@@ -257,6 +302,31 @@ fn csv<T: std::fmt::Display>(vals: &[T]) -> String {
 fn run_one(a: &Args, me: usize) -> ExitCode {
     let spec = TcpFabricSpec::colocated_loopback(a.workers, a.base_port);
     assert!(me < 2 * a.workers, "endpoint {me} out of range");
+    // Bind the scrape endpoint before joining the mesh so the process is
+    // observable even while it blocks in connect. The guard keeps the
+    // listener thread alive for the whole run.
+    let _metrics = match a.metrics_addr.as_deref() {
+        Some(base) => {
+            let addr = match metrics_addr_for(base, me) {
+                Ok(addr) => addr,
+                Err(e) => {
+                    eprintln!("endpoint {me}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match MetricsServer::serve(&addr) {
+                Ok(srv) => {
+                    println!("metrics_addr={}", srv.addr());
+                    Some(srv)
+                }
+                Err(e) => {
+                    eprintln!("endpoint {me}: metrics bind {addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => None,
+    };
     match a.transport {
         TransportKind::Evented => match TcpTransport::connect(&spec, me) {
             Ok(ep) => run_role(a, me, &spec, ep),
@@ -336,9 +406,15 @@ fn run_role<T: Transport + Send + 'static>(
         println!("trace_file={path}");
     }
     match outcome {
-        NodeOutcome::Worker { losses, net, .. } => {
+        NodeOutcome::Worker {
+            losses,
+            net,
+            busy_p50_ns,
+            ..
+        } => {
             println!("role=worker");
             println!("losses={}", csv(&losses));
+            println!("busy_p50_ns={busy_p50_ns}");
             println!("params={}", f32s_to_hex(&flatten_model_params(&net)));
         }
         NodeOutcome::Server => println!("role=server"),
@@ -355,6 +431,7 @@ struct ChildReport {
     traffic: TrafficSnapshot,
     faults_fired: u64,
     recovery_actions: u64,
+    busy_p50_ns: Option<u64>,
 }
 
 fn parse_report(endpoint: usize, stdout: &str) -> Result<ChildReport, String> {
@@ -366,6 +443,7 @@ fn parse_report(endpoint: usize, stdout: &str) -> Result<ChildReport, String> {
         traffic: TrafficSnapshot::zeros(0),
         faults_fired: 0,
         recovery_actions: 0,
+        busy_p50_ns: None,
     };
     let parse_u64s = |v: &str| -> Result<Vec<u64>, String> {
         v.split(',')
@@ -402,6 +480,12 @@ fn parse_report(endpoint: usize, stdout: &str) -> Result<ChildReport, String> {
                 report.recovery_actions = val
                     .parse()
                     .map_err(|e| format!("endpoint {endpoint}: {e}"))?
+            }
+            "busy_p50_ns" => {
+                report.busy_p50_ns = Some(
+                    val.parse()
+                        .map_err(|e| format!("endpoint {endpoint}: {e}"))?,
+                )
             }
             _ => {}
         }
@@ -466,9 +550,21 @@ fn launch(a: &Args) -> Result<(), String> {
                 a.timeout_s.to_string(),
                 "--transport".into(),
                 a.transport.as_flag().into(),
+                "--straggler-factor".into(),
+                a.straggler_factor.to_string(),
                 "--endpoint".into(),
                 me.to_string(),
             ])
+            .args(
+                a.metrics_addr
+                    .iter()
+                    .flat_map(|m| ["--metrics-addr".to_string(), m.clone()]),
+            )
+            .args(
+                a.straggler
+                    .iter()
+                    .flat_map(|(w, ms)| ["--straggler".to_string(), format!("{w}:{ms}")]),
+            )
             .args(
                 a.trace_out
                     .iter()
@@ -568,6 +664,16 @@ fn launch(a: &Args) -> Result<(), String> {
     );
     println!("traffic_total_bytes={}", traffic.total_bytes());
     println!("traffic_per_node={}", csv(&traffic.per_node_totals()));
+
+    // Mesh-level health verdict from the workers' reported busy-time p50s:
+    // the same detector `train` runs in-process, here fed across processes.
+    let busy: Vec<(usize, u64)> = workers
+        .iter()
+        .filter_map(|w| w.busy_p50_ns.map(|b| (w.endpoint, b)))
+        .collect();
+    if busy.len() == workers.len() {
+        print!("{}", health::detect(&busy, a.straggler_factor).render());
+    }
     if a.fault_plan.is_some() || a.reliable {
         let fired: u64 = reports.iter().map(|r| r.faults_fired).sum();
         let recovered: u64 = reports.iter().map(|r| r.recovery_actions).sum();

@@ -35,7 +35,10 @@
 //! Send/Receive/Move), [`config`] (cluster and scheme configuration),
 //! [`faults`] (deterministic fault injection for chaos testing the comm
 //! plane), [`telemetry`] (structured tracing of the training path with
-//! Chrome-trace export), and [`stats`] (report formatting).
+//! Chrome-trace export), [`metrics`] (always-on live counters/histograms
+//! with Prometheus pull exposition), [`health`] (per-peer verdicts —
+//! straggler detection — over metrics snapshots), and [`stats`] (report
+//! formatting).
 
 pub mod api;
 pub mod chunk;
@@ -43,7 +46,9 @@ pub mod config;
 pub mod coordinator;
 pub mod costmodel;
 pub mod faults;
+pub mod health;
 pub mod kvstore;
+pub mod metrics;
 pub mod pool;
 pub mod runtime;
 pub mod sim;

@@ -70,6 +70,9 @@ pub(crate) fn note_poisoned_frame(
     err: &crate::wire::CodecError,
 ) {
     POISONED_FRAMES.fetch_add(1, Ordering::Relaxed);
+    // Cold path (a frame just failed to decode) — the inline registry lookup
+    // is fine here.
+    crate::metrics::counter("poseidon_poisoned_frames_total", &[]).inc();
     if telemetry::is_enabled() {
         telemetry::instant("frame.poisoned", endpoint as u64, from as u64);
     }
@@ -217,6 +220,11 @@ pub struct RuntimeConfig {
     /// still produce bitwise-identical results (or abort bounded, for
     /// unrecoverable plans). See [`FaultConfig`].
     pub faults: FaultConfig,
+    /// Health-plane knobs (straggler detection threshold). The verdicts land
+    /// in [`TrainResult::health`]; detection reads per-worker busy-time
+    /// distributions recorded run-locally, so it works with the global
+    /// metrics gate off and never perturbs numerics.
+    pub health: crate::health::HealthConfig,
 }
 
 impl RuntimeConfig {
@@ -245,6 +253,7 @@ impl RuntimeConfig {
             comm_timeout: Duration::from_secs(30),
             telemetry: TelemetryConfig::default(),
             faults: FaultConfig::default(),
+            health: Default::default(),
         }
     }
 }
@@ -278,6 +287,10 @@ pub struct TrainResult<M: Model> {
     /// (`None` otherwise): the fired fault events and the summed recovery
     /// work of every endpoint's reliability layer.
     pub fault_report: Option<ChaosReport>,
+    /// Per-worker health verdicts: each worker's busy-time p50 judged
+    /// against the mesh median with
+    /// [`HealthConfig::straggler_factor`](crate::health::HealthConfig).
+    pub health: crate::health::HealthReport,
 }
 
 /// How many slices a blocking receive's `comm_timeout` budget is cut into.
@@ -572,6 +585,15 @@ pub fn train<M: Model>(
 
     let outputs: Vec<WorkerOutput<M>> = worker_outputs;
     let worker_wall_s: Vec<f64> = outputs.iter().map(|o| o.wall.as_secs_f64()).collect();
+    // Health verdicts from each worker's run-local busy histogram — immune to
+    // the global metrics gate and to whatever earlier runs left in the
+    // process-global registry.
+    let busy_p50: Vec<(usize, u64)> = outputs
+        .iter()
+        .enumerate()
+        .map(|(w, o)| (w, o.busy.quantile(0.5)))
+        .collect();
+    let health = crate::health::detect(&busy_p50, cfg.health.straggler_factor);
     let iters = cfg.iterations;
     let losses: Vec<f32> = (0..iters)
         .map(|i| outputs.iter().map(|o| o.losses[i]).sum::<f32>() / p as f32)
@@ -590,6 +612,7 @@ pub fn train<M: Model>(
         worker_wall_s,
         trace,
         fault_report,
+        health,
     }
 }
 
@@ -1233,6 +1256,42 @@ mod tests {
             ps.net.max_param_diff(&tree.net),
             0.0,
             "skewed tree run diverged"
+        );
+    }
+
+    /// The health plane names the delayed worker: a scripted straggler must
+    /// come back flagged in `TrainResult::health`, and a clean mesh must not
+    /// flag anyone.
+    #[test]
+    fn health_verdict_names_the_straggler() {
+        let cfg = RuntimeConfig {
+            partition: Partition::KvPairs { pair_elems: 50 },
+            straggler_delay_ms: Some((1, 20)),
+            ..RuntimeConfig::new(3, 8, 0.2, 4)
+        };
+        let result = train(&factory, &dataset(), None, &cfg);
+        assert_eq!(result.health.verdicts.len(), 3);
+        assert!(
+            result.health.stragglers().contains(&1),
+            "expected worker 1 flagged: {}",
+            result.health.render()
+        );
+
+        // Clean-mesh check at a generous factor: busy times here are
+        // sub-millisecond, where CPU contention from the parallel test
+        // harness adds real skew — only pathological spread may flag.
+        let clean_cfg = RuntimeConfig {
+            partition: Partition::KvPairs { pair_elems: 50 },
+            health: crate::health::HealthConfig {
+                straggler_factor: 16.0,
+            },
+            ..RuntimeConfig::new(3, 8, 0.2, 4)
+        };
+        let clean = train(&factory, &dataset(), None, &clean_cfg);
+        assert!(
+            clean.health.stragglers().is_empty(),
+            "clean mesh flagged a straggler at 16x: {}",
+            clean.health.render()
         );
     }
 

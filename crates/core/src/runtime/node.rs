@@ -32,6 +32,9 @@ pub enum NodeOutcome<M: Model> {
         test_errors: Vec<(usize, f32)>,
         /// The final model replica.
         net: M,
+        /// This worker's per-iteration busy-time p50 (ns), for mesh-level
+        /// straggler detection by the launcher (see [`crate::health`]).
+        busy_p50_ns: u64,
     },
     /// A KV shard endpoint (servers hold no reportable state once done).
     Server,
@@ -106,6 +109,7 @@ pub fn run_endpoint<M: Model, T: Transport>(
             losses: out.losses,
             test_errors: out.test_errors,
             net: out.net,
+            busy_p50_ns: out.busy.quantile(0.5),
         }
     } else {
         let sp = plan.plans.into_iter().nth(me - p).expect("shard plan");

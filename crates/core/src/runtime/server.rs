@@ -73,6 +73,10 @@ fn must_send<T: Transport>(endpoint: &T, to: usize, msg: Message) {
 /// Runs one shard to completion.
 pub(crate) fn run_server<T: Transport>(plan: ServerPlan, mut endpoint: T) {
     telemetry::set_thread_track(format!("shard e{}", endpoint.endpoint_id()));
+    // Serve-latency histogram, resolved once so the serving loop records
+    // registry-free.
+    let shard_label = endpoint.endpoint_id().to_string();
+    let m_serve = crate::metrics::histogram("poseidon_serve_ns", &[("shard", &shard_label)]);
     let mut state = ShardState::with_momentum(plan.workers, plan.update_scale, plan.momentum);
     // Per-chunk serving metadata: expected element count and the codec this
     // shard replies with. Decoding always follows the *frame's* codec.
@@ -120,6 +124,7 @@ pub(crate) fn run_server<T: Transport>(plan: ServerPlan, mut endpoint: T) {
         // Per-iteration learning-rate schedule: messages carry their BSP
         // round, so the scale for this update is exact even under SSP.
         let _serve_span = telemetry::span("serve.apply", env.msg.layer() as u64, env.msg.iter());
+        let serve_started = std::time::Instant::now();
         let scale = plan.update_scale * plan.lr_schedule.multiplier(env.msg.iter() as usize);
         state.set_update_scale(scale);
         match env.msg {
@@ -238,6 +243,7 @@ pub(crate) fn run_server<T: Transport>(plan: ServerPlan, mut endpoint: T) {
             }
             other => panic!("server received unexpected message {other:?}"),
         }
+        m_serve.record(serve_started.elapsed().as_nanos() as u64);
     }
 
     endpoint.shutdown().unwrap_or_else(|e| {

@@ -18,6 +18,7 @@
 use crate::chunk::Chunk;
 use crate::config::CommScheme;
 use crate::coordinator::Coordinator;
+use crate::metrics;
 use crate::syncer::{self, SyncOutcome, Syncer};
 use crate::telemetry;
 use crate::transport::{Message, Transport, TransportError};
@@ -40,6 +41,11 @@ pub(crate) struct WorkerOutput<M: Model> {
     /// Wall time this worker spent on its own training loop (under SSP fast
     /// workers finish well before a straggler; under BSP they pace it).
     pub wall: std::time::Duration,
+    /// Per-iteration busy-time distribution (forward + backward + any
+    /// injected delay) — the straggler detector's input. Recorded into a
+    /// private histogram so the verdict is independent of the global
+    /// metrics gate.
+    pub busy: metrics::HistogramSnapshot,
 }
 
 /// Per-worker configuration slice.
@@ -105,6 +111,31 @@ pub(crate) fn run_worker<M: Model, T: Transport>(
     }
     let num_syncers = syncers.len();
 
+    // Metrics handles resolved once per worker, so recording inside the
+    // loop never touches the registry mutex. The busy histogram is also
+    // kept privately (unconditional `observe`) because the health verdict
+    // must not flicker with the global metrics gate.
+    let worker_label = cfg.me.to_string();
+    let m_step = metrics::histogram("poseidon_step_time_ns", &[("worker", &worker_label)]);
+    let m_busy = metrics::histogram("poseidon_busy_time_ns", &[("worker", &worker_label)]);
+    let m_apply = metrics::histogram("poseidon_apply_ns", &[("worker", &worker_label)]);
+    let m_sync: HashMap<usize, metrics::Histogram> = syncers
+        .keys()
+        .map(|&l| {
+            let layer_label = l.to_string();
+            (
+                l,
+                metrics::histogram(
+                    "poseidon_sync_wait_ns",
+                    &[("worker", &worker_label), ("layer", &layer_label)],
+                ),
+            )
+        })
+        .collect();
+    let busy_local = metrics::Histogram::new();
+    let max_layer = syncers.keys().copied().max().unwrap_or(0);
+    let mut sync_started: Vec<Option<std::time::Instant>> = vec![None; max_layer + 1];
+
     let started = std::time::Instant::now();
     let mut jitter_rng = cfg.jitter_us.map(|_| {
         use rand::SeedableRng;
@@ -124,6 +155,7 @@ pub(crate) fn run_worker<M: Model, T: Transport>(
         for s in syncers.values_mut() {
             s.begin_iteration();
         }
+        let iter_started = std::time::Instant::now();
 
         if let Some(delay) = cfg.straggler_delay {
             std::thread::sleep(delay);
@@ -236,7 +268,14 @@ pub(crate) fn run_worker<M: Model, T: Transport>(
                 telemetry::instant("grad.ready", l as u64, iter as u64);
                 telemetry::span_begin_lane("wfbp.sync", l as u32, l as u64, iter as u64);
             }
+            sync_started[l] = Some(std::time::Instant::now());
         });
+        // Busy window: everything this worker computed for the step
+        // (injected delay included — that is exactly what a straggler looks
+        // like to the mesh).
+        let busy_ns = iter_started.elapsed().as_nanos() as u64;
+        m_busy.record(busy_ns);
+        busy_local.observe(busy_ns);
 
         // Receive until the completion vector is all ones. Replay anything
         // stashed for this iteration first, in arrival order — the transports
@@ -354,6 +393,7 @@ pub(crate) fn run_worker<M: Model, T: Transport>(
             }
             if !was_complete && s.is_complete() {
                 telemetry::span_begin("apply", layer as u64, iter as u64);
+                let apply_started = std::time::Instant::now();
                 let outcome = s.take_outcome();
                 let params = net
                     .slot_mut(layer)
@@ -382,9 +422,17 @@ pub(crate) fn run_worker<M: Model, T: Transport>(
                 }
                 telemetry::span_end("apply", layer as u64, iter as u64);
                 telemetry::span_end_lane("wfbp.sync", layer as u32, layer as u64, iter as u64);
+                m_apply.record(apply_started.elapsed().as_nanos() as u64);
+                if let Some(t0) = sync_started.get_mut(layer).and_then(Option::take) {
+                    if let Some(h) = m_sync.get(&layer) {
+                        h.record(t0.elapsed().as_nanos() as u64);
+                    }
+                }
                 completed += 1;
             }
         }
+
+        m_step.record(iter_started.elapsed().as_nanos() as u64);
 
         if cfg.ssp_staleness.is_some() {
             clock.advance(cfg.me, iter as u64);
@@ -410,6 +458,7 @@ pub(crate) fn run_worker<M: Model, T: Transport>(
         test_errors,
         net,
         wall,
+        busy: busy_local.snapshot(),
     }
 }
 

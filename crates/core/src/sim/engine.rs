@@ -328,6 +328,20 @@ pub fn simulate_with_trace(spec: &ModelSpec, cfg: &SimConfig) -> (IterationRepor
     (report, trace.expect("tracing requested"))
 }
 
+/// Like [`simulate_with_trace`], but replays the recorded timeline into a
+/// [`crate::metrics::MetricsSnapshot`] carrying the same metric families a
+/// live mesh serves at `--metrics-addr` (step/sync-wait/apply histograms,
+/// per-peer frame/byte counters) — so a simulated cluster is directly
+/// diffable against a real scrape.
+pub fn simulate_with_metrics(
+    spec: &ModelSpec,
+    cfg: &SimConfig,
+) -> (IterationReport, crate::metrics::MetricsSnapshot) {
+    let (report, trace) = simulate_with_trace(spec, cfg);
+    let snapshot = crate::metrics::metrics_from_trace(std::slice::from_ref(&trace));
+    (report, snapshot)
+}
+
 fn simulate_inner(
     spec: &ModelSpec,
     cfg: &SimConfig,
@@ -1499,6 +1513,31 @@ mod tests {
         let json = crate::telemetry::chrome::to_chrome_json(&[trace]);
         let stats = crate::telemetry::chrome::validate(&json).expect("valid chrome trace");
         assert!(stats.spans > 0 && stats.tracks > 1);
+    }
+
+    #[test]
+    fn simulated_metrics_emit_live_run_families() {
+        let vgg = zoo::vgg19();
+        let cfg = SimConfig::system(System::Poseidon, 4, 40.0);
+        let plain = simulate(&vgg, &cfg);
+        let (report, snap) = simulate_with_metrics(&vgg, &cfg);
+        // Metrics replay is pure observation too.
+        assert_eq!(plain.iter_time_s, report.iter_time_s);
+        // The virtual-clock run lands in the same families a live scrape
+        // serves: per-node step histograms and per-peer traffic counters.
+        let steps = snap
+            .family("poseidon_step_time_ns")
+            .expect("step time family");
+        assert_eq!(steps.samples.len(), 4, "one step histogram per node");
+        let tx = snap
+            .family("poseidon_tx_bytes_total")
+            .expect("tx bytes family");
+        assert!(!tx.samples.is_empty(), "simulated sends must be counted");
+        let text = snap.render();
+        assert!(
+            text.contains("poseidon_step_time_ns_bucket"),
+            "exposition render must work on simulated snapshots: {text}"
+        );
     }
 
     #[test]

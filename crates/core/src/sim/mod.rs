@@ -18,5 +18,7 @@
 mod engine;
 mod profile;
 
-pub use engine::{simulate, simulate_with_trace, speedup_series, IterationReport};
+pub use engine::{
+    simulate, simulate_with_metrics, simulate_with_trace, speedup_series, IterationReport,
+};
 pub use profile::{LayerTimes, SimConfig, System};

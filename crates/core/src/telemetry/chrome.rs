@@ -147,11 +147,14 @@ pub struct TraceStats {
     pub tracks: usize,
     /// Distinct process ids.
     pub pids: usize,
+    /// `ph:"C"` counter samples.
+    pub counters: usize,
 }
 
 /// Structurally validates an exported trace: well-formed JSON array; every
 /// event carries `ph`/`pid`/`tid`; per (pid, tid) track, `B`/`E` events are
-/// balanced with matching names and `ts` is monotonic non-decreasing.
+/// balanced with matching names and `ts` is monotonic non-decreasing;
+/// `C` counter samples carry at least one numeric series in `args`.
 pub fn validate(text: &str) -> Result<TraceStats, String> {
     let doc = json::parse(text)?;
     let events = doc.as_arr().ok_or("top level is not a JSON array")?;
@@ -159,6 +162,7 @@ pub fn validate(text: &str) -> Result<TraceStats, String> {
     let mut last_ts: Vec<((u64, u64), f64)> = Vec::new();
     let mut pids: Vec<u64> = Vec::new();
     let mut spans = 0usize;
+    let mut counters = 0usize;
     for (i, ev) in events.iter().enumerate() {
         let ph = ev
             .get("ph")
@@ -221,7 +225,22 @@ pub fn validate(text: &str) -> Result<TraceStats, String> {
                 }
                 spans += 1;
             }
-            "i" | "C" => {}
+            "i" => {}
+            "C" => {
+                // A counter sample with no numeric series plots nothing in
+                // the viewer — treat it as a malformed export.
+                let has_series = matches!(
+                    ev.get("args"),
+                    Some(Value::Obj(fields))
+                        if fields.iter().any(|(_, v)| matches!(v, Value::Num(_)))
+                );
+                if !has_series {
+                    return Err(format!(
+                        "event {i}: C counter \"{name}\" has no numeric series in args"
+                    ));
+                }
+                counters += 1;
+            }
             other => return Err(format!("event {i}: unknown ph {other:?}")),
         }
     }
@@ -237,6 +256,7 @@ pub fn validate(text: &str) -> Result<TraceStats, String> {
         spans,
         tracks: last_ts.len(),
         pids: pids.len(),
+        counters,
     })
 }
 
@@ -284,6 +304,22 @@ mod tests {
         assert_eq!(stats.pids, 1);
         // iter/bwd on the base track, wfbp.sync on its lane track.
         assert_eq!(stats.tracks, 2);
+        // The rx.queue sample renders as one ph:"C" counter event.
+        assert_eq!(stats.counters, 1);
+    }
+
+    #[test]
+    fn validate_rejects_counter_without_numeric_series() {
+        let no_series = r#"[{"name":"q","ph":"C","ts":1,"pid":0,"tid":0,"args":{}}]"#;
+        assert!(validate(no_series)
+            .unwrap_err()
+            .contains("no numeric series"));
+        let non_numeric = r#"[{"name":"q","ph":"C","ts":1,"pid":0,"tid":0,"args":{"depth":"x"}}]"#;
+        assert!(validate(non_numeric)
+            .unwrap_err()
+            .contains("no numeric series"));
+        let ok = r#"[{"name":"q","ph":"C","ts":1,"pid":0,"tid":0,"args":{"depth":3}}]"#;
+        assert_eq!(validate(ok).expect("valid counter").counters, 1);
     }
 
     #[test]

@@ -82,14 +82,14 @@ impl Report {
 
 /// A closed span interval recovered from a track.
 #[derive(Debug, Clone, Copy)]
-struct Interval {
-    start: u64,
-    end: u64,
-    a: u64,
+pub(crate) struct Interval {
+    pub(crate) start: u64,
+    pub(crate) end: u64,
+    pub(crate) a: u64,
 }
 
 /// Pairs begin/end events per lane (a per-lane stack, innermost-first).
-fn close_spans(track: &super::Track, want: &str) -> Vec<Interval> {
+pub(crate) fn close_spans(track: &super::Track, want: &str) -> Vec<Interval> {
     let mut stacks: Vec<(u32, Vec<(u64, u64)>)> = Vec::new();
     let mut out = Vec::new();
     for ev in &track.events {
@@ -172,6 +172,7 @@ pub fn summarize(traces: &[Trace]) -> Report {
     let mut retransmits = 0u64;
     let mut reconnects = 0u64;
     let mut comm_retries = 0u64;
+    let mut poisoned_frames = 0u64;
 
     for trace in traces {
         for track in &trace.tracks {
@@ -212,6 +213,7 @@ pub fn summarize(traces: &[Trace]) -> Report {
                     (EventKind::Instant, "reconnect")
                     | (EventKind::Instant, "reconnect.accept") => reconnects += 1,
                     (EventKind::Instant, "comm.retry") => comm_retries += 1,
+                    (EventKind::Instant, "frame.poisoned") => poisoned_frames += 1,
                     (EventKind::Instant, name) if name.starts_with("fault.") => faults += 1,
                     (EventKind::Counter, "rx.queue") => max_queue = max_queue.max(ev.b),
                     _ => {}
@@ -299,10 +301,11 @@ pub fn summarize(traces: &[Trace]) -> Report {
             "transport health: {dial_retries} dial retries, {timeouts} recv timeouts, peak reader queue depth {max_queue}"
         ));
     }
-    if faults + retransmits + reconnects + comm_retries > 0 {
+    if faults + retransmits + reconnects + comm_retries + poisoned_frames > 0 {
         report.note(format!(
             "chaos & recovery: {faults} injected faults, {retransmits} retransmits, \
-             {reconnects} socket reconnects, {comm_retries} receive retries"
+             {reconnects} socket reconnects, {comm_retries} receive retries, \
+             {poisoned_frames} poisoned frames dropped"
         ));
     }
 
@@ -364,6 +367,7 @@ mod tests {
                 ev(40, EventKind::Instant, "reconnect", 0, 2, 1),
                 ev(50, EventKind::Instant, "reconnect.accept", 0, 0, 1),
                 ev(60, EventKind::Instant, "comm.retry", 0, 0, 1),
+                ev(70, EventKind::Instant, "frame.poisoned", 0, 0, 1),
             ],
             dropped: 0,
         });
@@ -371,7 +375,7 @@ mod tests {
         assert!(
             text.contains(
                 "chaos & recovery: 2 injected faults, 1 retransmits, \
-                 2 socket reconnects, 1 receive retries"
+                 2 socket reconnects, 1 receive retries, 1 poisoned frames dropped"
             ),
             "{text}"
         );

@@ -9,6 +9,7 @@
 //! counting exactly what [`super::TcpTransport`] would move.
 
 use super::{Envelope, Message, RecvTracker, TrafficCounters, Transport, TransportError};
+use crate::metrics;
 use crate::telemetry;
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::Arc;
@@ -25,12 +26,16 @@ pub struct InProcTransport {
     dest_nodes: Arc<[usize]>,
     counters: Arc<TrafficCounters>,
     tracker: RecvTracker,
+    /// Per-peer tx/rx frame+byte counters, resolved at fabric build so the
+    /// send path records registry-free.
+    peer_metrics: metrics::PeerCounters,
 }
 
 impl InProcTransport {
     /// Notes a delivered envelope for timeout diagnostics and telemetry.
     fn on_delivered(&self, env: &Envelope) {
         self.tracker.note(env);
+        self.peer_metrics.note_rx(env.src, env.msg.wire_bytes());
         if telemetry::is_enabled() {
             telemetry::instant("rx.frame", env.from as u64, env.msg.wire_bytes());
         }
@@ -62,6 +67,7 @@ impl Transport for InProcTransport {
             .as_ref()
             .ok_or(TransportError::Closed)?;
         let bytes = msg.wire_bytes();
+        self.peer_metrics.note_tx(to, bytes);
         if telemetry::is_enabled() {
             telemetry::instant("tx.frame", to as u64, bytes);
         }
@@ -155,6 +161,7 @@ pub fn fabric_with_nodes(
             dest_nodes: Arc::clone(&node_ids),
             counters: Arc::clone(&counters),
             tracker: RecvTracker::default(),
+            peer_metrics: metrics::PeerCounters::new(idx, node_of_endpoint.len()),
         })
         .collect();
     (endpoints, counters)

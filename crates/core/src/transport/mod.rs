@@ -269,6 +269,52 @@ pub struct TimeoutDiag {
     /// Event-loop context at the moment of the timeout (`None` on transports
     /// without a poller, e.g. in-process channels).
     pub poller: Option<PollerDiag>,
+    /// Metrics snapshot of the stalled link at the moment of the timeout
+    /// (`None` on transports that don't track link state).
+    pub link: Option<LinkHealth>,
+}
+
+/// A metrics snapshot of one endpoint's link state, attached to a
+/// [`TimeoutDiag`] so a dead-peer verdict carries the numbers a live scrape
+/// would have shown: how much is stuck in the write queues, how stale the
+/// conversation is in each direction, and how much repair work the reliable
+/// layer already did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LinkHealth {
+    /// Frames queued for transmit but not yet written.
+    pub queued_frames: u64,
+    /// Bytes queued for transmit but not yet written.
+    pub queued_bytes: u64,
+    /// Elapsed since this endpoint last put a frame on the wire (`None` if
+    /// it never sent).
+    pub last_tx_age: Option<Duration>,
+    /// Elapsed since this endpoint last received a frame (`None` if it never
+    /// received).
+    pub last_rx_age: Option<Duration>,
+    /// Data frames this endpoint retransmitted in response to nacks.
+    pub retransmits: u64,
+}
+
+impl std::fmt::Display for LinkHealth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "link: {} frames / {} bytes queued",
+            self.queued_frames, self.queued_bytes
+        )?;
+        match self.last_tx_age {
+            Some(age) => write!(f, ", last tx {age:.1?} ago")?,
+            None => write!(f, ", never sent")?,
+        }
+        match self.last_rx_age {
+            Some(age) => write!(f, ", last rx {age:.1?} ago")?,
+            None => write!(f, ", never received")?,
+        }
+        if self.retransmits > 0 {
+            write!(f, ", {} retransmits", self.retransmits)?;
+        }
+        Ok(())
+    }
 }
 
 /// What the event-loop core was doing when a receive timed out: is traffic
@@ -317,6 +363,9 @@ impl std::fmt::Display for TimeoutDiag {
         }
         if let Some(p) = &self.poller {
             write!(f, "; {p}")?;
+        }
+        if let Some(l) = &self.link {
+            write!(f, "; {l}")?;
         }
         Ok(())
     }
@@ -410,6 +459,7 @@ impl RecvTracker {
             last_frame,
             attempts: self.attempts.load(Ordering::Relaxed),
             poller: None,
+            link: None,
         }))
     }
 }

@@ -154,6 +154,9 @@ pub(crate) fn dial(
             Ok(stream) => return Ok(stream),
             Err(_) => {
                 attempts += 1;
+                // Cold path (a dial just failed and we are about to sleep), so
+                // the registry lookup per retry is fine.
+                crate::metrics::counter("poseidon_redials_total", &[]).inc();
                 telemetry::instant("dial.retry", peer as u64, attempts);
                 std::thread::sleep(backoff.next_delay().min(remaining));
             }

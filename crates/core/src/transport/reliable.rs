@@ -144,6 +144,11 @@ pub struct ReliableTransport<T: Transport> {
     cfg: ReliabilityConfig,
     state: Mutex<State>,
     stats: Arc<ReliabilityStats>,
+    /// Metrics-plane mirrors of the recovery counters, resolved once at
+    /// wrap time so repair actions record registry-free.
+    m_retransmits: crate::metrics::Counter,
+    m_nacks: crate::metrics::Counter,
+    m_dup_drops: crate::metrics::Counter,
 }
 
 impl<T: Transport> ReliableTransport<T> {
@@ -155,7 +160,12 @@ impl<T: Transport> ReliableTransport<T> {
             links_out: (0..n).map(|_| LinkOut::default()).collect(),
             links_in: (0..n).map(|_| LinkIn::default()).collect(),
         };
+        let ep = inner.endpoint_id().to_string();
+        let labels: [(&'static str, &str); 1] = [("endpoint", &ep)];
         Self {
+            m_retransmits: crate::metrics::counter("poseidon_retransmits_total", &labels),
+            m_nacks: crate::metrics::counter("poseidon_nacks_total", &labels),
+            m_dup_drops: crate::metrics::counter("poseidon_dup_drops_total", &labels),
             inner,
             cfg,
             state: Mutex::new(state),
@@ -194,6 +204,7 @@ impl<T: Transport> ReliableTransport<T> {
                     .collect();
                 for (s, m) in resend {
                     self.stats.retransmits.fetch_add(1, Ordering::Relaxed);
+                    self.m_retransmits.inc();
                     telemetry::instant("retransmit", src as u64, s as u64);
                     // Best-effort: a send failure here means the link is
                     // down; the peer will nack again after its next probe.
@@ -212,6 +223,7 @@ impl<T: Transport> ReliableTransport<T> {
                     // Already delivered; the ack that should have stopped
                     // this duplicate may have been in flight. Re-ack.
                     self.stats.dups_dropped.fetch_add(1, Ordering::Relaxed);
+                    self.m_dup_drops.inc();
                     self.ack(src, link.expect);
                     return;
                 }
@@ -222,6 +234,7 @@ impl<T: Transport> ReliableTransport<T> {
                     if link.last_nacked != expect {
                         link.last_nacked = expect;
                         self.stats.nacks_sent.fetch_add(1, Ordering::Relaxed);
+                        self.m_nacks.inc();
                         let _ = self.inner.send(
                             src,
                             Message::Nack {
@@ -368,8 +381,13 @@ impl<T: Transport> Transport for ReliableTransport<T> {
                     let mut st = self.state.lock().expect("reliable state lock");
                     self.process(&mut st, env);
                 }
-                Err(TransportError::Timeout(diag)) => {
+                Err(TransportError::Timeout(mut diag)) => {
                     if Instant::now() >= deadline {
+                        // Surface this layer's repair effort on the verdict:
+                        // the inner transport cannot know its retransmit
+                        // count, so fill (or create) the link snapshot here.
+                        diag.link.get_or_insert_with(Default::default).retransmits =
+                            self.stats.retransmits.load(Ordering::Relaxed);
                         return Err(TransportError::Timeout(diag));
                     }
                     let mut st = self.state.lock().expect("reliable state lock");

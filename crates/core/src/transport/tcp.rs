@@ -42,8 +42,10 @@
 use super::net::{self, Hello, HelloGate, TcpFabricSpec, ACCEPT_POLL};
 use super::sys;
 use super::{
-    Backoff, Envelope, Message, PollerDiag, RecvTracker, TrafficCounters, Transport, TransportError,
+    Backoff, Envelope, LinkHealth, Message, PollerDiag, RecvTracker, TrafficCounters, Transport,
+    TransportError,
 };
+use crate::metrics;
 use crate::pool::BufPool;
 use crate::telemetry;
 use crate::wire::{assemble, encode_header_seq, parse_header, FrameHeader, FRAME_HEADER_BYTES};
@@ -207,6 +209,58 @@ struct Shared {
     last_ready: Mutex<Option<(usize, &'static str, Instant)>>,
     poller: sys::Poller,
     tracker: RecvTracker,
+    /// Metrics-plane handles, resolved once at connect so the frame paths
+    /// record registry-free: per-peer tx/rx frame+byte counters, queue
+    /// high-water gauges, the writev batch-size distribution, and the
+    /// reconnect counter.
+    peer_metrics: metrics::PeerCounters,
+    m_tx_queue_peak: metrics::Gauge,
+    m_rx_queue_peak: metrics::Gauge,
+    m_writev_batch: metrics::Histogram,
+    m_reconnects: metrics::Counter,
+    /// Base instant of the `last_tx_ns`/`last_rx_ns` stamps (elapsed ns + 1,
+    /// so 0 means "never") — link staleness for timeout diagnostics.
+    started: Instant,
+    last_tx_ns: AtomicU64,
+    last_rx_ns: AtomicU64,
+}
+
+impl Shared {
+    fn stamp_tx(&self) {
+        self.last_tx_ns.store(
+            self.started.elapsed().as_nanos() as u64 + 1,
+            Ordering::Relaxed,
+        );
+    }
+
+    fn stamp_rx(&self) {
+        self.last_rx_ns.store(
+            self.started.elapsed().as_nanos() as u64 + 1,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Age of a `last_*_ns` stamp (`None` = never stamped).
+    fn stamp_age(&self, stamp: &AtomicU64) -> Option<Duration> {
+        match stamp.load(Ordering::Relaxed) {
+            0 => None,
+            ns => Some(Duration::from_nanos(
+                (self.started.elapsed().as_nanos() as u64 + 1).saturating_sub(ns),
+            )),
+        }
+    }
+
+    /// The link-state snapshot a timeout verdict carries (retransmits are
+    /// filled in by the reliable layer, which owns that counter).
+    fn link_health(&self) -> LinkHealth {
+        LinkHealth {
+            queued_frames: self.pending_frames.load(Ordering::Relaxed),
+            queued_bytes: self.pending_bytes.load(Ordering::Relaxed),
+            last_tx_age: self.stamp_age(&self.last_tx_ns),
+            last_rx_age: self.stamp_age(&self.last_rx_ns),
+            retransmits: 0,
+        }
+    }
 }
 
 /// A TCP transport endpoint driven by a single readiness event loop.
@@ -282,6 +336,26 @@ impl TcpTransport {
             last_ready: Mutex::new(None),
             poller,
             tracker: RecvTracker::default(),
+            peer_metrics: metrics::PeerCounters::new(me, n),
+            m_tx_queue_peak: metrics::gauge(
+                "poseidon_tx_queue_peak_frames",
+                &[("endpoint", &me.to_string())],
+            ),
+            m_rx_queue_peak: metrics::gauge(
+                "poseidon_rx_queue_peak_frames",
+                &[("endpoint", &me.to_string())],
+            ),
+            m_writev_batch: metrics::histogram(
+                "poseidon_writev_batch_frames",
+                &[("endpoint", &me.to_string())],
+            ),
+            m_reconnects: metrics::counter(
+                "poseidon_reconnects_total",
+                &[("endpoint", &me.to_string())],
+            ),
+            started: Instant::now(),
+            last_tx_ns: AtomicU64::new(0),
+            last_rx_ns: AtomicU64::new(0),
         });
 
         // The acceptor accepts the initial mesh (reported through `init_tx`)
@@ -373,6 +447,10 @@ impl TcpTransport {
     fn on_delivered(&self, env: &Envelope) {
         self.shared.inflight.fetch_sub(1, Ordering::Relaxed);
         self.shared.tracker.note(env);
+        self.shared
+            .peer_metrics
+            .note_rx(env.src, env.msg.wire_bytes());
+        self.shared.stamp_rx();
     }
 
     /// The claimed inline write of one large frame: loops `writev` on the
@@ -503,6 +581,7 @@ impl Transport for TcpTransport {
             if telemetry::is_enabled() {
                 telemetry::instant("tx.frame", to as u64, msg.wire_bytes());
             }
+            self.shared.peer_metrics.note_tx(to, msg.wire_bytes());
             self.shared.inflight.fetch_add(1, Ordering::Relaxed);
             // Loop-back within one endpoint never touches the socket and,
             // like all same-node traffic, is never counted.
@@ -526,6 +605,8 @@ impl Transport for TcpTransport {
         if telemetry::is_enabled() {
             telemetry::instant("tx.frame", to as u64, frame_len);
         }
+        self.shared.peer_metrics.note_tx(to, frame_len);
+        self.shared.stamp_tx();
         let hdr = encode_header_seq(&msg, self.me as u32, seq);
         let payload = msg.into_payload();
         let claimed = {
@@ -578,6 +659,7 @@ impl Transport for TcpTransport {
                     link.depth.fetch_add(1, Ordering::Relaxed);
                     let depth = q.frames.len() as u64;
                     drop(q);
+                    self.shared.m_tx_queue_peak.set_max(depth);
                     self.shared.pending_frames.fetch_add(1, Ordering::Relaxed);
                     self.shared
                         .pending_bytes
@@ -657,6 +739,7 @@ impl Transport for TcpTransport {
                 let mut err = self.pending_error(self.shared.tracker.timeout(self.me, timeout));
                 if let TransportError::Timeout(diag) = &mut err {
                     diag.poller = Some(self.poller_diag());
+                    diag.link = Some(self.shared.link_health());
                 }
                 Err(err)
             }
@@ -1070,6 +1153,7 @@ impl EventLoop {
                 q.writer_busy = true;
                 batch
             };
+            self.shared.m_writev_batch.record(batch.len() as u64);
             let mut iov: Vec<IoSlice<'_>> = Vec::with_capacity(MAX_IOV);
             for (i, f) in batch.iter().enumerate() {
                 if i == 0 && f.written > 0 {
@@ -1187,6 +1271,7 @@ impl EventLoop {
         match net::dial_once(addr, self.me, generation, REDIAL_ATTEMPT_TIMEOUT) {
             Ok(stream) => {
                 self.shared.reconnects.fetch_add(1, Ordering::Relaxed);
+                self.shared.m_reconnects.inc();
                 telemetry::instant("reconnect", peer as u64, d.attempts);
                 self.out[peer] = OutState::Up(stream);
                 self.wants_writable[peer] = false;
@@ -1418,6 +1503,7 @@ fn deliver(
 ) -> Result<(), Close> {
     let msg = assemble(header, payload);
     let queued = shared.inflight.fetch_add(1, Ordering::Relaxed) + 1;
+    shared.m_rx_queue_peak.set_max(queued);
     if telemetry::is_enabled() {
         telemetry::instant(
             "rx.frame",
@@ -1516,6 +1602,7 @@ fn acceptor_loop(
                     continue;
                 }
                 shared.reaccepts.fetch_add(1, Ordering::Relaxed);
+                shared.m_reconnects.inc();
                 telemetry::instant("reconnect.accept", hello.peer as u64, 0);
                 shared
                     .adoptions

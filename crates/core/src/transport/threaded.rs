@@ -103,6 +103,10 @@ pub struct ThreadedTcpTransport {
     tracker: RecvTracker,
     /// Successful outbound reconnects (for stats lines and tests).
     reconnects: AtomicU64,
+    /// Per-peer tx/rx frame+byte counters plus the reconnect counter,
+    /// resolved at connect so the send path records registry-free.
+    peer_metrics: crate::metrics::PeerCounters,
+    m_reconnects: crate::metrics::Counter,
     down: bool,
 }
 
@@ -195,6 +199,11 @@ impl ThreadedTcpTransport {
             counters,
             tracker: RecvTracker::default(),
             reconnects: AtomicU64::new(0),
+            peer_metrics: crate::metrics::PeerCounters::new(me, n),
+            m_reconnects: crate::metrics::counter(
+                "poseidon_reconnects_total",
+                &[("endpoint", &me.to_string())],
+            ),
             down: false,
         })
     }
@@ -229,6 +238,7 @@ impl ThreadedTcpTransport {
     fn on_delivered(&self, env: &Envelope) {
         self.hub.inflight.fetch_sub(1, Ordering::Relaxed);
         self.tracker.note(env);
+        self.peer_metrics.note_rx(env.src, env.msg.wire_bytes());
     }
 
     /// Redials `to` after a broken send, with the fabric's capped
@@ -247,6 +257,7 @@ impl ThreadedTcpTransport {
             match dial_once(addr, self.me, generation, Duration::from_secs(1)) {
                 Ok(stream) => {
                     self.reconnects.fetch_add(1, Ordering::Relaxed);
+                    self.m_reconnects.inc();
                     telemetry::instant("reconnect", to as u64, attempts);
                     return Ok(stream);
                 }
@@ -288,6 +299,7 @@ impl Transport for ThreadedTcpTransport {
             if telemetry::is_enabled() {
                 telemetry::instant("tx.frame", to as u64, msg.wire_bytes());
             }
+            self.peer_metrics.note_tx(to, msg.wire_bytes());
             self.hub.inflight.fetch_add(1, Ordering::Relaxed);
             // Loop-back within one endpoint never touches the socket and, like
             // all same-node traffic, is never counted.
@@ -310,6 +322,7 @@ impl Transport for ThreadedTcpTransport {
         if telemetry::is_enabled() {
             telemetry::instant("tx.frame", to as u64, frame.len() as u64);
         }
+        self.peer_metrics.note_tx(to, frame.len() as u64);
         {
             let mut stream = writer.lock().expect("writer lock");
             if let Err(e) = stream.write_all(&frame) {

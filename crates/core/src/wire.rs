@@ -425,23 +425,52 @@ pub fn encode_f32s_pooled(vals: &[f32]) -> Bytes {
     lease.freeze()
 }
 
+/// Per-codec dense/wire byte counters, resolved once per process and keyed
+/// by [`Codec::wire_id`] so the per-frame paths stay registry-free. The
+/// `codec` label drops top-k's permille (encoder-side parameter) to keep the
+/// cardinality bounded by the enum.
+fn codec_counters(codec: Codec) -> &'static (crate::metrics::Counter, crate::metrics::Counter) {
+    static TABLE: std::sync::OnceLock<Vec<(crate::metrics::Counter, crate::metrics::Counter)>> =
+        std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        ["identity", "onebit", "f16", "bf16", "topk"]
+            .iter()
+            .map(|name| {
+                (
+                    crate::metrics::counter("poseidon_codec_bytes_pre_total", &[("codec", name)]),
+                    crate::metrics::counter("poseidon_codec_bytes_post_total", &[("codec", name)]),
+                )
+            })
+            .collect()
+    });
+    &table[codec.wire_id() as usize]
+}
+
 /// Single sender-side entry point of the codec registry: encodes `vals`
 /// through `comp`, routing the identity codec through the pooled fast path
 /// (bitwise identical to [`encode_f32s_pooled`], zero-copy on the frame
 /// write) and every lossy codec through its own [`Compressor::compress`].
 pub fn encode_codec(comp: &mut dyn poseidon_tensor::compress::Compressor, vals: &[f32]) -> Bytes {
-    if comp.codec() == Codec::Identity {
+    let payload = if comp.codec() == Codec::Identity {
         encode_f32s_pooled(vals)
     } else {
         comp.compress(vals)
-    }
+    };
+    let (pre, post) = codec_counters(comp.codec());
+    pre.add((vals.len() * 4) as u64);
+    post.add(payload.len() as u64);
+    payload
 }
 
 /// Single receiver-side entry point of the codec registry: decodes a payload
 /// stamped with `codec` back to `expect_elems` dense f32s, surfacing
 /// truncation/corruption as a [`CodecError`] instead of panicking.
 pub fn decode_codec(codec: Codec, buf: &[u8], expect_elems: usize) -> Result<Vec<f32>, CodecError> {
-    poseidon_tensor::compress::decompress(codec, buf, expect_elems)
+    let vals = poseidon_tensor::compress::decompress(codec, buf, expect_elems)?;
+    let (pre, post) = codec_counters(codec);
+    pre.add((vals.len() * 4) as u64);
+    post.add(buf.len() as u64);
+    Ok(vals)
 }
 
 /// Fused decode-add-encode for the ring-allreduce hot path, leasing the

@@ -1,0 +1,119 @@
+//! Property tests for the metrics-plane histogram: every recorded value
+//! lands in the log2 bucket that covers it, sum/count/min/max stay exact
+//! (only the distribution shape is approximated), quantiles are monotone
+//! and never leave the observed range, and per-run delta views subtract
+//! cleanly from the cumulative process-global state.
+
+use poseidon::metrics::{bucket_le, Histogram, HistogramSnapshot, HIST_BUCKETS};
+use proptest::prelude::*;
+
+fn recorded(vals: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in vals {
+        // `observe` is the ungated path; these invariants must hold no
+        // matter what state the process-global enable flag is in.
+        h.observe(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    /// Each value lands in exactly the bucket whose (le(i-1), le(i)] range
+    /// covers it, so bucket counts always sum to the total count.
+    #[test]
+    fn values_land_in_their_covering_bucket(vals in proptest::collection::vec(any::<u64>(), 1..64)) {
+        let snap = recorded(&vals);
+        prop_assert_eq!(snap.buckets.iter().sum::<u64>(), vals.len() as u64);
+        for &v in &vals {
+            let i = (0..HIST_BUCKETS)
+                .find(|&i| snap.buckets[i] > 0 && v <= bucket_le(i))
+                .expect("some bucket at or above v is occupied");
+            // v fits under le(i); if v were also under le(i-1) it could
+            // still belong to an earlier occupied bucket, which the
+            // cumulative exposition renders identically — so only the
+            // upper bound is a per-value invariant.
+            prop_assert!(v <= bucket_le(i));
+        }
+        // The top bucket's upper bound covers everything.
+        prop_assert_eq!(bucket_le(HIST_BUCKETS - 1), u64::MAX);
+    }
+
+    /// Sum, count, min and max are exact regardless of bucketing.
+    #[test]
+    fn scalar_moments_are_exact(vals in proptest::collection::vec(any::<u32>(), 1..128)) {
+        let vals: Vec<u64> = vals.into_iter().map(u64::from).collect();
+        let snap = recorded(&vals);
+        prop_assert_eq!(snap.count, vals.len() as u64);
+        prop_assert_eq!(snap.sum, vals.iter().sum::<u64>());
+        prop_assert_eq!(snap.min, *vals.iter().min().unwrap());
+        prop_assert_eq!(snap.max, *vals.iter().max().unwrap());
+    }
+
+    /// Quantiles stay inside [min, max] and are monotone in q.
+    #[test]
+    fn quantiles_are_bounded_and_monotone(
+        vals in proptest::collection::vec(any::<u64>(), 1..128),
+        qs in proptest::collection::vec(0.0f64..=1.0, 2..8),
+    ) {
+        let snap = recorded(&vals);
+        let mut sorted = qs.clone();
+        sorted.sort_by(f64::total_cmp);
+        let mut prev = None;
+        for q in sorted {
+            let est = snap.quantile(q);
+            prop_assert!(est >= snap.min && est <= snap.max,
+                "q={q}: {est} outside [{}, {}]", snap.min, snap.max);
+            if let Some(p) = prev {
+                prop_assert!(est >= p, "quantile not monotone: q={q} gave {est} < {p}");
+            }
+            prev = Some(est);
+        }
+    }
+
+    /// The p50 of a log2 histogram is within one bucket (2x) of the true
+    /// median — the precision the straggler detector relies on.
+    #[test]
+    fn p50_within_one_bucket_of_true_median(
+        vals in proptest::collection::vec(1u64..u64::MAX / 2, 1..128),
+    ) {
+        let snap = recorded(&vals);
+        let mut sorted = vals.clone();
+        sorted.sort_unstable();
+        let true_median = sorted[(sorted.len() - 1) / 2];
+        let est = snap.quantile(0.5);
+        prop_assert!(est >= true_median / 2 && est <= true_median.saturating_mul(2),
+            "p50 {est} not within 2x of true median {true_median}");
+    }
+
+    /// delta() recovers exactly what was recorded between two snapshots of
+    /// the same cumulative histogram.
+    #[test]
+    fn delta_recovers_the_second_batch(
+        first in proptest::collection::vec(any::<u32>(), 0..64),
+        second in proptest::collection::vec(any::<u32>(), 1..64),
+    ) {
+        let h = Histogram::new();
+        for &v in &first {
+            h.observe(u64::from(v));
+        }
+        let earlier = h.snapshot();
+        for &v in &second {
+            h.observe(u64::from(v));
+        }
+        let d = h.snapshot().delta(&earlier);
+        prop_assert_eq!(d.count, second.len() as u64);
+        prop_assert_eq!(d.sum, second.iter().map(|&v| u64::from(v)).sum::<u64>());
+        prop_assert_eq!(d.buckets.iter().sum::<u64>(), second.len() as u64);
+    }
+
+    /// bucket_le is strictly increasing (so cumulative exposition buckets
+    /// are well ordered) and empty histograms are inert.
+    #[test]
+    fn bucket_bounds_strictly_increase(i in 1usize..HIST_BUCKETS) {
+        prop_assert!(bucket_le(i) > bucket_le(i - 1));
+        let empty = HistogramSnapshot::empty();
+        prop_assert!(empty.is_empty());
+        prop_assert_eq!(empty.quantile(0.5), 0);
+        prop_assert_eq!(empty.mean(), 0.0);
+    }
+}

@@ -106,4 +106,14 @@ ONEBIT_HEX=$(grep -o 'params=[0-9a-f]*' /tmp/poseidon_onebit_smoke.txt | head -1
 test -n "$ONEBIT_HEX" && test "$ONEBIT_HEX" != "$PS_HEX" \
     || { echo "--codec onebit produced the dense params; codec plane inert"; exit 1; }
 
+echo "== metrics smoke: live scrape + health verdict + overhead budget =="
+# The observability plane end to end: metrics_scrape launches a real TCP mesh
+# with one scripted straggler, scrapes Prometheus text from EVERY endpoint
+# mid-run over raw sockets, and asserts the launcher's health verdict names
+# the delayed worker. metrics_bench then regenerates BENCH_metrics.json and
+# fails when the always-on record path costs more than 2% of an instrumented
+# training run (measured as interleaved min-of-reps, off vs on).
+timeout 300 cargo test "${CARGO_OFFLINE[@]}" -q -p poseidon-bench --test metrics_scrape
+timeout 300 cargo run "${CARGO_OFFLINE[@]}" -q --release -p poseidon-bench --bin metrics_bench
+
 echo "All checks passed."
