@@ -18,11 +18,16 @@
 //!     --workers 3 --iters 5 --policy hybrid --base-port 46000
 //! ```
 
+use poseidon::checkpoint::{self, TrainingCheckpoint};
 use poseidon::config::{Codec, CodecPolicy, Partition, SchemePolicy};
 use poseidon::faults::{FaultPlan, FaultyTransport};
 use poseidon::health::{self, HealthConfig};
+use poseidon::membership::{MembershipPlan, MembershipSchedule};
 use poseidon::metrics::expose::MetricsServer;
-use poseidon::runtime::{flatten_model_params, run_endpoint, NodeOutcome, RuntimeConfig};
+use poseidon::runtime::{
+    flatten_model_params, install_model_params, run_endpoint, NodeOutcome, RuntimeConfig,
+};
+use poseidon::serving::{InferFn, ServingServer, Snapshot, SnapshotCell};
 use poseidon::telemetry::{self, chrome, report, TelemetryConfig};
 use poseidon::transport::{
     ReliabilityConfig, ReliableTransport, TcpFabricSpec, TcpTransport, ThreadedTcpTransport,
@@ -31,7 +36,10 @@ use poseidon::transport::{
 use poseidon_nn::data::Dataset;
 use poseidon_nn::layer::TensorShape;
 use poseidon_nn::presets;
+use poseidon_nn::Network;
+use poseidon_tensor::Matrix;
 use std::process::{Command, ExitCode, Stdio};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Which TCP core carries the mesh: the evented single-poller transport or
@@ -73,6 +81,12 @@ struct Args {
     metrics_addr: Option<String>,
     straggler: Option<(usize, u64)>,
     straggler_factor: f64,
+    membership: MembershipPlan,
+    serve_addr: Option<String>,
+    ckpt_dir: Option<String>,
+    start_iter: usize,
+    export_state: bool,
+    restore: bool,
     endpoint: Option<usize>,
 }
 
@@ -99,6 +113,12 @@ impl Default for Args {
             metrics_addr: None,
             straggler: None,
             straggler_factor: HealthConfig::default().straggler_factor,
+            membership: MembershipPlan::empty(),
+            serve_addr: None,
+            ckpt_dir: None,
+            start_iter: 0,
+            export_state: false,
+            restore: false,
             endpoint: None,
         }
     }
@@ -134,6 +154,19 @@ const USAGE: &str = "poseidon-node: multi-process distributed SGD over TCP
                     health plane should then name W in its verdict)
   --straggler-factor F  flag workers whose busy-time p50 exceeds the mesh
                     median by more than F                        [2]
+  --membership-plan P  scripted shard elasticity, e.g. 'leave:1@2;join:1@4'
+                    (action:shard@iter; 'restart:S@N' marks a checkpoint/
+                    resume generation boundary the launcher drives; join/
+                    leave events need a PS-only configuration)
+  --serve-addr A    live inference front door: worker endpoint N binds
+                    HOST:PORT+N and answers PSRV requests against the
+                    latest published snapshot while training continues
+  --ckpt-dir PATH   directory for per-endpoint checkpoint slices
+                    (e{N}.ckpt); the launcher picks a temp dir when the
+                    membership plan has restarts and none is given
+  --start-iter N    first iteration of this generation              [0]
+  --export-state on write checkpoint slices on exit (needs --ckpt-dir)
+  --restore on      resume from --ckpt-dir slices at --start-iter
   --endpoint N      run one endpoint (internal; launcher spawns these)";
 
 fn parse_args() -> Result<Args, String> {
@@ -217,6 +250,14 @@ fn parse_args() -> Result<Args, String> {
                 ));
             }
             "--straggler-factor" => args.straggler_factor = val.parse().map_err(|e| bad(&e))?,
+            "--membership-plan" => {
+                args.membership = MembershipPlan::parse(&val).map_err(|e| bad(&e))?
+            }
+            "--serve-addr" => args.serve_addr = Some(val),
+            "--ckpt-dir" => args.ckpt_dir = Some(val),
+            "--start-iter" => args.start_iter = val.parse().map_err(|e| bad(&e))?,
+            "--export-state" => args.export_state = on_off(&flag, &val)?,
+            "--restore" => args.restore = on_off(&flag, &val)?,
             "--endpoint" => args.endpoint = Some(val.parse().map_err(|e| bad(&e))?),
             other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
         }
@@ -224,7 +265,21 @@ fn parse_args() -> Result<Args, String> {
     if args.workers == 0 {
         return Err("--workers must be positive".into());
     }
+    // Fail fast on an illegal plan — every process must resolve it anyway.
+    MembershipSchedule::resolve(&args.membership, args.workers)
+        .map_err(|e| format!("--membership-plan: {e}"))?;
+    if (args.export_state || args.restore) && args.ckpt_dir.is_none() && args.endpoint.is_some() {
+        return Err("--export-state/--restore need --ckpt-dir".into());
+    }
     Ok(args)
+}
+
+fn on_off(flag: &str, val: &str) -> Result<bool, String> {
+    match val {
+        "on" | "true" | "1" => Ok(true),
+        "off" | "false" | "0" => Ok(false),
+        other => Err(format!("{flag} takes on|off, got {other:?}")),
+    }
 }
 
 fn runtime_config(a: &Args) -> RuntimeConfig {
@@ -245,6 +300,9 @@ fn runtime_config(a: &Args) -> RuntimeConfig {
         health: HealthConfig {
             straggler_factor: a.straggler_factor,
         },
+        membership: a.membership.clone(),
+        start_iter: a.start_iter,
+        export_state: a.export_state,
         ..RuntimeConfig::new(a.workers, a.batch, a.lr, a.iters)
     }
 }
@@ -267,6 +325,13 @@ fn metrics_addr_for(base: &str, me: usize) -> Result<String, String> {
 /// The per-child trace part file for endpoint `me`.
 fn trace_part_path(base: &str, me: usize) -> String {
     format!("{base}.e{me}.json")
+}
+
+/// The checkpoint slice file for endpoint `me`: each process persists (and
+/// restores) only its own state; the *set* of slices is the full training
+/// checkpoint.
+fn ckpt_path(dir: &str, me: usize) -> String {
+    format!("{dir}/e{me}.ckpt")
 }
 
 fn dataset(a: &Args) -> Dataset {
@@ -352,11 +417,94 @@ fn run_role<T: Transport + Send + 'static>(
     endpoint: T,
 ) -> ExitCode {
     let traffic = std::sync::Arc::clone(endpoint.traffic());
-    let cfg = runtime_config(a);
+    let mut cfg = runtime_config(a);
     let data = dataset(a);
     let layers = a.layers.clone();
     let seed = a.seed;
     let factory = move || presets::mlp(&layers, seed);
+
+    // Resume: read only this endpoint's slice and wrap it as a one-slice
+    // training checkpoint — `run_endpoint` picks its own slice back out.
+    if a.restore {
+        let dir = a
+            .ckpt_dir
+            .as_deref()
+            .expect("parse_args enforced --ckpt-dir");
+        let path = ckpt_path(dir, me);
+        let blob = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("endpoint {me}: reading checkpoint {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let resume = if me < a.workers {
+            checkpoint::decode_worker(&blob).map(|w| TrainingCheckpoint {
+                next_iter: a.start_iter as u64,
+                workers: vec![w],
+                shards: Vec::new(),
+            })
+        } else {
+            checkpoint::decode_shard(&blob).map(|s| TrainingCheckpoint {
+                next_iter: a.start_iter as u64,
+                workers: Vec::new(),
+                shards: vec![s],
+            })
+        };
+        match resume {
+            Some(ck) => cfg.resume = Some(ck),
+            None => {
+                eprintln!("endpoint {me}: checkpoint {path} is corrupt or mis-typed");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // Serving front door: worker endpoints publish per-iteration snapshots
+    // into a cell and answer inference against them on PORT+me (the metrics
+    // scrape port scheme). The guard keeps the listener alive for the run.
+    let mut _serving = None;
+    if me < a.workers {
+        if let Some(base) = a.serve_addr.as_deref() {
+            let addr = match metrics_addr_for(base, me) {
+                Ok(addr) => addr,
+                Err(e) => {
+                    eprintln!("endpoint {me}: {e}"); // reuses HOST:PORT+me parsing
+                    return ExitCode::FAILURE;
+                }
+            };
+            let cell = SnapshotCell::new();
+            cfg.serve_snapshots = Some(Arc::clone(&cell));
+            let infer_layers = a.layers.clone();
+            // Rebuilding a replica per request would dominate serving cost;
+            // cache the last materialized parameter version by iteration.
+            let cache: Mutex<Option<(u64, Network)>> = Mutex::new(None);
+            let infer: Arc<InferFn> = Arc::new(move |snap: &Snapshot, n, d, inputs: &[f32]| {
+                if d != infer_layers[0] {
+                    return None;
+                }
+                let mut cached = cache.lock().expect("infer cache");
+                if cached.as_ref().is_none_or(|(it, _)| *it != snap.iter) {
+                    let mut net = presets::mlp(&infer_layers, seed);
+                    install_model_params(&mut net, &snap.params);
+                    *cached = Some((snap.iter, net));
+                }
+                let (_, net) = cached.as_mut().expect("just installed");
+                let out = net.forward(&Matrix::from_vec(n, d, inputs.to_vec()));
+                Some(out.as_slice().to_vec())
+            });
+            match ServingServer::serve(&addr, cell, infer) {
+                Ok(srv) => {
+                    println!("serve_addr={}", srv.addr());
+                    _serving = Some(srv);
+                }
+                Err(e) => {
+                    eprintln!("endpoint {me}: serving bind {addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
 
     // Chaos plane: wrap the socket endpoint as Reliable(Faulty(tcp)), keep
     // Arc handles to the fired-fault log and recovery stats so they can be
@@ -405,19 +553,40 @@ fn run_role<T: Transport + Send + 'static>(
         }
         println!("trace_file={path}");
     }
-    match outcome {
+    let ckpt_blob = match outcome {
         NodeOutcome::Worker {
             losses,
             net,
             busy_p50_ns,
+            checkpoint,
             ..
         } => {
             println!("role=worker");
             println!("losses={}", csv(&losses));
             println!("busy_p50_ns={busy_p50_ns}");
             println!("params={}", f32s_to_hex(&flatten_model_params(&net)));
+            checkpoint.map(|ck| checkpoint::encode_worker(&ck))
         }
-        NodeOutcome::Server => println!("role=server"),
+        NodeOutcome::Server { checkpoint } => {
+            println!("role=server");
+            checkpoint.map(|ck| checkpoint::encode_shard(&ck))
+        }
+    };
+    if let Some(blob) = ckpt_blob {
+        let dir = a
+            .ckpt_dir
+            .as_deref()
+            .expect("parse_args enforced --ckpt-dir");
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("endpoint {me}: creating {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+        let path = ckpt_path(dir, me);
+        if let Err(e) = std::fs::write(&path, &blob) {
+            eprintln!("endpoint {me}: writing checkpoint {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("ckpt_file={path}");
     }
     ExitCode::SUCCESS
 }
@@ -498,9 +667,26 @@ fn parse_report(endpoint: usize, stdout: &str) -> Result<ChildReport, String> {
     Ok(report)
 }
 
-/// Launcher: spawn all `2P` endpoints first (each blocks in mesh connect
-/// until every peer is up, so spawn-then-wait is mandatory), then collect.
-fn launch(a: &Args) -> Result<(), String> {
+/// One generation's merged results (between process-restart boundaries).
+struct Generation {
+    reports: Vec<ChildReport>,
+    traffic: TrafficSnapshot,
+}
+
+/// Spawns all `2P` endpoints of one generation first (each blocks in mesh
+/// connect until every peer is up, so spawn-then-wait is mandatory), then
+/// collects, merges ledgers and asserts the workers' replicas are bitwise
+/// identical.
+#[allow(clippy::too_many_arguments)]
+fn run_generation(
+    a: &Args,
+    start_iter: usize,
+    iters: usize,
+    export: bool,
+    restore: bool,
+    ckpt_dir: Option<&str>,
+    trace: bool,
+) -> Result<Generation, String> {
     let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
     let n = 2 * a.workers;
     let mut children = Vec::with_capacity(n);
@@ -510,7 +696,9 @@ fn launch(a: &Args) -> Result<(), String> {
                 "--workers".into(),
                 a.workers.to_string(),
                 "--iters".into(),
-                a.iters.to_string(),
+                iters.to_string(),
+                "--start-iter".into(),
+                start_iter.to_string(),
                 "--batch".into(),
                 a.batch.to_string(),
                 "--lr".into(),
@@ -565,11 +753,14 @@ fn launch(a: &Args) -> Result<(), String> {
                     .iter()
                     .flat_map(|(w, ms)| ["--straggler".to_string(), format!("{w}:{ms}")]),
             )
-            .args(
+            .args(if trace {
                 a.trace_out
                     .iter()
-                    .flat_map(|p| ["--trace-out".to_string(), p.clone()]),
-            )
+                    .flat_map(|p| ["--trace-out".to_string(), p.clone()])
+                    .collect()
+            } else {
+                Vec::new()
+            })
             .args(
                 a.fault_plan
                     .iter()
@@ -577,6 +768,31 @@ fn launch(a: &Args) -> Result<(), String> {
             )
             .args(if a.reliable {
                 vec!["--reliable".to_string(), "on".to_string()]
+            } else {
+                Vec::new()
+            })
+            .args(if a.membership.events.is_empty() {
+                Vec::new()
+            } else {
+                vec!["--membership-plan".to_string(), a.membership.to_string()]
+            })
+            .args(
+                a.serve_addr
+                    .iter()
+                    .flat_map(|s| ["--serve-addr".to_string(), s.clone()]),
+            )
+            .args(
+                ckpt_dir
+                    .iter()
+                    .flat_map(|d| ["--ckpt-dir".to_string(), d.to_string()]),
+            )
+            .args(if export {
+                vec!["--export-state".to_string(), "on".to_string()]
+            } else {
+                Vec::new()
+            })
+            .args(if restore {
+                vec!["--restore".to_string(), "on".to_string()]
             } else {
                 Vec::new()
             })
@@ -638,26 +854,99 @@ fn launch(a: &Args) -> Result<(), String> {
 
     // Merge the per-process Chrome trace parts into one file and validate
     // its structure (balanced spans, monotonic timestamps per track).
-    if let Some(base) = &a.trace_out {
-        let parts = (0..n)
-            .map(|me| {
-                let path = trace_part_path(base, me);
-                std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))
-            })
-            .collect::<Result<Vec<_>, _>>()?;
-        let merged = chrome::merge_chrome_json(&parts)?;
-        let stats = chrome::validate(&merged)?;
-        std::fs::write(base, &merged).map_err(|e| format!("writing {base}: {e}"))?;
-        println!(
-            "trace=valid events={} spans={} tracks={} pids={} file={base}",
-            stats.events, stats.spans, stats.tracks, stats.pids
-        );
+    if trace {
+        if let Some(base) = &a.trace_out {
+            let parts = (0..n)
+                .map(|me| {
+                    let path = trace_part_path(base, me);
+                    std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            let merged = chrome::merge_chrome_json(&parts)?;
+            let stats = chrome::validate(&merged)?;
+            std::fs::write(base, &merged).map_err(|e| format!("writing {base}: {e}"))?;
+            println!(
+                "trace=valid events={} spans={} tracks={} pids={} file={base}",
+                stats.events, stats.spans, stats.tracks, stats.pids
+            );
+        }
     }
+
+    Ok(Generation { reports, traffic })
+}
+
+/// Launcher: split the run into generations at the plan's `restart`
+/// boundaries, run each as a full `2P`-process mesh (exporting checkpoint
+/// slices at every internal boundary, restoring after it), and summarize
+/// across generations. A plan with no restarts is a single generation — the
+/// pre-elastic behaviour, flag for flag.
+fn launch(a: &Args) -> Result<(), String> {
+    let schedule = MembershipSchedule::resolve(&a.membership, a.workers)
+        .expect("parse_args validated the plan");
+    let begin = a.start_iter;
+    let end = a.start_iter + a.iters;
+    let mut cuts: Vec<usize> = schedule
+        .restarts()
+        .iter()
+        .copied()
+        .filter(|&r| r > begin && r < end)
+        .collect();
+    cuts.push(end);
+    let n_gens = cuts.len();
+
+    // Checkpoint slices need a home once any generation exports or restores.
+    let ckpt_dir = if a.ckpt_dir.is_some() {
+        a.ckpt_dir.clone()
+    } else if n_gens > 1 || a.export_state || a.restore {
+        let dir = std::env::temp_dir().join(format!("poseidon-node-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        Some(dir.to_string_lossy().into_owned())
+    } else {
+        None
+    };
+
+    let mut traffic = TrafficSnapshot::zeros(a.workers);
+    let mut last = None;
+    let mut start = begin;
+    for (g, &cut) in cuts.iter().enumerate() {
+        let export = g + 1 < n_gens || a.export_state;
+        let restore = start > begin || a.restore;
+        // The merged Chrome trace covers the final generation (earlier parts
+        // would be overwritten by later ones anyway).
+        let trace = a.trace_out.is_some() && g + 1 == n_gens;
+        if n_gens > 1 {
+            println!(
+                "generation={g} start_iter={start} iters={} export={export} restore={restore}",
+                cut - start
+            );
+        }
+        let gen = run_generation(
+            a,
+            start,
+            cut - start,
+            export,
+            restore,
+            ckpt_dir.as_deref(),
+            trace,
+        )?;
+        traffic.accumulate(&gen.traffic);
+        last = Some(gen);
+        start = cut;
+    }
+    let last = last.expect("at least one generation");
+    let reports = &last.reports;
+    let workers: Vec<&ChildReport> = reports.iter().filter(|r| r.role == "worker").collect();
 
     println!(
         "workers={} iters={} policy={:?}",
         a.workers, a.iters, a.policy
     );
+    if !schedule.is_trivial() || n_gens > 1 {
+        println!(
+            "membership_epochs={} generations={n_gens}",
+            schedule.epochs()
+        );
+    }
     println!(
         "final_loss={}",
         workers[0].losses.last().copied().unwrap_or(f32::NAN)

@@ -1,0 +1,338 @@
+//! Emits `BENCH_serving.json` — proof the inference front door stays live
+//! *through* an elastic reconfiguration, and at what request rate.
+//!
+//! One threaded `train` run executes a membership plan (default: shard 1
+//! leaves at iteration 4 and rejoins at 8, so the run crosses two handoff
+//! boundaries) while client threads hammer the [`ServingServer`] bound to
+//! the run's snapshot cell. Every reply is tallied by status and by the
+//! membership epoch of the snapshot that answered it; the bench FAILS
+//! (nonzero exit) unless requests were answered OK from *every* epoch of
+//! the plan — including the reduced-membership window in the middle, which
+//! is exactly when a naive design would go dark.
+//!
+//! A small per-iteration straggler delay stretches each epoch's wall-clock
+//! window so the clients observably sample all of them; the delay changes
+//! no arithmetic (the elastic run stays bitwise equal to the fixed one).
+//!
+//! `--check-against FILE` gates requests/s against a committed baseline
+//! with a deliberately loose 4x margin — serving throughput is accept-loop
+//! bound, not machine bound, so it is stable, but this is a liveness gate,
+//! not a speed race.
+//!
+//! Run from the repo root: `cargo run --release -p poseidon-bench --bin
+//! serving_bench` (writes `BENCH_serving.json` into the current directory).
+
+use poseidon::config::{Partition, SchemePolicy};
+use poseidon::membership::{MembershipPlan, MembershipSchedule};
+use poseidon::runtime::{install_model_params, train, RuntimeConfig};
+use poseidon::serving::{
+    query, InferFn, ServingServer, Snapshot, SnapshotCell, SERVE_NO_SNAPSHOT, SERVE_OK,
+};
+use poseidon_nn::data::Dataset;
+use poseidon_nn::layer::TensorShape;
+use poseidon_nn::presets;
+use poseidon_nn::Network;
+use poseidon_tensor::Matrix;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+const USAGE: &str = "serving_bench: live-serving availability across an elastic reconfiguration
+  --workers N       worker count P                              [2]
+  --iters N         BSP iterations                              [12]
+  --plan P          membership plan the run executes            [leave:1@4;join:1@8]
+  --clients N       concurrent query threads                    [2]
+  --delay-ms N      per-iteration straggler delay stretching the
+                    reconfiguration window                      [5]
+  --retries N       measurement attempts before giving up       [3]
+  --out PATH        write results JSON here                     [BENCH_serving.json]
+  --check-against P fail if requests/s fall below baseline/4    [off]";
+
+struct Args {
+    workers: usize,
+    iters: usize,
+    plan: MembershipPlan,
+    clients: usize,
+    delay_ms: u64,
+    retries: usize,
+    out: String,
+    check_against: Option<String>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            iters: 12,
+            plan: MembershipPlan::parse("leave:1@4;join:1@8").expect("default plan"),
+            clients: 2,
+            delay_ms: 5,
+            retries: 3,
+            out: "BENCH_serving.json".into(),
+            check_against: None,
+        }
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        if flag == "--help" || flag == "-h" {
+            return Err(USAGE.to_string());
+        }
+        let val = it
+            .next()
+            .ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))?;
+        let bad = |e: &dyn std::fmt::Display| format!("bad value for {flag}: {e}");
+        match flag.as_str() {
+            "--workers" => args.workers = val.parse().map_err(|e| bad(&e))?,
+            "--iters" => args.iters = val.parse().map_err(|e| bad(&e))?,
+            "--plan" => args.plan = MembershipPlan::parse(&val).map_err(|e| bad(&e))?,
+            "--clients" => args.clients = val.parse().map_err(|e| bad(&e))?,
+            "--delay-ms" => args.delay_ms = val.parse().map_err(|e| bad(&e))?,
+            "--retries" => args.retries = val.parse().map_err(|e| bad(&e))?,
+            "--out" => args.out = val,
+            "--check-against" => args.check_against = Some(val),
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    if args.workers == 0 || args.iters == 0 || args.clients == 0 || args.retries == 0 {
+        return Err("--workers, --iters, --clients and --retries must be positive".into());
+    }
+    MembershipSchedule::resolve(&args.plan, args.workers).map_err(|e| format!("--plan: {e}"))?;
+    Ok(args)
+}
+
+const LAYERS: [usize; 4] = [12, 16, 8, 4];
+const SEED: u64 = 5;
+const BATCH: usize = 8;
+
+/// Per-client tallies, merged after the run.
+#[derive(Default, Clone)]
+struct Tally {
+    requests: u64,
+    ok: u64,
+    no_snapshot: u64,
+    io_errors: u64,
+    /// OK replies per membership epoch (indexed by epoch).
+    ok_by_epoch: Vec<u64>,
+    /// Highest snapshot iteration observed (snapshots must advance).
+    max_iter: u64,
+}
+
+struct Measured {
+    tally: Tally,
+    elapsed: Duration,
+    final_loss: f32,
+}
+
+/// One measured run: train under the plan while clients hammer the front
+/// door; returns merged tallies and the training wall time.
+fn run_once(a: &Args, epochs: usize) -> Measured {
+    let cell = SnapshotCell::new();
+    let cache: Mutex<Option<(u64, Network)>> = Mutex::new(None);
+    let infer: Arc<InferFn> = Arc::new(move |snap: &Snapshot, n, d, inputs: &[f32]| {
+        if d != LAYERS[0] {
+            return None;
+        }
+        let mut cached = cache.lock().expect("infer cache");
+        if cached.as_ref().is_none_or(|(it, _)| *it != snap.iter) {
+            let mut net = presets::mlp(&LAYERS, SEED);
+            install_model_params(&mut net, &snap.params);
+            *cached = Some((snap.iter, net));
+        }
+        let (_, net) = cached.as_mut().expect("just installed");
+        let out = net.forward(&Matrix::from_vec(n, d, inputs.to_vec()));
+        Some(out.as_slice().to_vec())
+    });
+    let server = ServingServer::serve("127.0.0.1:0", Arc::clone(&cell), infer).expect("serve bind");
+    let addr = server.addr().to_string();
+
+    let cfg = RuntimeConfig {
+        policy: SchemePolicy::AlwaysPs,
+        partition: Partition::KvPairs { pair_elems: 37 },
+        comm_timeout: Duration::from_secs(120),
+        membership: a.plan.clone(),
+        serve_snapshots: Some(Arc::clone(&cell)),
+        straggler_delay_ms: Some((0, a.delay_ms)),
+        ..RuntimeConfig::new(a.workers, BATCH, 0.2, a.iters)
+    };
+    let data = Dataset::gaussian_clusters(
+        TensorShape::flat(LAYERS[0]),
+        *LAYERS.last().expect("layers"),
+        96,
+        0.3,
+        SEED + 1,
+    );
+
+    let stop = AtomicBool::new(false);
+    let tallies = Mutex::new(Vec::new());
+    let mut final_loss = f32::NAN;
+    let start = Instant::now();
+    let elapsed = std::thread::scope(|s| {
+        for c in 0..a.clients {
+            let (addr, stop, tallies) = (&addr, &stop, &tallies);
+            s.spawn(move || {
+                let mut t = Tally {
+                    ok_by_epoch: vec![0; epochs],
+                    ..Tally::default()
+                };
+                let mut r = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let n = 4usize;
+                    let inputs: Vec<f32> = (0..n * LAYERS[0])
+                        .map(|j| ((c as u64 * 131 + r * 17 + j as u64) % 23) as f32 * 0.1 - 1.0)
+                        .collect();
+                    r += 1;
+                    t.requests += 1;
+                    match query(addr, n, LAYERS[0], &inputs) {
+                        Ok(reply) if reply.status == SERVE_OK => {
+                            assert_eq!(reply.outputs.len(), n * reply.k, "torn reply");
+                            assert_eq!(reply.k, *LAYERS.last().expect("layers"), "output width");
+                            t.ok += 1;
+                            t.max_iter = t.max_iter.max(reply.iter);
+                            let e = reply.epoch as usize;
+                            assert!(e < epochs, "epoch {e} beyond the plan");
+                            t.ok_by_epoch[e] += 1;
+                        }
+                        Ok(reply) => {
+                            assert_eq!(reply.status, SERVE_NO_SNAPSHOT, "unexpected status");
+                            t.no_snapshot += 1;
+                        }
+                        Err(_) => t.io_errors += 1,
+                    }
+                }
+                tallies.lock().expect("tally lock").push(t);
+            });
+        }
+        let result = train(&|| presets::mlp(&LAYERS, SEED), &data, None, &cfg);
+        let elapsed = start.elapsed();
+        final_loss = result.losses.last().copied().unwrap_or(f32::NAN);
+        stop.store(true, Ordering::Relaxed);
+        elapsed
+    });
+
+    let mut merged = Tally {
+        ok_by_epoch: vec![0; epochs],
+        ..Tally::default()
+    };
+    for t in tallies.into_inner().expect("tally lock") {
+        merged.requests += t.requests;
+        merged.ok += t.ok;
+        merged.no_snapshot += t.no_snapshot;
+        merged.io_errors += t.io_errors;
+        merged.max_iter = merged.max_iter.max(t.max_iter);
+        for (m, v) in merged.ok_by_epoch.iter_mut().zip(&t.ok_by_epoch) {
+            *m += v;
+        }
+    }
+    Measured {
+        tally: merged,
+        elapsed,
+        final_loss,
+    }
+}
+
+/// Pulls `"key": value` out of the baseline text (same tiny parser as the
+/// other bench binaries — the format has no other consumer).
+fn field(text: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let at = text.find(&pat)? + pat.len();
+    let rest = &text[at..];
+    let end = rest.find([',', '}', '\n'])?;
+    rest[..end].trim().parse().ok()
+}
+
+fn main() -> ExitCode {
+    let a = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let schedule =
+        MembershipSchedule::resolve(&a.plan, a.workers).expect("parse_args validated the plan");
+    let epochs = schedule.epochs();
+
+    // Liveness is the claim: every epoch must answer at least one request.
+    // Scheduler starvation on a loaded machine can blank a short window, so
+    // measure up to `--retries` times before calling it a failure.
+    let mut measured = run_once(&a, epochs);
+    for attempt in 1..a.retries {
+        if measured.tally.ok_by_epoch.iter().all(|&n| n > 0) {
+            break;
+        }
+        eprintln!(
+            "attempt {attempt}: an epoch served zero requests ({:?}); retrying",
+            measured.tally.ok_by_epoch
+        );
+        measured = run_once(&a, epochs);
+    }
+    let t = &measured.tally;
+    let secs = measured.elapsed.as_secs_f64().max(1e-9);
+    let requests_per_s = t.ok as f64 / secs;
+    let all_epochs_live = t.ok_by_epoch.iter().all(|&n| n > 0);
+    let pass = all_epochs_live && t.ok > 0;
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let by_epoch = t
+        .ok_by_epoch
+        .iter()
+        .map(|n| n.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    let json = format!(
+        "{{\n  \"bench\": \"serving\",\n  \"host\": {{\"cores\": {cores}}},\n  \"config\": {{\"workers\": {}, \"iters\": {}, \"plan\": \"{}\", \"clients\": {}, \"epochs\": {epochs}}},\n  \"results\": {{\n    \"requests_total\": {},\n    \"ok\": {},\n    \"no_snapshot\": {},\n    \"io_errors\": {},\n    \"elapsed_ms\": {:.2},\n    \"requests_per_s\": {requests_per_s:.2},\n    \"ok_by_epoch\": [{by_epoch}],\n    \"max_snapshot_iter\": {},\n    \"final_loss\": {:.6},\n    \"pass\": {pass}\n  }}\n}}\n",
+        a.workers,
+        a.iters,
+        a.plan,
+        a.clients,
+        t.requests,
+        t.ok,
+        t.no_snapshot,
+        t.io_errors,
+        measured.elapsed.as_secs_f64() * 1e3,
+        t.max_iter,
+        measured.final_loss,
+    );
+    print!("{json}");
+    if let Err(e) = std::fs::write(&a.out, &json) {
+        eprintln!("writing {}: {e}", a.out);
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {}", a.out);
+
+    if !pass {
+        eprintln!(
+            "serving_bench: FAIL — epochs served {:?} (every epoch must answer requests)",
+            t.ok_by_epoch
+        );
+        return ExitCode::FAILURE;
+    }
+    if let Some(path) = &a.check_against {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("reading baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match field(&text, "requests_per_s") {
+            Some(base) if base > 0.0 => {
+                let rel = requests_per_s / base;
+                println!("vs baseline: {base:.2} -> {requests_per_s:.2} req/s ({rel:.2}x)");
+                if rel < 0.25 {
+                    eprintln!(
+                        "serving_bench: FAIL — requests/s fell below a quarter of the baseline"
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+            _ => eprintln!("serving_bench: baseline has no requests_per_s; nothing gated"),
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -527,6 +527,14 @@ impl<T: Transport> Transport for FaultyTransport<T> {
         self.inner.recv_timeout(timeout)
     }
 
+    fn set_epoch(&self, epoch: u32) {
+        self.inner.set_epoch(epoch);
+    }
+
+    fn current_epoch(&self) -> u32 {
+        self.inner.current_epoch()
+    }
+
     fn shutdown(&mut self) -> Result<(), TransportError> {
         // Flush frames still held by unexpired delays (their release point
         // never came) so recoverable plans lose nothing at teardown.

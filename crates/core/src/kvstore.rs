@@ -190,6 +190,65 @@ impl ShardState {
             .map_or(0, |slots| slots.iter().filter(|s| s.is_some()).count())
     }
 
+    /// Every hosted pair's key in sorted order — the deterministic iteration
+    /// order for handoffs and checkpoints.
+    pub fn sorted_keys(&self) -> Vec<KvKey> {
+        let mut keys: Vec<KvKey> = self.params.keys().copied().collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// Exports one pair's full optimiser state `(params, velocity)` for an
+    /// elastic handoff or checkpoint. The velocity is empty when no round has
+    /// folded yet (the new owner starts it at zeros, exactly like this shard
+    /// would have).
+    pub fn export_pair(&self, key: KvKey) -> Option<(Vec<f32>, Vec<f32>)> {
+        let params = self.params.get(&key)?.clone();
+        let velocity = self.velocity.get(&key).cloned().unwrap_or_default();
+        Some((params, velocity))
+    }
+
+    /// Installs a pair exported by [`Self::export_pair`] — master copy plus
+    /// optimiser velocity (empty = never folded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pair already exists here, or on a velocity length
+    /// mismatch.
+    pub fn install_pair(&mut self, key: KvKey, params: Vec<f32>, velocity: Vec<f32>) {
+        assert!(
+            !self.params.contains_key(&key),
+            "KV pair {key:?} already hosted on this shard"
+        );
+        if !velocity.is_empty() {
+            assert_eq!(
+                velocity.len(),
+                params.len(),
+                "velocity length mismatch for {key:?}"
+            );
+            self.velocity.insert(key, velocity);
+        }
+        self.params.insert(key, params);
+    }
+
+    /// Drops a pair whose ownership moved to another shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pair is not hosted here or a BSP round is in flight for
+    /// it (handoffs happen only at quiesced iteration boundaries).
+    pub fn remove_pair(&mut self, key: KvKey) {
+        assert!(
+            self.pending.remove(&key).is_none(),
+            "KV pair {key:?} handed off mid-round"
+        );
+        assert!(
+            self.params.remove(&key).is_some(),
+            "KV pair {key:?} not hosted on this shard"
+        );
+        self.velocity.remove(&key);
+    }
+
     /// Applies one worker's gradient immediately (no update counting) and
     /// returns the fresh master copy — the bounded-asynchronous path
     /// (Section 3 notes Poseidon's design "can easily be applied to
@@ -295,6 +354,56 @@ mod tests {
             0,
             "round resets after broadcast"
         );
+    }
+
+    #[test]
+    fn pair_handoff_moves_optimizer_state_exactly() {
+        // Fold one momentum round on shard A, move the pair to shard B, and
+        // check the next round folds bitwise-identically to never moving.
+        let mut stay = ShardState::with_momentum(2, -0.5, 0.9);
+        stay.init_pair((0, 0), vec![1.0, 2.0]);
+        let mut a = ShardState::with_momentum(2, -0.5, 0.9);
+        a.init_pair((0, 0), vec![1.0, 2.0]);
+        for shard in [&mut stay, &mut a] {
+            shard.receive_grad(0, (0, 0), &[1.0, -1.0]);
+            shard.receive_grad(1, (0, 0), &[3.0, 0.5]);
+        }
+        let (params, velocity) = a.export_pair((0, 0)).unwrap();
+        a.remove_pair((0, 0));
+        assert_eq!(a.num_pairs(), 0);
+        assert!(a.export_pair((0, 0)).is_none());
+        let mut b = ShardState::with_momentum(2, -0.5, 0.9);
+        b.install_pair((0, 0), params, velocity);
+        for shard in [&mut stay, &mut b] {
+            shard.receive_grad(0, (0, 0), &[0.25, 4.0]);
+            shard.receive_grad(1, (0, 0), &[-2.0, 1.0]);
+        }
+        let bits = |s: &ShardState| -> Vec<u32> {
+            s.pair((0, 0))
+                .unwrap()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect()
+        };
+        assert_eq!(bits(&stay), bits(&b), "handoff changed the trajectory");
+    }
+
+    #[test]
+    fn sorted_keys_is_deterministic() {
+        let mut shard = ShardState::new(1, -1.0);
+        shard.init_pair((2, 0), vec![0.0]);
+        shard.init_pair((0, 1), vec![0.0]);
+        shard.init_pair((0, 0), vec![0.0]);
+        assert_eq!(shard.sorted_keys(), vec![(0, 0), (0, 1), (2, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "handed off mid-round")]
+    fn mid_round_handoff_panics() {
+        let mut shard = ShardState::new(2, -1.0);
+        shard.init_pair((0, 0), vec![0.0]);
+        shard.receive_grad(0, (0, 0), &[1.0]);
+        shard.remove_pair((0, 0));
     }
 
     #[test]

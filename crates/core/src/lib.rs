@@ -34,13 +34,17 @@
 //! [`kvstore`] (bulk-synchronous shard state machine), [`syncer`] (per-layer
 //! Send/Receive/Move), [`config`] (cluster and scheme configuration),
 //! [`faults`] (deterministic fault injection for chaos testing the comm
-//! plane), [`telemetry`] (structured tracing of the training path with
-//! Chrome-trace export), [`metrics`] (always-on live counters/histograms
-//! with Prometheus pull exposition), [`health`] (per-peer verdicts —
-//! straggler detection — over metrics snapshots), and [`stats`] (report
-//! formatting).
+//! plane), [`membership`] (elastic shard-ownership epochs and the scripted
+//! reconfiguration plan DSL), [`checkpoint`] (bitwise snapshot/restore of
+//! training state), [`serving`] (the live inference front door answering
+//! against snapshot-isolated parameter versions), [`telemetry`] (structured
+//! tracing of the training path with Chrome-trace export), [`metrics`]
+//! (always-on live counters/histograms with Prometheus pull exposition),
+//! [`health`] (per-peer verdicts — straggler detection — over metrics
+//! snapshots), and [`stats`] (report formatting).
 
 pub mod api;
+pub mod checkpoint;
 pub mod chunk;
 pub mod config;
 pub mod coordinator;
@@ -48,9 +52,11 @@ pub mod costmodel;
 pub mod faults;
 pub mod health;
 pub mod kvstore;
+pub mod membership;
 pub mod metrics;
 pub mod pool;
 pub mod runtime;
+pub mod serving;
 pub mod sim;
 pub mod stats;
 pub mod syncer;

@@ -1,0 +1,457 @@
+//! Elastic membership of the KV-shard plane.
+//!
+//! A [`MembershipPlan`] scripts shard reconfiguration on *logical* iteration
+//! boundaries — never wall-clock time — so an elastic run is exactly
+//! reproducible, the same way [`crate::faults::FaultPlan`] scripts failures.
+//! Every event takes effect at the *start* of its iteration: the epoch
+//! counter increments, KV-pair ownership is re-derived, and the departing /
+//! arriving shards exchange pair state over [`Message::Handoff`] frames
+//! before any gradient of the new epoch is served.
+//!
+//! Membership is *logical*: the transport mesh keeps all `2P` endpoints
+//! wired end-to-end, and events change which shard endpoint *owns* (serves)
+//! which KV pairs. A shard that leaves drains its segment, hands its pairs
+//! (parameters, optimizer velocity, reply-codec residual) to the shards that
+//! absorb them, and idles; a shard that joins receives pairs back. Because
+//! the aggregation arithmetic is unchanged — same gradients, same fold
+//! order, same scale — an elastic run is bitwise identical to the
+//! fixed-membership run at the same iteration count. That invariant is what
+//! the reconfiguration test harness proves.
+//!
+//! Ownership under epoch `e` is a pure function of the schedule:
+//! `owner(home, e) = home` while `home` is active, else
+//! `active[home % active.len()]` — the identity map under full membership,
+//! so a trivial plan leaves routing (and loop-back accounting) untouched.
+//!
+//! Plans have a compact text form for `poseidon-node --membership-plan`:
+//!
+//! ```text
+//! plan   := event (';' event)*
+//! event  := action ':' shard '@' iter
+//! action := 'join' | 'leave' | 'restart'
+//! ```
+//!
+//! `leave:1@2;join:1@4` takes shard 1 out of the ownership set at the start
+//! of iteration 2 and brings it back at the start of iteration 4. A shard
+//! whose *first* event is `join` starts inactive. `restart:0@3` marks a
+//! process-restart boundary before iteration 3 — restarts do not change
+//! ownership or epoch; they tell the run driver (the `poseidon-node`
+//! generation launcher, or a checkpoint/resume test) to checkpoint at that
+//! boundary and resume from it, bitwise.
+//!
+//! [`Message::Handoff`]: crate::transport::Message::Handoff
+
+use std::sync::Arc;
+
+/// What a membership event does to its shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MembershipAction {
+    /// The shard (re)enters the ownership set.
+    Join,
+    /// The shard drains, hands off its pairs, and leaves the ownership set.
+    Leave,
+    /// Process-restart marker: checkpoint before this iteration and resume.
+    /// No epoch or ownership change.
+    Restart,
+}
+
+impl std::fmt::Display for MembershipAction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MembershipAction::Join => write!(f, "join"),
+            MembershipAction::Leave => write!(f, "leave"),
+            MembershipAction::Restart => write!(f, "restart"),
+        }
+    }
+}
+
+/// One scripted membership event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MembershipEvent {
+    /// What happens.
+    pub action: MembershipAction,
+    /// The shard index (`0..P`, i.e. endpoint `P + shard`).
+    pub shard: usize,
+    /// The iteration at whose *start* the event takes effect (≥ 1).
+    pub iter: usize,
+}
+
+impl std::fmt::Display for MembershipEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}@{}", self.action, self.shard, self.iter)
+    }
+}
+
+/// A deterministic script of membership events.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MembershipPlan {
+    /// The scripted events, in text order.
+    pub events: Vec<MembershipEvent>,
+}
+
+impl MembershipPlan {
+    /// The empty plan: full membership throughout, epoch 0 forever.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Parses the compact text form (see module docs). Whitespace around
+    /// events is ignored; an empty string is the empty plan.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut events = Vec::new();
+        for raw in text.split(';') {
+            let spec = raw.trim();
+            if spec.is_empty() {
+                continue;
+            }
+            let (action_s, rest) = spec
+                .split_once(':')
+                .ok_or_else(|| format!("event `{spec}`: missing `:`"))?;
+            let action = match action_s.trim() {
+                "join" => MembershipAction::Join,
+                "leave" => MembershipAction::Leave,
+                "restart" => MembershipAction::Restart,
+                other => return Err(format!("event `{spec}`: unknown action `{other}`")),
+            };
+            let (shard_s, iter_s) = rest
+                .split_once('@')
+                .ok_or_else(|| format!("event `{spec}`: missing `@iter`"))?;
+            let shard: usize = shard_s
+                .trim()
+                .parse()
+                .map_err(|_| format!("event `{spec}`: bad shard `{shard_s}`"))?;
+            let iter: usize = iter_s
+                .trim()
+                .parse()
+                .map_err(|_| format!("event `{spec}`: bad iteration `{iter_s}`"))?;
+            events.push(MembershipEvent {
+                action,
+                shard,
+                iter,
+            });
+        }
+        Ok(Self { events })
+    }
+}
+
+impl std::fmt::Display for MembershipPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, ev) in self.events.iter().enumerate() {
+            if i > 0 {
+                write!(f, ";")?;
+            }
+            write!(f, "{ev}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The resolved, validated schedule every endpoint derives identically from
+/// `(plan, shards)` — epochs, per-epoch active sets, ownership, and restart
+/// boundaries. Immutable; share it as an `Arc`.
+#[derive(Debug)]
+pub struct MembershipSchedule {
+    shards: usize,
+    /// Iteration boundaries with join/leave events, ascending. Epoch `e`
+    /// spans `[boundary[e-1], boundary[e])` (epoch 0 starts at iteration 0).
+    boundaries: Vec<usize>,
+    /// Active shard set per epoch, ascending within each epoch.
+    active: Vec<Vec<usize>>,
+    /// Restart boundaries, ascending, deduplicated.
+    restarts: Vec<usize>,
+}
+
+impl MembershipSchedule {
+    /// Full membership of `shards` shards throughout — the schedule of the
+    /// empty plan.
+    pub fn trivial(shards: usize) -> Arc<Self> {
+        Self::resolve(&MembershipPlan::empty(), shards).expect("empty plan is always valid")
+    }
+
+    /// Resolves a plan against `shards` shards, checking every event is
+    /// legal: shards in range, iterations ≥ 1, leave only while active, join
+    /// only while inactive, and the active set never empties.
+    pub fn resolve(plan: &MembershipPlan, shards: usize) -> Result<Arc<Self>, String> {
+        assert!(shards > 0, "schedule needs at least one shard");
+        // A shard whose first event is Join starts inactive.
+        let mut is_active = vec![true; shards];
+        for ev in &plan.events {
+            if ev.shard >= shards {
+                return Err(format!("event `{ev}`: shard out of range (P = {shards})"));
+            }
+            if ev.iter == 0 {
+                return Err(format!(
+                    "event `{ev}`: events fire at iteration boundaries ≥ 1"
+                ));
+            }
+        }
+        for (s, active) in is_active.iter_mut().enumerate() {
+            if let Some(first) = plan.events.iter().find(|ev| {
+                ev.shard == s
+                    && matches!(ev.action, MembershipAction::Join | MembershipAction::Leave)
+            }) {
+                if first.action == MembershipAction::Join {
+                    *active = false;
+                }
+            }
+        }
+        if is_active.iter().all(|a| !a) {
+            return Err("initial active set is empty".into());
+        }
+
+        let mut boundaries: Vec<usize> = plan
+            .events
+            .iter()
+            .filter(|ev| ev.action != MembershipAction::Restart)
+            .map(|ev| ev.iter)
+            .collect();
+        boundaries.sort_unstable();
+        boundaries.dedup();
+
+        let snapshot =
+            |active: &[bool]| -> Vec<usize> { (0..shards).filter(|&s| active[s]).collect() };
+        let mut active = vec![snapshot(&is_active)];
+        for &b in &boundaries {
+            for ev in plan.events.iter().filter(|ev| ev.iter == b) {
+                match ev.action {
+                    MembershipAction::Join => {
+                        if is_active[ev.shard] {
+                            return Err(format!("event `{ev}`: shard already active"));
+                        }
+                        is_active[ev.shard] = true;
+                    }
+                    MembershipAction::Leave => {
+                        if !is_active[ev.shard] {
+                            return Err(format!("event `{ev}`: shard already inactive"));
+                        }
+                        is_active[ev.shard] = false;
+                    }
+                    MembershipAction::Restart => {}
+                }
+            }
+            let snap = snapshot(&is_active);
+            if snap.is_empty() {
+                return Err(format!("iteration {b}: active set empties"));
+            }
+            active.push(snap);
+        }
+
+        let mut restarts: Vec<usize> = plan
+            .events
+            .iter()
+            .filter(|ev| ev.action == MembershipAction::Restart)
+            .map(|ev| ev.iter)
+            .collect();
+        restarts.sort_unstable();
+        restarts.dedup();
+
+        Ok(Arc::new(Self {
+            shards,
+            boundaries,
+            active,
+            restarts,
+        }))
+    }
+
+    /// Number of shards the schedule is resolved over.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// `true` iff this is the full-membership schedule (no join/leave
+    /// events): routing and serving take the exact pre-elastic paths.
+    pub fn is_trivial(&self) -> bool {
+        self.boundaries.is_empty()
+    }
+
+    /// Number of epochs (`boundaries + 1`).
+    pub fn epochs(&self) -> usize {
+        self.boundaries.len() + 1
+    }
+
+    /// The epoch in force at iteration `iter`: the number of boundaries
+    /// ≤ `iter`.
+    pub fn epoch_at(&self, iter: usize) -> u32 {
+        self.boundaries.partition_point(|&b| b <= iter) as u32
+    }
+
+    /// The iteration boundaries with membership events, ascending.
+    pub fn boundaries(&self) -> &[usize] {
+        &self.boundaries
+    }
+
+    /// The first iteration of epoch `e` (0 for epoch 0).
+    pub fn epoch_start(&self, epoch: u32) -> usize {
+        if epoch == 0 {
+            0
+        } else {
+            self.boundaries[epoch as usize - 1]
+        }
+    }
+
+    /// The active shard set under epoch `e`, ascending.
+    pub fn active(&self, epoch: u32) -> &[usize] {
+        &self.active[epoch as usize]
+    }
+
+    /// Whether `shard` is active under epoch `e`.
+    pub fn is_active(&self, shard: usize, epoch: u32) -> bool {
+        self.active(epoch).binary_search(&shard).is_ok()
+    }
+
+    /// The shard serving home shard `home`'s pairs under epoch `e`: `home`
+    /// itself while active, else a deterministic fallback. The identity map
+    /// under full membership.
+    pub fn owner(&self, home: usize, epoch: u32) -> usize {
+        assert!(home < self.shards, "home shard out of range");
+        let active = self.active(epoch);
+        if active.binary_search(&home).is_ok() {
+            home
+        } else {
+            active[home % active.len()]
+        }
+    }
+
+    /// Restart boundaries (iterations to checkpoint before), ascending.
+    pub fn restarts(&self) -> &[usize] {
+        &self.restarts
+    }
+
+    /// Home shards whose serving moves *from* `shard` at the transition into
+    /// `epoch` (`shard` owned them under `epoch - 1`, someone else owns them
+    /// now), paired with the new owner.
+    pub fn handoffs_out(&self, shard: usize, epoch: u32) -> Vec<(usize, usize)> {
+        assert!(epoch > 0, "epoch 0 has no predecessor");
+        (0..self.shards)
+            .filter_map(|home| {
+                let before = self.owner(home, epoch - 1);
+                let after = self.owner(home, epoch);
+                (before == shard && after != shard).then_some((home, after))
+            })
+            .collect()
+    }
+
+    /// Home shards whose serving moves *to* `shard` at the transition into
+    /// `epoch`, paired with the previous owner.
+    pub fn handoffs_in(&self, shard: usize, epoch: u32) -> Vec<(usize, usize)> {
+        assert!(epoch > 0, "epoch 0 has no predecessor");
+        (0..self.shards)
+            .filter_map(|home| {
+                let before = self.owner(home, epoch - 1);
+                let after = self.owner(home, epoch);
+                (after == shard && before != shard).then_some((home, before))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_identity_forever() {
+        let s = MembershipSchedule::trivial(3);
+        assert!(s.is_trivial());
+        assert_eq!(s.epochs(), 1);
+        for iter in 0..10 {
+            assert_eq!(s.epoch_at(iter), 0);
+        }
+        for home in 0..3 {
+            assert_eq!(s.owner(home, 0), home);
+        }
+        assert_eq!(s.active(0), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn parse_display_roundtrip() {
+        let text = "leave:1@2;join:1@4;restart:0@3";
+        let plan = MembershipPlan::parse(text).unwrap();
+        assert_eq!(plan.events.len(), 3);
+        assert_eq!(plan.to_string(), text);
+        assert_eq!(MembershipPlan::parse(&plan.to_string()).unwrap(), plan);
+        assert_eq!(
+            MembershipPlan::parse("  ").unwrap(),
+            MembershipPlan::empty()
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in ["leave1@2", "leave:x@2", "leave:1@x", "evict:1@2", "leave:1"] {
+            assert!(MembershipPlan::parse(bad).is_err(), "accepted `{bad}`");
+        }
+    }
+
+    #[test]
+    fn leave_and_rejoin_moves_ownership_and_back() {
+        let plan = MembershipPlan::parse("leave:1@2;join:1@4").unwrap();
+        let s = MembershipSchedule::resolve(&plan, 2).unwrap();
+        assert_eq!(s.epochs(), 3);
+        assert_eq!(s.boundaries(), &[2, 4]);
+        assert_eq!(s.epoch_at(0), 0);
+        assert_eq!(s.epoch_at(1), 0);
+        assert_eq!(s.epoch_at(2), 1);
+        assert_eq!(s.epoch_at(3), 1);
+        assert_eq!(s.epoch_at(4), 2);
+        assert_eq!(s.active(1), &[0]);
+        assert_eq!(s.owner(1, 0), 1);
+        assert_eq!(s.owner(1, 1), 0, "shard 0 absorbs shard 1's pairs");
+        assert_eq!(s.owner(1, 2), 1, "rejoin restores ownership");
+        assert_eq!(s.handoffs_out(1, 1), vec![(1, 0)]);
+        assert_eq!(s.handoffs_in(0, 1), vec![(1, 1)]);
+        assert_eq!(s.handoffs_out(0, 2), vec![(1, 1)]);
+        assert_eq!(s.handoffs_in(1, 2), vec![(1, 0)]);
+    }
+
+    #[test]
+    fn first_event_join_means_initially_inactive() {
+        let plan = MembershipPlan::parse("join:2@3").unwrap();
+        let s = MembershipSchedule::resolve(&plan, 3).unwrap();
+        assert_eq!(s.active(0), &[0, 1]);
+        assert!(!s.is_active(2, 0));
+        assert_eq!(
+            s.owner(2, 0),
+            2 % 2,
+            "inactive home falls back deterministically"
+        );
+        assert_eq!(s.active(1), &[0, 1, 2]);
+        assert_eq!(s.owner(2, 1), 2);
+    }
+
+    #[test]
+    fn restarts_do_not_bump_epochs() {
+        let plan = MembershipPlan::parse("restart:0@3;leave:1@5").unwrap();
+        let s = MembershipSchedule::resolve(&plan, 2).unwrap();
+        assert_eq!(s.epochs(), 2);
+        assert_eq!(s.boundaries(), &[5]);
+        assert_eq!(s.restarts(), &[3]);
+        assert_eq!(s.epoch_at(3), 0);
+    }
+
+    #[test]
+    fn illegal_plans_are_rejected() {
+        for (bad, shards) in [
+            ("leave:5@2", 2),           // shard out of range
+            ("leave:0@0", 2),           // iteration 0
+            ("leave:0@2;leave:0@3", 2), // double leave
+            ("leave:0@2;leave:1@2", 2), // active set empties
+            ("join:0@2", 1),            // initially empty active set
+        ] {
+            let plan = MembershipPlan::parse(bad).unwrap();
+            assert!(
+                MembershipSchedule::resolve(&plan, shards).is_err(),
+                "accepted `{bad}` over {shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn epoch_starts_tile_the_run() {
+        let plan = MembershipPlan::parse("leave:1@2;join:1@4").unwrap();
+        let s = MembershipSchedule::resolve(&plan, 2).unwrap();
+        assert_eq!(s.epoch_start(0), 0);
+        assert_eq!(s.epoch_start(1), 2);
+        assert_eq!(s.epoch_start(2), 4);
+    }
+}

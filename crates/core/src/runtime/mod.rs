@@ -25,9 +25,10 @@ mod worker;
 
 pub use crate::wire::LAYER_GRANULAR_CHUNK;
 pub use clock::SspClock;
-pub use node::{flatten_model_params, run_endpoint, NodeOutcome};
+pub use node::{flatten_model_params, install_model_params, run_endpoint, NodeOutcome};
 pub use worker::evaluate_error;
 
+use crate::chunk::Chunk;
 use crate::config::{
     ClusterConfig, Codec, CodecPolicy, CommScheme, ComputeConfig, Consistency, Partition,
     SchemePolicy,
@@ -225,6 +226,25 @@ pub struct RuntimeConfig {
     /// distributions recorded run-locally, so it works with the global
     /// metrics gate off and never perturbs numerics.
     pub health: crate::health::HealthConfig,
+    /// Scripted elastic-membership plan (shard joins/leaves/restarts at
+    /// logical iterations). Empty = fixed membership. Non-trivial plans
+    /// require BSP and exclude layer-granular (AdamSf) shards; workers are
+    /// never elastic (the mesh stays `2P` endpoints), only KV ownership
+    /// moves, so the elastic run is bitwise-identical to the fixed one.
+    pub membership: crate::membership::MembershipPlan,
+    /// First absolute iteration of this run segment. Non-zero requires
+    /// [`RuntimeConfig::resume`] — parameters and optimizer state must come
+    /// from the checkpoint for the segmented run to continue bitwise.
+    pub start_iter: usize,
+    /// Training state exported by a previous segment's `export_state` run.
+    pub resume: Option<crate::checkpoint::TrainingCheckpoint>,
+    /// Export the full training state (worker replicas + syncer stream
+    /// state + shard masters) into [`TrainResult::checkpoint`].
+    pub export_state: bool,
+    /// Publish worker 0's parameters after every iteration into this cell —
+    /// the serving front door ([`crate::serving`]) answers against it under
+    /// snapshot isolation while training continues.
+    pub serve_snapshots: Option<Arc<crate::serving::SnapshotCell>>,
 }
 
 impl RuntimeConfig {
@@ -254,6 +274,11 @@ impl RuntimeConfig {
             telemetry: TelemetryConfig::default(),
             faults: FaultConfig::default(),
             health: Default::default(),
+            membership: crate::membership::MembershipPlan::empty(),
+            start_iter: 0,
+            resume: None,
+            export_state: false,
+            serve_snapshots: None,
         }
     }
 }
@@ -291,6 +316,11 @@ pub struct TrainResult<M: Model> {
     /// against the mesh median with
     /// [`HealthConfig::straggler_factor`](crate::health::HealthConfig).
     pub health: crate::health::HealthReport,
+    /// Full training state at `start_iter + iterations`, when
+    /// [`RuntimeConfig::export_state`] was set (`None` otherwise). Feed it
+    /// to a later segment's [`RuntimeConfig::resume`] to continue the run
+    /// bitwise-identically.
+    pub checkpoint: Option<crate::checkpoint::TrainingCheckpoint>,
 }
 
 /// How many slices a blocking receive's `comm_timeout` budget is cut into.
@@ -350,6 +380,8 @@ pub(crate) struct RunPlan {
     pub codecs: Vec<(usize, Codec)>,
     pub plans: Vec<ServerPlan>,
     pub update_scale: f32,
+    /// The resolved membership schedule every participant routes by.
+    pub schedule: Arc<crate::membership::MembershipSchedule>,
 }
 
 /// Builds the shared run plan deterministically from the reference replica.
@@ -361,9 +393,21 @@ pub(crate) fn build_run_plan<M: Model>(reference: &M, cfg: &RuntimeConfig, ssp: 
     let schemes = coordinator.scheme_assignment();
     let codecs = coordinator.codec_assignment();
     let update_scale = -cfg.learning_rate / p as f32;
+    let schedule = crate::membership::MembershipSchedule::resolve(&cfg.membership, p)
+        .unwrap_or_else(|e| panic!("invalid membership plan: {e}"));
+    if !schedule.is_trivial() {
+        assert!(!ssp, "elastic membership requires BSP");
+    }
+    assert!(
+        cfg.start_iter == 0 || cfg.resume.is_some(),
+        "a mid-run segment (start_iter > 0) must resume from a checkpoint"
+    );
+    if cfg.start_iter > 0 || cfg.resume.is_some() || cfg.export_state {
+        assert!(!ssp, "checkpoint/restore requires BSP");
+    }
 
     let mut plans: Vec<ServerPlan> = (0..p)
-        .map(|_| ServerPlan {
+        .map(|shard| ServerPlan {
             ps_chunks: Vec::new(),
             layer_granular: Vec::new(),
             init_values: Vec::new(),
@@ -374,6 +418,13 @@ pub(crate) fn build_run_plan<M: Model>(reference: &M, cfg: &RuntimeConfig, ssp: 
             iterations: cfg.iterations,
             ssp,
             comm_timeout: cfg.comm_timeout,
+            me_shard: shard,
+            schedule: Arc::clone(&schedule),
+            start_iter: cfg.start_iter,
+            all_chunks: Vec::new(),
+            all_init: Vec::new(),
+            restore: None,
+            export_state: cfg.export_state,
         })
         .collect();
     for &(l, scheme) in &schemes {
@@ -431,12 +482,45 @@ pub(crate) fn build_run_plan<M: Model>(reference: &M, cfg: &RuntimeConfig, ssp: 
         plan.init_values = ordered;
     }
 
+    // Elastic membership: every shard must know the full ownership universe
+    // (every PS chunk and its deterministic initial value) — a shard that is
+    // inactive at epoch 0 owns nothing, so its home pairs are initialised by
+    // whoever owns them.
+    if !schedule.is_trivial() {
+        assert!(
+            plans.iter().all(|plan| plan.layer_granular.is_empty()),
+            "elastic membership does not support layer-granular (AdamSf) shards"
+        );
+        let mut all_chunks: Vec<(u32, Chunk, Codec)> = Vec::new();
+        for plan in &plans {
+            all_chunks.extend(plan.ps_chunks.iter().copied());
+        }
+        all_chunks.sort_unstable_by_key(|&(idx, chunk, _)| (chunk.layer, idx));
+        let all_init: Vec<Vec<f32>> = all_chunks
+            .iter()
+            .map(|&(_, chunk, _)| {
+                let flat = syncer::flatten_params(
+                    reference
+                        .slot(chunk.layer)
+                        .and_then(|l| l.params())
+                        .expect("trainable layer"),
+                );
+                flat[chunk.offset..chunk.offset + chunk.len].to_vec()
+            })
+            .collect();
+        for plan in &mut plans {
+            plan.all_chunks = all_chunks.clone();
+            plan.all_init = all_init.clone();
+        }
+    }
+
     RunPlan {
         coordinator,
         schemes,
         codecs,
         plans,
         update_scale,
+        schedule,
     }
 }
 
@@ -447,6 +531,8 @@ fn worker_config(
     update_scale: f32,
     ssp: Option<u64>,
     compute_threads: usize,
+    schedule: &Arc<crate::membership::MembershipSchedule>,
+    restore: Option<crate::checkpoint::WorkerCheckpoint>,
 ) -> WorkerConfig {
     WorkerConfig {
         me: w,
@@ -464,6 +550,15 @@ fn worker_config(
         jitter_us: cfg.jitter_us,
         compute_threads,
         comm_timeout: cfg.comm_timeout,
+        start_iter: cfg.start_iter,
+        schedule: Arc::clone(schedule),
+        restore,
+        export_state: cfg.export_state,
+        snapshots: if w == 0 {
+            cfg.serve_snapshots.clone()
+        } else {
+            None
+        },
     }
 }
 
@@ -497,6 +592,7 @@ pub fn train<M: Model>(
     let coordinator = plan.coordinator;
     let schemes = plan.schemes;
     let codecs = plan.codecs;
+    let schedule = plan.schedule;
 
     // Endpoints 0..P are workers on nodes 0..P; endpoints P..2P are shards
     // colocated on the same nodes.
@@ -506,7 +602,7 @@ pub fn train<M: Model>(
     let shards = data.partition(p);
     let compute_threads = cfg.compute.threads_per_worker(p);
 
-    let (worker_outputs, fault_report) = if cfg.faults.active() {
+    let (worker_outputs, shard_outputs, fault_report) = if cfg.faults.active() {
         // Chaos plane on: every endpoint becomes Reliable(Faulty(channel)).
         // The fault layer breaks originals on the way out; the reliability
         // layer above it (whose retransmits pass the fault layer unfaulted)
@@ -525,12 +621,13 @@ pub fn train<M: Model>(
                 reliable
             })
             .collect();
-        let outputs = run_fabric(
+        let (outputs, shard_outs) = run_fabric(
             net_factory,
             cfg,
             &coordinator,
             plan.plans,
             plan.update_scale,
+            &schedule,
             shards,
             eval,
             ssp,
@@ -556,14 +653,15 @@ pub fn train<M: Model>(
             report.probes_sent += s.probes_sent.load(Relaxed);
             report.reorders_stashed += s.reorders_stashed.load(Relaxed);
         }
-        (outputs, Some(report))
+        (outputs, shard_outs, Some(report))
     } else {
-        let outputs = run_fabric(
+        let (outputs, shard_outs) = run_fabric(
             net_factory,
             cfg,
             &coordinator,
             plan.plans,
             plan.update_scale,
+            &schedule,
             shards,
             eval,
             ssp,
@@ -571,7 +669,7 @@ pub fn train<M: Model>(
             compute_threads,
             endpoints,
         );
-        (outputs, None)
+        (outputs, shard_outs, None)
     };
 
     // Workers and shards are joined, so every recording thread has flushed;
@@ -599,6 +697,27 @@ pub fn train<M: Model>(
         .map(|i| outputs.iter().map(|o| o.losses[i]).sum::<f32>() / p as f32)
         .collect();
     let mut outputs = outputs;
+    // Assemble the full-mesh checkpoint before worker 0's output is consumed.
+    let checkpoint = cfg
+        .export_state
+        .then(|| crate::checkpoint::TrainingCheckpoint {
+            next_iter: (cfg.start_iter + cfg.iterations) as u64,
+            workers: outputs
+                .iter_mut()
+                .map(|o| {
+                    o.checkpoint
+                        .take()
+                        .expect("export_state run yields worker checkpoints")
+                })
+                .collect(),
+            shards: shard_outputs
+                .into_iter()
+                .map(|o| {
+                    o.checkpoint
+                        .expect("export_state run yields shard checkpoints")
+                })
+                .collect(),
+        });
     let first = outputs.remove(0);
 
     TrainResult {
@@ -613,6 +732,7 @@ pub fn train<M: Model>(
         trace,
         fault_report,
         health,
+        checkpoint,
     }
 }
 
@@ -625,20 +745,42 @@ fn run_fabric<M: Model, T: Transport + Send>(
     net_factory: &(dyn Fn() -> M + Sync),
     cfg: &RuntimeConfig,
     coordinator: &Coordinator,
-    server_plans: Vec<ServerPlan>,
+    mut server_plans: Vec<ServerPlan>,
     update_scale: f32,
+    schedule: &Arc<crate::membership::MembershipSchedule>,
     shards: Vec<Dataset>,
     eval: Option<&Dataset>,
     ssp: Option<u64>,
     clock: &Arc<clock::SspClock>,
     compute_threads: usize,
     mut endpoints: Vec<T>,
-) -> Vec<WorkerOutput<M>> {
+) -> (Vec<WorkerOutput<M>>, Vec<server::ShardOutput>) {
     let p = cfg.workers;
     let shard_endpoints: Vec<T> = endpoints.split_off(p);
     let worker_endpoints = endpoints;
     let mut worker_outputs: Vec<Option<WorkerOutput<M>>> = (0..p).map(|_| None).collect();
 
+    // Split the resume checkpoint into per-endpoint slices.
+    let mut resume_workers: Vec<Option<crate::checkpoint::WorkerCheckpoint>> =
+        (0..p).map(|_| None).collect();
+    if let Some(ck) = cfg.resume.clone() {
+        assert_eq!(
+            ck.next_iter, cfg.start_iter as u64,
+            "resume checkpoint was taken at a different iteration than this segment starts"
+        );
+        for w in ck.workers {
+            let id = w.worker as usize;
+            assert!(id < p, "resume checkpoint names worker {id} of {p}");
+            resume_workers[id] = Some(w);
+        }
+        for s in ck.shards {
+            let id = s.shard as usize;
+            assert!(id < p, "resume checkpoint names shard {id} of {p}");
+            server_plans[id].restore = Some(s);
+        }
+    }
+
+    let mut shard_outputs: Vec<Option<server::ShardOutput>> = (0..p).map(|_| None).collect();
     std::thread::scope(|scope| {
         let mut server_handles = Vec::new();
         for (sp, endpoint) in server_plans.into_iter().zip(shard_endpoints) {
@@ -647,7 +789,15 @@ fn run_fabric<M: Model, T: Transport + Send>(
         let mut worker_handles = Vec::new();
         for (w, (shard, endpoint)) in shards.into_iter().zip(worker_endpoints).enumerate() {
             let eval_set = if w == 0 { eval.cloned() } else { None };
-            let wc = worker_config(cfg, w, update_scale, ssp, compute_threads);
+            let wc = worker_config(
+                cfg,
+                w,
+                update_scale,
+                ssp,
+                compute_threads,
+                schedule,
+                resume_workers[w].take(),
+            );
             let clock = Arc::clone(clock);
             worker_handles.push(scope.spawn(move || {
                 worker::run_worker(
@@ -664,15 +814,21 @@ fn run_fabric<M: Model, T: Transport + Send>(
         for (w, h) in worker_handles.into_iter().enumerate() {
             worker_outputs[w] = Some(h.join().expect("worker thread panicked"));
         }
-        for h in server_handles {
-            h.join().expect("server thread panicked");
+        for (s, h) in server_handles.into_iter().enumerate() {
+            shard_outputs[s] = Some(h.join().expect("server thread panicked"));
         }
     });
 
-    worker_outputs
-        .into_iter()
-        .map(|o| o.expect("joined"))
-        .collect()
+    (
+        worker_outputs
+            .into_iter()
+            .map(|o| o.expect("joined"))
+            .collect(),
+        shard_outputs
+            .into_iter()
+            .map(|o| o.expect("joined"))
+            .collect(),
+    )
 }
 
 #[cfg(test)]
@@ -931,6 +1087,13 @@ mod tests {
             iterations: 1,
             ssp: false,
             comm_timeout: Duration::from_secs(10),
+            me_shard: 0,
+            schedule: crate::membership::MembershipSchedule::trivial(1),
+            start_iter: 0,
+            all_chunks: Vec::new(),
+            all_init: Vec::new(),
+            restore: None,
+            export_state: false,
         };
         let before = poisoned_frames();
         std::thread::scope(|scope| {

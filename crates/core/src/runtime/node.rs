@@ -35,9 +35,14 @@ pub enum NodeOutcome<M: Model> {
         /// This worker's per-iteration busy-time p50 (ns), for mesh-level
         /// straggler detection by the launcher (see [`crate::health`]).
         busy_p50_ns: u64,
+        /// Full worker state (`export_state` runs only).
+        checkpoint: Option<crate::checkpoint::WorkerCheckpoint>,
     },
-    /// A KV shard endpoint (servers hold no reportable state once done).
-    Server,
+    /// A KV shard endpoint.
+    Server {
+        /// Full shard state (`export_state` runs only).
+        checkpoint: Option<crate::checkpoint::ShardCheckpoint>,
+    },
 }
 
 /// Runs the single worker or shard owning `endpoint` to completion.
@@ -82,18 +87,49 @@ pub fn run_endpoint<M: Model, T: Transport>(
         telemetry::set_process(me as u32, format!("poseidon-node e{me} ({role})"));
     }
 
+    // Per-process resume: each endpoint takes only its own slice of the
+    // checkpoint (the launcher passes every process the same file).
+    let (worker_restore, shard_restore) = match cfg.resume.as_ref() {
+        Some(ck) if me < p => (
+            Some(
+                ck.workers
+                    .iter()
+                    .find(|w| w.worker as usize == me)
+                    .cloned()
+                    .unwrap_or_else(|| panic!("checkpoint has no state for worker {me}")),
+            ),
+            None,
+        ),
+        Some(ck) => (
+            None,
+            Some(
+                ck.shards
+                    .iter()
+                    .find(|s| s.shard as usize == me - p)
+                    .cloned()
+                    .unwrap_or_else(|| panic!("checkpoint has no state for shard {}", me - p)),
+            ),
+        ),
+        None => (None, None),
+    };
+
     if me < p {
         // Worker role: train on shard `me` of the same deterministic
         // partition every participant computes.
         let shard = data.partition(p).swap_remove(me);
         let eval_set = if me == 0 { eval.cloned() } else { None };
-        let wc = worker_config(
+        let mut wc = worker_config(
             cfg,
             me,
             plan.update_scale,
             None,
             cfg.compute.threads_per_worker(p),
+            &plan.schedule,
+            worker_restore,
         );
+        // In the per-process runtime every worker endpoint may serve (the
+        // caller decides by wiring a cell), not just worker 0.
+        wc.snapshots = cfg.serve_snapshots.clone();
         // BSP never consults the clock; a private one satisfies the worker.
         let clock = Arc::new(SspClock::new(p));
         let out = worker::run_worker(
@@ -110,11 +146,15 @@ pub fn run_endpoint<M: Model, T: Transport>(
             test_errors: out.test_errors,
             net: out.net,
             busy_p50_ns: out.busy.quantile(0.5),
+            checkpoint: out.checkpoint,
         }
     } else {
-        let sp = plan.plans.into_iter().nth(me - p).expect("shard plan");
-        server::run_server(sp, endpoint);
-        NodeOutcome::Server
+        let mut sp = plan.plans.into_iter().nth(me - p).expect("shard plan");
+        sp.restore = shard_restore;
+        let out = server::run_server(sp, endpoint);
+        NodeOutcome::Server {
+            checkpoint: out.checkpoint,
+        }
     }
 }
 
@@ -129,4 +169,25 @@ pub fn flatten_model_params<M: Model>(net: &M) -> Vec<f32> {
         }
     }
     flat
+}
+
+/// Inverse of [`flatten_model_params`]: writes a canonical flat back into a
+/// structurally identical model (the serving front door reconstructs a
+/// replica from a published [`Snapshot`](crate::serving::Snapshot) this way).
+///
+/// # Panics
+///
+/// Panics when `flat` does not exactly cover the model's trainable
+/// parameters.
+pub fn install_model_params<M: Model>(net: &mut M, flat: &[f32]) {
+    let mut off = 0;
+    for slot in 0..net.num_slots() {
+        if let Some(params) = net.slot_mut(slot).and_then(|l| l.params_mut()) {
+            let n = params.num_params();
+            assert!(off + n <= flat.len(), "flat parameter vector too short");
+            syncer::write_params_flat(params, &flat[off..off + n]);
+            off += n;
+        }
+    }
+    assert_eq!(off, flat.len(), "flat parameter vector too long");
 }

@@ -15,10 +15,13 @@
 //! payload fails codec decode is poisoned: counted, diagnosed and dropped,
 //! never a process abort at the decode site.
 
+use crate::checkpoint::{LayerCheckpoint, WorkerCheckpoint};
 use crate::chunk::Chunk;
 use crate::config::CommScheme;
 use crate::coordinator::Coordinator;
+use crate::membership::MembershipSchedule;
 use crate::metrics;
+use crate::serving::{Snapshot, SnapshotCell};
 use crate::syncer::{self, SyncOutcome, Syncer};
 use crate::telemetry;
 use crate::transport::{Message, Transport, TransportError};
@@ -29,6 +32,7 @@ use poseidon_nn::Model;
 use poseidon_tensor::bytesio;
 use std::collections::HashMap;
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// What one worker reports back.
 pub(crate) struct WorkerOutput<M: Model> {
@@ -46,6 +50,8 @@ pub(crate) struct WorkerOutput<M: Model> {
     /// private histogram so the verdict is independent of the global
     /// metrics gate.
     pub busy: metrics::HistogramSnapshot,
+    /// Full training state at the end of the run (`export_state` runs only).
+    pub checkpoint: Option<WorkerCheckpoint>,
 }
 
 /// Per-worker configuration slice.
@@ -68,6 +74,18 @@ pub(crate) struct WorkerConfig {
     pub compute_threads: usize,
     /// Transport receive timeout before declaring a peer lost.
     pub comm_timeout: std::time::Duration,
+    /// First absolute iteration of this run segment (checkpoint resume).
+    pub start_iter: usize,
+    /// Membership schedule shared by the whole mesh: iteration → epoch and
+    /// epoch → shard-ownership map. Trivial for fixed-membership runs.
+    pub schedule: Arc<MembershipSchedule>,
+    /// Restore worker state exported by a previous segment.
+    pub restore: Option<WorkerCheckpoint>,
+    /// Export a [`WorkerCheckpoint`] at the end of the run.
+    pub export_state: bool,
+    /// Publish a parameter [`Snapshot`] after every iteration (the serving
+    /// front door reads these; worker 0 only, by caller convention).
+    pub snapshots: Option<Arc<SnapshotCell>>,
 }
 
 /// Sends or panics with enough context to name the broken link.
@@ -79,7 +97,7 @@ fn must_send<T: Transport>(endpoint: &T, me: usize, to: usize, msg: Message) {
 
 /// Runs one worker to completion.
 pub(crate) fn run_worker<M: Model, T: Transport>(
-    cfg: WorkerConfig,
+    mut cfg: WorkerConfig,
     coordinator: &Coordinator,
     mut net: M,
     data: Dataset,
@@ -110,6 +128,46 @@ pub(crate) fn run_worker<M: Model, T: Transport>(
         );
     }
     let num_syncers = syncers.len();
+
+    // Resume: overwrite the fresh replica with the checkpointed one —
+    // params, SFB velocity, and every syncer's lossy-codec stream state —
+    // so the segmented run is bitwise-identical to an uninterrupted one.
+    if let Some(ck) = cfg.restore.take() {
+        assert_eq!(
+            ck.worker, cfg.me as u32,
+            "checkpoint belongs to another worker"
+        );
+        assert_eq!(
+            ck.next_iter, cfg.start_iter as u64,
+            "checkpoint resumes at a different iteration than this segment starts"
+        );
+        assert_eq!(
+            ck.layers.len(),
+            num_syncers,
+            "checkpoint layer set does not match the model"
+        );
+        for lc in ck.layers {
+            let l = lc.layer as usize;
+            let params = net
+                .slot_mut(l)
+                .and_then(|x| x.params_mut())
+                .expect("checkpointed layer is trainable");
+            syncer::write_params_flat(params, &lc.params);
+            if let Some((rows, cols, vw, vb)) = lc.sf_velocity {
+                sf_velocity.insert(
+                    l,
+                    (
+                        poseidon_tensor::Matrix::from_vec(rows as usize, cols as usize, vw),
+                        vb,
+                    ),
+                );
+            }
+            syncers
+                .get_mut(&l)
+                .expect("checkpointed layer has a syncer")
+                .import_state(lc.syncer);
+        }
+    }
 
     // Metrics handles resolved once per worker, so recording inside the
     // loop never touches the registry mutex. The busy histogram is also
@@ -147,8 +205,18 @@ pub(crate) fn run_worker<M: Model, T: Transport>(
     // one iteration ahead of us).
     let mut stashed: VecDeque<(usize, Message)> = VecDeque::new();
 
-    for iter in 0..cfg.iterations {
+    let m_epoch = metrics::gauge("poseidon_membership_epoch", &[]);
+    for iter in cfg.start_iter..cfg.start_iter + cfg.iterations {
         let _iter_span = telemetry::span("iter", cfg.me as u64, iter as u64);
+        // Membership epoch for this iteration: bump the transport stamp at
+        // the boundary so everything sent from here on carries the new
+        // epoch, and anything still addressed to the old ownership map is
+        // recognisably stale.
+        let epoch = cfg.schedule.epoch_at(iter);
+        if endpoint.current_epoch() != epoch {
+            endpoint.set_epoch(epoch);
+            m_epoch.set(epoch as u64);
+        }
         if let Some(staleness) = cfg.ssp_staleness {
             clock.wait_until_allowed(cfg.me, iter as u64, staleness);
         }
@@ -188,7 +256,7 @@ pub(crate) fn run_worker<M: Model, T: Transport>(
                         must_send(
                             &endpoint,
                             cfg.me,
-                            workers + chunk.shard,
+                            workers + cfg.schedule.owner(chunk.shard, epoch),
                             Message::GradChunk {
                                 iter: iter as u64,
                                 layer: l as u32,
@@ -224,7 +292,7 @@ pub(crate) fn run_worker<M: Model, T: Transport>(
                     let batch = layer
                         .sufficient_factors()
                         .expect("Adam requires sufficient factors");
-                    let owner = l % workers;
+                    let owner = cfg.schedule.owner(l % workers, epoch);
                     must_send(
                         &endpoint,
                         cfg.me,
@@ -318,6 +386,11 @@ pub(crate) fn run_worker<M: Model, T: Transport>(
                 | Message::SfPush { layer, .. }
                 | Message::ParamMatrix { layer, .. }
                 | Message::Collective { layer, .. } => *layer as usize,
+                Message::Handoff { .. } => {
+                    // Shard-to-shard state transfer; a worker is never a
+                    // handoff destination. Arriving here means a routing bug.
+                    panic!("worker {} received a shard handoff frame", cfg.me)
+                }
                 Message::Ack { .. } | Message::Nack { .. } => {
                     unreachable!("control frames are filtered before dispatch")
                 }
@@ -387,6 +460,9 @@ pub(crate) fn run_worker<M: Model, T: Transport>(
                 Message::GradChunk { .. } => {
                     panic!("worker {} received an unexpected gradient chunk", cfg.me)
                 }
+                Message::Handoff { .. } => {
+                    unreachable!("handoff frames are rejected before dispatch")
+                }
                 Message::Ack { .. } | Message::Nack { .. } => {
                     unreachable!("control frames are filtered before dispatch")
                 }
@@ -446,6 +522,17 @@ pub(crate) fn run_worker<M: Model, T: Transport>(
                 test_errors.push((iter + 1, err));
             }
         }
+
+        // Serving: publish this iteration's replica under snapshot
+        // isolation. In-flight requests keep reading the version they
+        // pinned; new requests see this one.
+        if let Some(cell) = &cfg.snapshots {
+            cell.publish(Snapshot {
+                iter: iter as u64,
+                epoch,
+                params: crate::runtime::flatten_model_params(&net),
+            });
+        }
     }
 
     let wall = started.elapsed();
@@ -453,12 +540,43 @@ pub(crate) fn run_worker<M: Model, T: Transport>(
         .shutdown()
         .unwrap_or_else(|e| panic!("worker {}: transport shutdown failed: {e}", cfg.me));
 
+    // Export: the complete per-layer state a future segment needs to resume
+    // bitwise-identically — replica params, SFB velocity, syncer stream
+    // state (collective velocity + lossy-codec residuals).
+    let checkpoint = cfg.export_state.then(|| {
+        let next_iter = cfg.start_iter + cfg.iterations;
+        let mut layer_ids: Vec<usize> = syncers.keys().copied().collect();
+        layer_ids.sort_unstable();
+        WorkerCheckpoint {
+            worker: cfg.me as u32,
+            next_iter: next_iter as u64,
+            epoch: cfg.schedule.epoch_at(next_iter),
+            layers: layer_ids
+                .into_iter()
+                .map(|l| LayerCheckpoint {
+                    layer: l as u32,
+                    params: syncer::flatten_params(
+                        net.slot(l)
+                            .and_then(|x| x.params())
+                            .expect("trainable layer"),
+                    ),
+                    sf_velocity: sf_velocity.get(&l).map(|(vw, vb)| {
+                        let (rows, cols) = vw.shape();
+                        (rows as u32, cols as u32, vw.as_slice().to_vec(), vb.clone())
+                    }),
+                    syncer: syncers[&l].export_state(),
+                })
+                .collect(),
+        }
+    });
+
     WorkerOutput {
         losses,
         test_errors,
         net,
         wall,
         busy: busy_local.snapshot(),
+        checkpoint,
     }
 }
 

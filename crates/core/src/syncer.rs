@@ -37,6 +37,25 @@ pub enum SyncOutcome {
     SfApply(Vec<SfBatch>),
 }
 
+/// A syncer's persistent cross-iteration state, exported at an iteration
+/// boundary for checkpoint/restore.
+///
+/// Everything here survives iterations: the collective schemes' client-side
+/// velocity replicas and every error-feedback compressor residual. A syncer
+/// rebuilt from this state compresses and folds bitwise-identically to one
+/// that never stopped. `None` entries mean "not yet materialised" (a lazily
+/// created compressor that never ran, a velocity segment before its first
+/// fold).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SyncerState {
+    /// Per-segment collective velocity replicas.
+    pub velocity: Vec<Option<Vec<f32>>>,
+    /// Per-chunk PS push-compressor residuals.
+    pub push_residuals: Vec<Option<Vec<f32>>>,
+    /// Per-segment collective hop-compressor residuals.
+    pub seg_residuals: Vec<Option<Vec<f32>>>,
+}
+
 /// One collective frame for the runtime to transmit: `data` travels to worker
 /// `to_worker` as a [`crate::transport::Message::Collective`] with the packed
 /// `route` (phase ⊕ origin ⊕ segment, [`crate::wire::pack_collective`]).
@@ -209,6 +228,75 @@ impl Syncer {
         let comp =
             self.seg_comp[seg].get_or_insert_with(|| make_compressor(self.codec, vals.len()));
         comp.compress(vals)
+    }
+
+    /// Exports the persistent cross-iteration state (velocity replicas and
+    /// compressor residuals) at an iteration boundary.
+    pub fn export_state(&self) -> SyncerState {
+        SyncerState {
+            velocity: self.velocity.clone(),
+            push_residuals: self
+                .push_comp
+                .iter()
+                .map(|c| c.as_ref().map(|c| c.residual()))
+                .collect(),
+            seg_residuals: self
+                .seg_comp
+                .iter()
+                .map(|c| c.as_ref().map(|c| c.residual()))
+                .collect(),
+        }
+    }
+
+    /// Restores state exported by [`Self::export_state`] into a freshly
+    /// constructed syncer (same layer, scheme, chunks and codec). Compressors
+    /// are re-materialised only where the exported state had them, so the
+    /// lazy-creation pattern — and with it the bitwise byte stream — is
+    /// preserved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state's shape does not match this syncer's chunk and
+    /// segment layout.
+    pub fn import_state(&mut self, st: SyncerState) {
+        assert_eq!(
+            st.velocity.len(),
+            self.velocity.len(),
+            "layer {}: velocity segment count mismatch",
+            self.layer
+        );
+        for (seg, v) in st.velocity.iter().enumerate() {
+            if let Some(v) = v {
+                assert_eq!(v.len(), self.segs[seg].1, "velocity segment length");
+            }
+        }
+        self.velocity = st.velocity;
+        assert_eq!(
+            st.push_residuals.len(),
+            self.push_comp.len(),
+            "layer {}: push compressor count mismatch",
+            self.layer
+        );
+        for (idx, r) in st.push_residuals.into_iter().enumerate() {
+            self.push_comp[idx] = r.map(|res| {
+                let mut comp = make_compressor(self.codec, self.chunks[idx].len);
+                comp.set_residual(&res);
+                comp
+            });
+        }
+        assert_eq!(
+            st.seg_residuals.len(),
+            self.seg_comp.len(),
+            "layer {}: segment compressor count mismatch",
+            self.layer
+        );
+        for (seg, r) in st.seg_residuals.into_iter().enumerate() {
+            self.seg_comp[seg] = r.map(|res| {
+                let mut comp = make_compressor(self.codec, self.segs[seg].1);
+                comp.set_residual(&res);
+                comp
+            });
+        }
     }
 
     /// The layer this syncer serves.
@@ -1131,6 +1219,41 @@ mod tests {
             let vals: Vec<f32> = (0..6).map(|i| (i * 3 + it) as f32 * 0.7 - 4.0).collect();
             assert_eq!(a.encode_push(0, &vals), b.encode_push(0, &vals), "it {it}");
         }
+    }
+
+    #[test]
+    fn export_import_state_preserves_lossy_stream() {
+        // Run a 1-bit PS syncer for a few pushes, export its state into a
+        // fresh instance, and check the two produce bitwise-identical bytes
+        // from then on — the checkpoint/handoff exactness invariant.
+        let mk = || {
+            Syncer::new(0, CommScheme::Ps, vec![chunk(0, 0, 0, 6)], 6, 2, 0)
+                .with_codec(Codec::OneBit)
+        };
+        let mut a = mk();
+        for it in 0..3 {
+            let vals: Vec<f32> = (0..6).map(|i| (i * 5 + it) as f32 * 0.9 - 7.0).collect();
+            let _ = a.encode_push(0, &vals);
+        }
+        let mut b = mk();
+        b.import_state(a.export_state());
+        for it in 3..8 {
+            let vals: Vec<f32> = (0..6).map(|i| (i * 5 + it) as f32 * 0.9 - 7.0).collect();
+            assert_eq!(a.encode_push(0, &vals), b.encode_push(0, &vals), "it {it}");
+        }
+    }
+
+    #[test]
+    fn export_import_state_carries_collective_velocity() {
+        let mut a = Syncer::new(0, CommScheme::Ring, vec![], 3, 2, 1).with_momentum(0.9);
+        a.velocity[0] = Some(vec![1.5, -2.0, 0.25]);
+        let st = a.export_state();
+        assert_eq!(st.velocity[0].as_deref(), Some(&[1.5, -2.0, 0.25][..]));
+        let mut b = Syncer::new(0, CommScheme::Ring, vec![], 3, 2, 1).with_momentum(0.9);
+        b.import_state(st);
+        assert_eq!(b.velocity, a.velocity);
+        // Untouched compressor slots stay lazily absent.
+        assert!(b.seg_comp[0].is_none());
     }
 
     #[test]

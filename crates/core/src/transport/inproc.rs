@@ -11,6 +11,7 @@
 use super::{Envelope, Message, RecvTracker, TrafficCounters, Transport, TransportError};
 use crate::metrics;
 use crate::telemetry;
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::Arc;
 use std::time::Duration;
@@ -29,6 +30,9 @@ pub struct InProcTransport {
     /// Per-peer tx/rx frame+byte counters, resolved at fabric build so the
     /// send path records registry-free.
     peer_metrics: metrics::PeerCounters,
+    /// This endpoint's membership epoch: stamped on every send, fences every
+    /// receive (stale data frames are dropped and counted).
+    membership_epoch: AtomicU32,
 }
 
 impl InProcTransport {
@@ -39,6 +43,21 @@ impl InProcTransport {
         if telemetry::is_enabled() {
             telemetry::instant("rx.frame", env.from as u64, env.msg.wire_bytes());
         }
+    }
+
+    /// Epoch fence at the dequeue point: a data frame from a stale membership
+    /// epoch is dropped and counted, never delivered.
+    fn admit(&self, env: Envelope) -> Option<Envelope> {
+        if super::stale_epoch(&env, self.membership_epoch.load(Ordering::Relaxed)) {
+            super::note_stale_epoch_frame(
+                self.me,
+                env.epoch,
+                self.membership_epoch.load(Ordering::Relaxed),
+            );
+            return None;
+        }
+        self.on_delivered(&env);
+        Some(env)
     }
 }
 
@@ -76,6 +95,7 @@ impl Transport for InProcTransport {
                 from: self.node,
                 src: self.me,
                 seq,
+                epoch: self.membership_epoch.load(Ordering::Relaxed),
                 msg,
             })
             .map_err(|_| TransportError::Closed)?;
@@ -84,31 +104,53 @@ impl Transport for InProcTransport {
     }
 
     fn recv(&self) -> Result<Envelope, TransportError> {
-        let env = self.inbox.recv().map_err(|_| TransportError::Closed)?;
-        self.on_delivered(&env);
-        Ok(env)
+        loop {
+            let env = self.inbox.recv().map_err(|_| TransportError::Closed)?;
+            if let Some(env) = self.admit(env) {
+                return Ok(env);
+            }
+        }
     }
 
     fn try_recv(&self) -> Result<Option<Envelope>, TransportError> {
-        match self.inbox.try_recv() {
-            Ok(env) => {
-                self.on_delivered(&env);
-                Ok(Some(env))
+        loop {
+            match self.inbox.try_recv() {
+                Ok(env) => {
+                    if let Some(env) = self.admit(env) {
+                        return Ok(Some(env));
+                    }
+                }
+                Err(TryRecvError::Empty) => return Ok(None),
+                Err(TryRecvError::Disconnected) => return Err(TransportError::Closed),
             }
-            Err(TryRecvError::Empty) => Ok(None),
-            Err(TryRecvError::Disconnected) => Err(TransportError::Closed),
         }
     }
 
     fn recv_timeout(&self, timeout: Duration) -> Result<Envelope, TransportError> {
-        match self.inbox.recv_timeout(timeout) {
-            Ok(env) => {
-                self.on_delivered(&env);
-                Ok(env)
+        // The full budget restarts after a dropped stale frame — stale frames
+        // arrive only in the instants around a reconfiguration, so the
+        // simplicity is worth the marginally lax bound.
+        loop {
+            match self.inbox.recv_timeout(timeout) {
+                Ok(env) => {
+                    if let Some(env) = self.admit(env) {
+                        return Ok(env);
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(self.tracker.timeout(self.me, timeout))
+                }
+                Err(RecvTimeoutError::Disconnected) => return Err(TransportError::Closed),
             }
-            Err(RecvTimeoutError::Timeout) => Err(self.tracker.timeout(self.me, timeout)),
-            Err(RecvTimeoutError::Disconnected) => Err(TransportError::Closed),
         }
+    }
+
+    fn set_epoch(&self, epoch: u32) {
+        self.membership_epoch.store(epoch, Ordering::Relaxed);
+    }
+
+    fn current_epoch(&self) -> u32 {
+        self.membership_epoch.load(Ordering::Relaxed)
     }
 
     fn shutdown(&mut self) -> Result<(), TransportError> {
@@ -162,6 +204,7 @@ pub fn fabric_with_nodes(
             counters: Arc::clone(&counters),
             tracker: RecvTracker::default(),
             peer_metrics: metrics::PeerCounters::new(idx, node_of_endpoint.len()),
+            membership_epoch: AtomicU32::new(0),
         })
         .collect();
     (endpoints, counters)

@@ -120,6 +120,20 @@ pub enum Message {
         /// Encoded payload (scaled partial sums or the folded update).
         data: Bytes,
     },
+    /// One KV pair's full server state (parameters, velocity, reply-codec
+    /// residual) travelling old owner → new owner during an elastic
+    /// re-sharding handoff (DESIGN.md §2.11). `iter` is the boundary
+    /// iteration the handoff happens at; `(layer, chunk)` is the KV key.
+    Handoff {
+        /// The iteration boundary this handoff belongs to.
+        iter: u64,
+        /// Layer index of the KV pair.
+        layer: u32,
+        /// Chunk index of the KV pair.
+        chunk: u32,
+        /// Encoded pair state ([`crate::checkpoint`]'s pair-blob codec).
+        data: Bytes,
+    },
 }
 
 impl Message {
@@ -137,7 +151,8 @@ impl Message {
             | Message::ParamChunk { iter, .. }
             | Message::SfPush { iter, .. }
             | Message::ParamMatrix { iter, .. }
-            | Message::Collective { iter, .. } => *iter,
+            | Message::Collective { iter, .. }
+            | Message::Handoff { iter, .. } => *iter,
             Message::Ack { upto } => *upto,
             Message::Nack { expect } => *expect,
         }
@@ -150,7 +165,8 @@ impl Message {
             | Message::ParamChunk { layer, .. }
             | Message::SfPush { layer, .. }
             | Message::ParamMatrix { layer, .. }
-            | Message::Collective { layer, .. } => *layer,
+            | Message::Collective { layer, .. }
+            | Message::Handoff { layer, .. } => *layer,
             Message::Ack { .. } | Message::Nack { .. } => 0,
         }
     }
@@ -176,6 +192,7 @@ impl Message {
             Message::Ack { .. } => "Ack",
             Message::Nack { .. } => "Nack",
             Message::Collective { .. } => "Collective",
+            Message::Handoff { .. } => "Handoff",
         }
     }
 
@@ -201,7 +218,8 @@ impl Message {
             | Message::ParamChunk { data, .. }
             | Message::SfPush { data, .. }
             | Message::ParamMatrix { data, .. }
-            | Message::Collective { data, .. } => data,
+            | Message::Collective { data, .. }
+            | Message::Handoff { data, .. } => data,
             Message::Ack { .. } | Message::Nack { .. } => &EMPTY,
         }
     }
@@ -214,7 +232,8 @@ impl Message {
             | Message::ParamChunk { data, .. }
             | Message::SfPush { data, .. }
             | Message::ParamMatrix { data, .. }
-            | Message::Collective { data, .. } => data,
+            | Message::Collective { data, .. }
+            | Message::Handoff { data, .. } => data,
             Message::Ack { .. } | Message::Nack { .. } => Bytes::new(),
         }
     }
@@ -231,8 +250,42 @@ pub struct Envelope {
     /// Per-link sequence number stamped by the sender's reliable layer
     /// (0 = unsequenced).
     pub seq: u32,
+    /// The sender's membership epoch when the frame was encoded (0 under
+    /// fixed membership).
+    pub epoch: u32,
     /// The message.
     pub msg: Message,
+}
+
+/// Process-wide count of data frames dropped at a transport's receive path
+/// because they carried a membership epoch older than the receiver's — a
+/// straggler from before a reconfiguration that must never be applied.
+static STALE_EPOCH_FRAMES: AtomicU64 = AtomicU64::new(0);
+
+/// Data frames dropped for carrying a stale membership epoch, process-wide.
+pub fn stale_epoch_frames() -> u64 {
+    STALE_EPOCH_FRAMES.load(Ordering::Relaxed)
+}
+
+/// True when `env` must be dropped instead of delivered: a *data* frame
+/// stamped with a membership epoch older than the receiver's `current`.
+/// Control frames (ack/nack) are epoch-exempt — the reliability layer's
+/// bookkeeping stays valid across reconfigurations — and frames from a
+/// *future* epoch are delivered (the sender crossed the boundary first; BSP
+/// ordering guarantees the receiver is about to).
+pub(crate) fn stale_epoch(env: &Envelope, current: u32) -> bool {
+    !env.msg.is_control() && env.epoch < current
+}
+
+/// Counts one dropped stale-epoch frame (global static + metrics counter).
+pub(crate) fn note_stale_epoch_frame(endpoint: usize, frame_epoch: u32, current: u32) {
+    STALE_EPOCH_FRAMES.fetch_add(1, Ordering::Relaxed);
+    crate::metrics::counter("poseidon_stale_epoch_frames_total", &[]).add(1);
+    crate::telemetry::instant(
+        "transport.stale_epoch",
+        endpoint as u64,
+        ((current as u64) << 32) | frame_epoch as u64,
+    );
 }
 
 /// The most recent frame an endpoint received before a timeout — the first
@@ -558,6 +611,20 @@ pub trait Transport: Send {
     /// Blocks until a message arrives or `timeout` elapses
     /// ([`TransportError::Timeout`]).
     fn recv_timeout(&self, timeout: Duration) -> Result<Envelope, TransportError>;
+
+    /// Advances this endpoint's membership epoch (DESIGN.md §2.11). Every
+    /// frame sent afterwards is stamped with the new epoch; every *data*
+    /// frame received that was stamped with an older epoch is dropped and
+    /// counted ([`stale_epoch_frames`]) instead of delivered. Transports
+    /// that predate elastic membership ignore the call (epoch stays 0).
+    fn set_epoch(&self, epoch: u32) {
+        let _ = epoch;
+    }
+
+    /// This endpoint's current membership epoch (0 under fixed membership).
+    fn current_epoch(&self) -> u32 {
+        0
+    }
 
     /// Gracefully tears down this endpoint. Idempotent.
     fn shutdown(&mut self) -> Result<(), TransportError>;

@@ -398,6 +398,14 @@ impl<T: Transport> Transport for ReliableTransport<T> {
         }
     }
 
+    fn set_epoch(&self, epoch: u32) {
+        self.inner.set_epoch(epoch);
+    }
+
+    fn current_epoch(&self) -> u32 {
+        self.inner.current_epoch()
+    }
+
     fn shutdown(&mut self) -> Result<(), TransportError> {
         // Linger: a peer may still be missing a frame only we hold. Keep
         // answering nacks (and acking the peer's own stragglers, so *its*

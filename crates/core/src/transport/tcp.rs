@@ -9,7 +9,7 @@
 //! intermediate copies:
 //!
 //! * **Send path**: `send_seq` encodes only the fixed 32-byte header
-//!   ([`encode_header_seq`]) and enqueues `(header, payload Bytes)` on the
+//!   ([`encode_header_stamped`]) and enqueues `(header, payload Bytes)` on the
 //!   destination link's coalescing queue. The poller drains each queue with
 //!   one `write_vectored` call spanning up to [`MAX_IOV`] `IoSlice`s —
 //!   header and payload go to the socket straight from where they already
@@ -48,7 +48,7 @@ use super::{
 use crate::metrics;
 use crate::pool::BufPool;
 use crate::telemetry;
-use crate::wire::{assemble, encode_header_seq, parse_header, FrameHeader, FRAME_HEADER_BYTES};
+use crate::wire::{assemble, encode_header_stamped, parse_header, FrameHeader, FRAME_HEADER_BYTES};
 use bytes::Bytes;
 use std::collections::VecDeque;
 use std::io::{ErrorKind, IoSlice, Read, Write};
@@ -283,6 +283,10 @@ pub struct TcpTransport {
     poller_thread: Option<JoinHandle<()>>,
     counters: Arc<TrafficCounters>,
     down: bool,
+    /// This endpoint's membership epoch (distinct from the per-link
+    /// *connection* generation `link.epoch`): stamped into every outgoing
+    /// frame, fences every receive.
+    membership_epoch: AtomicU32,
 }
 
 impl TcpTransport {
@@ -414,6 +418,7 @@ impl TcpTransport {
             poller_thread: Some(poller_thread),
             counters,
             down: false,
+            membership_epoch: AtomicU32::new(0),
         })
     }
 
@@ -451,6 +456,20 @@ impl TcpTransport {
             .peer_metrics
             .note_rx(env.src, env.msg.wire_bytes());
         self.shared.stamp_rx();
+    }
+
+    /// Epoch fence at the dequeue point: a data frame from a stale membership
+    /// epoch is dropped and counted, never delivered. The inflight counter is
+    /// still decremented — the frame left the queue either way.
+    fn admit(&self, env: Envelope) -> Option<Envelope> {
+        let current = self.membership_epoch.load(Ordering::Relaxed);
+        if super::stale_epoch(&env, current) {
+            self.shared.inflight.fetch_sub(1, Ordering::Relaxed);
+            super::note_stale_epoch_frame(self.me, env.epoch, current);
+            return None;
+        }
+        self.on_delivered(&env);
+        Some(env)
     }
 
     /// The claimed inline write of one large frame: loops `writev` on the
@@ -590,6 +609,7 @@ impl Transport for TcpTransport {
                     from: self.node,
                     src: self.me,
                     seq,
+                    epoch: self.membership_epoch.load(Ordering::Relaxed),
                     msg,
                 })
                 .map_err(|_| TransportError::Closed);
@@ -607,7 +627,12 @@ impl Transport for TcpTransport {
         }
         self.shared.peer_metrics.note_tx(to, frame_len);
         self.shared.stamp_tx();
-        let hdr = encode_header_seq(&msg, self.me as u32, seq);
+        let hdr = encode_header_stamped(
+            &msg,
+            self.me as u32,
+            seq,
+            self.membership_epoch.load(Ordering::Relaxed),
+        );
         let payload = msg.into_payload();
         let claimed = {
             let mut q = link.q.lock().expect("link queue");
@@ -708,43 +733,64 @@ impl Transport for TcpTransport {
     }
 
     fn recv(&self) -> Result<Envelope, TransportError> {
-        let env = self
-            .inbox
-            .recv()
-            .map_err(|_| self.pending_error(TransportError::Closed))?;
-        self.on_delivered(&env);
-        Ok(env)
+        loop {
+            let env = self
+                .inbox
+                .recv()
+                .map_err(|_| self.pending_error(TransportError::Closed))?;
+            if let Some(env) = self.admit(env) {
+                return Ok(env);
+            }
+        }
     }
 
     fn try_recv(&self) -> Result<Option<Envelope>, TransportError> {
-        match self.inbox.try_recv() {
-            Ok(env) => {
-                self.on_delivered(&env);
-                Ok(Some(env))
+        loop {
+            match self.inbox.try_recv() {
+                Ok(env) => {
+                    if let Some(env) = self.admit(env) {
+                        return Ok(Some(env));
+                    }
+                }
+                Err(TryRecvError::Empty) => return Ok(None),
+                Err(TryRecvError::Disconnected) => {
+                    return Err(self.pending_error(TransportError::Closed))
+                }
             }
-            Err(TryRecvError::Empty) => Ok(None),
-            Err(TryRecvError::Disconnected) => Err(self.pending_error(TransportError::Closed)),
         }
     }
 
     fn recv_timeout(&self, timeout: Duration) -> Result<Envelope, TransportError> {
-        match self.inbox.recv_timeout(timeout) {
-            Ok(env) => {
-                self.on_delivered(&env);
-                Ok(env)
-            }
-            // A reader that hit a protocol violation explains the silence
-            // better than "timeout".
-            Err(RecvTimeoutError::Timeout) => {
-                let mut err = self.pending_error(self.shared.tracker.timeout(self.me, timeout));
-                if let TransportError::Timeout(diag) = &mut err {
-                    diag.poller = Some(self.poller_diag());
-                    diag.link = Some(self.shared.link_health());
+        loop {
+            match self.inbox.recv_timeout(timeout) {
+                Ok(env) => {
+                    if let Some(env) = self.admit(env) {
+                        return Ok(env);
+                    }
                 }
-                Err(err)
+                // A reader that hit a protocol violation explains the silence
+                // better than "timeout".
+                Err(RecvTimeoutError::Timeout) => {
+                    let mut err = self.pending_error(self.shared.tracker.timeout(self.me, timeout));
+                    if let TransportError::Timeout(diag) = &mut err {
+                        diag.poller = Some(self.poller_diag());
+                        diag.link = Some(self.shared.link_health());
+                    }
+                    return Err(err);
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(self.pending_error(TransportError::Closed))
+                }
             }
-            Err(RecvTimeoutError::Disconnected) => Err(self.pending_error(TransportError::Closed)),
         }
+    }
+
+    fn set_epoch(&self, epoch: u32) {
+        self.membership_epoch.store(epoch, Ordering::Relaxed);
+    }
+
+    fn current_epoch(&self) -> u32 {
+        self.membership_epoch.load(Ordering::Relaxed)
     }
 
     fn shutdown(&mut self) -> Result<(), TransportError> {
@@ -1516,6 +1562,7 @@ fn deliver(
         from: from_node,
         src: header.src as usize,
         seq: header.seq,
+        epoch: header.epoch,
         msg,
     })
     .map_err(|_| Close::Benign) // local endpoint shut down first

@@ -21,7 +21,7 @@
 use super::net::{self, dial_once, validate_hello, HelloGate, TcpFabricSpec, ACCEPT_POLL};
 use super::{Backoff, Envelope, Message, RecvTracker, TrafficCounters, Transport, TransportError};
 use crate::telemetry;
-use crate::wire::{assemble, encode_frame_seq, parse_header, FRAME_HEADER_BYTES};
+use crate::wire::{assemble, encode_frame_stamped, parse_header, FRAME_HEADER_BYTES};
 use std::io::{ErrorKind, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
@@ -108,6 +108,9 @@ pub struct ThreadedTcpTransport {
     peer_metrics: crate::metrics::PeerCounters,
     m_reconnects: crate::metrics::Counter,
     down: bool,
+    /// This endpoint's membership epoch: stamped on every send, fences every
+    /// receive (stale data frames are dropped and counted).
+    membership_epoch: AtomicU32,
 }
 
 impl ThreadedTcpTransport {
@@ -205,6 +208,7 @@ impl ThreadedTcpTransport {
                 &[("endpoint", &me.to_string())],
             ),
             down: false,
+            membership_epoch: AtomicU32::new(0),
         })
     }
 
@@ -239,6 +243,19 @@ impl ThreadedTcpTransport {
         self.hub.inflight.fetch_sub(1, Ordering::Relaxed);
         self.tracker.note(env);
         self.peer_metrics.note_rx(env.src, env.msg.wire_bytes());
+    }
+
+    /// Epoch fence at the dequeue point: a data frame from a stale membership
+    /// epoch is dropped and counted, never delivered.
+    fn admit(&self, env: Envelope) -> Option<Envelope> {
+        let current = self.membership_epoch.load(Ordering::Relaxed);
+        if super::stale_epoch(&env, current) {
+            self.hub.inflight.fetch_sub(1, Ordering::Relaxed);
+            super::note_stale_epoch_frame(self.me, env.epoch, current);
+            return None;
+        }
+        self.on_delivered(&env);
+        Some(env)
     }
 
     /// Redials `to` after a broken send, with the fabric's capped
@@ -308,6 +325,7 @@ impl Transport for ThreadedTcpTransport {
                     from: self.node,
                     src: self.me,
                     seq,
+                    epoch: self.membership_epoch.load(Ordering::Relaxed),
                     msg,
                 })
                 .map_err(|_| TransportError::Closed);
@@ -318,7 +336,12 @@ impl Transport for ThreadedTcpTransport {
             .ok_or(TransportError::Closed)?
             .as_ref()
             .ok_or(TransportError::Closed)?;
-        let frame = encode_frame_seq(&msg, self.me as u32, seq);
+        let frame = encode_frame_stamped(
+            &msg,
+            self.me as u32,
+            seq,
+            self.membership_epoch.load(Ordering::Relaxed),
+        );
         if telemetry::is_enabled() {
             telemetry::instant("tx.frame", to as u64, frame.len() as u64);
         }
@@ -358,38 +381,59 @@ impl Transport for ThreadedTcpTransport {
     }
 
     fn recv(&self) -> Result<Envelope, TransportError> {
-        let env = self
-            .inbox
-            .recv()
-            .map_err(|_| self.pending_error(TransportError::Closed))?;
-        self.on_delivered(&env);
-        Ok(env)
+        loop {
+            let env = self
+                .inbox
+                .recv()
+                .map_err(|_| self.pending_error(TransportError::Closed))?;
+            if let Some(env) = self.admit(env) {
+                return Ok(env);
+            }
+        }
     }
 
     fn try_recv(&self) -> Result<Option<Envelope>, TransportError> {
-        match self.inbox.try_recv() {
-            Ok(env) => {
-                self.on_delivered(&env);
-                Ok(Some(env))
+        loop {
+            match self.inbox.try_recv() {
+                Ok(env) => {
+                    if let Some(env) = self.admit(env) {
+                        return Ok(Some(env));
+                    }
+                }
+                Err(TryRecvError::Empty) => return Ok(None),
+                Err(TryRecvError::Disconnected) => {
+                    return Err(self.pending_error(TransportError::Closed))
+                }
             }
-            Err(TryRecvError::Empty) => Ok(None),
-            Err(TryRecvError::Disconnected) => Err(self.pending_error(TransportError::Closed)),
         }
     }
 
     fn recv_timeout(&self, timeout: Duration) -> Result<Envelope, TransportError> {
-        match self.inbox.recv_timeout(timeout) {
-            Ok(env) => {
-                self.on_delivered(&env);
-                Ok(env)
+        loop {
+            match self.inbox.recv_timeout(timeout) {
+                Ok(env) => {
+                    if let Some(env) = self.admit(env) {
+                        return Ok(env);
+                    }
+                }
+                // A reader that hit a protocol violation explains the silence
+                // better than "timeout".
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(self.pending_error(self.tracker.timeout(self.me, timeout)))
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(self.pending_error(TransportError::Closed))
+                }
             }
-            // A reader that hit a protocol violation explains the silence
-            // better than "timeout".
-            Err(RecvTimeoutError::Timeout) => {
-                Err(self.pending_error(self.tracker.timeout(self.me, timeout)))
-            }
-            Err(RecvTimeoutError::Disconnected) => Err(self.pending_error(TransportError::Closed)),
         }
+    }
+
+    fn set_epoch(&self, epoch: u32) {
+        self.membership_epoch.store(epoch, Ordering::Relaxed);
+    }
+
+    fn current_epoch(&self) -> u32 {
+        self.membership_epoch.load(Ordering::Relaxed)
     }
 
     fn shutdown(&mut self) -> Result<(), TransportError> {
@@ -590,6 +634,7 @@ fn reader_loop(mut stream: TcpStream, from_node: usize, tx: &Sender<Envelope>, h
                 from: from_node,
                 src: header.src as usize,
                 seq: header.seq,
+                epoch: header.epoch,
                 msg,
             })
             .is_err()

@@ -7,16 +7,17 @@
 //! ```text
 //! offset  size  field
 //! 0       2     magic  "PN"
-//! 2       1     version (currently 3)
+//! 2       1     version (currently 4)
 //! 3       1     tag (1 GradChunk | 2 ParamChunk | 3 SfPush | 4 ParamMatrix
-//!                    | 5 Ack | 6 Nack | 7 Collective)
+//!                    | 5 Ack | 6 Nack | 7 Collective | 8 Handoff)
 //! 4       8     iter        u64 LE (control frames: the ack/nack operand)
 //! 12      4     codec(8) | layer(24)   u32 LE
 //! 16      4     chunk       u32 LE (LAYER_GRANULAR_CHUNK where not applicable)
 //! 20      4     payload_len u32 LE
 //! 24      4     seq         u32 LE (per-link sequence number, 0 = unsequenced)
 //! 28      4     src         u32 LE (sender *endpoint* id)
-//! 32      n     payload (opaque bytes, see the payload codecs below)
+//! 32      4     epoch       u32 LE (sender's membership epoch)
+//! 36      n     payload (opaque bytes, see the payload codecs below)
 //! ```
 //!
 //! Version 2 added the trailing `seq`/`src` pair for the self-healing comm
@@ -32,9 +33,15 @@
 //! word (layer indices are bounded by [`MAX_LAYER_INDEX`]), so every
 //! gradient-bearing frame — PS push, parameter broadcast, ring/tree
 //! collective — is self-describing about its payload encoding and
-//! mixed-codec meshes interoperate. The header stays 32 bytes, so byte
-//! accounting is unchanged; codec id 0 (`identity`) makes a frame identical
-//! to version 2 except for the version byte.
+//! mixed-codec meshes interoperate.
+//!
+//! Version 4 appends a 4-byte membership `epoch` word (DESIGN.md §2.11) and
+//! adds the `Handoff` tag carrying a KV pair's full server state during
+//! elastic re-sharding. Every sender stamps its current epoch; receivers
+//! drop-and-count data frames from a *stale* epoch (`epoch < current`) at
+//! the transport layer, so a frame from before a reconfiguration can be
+//! observed but never applied. Epoch 0 — the only epoch of a
+//! fixed-membership run — makes the stamp inert.
 //!
 //! The frame is the single source of truth for byte accounting:
 //! `Message::wire_bytes()` is *derived from the encoded frame*, so the
@@ -55,7 +62,7 @@ pub use poseidon_tensor::compress::{Codec, CodecError};
 pub const FRAME_MAGIC: [u8; 2] = *b"PN";
 
 /// Current wire-format version. Decoders reject every other version.
-pub const FRAME_VERSION: u8 = 3;
+pub const FRAME_VERSION: u8 = 4;
 
 /// Largest layer index the v3 header can carry: the top 8 bits of the layer
 /// word belong to the codec id.
@@ -81,7 +88,7 @@ pub fn unpack_layer(word: u32) -> (u8, u32) {
 }
 
 /// Fixed size of the frame header preceding every payload.
-pub const FRAME_HEADER_BYTES: usize = 32;
+pub const FRAME_HEADER_BYTES: usize = 36;
 
 /// Upper bound on a frame payload; guards against corrupt length fields
 /// causing huge allocations (VGG19-22K's largest layer is ~1.5 GB of f32s,
@@ -100,6 +107,7 @@ const TAG_PARAM_MATRIX: u8 = 4;
 const TAG_ACK: u8 = 5;
 const TAG_NACK: u8 = 6;
 const TAG_COLLECTIVE: u8 = 7;
+const TAG_HANDOFF: u8 = 8;
 
 /// Collective route phase: accumulating towards the fold point (ring
 /// `Reduce`, tree `Up`).
@@ -200,6 +208,10 @@ pub struct FrameHeader {
     pub seq: u32,
     /// Sending endpoint id.
     pub src: u32,
+    /// The sender's membership epoch at encode time (0 under fixed
+    /// membership). Receivers drop-and-count data frames whose epoch is
+    /// older than their own.
+    pub epoch: u32,
 }
 
 /// Encodes a message as one unsequenced self-describing frame (`seq`/`src`
@@ -220,7 +232,17 @@ pub fn encode_frame(msg: &Message) -> Bytes {
 ///
 /// Panics if the payload exceeds [`MAX_FRAME_PAYLOAD`].
 pub fn encode_frame_seq(msg: &Message, src: u32, seq: u32) -> Bytes {
-    let header = encode_header_seq(msg, src, seq);
+    encode_frame_stamped(msg, src, seq, 0)
+}
+
+/// Encodes a message as one self-describing frame stamped with `src`, `seq`
+/// and the sender's membership `epoch`.
+///
+/// # Panics
+///
+/// Panics if the payload exceeds [`MAX_FRAME_PAYLOAD`].
+pub fn encode_frame_stamped(msg: &Message, src: u32, seq: u32, epoch: u32) -> Bytes {
+    let header = encode_header_stamped(msg, src, seq, epoch);
     let data = msg.payload();
     let mut buf = BytesMut::with_capacity(FRAME_HEADER_BYTES + data.len());
     buf.put_slice(&header);
@@ -228,8 +250,18 @@ pub fn encode_frame_seq(msg: &Message, src: u32, seq: u32) -> Bytes {
     buf.freeze()
 }
 
-/// Encodes only the fixed 32-byte header of the frame for `msg`; the
-/// payload is the message's own [`Bytes`] (see
+/// [`encode_header_stamped`] at membership epoch 0 — the spelling for
+/// fixed-membership paths.
+///
+/// # Panics
+///
+/// Panics if the payload exceeds [`MAX_FRAME_PAYLOAD`].
+pub fn encode_header_seq(msg: &Message, src: u32, seq: u32) -> [u8; FRAME_HEADER_BYTES] {
+    encode_header_stamped(msg, src, seq, 0)
+}
+
+/// Encodes only the fixed header of the frame for `msg`; the payload is the
+/// message's own [`Bytes`] (see
 /// [`Message::payload`](crate::transport::Message::payload)). The vectored
 /// write path uses this split so header and payload go to the socket as two
 /// `IoSlice`s and the payload bytes are never copied into a frame buffer.
@@ -237,7 +269,12 @@ pub fn encode_frame_seq(msg: &Message, src: u32, seq: u32) -> Bytes {
 /// # Panics
 ///
 /// Panics if the payload exceeds [`MAX_FRAME_PAYLOAD`].
-pub fn encode_header_seq(msg: &Message, src: u32, seq: u32) -> [u8; FRAME_HEADER_BYTES] {
+pub fn encode_header_stamped(
+    msg: &Message,
+    src: u32,
+    seq: u32,
+    epoch: u32,
+) -> [u8; FRAME_HEADER_BYTES] {
     let (tag, iter, layer_word, chunk) = match msg {
         Message::GradChunk {
             iter,
@@ -274,6 +311,14 @@ pub fn encode_header_seq(msg: &Message, src: u32, seq: u32) -> [u8; FRAME_HEADER
             codec,
             ..
         } => (TAG_COLLECTIVE, *iter, pack_layer(*codec, *layer), *route),
+        Message::Handoff {
+            iter, layer, chunk, ..
+        } => (
+            TAG_HANDOFF,
+            *iter,
+            pack_layer(Codec::Identity, *layer),
+            *chunk,
+        ),
     };
     let payload_len = msg.payload().len();
     assert!(
@@ -290,6 +335,7 @@ pub fn encode_header_seq(msg: &Message, src: u32, seq: u32) -> [u8; FRAME_HEADER
     hdr[20..24].copy_from_slice(&(payload_len as u32).to_le_bytes());
     hdr[24..28].copy_from_slice(&seq.to_le_bytes());
     hdr[28..32].copy_from_slice(&src.to_le_bytes());
+    hdr[32..36].copy_from_slice(&epoch.to_le_bytes());
     hdr
 }
 
@@ -302,7 +348,7 @@ pub fn parse_header(hdr: &[u8; FRAME_HEADER_BYTES]) -> Result<FrameHeader, Frame
         return Err(FrameError::BadVersion(hdr[2]));
     }
     let tag = hdr[3];
-    if !(TAG_GRAD_CHUNK..=TAG_COLLECTIVE).contains(&tag) {
+    if !(TAG_GRAD_CHUNK..=TAG_HANDOFF).contains(&tag) {
         return Err(FrameError::BadTag(tag));
     }
     let mut rest = &hdr[4..];
@@ -312,6 +358,7 @@ pub fn parse_header(hdr: &[u8; FRAME_HEADER_BYTES]) -> Result<FrameHeader, Frame
     let payload_len = rest.get_u32_le() as usize;
     let seq = rest.get_u32_le();
     let src = rest.get_u32_le();
+    let epoch = rest.get_u32_le();
     if payload_len > MAX_FRAME_PAYLOAD {
         return Err(FrameError::Oversized(payload_len));
     }
@@ -326,6 +373,7 @@ pub fn parse_header(hdr: &[u8; FRAME_HEADER_BYTES]) -> Result<FrameHeader, Frame
         payload_len,
         seq,
         src,
+        epoch,
     })
 }
 
@@ -374,6 +422,12 @@ pub fn assemble(header: &FrameHeader, payload: Bytes) -> Message {
             layer: header.layer,
             route: header.chunk,
             codec: header.codec,
+            data: payload,
+        },
+        TAG_HANDOFF => Message::Handoff {
+            iter: header.iter,
+            layer: header.layer,
+            chunk: header.chunk,
             data: payload,
         },
         other => unreachable!("parse_header admitted tag {other}"),
@@ -559,6 +613,12 @@ mod tests {
                 codec: Codec::TopK { permille: 100 },
                 data: encode_f32s(&[4.0, -8.0]),
             },
+            Message::Handoff {
+                iter: 9,
+                layer: 4,
+                chunk: 1,
+                data: Bytes::from(vec![0xAB; 24]),
+            },
         ]
     }
 
@@ -568,7 +628,8 @@ mod tests {
             | Message::ParamChunk { data, .. }
             | Message::SfPush { data, .. }
             | Message::ParamMatrix { data, .. }
-            | Message::Collective { data, .. } => data.len(),
+            | Message::Collective { data, .. }
+            | Message::Handoff { data, .. } => data.len(),
             Message::Ack { .. } | Message::Nack { .. } => 0,
         }
     }
@@ -652,6 +713,26 @@ mod tests {
         hdr.copy_from_slice(&plain[..FRAME_HEADER_BYTES]);
         let parsed = parse_header(&hdr).unwrap();
         assert_eq!((parsed.seq, parsed.src), (0, 0));
+    }
+
+    #[test]
+    fn epoch_roundtrips_through_every_tag() {
+        for msg in sample_messages() {
+            let frame = encode_frame_stamped(&msg, 3, 1, 0xCAFE_F00D);
+            let mut hdr = [0u8; FRAME_HEADER_BYTES];
+            hdr.copy_from_slice(&frame[..FRAME_HEADER_BYTES]);
+            let parsed = parse_header(&hdr).expect("clean header");
+            assert_eq!(parsed.epoch, 0xCAFE_F00D);
+            // The epoch stamp never changes the reassembled message.
+            let (decoded, _) = decode_frame(&frame).expect("clean frame");
+            assert_eq!(encode_frame(&decoded), encode_frame(&msg));
+        }
+        // The epoch-0 spellings are bitwise equivalent.
+        let msg = sample_messages().remove(0);
+        assert_eq!(
+            encode_frame_seq(&msg, 7, 9),
+            encode_frame_stamped(&msg, 7, 9, 0)
+        );
     }
 
     #[test]

@@ -196,6 +196,28 @@ pub trait Compressor: Send + std::fmt::Debug {
     fn decompress(&self, buf: &[u8], elems: usize) -> Result<Vec<f32>, CodecError> {
         decompress(self.codec(), buf, elems)
     }
+
+    /// The error-feedback residual carried between calls, flattened. Empty
+    /// for stateless codecs. Checkpoint/handoff paths persist this so a
+    /// restored endpoint compresses bitwise-identically to one that never
+    /// stopped.
+    fn residual(&self) -> Vec<f32> {
+        Vec::new()
+    }
+
+    /// Restores error-feedback state exported by [`Self::residual`]. No-op
+    /// for stateless codecs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length does not match this compressor's element count.
+    fn set_residual(&mut self, residual: &[f32]) {
+        assert!(
+            residual.is_empty(),
+            "stateless codec {} cannot restore a residual",
+            self.codec()
+        );
+    }
 }
 
 /// Builds the compressor for `codec` over tensors of `elems` values.
@@ -295,6 +317,22 @@ impl Compressor for OneBitCompressor {
             v
         });
         self.quant.quantize(&m).to_bytes()
+    }
+
+    fn residual(&self) -> Vec<f32> {
+        let mut out = self.quant.residual().as_slice().to_vec();
+        out.truncate(self.elems);
+        out
+    }
+
+    fn set_residual(&mut self, residual: &[f32]) {
+        assert_eq!(residual.len(), self.elems, "residual length mismatch");
+        let mut v = residual.to_vec();
+        if v.is_empty() {
+            v.push(0.0);
+        }
+        let len = v.len();
+        self.quant.set_residual(Matrix::from_vec(1, len, v));
     }
 }
 
@@ -518,6 +556,19 @@ impl Compressor for TopKCompressor {
             self.residual[i as usize] = 0.0;
         }
         buf.freeze()
+    }
+
+    fn residual(&self) -> Vec<f32> {
+        self.residual.clone()
+    }
+
+    fn set_residual(&mut self, residual: &[f32]) {
+        assert_eq!(
+            residual.len(),
+            self.residual.len(),
+            "residual length mismatch"
+        );
+        self.residual.copy_from_slice(residual);
     }
 }
 

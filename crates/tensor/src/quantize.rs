@@ -123,6 +123,20 @@ impl OneBitQuantizer {
         &self.residual
     }
 
+    /// Restores a residual exported earlier (checkpoint/handoff restore).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape differs from the shape given at construction.
+    pub fn set_residual(&mut self, residual: Matrix) {
+        assert_eq!(
+            residual.shape(),
+            self.residual.shape(),
+            "residual shape mismatch"
+        );
+        self.residual = residual;
+    }
+
     /// Quantizes `grad + residual` to one bit per element and updates the
     /// residual to the new quantization error.
     ///

@@ -116,4 +116,41 @@ echo "== metrics smoke: live scrape + health verdict + overhead budget =="
 timeout 300 cargo test "${CARGO_OFFLINE[@]}" -q -p poseidon-bench --test metrics_scrape
 timeout 300 cargo run "${CARGO_OFFLINE[@]}" -q --release -p poseidon-bench --bin metrics_bench
 
+echo "== elastic smoke: reconfiguration is bitwise-invisible, front door live =="
+# The elastic membership plane end to end through the public launcher: a run
+# that loses shard 1, regains it, and restarts worker 0 across a generation
+# boundary (checkpoint + kill + restore over real OS processes) must produce
+# params bitwise identical to the fixed-membership run — ownership moves,
+# epochs bump, v4 frames fence stragglers, and none of it touches the math.
+# elastic_serving additionally queries the inference front door over raw
+# sockets while the reconfiguration is in flight.
+PORT=$((PORT + 1000))
+timeout 300 cargo run "${CARGO_OFFLINE[@]}" -q --release -p poseidon-bench --bin poseidon-node -- \
+    --workers 2 --iters 8 --policy ps --base-port "$PORT" \
+    > /tmp/poseidon_fixed_smoke.txt
+grep -q "replicas=bitwise-identical" /tmp/poseidon_fixed_smoke.txt
+PORT=$((PORT + 1000))
+timeout 300 cargo run "${CARGO_OFFLINE[@]}" -q --release -p poseidon-bench --bin poseidon-node -- \
+    --workers 2 --iters 8 --policy ps --base-port "$PORT" \
+    --membership-plan "leave:1@2;join:1@5;restart:0@6" \
+    > /tmp/poseidon_elastic_smoke.txt
+grep -q "replicas=bitwise-identical" /tmp/poseidon_elastic_smoke.txt
+grep -q "membership_epochs=3 generations=2" /tmp/poseidon_elastic_smoke.txt
+# tail -1: the elastic log holds both generations; the final generation's
+# params are the ones comparable to the fixed run's.
+FIXED_HEX=$(grep -o 'params=[0-9a-f]*' /tmp/poseidon_fixed_smoke.txt | tail -1)
+ELASTIC_HEX=$(grep -o 'params=[0-9a-f]*' /tmp/poseidon_elastic_smoke.txt | tail -1)
+test -n "$FIXED_HEX" && test "$FIXED_HEX" = "$ELASTIC_HEX" \
+    || { echo "elastic replicas differ from the fixed-membership run"; exit 1; }
+timeout 300 cargo test "${CARGO_OFFLINE[@]}" -q -p poseidon-bench --test elastic_serving
+
+echo "== serving bench: the front door stays live through reconfiguration =="
+# Regenerates BENCH_serving.json (client threads hammering the snapshot-backed
+# inference server while the run executes a leave+rejoin plan) and fails when
+# any membership epoch answers zero requests, or when requests/s fall below a
+# quarter of the committed baseline — a liveness gate with a loose margin, not
+# a speed race.
+timeout 900 cargo run "${CARGO_OFFLINE[@]}" -q --release -p poseidon-bench --bin serving_bench -- \
+    --check-against BENCH_serving.json --out BENCH_serving.json
+
 echo "All checks passed."

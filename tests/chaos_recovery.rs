@@ -238,6 +238,82 @@ fn compressed_frames_survive_chaos_bitwise() {
     }
 }
 
+/// The chaos × membership matrix: an elastic run (shard 1 drains out at
+/// iteration 2 and rejoins at 4, crossing two handoff boundaries) under
+/// scripted drops, dups, delays and severs — aimed at the shard→shard
+/// handoff links and the PS links of the reduced-membership window — must
+/// stay bitwise identical to the *clean* elastic run, which itself must be
+/// bitwise identical to the fixed-membership run. Reconfiguration and
+/// fault recovery compose without perturbing the math.
+#[test]
+fn elastic_reconfiguration_survives_chaos_bitwise() {
+    use poseidon::membership::MembershipPlan;
+    let elastic_cfg = |faults| RuntimeConfig {
+        membership: MembershipPlan::parse("leave:1@2;join:1@4").expect("plan"),
+        iterations: 6,
+        ..config(SchemePolicy::AlwaysPs, faults)
+    };
+
+    let fixed = train(
+        &factory,
+        &dataset(),
+        None,
+        &RuntimeConfig {
+            iterations: 6,
+            ..config(SchemePolicy::AlwaysPs, FaultConfig::default())
+        },
+    );
+    let clean = train(
+        &factory,
+        &dataset(),
+        None,
+        &elastic_cfg(FaultConfig::default()),
+    );
+
+    // Membership invariance first: who holds the pairs is invisible.
+    assert_eq!(
+        clean.net.max_param_diff(&fixed.net),
+        0.0,
+        "elastic run must be bitwise identical to the fixed-membership run"
+    );
+    assert_eq!(clean.losses, fixed.losses);
+
+    // Endpoints: workers 0,1; shards 2,3. The leave at iter 2 drains 3→2,
+    // the rejoin at 4 drains 2→3; both handoff links get a drop or dup on
+    // their first frame (the handoff itself), the reduced-membership PS
+    // links get drops, delays and a sever mid-window.
+    let plan = "drop:3>2@n1;dup:2>3@n1;drop:0>2@n3;delay1:2>1@n2;sever:1>2@n2;drop:1>2@i3l0";
+    let faulty = train(
+        &factory,
+        &dataset(),
+        None,
+        &elastic_cfg(FaultConfig {
+            plan: Some(FaultPlan::parse(plan).expect("plan parses")),
+            reliability: None,
+        }),
+    );
+    assert_eq!(
+        faulty.net.max_param_diff(&clean.net),
+        0.0,
+        "chaos during reconfiguration must be invisible to the result"
+    );
+    assert_eq!(faulty.losses, clean.losses);
+
+    let report = faulty.fault_report.expect("chaos plane was on");
+    assert!(
+        report.fired.iter().any(|f| f.action == FaultAction::Drop),
+        "a drop must fire to exercise retransmission: {report:?}"
+    );
+    assert!(
+        report.retransmits >= 1,
+        "dropped frames (handoff included) heal via retransmit: {report:?}"
+    );
+    assert!(
+        faulty.traffic.total_bytes() > clean.traffic.total_bytes(),
+        "recovery traffic must show up in the ledger"
+    );
+}
+
 #[test]
 fn chaos_runs_are_deterministic() {
     let faults = || FaultConfig {

@@ -75,7 +75,7 @@ fn run_over_tcp(policy: SchemePolicy) -> (Vec<Network>, Vec<Vec<f32>>, Arc<Traff
                             .expect("mesh connect");
                     match run_endpoint(&factory, data, None, cfg, ep) {
                         NodeOutcome::Worker { losses, net, .. } => Some((me, losses, net)),
-                        NodeOutcome::Server => None,
+                        NodeOutcome::Server { .. } => None,
                     }
                 })
             })
